@@ -1,0 +1,88 @@
+// Command agent simulates one user's device running the RSP client
+// against a live rspd server (started with -world city and the same
+// seed, so both sides share the entity directory).
+//
+//	rspd -world city -seed 1 &
+//	agent -server http://localhost:8080 -seed 1 -user 3 -days 30
+//
+// The agent prints what it detected, inferred, and uploaded, then shows
+// the transparency screen (§5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"opinions/internal/rspclient"
+	"opinions/internal/trace"
+	"opinions/internal/world"
+)
+
+func main() {
+	var (
+		server  = flag.String("server", "http://localhost:8080", "rspd base URL")
+		seed    = flag.Int64("seed", 1, "world seed (must match rspd's)")
+		users   = flag.Int("users", 400, "city users (must match rspd's)")
+		userIdx = flag.Int("user", 0, "which simulated user this device belongs to")
+		days    = flag.Int("days", 30, "days of life to simulate")
+	)
+	flag.Parse()
+
+	city := world.BuildCity(world.CityConfig{Seed: *seed, NumUsers: *users})
+	if *userIdx < 0 || *userIdx >= len(city.Users) {
+		log.Fatalf("user index %d out of range [0, %d)", *userIdx, len(city.Users))
+	}
+	u := city.Users[*userIdx]
+	sim := trace.New(city, trace.Config{Seed: *seed + 1, Days: *days})
+
+	agent := rspclient.NewAgent(rspclient.Config{
+		DeviceID: fmt.Sprintf("device-%s", u.ID),
+		Author:   string(u.ID),
+		Seed:     *seed + int64(*userIdx),
+		MixMax:   6 * time.Hour,
+	}, &rspclient.HTTPTransport{BaseURL: *server})
+	if err := agent.Bootstrap(); err != nil {
+		log.Fatalf("bootstrap: %v", err)
+	}
+	log.Printf("agent: device for user %s (%s), directory %d entities, model=%v",
+		u.ID, u.Class, agent.Resolver().Len(), agent.HasModel())
+
+	var detected, reviews, pairs int
+	for d := 0; d < sim.Days(); d++ {
+		for _, dl := range sim.SimulateDate(d) {
+			if dl.User != u.ID {
+				continue
+			}
+			res, err := agent.ProcessDay(dl)
+			if err != nil {
+				log.Fatalf("day %d: %v", d, err)
+			}
+			detected += res.Detected
+			reviews += res.ReviewsPosted
+			pairs += res.TrainingPairs
+		}
+		// Nightly inference + flush.
+		night := sim.Start().AddDate(0, 0, d+1).Add(2 * time.Hour)
+		agent.InferOpinions(night)
+		if _, err := agent.FlushUploads(night); err != nil {
+			log.Printf("flush: %v (will retry tomorrow)", err)
+		}
+	}
+	sent, err := agent.FlushUploads(sim.Start().AddDate(0, 0, *days+1))
+	if err != nil {
+		log.Printf("final flush: %v", err)
+	}
+	log.Printf("agent: %d interactions detected, %d reviews posted, %d training pairs, %d uploads in final flush",
+		detected, reviews, pairs, sent)
+
+	fmt.Println("\nTransparency screen (§5): what this app believes about you")
+	for _, v := range agent.Inferences() {
+		if v.HasInference {
+			fmt.Printf("  %-40s %2d records  inferred %.1f★\n", v.Entity, v.Records, v.Rating)
+		} else {
+			fmt.Printf("  %-40s %2d records  (no inference)\n", v.Entity, v.Records)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Command crawl runs the §2 measurement study against an RSP.
+//
+// Self-contained (spins up an in-process directory server):
+//
+//	crawl -selfhost -scale 1.0
+//
+// Or against a live rspd started with -world directory:
+//
+//	crawl -server http://localhost:8080
+//
+// It prints Table 1 and the Figure 1(a)/(b)/(c) series.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"opinions/internal/crawler"
+	"opinions/internal/experiments"
+	"opinions/internal/stats"
+	"opinions/internal/world"
+)
+
+func main() {
+	var (
+		server   = flag.String("server", "", "rspd base URL (mutually exclusive with -selfhost)")
+		selfhost = flag.Bool("selfhost", false, "build and crawl an in-process directory server")
+		scale    = flag.Float64("scale", 1.0, "directory scale for -selfhost (1.0 = paper scale)")
+		seed     = flag.Int64("seed", 1, "world seed for -selfhost")
+	)
+	flag.Parse()
+
+	if *selfhost == (*server != "") {
+		fmt.Fprintln(os.Stderr, "exactly one of -selfhost or -server is required")
+		os.Exit(2)
+	}
+
+	if *selfhost {
+		u, err := experiments.BuildCrawlUniverse(world.DirectoryConfig{
+			Seed: *seed, NumZips: 50, Scale: *scale, InteractionEntities: 1000,
+		})
+		if err != nil {
+			log.Fatalf("crawl: %v", err)
+		}
+		experiments.RunTable1(u).Render(os.Stdout)
+		fmt.Println()
+		experiments.RunFig1a(u).Render(os.Stdout)
+		fmt.Println()
+		experiments.RunFig1b(u).Render(os.Stdout)
+		fmt.Println()
+		experiments.RunFig1c(u).Render(os.Stdout)
+		return
+	}
+
+	c := &crawler.Client{BaseURL: *server, Workers: 8}
+	meta, err := c.Meta()
+	if err != nil {
+		log.Fatalf("crawl: fetching meta: %v", err)
+	}
+	fmt.Printf("%-14s %12s %10s %12s %16s\n", "Service", "#Categories", "#Queries", "#Entities", "median reviews")
+	for _, ms := range meta.Services {
+		kind := world.ServiceKind(ms.Kind)
+		switch kind {
+		case world.GooglePlay, world.YouTube:
+			s, err := crawler.CrawlInteractions(c, ms.Kind, 1000)
+			if err != nil {
+				log.Fatalf("crawl: %s: %v", ms.Kind, err)
+			}
+			mr, _ := stats.Median(s.Ratios())
+			fmt.Printf("%-14s %12d %10s %12d  interaction/feedback ratio %.0f×\n",
+				ms.Kind, len(ms.Categories), "-", len(s.Interactions), mr)
+		default:
+			m, err := crawler.CrawlService(c, ms)
+			if err != nil {
+				log.Fatalf("crawl: %s: %v", ms.Kind, err)
+			}
+			med, _ := stats.Median(m.ReviewCounts)
+			fmt.Printf("%-14s %12d %10d %12d %16.0f\n",
+				ms.Kind, m.Categories, len(m.Queries), m.TotalEntities(), med)
+		}
+	}
+}

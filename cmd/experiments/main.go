@@ -1,0 +1,195 @@
+// Command experiments regenerates every table and figure in the paper
+// plus the extension experiments E1–E6 (see DESIGN.md's per-experiment
+// index).
+//
+//	experiments -run all                # everything, test scale
+//	experiments -run table1 -scale full # one artifact at paper scale
+//	experiments -run e3 -users 200 -days 120
+//
+// Crawl-backed artifacts (table1, fig1a, fig1b, fig1c) use the directory
+// universe; the rest run a behavioural deployment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"opinions/internal/experiments"
+	"opinions/internal/world"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "experiment id: all | table1 | fig1a | fig1b | fig1c | fig3 | e1 | e2 | e3 | e4 | e5 | e6 | e7 | e8 | e9")
+		scale = flag.String("scale", "test", "crawl universe scale: test | full")
+		seed  = flag.Int64("seed", 5, "seed for the deployment / universe")
+		users = flag.Int("users", 150, "deployment users")
+		days  = flag.Int("days", 90, "deployment days")
+		plot  = flag.Bool("plot", false, "render figures as terminal plots")
+		csv   = flag.String("csv", "", "also export figure series as CSV into this directory")
+	)
+	flag.Parse()
+
+	ids := strings.Split(*run, ",")
+	want := func(id string) bool {
+		for _, x := range ids {
+			if x == "all" || x == id {
+				return true
+			}
+		}
+		return false
+	}
+
+	crawlIDs := []string{"table1", "fig1a", "fig1b", "fig1c"}
+	needCrawl := false
+	for _, id := range crawlIDs {
+		if want(id) {
+			needCrawl = true
+		}
+	}
+	deployIDs := []string{"fig3", "e1", "e2", "e3", "e6", "e7"}
+	needDeploy := false
+	for _, id := range deployIDs {
+		if want(id) {
+			needDeploy = true
+		}
+	}
+
+	var univ *experiments.CrawlUniverse
+	if needCrawl {
+		cfg := world.TestDirectoryConfig()
+		if *scale == "full" {
+			cfg = world.DefaultDirectoryConfig()
+		}
+		cfg.Seed = *seed
+		start := time.Now()
+		var err error
+		univ, err = experiments.BuildCrawlUniverse(cfg)
+		if err != nil {
+			log.Fatalf("experiments: building crawl universe: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "[crawl universe built and crawled in %v]\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	var dep *experiments.Deployment
+	if needDeploy {
+		start := time.Now()
+		var err error
+		dep, err = experiments.RunDeployment(experiments.DeployConfig{
+			Seed: *seed, Users: *users, Days: *days, KeyBits: 1024,
+		})
+		if err != nil {
+			log.Fatalf("experiments: running deployment: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "[deployment of %d users × %d days simulated in %v]\n",
+			*users, *days, time.Since(start).Round(time.Millisecond))
+	}
+
+	section := func(f func()) {
+		f()
+		fmt.Println()
+	}
+	if want("table1") {
+		section(func() { experiments.RunTable1(univ).Render(os.Stdout) })
+	}
+	if want("fig1a") {
+		section(func() {
+			res := experiments.RunFig1a(univ)
+			res.Render(os.Stdout)
+			if *plot {
+				experiments.PlotFig1a(res, os.Stdout)
+			}
+			if *csv != "" {
+				if err := experiments.ExportCSV(*csv, "fig1a", res.VizSeries()); err != nil {
+					log.Fatal(err)
+				}
+			}
+		})
+	}
+	if want("fig1b") {
+		section(func() {
+			res := experiments.RunFig1b(univ)
+			res.Render(os.Stdout)
+			experiments.RenderAnecdotes(univ, os.Stdout)
+			if *plot {
+				experiments.PlotFig1b(res, os.Stdout)
+			}
+			if *csv != "" {
+				if err := experiments.ExportCSV(*csv, "fig1b", res.VizSeries()); err != nil {
+					log.Fatal(err)
+				}
+			}
+		})
+	}
+	if want("fig1c") {
+		section(func() { experiments.RunFig1c(univ).Render(os.Stdout) })
+	}
+	if want("fig3") {
+		section(func() {
+			res, err := experiments.RunFig3(dep)
+			if err != nil {
+				fmt.Printf("fig3: %v\n", err)
+				return
+			}
+			res.Render(os.Stdout)
+		})
+	}
+	if want("e1") {
+		section(func() { experiments.RunE1(dep).Render(os.Stdout) })
+	}
+	if want("e2") {
+		section(func() {
+			res, err := experiments.RunE2(dep)
+			if err != nil {
+				fmt.Printf("e2: %v\n", err)
+				return
+			}
+			res.Render(os.Stdout)
+		})
+	}
+	if want("e3") {
+		section(func() { experiments.RunE3(dep, []int{1, 5, 10}).Render(os.Stdout) })
+	}
+	if want("e4") {
+		section(func() { experiments.RunE4(experiments.DefaultE4Config()).Render(os.Stdout) })
+	}
+	if want("e5") {
+		section(func() {
+			res := experiments.RunE5(experiments.DefaultE5Config())
+			res.Render(os.Stdout)
+			if *plot {
+				experiments.PlotE5(res, os.Stdout)
+			}
+		})
+	}
+	if want("e6") {
+		section(func() { experiments.RunE6(dep).Render(os.Stdout) })
+	}
+	if want("e7") {
+		section(func() { experiments.RunE7(dep).Render(os.Stdout) })
+	}
+	if want("e8") {
+		section(func() {
+			res, err := experiments.RunE8(experiments.DefaultE8Config())
+			if err != nil {
+				fmt.Printf("e8: %v\n", err)
+				return
+			}
+			res.Render(os.Stdout)
+		})
+	}
+	if want("e9") {
+		section(func() {
+			res, err := experiments.RunE9(experiments.DefaultE9Config())
+			if err != nil {
+				fmt.Printf("e9: %v\n", err)
+				return
+			}
+			res.Render(os.Stdout)
+		})
+	}
+}

@@ -1,0 +1,138 @@
+// Command rspd runs the Recommendation Sharing Provider service over
+// HTTP.
+//
+// Two synthetic universes are available:
+//
+//	rspd -world city                 # behavioural city (device agents connect)
+//	rspd -world directory -scale 0.1 # the five measured services (crawler connects)
+//
+// Endpoints are documented in internal/rspserver.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"opinions/internal/core"
+	"opinions/internal/rspserver"
+	"opinions/internal/storage"
+	"opinions/internal/world"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		universe = flag.String("world", "city", "universe to serve: city | directory")
+		scale    = flag.Float64("scale", 0.2, "directory scale (1.0 = paper scale, ~75k entities)")
+		seed     = flag.Int64("seed", 1, "world seed")
+		users    = flag.Int("users", 400, "city users (city world only)")
+		keyBits  = flag.Int("keybits", 2048, "blind-signature RSA key size")
+		dataPath = flag.String("data", "", "snapshot file: loaded on start, saved on shutdown and every -save-every")
+		saveEvr  = flag.Duration("save-every", 5*time.Minute, "periodic snapshot interval (with -data)")
+		epsilon  = flag.Float64("privacy-epsilon", 0, "when >0, release inference aggregates with ε-differential privacy")
+		rateLim  = flag.Int("rate-limit", 600, "per-host HTTP requests per minute (0 disables)")
+		quiet    = flag.Bool("quiet", false, "disable per-request logging")
+	)
+	flag.Parse()
+
+	var catalog []*world.Entity
+	var zips []string
+	switch *universe {
+	case "city":
+		city := world.BuildCity(world.CityConfig{Seed: *seed, NumUsers: *users})
+		catalog = city.Entities
+	case "directory":
+		dir := world.BuildDirectory(world.DirectoryConfig{Seed: *seed, NumZips: 50, Scale: *scale, InteractionEntities: 1000})
+		for _, kind := range world.ReviewServices {
+			catalog = append(catalog, dir.Entities[kind]...)
+		}
+		for _, kind := range world.InteractionServices {
+			catalog = append(catalog, dir.Entities[kind]...)
+		}
+		for _, z := range dir.Zips {
+			zips = append(zips, z.Code)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -world %q (want city or directory)\n", *universe)
+		os.Exit(2)
+	}
+
+	repo, err := core.Open(core.Config{Catalog: catalog, KeyBits: *keyBits, Zips: zips, PrivacyEpsilon: *epsilon})
+	if err != nil {
+		log.Fatalf("opening repository: %v", err)
+	}
+
+	if *dataPath != "" {
+		if snap, err := storage.LoadFile(*dataPath); err == nil {
+			if err := repo.Server().RestoreSnapshot(snap); err != nil {
+				log.Fatalf("restoring %s: %v", *dataPath, err)
+			}
+			log.Printf("rspd: restored snapshot from %s (saved %s)", *dataPath, snap.SavedAt.Format(time.RFC3339))
+		} else if !errors.Is(err, os.ErrNotExist) {
+			log.Fatalf("loading %s: %v", *dataPath, err)
+		}
+	}
+
+	handler := repo.Handler()
+	var mws []rspserver.Middleware
+	if !*quiet {
+		mws = append(mws, rspserver.WithLogging(nil))
+	}
+	if *rateLim > 0 {
+		mws = append(mws, rspserver.WithRateLimit(*rateLim, time.Minute, nil))
+	}
+	handler = rspserver.Chain(handler, mws...)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	save := func(reason string) {
+		if *dataPath == "" {
+			return
+		}
+		if err := storage.SaveFile(*dataPath, repo.Server().Snapshot()); err != nil {
+			log.Printf("rspd: snapshot (%s) failed: %v", reason, err)
+			return
+		}
+		log.Printf("rspd: snapshot saved to %s (%s)", *dataPath, reason)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(*saveEvr)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				save("periodic")
+			case <-stop:
+				save("shutdown")
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				if err := srv.Shutdown(ctx); err != nil {
+					log.Printf("rspd: shutdown: %v", err)
+				}
+				return
+			}
+		}
+	}()
+
+	log.Printf("rspd: serving %d entities (%s world) on %s", len(catalog), *universe, *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("rspd: %v", err)
+	}
+	<-done
+}

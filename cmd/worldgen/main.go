@@ -1,0 +1,77 @@
+// Command worldgen generates a synthetic universe and dumps a summary
+// (or full JSON) for inspection.
+//
+//	worldgen -world city -users 100
+//	worldgen -world directory -scale 0.1 -json > directory.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"opinions/internal/stats"
+	"opinions/internal/world"
+)
+
+func main() {
+	var (
+		universe = flag.String("world", "city", "city | directory")
+		users    = flag.Int("users", 400, "city users")
+		scale    = flag.Float64("scale", 0.2, "directory scale")
+		seed     = flag.Int64("seed", 1, "seed")
+		asJSON   = flag.Bool("json", false, "dump entities as JSON instead of a summary")
+	)
+	flag.Parse()
+
+	switch *universe {
+	case "city":
+		city := world.BuildCity(world.CityConfig{Seed: *seed, NumUsers: *users})
+		if *asJSON {
+			dump(city.Entities)
+			return
+		}
+		fmt.Printf("city: %d users, %d entities\n", len(city.Users), len(city.Entities))
+		for _, cat := range world.PhysicalCategories {
+			fmt.Printf("  %-12s %4d entities\n", cat, len(city.EntitiesByCategory(cat)))
+		}
+		classes := map[world.ParticipationClass]int{}
+		for _, u := range city.Users {
+			classes[u.Class]++
+		}
+		fmt.Printf("  participation: %d heavy / %d occasional / %d lurkers (1/9/90 rule)\n",
+			classes[world.HeavyContributor], classes[world.OccasionalContributor], classes[world.Lurker])
+	case "directory":
+		dir := world.BuildDirectory(world.DirectoryConfig{Seed: *seed, NumZips: 50, Scale: *scale, InteractionEntities: 1000})
+		if *asJSON {
+			var all []*world.Entity
+			for _, kind := range world.ReviewServices {
+				all = append(all, dir.Entities[kind]...)
+			}
+			dump(all)
+			return
+		}
+		fmt.Printf("directory: %d zips\n", len(dir.Zips))
+		for _, kind := range world.ReviewServices {
+			med, _ := stats.Median(dir.ReviewCounts(kind))
+			fmt.Printf("  %-14s %6d entities, median %3.0f reviews, %d categories\n",
+				kind, len(dir.Entities[kind]), med, len(dir.Profiles[kind].Categories))
+		}
+		for _, kind := range world.InteractionServices {
+			fmt.Printf("  %-14s %6d entities (interaction service)\n", kind, len(dir.Entities[kind]))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -world %q\n", *universe)
+		os.Exit(2)
+	}
+}
+
+func dump(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Fatal(err)
+	}
+}

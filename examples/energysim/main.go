@@ -1,0 +1,65 @@
+// Energysim: the §5 "Location tracking" trade-off. Runs the three
+// sensing policies over the same simulated lives and prints battery cost
+// against visit-detection recall, plus a sweep over duty-cycling
+// parameters.
+//
+//	go run ./examples/energysim
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"opinions/internal/experiments"
+	"opinions/internal/interaction"
+	"opinions/internal/mapping"
+	"opinions/internal/sensing"
+	"opinions/internal/stats"
+	"opinions/internal/trace"
+	"opinions/internal/world"
+)
+
+func main() {
+	fmt.Println("comparing sensing policies (experiment E5)...")
+	experiments.RunE5(experiments.E5Config{Seed: 3, Users: 30, Days: 14}).Render(os.Stdout)
+
+	fmt.Println("\nablation: duty-cycle resample interval vs recall")
+	city := world.BuildCity(world.CityConfig{Seed: 3, NumUsers: 20})
+	sim := trace.New(city, trace.Config{Seed: 4, Days: 10})
+	resolver := mapping.NewResolver(city.Entities)
+	detector := interaction.NewDetector(resolver, interaction.Config{})
+	logs := sim.Run()
+
+	fmt.Printf("%-12s %12s %10s\n", "resample", "mAh/day", "recall")
+	for _, every := range []time.Duration{5 * time.Minute, 10 * time.Minute, 20 * time.Minute, 40 * time.Minute} {
+		policy := sensing.DutyCycled{ResampleEvery: every}
+		rng := stats.NewRNG(9)
+		var energy sensing.Energy
+		var tp, total int
+		for _, dl := range logs {
+			samples, e := policy.SampleDay(rng, dl.Segments)
+			energy += e
+			detected := detector.DetectVisits(samples)
+			for _, v := range dl.Visits {
+				if v.Depart.Sub(v.Arrive) < 10*time.Minute {
+					continue
+				}
+				total++
+				for _, rec := range detected {
+					if rec.Entity == v.Entity && rec.Start.Before(v.Depart) && v.Arrive.Before(rec.Start.Add(rec.Duration)) {
+						tp++
+						break
+					}
+				}
+			}
+		}
+		recall := 0.0
+		if total > 0 {
+			recall = float64(tp) / float64(total)
+		}
+		fmt.Printf("%-12v %12.1f %10.2f\n", every, float64(energy)/float64(len(logs)), recall)
+	}
+	fmt.Println("\ntakeaway: 10-minute resampling keeps recall while spending a fraction")
+	fmt.Println("of always-on GPS; beyond ~20 minutes short visits start slipping through.")
+}

@@ -1,0 +1,3 @@
+module opinions
+
+go 1.22

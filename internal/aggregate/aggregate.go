@@ -1,0 +1,273 @@
+// Package aggregate computes the server-side summaries the paper's
+// redesigned search interface exposes: histograms of inferred ratings,
+// and the comparative visualizations of Figure 3 — visits-per-user
+// histograms (3a) and distance-travelled-versus-visits curves (3b) —
+// with explicit accounting for group visits so that "the collective
+// recommendation power of groups does not artificially inflate the
+// aggregate activity associated with an entity" (§4.1).
+//
+// Everything here consumes only anonymous per-(user, entity) histories
+// and anonymous inferred-rating uploads; no user identity exists at this
+// layer by construction.
+package aggregate
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"opinions/internal/history"
+	"opinions/internal/interaction"
+	"opinions/internal/stats"
+)
+
+// OpinionStore accumulates anonymously uploaded inferred ratings per
+// entity. It is the server-side sink for the client pipeline's output.
+// OpinionStore is safe for concurrent use.
+type OpinionStore struct {
+	mu      sync.RWMutex
+	ratings map[string][]float64
+}
+
+// NewOpinionStore returns an empty store.
+func NewOpinionStore() *OpinionStore {
+	return &OpinionStore{ratings: make(map[string][]float64)}
+}
+
+// Add records one inferred rating (clamped to [0, 5]) for an entity.
+func (os *OpinionStore) Add(entityKey string, rating float64) {
+	if rating < 0 {
+		rating = 0
+	}
+	if rating > 5 {
+		rating = 5
+	}
+	os.mu.Lock()
+	defer os.mu.Unlock()
+	os.ratings[entityKey] = append(os.ratings[entityKey], rating)
+}
+
+// Total returns the number of inferred ratings across all entities.
+func (os *OpinionStore) Total() int {
+	os.mu.RLock()
+	defer os.mu.RUnlock()
+	n := 0
+	for _, rs := range os.ratings {
+		n += len(rs)
+	}
+	return n
+}
+
+// Count returns how many inferred ratings an entity has.
+func (os *OpinionStore) Count(entityKey string) int {
+	os.mu.RLock()
+	defer os.mu.RUnlock()
+	return len(os.ratings[entityKey])
+}
+
+// Mean returns the mean inferred rating and whether any exist.
+func (os *OpinionStore) Mean(entityKey string) (float64, bool) {
+	os.mu.RLock()
+	defer os.mu.RUnlock()
+	rs := os.ratings[entityKey]
+	if len(rs) == 0 {
+		return 0, false
+	}
+	var s float64
+	for _, r := range rs {
+		s += r
+	}
+	return s / float64(len(rs)), true
+}
+
+// Histogram returns counts of inferred ratings in 11 half-star bins
+// [0, 0.5), [0.5, 1.0), …, [5.0, 5.0]; the last bin holds exact 5s.
+func (os *OpinionStore) Histogram(entityKey string) [11]int {
+	os.mu.RLock()
+	defer os.mu.RUnlock()
+	var h [11]int
+	for _, r := range os.ratings[entityKey] {
+		i := int(r * 2)
+		if i > 10 {
+			i = 10
+		}
+		h[i]++
+	}
+	return h
+}
+
+// Dump returns a deep copy of all ratings by entity, for snapshotting.
+func (os *OpinionStore) Dump() map[string][]float64 {
+	os.mu.RLock()
+	defer os.mu.RUnlock()
+	out := make(map[string][]float64, len(os.ratings))
+	for k, v := range os.ratings {
+		out[k] = append([]float64(nil), v...)
+	}
+	return out
+}
+
+// Restore replaces the store's contents with the dumped ratings.
+func (os *OpinionStore) Restore(ratings map[string][]float64) {
+	os.mu.Lock()
+	defer os.mu.Unlock()
+	os.ratings = make(map[string][]float64, len(ratings))
+	for k, v := range ratings {
+		os.ratings[k] = append([]float64(nil), v...)
+	}
+}
+
+// GroupWindow is the co-arrival window within which visits to the same
+// entity are treated as one group (§4.1). Anonymous channels hide user
+// identity, but co-arrival is observable server-side from record
+// timestamps.
+const GroupWindow = 12 * time.Minute
+
+// GroupWeight is the effective opinion weight of a detected group of
+// size n: a party of four is stronger evidence than one person but far
+// less than four independent diners.
+func GroupWeight(n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return 1 + math.Log2(float64(n))/4
+}
+
+// VisitCluster is one detected co-arrival group.
+type VisitCluster struct {
+	Start time.Time
+	Size  int
+}
+
+// DedupGroups clusters the visit records of an entity's histories by
+// co-arrival and returns the clusters plus raw and effective interaction
+// counts.
+func DedupGroups(hists []*history.EntityHistory, window time.Duration) (clusters []VisitCluster, raw int, effective float64) {
+	if window <= 0 {
+		window = GroupWindow
+	}
+	var arrivals []time.Time
+	for _, h := range hists {
+		for _, r := range h.Records {
+			if r.Kind == interaction.VisitKind {
+				arrivals = append(arrivals, r.Start)
+			}
+		}
+	}
+	raw = len(arrivals)
+	if raw == 0 {
+		return nil, 0, 0
+	}
+	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i].Before(arrivals[j]) })
+	start := arrivals[0]
+	size := 1
+	for _, t := range arrivals[1:] {
+		if t.Sub(start) <= window {
+			size++
+			continue
+		}
+		clusters = append(clusters, VisitCluster{Start: start, Size: size})
+		effective += GroupWeight(size)
+		start, size = t, 1
+	}
+	clusters = append(clusters, VisitCluster{Start: start, Size: size})
+	effective += GroupWeight(size)
+	return clusters, raw, effective
+}
+
+// EntityAggregate is the comparative-visualization payload for one
+// entity: the data behind Figure 3 plus interaction totals.
+type EntityAggregate struct {
+	Entity string
+	// Users is the number of anonymous histories (≈ distinct users).
+	Users int
+	// VisitsPerUser is Figure 3(a)'s histogram: how many users visited
+	// exactly k times.
+	VisitsPerUser map[int]int
+	// MeanDistanceKmByVisits is Figure 3(b): for users with exactly k
+	// visits, the mean distance travelled per visit, in km.
+	MeanDistanceKmByVisits map[int]float64
+	// RawInteractions and EffectiveInteractions expose group dedup
+	// (§4.1); Effective ≤ Raw when groups are present.
+	RawInteractions       int
+	EffectiveInteractions float64
+	// RepeatFraction is the share of visiting users who came back.
+	RepeatFraction float64
+}
+
+// Build computes the aggregate for one entity from its anonymous
+// histories.
+func Build(entityKey string, hists []*history.EntityHistory) *EntityAggregate {
+	agg := &EntityAggregate{
+		Entity:                 entityKey,
+		Users:                  len(hists),
+		VisitsPerUser:          make(map[int]int),
+		MeanDistanceKmByVisits: make(map[int]float64),
+	}
+	distSum := make(map[int]float64)
+	distN := make(map[int]int)
+	visitors, repeaters := 0, 0
+	for _, h := range hists {
+		visits := 0
+		var dist float64
+		for _, r := range h.Records {
+			if r.Kind != interaction.VisitKind {
+				continue
+			}
+			visits++
+			dist += r.DistanceFrom / 1000
+		}
+		if visits == 0 {
+			continue
+		}
+		visitors++
+		if visits > 1 {
+			repeaters++
+		}
+		agg.VisitsPerUser[visits]++
+		distSum[visits] += dist / float64(visits)
+		distN[visits]++
+	}
+	for k, s := range distSum {
+		agg.MeanDistanceKmByVisits[k] = s / float64(distN[k])
+	}
+	_, raw, eff := DedupGroups(hists, GroupWindow)
+	agg.RawInteractions = raw
+	agg.EffectiveInteractions = eff
+	if visitors > 0 {
+		agg.RepeatFraction = float64(repeaters) / float64(visitors)
+	}
+	return agg
+}
+
+// DistanceVisitCorrelation returns the Pearson correlation between visit
+// count and mean travel distance across an entity's users — the signal
+// Figure 3(b) visualizes ("the average distance travelled is more
+// strongly correlated with the number of visits for dentist B than
+// dentist C"). Returns ok=false when fewer than 3 users visited.
+func DistanceVisitCorrelation(hists []*history.EntityHistory) (float64, bool) {
+	var visits, dists []float64
+	for _, h := range hists {
+		n := 0
+		var d float64
+		for _, r := range h.Records {
+			if r.Kind == interaction.VisitKind {
+				n++
+				d += r.DistanceFrom / 1000
+			}
+		}
+		if n > 0 {
+			visits = append(visits, float64(n))
+			dists = append(dists, d/float64(n))
+		}
+	}
+	if len(visits) < 3 {
+		return 0, false
+	}
+	r, err := stats.Pearson(visits, dists)
+	if err != nil {
+		return 0, false
+	}
+	return r, true
+}

@@ -1,0 +1,195 @@
+package aggregate
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"opinions/internal/history"
+	"opinions/internal/interaction"
+)
+
+var t0 = time.Date(2016, 3, 1, 18, 0, 0, 0, time.UTC)
+
+// hist builds an anonymous history with visits at the given (start,
+// distanceKm) pairs.
+func hist(id string, entity string, visits ...[2]float64) *history.EntityHistory {
+	h := &history.EntityHistory{AnonID: id, Entity: entity}
+	for _, v := range visits {
+		h.Records = append(h.Records, interaction.Record{
+			Entity: entity, Kind: interaction.VisitKind,
+			Start:        t0.Add(time.Duration(v[0] * float64(24*time.Hour))),
+			Duration:     45 * time.Minute,
+			DistanceFrom: v[1] * 1000,
+		})
+	}
+	return h
+}
+
+func TestOpinionStoreBasics(t *testing.T) {
+	os := NewOpinionStore()
+	os.Add("yelp/a", 4.2)
+	os.Add("yelp/a", 3.8)
+	os.Add("yelp/a", 7)  // clamped to 5
+	os.Add("yelp/a", -1) // clamped to 0
+	if n := os.Count("yelp/a"); n != 4 {
+		t.Fatalf("Count = %d", n)
+	}
+	m, ok := os.Mean("yelp/a")
+	if !ok || math.Abs(m-(4.2+3.8+5+0)/4) > 1e-12 {
+		t.Fatalf("Mean = %v, %v", m, ok)
+	}
+	if _, ok := os.Mean("yelp/none"); ok {
+		t.Fatal("mean of empty entity")
+	}
+	h := os.Histogram("yelp/a")
+	if h[8] != 1 || h[7] != 1 || h[10] != 1 || h[0] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestGroupWeight(t *testing.T) {
+	if GroupWeight(1) != 1 || GroupWeight(0) != 1 {
+		t.Fatal("singleton weight != 1")
+	}
+	if w := GroupWeight(4); math.Abs(w-1.5) > 1e-12 {
+		t.Fatalf("GroupWeight(4) = %v, want 1.5", w)
+	}
+	if GroupWeight(8) <= GroupWeight(4) {
+		t.Fatal("weight not increasing")
+	}
+	if GroupWeight(8) >= 8 {
+		t.Fatal("weight not sublinear")
+	}
+}
+
+func TestDedupGroupsClusters(t *testing.T) {
+	// Three diners arrive within 5 minutes (one party), plus one solo
+	// diner two hours later.
+	h1 := &history.EntityHistory{AnonID: "a", Entity: "yelp/r", Records: []interaction.Record{
+		{Entity: "yelp/r", Kind: interaction.VisitKind, Start: t0},
+	}}
+	h2 := &history.EntityHistory{AnonID: "b", Entity: "yelp/r", Records: []interaction.Record{
+		{Entity: "yelp/r", Kind: interaction.VisitKind, Start: t0.Add(3 * time.Minute)},
+	}}
+	h3 := &history.EntityHistory{AnonID: "c", Entity: "yelp/r", Records: []interaction.Record{
+		{Entity: "yelp/r", Kind: interaction.VisitKind, Start: t0.Add(5 * time.Minute)},
+	}}
+	h4 := &history.EntityHistory{AnonID: "d", Entity: "yelp/r", Records: []interaction.Record{
+		{Entity: "yelp/r", Kind: interaction.VisitKind, Start: t0.Add(2 * time.Hour)},
+	}}
+	clusters, raw, eff := DedupGroups([]*history.EntityHistory{h1, h2, h3, h4}, GroupWindow)
+	if raw != 4 {
+		t.Fatalf("raw = %d", raw)
+	}
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(clusters))
+	}
+	if clusters[0].Size != 3 || clusters[1].Size != 1 {
+		t.Fatalf("cluster sizes = %d, %d", clusters[0].Size, clusters[1].Size)
+	}
+	want := GroupWeight(3) + 1
+	if math.Abs(eff-want) > 1e-12 {
+		t.Fatalf("effective = %v, want %v", eff, want)
+	}
+	if eff >= float64(raw) {
+		t.Fatal("dedup did not reduce effective count")
+	}
+}
+
+func TestDedupGroupsEmpty(t *testing.T) {
+	clusters, raw, eff := DedupGroups(nil, 0)
+	if clusters != nil || raw != 0 || eff != 0 {
+		t.Fatalf("empty dedup = %v, %d, %v", clusters, raw, eff)
+	}
+}
+
+func TestDedupIgnoresCalls(t *testing.T) {
+	h := &history.EntityHistory{AnonID: "a", Entity: "yelp/r", Records: []interaction.Record{
+		{Entity: "yelp/r", Kind: interaction.CallKind, Start: t0},
+		{Entity: "yelp/r", Kind: interaction.VisitKind, Start: t0},
+	}}
+	_, raw, _ := DedupGroups([]*history.EntityHistory{h}, GroupWindow)
+	if raw != 1 {
+		t.Fatalf("raw = %d, calls must not count as visits", raw)
+	}
+}
+
+func TestBuildVisitsPerUser(t *testing.T) {
+	// Fig 3(a) shape: dentist B has many repeat patients.
+	hists := []*history.EntityHistory{
+		hist("u1", "yelp/dB", [2]float64{0, 2}, [2]float64{30, 2}, [2]float64{60, 2}),
+		hist("u2", "yelp/dB", [2]float64{5, 3}, [2]float64{40, 3}),
+		hist("u3", "yelp/dB", [2]float64{10, 1}),
+	}
+	agg := Build("yelp/dB", hists)
+	if agg.Users != 3 {
+		t.Fatalf("Users = %d", agg.Users)
+	}
+	if agg.VisitsPerUser[3] != 1 || agg.VisitsPerUser[2] != 1 || agg.VisitsPerUser[1] != 1 {
+		t.Fatalf("VisitsPerUser = %v", agg.VisitsPerUser)
+	}
+	if math.Abs(agg.RepeatFraction-2.0/3) > 1e-12 {
+		t.Fatalf("RepeatFraction = %v", agg.RepeatFraction)
+	}
+	if math.Abs(agg.MeanDistanceKmByVisits[3]-2) > 1e-9 {
+		t.Fatalf("MeanDistanceKmByVisits[3] = %v", agg.MeanDistanceKmByVisits[3])
+	}
+}
+
+func TestBuildSkipsCallOnlyHistories(t *testing.T) {
+	callOnly := &history.EntityHistory{AnonID: "x", Entity: "yelp/p", Records: []interaction.Record{
+		{Entity: "yelp/p", Kind: interaction.CallKind, Start: t0},
+	}}
+	agg := Build("yelp/p", []*history.EntityHistory{callOnly})
+	if len(agg.VisitsPerUser) != 0 {
+		t.Fatalf("call-only history counted as visitor: %v", agg.VisitsPerUser)
+	}
+	if agg.RepeatFraction != 0 {
+		t.Fatalf("RepeatFraction = %v", agg.RepeatFraction)
+	}
+}
+
+func TestDistanceVisitCorrelation(t *testing.T) {
+	// Dentist B: distance grows with visits (loyal patients travel).
+	var histsB []*history.EntityHistory
+	for i := 1; i <= 10; i++ {
+		visits := make([][2]float64, i)
+		for k := range visits {
+			visits[k] = [2]float64{float64(k * 10), float64(i)} // dist ∝ visits
+		}
+		histsB = append(histsB, hist(fmt.Sprintf("b%d", i), "yelp/dB", visits...))
+	}
+	rB, ok := DistanceVisitCorrelation(histsB)
+	if !ok || rB < 0.9 {
+		t.Fatalf("dentist B correlation = %v, %v", rB, ok)
+	}
+	// Dentist C: distance unrelated to visits.
+	var histsC []*history.EntityHistory
+	dists := []float64{5, 1, 4, 2, 5, 1, 3, 2, 4, 1}
+	for i := 1; i <= 10; i++ {
+		visits := make([][2]float64, i)
+		for k := range visits {
+			visits[k] = [2]float64{float64(k * 10), dists[i-1]}
+		}
+		histsC = append(histsC, hist(fmt.Sprintf("c%d", i), "yelp/dC", visits...))
+	}
+	rC, ok := DistanceVisitCorrelation(histsC)
+	if !ok {
+		t.Fatal("no correlation computed for C")
+	}
+	if rB <= rC {
+		t.Fatalf("B correlation %v not above C %v (Fig 3b shape)", rB, rC)
+	}
+}
+
+func TestDistanceVisitCorrelationTooFew(t *testing.T) {
+	if _, ok := DistanceVisitCorrelation(nil); ok {
+		t.Fatal("correlation from no data")
+	}
+	hists := []*history.EntityHistory{hist("a", "e", [2]float64{0, 1})}
+	if _, ok := DistanceVisitCorrelation(hists); ok {
+		t.Fatal("correlation from one user")
+	}
+}

@@ -1,0 +1,94 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"opinions/internal/history"
+	"opinions/internal/interaction"
+)
+
+// Property: GroupWeight(1) == 1, it grows with size, and stays strictly
+// sublinear — a party of n is never worth n independent opinions.
+func TestGroupWeightProperties(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := int(raw%63) + 2 // 2..64
+		w := GroupWeight(n)
+		return w > GroupWeight(n-1) || n == 2 && w > 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	for n := 2; n <= 64; n++ {
+		if w := GroupWeight(n); w >= float64(n) {
+			t.Fatalf("GroupWeight(%d) = %v, not sublinear", n, w)
+		}
+	}
+}
+
+// Property: for any arrival pattern, effective ≤ raw, effective ≥
+// number of clusters, and cluster sizes sum to raw.
+func TestDedupGroupsInvariants(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		var hists []*history.EntityHistory
+		for i, off := range offsets {
+			hists = append(hists, &history.EntityHistory{
+				AnonID: string(rune('a' + i%26)),
+				Entity: "e",
+				Records: []interaction.Record{{
+					Entity: "e", Kind: interaction.VisitKind,
+					Start: t0.Add(time.Duration(off) * time.Minute),
+				}},
+			})
+		}
+		clusters, raw, eff := DedupGroups(hists, GroupWindow)
+		if raw != len(offsets) {
+			return false
+		}
+		if eff > float64(raw)+1e-9 || eff < float64(len(clusters))-1e-9 {
+			return false
+		}
+		total := 0
+		for _, c := range clusters {
+			total += c.Size
+		}
+		return total == raw
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: OpinionStore clamps everything into [0,5] and the histogram
+// always sums to Count.
+func TestOpinionStoreInvariants(t *testing.T) {
+	f := func(ratings []float64) bool {
+		os := NewOpinionStore()
+		for _, r := range ratings {
+			if math.IsNaN(r) {
+				continue
+			}
+			os.Add("e", r)
+		}
+		h := os.Histogram("e")
+		sum := 0
+		for _, c := range h {
+			sum += c
+		}
+		if sum != os.Count("e") {
+			return false
+		}
+		if m, ok := os.Mean("e"); ok && (m < 0 || m > 5) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package anonymity
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"opinions/internal/interaction"
+	"opinions/internal/stats"
+)
+
+var t0 = time.Date(2016, 3, 1, 19, 0, 0, 0, time.UTC)
+
+func upload(id string) Upload {
+	return Upload{AnonID: id, Entity: "yelp/a", Record: &interaction.Record{Entity: "yelp/a", Start: t0}}
+}
+
+func TestMixDelaysWithinWindow(t *testing.T) {
+	m := NewMix(time.Hour, 4*time.Hour, stats.NewRNG(1))
+	for i := 0; i < 100; i++ {
+		m.Submit(upload(fmt.Sprintf("u%d", i)), t0)
+	}
+	if got := m.Flush(t0.Add(59 * time.Minute)); len(got) != 0 {
+		t.Fatalf("released %d uploads before min delay", len(got))
+	}
+	mid := m.Flush(t0.Add(2 * time.Hour))
+	rest := m.Flush(t0.Add(4 * time.Hour))
+	if len(mid) == 0 || len(rest) == 0 {
+		t.Fatalf("delays not spread: mid=%d rest=%d", len(mid), len(rest))
+	}
+	if len(mid)+len(rest) != 100 {
+		t.Fatalf("lost uploads: %d+%d", len(mid), len(rest))
+	}
+	if m.Pending() != 0 {
+		t.Fatalf("pending = %d after full flush", m.Pending())
+	}
+}
+
+func TestMixShufflesOrder(t *testing.T) {
+	m := NewMix(0, time.Minute, stats.NewRNG(3))
+	const n = 50
+	for i := 0; i < n; i++ {
+		m.Submit(upload(fmt.Sprintf("u%02d", i)), t0)
+	}
+	out := m.Flush(t0.Add(2 * time.Minute))
+	if len(out) != n {
+		t.Fatalf("flushed %d", len(out))
+	}
+	inOrder := true
+	for i := 1; i < n; i++ {
+		if out[i].AnonID < out[i-1].AnonID {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Fatal("flush preserved submission order; not shuffled")
+	}
+}
+
+func TestMixDefaults(t *testing.T) {
+	m := NewMix(-time.Hour, 0, stats.NewRNG(1))
+	m.Submit(upload("a"), t0)
+	// Default max delay is 6h; everything must be out by then.
+	if got := m.Flush(t0.Add(6*time.Hour + time.Second)); len(got) != 1 {
+		t.Fatalf("flushed %d", len(got))
+	}
+}
+
+func TestMixMinAboveMax(t *testing.T) {
+	m := NewMix(10*time.Hour, time.Hour, stats.NewRNG(1))
+	m.Submit(upload("a"), t0)
+	if got := m.Flush(t0.Add(time.Hour)); len(got) != 1 {
+		t.Fatalf("min>max not clamped: flushed %d", len(got))
+	}
+}
+
+func TestLinkScore(t *testing.T) {
+	a := []time.Time{t0, t0.Add(10 * time.Minute), t0.Add(20 * time.Minute)}
+	b := []time.Time{t0.Add(30 * time.Second), t0.Add(10*time.Minute + 45*time.Second)}
+	s := LinkScore(a, b, time.Minute)
+	if s < 0.65 || s > 0.67 {
+		t.Fatalf("LinkScore = %v, want 2/3", s)
+	}
+	if LinkScore(nil, b, time.Minute) != 0 || LinkScore(a, nil, time.Minute) != 0 {
+		t.Fatal("empty traces should score 0")
+	}
+}
+
+func TestAdversaryLinksUnmixedChannels(t *testing.T) {
+	// Without mixing, a user's channels emit at nearly the same times:
+	// the adversary should link them.
+	var traces []ChannelTrace
+	var owners []string
+	rng := stats.NewRNG(5)
+	for u := 0; u < 10; u++ {
+		// Each user uploads for 2 entities at correlated times.
+		base := t0.Add(time.Duration(u) * 13 * time.Hour)
+		var times1, times2 []time.Time
+		for k := 0; k < 8; k++ {
+			ti := base.Add(time.Duration(k) * 26 * time.Hour)
+			times1 = append(times1, ti)
+			times2 = append(times2, ti.Add(time.Duration(rng.Intn(30))*time.Second))
+		}
+		traces = append(traces,
+			ChannelTrace{AnonID: fmt.Sprintf("u%d-e1", u), Arrivals: times1},
+			ChannelTrace{AnonID: fmt.Sprintf("u%d-e2", u), Arrivals: times2})
+		owners = append(owners, fmt.Sprintf("u%d", u), fmt.Sprintf("u%d", u))
+	}
+	adv := Adversary{Epsilon: 2 * time.Minute}
+	acc := Accuracy(adv.LinkAll(traces), owners)
+	if acc < 0.9 {
+		t.Fatalf("adversary accuracy on unmixed channels = %v, want ≥0.9", acc)
+	}
+}
+
+func TestAdversaryDefeatedByMixing(t *testing.T) {
+	// With randomized multi-hour delays, the same correlated workload
+	// should no longer be linkable.
+	rng := stats.NewRNG(7)
+	var traces []ChannelTrace
+	var owners []string
+	for u := 0; u < 10; u++ {
+		base := t0.Add(time.Duration(u) * 13 * time.Hour)
+		var times1, times2 []time.Time
+		for k := 0; k < 8; k++ {
+			ti := base.Add(time.Duration(k) * 26 * time.Hour)
+			d1 := time.Duration(rng.Float64() * float64(6*time.Hour))
+			d2 := time.Duration(rng.Float64() * float64(6*time.Hour))
+			times1 = append(times1, ti.Add(d1))
+			times2 = append(times2, ti.Add(d2))
+		}
+		traces = append(traces,
+			ChannelTrace{AnonID: fmt.Sprintf("u%d-e1", u), Arrivals: times1},
+			ChannelTrace{AnonID: fmt.Sprintf("u%d-e2", u), Arrivals: times2})
+		owners = append(owners, fmt.Sprintf("u%d", u), fmt.Sprintf("u%d", u))
+	}
+	adv := Adversary{Epsilon: 2 * time.Minute}
+	acc := Accuracy(adv.LinkAll(traces), owners)
+	if acc > 0.4 {
+		t.Fatalf("adversary accuracy on mixed channels = %v, want low", acc)
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy not 0")
+	}
+}
+
+func TestAdversaryNoMatchIsSafe(t *testing.T) {
+	traces := []ChannelTrace{
+		{AnonID: "a", Arrivals: []time.Time{t0}},
+		{AnonID: "b", Arrivals: []time.Time{t0.Add(100 * time.Hour)}},
+	}
+	links := Adversary{}.LinkAll(traces)
+	if links[0] != -1 || links[1] != -1 {
+		t.Fatalf("links = %v, want no matches", links)
+	}
+}

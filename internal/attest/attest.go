@@ -1,0 +1,198 @@
+// Package attest implements the remote-attestation skeleton §4.3 calls
+// for: "RSPs can employ remote attestation [31, 26] to confirm that the
+// client has not been modified."
+//
+// The trust anchor is simulated (there is no TPM in a simulation), but
+// the protocol is the real shape: at provisioning, a device receives an
+// attestation key known to the verifier; to attest, the verifier issues
+// a single-use nonce and the device returns a quote binding (nonce,
+// measurement) under its key, where the measurement is the digest of the
+// client build it is running. The verifier accepts only known-good
+// measurements, so a modified client — the §4.3 attacker who "modif[ies]
+// the RSP's app ... to upload fake information" — cannot obtain a valid
+// quote. Freshness of the nonce prevents replay.
+package attest
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"opinions/internal/simclock"
+)
+
+// Measurement is the digest of a client build.
+type Measurement [32]byte
+
+// MeasureBuild digests a client build's contents. In production this is
+// the platform's integrity measurement of the app binary; here it is a
+// plain SHA-256 over the build bytes.
+func MeasureBuild(build []byte) Measurement { return sha256.Sum256(build) }
+
+// String renders the measurement as hex.
+func (m Measurement) String() string { return hex.EncodeToString(m[:]) }
+
+// Quote is a device's attestation response.
+type Quote struct {
+	DeviceID    string
+	Nonce       []byte
+	Measurement Measurement
+	MAC         []byte // HMAC(AK, nonce || measurement)
+}
+
+// Device is the client side: it holds the provisioning key and produces
+// quotes over the build it actually runs.
+type Device struct {
+	ID    string
+	ak    []byte
+	build []byte
+}
+
+// NewDevice provisions a device with an attestation key and its build.
+func NewDevice(id string, ak, build []byte) *Device {
+	return &Device{ID: id, ak: append([]byte(nil), ak...), build: append([]byte(nil), build...)}
+}
+
+// Attest produces a quote for the verifier's nonce.
+func (d *Device) Attest(nonce []byte) Quote {
+	m := MeasureBuild(d.build)
+	return Quote{
+		DeviceID:    d.ID,
+		Nonce:       append([]byte(nil), nonce...),
+		Measurement: m,
+		MAC:         quoteMAC(d.ak, nonce, m),
+	}
+}
+
+// Tamper replaces the device's build, modelling a modified client. The
+// attestation key survives (the attacker has the phone), but the
+// measurement changes.
+func (d *Device) Tamper(newBuild []byte) { d.build = append([]byte(nil), newBuild...) }
+
+func quoteMAC(ak, nonce []byte, m Measurement) []byte {
+	mac := hmac.New(sha256.New, ak)
+	mac.Write(nonce)
+	mac.Write(m[:])
+	return mac.Sum(nil)
+}
+
+// Verifier is the RSP side: it provisions devices, issues nonces, and
+// verifies quotes against known-good measurements.
+type Verifier struct {
+	clock simclock.Clock
+	// Validity is how long a successful attestation vouches for a
+	// device (default 24h).
+	Validity time.Duration
+
+	mu       sync.Mutex
+	keys     map[string][]byte // deviceID → AK
+	good     map[Measurement]bool
+	nonces   map[string]time.Time // outstanding nonce (hex) → issue time
+	attested map[string]time.Time // deviceID → last success
+}
+
+// NewVerifier returns a verifier trusting the given build measurements.
+func NewVerifier(clock simclock.Clock, goodBuilds ...Measurement) *Verifier {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	v := &Verifier{
+		clock:    clock,
+		Validity: 24 * time.Hour,
+		keys:     make(map[string][]byte),
+		good:     make(map[Measurement]bool),
+		nonces:   make(map[string]time.Time),
+		attested: make(map[string]time.Time),
+	}
+	for _, m := range goodBuilds {
+		v.good[m] = true
+	}
+	return v
+}
+
+// AddGoodBuild trusts an additional build (a new app release).
+func (v *Verifier) AddGoodBuild(m Measurement) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.good[m] = true
+}
+
+// Provision registers a device's attestation key (done once, at
+// install, over the authenticated store channel).
+func (v *Verifier) Provision(deviceID string, ak []byte) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.keys[deviceID] = append([]byte(nil), ak...)
+}
+
+// nonceTTL bounds how long an issued nonce stays redeemable.
+const nonceTTL = 5 * time.Minute
+
+// Challenge issues a fresh single-use nonce. rng defaults to
+// crypto/rand.Reader when nil.
+func (v *Verifier) Challenge(rng io.Reader) ([]byte, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	nonce := make([]byte, 16)
+	if _, err := io.ReadFull(rng, nonce); err != nil {
+		return nil, fmt.Errorf("attest: drawing nonce: %w", err)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.nonces[hex.EncodeToString(nonce)] = v.clock.Now()
+	return nonce, nil
+}
+
+// Attestation errors.
+var (
+	ErrUnknownDevice  = errors.New("attest: device not provisioned")
+	ErrStaleNonce     = errors.New("attest: nonce unknown, expired, or reused")
+	ErrBadQuote       = errors.New("attest: quote MAC invalid")
+	ErrUntrustedBuild = errors.New("attest: measurement is not a known-good build")
+)
+
+// Verify checks a quote; on success the device is marked attested until
+// Validity elapses.
+func (v *Verifier) Verify(q Quote) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	now := v.clock.Now()
+	ak, ok := v.keys[q.DeviceID]
+	if !ok {
+		return ErrUnknownDevice
+	}
+	nk := hex.EncodeToString(q.Nonce)
+	issued, ok := v.nonces[nk]
+	if !ok || now.Sub(issued) > nonceTTL {
+		delete(v.nonces, nk)
+		return ErrStaleNonce
+	}
+	delete(v.nonces, nk) // single use
+	if !hmac.Equal(q.MAC, quoteMAC(ak, q.Nonce, q.Measurement)) {
+		return ErrBadQuote
+	}
+	if !v.good[q.Measurement] {
+		return ErrUntrustedBuild
+	}
+	v.attested[q.DeviceID] = now
+	return nil
+}
+
+// IsAttested reports whether the device has a valid, unexpired
+// attestation.
+func (v *Verifier) IsAttested(deviceID string) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	t, ok := v.attested[deviceID]
+	if !ok {
+		return false
+	}
+	return v.clock.Now().Sub(t) <= v.Validity
+}

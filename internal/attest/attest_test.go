@@ -1,0 +1,127 @@
+package attest
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"opinions/internal/simclock"
+)
+
+var (
+	goodBuild = []byte("official-client-v1.0")
+	akey      = []byte("attestation-key-device-1")
+)
+
+func setup(t *testing.T) (*Verifier, *Device, *simclock.Sim) {
+	t.Helper()
+	clock := simclock.NewSim(simclock.Epoch)
+	v := NewVerifier(clock, MeasureBuild(goodBuild))
+	d := NewDevice("dev1", akey, goodBuild)
+	v.Provision("dev1", akey)
+	return v, d, clock
+}
+
+func TestHonestClientAttests(t *testing.T) {
+	v, d, _ := setup(t)
+	nonce, err := v.Challenge(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Verify(d.Attest(nonce)); err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsAttested("dev1") {
+		t.Fatal("device not marked attested")
+	}
+}
+
+func TestModifiedClientRejected(t *testing.T) {
+	v, d, _ := setup(t)
+	d.Tamper([]byte("patched client that uploads fake recommendations"))
+	nonce, _ := v.Challenge(nil)
+	err := v.Verify(d.Attest(nonce))
+	if !errors.Is(err, ErrUntrustedBuild) {
+		t.Fatalf("err = %v, want ErrUntrustedBuild", err)
+	}
+	if v.IsAttested("dev1") {
+		t.Fatal("tampered device marked attested")
+	}
+}
+
+func TestForgedQuoteRejected(t *testing.T) {
+	v, d, _ := setup(t)
+	nonce, _ := v.Challenge(nil)
+	q := d.Attest(nonce)
+	// Attacker claims the good measurement but cannot produce its MAC.
+	q.Measurement = MeasureBuild(goodBuild)
+	q.MAC[0] ^= 1
+	if err := v.Verify(q); !errors.Is(err, ErrBadQuote) {
+		t.Fatalf("err = %v, want ErrBadQuote", err)
+	}
+}
+
+func TestNonceSingleUse(t *testing.T) {
+	v, d, _ := setup(t)
+	nonce, _ := v.Challenge(nil)
+	q := d.Attest(nonce)
+	if err := v.Verify(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Verify(q); !errors.Is(err, ErrStaleNonce) {
+		t.Fatalf("replayed quote err = %v, want ErrStaleNonce", err)
+	}
+}
+
+func TestNonceExpiry(t *testing.T) {
+	v, d, clock := setup(t)
+	nonce, _ := v.Challenge(nil)
+	clock.Advance(6 * time.Minute)
+	if err := v.Verify(d.Attest(nonce)); !errors.Is(err, ErrStaleNonce) {
+		t.Fatalf("expired nonce err = %v", err)
+	}
+}
+
+func TestUnprovisionedDevice(t *testing.T) {
+	v, _, _ := setup(t)
+	ghost := NewDevice("ghost", []byte("self-chosen key"), goodBuild)
+	nonce, _ := v.Challenge(nil)
+	if err := v.Verify(ghost.Attest(nonce)); !errors.Is(err, ErrUnknownDevice) {
+		t.Fatalf("err = %v, want ErrUnknownDevice", err)
+	}
+}
+
+func TestAttestationExpires(t *testing.T) {
+	v, d, clock := setup(t)
+	nonce, _ := v.Challenge(nil)
+	if err := v.Verify(d.Attest(nonce)); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(25 * time.Hour)
+	if v.IsAttested("dev1") {
+		t.Fatal("attestation did not expire")
+	}
+}
+
+func TestNewReleaseTrustedAfterAddGoodBuild(t *testing.T) {
+	v, d, _ := setup(t)
+	v2build := []byte("official-client-v2.0")
+	d.Tamper(v2build) // device upgraded
+	nonce, _ := v.Challenge(nil)
+	if err := v.Verify(d.Attest(nonce)); !errors.Is(err, ErrUntrustedBuild) {
+		t.Fatalf("unreleased build err = %v", err)
+	}
+	v.AddGoodBuild(MeasureBuild(v2build))
+	nonce, _ = v.Challenge(nil)
+	if err := v.Verify(d.Attest(nonce)); err != nil {
+		t.Fatalf("released build rejected: %v", err)
+	}
+}
+
+func TestMeasurementStringStable(t *testing.T) {
+	a := MeasureBuild([]byte("x"))
+	b := MeasureBuild([]byte("x"))
+	if a.String() != b.String() || len(a.String()) != 64 {
+		t.Fatal("measurement string unstable")
+	}
+}

@@ -1,0 +1,65 @@
+package blindsig
+
+import (
+	"crypto/rand"
+	"testing"
+	"time"
+)
+
+func benchIssuer(b *testing.B) *Issuer {
+	b.Helper()
+	is, err := NewIssuer(1024, 1<<30, time.Hour, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return is
+}
+
+func BenchmarkBlind(b *testing.B) {
+	is := benchIssuer(b)
+	msg := []byte("serial")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Blind(is.PublicKey(), msg, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	is := benchIssuer(b)
+	blinded, _, err := Blind(is.PublicKey(), []byte("serial"), rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := is.Sign("dev", blinded); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	is := benchIssuer(b)
+	tok, err := RequestToken(is, "dev", rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Verify(is.PublicKey(), tok.Msg, tok.Sig) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func BenchmarkFullTokenProtocol(b *testing.B) {
+	is := benchIssuer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RequestToken(is, "dev", rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package blindsig
+
+import (
+	"crypto/rand"
+	"errors"
+	"math/big"
+	"testing"
+	"time"
+
+	"opinions/internal/simclock"
+)
+
+// testIssuer uses a small key for test speed; production uses ≥2048.
+func testIssuer(t *testing.T, rate int, period time.Duration, clock simclock.Clock) *Issuer {
+	t.Helper()
+	is, err := NewIssuer(1024, rate, period, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return is
+}
+
+func TestBlindSignRoundTrip(t *testing.T) {
+	is := testIssuer(t, 10, time.Hour, nil)
+	msg := []byte("token-serial-1")
+	blinded, unblind, err := Blind(is.PublicKey(), msg, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blindSig, err := is.Sign("device-a", blinded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := unblind(blindSig)
+	if !Verify(is.PublicKey(), msg, sig) {
+		t.Fatal("unblinded signature does not verify")
+	}
+	if Verify(is.PublicKey(), []byte("other"), sig) {
+		t.Fatal("signature verifies for a different message")
+	}
+}
+
+func TestIssuerNeverSeesMessage(t *testing.T) {
+	// The blinded value must not equal H(msg); blinding must actually
+	// transform it.
+	is := testIssuer(t, 10, time.Hour, nil)
+	msg := []byte("secret")
+	b1, _, err := Blind(is.PublicKey(), msg, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _, err := Blind(is.PublicKey(), msg, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Cmp(b2) == 0 {
+		t.Fatal("two blindings of the same message are identical; blinding factor ignored")
+	}
+	if b1.Cmp(hashToInt(msg)) == 0 {
+		t.Fatal("blinded value equals message hash")
+	}
+}
+
+func TestRateLimit(t *testing.T) {
+	clock := simclock.NewSim(simclock.Epoch)
+	is := testIssuer(t, 2, 24*time.Hour, clock)
+	for i := 0; i < 2; i++ {
+		if _, err := RequestToken(is, "dev", rand.Reader); err != nil {
+			t.Fatalf("token %d: %v", i, err)
+		}
+	}
+	if _, err := RequestToken(is, "dev", rand.Reader); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("third token err = %v, want ErrRateLimited", err)
+	}
+	// Another device is unaffected.
+	if _, err := RequestToken(is, "dev2", rand.Reader); err != nil {
+		t.Fatalf("other device: %v", err)
+	}
+	// After the period passes the budget refills.
+	clock.Advance(25 * time.Hour)
+	if _, err := RequestToken(is, "dev", rand.Reader); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+}
+
+func TestRedeemOnce(t *testing.T) {
+	is := testIssuer(t, 10, time.Hour, nil)
+	tok, err := RequestToken(is, "dev", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := NewRedeemer(is.PublicKey())
+	if err := rd.Redeem(tok); err != nil {
+		t.Fatalf("first redeem: %v", err)
+	}
+	if err := rd.Redeem(tok); !errors.Is(err, ErrTokenSpent) {
+		t.Fatalf("second redeem err = %v, want ErrTokenSpent", err)
+	}
+}
+
+func TestRedeemForged(t *testing.T) {
+	is := testIssuer(t, 10, time.Hour, nil)
+	rd := NewRedeemer(is.PublicKey())
+	forged := Token{Msg: []byte("forged"), Sig: big.NewInt(12345)}
+	if err := rd.Redeem(forged); !errors.Is(err, ErrTokenInvalid) {
+		t.Fatalf("forged redeem err = %v, want ErrTokenInvalid", err)
+	}
+}
+
+func TestSignRejectsOutOfRange(t *testing.T) {
+	is := testIssuer(t, 10, time.Hour, nil)
+	if _, err := is.Sign("dev", nil); err == nil {
+		t.Error("nil blinded accepted")
+	}
+	if _, err := is.Sign("dev", big.NewInt(0)); err == nil {
+		t.Error("zero blinded accepted")
+	}
+	tooBig := new(big.Int).Add(is.PublicKey().N, big.NewInt(1))
+	if _, err := is.Sign("dev", tooBig); err == nil {
+		t.Error("oversized blinded accepted")
+	}
+}
+
+func TestNewIssuerValidation(t *testing.T) {
+	if _, err := NewIssuer(1024, 0, time.Hour, nil); err == nil {
+		t.Error("rate 0 accepted")
+	}
+	if _, err := NewIssuer(1024, 1, 0, nil); err == nil {
+		t.Error("period 0 accepted")
+	}
+}
+
+func TestVerifyNilInputs(t *testing.T) {
+	is := testIssuer(t, 1, time.Hour, nil)
+	if Verify(nil, []byte("m"), big.NewInt(1)) {
+		t.Error("nil key verified")
+	}
+	if Verify(is.PublicKey(), []byte("m"), nil) {
+		t.Error("nil sig verified")
+	}
+}
+
+func TestBlindNilKey(t *testing.T) {
+	if _, _, err := Blind(nil, []byte("m"), rand.Reader); err == nil {
+		t.Error("nil key accepted")
+	}
+}
+
+func TestTokensAreUnlinkable(t *testing.T) {
+	// Two tokens issued to the same device must share no bytes of
+	// serial: the issuer cannot recognize them at redemption.
+	is := testIssuer(t, 10, time.Hour, nil)
+	t1, err := RequestToken(is, "dev", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := RequestToken(is, "dev", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(t1.Msg) == string(t2.Msg) {
+		t.Fatal("two tokens share a serial")
+	}
+	rd := NewRedeemer(is.PublicKey())
+	if err := rd.Redeem(t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.Redeem(t2); err != nil {
+		t.Fatal(err)
+	}
+}

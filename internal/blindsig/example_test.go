@@ -1,0 +1,28 @@
+package blindsig_test
+
+import (
+	"crypto/rand"
+	"fmt"
+	"time"
+
+	"opinions/internal/blindsig"
+)
+
+// The full §4.2 token flow: the issuer signs blindly, the device
+// unblinds, the redeemer accepts each token exactly once.
+func Example() {
+	issuer, err := blindsig.NewIssuer(1024, 10, time.Hour, nil)
+	if err != nil {
+		panic(err)
+	}
+	token, err := blindsig.RequestToken(issuer, "device-1", rand.Reader)
+	if err != nil {
+		panic(err)
+	}
+	redeemer := blindsig.NewRedeemer(issuer.PublicKey())
+	fmt.Println("first redeem:", redeemer.Redeem(token))
+	fmt.Println("replay:", redeemer.Redeem(token) == blindsig.ErrTokenSpent)
+	// Output:
+	// first redeem: <nil>
+	// replay: true
+}

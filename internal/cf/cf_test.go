@@ -1,0 +1,206 @@
+package cf
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"opinions/internal/stats"
+)
+
+func TestPredictFromSimilarItems(t *testing.T) {
+	// Users who like A like B (positive A-B similarity); C pairs with D
+	// at the bottom of everyone's scale (positive C-D similarity).
+	var ratings []Rating
+	for i := 0; i < 10; i++ {
+		u := fmt.Sprintf("u%d", i)
+		ratings = append(ratings,
+			Rating{User: u, Item: "A", Value: 4.5 + 0.05*float64(i%2)},
+			Rating{User: u, Item: "B", Value: 4.4 + 0.05*float64(i%3)},
+			Rating{User: u, Item: "C", Value: 1 + 0.1*float64(i%2)},
+			Rating{User: u, Item: "D", Value: 1.2 + 0.1*float64(i%3)},
+		)
+	}
+	// A new user rated A highly and D poorly; B should predict high,
+	// C low, via their respective positive-similarity neighbors.
+	ratings = append(ratings,
+		Rating{User: "new", Item: "A", Value: 5},
+		Rating{User: "new", Item: "D", Value: 1},
+	)
+	m := Train(ratings, 10)
+	b, okB := m.Predict("new", "B")
+	c, okC := m.Predict("new", "C")
+	if !okB || !okC {
+		t.Fatalf("predictions missing: B ok=%v C ok=%v", okB, okC)
+	}
+	if b <= c {
+		t.Fatalf("B (%v) not preferred over C (%v)", b, c)
+	}
+}
+
+func TestPredictNoBasis(t *testing.T) {
+	m := Train([]Rating{
+		{User: "a", Item: "X", Value: 4},
+		{User: "b", Item: "Y", Value: 3},
+	}, 10)
+	// No co-rated items → no similarity → no prediction.
+	if _, ok := m.Predict("a", "Y"); ok {
+		t.Fatal("predicted without any similarity basis")
+	}
+	// Unknown user.
+	if _, ok := m.Predict("ghost", "X"); ok {
+		t.Fatal("predicted for unknown user")
+	}
+}
+
+func TestSparsityFailureMode(t *testing.T) {
+	// §3.1's argument: every user rated exactly one plumber, so no
+	// item pair has co-raters, so CF covers nobody.
+	var ratings []Rating
+	for i := 0; i < 30; i++ {
+		ratings = append(ratings, Rating{
+			User: fmt.Sprintf("u%d", i), Item: fmt.Sprintf("plumber%d", i%10), Value: 4,
+		})
+	}
+	m := Train(ratings, 10)
+	var users, items []string
+	for i := 0; i < 30; i++ {
+		users = append(users, fmt.Sprintf("u%d", i))
+	}
+	for i := 0; i < 10; i++ {
+		items = append(items, fmt.Sprintf("plumber%d", i))
+	}
+	if cov := m.Coverage(users, items); cov != 0 {
+		t.Fatalf("coverage = %v, want 0 for one-item-per-user sparsity", cov)
+	}
+}
+
+func TestDenseDomainsCovered(t *testing.T) {
+	// With overlapping restaurant ratings CF works fine.
+	rng := stats.NewRNG(1)
+	var ratings []Rating
+	nItems := 15
+	for i := 0; i < 60; i++ {
+		u := fmt.Sprintf("u%d", i)
+		for k := 0; k < 5; k++ {
+			item := fmt.Sprintf("r%d", rng.Intn(nItems))
+			ratings = append(ratings, Rating{User: u, Item: item, Value: 1 + 4*rng.Float64()})
+		}
+	}
+	m := Train(ratings, 10)
+	var users, items []string
+	for i := 0; i < 60; i++ {
+		users = append(users, fmt.Sprintf("u%d", i))
+	}
+	for i := 0; i < nItems; i++ {
+		items = append(items, fmt.Sprintf("r%d", i))
+	}
+	if cov := m.Coverage(users, items); cov < 0.7 {
+		t.Fatalf("dense-domain coverage = %v, want high", cov)
+	}
+}
+
+func TestRecommendExcludesRated(t *testing.T) {
+	var ratings []Rating
+	for i := 0; i < 8; i++ {
+		u := fmt.Sprintf("u%d", i)
+		ratings = append(ratings,
+			Rating{User: u, Item: "A", Value: 5},
+			Rating{User: u, Item: "B", Value: 4},
+		)
+	}
+	m := Train(ratings, 10)
+	recs := m.Recommend("u0", []string{"A", "B"}, 10)
+	for _, r := range recs {
+		if r.Item == "A" || r.Item == "B" {
+			t.Fatalf("recommended already-rated item %s", r.Item)
+		}
+	}
+}
+
+func TestPredictionsClamped(t *testing.T) {
+	var ratings []Rating
+	for i := 0; i < 6; i++ {
+		u := fmt.Sprintf("u%d", i)
+		ratings = append(ratings,
+			Rating{User: u, Item: "A", Value: 5},
+			Rating{User: u, Item: "B", Value: 5},
+		)
+	}
+	ratings = append(ratings, Rating{User: "x", Item: "A", Value: 5},
+		Rating{User: "x", Item: "B", Value: 4})
+	m := Train(ratings, 10)
+	if v, ok := m.Predict("x", "B"); ok && (v < 0 || v > 5) {
+		t.Fatalf("prediction %v out of range", v)
+	}
+}
+
+func TestNeighborhoodBounded(t *testing.T) {
+	rng := stats.NewRNG(2)
+	var ratings []Rating
+	for i := 0; i < 40; i++ {
+		u := fmt.Sprintf("u%d", i)
+		for j := 0; j < 30; j++ {
+			ratings = append(ratings, Rating{User: u, Item: fmt.Sprintf("i%d", j), Value: 1 + 4*rng.Float64()})
+		}
+	}
+	m := Train(ratings, 5)
+	for item, ns := range m.sims {
+		if len(ns) > 5 {
+			t.Fatalf("item %s has %d neighbors, K=5", item, len(ns))
+		}
+		for i := 1; i < len(ns); i++ {
+			if ns[i].Sim > ns[i-1].Sim {
+				t.Fatal("neighbors not sorted")
+			}
+		}
+	}
+}
+
+func TestAdjustedCosineHandlesScaleBias(t *testing.T) {
+	// Two users with identical preferences but different scales must
+	// still produce positive A-B similarity.
+	ratings := []Rating{
+		{User: "harsh", Item: "A", Value: 3}, {User: "harsh", Item: "B", Value: 2.5}, {User: "harsh", Item: "C", Value: 1},
+		{User: "kind", Item: "A", Value: 5}, {User: "kind", Item: "B", Value: 4.5}, {User: "kind", Item: "C", Value: 3},
+	}
+	m := Train(ratings, 10)
+	found := false
+	for _, n := range m.sims["A"] {
+		if n.Item == "B" && n.Sim > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("A-B similarity missing despite consistent preferences")
+	}
+}
+
+func TestCoverageEmptyUsers(t *testing.T) {
+	m := Train(nil, 0)
+	if got := m.Coverage(nil, nil); got != 0 {
+		t.Fatalf("coverage of nothing = %v", got)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	rng := stats.NewRNG(3)
+	var ratings []Rating
+	for i := 0; i < 50; i++ {
+		ratings = append(ratings, Rating{
+			User: fmt.Sprintf("u%d", i%12), Item: fmt.Sprintf("i%d", rng.Intn(8)), Value: math.Round(1 + 4*rng.Float64()),
+		})
+	}
+	a := Train(ratings, 6)
+	b := Train(ratings, 6)
+	for item := range a.sims {
+		if len(a.sims[item]) != len(b.sims[item]) {
+			t.Fatal("similarity lists differ across identical trainings")
+		}
+		for i := range a.sims[item] {
+			if a.sims[item][i] != b.sims[item][i] {
+				t.Fatal("neighbor order differs")
+			}
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package cf_test
+
+import (
+	"fmt"
+
+	"opinions/internal/cf"
+)
+
+// The §3.1 failure mode, concretely: when every user has rated exactly
+// one plumber, item-based CF has nothing to correlate and covers no one.
+func ExampleModel_Coverage() {
+	var ratings []cf.Rating
+	users := []string{"u1", "u2", "u3", "u4"}
+	for i, u := range users {
+		ratings = append(ratings, cf.Rating{
+			User: u, Item: fmt.Sprintf("plumber%d", i), Value: 4,
+		})
+	}
+	model := cf.Train(ratings, 10)
+	items := []string{"plumber0", "plumber1", "plumber2", "plumber3"}
+	fmt.Printf("CF coverage: %.0f%%\n", model.Coverage(users, items)*100)
+	// Output:
+	// CF coverage: 0%
+}

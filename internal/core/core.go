@@ -1,0 +1,143 @@
+// Package core is the public face of the library: one handle — the
+// Repository — that wires together everything the paper's vision needs.
+//
+// A Repository is a comprehensive repository of opinions: the classic
+// explicit-review service, plus the implicit-inference machinery
+// (anonymous per-(user, entity) histories, inferred-opinion summaries,
+// blind-signed upload tokens, fraud sweeping) and the device-agent
+// factory that feeds it. Downstream users embed it in three ways:
+//
+//   - serve it: Handler() exposes the full HTTP API (cmd/rspd);
+//   - embed it: Search/Describe/PostReview/Train operate in-process;
+//   - extend it: NewDeviceAgent returns a fully wired client agent
+//     bound to this repository, for simulations and tests.
+package core
+
+import (
+	"net/http"
+	"time"
+
+	"opinions/internal/rspclient"
+	"opinions/internal/rspserver"
+	"opinions/internal/search"
+	"opinions/internal/simclock"
+	"opinions/internal/world"
+)
+
+// Config configures a Repository.
+type Config struct {
+	// Catalog is the entity directory the repository serves. Required.
+	Catalog []*world.Entity
+	// Clock defaults to the real clock; simulations pass a simclock.Sim.
+	Clock simclock.Clock
+	// TokenRate/TokenPeriod bound per-device upload tokens (defaults
+	// 50 per 24h).
+	TokenRate   int
+	TokenPeriod time.Duration
+	// KeyBits sizes the blind-signature key (default 2048).
+	KeyBits int
+	// Zips optionally fixes the /api/meta query locations.
+	Zips []string
+	// PrivacyEpsilon, when positive, publishes inference aggregates with
+	// ε-differential privacy (see internal/dp).
+	PrivacyEpsilon float64
+}
+
+// Repository is the assembled system.
+type Repository struct {
+	srv   *rspserver.Server
+	clock simclock.Clock
+}
+
+// Open builds a Repository.
+func Open(cfg Config) (*Repository, error) {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	srv, err := rspserver.New(rspserver.Config{
+		Catalog:        cfg.Catalog,
+		Clock:          clock,
+		TokenRate:      cfg.TokenRate,
+		TokenPeriod:    cfg.TokenPeriod,
+		KeyBits:        cfg.KeyBits,
+		Zips:           cfg.Zips,
+		PrivacyEpsilon: cfg.PrivacyEpsilon,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Repository{srv: srv, clock: clock}, nil
+}
+
+// Handler returns the repository's HTTP API.
+func (r *Repository) Handler() http.Handler { return r.srv.Handler() }
+
+// Server exposes the underlying RSP server for advanced composition.
+func (r *Repository) Server() *rspserver.Server { return r.srv }
+
+// Search answers a (service, zip, category) query with ranked results
+// combining explicit reviews, inferred opinions, and comparative
+// visualization data.
+func (r *Repository) Search(q search.Query) []search.Result {
+	return r.srv.Engine().Search(q)
+}
+
+// Describe returns the full evidence view of one entity by key.
+func (r *Repository) Describe(entityKey string) (search.Result, bool) {
+	ent := r.srv.Engine().Entity(entityKey)
+	if ent == nil {
+		return search.Result{}, false
+	}
+	return r.srv.Engine().Describe(ent), true
+}
+
+// PostReview records an explicit review, exactly as today's RSPs do.
+func (r *Repository) PostReview(entityKey, author string, rating float64, text string) error {
+	t := &rspclient.LocalTransport{Server: r.srv, Clock: r.clock}
+	return t.PostReview(entityKey, author, rating, text)
+}
+
+// NewDeviceAgent returns a device agent bound to this repository
+// in-process. The caller feeds it trace.DayLog observations and flushes
+// its uploads; see rspclient.Agent.
+func (r *Repository) NewDeviceAgent(cfg rspclient.Config) (*rspclient.Agent, error) {
+	a := rspclient.NewAgent(cfg, &rspclient.LocalTransport{Server: r.srv, Clock: r.clock})
+	if err := a.Bootstrap(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// TrainModel fits the inference model from the training pairs volunteered
+// so far and makes it available to agents.
+func (r *Repository) TrainModel() error {
+	_, err := r.srv.Retrain()
+	return err
+}
+
+// SweepFraud runs the §4.3 typical-user sweep, discarding anomalous
+// histories. Returns (scanned, discarded).
+func (r *Repository) SweepFraud() (int, int) { return r.srv.FraudSweep() }
+
+// Stats summarizes repository contents.
+type Stats struct {
+	Entities         int
+	Reviews          int
+	Histories        int
+	HistoryRecords   int
+	InferredOpinions int
+}
+
+// Stats returns current totals.
+func (r *Repository) Stats() Stats {
+	rev, ops, hists := r.srv.Stores()
+	hs := hists.Stats()
+	return Stats{
+		Entities:         len(r.srv.Catalog()),
+		Reviews:          rev.TotalReviews(),
+		Histories:        hs.Histories,
+		HistoryRecords:   hs.Records,
+		InferredOpinions: ops.Total(),
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"opinions/internal/rspclient"
+	"opinions/internal/search"
+	"opinions/internal/simclock"
+	"opinions/internal/trace"
+	"opinions/internal/world"
+)
+
+func testRepo(t *testing.T) (*Repository, *world.City) {
+	t.Helper()
+	city := world.BuildCity(world.CityConfig{Seed: 31, NumUsers: 20})
+	repo, err := Open(Config{
+		Catalog:   city.Entities,
+		Clock:     simclock.NewSim(simclock.Epoch),
+		KeyBits:   512,
+		TokenRate: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repo, city
+}
+
+func TestOpenAndSearch(t *testing.T) {
+	repo, _ := testRepo(t)
+	results := repo.Search(search.Query{Service: world.Yelp, Zip: "48104", Category: "restaurant"})
+	if len(results) == 0 {
+		t.Fatal("no restaurants")
+	}
+}
+
+func TestPostReviewAndDescribe(t *testing.T) {
+	repo, city := testRepo(t)
+	key := city.Entities[0].Key()
+	if err := repo.PostReview(key, "alice", 4.5, "great"); err != nil {
+		t.Fatal(err)
+	}
+	res, ok := repo.Describe(key)
+	if !ok || res.ReviewCount != 1 {
+		t.Fatalf("Describe = %+v, %v", res.ReviewCount, ok)
+	}
+	if _, ok := repo.Describe("nope/x"); ok {
+		t.Fatal("described a ghost")
+	}
+	if repo.Stats().Reviews != 1 {
+		t.Fatalf("stats = %+v", repo.Stats())
+	}
+}
+
+func TestDeviceAgentRoundTrip(t *testing.T) {
+	repo, city := testRepo(t)
+	sim := trace.New(city, trace.Config{Seed: 31, Days: 10})
+	agent, err := repo.NewDeviceAgent(rspclient.Config{DeviceID: "d", Author: "a", Seed: 1, MixMax: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := city.Users[0]
+	for d := 0; d < sim.Days(); d++ {
+		for _, dl := range sim.SimulateDate(d) {
+			if dl.User == u.ID {
+				if _, err := agent.ProcessDay(dl); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if _, err := agent.FlushUploads(sim.Start().AddDate(0, 0, 11)); err != nil {
+		t.Fatal(err)
+	}
+	if repo.Stats().HistoryRecords == 0 {
+		t.Fatal("no records reached the repository")
+	}
+}
+
+func TestHandlerServesHTTP(t *testing.T) {
+	repo, _ := testRepo(t)
+	ts := httptest.NewServer(repo.Handler())
+	defer ts.Close()
+	transport := &rspclient.HTTPTransport{BaseURL: ts.URL}
+	dir, err := transport.FetchDirectory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dir) == 0 {
+		t.Fatal("empty directory over HTTP")
+	}
+}
+
+func TestTrainModelWithoutData(t *testing.T) {
+	repo, _ := testRepo(t)
+	if err := repo.TrainModel(); err == nil {
+		t.Fatal("trained a model from nothing")
+	}
+}
+
+func TestSweepFraudEmpty(t *testing.T) {
+	repo, _ := testRepo(t)
+	scanned, discarded := repo.SweepFraud()
+	if scanned != 0 || discarded != 0 {
+		t.Fatalf("sweep on empty store = %d, %d", scanned, discarded)
+	}
+}

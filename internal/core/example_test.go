@@ -1,0 +1,33 @@
+package core_test
+
+import (
+	"fmt"
+
+	"opinions/internal/core"
+	"opinions/internal/search"
+	"opinions/internal/simclock"
+	"opinions/internal/world"
+)
+
+// Open a repository over a synthetic city, post a review, and search.
+func Example() {
+	city := world.BuildCity(world.CityConfig{Seed: 1, NumUsers: 10})
+	repo, err := core.Open(core.Config{
+		Catalog: city.Entities,
+		Clock:   simclock.NewSim(simclock.Epoch),
+		KeyBits: 512,
+	})
+	if err != nil {
+		panic(err)
+	}
+	target := city.EntitiesByCategory("restaurant")[0]
+	if err := repo.PostReview(target.Key(), "alice", 4.5, "lovely"); err != nil {
+		panic(err)
+	}
+	results := repo.Search(search.Query{
+		Service: world.Yelp, Zip: "48104", Category: "restaurant", Limit: 1,
+	})
+	fmt.Println(results[0].Entity.Key() == target.Key(), results[0].ReviewCount)
+	// Output:
+	// true 1
+}

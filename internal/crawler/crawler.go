@@ -1,0 +1,280 @@
+// Package crawler replicates the paper's §2 measurement methodology over
+// the RSP's HTTP API: "On all three services, we issue a number of
+// queries and crawl the reviews associated with each of the results.
+// Each query comprises the combination of a zipcode within the US and a
+// category."
+//
+// The crawler discovers the query surface from /api/meta, issues every
+// (zip, category) query with a bounded worker pool, deduplicates
+// entities across queries, and assembles the per-service measurement
+// that Table 1 and Figure 1(a)/(b) summarize. A separate pass samples
+// interaction-bearing services (Play, YouTube) for Figure 1(c).
+package crawler
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"opinions/internal/rspserver"
+)
+
+// Client is an HTTP client for one RSP endpoint. It is a polite
+// crawler: per-worker delays space requests out, and transient failures
+// (network errors, 5xx, 429) retry with exponential backoff, so a
+// long-running measurement (the full §2 study is 1,850 queries) survives
+// flaky paths without hammering the service.
+type Client struct {
+	// BaseURL is the server root.
+	BaseURL string
+	// HTTP defaults to http.DefaultClient.
+	HTTP *http.Client
+	// Workers bounds query concurrency (default 8).
+	Workers int
+	// Delay is the politeness pause before each request (default none;
+	// real-service crawls should set ≥ 1s).
+	Delay time.Duration
+	// Retries is how many times transient failures retry (default 3).
+	Retries int
+	// Backoff is the initial retry backoff, doubled per attempt
+	// (default 100ms).
+	Backoff time.Duration
+	// Sleep is swappable for tests; defaults to time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return 8
+}
+
+func (c *Client) sleep(d time.Duration) {
+	if c.Sleep != nil {
+		c.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// transientStatus reports whether a status is worth retrying.
+func transientStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+func (c *Client) getJSON(path string, out any) error {
+	retries := c.Retries
+	if retries <= 0 {
+		retries = 3
+	}
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			c.sleep(backoff)
+			backoff *= 2
+		}
+		if c.Delay > 0 {
+			c.sleep(c.Delay)
+		}
+		resp, err := c.httpClient().Get(c.BaseURL + path)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("crawler: GET %s: status %d: %s", path, resp.StatusCode, body)
+			if transientStatus(resp.StatusCode) {
+				continue
+			}
+			return lastErr
+		}
+		err = json.NewDecoder(resp.Body).Decode(out)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = fmt.Errorf("crawler: GET %s: decoding: %w", path, err)
+			continue
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// Meta fetches the service universe description.
+func (c *Client) Meta() (rspserver.MetaResponse, error) {
+	var m rspserver.MetaResponse
+	err := c.getJSON("/api/meta", &m)
+	return m, err
+}
+
+// Search issues one (service, zip, category) query.
+func (c *Client) Search(service, zip, category string) ([]rspserver.WireResult, error) {
+	path := fmt.Sprintf("/api/search?service=%s&zip=%s&category=%s",
+		url.QueryEscape(service), url.QueryEscape(zip), url.QueryEscape(category))
+	var out []rspserver.WireResult
+	err := c.getJSON(path, &out)
+	return out, err
+}
+
+// Directory lists a service's entities.
+func (c *Client) Directory(service string) ([]rspserver.WireEntity, error) {
+	var out []rspserver.WireEntity
+	err := c.getJSON("/api/directory?service="+url.QueryEscape(service), &out)
+	return out, err
+}
+
+// QueryResult is the crawl outcome of one (zip, category) query.
+type QueryResult struct {
+	Zip      string
+	Category string
+	// Results is the number of entities the query returned.
+	Results int
+	// AtLeast50 is the number of results with ≥50 reviews — the Figure
+	// 1(b) statistic.
+	AtLeast50 int
+}
+
+// ServiceMeasurement aggregates one service's crawl (one row of Table 1
+// plus the raw material of Figure 1a/b).
+type ServiceMeasurement struct {
+	Service    string
+	Categories int
+	Queries    []QueryResult
+	// ReviewCounts has one entry per distinct entity discovered.
+	ReviewCounts []float64
+}
+
+// TotalEntities is the Table 1 entity count.
+func (m *ServiceMeasurement) TotalEntities() int { return len(m.ReviewCounts) }
+
+// PerQueryAtLeast50 extracts the Figure 1(b) sample.
+func (m *ServiceMeasurement) PerQueryAtLeast50() []float64 {
+	out := make([]float64, len(m.Queries))
+	for i, q := range m.Queries {
+		out[i] = float64(q.AtLeast50)
+	}
+	return out
+}
+
+// CrawlService issues every (zip, category) query for one service with a
+// bounded worker pool and assembles the measurement.
+func CrawlService(c *Client, svc rspserver.MetaService) (*ServiceMeasurement, error) {
+	type query struct{ zip, cat string }
+	var queries []query
+	for _, z := range svc.Zips {
+		for _, cat := range svc.Categories {
+			queries = append(queries, query{z, cat})
+		}
+	}
+
+	m := &ServiceMeasurement{Service: svc.Kind, Categories: len(svc.Categories)}
+	var mu sync.Mutex
+	seen := make(map[string]bool)
+	var firstErr error
+
+	jobs := make(chan query)
+	var wg sync.WaitGroup
+	for w := 0; w < c.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := range jobs {
+				results, err := c.Search(svc.Kind, q.zip, q.cat)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				qr := QueryResult{Zip: q.zip, Category: q.cat, Results: len(results)}
+				for _, r := range results {
+					if r.ReviewCount >= 50 {
+						qr.AtLeast50++
+					}
+					if !seen[r.Entity.Key] {
+						seen[r.Entity.Key] = true
+						m.ReviewCounts = append(m.ReviewCounts, float64(r.ReviewCount))
+					}
+				}
+				m.Queries = append(m.Queries, qr)
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, q := range queries {
+		jobs <- q
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// Deterministic ordering regardless of worker interleaving.
+	sort.Slice(m.Queries, func(i, j int) bool {
+		if m.Queries[i].Zip != m.Queries[j].Zip {
+			return m.Queries[i].Zip < m.Queries[j].Zip
+		}
+		return m.Queries[i].Category < m.Queries[j].Category
+	})
+	sort.Float64s(m.ReviewCounts)
+	return m, nil
+}
+
+// InteractionSample is Figure 1(c)'s raw material for one service: per
+// entity, the implicit interaction count and the explicit feedback
+// count.
+type InteractionSample struct {
+	Service      string
+	Interactions []float64
+	Feedback     []float64
+}
+
+// Ratios returns interactions/feedback per entity (entities with zero
+// feedback are skipped).
+func (s *InteractionSample) Ratios() []float64 {
+	var out []float64
+	for i := range s.Interactions {
+		if s.Feedback[i] > 0 {
+			out = append(out, s.Interactions[i]/s.Feedback[i])
+		}
+	}
+	return out
+}
+
+// CrawlInteractions samples up to limit entities of an
+// interaction-bearing service (paper: 1000 random apps / videos).
+func CrawlInteractions(c *Client, service string, limit int) (*InteractionSample, error) {
+	ents, err := c.Directory(service)
+	if err != nil {
+		return nil, err
+	}
+	if limit > 0 && limit < len(ents) {
+		ents = ents[:limit]
+	}
+	s := &InteractionSample{Service: service}
+	for _, e := range ents {
+		s.Interactions = append(s.Interactions, float64(e.Interactions))
+		s.Feedback = append(s.Feedback, float64(e.Feedback))
+	}
+	return s, nil
+}

@@ -1,0 +1,210 @@
+package crawler
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"opinions/internal/rspserver"
+	"opinions/internal/stats"
+	"opinions/internal/world"
+)
+
+func crawlServer(t *testing.T) (*world.Directory, *httptest.Server) {
+	t.Helper()
+	dir := world.BuildDirectory(world.TestDirectoryConfig())
+	var catalog []*world.Entity
+	for _, kind := range append(append([]world.ServiceKind{}, world.ReviewServices...), world.InteractionServices...) {
+		catalog = append(catalog, dir.Entities[kind]...)
+	}
+	var zips []string
+	for _, z := range dir.Zips {
+		zips = append(zips, z.Code)
+	}
+	srv, err := rspserver.New(rspserver.Config{Catalog: catalog, KeyBits: 1024, Zips: zips})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return dir, ts
+}
+
+func TestMetaDiscovery(t *testing.T) {
+	_, ts := crawlServer(t)
+	c := &Client{BaseURL: ts.URL}
+	meta, err := c.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.Services) != 5 {
+		t.Fatalf("services = %d, want 5", len(meta.Services))
+	}
+	for _, s := range meta.Services {
+		if len(s.Categories) == 0 {
+			t.Fatalf("service %s has no categories", s.Kind)
+		}
+	}
+}
+
+func TestCrawlServiceMatchesDirectory(t *testing.T) {
+	dir, ts := crawlServer(t)
+	c := &Client{BaseURL: ts.URL, Workers: 4}
+	meta, err := c.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var yelpMeta rspserver.MetaService
+	for _, s := range meta.Services {
+		if s.Kind == string(world.Yelp) {
+			yelpMeta = s
+		}
+	}
+	m, err := CrawlService(c, yelpMeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalEntities() != len(dir.Entities[world.Yelp]) {
+		t.Fatalf("crawled %d entities, directory has %d", m.TotalEntities(), len(dir.Entities[world.Yelp]))
+	}
+	if len(m.Queries) != dir.QueryCount(world.Yelp) {
+		t.Fatalf("crawled %d queries, want %d", len(m.Queries), dir.QueryCount(world.Yelp))
+	}
+	// Review-count median must match the directory's ground truth.
+	gotMed, _ := stats.Median(m.ReviewCounts)
+	wantMed, _ := stats.Median(dir.ReviewCounts(world.Yelp))
+	if gotMed != wantMed {
+		t.Fatalf("crawled median %v != directory median %v", gotMed, wantMed)
+	}
+}
+
+func TestCrawlDeterministicAcrossRuns(t *testing.T) {
+	_, ts := crawlServer(t)
+	c := &Client{BaseURL: ts.URL, Workers: 7}
+	meta, _ := c.Meta()
+	var hg rspserver.MetaService
+	for _, s := range meta.Services {
+		if s.Kind == string(world.Healthgrades) {
+			hg = s
+		}
+	}
+	a, err := CrawlService(c, hg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrawlService(c, hg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Queries) != len(b.Queries) {
+		t.Fatal("query counts differ")
+	}
+	for i := range a.Queries {
+		if a.Queries[i] != b.Queries[i] {
+			t.Fatalf("query %d differs despite sorting", i)
+		}
+	}
+}
+
+func TestCrawlInteractions(t *testing.T) {
+	_, ts := crawlServer(t)
+	c := &Client{BaseURL: ts.URL}
+	s, err := CrawlInteractions(c, string(world.GooglePlay), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Interactions) != 100 {
+		t.Fatalf("sampled %d entities", len(s.Interactions))
+	}
+	ratios := s.Ratios()
+	if len(ratios) == 0 {
+		t.Fatal("no ratios")
+	}
+	med, _ := stats.Median(ratios)
+	if med < 10 {
+		t.Fatalf("median ratio = %v, want ≥10 (Fig 1c shape)", med)
+	}
+}
+
+func TestCrawlAgainstDeadServer(t *testing.T) {
+	c := &Client{BaseURL: "http://127.0.0.1:1"}
+	if _, err := c.Meta(); err == nil {
+		t.Fatal("no error from dead server")
+	}
+	if _, err := CrawlService(c, rspserver.MetaService{
+		Kind: "yelp", Zips: []string{"1"}, Categories: []string{"c"},
+	}); err == nil {
+		t.Fatal("no error from dead server crawl")
+	}
+}
+
+func TestCrawlErrorStatus(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL}
+	if _, err := c.Meta(); err == nil {
+		t.Fatal("500 not surfaced")
+	}
+}
+
+func TestRetryOnTransientFailure(t *testing.T) {
+	attempts := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		if attempts < 3 {
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"services":[]}`))
+	}))
+	defer ts.Close()
+	var slept []time.Duration
+	c := &Client{BaseURL: ts.URL, Retries: 3, Backoff: time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	if _, err := c.Meta(); err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+	if len(slept) != 2 || slept[1] != 2*slept[0] {
+		t.Fatalf("backoff pattern = %v, want doubling", slept)
+	}
+}
+
+func TestNoRetryOnPermanentFailure(t *testing.T) {
+	attempts := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		http.Error(w, "nope", http.StatusNotFound)
+	}))
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL, Retries: 3, Sleep: func(time.Duration) {}}
+	if _, err := c.Meta(); err == nil {
+		t.Fatal("404 succeeded")
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (no retry on 404)", attempts)
+	}
+}
+
+func TestPolitenessDelay(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"services":[]}`))
+	}))
+	defer ts.Close()
+	var slept []time.Duration
+	c := &Client{BaseURL: ts.URL, Delay: 50 * time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	if _, err := c.Meta(); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 || slept[0] != 50*time.Millisecond {
+		t.Fatalf("delay pattern = %v", slept)
+	}
+}

@@ -1,0 +1,159 @@
+package dp
+
+import (
+	"math"
+	"testing"
+
+	"opinions/internal/stats"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, eps := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("epsilon %v accepted", eps)
+				}
+			}()
+			New(eps, stats.NewRNG(1))
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil rng accepted")
+			}
+		}()
+		New(1, nil)
+	}()
+}
+
+func TestLaplaceNoiseScale(t *testing.T) {
+	m := New(1, stats.NewRNG(2))
+	// Laplace(0, 1/ε) with ε=1 has stddev √2·b = √2.
+	const n = 50000
+	var sum, ss float64
+	for i := 0; i < n; i++ {
+		v := m.laplace(1)
+		sum += v
+		ss += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(ss/n - mean*mean)
+	if math.Abs(mean) > 0.03 {
+		t.Fatalf("noise mean = %v, want ~0", mean)
+	}
+	if math.Abs(sd-math.Sqrt2) > 0.05 {
+		t.Fatalf("noise sd = %v, want √2", sd)
+	}
+}
+
+func TestCountNonNegativeAndUnbiasedish(t *testing.T) {
+	m := New(1, stats.NewRNG(3))
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := m.Count(50)
+		if v < 0 {
+			t.Fatal("negative released count")
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-50) > 0.5 {
+		t.Fatalf("released mean = %v, want ~50", mean)
+	}
+}
+
+func TestHistogramPreservesShapeAtScale(t *testing.T) {
+	m := New(1, stats.NewRNG(4))
+	truth := map[int]int{1: 400, 2: 200, 3: 50, 4: 10}
+	rel := m.Histogram(truth)
+	if len(rel) != len(truth) {
+		t.Fatalf("bins = %d", len(rel))
+	}
+	// With counts ≫ 1/ε the ordering survives noising.
+	if !(rel[1] > rel[2] && rel[2] > rel[3] && rel[3] > rel[4]) {
+		t.Fatalf("shape destroyed: %v", rel)
+	}
+	for _, v := range rel {
+		if v < 0 {
+			t.Fatal("negative bin")
+		}
+	}
+}
+
+func TestSmallCountsGetRealNoise(t *testing.T) {
+	// The privacy case that motivates the package: a dentist with 3
+	// patients. Released values must actually vary.
+	m := New(1, stats.NewRNG(5))
+	distinct := map[float64]bool{}
+	for i := 0; i < 100; i++ {
+		distinct[m.Count(3)] = true
+	}
+	if len(distinct) < 50 {
+		t.Fatalf("only %d distinct releases of a small count", len(distinct))
+	}
+}
+
+func TestFixedHistogram(t *testing.T) {
+	m := New(2, stats.NewRNG(6))
+	var truth [11]int
+	truth[8] = 100
+	rel := m.FixedHistogram(truth)
+	if rel[8] < 80 || rel[8] > 120 {
+		t.Fatalf("dominant bin = %v", rel[8])
+	}
+	for _, v := range rel {
+		if v < 0 {
+			t.Fatal("negative bin")
+		}
+	}
+}
+
+func TestMeanBoundedAndSuppressed(t *testing.T) {
+	m := New(1, stats.NewRNG(7))
+	// Large population: close to truth.
+	var hits int
+	for i := 0; i < 200; i++ {
+		v, ok := m.Mean(4.0*1000, 1000, 0, 5)
+		if !ok {
+			continue
+		}
+		hits++
+		if v < 0 || v > 5 {
+			t.Fatalf("released mean %v out of bounds", v)
+		}
+		if math.Abs(v-4.0) > 0.5 {
+			t.Fatalf("released mean %v far from 4.0 at n=1000", v)
+		}
+	}
+	if hits < 190 {
+		t.Fatalf("large population suppressed %d/200 times", 200-hits)
+	}
+	// Tiny population: frequently suppressed.
+	suppressed := 0
+	for i := 0; i < 200; i++ {
+		if _, ok := m.Mean(4.0*1, 1, 0, 5); !ok {
+			suppressed++
+		}
+	}
+	if suppressed < 100 {
+		t.Fatalf("n=1 suppressed only %d/200 times", suppressed)
+	}
+	if _, ok := m.Mean(1, 10, 5, 5); ok {
+		t.Fatal("degenerate bounds accepted")
+	}
+}
+
+func TestSmallerEpsilonMoreNoise(t *testing.T) {
+	noisy := New(0.1, stats.NewRNG(8))
+	tight := New(5, stats.NewRNG(8))
+	var devNoisy, devTight float64
+	for i := 0; i < 5000; i++ {
+		devNoisy += math.Abs(noisy.Count(100) - 100)
+		devTight += math.Abs(tight.Count(100) - 100)
+	}
+	if devNoisy <= devTight*5 {
+		t.Fatalf("ε=0.1 deviation %v not ≫ ε=5 deviation %v", devNoisy, devTight)
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"opinions/internal/crawler"
+	"opinions/internal/world"
+)
+
+// Anecdotes reproduces the paper's illustrative sentences from the
+// crawl: "though Yelp returns 127 Chinese restaurants near zipcode
+// 19120 (Philadelphia), only 4 of these results have 50 or more
+// reviews. Similarly, Healthgrades lists 248 dentists near zipcode
+// 11368 (New York), but only 13 have over 50 reviews." We print the
+// same sentences for the densest matching queries in the synthetic
+// crawl.
+func Anecdotes(u *CrawlUniverse) []string {
+	var out []string
+	if q, ok := densestQuery(u.Measurements[world.Yelp], "chinese"); ok {
+		out = append(out, fmt.Sprintf(
+			"Yelp returns %d Chinese restaurants near zipcode %s, but only %d have 50 or more reviews.",
+			q.Results, q.Zip, q.AtLeast50))
+	}
+	if q, ok := densestQuery(u.Measurements[world.Healthgrades], "dentist"); ok {
+		out = append(out, fmt.Sprintf(
+			"Healthgrades lists %d dentists near zipcode %s, but only %d have over 50 reviews.",
+			q.Results, q.Zip, q.AtLeast50))
+	}
+	return out
+}
+
+// densestQuery returns the category's query with the most results.
+func densestQuery(m *crawler.ServiceMeasurement, category string) (crawler.QueryResult, bool) {
+	if m == nil {
+		return crawler.QueryResult{}, false
+	}
+	best := crawler.QueryResult{}
+	found := false
+	for _, q := range m.Queries {
+		if q.Category != category {
+			continue
+		}
+		if !found || q.Results > best.Results {
+			best = q
+			found = true
+		}
+	}
+	return best, found
+}
+
+// RenderAnecdotes prints the sentences.
+func RenderAnecdotes(u *CrawlUniverse, w io.Writer) {
+	fmt.Fprintln(w, "Paper-style anecdotes from the densest crawled queries (§2):")
+	for _, s := range Anecdotes(u) {
+		fmt.Fprintln(w, " ", s)
+	}
+}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"opinions/internal/stats"
+	"opinions/internal/world"
+)
+
+// paperTable1 is what the paper reports, for side-by-side rendering.
+var paperTable1 = map[world.ServiceKind]struct {
+	categories int
+	entities   int
+}{
+	world.Yelp:         {9, 24417},
+	world.AngiesList:   {24, 26066},
+	world.Healthgrades: {4, 24922},
+}
+
+// paperFig1aMedians: median reviews per entity (Fig 1a narrative).
+var paperFig1aMedians = map[world.ServiceKind]float64{
+	world.Yelp: 25, world.AngiesList: 8, world.Healthgrades: 5,
+}
+
+// paperFig1bMedians: median per-query results with ≥50 reviews.
+var paperFig1bMedians = map[world.ServiceKind]float64{
+	world.Yelp: 12, world.AngiesList: 2, world.Healthgrades: 1,
+}
+
+// Table1Result reproduces Table 1: "Summary of measurements."
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1Row is one service's row.
+type Table1Row struct {
+	Service         string
+	Categories      int
+	Entities        int
+	PaperCategories int
+	PaperEntities   int
+}
+
+// RunTable1 crawls the universe and assembles Table 1.
+func RunTable1(u *CrawlUniverse) *Table1Result {
+	res := &Table1Result{}
+	for _, kind := range world.ReviewServices {
+		m := u.Measurements[kind]
+		p := paperTable1[kind]
+		res.Rows = append(res.Rows, Table1Row{
+			Service:         string(kind),
+			Categories:      m.Categories,
+			Entities:        m.TotalEntities(),
+			PaperCategories: p.categories,
+			PaperEntities:   p.entities,
+		})
+	}
+	return res
+}
+
+// Render prints the table with paper-reported values alongside.
+func (r *Table1Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: Summary of measurements (measured vs paper)")
+	fmt.Fprintf(w, "%-14s %12s %12s %14s %14s\n", "Service", "#Categories", "#Entities", "paper #Cat", "paper #Ent")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-14s %12d %12d %14d %14d\n",
+			row.Service, row.Categories, row.Entities, row.PaperCategories, row.PaperEntities)
+	}
+}
+
+// CDFSeries is one labelled empirical CDF, the unit of Figure 1's plots.
+type CDFSeries struct {
+	Label  string
+	Points []stats.CDFPoint
+	Median float64
+	// PaperMedian is the value the paper reports for this series.
+	PaperMedian float64
+}
+
+// Fig1aResult reproduces Figure 1(a): distribution across entities of
+// number of reviews.
+type Fig1aResult struct {
+	Series []CDFSeries
+}
+
+// RunFig1a computes the per-service review-count CDFs.
+func RunFig1a(u *CrawlUniverse) *Fig1aResult {
+	res := &Fig1aResult{}
+	for _, kind := range world.ReviewServices {
+		m := u.Measurements[kind]
+		med, _ := stats.Median(m.ReviewCounts)
+		res.Series = append(res.Series, CDFSeries{
+			Label:       string(kind),
+			Points:      stats.CDF(m.ReviewCounts),
+			Median:      med,
+			PaperMedian: paperFig1aMedians[kind],
+		})
+	}
+	return res
+}
+
+// Render prints each series' quartiles at the paper's log-scale ticks.
+func (r *Fig1aResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 1(a): CDF across entities of number of reviews")
+	renderCDFs(w, r.Series, []float64{1, 4, 16, 64, 256, 1024})
+}
+
+// Fig1bResult reproduces Figure 1(b): distribution across queries of the
+// number of matching entities with ≥50 reviews.
+type Fig1bResult struct {
+	Series []CDFSeries
+}
+
+// RunFig1b computes the per-service per-query CDFs.
+func RunFig1b(u *CrawlUniverse) *Fig1bResult {
+	res := &Fig1bResult{}
+	for _, kind := range world.ReviewServices {
+		sample := u.Measurements[kind].PerQueryAtLeast50()
+		med, _ := stats.Median(sample)
+		res.Series = append(res.Series, CDFSeries{
+			Label:       string(kind),
+			Points:      stats.CDF(sample),
+			Median:      med,
+			PaperMedian: paperFig1bMedians[kind],
+		})
+	}
+	return res
+}
+
+// Render prints each series at the paper's ticks.
+func (r *Fig1bResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 1(b): CDF across queries of results with ≥50 reviews")
+	renderCDFs(w, r.Series, []float64{1, 2, 4, 8, 16, 32, 64, 128})
+}
+
+func renderCDFs(w io.Writer, series []CDFSeries, ticks []float64) {
+	fmt.Fprintf(w, "%-14s", "x ≤")
+	for _, t := range ticks {
+		fmt.Fprintf(w, "%8.0f", t)
+	}
+	fmt.Fprintf(w, "%10s %8s\n", "median", "paper")
+	for _, s := range series {
+		fmt.Fprintf(w, "%-14s", s.Label)
+		for _, t := range ticks {
+			fmt.Fprintf(w, "%8.2f", cdfAt(s.Points, t))
+		}
+		fmt.Fprintf(w, "%10.1f %8.1f\n", s.Median, s.PaperMedian)
+	}
+}
+
+// cdfAt evaluates a CDF point list at v.
+func cdfAt(points []stats.CDFPoint, v float64) float64 {
+	frac := 0.0
+	for _, p := range points {
+		if p.Value > v {
+			break
+		}
+		frac = p.Fraction
+	}
+	return frac
+}
+
+// Fig1cResult reproduces Figure 1(c): explicit feedback versus implicit
+// interaction counts on Google Play and YouTube.
+type Fig1cResult struct {
+	Rows []Fig1cRow
+}
+
+// Fig1cRow is one service's medians.
+type Fig1cRow struct {
+	Service            string
+	MedianInteractions float64
+	MedianFeedback     float64
+	MedianRatio        float64
+}
+
+// RunFig1c computes the interaction/feedback discrepancy.
+func RunFig1c(u *CrawlUniverse) *Fig1cResult {
+	res := &Fig1cResult{}
+	for _, kind := range world.InteractionServices {
+		s := u.Interactions[kind]
+		mi, _ := stats.Median(s.Interactions)
+		mf, _ := stats.Median(s.Feedback)
+		mr, _ := stats.Median(s.Ratios())
+		res.Rows = append(res.Rows, Fig1cRow{
+			Service:            string(kind),
+			MedianInteractions: mi,
+			MedianFeedback:     mf,
+			MedianRatio:        mr,
+		})
+	}
+	return res
+}
+
+// Render prints the medians; the paper's claim is a ≥10× gap.
+func (r *Fig1cResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 1(c): explicit feedback vs implicit interactions")
+	fmt.Fprintf(w, "%-10s %18s %16s %14s %24s\n", "Service", "med interactions", "med feedback", "med ratio", "paper: >1 order of mag.")
+	for _, row := range r.Rows {
+		ok := "yes"
+		if row.MedianRatio < 10 {
+			ok = "NO"
+		}
+		fmt.Fprintf(w, "%-10s %18.0f %16.0f %14.1f %24s\n",
+			row.Service, row.MedianInteractions, row.MedianFeedback, row.MedianRatio, ok)
+	}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"opinions/internal/inference"
+	"opinions/internal/stats"
+)
+
+// E2Result scores the §4.1 "effort is endorsement" predictor against
+// ground truth, compared with the naive repetition-counting strawman the
+// paper warns against. Only the experiment scorer can do this — it asks
+// the simulator for each user's true opinion, which no system component
+// observes.
+type E2Result struct {
+	// Pairs is the number of (user, entity) pairs the trained predictor
+	// rated.
+	Pairs int
+	// TrainedMAE and NaiveMAE are mean absolute errors in stars.
+	TrainedMAE float64
+	NaiveMAE   float64
+	// TrainedCorr is the Pearson correlation with ground truth.
+	TrainedCorr float64
+	NaiveCorr   float64
+	// AbstainRate is the fraction of evidence-bearing (user, entity)
+	// pairs the predictor declined to rate (§4.1's "declare infeasible").
+	AbstainRate float64
+	// RecommendAccuracy is accuracy of the binary would-recommend
+	// (rating ≥ 3.5) decision.
+	RecommendAccuracy float64
+	// GlobalMAE ablates the per-category models: the same evidence
+	// predicted by the global model alone. PerCategoryModels reports how
+	// many category models were trained.
+	GlobalMAE         float64
+	PerCategoryModels int
+}
+
+// RunE2 compares predictors over every agent's evidence.
+func RunE2(d *Deployment) (*E2Result, error) {
+	if !d.ModelTrained {
+		return nil, fmt.Errorf("experiments: deployment has no trained model")
+	}
+	naive := inference.NaiveCountPredictor{}
+	models := d.Server.Models()
+	var trained, naivePred, globalPred, truth []float64
+	var recommendHits, recommendTotal int
+	evidenceBearing, abstained := 0, 0
+	for uid, agent := range d.Agents {
+		user := d.City.UserByID(uid)
+		inferred := agent.InferredOpinions()
+		for _, view := range agent.Inferences() {
+			ev := agent.Evidence(view.Entity)
+			if ev.InteractionCount() < 3 {
+				continue
+			}
+			evidenceBearing++
+			rating, ok := inferred[view.Entity]
+			if !ok {
+				abstained++
+				continue
+			}
+			ent := d.City.EntityByKey(view.Entity)
+			if ent == nil {
+				continue
+			}
+			actual := user.TrueOpinion(ent)
+			trained = append(trained, rating)
+			truth = append(truth, actual)
+			if nv, okN := naive.Infer(ev); okN {
+				naivePred = append(naivePred, nv)
+			} else {
+				naivePred = append(naivePred, 2.5)
+			}
+			// Ablation: the global model over the same evidence.
+			globalPred = append(globalPred, models.Global.Predict(inference.ExtractFeatures(ev)))
+			recommendTotal++
+			if (rating >= 3.5) == (actual >= 3.5) {
+				recommendHits++
+			}
+		}
+	}
+	if len(trained) == 0 {
+		return nil, fmt.Errorf("experiments: predictor rated nothing; deployment too small")
+	}
+	res := &E2Result{Pairs: len(trained), PerCategoryModels: len(models.PerCategory)}
+	res.TrainedMAE, _ = stats.MAE(trained, truth)
+	res.NaiveMAE, _ = stats.MAE(naivePred, truth)
+	res.GlobalMAE, _ = stats.MAE(globalPred, truth)
+	res.TrainedCorr, _ = stats.Pearson(trained, truth)
+	res.NaiveCorr, _ = stats.Pearson(naivePred, truth)
+	if evidenceBearing > 0 {
+		res.AbstainRate = float64(abstained) / float64(evidenceBearing)
+	}
+	if recommendTotal > 0 {
+		res.RecommendAccuracy = float64(recommendHits) / float64(recommendTotal)
+	}
+	return res, nil
+}
+
+// Render prints the accuracy comparison.
+func (r *E2Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "E2: inferred rating accuracy vs ground truth (held-out silent users)")
+	fmt.Fprintf(w, "rated (user, entity) pairs: %d; abstain rate: %.2f\n", r.Pairs, r.AbstainRate)
+	fmt.Fprintf(w, "%-26s %10s %10s\n", "predictor", "MAE", "corr")
+	fmt.Fprintf(w, "%-26s %10.2f %10.2f\n", "effort-is-endorsement", r.TrainedMAE, r.TrainedCorr)
+	fmt.Fprintf(w, "%-26s %10.2f %10.2f\n", "naive repetition count", r.NaiveMAE, r.NaiveCorr)
+	fmt.Fprintf(w, "would-recommend accuracy: %.2f\n", r.RecommendAccuracy)
+	fmt.Fprintf(w, "ablation: global-model-only MAE %.2f (%d per-category models deployed)\n",
+		r.GlobalMAE, r.PerCategoryModels)
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"opinions/internal/anonymity"
+	"opinions/internal/stats"
+)
+
+// E4Result evaluates the §4.2 upload discipline: how well a timing
+// adversary can re-link a user's per-entity anonymous channels as the
+// mixing window grows. Window 0 models naive real-time upload; the
+// paper's prescription is asynchronous upload, which should drive the
+// adversary to chance.
+type E4Result struct {
+	Users           int
+	ChannelsPerUser int
+	Rows            []E4Row
+}
+
+// E4Row is one mixing-window setting.
+type E4Row struct {
+	Window   time.Duration
+	Accuracy float64
+}
+
+// E4Config scales the privacy experiment.
+type E4Config struct {
+	Seed            int64
+	Users           int
+	ChannelsPerUser int
+	Events          int // correlated upload events per user
+	Windows         []time.Duration
+}
+
+// DefaultE4Config matches the deployment's daily-activity shape.
+func DefaultE4Config() E4Config {
+	return E4Config{
+		Seed: 7, Users: 40, ChannelsPerUser: 3, Events: 12,
+		Windows: []time.Duration{0, 30 * time.Minute, 2 * time.Hour, 6 * time.Hour, 24 * time.Hour},
+	}
+}
+
+// RunE4 simulates correlated per-user upload workloads through mixes of
+// varying windows and scores the linkage adversary.
+func RunE4(cfg E4Config) *E4Result {
+	if cfg.Users <= 0 {
+		cfg = DefaultE4Config()
+	}
+	res := &E4Result{Users: cfg.Users, ChannelsPerUser: cfg.ChannelsPerUser}
+	base := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	for _, window := range cfg.Windows {
+		rng := stats.NewRNG(cfg.Seed)
+		var traces []anonymity.ChannelTrace
+		var owners []string
+		for u := 0; u < cfg.Users; u++ {
+			owner := fmt.Sprintf("u%d", u)
+			// Worst case for the user: the device generates uploads for
+			// all its channels at the same instants (e.g. each evening's
+			// activity). The mix smears each by an independent uniform
+			// delay in [0, window] — exactly anonymity.Mix's semantics.
+			for ch := 0; ch < cfg.ChannelsPerUser; ch++ {
+				ts := make([]time.Time, 0, cfg.Events)
+				for ev := 0; ev < cfg.Events; ev++ {
+					at := base.Add(time.Duration(u)*13*time.Minute + time.Duration(ev)*24*time.Hour)
+					ts = append(ts, at.Add(windowDelay(window, rng)))
+				}
+				sort.Slice(ts, func(i, j int) bool { return ts[i].Before(ts[j]) })
+				traces = append(traces, anonymity.ChannelTrace{
+					AnonID: fmt.Sprintf("u%d-c%d", u, ch), Arrivals: ts,
+				})
+				owners = append(owners, owner)
+			}
+		}
+		adv := anonymity.Adversary{Epsilon: 2 * time.Minute}
+		acc := anonymity.Accuracy(adv.LinkAll(traces), owners)
+		res.Rows = append(res.Rows, E4Row{Window: window, Accuracy: acc})
+	}
+	return res
+}
+
+func windowDelay(window time.Duration, rng *stats.RNG) time.Duration {
+	if window <= 0 {
+		return time.Duration(rng.Intn(20)) * time.Second
+	}
+	return time.Duration(rng.Float64() * float64(window))
+}
+
+// Render prints adversary accuracy per window.
+func (r *E4Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "E4: channel linkage by a timing adversary vs upload mixing window")
+	fmt.Fprintf(w, "users: %d, anonymous channels per user: %d\n", r.Users, r.ChannelsPerUser)
+	fmt.Fprintf(w, "%-14s %10s\n", "mix window", "link acc")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-14s %10.2f\n", row.Window, row.Accuracy)
+	}
+	fmt.Fprintln(w, "paper expectation: real-time upload (window 0) is linkable;")
+	fmt.Fprintln(w, "asynchronous upload drives the adversary toward chance (§4.2).")
+}

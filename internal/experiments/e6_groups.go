@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"opinions/internal/aggregate"
+	"opinions/internal/trace"
+)
+
+// E6Result evaluates §4.1's group accounting: without deduplication, a
+// party of four inflates an entity's apparent support fourfold; with
+// co-arrival clustering the effective count approaches the number of
+// independent decisions.
+type E6Result struct {
+	RestaurantsMeasured int
+	// RawInteractions counts every visit record; Effective applies
+	// GroupWeight to detected co-arrival clusters.
+	RawInteractions       int
+	EffectiveInteractions float64
+	// TrueParties is the simulator's ground-truth number of independent
+	// visit decisions (a group outing counts once).
+	TrueParties int
+	// InflationRaw and InflationDeduped compare each estimate to truth
+	// (1.0 is perfect).
+	InflationRaw     float64
+	InflationDeduped float64
+	// DetectedClusters and TrueGroupVisits compare cluster counts.
+	DetectedClusters int
+}
+
+// RunE6 measures aggregate inflation across the deployment's restaurant
+// entities, using the simulator's ground-truth group annotations.
+func RunE6(d *Deployment) *E6Result {
+	_, _, hists := d.Server.Stores()
+	res := &E6Result{}
+	restaurantKeys := map[string]bool{}
+	for _, key := range hists.Entities() {
+		if e := d.Server.Engine().Entity(key); e != nil && e.Category == "restaurant" {
+			restaurantKeys[key] = true
+		}
+	}
+	for key := range restaurantKeys {
+		clusters, raw, eff := aggregate.DedupGroups(hists.ByEntity(key), aggregate.GroupWindow)
+		res.RawInteractions += raw
+		res.EffectiveInteractions += eff
+		res.DetectedClusters += len(clusters)
+		res.RestaurantsMeasured++
+	}
+
+	// Ground truth: replay the identical simulation and count parties.
+	sim := trace.New(d.City, trace.Config{Seed: d.SimSeed(), Days: d.Sim.Days(), ReviewBoost: d.Config.ReviewBoost})
+	seenGroups := map[string]bool{}
+	for _, dl := range sim.Run() {
+		for _, v := range dl.Visits {
+			if !restaurantKeys[v.Entity] {
+				continue
+			}
+			if v.GroupID == "" {
+				res.TrueParties++
+				continue
+			}
+			if !seenGroups[v.GroupID] {
+				seenGroups[v.GroupID] = true
+				res.TrueParties++
+			}
+		}
+	}
+	if res.TrueParties > 0 {
+		res.InflationRaw = float64(res.RawInteractions) / float64(res.TrueParties)
+		res.InflationDeduped = res.EffectiveInteractions / float64(res.TrueParties)
+	}
+	return res
+}
+
+// Render prints the inflation comparison.
+func (r *E6Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "E6: group-visit accounting (§4.1)")
+	fmt.Fprintf(w, "restaurants measured: %d\n", r.RestaurantsMeasured)
+	fmt.Fprintf(w, "%-28s %12d\n", "raw visit records", r.RawInteractions)
+	fmt.Fprintf(w, "%-28s %12.1f\n", "effective (deduped)", r.EffectiveInteractions)
+	fmt.Fprintf(w, "%-28s %12d\n", "true independent parties", r.TrueParties)
+	fmt.Fprintf(w, "%-28s %12d\n", "detected co-arrival clusters", r.DetectedClusters)
+	fmt.Fprintf(w, "inflation vs truth: raw %.2f×, deduped %.2f× (closer to 1.0 is better)\n",
+		r.InflationRaw, r.InflationDeduped)
+}

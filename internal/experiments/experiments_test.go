@@ -1,0 +1,494 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"opinions/internal/world"
+)
+
+var (
+	deployOnce sync.Once
+	sharedDep  *Deployment
+	deployErr  error
+
+	crawlOnce  sync.Once
+	sharedUniv *CrawlUniverse
+	crawlErr   error
+)
+
+// testDeployment is shared across tests; building it exercises the full
+// client-server pipeline once (~5s) instead of per test.
+func testDeployment(t *testing.T) *Deployment {
+	t.Helper()
+	deployOnce.Do(func() {
+		sharedDep, deployErr = RunDeployment(DeployConfig{Seed: 5, Users: 100, Days: 60, KeyBits: 512})
+	})
+	if deployErr != nil {
+		t.Fatal(deployErr)
+	}
+	return sharedDep
+}
+
+func testUniverse(t *testing.T) *CrawlUniverse {
+	t.Helper()
+	crawlOnce.Do(func() {
+		sharedUniv, crawlErr = BuildCrawlUniverse(world.TestDirectoryConfig())
+	})
+	if crawlErr != nil {
+		t.Fatal(crawlErr)
+	}
+	return sharedUniv
+}
+
+func TestTable1Structure(t *testing.T) {
+	u := testUniverse(t)
+	res := RunTable1(u)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Entities == 0 {
+			t.Fatalf("service %s crawled 0 entities", row.Service)
+		}
+	}
+	// Category counts are scale-invariant and must match the paper.
+	byService := map[string]Table1Row{}
+	for _, row := range res.Rows {
+		byService[row.Service] = row
+	}
+	if byService["yelp"].Categories != 9 || byService["angieslist"].Categories != 24 || byService["healthgrades"].Categories != 4 {
+		t.Fatalf("category counts wrong: %+v", byService)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFig1aMediansOrdering(t *testing.T) {
+	u := testUniverse(t)
+	res := RunFig1a(u)
+	med := map[string]float64{}
+	for _, s := range res.Series {
+		med[s.Label] = s.Median
+		if len(s.Points) == 0 {
+			t.Fatalf("series %s empty", s.Label)
+		}
+		if s.Points[len(s.Points)-1].Fraction != 1 {
+			t.Fatalf("series %s CDF does not reach 1", s.Label)
+		}
+	}
+	// Review-count distributions are scale-invariant: medians must
+	// match the paper's ordering and approximate values.
+	if !(med["yelp"] > med["angieslist"] && med["angieslist"] > med["healthgrades"]) {
+		t.Fatalf("median ordering wrong: %v", med)
+	}
+	if med["yelp"] < 15 || med["yelp"] > 40 {
+		t.Fatalf("yelp median = %v, want ≈25", med["yelp"])
+	}
+	if med["healthgrades"] < 3 || med["healthgrades"] > 8 {
+		t.Fatalf("healthgrades median = %v, want ≈5", med["healthgrades"])
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Figure 1(a)") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFig1bOrdering(t *testing.T) {
+	u := testUniverse(t)
+	res := RunFig1b(u)
+	med := map[string]float64{}
+	for _, s := range res.Series {
+		med[s.Label] = s.Median
+	}
+	// At test scale (0.5×) absolute medians halve, but the ordering
+	// yelp > angieslist ≥ healthgrades is scale-invariant.
+	if !(med["yelp"] > med["angieslist"]) {
+		t.Fatalf("yelp (%v) not above angieslist (%v)", med["yelp"], med["angieslist"])
+	}
+	if med["healthgrades"] > med["yelp"] {
+		t.Fatalf("healthgrades (%v) above yelp (%v)", med["healthgrades"], med["yelp"])
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Figure 1(b)") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFig1cGap(t *testing.T) {
+	u := testUniverse(t)
+	res := RunFig1c(u)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.MedianRatio < 10 {
+			t.Fatalf("%s ratio = %v, want ≥10 (order of magnitude)", row.Service, row.MedianRatio)
+		}
+		if row.MedianInteractions <= row.MedianFeedback {
+			t.Fatalf("%s interactions not above feedback", row.Service)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Figure 1(c)") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFig3SelectsThreeDentists(t *testing.T) {
+	d := testDeployment(t)
+	res, err := RunFig3(d)
+	if err != nil {
+		t.Skipf("fig3 needs more dentist traffic at this scale: %v", err)
+	}
+	if len(res.Dentists) != 3 {
+		t.Fatalf("dentists = %d", len(res.Dentists))
+	}
+	roles := map[string]DentistViz{}
+	for _, dv := range res.Dentists {
+		roles[dv.Role] = dv
+		if len(dv.Agg.VisitsPerUser) == 0 {
+			t.Fatalf("dentist %s has empty histogram", dv.Role)
+		}
+	}
+	// A has the fewest repeat patients by construction.
+	if roles["A"].Agg.RepeatFraction > roles["B"].Agg.RepeatFraction+1e-9 &&
+		roles["A"].Agg.RepeatFraction > roles["C"].Agg.RepeatFraction+1e-9 {
+		t.Fatalf("dentist A repeat fraction %v not minimal", roles["A"].Agg.RepeatFraction)
+	}
+	// B's distance-visit correlation ≥ C's (Figure 3b's contrast).
+	if roles["B"].CorrOK && roles["C"].CorrOK && roles["B"].DistanceVisitCorr < roles["C"].DistanceVisitCorr {
+		t.Fatalf("corr B %v < corr C %v", roles["B"].DistanceVisitCorr, roles["C"].DistanceVisitCorr)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Figure 3(a)") || !strings.Contains(buf.String(), "Figure 3(b)") {
+		t.Fatal("render missing panels")
+	}
+}
+
+func TestE1CoverageMultiplier(t *testing.T) {
+	d := testDeployment(t)
+	res := RunE1(d)
+	if res.Entities == 0 {
+		t.Fatal("no entities with activity")
+	}
+	if res.PooledMean <= res.ExplicitMean {
+		t.Fatalf("pooled mean %v not above explicit %v", res.PooledMean, res.ExplicitMean)
+	}
+	if res.Multiplier < 2 {
+		t.Fatalf("coverage multiplier = %v, want ≥2 (paper: dramatic increase)", res.Multiplier)
+	}
+	if res.PooledFracWith5Plus < res.FracWith5Plus {
+		t.Fatal("pooling reduced the fraction of well-covered entities")
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "E1") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestE2TrainedBeatsNaive(t *testing.T) {
+	d := testDeployment(t)
+	res, err := RunE2(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs < 20 {
+		t.Fatalf("only %d rated pairs", res.Pairs)
+	}
+	if res.TrainedMAE >= res.NaiveMAE {
+		t.Fatalf("trained MAE %v not below naive %v", res.TrainedMAE, res.NaiveMAE)
+	}
+	if res.TrainedMAE > 1.2 {
+		t.Fatalf("trained MAE = %v stars, too inaccurate", res.TrainedMAE)
+	}
+	if res.RecommendAccuracy < 0.6 {
+		t.Fatalf("recommend accuracy = %v", res.RecommendAccuracy)
+	}
+	if res.AbstainRate < 0 || res.AbstainRate > 1 {
+		t.Fatalf("abstain rate = %v", res.AbstainRate)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "E2") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestE3DetectionAndCost(t *testing.T) {
+	d := testDeployment(t)
+	res := RunE3(d, []int{3, 6})
+	if res.HonestHistories == 0 {
+		t.Fatal("no honest histories")
+	}
+	if res.FalsePositiveRate > 0.10 {
+		t.Fatalf("false positive rate = %v", res.FalsePositiveRate)
+	}
+	byAttack := map[string][]E3Row{}
+	for _, row := range res.Rows {
+		byAttack[row.Attack] = append(byAttack[row.Attack], row)
+	}
+	for _, rows := range byAttack["call-spam"] {
+		if rows.Recall < 0.8 {
+			t.Fatalf("call-spam recall = %v", rows.Recall)
+		}
+	}
+	for _, rows := range byAttack["employee"] {
+		if rows.Recall < 0.8 {
+			t.Fatalf("employee recall = %v", rows.Recall)
+		}
+	}
+	// Mimic survivors (if any) must be expensive.
+	for _, rows := range byAttack["mimic"] {
+		if !rows.AllCaught && rows.CostPerSurvivorHours < 3 {
+			t.Fatalf("mimic cost per survivor = %v hours", rows.CostPerSurvivorHours)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "E3") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestE4MixingDefeatsLinkage(t *testing.T) {
+	res := RunE4(DefaultE4Config())
+	if len(res.Rows) < 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	first := res.Rows[0]
+	last := res.Rows[len(res.Rows)-1]
+	if first.Window != 0 {
+		t.Fatalf("first window = %v", first.Window)
+	}
+	if first.Accuracy < 0.8 {
+		t.Fatalf("unmixed linkage accuracy = %v, want high", first.Accuracy)
+	}
+	if last.Accuracy > 0.35 {
+		t.Fatalf("24h-mixed linkage accuracy = %v, want near chance", last.Accuracy)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "E4") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestE5EnergyRecallTradeoff(t *testing.T) {
+	res := RunE5(E5Config{Seed: 3, Users: 20, Days: 10})
+	byPolicy := map[string]E5Row{}
+	for _, row := range res.Rows {
+		byPolicy[row.Policy] = row
+	}
+	always := byPolicy["gps-always"]
+	duty := byPolicy["duty-cycled-gps"]
+	wifi := byPolicy["wifi-assisted"]
+	if !(always.EnergyPerDayMAH > duty.EnergyPerDayMAH && duty.EnergyPerDayMAH > wifi.EnergyPerDayMAH) {
+		t.Fatalf("energy ordering wrong: always=%v duty=%v wifi=%v",
+			always.EnergyPerDayMAH, duty.EnergyPerDayMAH, wifi.EnergyPerDayMAH)
+	}
+	for name, row := range byPolicy {
+		if row.Recall < 0.5 {
+			t.Fatalf("%s recall = %v", name, row.Recall)
+		}
+	}
+	// Duty cycling must retain most of always-on's recall.
+	if duty.Recall < always.Recall-0.25 {
+		t.Fatalf("duty recall %v far below always-on %v", duty.Recall, always.Recall)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "E5") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestE6DedupReducesInflation(t *testing.T) {
+	d := testDeployment(t)
+	res := RunE6(d)
+	if res.RestaurantsMeasured == 0 || res.RawInteractions == 0 {
+		t.Fatal("no restaurant data")
+	}
+	if res.EffectiveInteractions >= float64(res.RawInteractions) {
+		t.Fatalf("dedup did not reduce: eff=%v raw=%d", res.EffectiveInteractions, res.RawInteractions)
+	}
+	if res.TrueParties == 0 {
+		t.Fatal("no ground-truth parties")
+	}
+	// Deduped inflation must be closer to 1 than raw.
+	if absf(res.InflationDeduped-1) > absf(res.InflationRaw-1) {
+		t.Fatalf("dedup made inflation worse: raw=%v deduped=%v", res.InflationRaw, res.InflationDeduped)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "E6") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestE7CFCollapsesOnSparseCategories(t *testing.T) {
+	d := testDeployment(t)
+	res := RunE7(d)
+	byCat := map[string]E7Row{}
+	for _, row := range res.Rows {
+		byCat[row.Category] = row
+	}
+	// Sparse, high-stakes categories: CF must essentially collapse
+	// while the search interface still carries evidence.
+	for _, cat := range []string{"dentist", "plumber", "electrician"} {
+		row, ok := byCat[cat]
+		if !ok {
+			t.Fatalf("category %s missing", cat)
+		}
+		if row.CFUserCoverage > 0.25 {
+			t.Errorf("%s: CF coverage = %v, expected collapse (§3.1)", cat, row.CFUserCoverage)
+		}
+		if row.SearchEntityCoverage <= row.CFUserCoverage {
+			t.Errorf("%s: search coverage %v not above CF %v", cat, row.SearchEntityCoverage, row.CFUserCoverage)
+		}
+	}
+	// The dense restaurant category should favor search too but CF is
+	// at least able to function there.
+	if byCat["restaurant"].SearchEntityCoverage < 0.5 {
+		t.Errorf("restaurant search coverage = %v", byCat["restaurant"].SearchEntityCoverage)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "E7") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestE8RemindersCannotMatchImplicit(t *testing.T) {
+	res, err := RunE8(DefaultE8Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Entities == 0 {
+		t.Fatal("no active entities")
+	}
+	// Reminders help over pure explicit...
+	if res.RemindersMean < res.ExplicitMean {
+		t.Fatalf("reminders mean %v below explicit %v", res.RemindersMean, res.ExplicitMean)
+	}
+	// ...but implicit inference must beat even a 3× reminder campaign.
+	if res.ImplicitMean <= res.RemindersMean {
+		t.Fatalf("implicit mean %v not above reminders %v (§3's argument)", res.ImplicitMean, res.RemindersMean)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "E8") {
+		t.Fatal("render missing title")
+	}
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestDeploymentInvariants(t *testing.T) {
+	d := testDeployment(t)
+	rev, ops, hists := d.Server.Stores()
+	if rev.TotalReviews() == 0 {
+		t.Fatal("no explicit reviews")
+	}
+	if !d.ModelTrained {
+		t.Fatal("model never trained")
+	}
+	if ops.Total() == 0 {
+		t.Fatal("no inferred opinions")
+	}
+	st := hists.Stats()
+	if st.Histories == 0 || st.Records == 0 {
+		t.Fatalf("history store empty: %+v", st)
+	}
+	// The anonymity invariant: there must be far more anonymous
+	// histories than users, because each (user, entity) pair is its own
+	// unlinkable history.
+	if st.Histories <= len(d.City.Users) {
+		t.Fatalf("only %d histories for %d users; channels not per-entity", st.Histories, len(d.City.Users))
+	}
+}
+
+func TestDeploymentSearchIntegration(t *testing.T) {
+	d := testDeployment(t)
+	results := d.Server.Engine().Search(searchQueryAllRestaurants())
+	if len(results) == 0 {
+		t.Fatal("no restaurants in search")
+	}
+	withInferred := 0
+	for _, r := range results {
+		if r.InferredCount > 0 {
+			withInferred++
+		}
+	}
+	if withInferred == 0 {
+		t.Fatal("no search result carries inferred opinions")
+	}
+}
+
+func TestDeploymentTimeBudget(t *testing.T) {
+	// Guard against the shared deployment becoming pathologically slow.
+	start := time.Now()
+	_ = testDeployment(t)
+	if elapsed := time.Since(start); elapsed > 2*time.Minute {
+		t.Fatalf("deployment took %v", elapsed)
+	}
+}
+
+func TestAnecdotes(t *testing.T) {
+	u := testUniverse(t)
+	lines := Anecdotes(u)
+	if len(lines) != 2 {
+		t.Fatalf("anecdotes = %d, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], "Chinese restaurants") || !strings.Contains(lines[1], "dentists") {
+		t.Fatalf("anecdotes = %v", lines)
+	}
+	var buf bytes.Buffer
+	RenderAnecdotes(u, &buf)
+	if !strings.Contains(buf.String(), "zipcode") {
+		t.Fatal("render missing content")
+	}
+}
+
+func TestE9RetentionTradeoff(t *testing.T) {
+	res, err := RunE9(E9Config{
+		Seed: 31, Users: 60, Days: 45,
+		Retentions: []time.Duration{7 * 24 * time.Hour, 30 * 24 * time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	short, long := res.Rows[0], res.Rows[1]
+	// Longer retention exposes more on theft...
+	if long.TheftExposure <= short.TheftExposure {
+		t.Fatalf("exposure: 30d %v not above 7d %v", long.TheftExposure, short.TheftExposure)
+	}
+	// ...and produces at least as many inferred opinions.
+	if long.InferredOpinions < short.InferredOpinions {
+		t.Fatalf("coverage: 30d %d below 7d %d", long.InferredOpinions, short.InferredOpinions)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "E9") {
+		t.Fatal("render missing title")
+	}
+}

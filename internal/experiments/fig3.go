@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"opinions/internal/aggregate"
+)
+
+// Fig3Result reproduces Figure 3's comparative visualizations for three
+// dentists: (a) histograms of visits per user, (b) average distance
+// travelled versus number of visits.
+//
+// The paper's figure is illustrative — dentist A has few repeat
+// patients; for dentist B distance correlates with visits, for C it does
+// not. We select the three dentists from the deployment's anonymous
+// histories by exactly those criteria, demonstrating that the RSP can
+// construct the visualization from the data it actually holds.
+type Fig3Result struct {
+	Dentists []DentistViz
+}
+
+// DentistViz is one dentist's visualization payload.
+type DentistViz struct {
+	Role   string // "A", "B", or "C"
+	Entity string
+	Agg    *aggregate.EntityAggregate
+	// DistanceVisitCorr is Figure 3(b)'s signal; NaN-free: ok=false is
+	// rendered as "n/a".
+	DistanceVisitCorr float64
+	CorrOK            bool
+}
+
+// RunFig3 selects dentists A, B, C from a deployment and builds their
+// visualizations.
+func RunFig3(d *Deployment) (*Fig3Result, error) {
+	_, _, hists := d.Server.Stores()
+	type cand struct {
+		entity string
+		agg    *aggregate.EntityAggregate
+		corr   float64
+		corrOK bool
+		users  int
+	}
+	var cands []cand
+	for _, key := range hists.Entities() {
+		ent := d.Server.Engine().Entity(key)
+		if ent == nil || ent.Category != "dentist" {
+			continue
+		}
+		hs := hists.ByEntity(key)
+		agg := aggregate.Build(key, hs)
+		if agg.Users < 3 {
+			continue
+		}
+		corr, ok := aggregate.DistanceVisitCorrelation(hs)
+		cands = append(cands, cand{entity: key, agg: agg, corr: corr, corrOK: ok, users: agg.Users})
+	}
+	if len(cands) < 3 {
+		return nil, fmt.Errorf("experiments: only %d dentists with ≥3 patients; run a larger deployment", len(cands))
+	}
+	// A: fewest repeat patients.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].agg.RepeatFraction < cands[j].agg.RepeatFraction })
+	a := cands[0]
+	rest := cands[1:]
+	// B: highest distance-visit correlation among the rest; C: lowest.
+	sort.Slice(rest, func(i, j int) bool {
+		ci, cj := rest[i].corr, rest[j].corr
+		if !rest[i].corrOK {
+			ci = -2
+		}
+		if !rest[j].corrOK {
+			cj = -2
+		}
+		return ci > cj
+	})
+	b := rest[0]
+	c := rest[len(rest)-1]
+	res := &Fig3Result{}
+	for _, sel := range []struct {
+		role string
+		c    cand
+	}{{"A", a}, {"B", b}, {"C", c}} {
+		res.Dentists = append(res.Dentists, DentistViz{
+			Role: sel.role, Entity: sel.c.entity, Agg: sel.c.agg,
+			DistanceVisitCorr: sel.c.corr, CorrOK: sel.c.corrOK,
+		})
+	}
+	return res, nil
+}
+
+// Render prints both panels.
+func (r *Fig3Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 3(a): histogram of visits per user (dentists A, B, C)")
+	fmt.Fprintf(w, "%-4s %-28s %8s %-s\n", "role", "dentist", "users", "visits→users")
+	for _, dv := range r.Dentists {
+		var keys []int
+		for k := range dv.Agg.VisitsPerUser {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		fmt.Fprintf(w, "%-4s %-28s %8d ", dv.Role, dv.Entity, dv.Agg.Users)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%d:%d ", k, dv.Agg.VisitsPerUser[k])
+		}
+		fmt.Fprintf(w, "(repeat frac %.2f)\n", dv.Agg.RepeatFraction)
+	}
+	fmt.Fprintln(w, "Figure 3(b): avg distance travelled vs number of visits")
+	fmt.Fprintf(w, "%-4s %-28s %-s\n", "role", "dentist", "visits→mean km (corr)")
+	for _, dv := range r.Dentists {
+		var keys []int
+		for k := range dv.Agg.MeanDistanceKmByVisits {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		fmt.Fprintf(w, "%-4s %-28s ", dv.Role, dv.Entity)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%d:%.1f ", k, dv.Agg.MeanDistanceKmByVisits[k])
+		}
+		if dv.CorrOK {
+			fmt.Fprintf(w, "(corr %.2f)\n", dv.DistanceVisitCorr)
+		} else {
+			fmt.Fprintln(w, "(corr n/a)")
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package experiments
+
+import (
+	"opinions/internal/search"
+	"opinions/internal/world"
+)
+
+// searchQueryAllRestaurants is the behavioural city's single-zip
+// restaurant query.
+func searchQueryAllRestaurants() search.Query {
+	return search.Query{Service: world.Yelp, Zip: "48104", Category: "restaurant"}
+}

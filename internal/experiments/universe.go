@@ -1,0 +1,85 @@
+// Package experiments regenerates every table and figure in the paper
+// plus the extension experiments E1–E6 listed in DESIGN.md. Each
+// experiment returns a typed result with a Render method that prints the
+// same rows/series the paper reports, alongside the paper's own numbers
+// for comparison.
+//
+// Two substrates back the experiments:
+//
+//   - CrawlUniverse: the five-service directory served over real HTTP
+//     and measured by the crawler (§2: Table 1, Figure 1a–c).
+//   - Deployment: a behavioural city of users running full device
+//     agents against an in-process RSP (Figures 2–3, experiments E1–E6).
+package experiments
+
+import (
+	"fmt"
+	"net/http/httptest"
+
+	"opinions/internal/crawler"
+	"opinions/internal/rspserver"
+	"opinions/internal/world"
+)
+
+// CrawlUniverse is the crawled view of the five synthetic services.
+type CrawlUniverse struct {
+	Dir *world.Directory
+	// Measurements holds one crawl per review service, keyed by kind.
+	Measurements map[world.ServiceKind]*crawler.ServiceMeasurement
+	// Interactions holds the Figure 1(c) samples for Play and YouTube.
+	Interactions map[world.ServiceKind]*crawler.InteractionSample
+}
+
+// BuildCrawlUniverse generates the directory, serves it over a real
+// HTTP listener, and crawls it exactly as §2 describes: every (zip,
+// category) query per review service, plus a sample of
+// interaction-bearing entities.
+func BuildCrawlUniverse(cfg world.DirectoryConfig) (*CrawlUniverse, error) {
+	dir := world.BuildDirectory(cfg)
+	var catalog []*world.Entity
+	for _, kind := range world.ReviewServices {
+		catalog = append(catalog, dir.Entities[kind]...)
+	}
+	for _, kind := range world.InteractionServices {
+		catalog = append(catalog, dir.Entities[kind]...)
+	}
+	var zips []string
+	for _, z := range dir.Zips {
+		zips = append(zips, z.Code)
+	}
+	srv, err := rspserver.New(rspserver.Config{Catalog: catalog, KeyBits: 1024, Zips: zips})
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	c := &crawler.Client{BaseURL: ts.URL, Workers: 8}
+	meta, err := c.Meta()
+	if err != nil {
+		return nil, err
+	}
+	u := &CrawlUniverse{
+		Dir:          dir,
+		Measurements: make(map[world.ServiceKind]*crawler.ServiceMeasurement),
+		Interactions: make(map[world.ServiceKind]*crawler.InteractionSample),
+	}
+	for _, ms := range meta.Services {
+		kind := world.ServiceKind(ms.Kind)
+		switch kind {
+		case world.Yelp, world.AngiesList, world.Healthgrades:
+			m, err := crawler.CrawlService(c, ms)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: crawling %s: %w", ms.Kind, err)
+			}
+			u.Measurements[kind] = m
+		case world.GooglePlay, world.YouTube:
+			s, err := crawler.CrawlInteractions(c, ms.Kind, cfg.InteractionEntities)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: sampling %s: %w", ms.Kind, err)
+			}
+			u.Interactions[kind] = s
+		}
+	}
+	return u, nil
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"opinions/internal/viz"
+)
+
+// VizSeries converts Figure 1(a)'s CDFs to plottable series.
+func (r *Fig1aResult) VizSeries() []viz.Series { return cdfToViz(r.Series) }
+
+// VizSeries converts Figure 1(b)'s CDFs to plottable series.
+func (r *Fig1bResult) VizSeries() []viz.Series { return cdfToViz(r.Series) }
+
+func cdfToViz(in []CDFSeries) []viz.Series {
+	out := make([]viz.Series, len(in))
+	for i, s := range in {
+		vs := viz.Series{Label: s.Label}
+		for _, p := range s.Points {
+			vs.X = append(vs.X, p.Value)
+			vs.Y = append(vs.Y, p.Fraction)
+		}
+		out[i] = vs
+	}
+	return out
+}
+
+// PlotFig1a renders Figure 1(a) as a terminal plot.
+func PlotFig1a(r *Fig1aResult, w io.Writer) {
+	p := &viz.Plot{
+		Title: "Figure 1(a): CDF of reviews per entity", XLabel: "reviews",
+		LogX: true, Series: r.VizSeries(),
+	}
+	p.Render(w)
+}
+
+// PlotFig1b renders Figure 1(b) as a terminal plot.
+func PlotFig1b(r *Fig1bResult, w io.Writer) {
+	p := &viz.Plot{
+		Title: "Figure 1(b): CDF of per-query results with ≥50 reviews", XLabel: "results ≥50 reviews",
+		LogX: true, Series: r.VizSeries(),
+	}
+	p.Render(w)
+}
+
+// PlotE5 renders E5's energy comparison as bars.
+func PlotE5(r *E5Result, w io.Writer) {
+	labels := make([]string, len(r.Rows))
+	values := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		labels[i] = fmt.Sprintf("%s (recall %.2f)", row.Policy, row.Recall)
+		values[i] = row.EnergyPerDayMAH
+	}
+	viz.Bars(w, "E5: battery cost per day by sensing policy", labels, values, "mAh")
+}
+
+// ExportCSV writes each figure's raw series to <dir>/<name>.csv for
+// external plotting tools.
+func ExportCSV(dir string, name string, series []viz.Series) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: creating %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiments: creating %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := viz.WriteCSV(f, series); err != nil {
+		return err
+	}
+	return f.Close()
+}

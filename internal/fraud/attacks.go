@@ -1,0 +1,160 @@
+package fraud
+
+import (
+	"time"
+
+	"opinions/internal/history"
+	"opinions/internal/interaction"
+	"opinions/internal/stats"
+)
+
+// Attack generates a fraudulent interaction history targeting an entity.
+// Implementations are the paper's §4.3 examples.
+type Attack interface {
+	// Name identifies the attack in experiment output.
+	Name() string
+	// Generate returns the fake history's records starting at start.
+	Generate(rng *stats.RNG, entityKey string, start time.Time) []interaction.Record
+	// CostHours estimates the real-world time the attacker must invest
+	// to produce the records — the currency §4.3 argues the defense
+	// raises.
+	CostHours(recs []interaction.Record) float64
+}
+
+// CallSpam is "a user could simply make several back-to-back phone calls
+// to the electrician, hanging up immediately after calling" (§4.3).
+type CallSpam struct {
+	// Calls is how many calls to fake (default 12).
+	Calls int
+}
+
+// Name implements Attack.
+func (CallSpam) Name() string { return "call-spam" }
+
+// Generate implements Attack.
+func (a CallSpam) Generate(rng *stats.RNG, entityKey string, start time.Time) []interaction.Record {
+	n := a.Calls
+	if n <= 0 {
+		n = 12
+	}
+	out := make([]interaction.Record, 0, n)
+	cur := start
+	for i := 0; i < n; i++ {
+		out = append(out, interaction.Record{
+			Entity: entityKey, Kind: interaction.CallKind,
+			Start:    cur,
+			Duration: time.Duration(2+rng.Intn(8)) * time.Second, // hang up immediately
+		})
+		cur = cur.Add(time.Duration(30+rng.Intn(90)) * time.Second)
+	}
+	return out
+}
+
+// CostHours implements Attack: spam calls are nearly free.
+func (CallSpam) CostHours(recs []interaction.Record) float64 {
+	var d time.Duration
+	for _, r := range recs {
+		d += r.Duration
+	}
+	return d.Hours() + float64(len(recs))*30/3600 // dialing overhead
+}
+
+// Employee is "any employee at a restaurant can use his presence at the
+// restaurant daily as evidence of his approval" (§4.3).
+type Employee struct {
+	// Days of daily presence to fake (default 30).
+	Days int
+}
+
+// Name implements Attack.
+func (Employee) Name() string { return "employee" }
+
+// Generate implements Attack.
+func (a Employee) Generate(rng *stats.RNG, entityKey string, start time.Time) []interaction.Record {
+	days := a.Days
+	if days <= 0 {
+		days = 30
+	}
+	out := make([]interaction.Record, 0, days)
+	for d := 0; d < days; d++ {
+		arrive := start.AddDate(0, 0, d).Add(time.Duration(9*60+rng.Intn(30)) * time.Minute)
+		out = append(out, interaction.Record{
+			Entity: entityKey, Kind: interaction.VisitKind,
+			Start:    arrive,
+			Duration: time.Duration(7*60+rng.Intn(120)) * time.Minute, // a shift
+			// The commute is short and constant; no dining effort.
+			DistanceFrom: 500 + rng.Float64()*200,
+		})
+	}
+	return out
+}
+
+// CostHours implements Attack: the employee is there anyway, so the
+// *marginal* cost is zero; we report it as such.
+func (Employee) CostHours([]interaction.Record) float64 { return 0 }
+
+// Mimic is the concerted attacker the paper concedes can survive: fake
+// visits "appropriately spaced apart and of reasonable duration" — e.g.
+// being "at the dentist's office for reasonable periods of time over
+// several years." Detection is not expected; the point is the cost.
+type Mimic struct {
+	// Visits to fake (default 6).
+	Visits int
+	// MeanGapDays between fake visits (default 12).
+	MeanGapDays float64
+}
+
+// Name implements Attack.
+func (Mimic) Name() string { return "mimic" }
+
+// Generate implements Attack.
+func (a Mimic) Generate(rng *stats.RNG, entityKey string, start time.Time) []interaction.Record {
+	n := a.Visits
+	if n <= 0 {
+		n = 6
+	}
+	gap := a.MeanGapDays
+	if gap <= 0 {
+		gap = 12
+	}
+	out := make([]interaction.Record, 0, n)
+	cur := start
+	for i := 0; i < n; i++ {
+		out = append(out, interaction.Record{
+			Entity: entityKey, Kind: interaction.VisitKind,
+			Start:        cur,
+			Duration:     time.Duration(45+rng.Intn(45)) * time.Minute,
+			DistanceFrom: 1500 + rng.Float64()*4000,
+		})
+		cur = cur.Add(time.Duration((gap*0.6 + rng.Float64()*gap*0.8) * 24 * float64(time.Hour)))
+	}
+	return out
+}
+
+// CostHours implements Attack: the attacker must actually be present for
+// every visit, plus travel.
+func (Mimic) CostHours(recs []interaction.Record) float64 {
+	var h float64
+	for _, r := range recs {
+		h += r.Duration.Hours()
+		h += (r.DistanceFrom / 1000) / 30 * 2 // 30 km/h, round trip
+	}
+	return h
+}
+
+// AllAttacks returns the §4.3 attack suite.
+func AllAttacks() []Attack { return []Attack{CallSpam{}, Employee{}, Mimic{}} }
+
+// InjectAttack fabricates a fraudulent anonymous history for an entity
+// and appends it to the store, returning its anonymous ID so experiments
+// can score detection.
+func InjectAttack(store *history.ServerStore, attack Attack, rng *stats.RNG, entityKey string, deviceSecret []byte, start time.Time) (string, []interaction.Record, error) {
+	id := history.AnonID(deviceSecret, entityKey)
+	recs := attack.Generate(rng, entityKey, start)
+	for _, r := range recs {
+		if err := store.Append(id, entityKey, r); err != nil {
+			return "", nil, err
+		}
+	}
+	return id, recs, nil
+}

@@ -1,0 +1,242 @@
+// Package fraud implements §4.3: detecting fake activity aimed at
+// manufacturing implicit recommendations.
+//
+// The defense is the one the paper prescribes: "since the history of
+// interactions for every (user, entity) pair is stored on an RSP's
+// servers, it can merge these individual histories to generate a profile
+// of the typical user" and then discard "interaction histories that
+// significantly deviate from the activity patterns of the typical user."
+//
+// A Profile captures quantile envelopes of inter-interaction gaps,
+// interaction durations, and daily intensity across the honest
+// population; Score measures how far one history falls outside the
+// envelope; a Detector flags histories above a threshold. The package
+// also ships the attack generators used by experiment E3 — the paper's
+// own examples: back-to-back phone calls to an electrician, an employee
+// clocking daily presence at a restaurant, and the costly "mimic" attack
+// that spaces fake visits like a real patron (which the paper concedes
+// raises attacker cost rather than eliminating fraud).
+package fraud
+
+import (
+	"math"
+	"sort"
+
+	"opinions/internal/history"
+	"opinions/internal/interaction"
+	"opinions/internal/stats"
+)
+
+// Profile is the typical-user activity envelope, built by merging the
+// anonymous histories of (assumed mostly honest) users.
+//
+// The profile must survive pollution: attackers contribute histories to
+// the very store it is built from. Two defenses bound their influence:
+// each history contributes at most profileCapPerHistory samples per
+// statistic, and the envelope is a median ± k·MAD band computed in log
+// space — median and MAD have a 50% breakdown point, so even a large
+// attacker minority cannot drag the envelope around its own behaviour.
+type Profile struct {
+	// GapLo/GapHi bound typical inter-interaction gaps in hours; GapMed
+	// is the median.
+	GapLo, GapMed, GapHi float64
+	// VisitMinLo/Hi bound typical visit durations in minutes.
+	VisitMinLo, VisitMinHi float64
+	// CallSecLo/Hi bound typical call durations in seconds.
+	CallSecLo, CallSecHi float64
+	// MaxPerDayHi bounds typical interactions per day within one
+	// history.
+	MaxPerDayHi float64
+	// N is the number of histories the profile was built from.
+	N int
+}
+
+// profileCapPerHistory bounds one history's influence on the profile.
+const profileCapPerHistory = 12
+
+// envelopeK is the robust-z half-width of the envelope.
+const envelopeK = 2.5
+
+// BuildProfile merges histories into a typical-user profile. Histories
+// with fewer than 2 records contribute durations but not gaps.
+func BuildProfile(hists []*history.EntityHistory) *Profile {
+	var gaps, visitMins, callSecs, perDayMax []float64
+	for _, h := range hists {
+		recs := append([]interaction.Record(nil), h.Records...)
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Start.Before(recs[j].Start) })
+		days := map[string]int{}
+		var g, v, c int
+		for i, r := range recs {
+			if i > 0 && g < profileCapPerHistory {
+				gaps = append(gaps, r.Start.Sub(recs[i-1].Start).Hours())
+				g++
+			}
+			switch r.Kind {
+			case interaction.VisitKind:
+				if v < profileCapPerHistory {
+					visitMins = append(visitMins, r.Duration.Minutes())
+					v++
+				}
+			case interaction.CallKind:
+				if c < profileCapPerHistory {
+					callSecs = append(callSecs, r.Duration.Seconds())
+					c++
+				}
+			}
+			days[r.Start.Format("2006-01-02")]++
+		}
+		maxDay := 0
+		for _, n := range days {
+			if n > maxDay {
+				maxDay = n
+			}
+		}
+		if maxDay > 0 {
+			perDayMax = append(perDayMax, float64(maxDay))
+		}
+	}
+	p := &Profile{N: len(hists)}
+	p.GapLo, p.GapHi = logEnvelope(gaps, envelopeK)
+	p.GapMed = med(gaps)
+	p.VisitMinLo, p.VisitMinHi = logEnvelope(visitMins, envelopeK)
+	p.CallSecLo, p.CallSecHi = logEnvelope(callSecs, envelopeK)
+	_, p.MaxPerDayHi = logEnvelope(perDayMax, envelopeK)
+	return p
+}
+
+func med(xs []float64) float64 {
+	v, err := stats.Median(xs)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// logEnvelope returns [exp(m−k·s), exp(m+k·s)] where m is the median of
+// log(x) and s the normal-consistent MAD of log(x). A floor on s keeps
+// degenerate (near-constant) samples from producing a zero-width band.
+func logEnvelope(xs []float64, k float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	logs := make([]float64, len(xs))
+	for i, x := range xs {
+		if x < 1e-6 {
+			x = 1e-6
+		}
+		logs[i] = math.Log(x)
+	}
+	m := med(logs)
+	dev := make([]float64, len(logs))
+	for i, l := range logs {
+		dev[i] = math.Abs(l - m)
+	}
+	s := 1.4826 * med(dev)
+	if s < 0.25 {
+		s = 0.25
+	}
+	return math.Exp(m - k*s), math.Exp(m + k*s)
+}
+
+// Score returns an anomaly score ≥ 0 for one history under the profile:
+// 0 means entirely typical; each unit roughly means one strong
+// deviation. Histories too short to judge score 0 — the paper notes
+// such histories "will have limited influence on others" anyway.
+func (p *Profile) Score(h *history.EntityHistory) float64 {
+	recs := append([]interaction.Record(nil), h.Records...)
+	if len(recs) < 3 {
+		return 0
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Start.Before(recs[j].Start) })
+
+	var score float64
+
+	// Gap violations: fraction of gaps implausibly small or large.
+	var gaps []float64
+	days := map[string]int{}
+	for i, r := range recs {
+		if i > 0 {
+			gaps = append(gaps, r.Start.Sub(recs[i-1].Start).Hours())
+		}
+		days[r.Start.Format("2006-01-02")]++
+	}
+	if len(gaps) > 0 && p.GapHi > p.GapLo {
+		bad := 0
+		for _, g := range gaps {
+			if g < p.GapLo || g > p.GapHi {
+				bad++
+			}
+		}
+		score += 3 * float64(bad) / float64(len(gaps))
+	}
+
+	// Duration violations, per kind.
+	var visitBad, visitN, callBad, callN int
+	for _, r := range recs {
+		switch r.Kind {
+		case interaction.VisitKind:
+			visitN++
+			m := r.Duration.Minutes()
+			if m < p.VisitMinLo || m > p.VisitMinHi {
+				visitBad++
+			}
+		case interaction.CallKind:
+			callN++
+			s := r.Duration.Seconds()
+			if s < p.CallSecLo || s > p.CallSecHi {
+				callBad++
+			}
+		}
+	}
+	if visitN > 0 {
+		score += 2 * float64(visitBad) / float64(visitN)
+	}
+	if callN > 0 {
+		score += 2 * float64(callBad) / float64(callN)
+	}
+
+	// Intensity: many interactions crammed into single days.
+	maxDay := 0
+	for _, n := range days {
+		if n > maxDay {
+			maxDay = n
+		}
+	}
+	if p.MaxPerDayHi > 0 && float64(maxDay) > p.MaxPerDayHi {
+		score += math.Log2(float64(maxDay) / p.MaxPerDayHi)
+	}
+
+	return score
+}
+
+// Detector flags histories whose anomaly score exceeds Threshold.
+type Detector struct {
+	Profile   *Profile
+	Threshold float64
+}
+
+// NewDetector returns a detector with the default threshold of 1.5 —
+// roughly "more than one strong deviation and a half".
+func NewDetector(p *Profile) *Detector { return &Detector{Profile: p, Threshold: 1.5} }
+
+// Flag reports whether the history should be discarded before
+// aggregation.
+func (d *Detector) Flag(h *history.EntityHistory) bool {
+	thr := d.Threshold
+	if thr <= 0 {
+		thr = 1.5
+	}
+	return d.Profile.Score(h) > thr
+}
+
+// Filter partitions histories into kept and discarded.
+func (d *Detector) Filter(hists []*history.EntityHistory) (kept, discarded []*history.EntityHistory) {
+	for _, h := range hists {
+		if d.Flag(h) {
+			discarded = append(discarded, h)
+		} else {
+			kept = append(kept, h)
+		}
+	}
+	return kept, discarded
+}

@@ -1,0 +1,240 @@
+package fraud
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"opinions/internal/history"
+	"opinions/internal/interaction"
+	"opinions/internal/stats"
+)
+
+var t0 = time.Date(2016, 2, 1, 12, 0, 0, 0, time.UTC)
+
+// honestHistory fabricates a plausible patron: visits every 3–15 days,
+// 30–110 minutes each, occasional 1–4 minute calls.
+func honestHistory(rng *stats.RNG, id, entity string, n int) *history.EntityHistory {
+	h := &history.EntityHistory{AnonID: id, Entity: entity}
+	cur := t0.Add(time.Duration(rng.Intn(96)) * time.Hour)
+	for i := 0; i < n; i++ {
+		h.Records = append(h.Records, interaction.Record{
+			Entity: entity, Kind: interaction.VisitKind,
+			Start:        cur,
+			Duration:     time.Duration(30+rng.Intn(80)) * time.Minute,
+			DistanceFrom: 500 + rng.Float64()*4000,
+		})
+		if rng.Bool(0.25) {
+			h.Records = append(h.Records, interaction.Record{
+				Entity: entity, Kind: interaction.CallKind,
+				Start:    cur.Add(-48 * time.Hour),
+				Duration: time.Duration(60+rng.Intn(180)) * time.Second,
+			})
+		}
+		cur = cur.Add(time.Duration(3+rng.Intn(12)) * 24 * time.Hour)
+	}
+	return h
+}
+
+func honestPopulation(rng *stats.RNG, n int) []*history.EntityHistory {
+	out := make([]*history.EntityHistory, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, honestHistory(rng, fmt.Sprintf("h%d", i), "yelp/e", 2+rng.Intn(8)))
+	}
+	return out
+}
+
+func TestBuildProfileSane(t *testing.T) {
+	rng := stats.NewRNG(1)
+	p := BuildProfile(honestPopulation(rng, 200))
+	if p.N != 200 {
+		t.Fatalf("N = %d", p.N)
+	}
+	if p.GapLo <= 0 || p.GapHi <= p.GapLo {
+		t.Fatalf("gap envelope = [%v, %v]", p.GapLo, p.GapHi)
+	}
+	// The robust envelope extends beyond the honest sample range (30–110
+	// min) by design; it must bracket it without being absurdly wide.
+	if p.VisitMinLo > 30 || p.VisitMinLo < 5 {
+		t.Fatalf("visit envelope lo = %v", p.VisitMinLo)
+	}
+	if p.VisitMinHi < 110 || p.VisitMinHi > 420 {
+		t.Fatalf("visit envelope hi = %v", p.VisitMinHi)
+	}
+	if p.MaxPerDayHi <= 0 {
+		t.Fatalf("MaxPerDayHi = %v", p.MaxPerDayHi)
+	}
+}
+
+func TestHonestHistoriesScoreLow(t *testing.T) {
+	rng := stats.NewRNG(2)
+	pop := honestPopulation(rng, 300)
+	p := BuildProfile(pop)
+	d := NewDetector(p)
+	flagged := 0
+	for _, h := range pop {
+		if d.Flag(h) {
+			flagged++
+		}
+	}
+	// False positive rate must be small.
+	if frac := float64(flagged) / float64(len(pop)); frac > 0.08 {
+		t.Fatalf("false positive rate = %v", frac)
+	}
+}
+
+func TestCallSpamDetected(t *testing.T) {
+	rng := stats.NewRNG(3)
+	p := BuildProfile(honestPopulation(rng, 300))
+	d := NewDetector(p)
+	recs := CallSpam{}.Generate(rng, "yelp/e", t0)
+	h := &history.EntityHistory{AnonID: "attacker", Entity: "yelp/e", Records: recs}
+	if !d.Flag(h) {
+		t.Fatalf("call-spam history not flagged; score = %v", p.Score(h))
+	}
+}
+
+func TestEmployeeDetected(t *testing.T) {
+	rng := stats.NewRNG(4)
+	p := BuildProfile(honestPopulation(rng, 300))
+	d := NewDetector(p)
+	recs := Employee{}.Generate(rng, "yelp/e", t0)
+	h := &history.EntityHistory{AnonID: "employee", Entity: "yelp/e", Records: recs}
+	if !d.Flag(h) {
+		t.Fatalf("employee history not flagged; score = %v", p.Score(h))
+	}
+}
+
+func TestMimicEvadesButCosts(t *testing.T) {
+	rng := stats.NewRNG(5)
+	p := BuildProfile(honestPopulation(rng, 300))
+	d := NewDetector(p)
+	attack := Mimic{}
+	recs := attack.Generate(rng, "yelp/e", t0)
+	h := &history.EntityHistory{AnonID: "mimic", Entity: "yelp/e", Records: recs}
+	if d.Flag(h) {
+		t.Logf("note: mimic flagged with score %v (acceptable but unexpected)", p.Score(h))
+	}
+	// The point of §4.3: the surviving attack is expensive.
+	mimicCost := attack.CostHours(recs)
+	spam := CallSpam{}
+	spamCost := spam.CostHours(spam.Generate(rng, "yelp/e", t0))
+	if mimicCost < 5 {
+		t.Fatalf("mimic cost = %v hours, implausibly cheap", mimicCost)
+	}
+	if mimicCost <= spamCost*10 {
+		t.Fatalf("mimic cost %v not dramatically above spam cost %v", mimicCost, spamCost)
+	}
+}
+
+func TestProfilePoisoningResistance(t *testing.T) {
+	// A coordinated gang of employee attackers (≈12% of histories, far
+	// more records each than honest users) must not shift the envelope
+	// enough to whitelist themselves: the per-history contribution cap
+	// bounds their influence on the merged profile.
+	rng := stats.NewRNG(11)
+	pop := honestPopulation(rng, 300)
+	var fakes []*history.EntityHistory
+	for i := 0; i < 40; i++ {
+		fakes = append(fakes, &history.EntityHistory{
+			AnonID: fmt.Sprintf("emp%d", i), Entity: "yelp/e",
+			Records: Employee{}.Generate(rng, "yelp/e", t0),
+		})
+	}
+	all := append(append([]*history.EntityHistory{}, pop...), fakes...)
+	d := NewDetector(BuildProfile(all))
+	caught := 0
+	for _, f := range fakes {
+		if d.Flag(f) {
+			caught++
+		}
+	}
+	if frac := float64(caught) / float64(len(fakes)); frac < 0.8 {
+		t.Fatalf("only %.0f%% of poisoning employees caught", frac*100)
+	}
+}
+
+func TestShortHistoryNotJudged(t *testing.T) {
+	rng := stats.NewRNG(6)
+	p := BuildProfile(honestPopulation(rng, 100))
+	h := &history.EntityHistory{AnonID: "x", Entity: "yelp/e", Records: []interaction.Record{
+		{Entity: "yelp/e", Kind: interaction.CallKind, Start: t0, Duration: time.Second},
+		{Entity: "yelp/e", Kind: interaction.CallKind, Start: t0.Add(time.Minute), Duration: time.Second},
+	}}
+	if s := p.Score(h); s != 0 {
+		t.Fatalf("2-record history scored %v, want 0 (too short to judge)", s)
+	}
+}
+
+func TestFilterPartitions(t *testing.T) {
+	rng := stats.NewRNG(7)
+	pop := honestPopulation(rng, 100)
+	p := BuildProfile(pop)
+	d := NewDetector(p)
+	spamRecs := CallSpam{}.Generate(rng, "yelp/e", t0)
+	attacker := &history.EntityHistory{AnonID: "attacker", Entity: "yelp/e", Records: spamRecs}
+	all := append(append([]*history.EntityHistory{}, pop...), attacker)
+	kept, discarded := d.Filter(all)
+	if len(kept)+len(discarded) != len(all) {
+		t.Fatal("filter lost histories")
+	}
+	foundAttacker := false
+	for _, h := range discarded {
+		if h.AnonID == "attacker" {
+			foundAttacker = true
+		}
+	}
+	if !foundAttacker {
+		t.Fatal("attacker survived the filter")
+	}
+}
+
+func TestDetectorDefaultThreshold(t *testing.T) {
+	rng := stats.NewRNG(8)
+	p := BuildProfile(honestPopulation(rng, 50))
+	d := &Detector{Profile: p} // zero threshold → default
+	h := honestHistory(rng, "h", "yelp/e", 5)
+	_ = d.Flag(h) // must not panic; behaviour covered above
+}
+
+func TestInjectAttack(t *testing.T) {
+	rng := stats.NewRNG(9)
+	store := history.NewServerStore()
+	id, recs, err := InjectAttack(store, CallSpam{Calls: 5}, rng, "yelp/e", []byte("attacker-ru"), t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("generated %d records", len(recs))
+	}
+	hists := store.ByEntity("yelp/e")
+	if len(hists) != 1 || hists[0].AnonID != id || len(hists[0].Records) != 5 {
+		t.Fatalf("store state wrong: %d histories", len(hists))
+	}
+}
+
+func TestAttackNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range AllAttacks() {
+		if seen[a.Name()] {
+			t.Fatalf("duplicate attack name %s", a.Name())
+		}
+		seen[a.Name()] = true
+	}
+}
+
+func TestAttackDefaults(t *testing.T) {
+	rng := stats.NewRNG(10)
+	if got := len(CallSpam{}.Generate(rng, "e", t0)); got != 12 {
+		t.Fatalf("CallSpam default = %d", got)
+	}
+	if got := len(Employee{}.Generate(rng, "e", t0)); got != 30 {
+		t.Fatalf("Employee default = %d", got)
+	}
+	if got := len(Mimic{}.Generate(rng, "e", t0)); got != 6 {
+		t.Fatalf("Mimic default = %d", got)
+	}
+	if (Employee{}).CostHours(nil) != 0 {
+		t.Fatal("employee marginal cost should be 0")
+	}
+}

@@ -1,0 +1,51 @@
+package geo
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchIndex(n int) (*Index, []Point) {
+	ix := NewIndex(250)
+	base := Point{Lat: 42.28, Lon: -83.74}
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		p := Offset(base, float64((i*131)%8000)-4000, float64((i*257)%8000)-4000)
+		pts[i] = p
+		ix.Insert(fmt.Sprintf("e%d", i), p)
+	}
+	return ix, pts
+}
+
+func BenchmarkDistance(b *testing.B) {
+	a := Point{Lat: 42.28, Lon: -83.74}
+	c := Point{Lat: 42.30, Lon: -83.70}
+	for i := 0; i < b.N; i++ {
+		Distance(a, c)
+	}
+}
+
+func BenchmarkIndexInsert(b *testing.B) {
+	base := Point{Lat: 42.28, Lon: -83.74}
+	ix := NewIndex(250)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Insert("e", Offset(base, float64(i%8000), float64(i%8000)))
+	}
+}
+
+func BenchmarkIndexNearest(b *testing.B) {
+	ix, pts := benchIndex(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Nearest(pts[i%len(pts)], 1000)
+	}
+}
+
+func BenchmarkIndexWithin(b *testing.B) {
+	ix, pts := benchIndex(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Within(pts[i%len(pts)], 500)
+	}
+}

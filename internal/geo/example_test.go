@@ -1,0 +1,28 @@
+package geo_test
+
+import (
+	"fmt"
+
+	"opinions/internal/geo"
+)
+
+// Resolve a location sample against a small POI index — the core of
+// the client's map-location-to-restaurant step.
+func Example() {
+	index := geo.NewIndex(250)
+	restaurant := geo.Point{Lat: 42.280, Lon: -83.740}
+	index.Insert("yelp/golden-wok", restaurant)
+	index.Insert("yelp/far-away", geo.Offset(restaurant, 5000, 0))
+
+	// A GPS fix ~40 m from the restaurant resolves to it.
+	fix := geo.Offset(restaurant, 40, 0)
+	nearest, ok := index.Nearest(fix, 100)
+	fmt.Println(ok, nearest.ID)
+
+	// The effort feature: distance from home to the restaurant.
+	home := geo.Offset(restaurant, 2000, 1000)
+	fmt.Printf("%.0f m\n", geo.Distance(home, restaurant))
+	// Output:
+	// true yelp/golden-wok
+	// 2236 m
+}

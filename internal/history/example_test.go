@@ -1,0 +1,18 @@
+package history_test
+
+import (
+	"fmt"
+
+	"opinions/internal/history"
+)
+
+// Derive the unlinkable anonymous identifiers of §4.2: one per
+// (device secret, entity) pair.
+func ExampleAnonID() {
+	ru := []byte("device-secret-never-leaves-the-phone")
+	a := history.AnonID(ru, "yelp/golden-wok")
+	b := history.AnonID(ru, "healthgrades/dr-chen")
+	fmt.Println(len(a), len(b), a == b)
+	// Output:
+	// 64 64 false
+}

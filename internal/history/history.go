@@ -1,0 +1,327 @@
+// Package history implements the paper's two-tier, privacy-preserving
+// storage of interaction histories (§4.2).
+//
+// Client side, the device keeps only a *recent snapshot*: "an RSP [should]
+// store only a recent snapshot of any user's inferred interactions on her
+// device and store the rest of the user's long-term history at the RSP's
+// servers" — so a stolen phone leaks only recent interactions.
+//
+// Server side, each (user, entity) pair's history lives under the
+// anonymous identifier hash(Ru, e), where Ru is a random number that
+// never leaves the device. Two properties follow, both tested here:
+//
+//  1. Unlinkability: histories of the same user for two entities share
+//     nothing the server can correlate.
+//  2. Update-only access: the server supports appends but no retrieval
+//     by identifier, so even a leaked Ru cannot be used to read a user's
+//     history back out.
+package history
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"opinions/internal/interaction"
+)
+
+// AnonID derives the anonymous history identifier for (Ru, entity):
+// HMAC-SHA256(Ru, entityKey), hex encoded. The HMAC keys the hash with
+// the device secret so the server — which knows every entity key —
+// cannot enumerate candidate IDs.
+func AnonID(ru []byte, entityKey string) string {
+	mac := hmac.New(sha256.New, ru)
+	mac.Write([]byte(entityKey))
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// ClientStore is the on-device snapshot: interaction records retained
+// only for a bounded window ("the RSP's app purges an entry from the
+// user's history once the entry is older than a configurable threshold").
+// ClientStore is safe for concurrent use.
+type ClientStore struct {
+	retention time.Duration
+
+	mu   sync.Mutex
+	recs map[string][]interaction.Record // entity key → records, time-ordered
+}
+
+// NewClientStore returns a store that retains records for the given
+// duration (default 30 days when non-positive).
+func NewClientStore(retention time.Duration) *ClientStore {
+	if retention <= 0 {
+		retention = 30 * 24 * time.Hour
+	}
+	return &ClientStore{
+		retention: retention,
+		recs:      make(map[string][]interaction.Record),
+	}
+}
+
+// Add records an interaction.
+func (cs *ClientStore) Add(rec interaction.Record) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.recs[rec.Entity] = append(cs.recs[rec.Entity], rec)
+}
+
+// Purge drops every record older than the retention window as of now and
+// returns the number dropped.
+func (cs *ClientStore) Purge(now time.Time) int {
+	cutoff := now.Add(-cs.retention)
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	dropped := 0
+	for key, recs := range cs.recs {
+		kept := recs[:0]
+		for _, r := range recs {
+			if r.Start.Before(cutoff) {
+				dropped++
+			} else {
+				kept = append(kept, r)
+			}
+		}
+		if len(kept) == 0 {
+			delete(cs.recs, key)
+		} else {
+			cs.recs[key] = kept
+		}
+	}
+	return dropped
+}
+
+// ForEntity returns a copy of the retained records for an entity.
+func (cs *ClientStore) ForEntity(entityKey string) []interaction.Record {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return append([]interaction.Record(nil), cs.recs[entityKey]...)
+}
+
+// Entities returns the entity keys with retained records, sorted. This
+// is the transparency surface (§5): the user can see exactly which
+// entities the app currently holds inferences about.
+func (cs *ClientStore) Entities() []string {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	out := make([]string, 0, len(cs.recs))
+	for k := range cs.recs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Forget removes every record for an entity — the §5 correction
+// affordance ("enable users to correct inaccurate inferences"). It
+// returns the number of records removed.
+func (cs *ClientStore) Forget(entityKey string) int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	n := len(cs.recs[entityKey])
+	delete(cs.recs, entityKey)
+	return n
+}
+
+// Dump returns every retained record, for device-state persistence.
+func (cs *ClientStore) Dump() []interaction.Record {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	var out []interaction.Record
+	keys := make([]string, 0, len(cs.recs))
+	for k := range cs.recs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, cs.recs[k]...)
+	}
+	return out
+}
+
+// Restore replaces the store's contents with the given records.
+func (cs *ClientStore) Restore(recs []interaction.Record) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.recs = make(map[string][]interaction.Record)
+	for _, r := range recs {
+		cs.recs[r.Entity] = append(cs.recs[r.Entity], r)
+	}
+}
+
+// Len returns the total number of retained records.
+func (cs *ClientStore) Len() int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	n := 0
+	for _, recs := range cs.recs {
+		n += len(recs)
+	}
+	return n
+}
+
+// EntityHistory is one anonymous per-(user, entity) record sequence as
+// stored by the server. It carries no user identity; the server knows
+// only that all its records came from the same (unknown) user.
+type EntityHistory struct {
+	AnonID  string
+	Entity  string
+	Records []interaction.Record
+}
+
+// ErrEntityMismatch is returned when an append names a different entity
+// than the one an existing history was initialized with; a correct
+// client never does this, so it indicates tampering.
+var ErrEntityMismatch = errors.New("history: anonymous ID already bound to a different entity")
+
+// ServerStore is the RSP-side anonymous history store. The public
+// surface is deliberately asymmetric: Append is the only per-ID
+// operation, and iteration is only by entity, because "the RSP's service
+// only need support requests to update histories but not to retrieve
+// them" (§4.2). ServerStore is safe for concurrent use.
+type ServerStore struct {
+	mu       sync.RWMutex
+	byID     map[string]*EntityHistory
+	byEntity map[string][]*EntityHistory
+}
+
+// NewServerStore returns an empty store.
+func NewServerStore() *ServerStore {
+	return &ServerStore{
+		byID:     make(map[string]*EntityHistory),
+		byEntity: make(map[string][]*EntityHistory),
+	}
+}
+
+// Append adds a record to the history identified by anonID, creating the
+// history bound to entityKey on first use.
+func (ss *ServerStore) Append(anonID, entityKey string, rec interaction.Record) error {
+	if anonID == "" || entityKey == "" {
+		return fmt.Errorf("history: empty identifier (anonID=%q entity=%q)", anonID, entityKey)
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	h, ok := ss.byID[anonID]
+	if !ok {
+		h = &EntityHistory{AnonID: anonID, Entity: entityKey}
+		ss.byID[anonID] = h
+		ss.byEntity[entityKey] = append(ss.byEntity[entityKey], h)
+	} else if h.Entity != entityKey {
+		return ErrEntityMismatch
+	}
+	h.Records = append(h.Records, rec)
+	return nil
+}
+
+// ByEntity returns the histories stored for an entity. The returned
+// slice is a copy but the histories are shared; callers must not mutate
+// them. This is the RSP-internal aggregation surface (Figure 3, §4.3's
+// typical-user profile); it is never exposed over the network API.
+func (ss *ServerStore) ByEntity(entityKey string) []*EntityHistory {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	return append([]*EntityHistory(nil), ss.byEntity[entityKey]...)
+}
+
+// Entities returns all entity keys with at least one history, sorted.
+func (ss *ServerStore) Entities() []string {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	out := make([]string, 0, len(ss.byEntity))
+	for k := range ss.byEntity {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drop removes a history entirely — used by fraud filtering (§4.3:
+// "Discarding interaction histories that significantly deviate from the
+// activity patterns of the typical user").
+func (ss *ServerStore) Drop(anonID string) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	h, ok := ss.byID[anonID]
+	if !ok {
+		return
+	}
+	delete(ss.byID, anonID)
+	list := ss.byEntity[h.Entity]
+	for i, other := range list {
+		if other == h {
+			ss.byEntity[h.Entity] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(ss.byEntity[h.Entity]) == 0 {
+		delete(ss.byEntity, h.Entity)
+	}
+}
+
+// Dump returns a deep copy of every history, for snapshotting. Order is
+// deterministic (by anonymous ID).
+func (ss *ServerStore) Dump() []EntityHistory {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	ids := make([]string, 0, len(ss.byID))
+	for id := range ss.byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]EntityHistory, 0, len(ids))
+	for _, id := range ids {
+		h := ss.byID[id]
+		out = append(out, EntityHistory{
+			AnonID:  h.AnonID,
+			Entity:  h.Entity,
+			Records: append([]interaction.Record(nil), h.Records...),
+		})
+	}
+	return out
+}
+
+// Restore replaces the store's contents with the dumped histories.
+func (ss *ServerStore) Restore(hists []EntityHistory) error {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.byID = make(map[string]*EntityHistory, len(hists))
+	ss.byEntity = make(map[string][]*EntityHistory)
+	for _, h := range hists {
+		if h.AnonID == "" || h.Entity == "" {
+			return fmt.Errorf("history: restoring malformed history (anonID=%q entity=%q)", h.AnonID, h.Entity)
+		}
+		if _, dup := ss.byID[h.AnonID]; dup {
+			return fmt.Errorf("history: duplicate anonymous ID %q in snapshot", h.AnonID)
+		}
+		cp := &EntityHistory{
+			AnonID:  h.AnonID,
+			Entity:  h.Entity,
+			Records: append([]interaction.Record(nil), h.Records...),
+		}
+		ss.byID[h.AnonID] = cp
+		ss.byEntity[h.Entity] = append(ss.byEntity[h.Entity], cp)
+	}
+	return nil
+}
+
+// Stats summarizes store contents.
+type Stats struct {
+	Histories int
+	Records   int
+	Entities  int
+}
+
+// Stats returns current totals.
+func (ss *ServerStore) Stats() Stats {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	s := Stats{Histories: len(ss.byID), Entities: len(ss.byEntity)}
+	for _, h := range ss.byID {
+		s.Records += len(h.Records)
+	}
+	return s
+}

@@ -1,0 +1,75 @@
+package history
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: AnonID is a stable function of (Ru, entity), distinct Ru or
+// entity (almost surely) changes it, and the output is always 64 hex
+// characters.
+func TestAnonIDProperties(t *testing.T) {
+	format := func(ru []byte, entity string) bool {
+		id := AnonID(ru, entity)
+		if len(id) != 64 {
+			return false
+		}
+		for _, c := range id {
+			if !((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) {
+				return false
+			}
+		}
+		return id == AnonID(ru, entity)
+	}
+	if err := quick.Check(format, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	distinct := func(ru []byte, a, b string) bool {
+		if a == b {
+			return true
+		}
+		return AnonID(ru, a) != AnonID(ru, b)
+	}
+	if err := quick.Check(distinct, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	perDevice := func(ru1, ru2 []byte, entity string) bool {
+		if string(ru1) == string(ru2) {
+			return true
+		}
+		return AnonID(ru1, entity) != AnonID(ru2, entity)
+	}
+	if err := quick.Check(perDevice, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a ServerStore dump/restore round trip preserves stats
+// exactly, for arbitrary insertion patterns.
+func TestServerStoreDumpRestoreProperty(t *testing.T) {
+	f := func(ids []uint8, entities []uint8) bool {
+		if len(ids) == 0 || len(entities) == 0 {
+			return true
+		}
+		ss := NewServerStore()
+		for i, idByte := range ids {
+			entity := "e" + string(rune('a'+int(entities[i%len(entities)])%26))
+			id := AnonID([]byte{idByte}, entity)
+			if err := ss.Append(id, entity, rec(entity, t0)); err != nil {
+				return false
+			}
+		}
+		before := ss.Stats()
+		dump := ss.Dump()
+		other := NewServerStore()
+		if err := other.Restore(dump); err != nil {
+			return false
+		}
+		return other.Stats() == before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

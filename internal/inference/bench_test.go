@@ -1,0 +1,78 @@
+package inference
+
+import (
+	"testing"
+
+	"opinions/internal/stats"
+)
+
+func benchEvidence() EntityEvidence {
+	rng := stats.NewRNG(1)
+	return evidenceFromOpinion(rng, 3.8)
+}
+
+func BenchmarkExtractFeatures(b *testing.B) {
+	ev := benchEvidence()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExtractFeatures(ev)
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	rng := stats.NewRNG(2)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 500; i++ {
+		x, y := synthExample(rng)
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(xs, ys, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	rng := stats.NewRNG(3)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 300; i++ {
+		x, y := synthExample(rng)
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	m, err := Train(xs, ys, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := xs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(x)
+	}
+}
+
+func BenchmarkInferWithAbstention(b *testing.B) {
+	rng := stats.NewRNG(4)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 300; i++ {
+		x, y := synthExample(rng)
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	m, err := Train(xs, ys, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := NewPredictor(m)
+	ev := benchEvidence()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Infer(ev)
+	}
+}

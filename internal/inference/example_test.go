@@ -1,0 +1,40 @@
+package inference_test
+
+import (
+	"fmt"
+	"time"
+
+	"opinions/internal/inference"
+	"opinions/internal/interaction"
+)
+
+// Abstention in action: the predictor refuses to rate on one
+// interaction, exactly as §4.1's footnote requires.
+func ExamplePredictor_Infer() {
+	// A minimal trained model (identity-ish weights standing in for a
+	// real training run; see Train for the real thing).
+	model := &inference.Model{
+		Weights: make([]float64, inference.NumFeatures+1),
+		Mean:    make([]float64, inference.NumFeatures),
+		Std:     ones(inference.NumFeatures),
+	}
+	model.Weights[inference.NumFeatures] = 3.5 // intercept
+	predictor := inference.NewPredictor(model)
+
+	thin := inference.EntityEvidence{Records: []interaction.Record{{
+		Entity: "yelp/x", Kind: interaction.VisitKind,
+		Start: time.Date(2016, 3, 1, 19, 0, 0, 0, time.UTC), Duration: time.Hour,
+	}}}
+	_, ok := predictor.Infer(thin)
+	fmt.Println("one visit rated:", ok)
+	// Output:
+	// one visit rated: false
+}
+
+func ones(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+// Package inference implements §4.1's "effort is endorsement" approach:
+// "a predictive classifier that takes as input observations of a user's
+// interactions with an entity and either outputs a numerical rating
+// between 0 and 5 or declares it infeasible to accurately gauge the
+// user's opinion."
+//
+// The paper prescribes three kinds of input features, all implemented
+// here: (1) effort the user puts in (distance travelled, time spent),
+// (2) whether the user tried alternatives before settling versus
+// sticking out of laziness, and (3) the size of the choice set the
+// entity was selected from. The model is a ridge regression trained on
+// the minority of users who post explicit ratings, with a
+// confidence-gated abstention rule standing in for "declares it
+// infeasible".
+//
+// Feature extraction runs on the *client*: the exploration feature needs
+// cross-entity knowledge that the server's unlinkable per-(user, entity)
+// histories deliberately cannot provide (§4.2).
+package inference
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"opinions/internal/interaction"
+)
+
+// EntityEvidence is everything one device knows about its user's
+// relationship with one entity, plus the local context features.
+type EntityEvidence struct {
+	// Records are this user's interactions with the entity, any order.
+	Records []interaction.Record
+	// AlternativesTried is the number of *other* same-category entities
+	// the user has interacted with — §4.1's "tried out many options
+	// before settling" signal.
+	AlternativesTried int
+	// ChoiceSetSize is the number of similar nearby options the entity
+	// was chosen from (mapping.Resolver.SimilarNearby).
+	ChoiceSetSize int
+}
+
+// FeatureNames labels the entries of the vector ExtractFeatures returns,
+// in order. Keep in sync with ExtractFeatures.
+var FeatureNames = []string{
+	"log_visits",
+	"log_calls",
+	"log_payments",
+	"mean_visit_hours",
+	"mean_effort_km",
+	"max_effort_km",
+	"gap_regularity",
+	"span_days",
+	"alternatives_tried",
+	"log_choice_set",
+	"short_call_frac",
+	"complaintish_call_frac",
+}
+
+// NumFeatures is the dimensionality of the feature vector.
+var NumFeatures = len(FeatureNames)
+
+// ExtractFeatures computes the §4.1 feature vector from evidence.
+func ExtractFeatures(ev EntityEvidence) []float64 {
+	var visits, calls, payments int
+	var durSum time.Duration
+	var effortSum, effortMax float64
+	var shortCalls, longCalls int
+	var starts []time.Time
+	for _, r := range ev.Records {
+		starts = append(starts, r.Start)
+		switch r.Kind {
+		case interaction.VisitKind:
+			visits++
+			durSum += r.Duration
+			km := r.DistanceFrom / 1000
+			effortSum += km
+			if km > effortMax {
+				effortMax = km
+			}
+		case interaction.CallKind:
+			calls++
+			if r.Duration < 30*time.Second {
+				shortCalls++
+			}
+			if r.Duration > 2*time.Minute {
+				longCalls++
+			}
+		case interaction.PaymentKind:
+			payments++
+		}
+	}
+
+	meanVisitHours := 0.0
+	meanEffort := 0.0
+	if visits > 0 {
+		meanVisitHours = durSum.Hours() / float64(visits)
+		meanEffort = effortSum / float64(visits)
+	}
+
+	// Gap regularity: 1/(1+CV) of inter-interaction gaps. Routine,
+	// evenly spaced interactions score near 1; bursty ones near 0.
+	regularity := 0.0
+	if len(starts) >= 3 {
+		sort.Slice(starts, func(i, j int) bool { return starts[i].Before(starts[j]) })
+		var gaps []float64
+		for i := 1; i < len(starts); i++ {
+			gaps = append(gaps, starts[i].Sub(starts[i-1]).Hours())
+		}
+		mean := 0.0
+		for _, g := range gaps {
+			mean += g
+		}
+		mean /= float64(len(gaps))
+		if mean > 0 {
+			varSum := 0.0
+			for _, g := range gaps {
+				d := g - mean
+				varSum += d * d
+			}
+			cv := math.Sqrt(varSum/float64(len(gaps))) / mean
+			regularity = 1 / (1 + cv)
+		}
+	}
+
+	spanDays := 0.0
+	if len(starts) >= 2 {
+		sort.Slice(starts, func(i, j int) bool { return starts[i].Before(starts[j]) })
+		spanDays = starts[len(starts)-1].Sub(starts[0]).Hours() / 24
+	}
+
+	shortFrac, complaintFrac := 0.0, 0.0
+	if calls > 0 {
+		shortFrac = float64(shortCalls) / float64(calls)
+		complaintFrac = float64(longCalls) / float64(calls)
+	}
+
+	return []float64{
+		math.Log1p(float64(visits)),
+		math.Log1p(float64(calls)),
+		math.Log1p(float64(payments)),
+		meanVisitHours,
+		meanEffort,
+		effortMax,
+		regularity,
+		spanDays,
+		float64(ev.AlternativesTried),
+		math.Log1p(float64(ev.ChoiceSetSize)),
+		shortFrac,
+		complaintFrac,
+	}
+}
+
+// InteractionCount returns the total number of records in the evidence.
+func (ev EntityEvidence) InteractionCount() int { return len(ev.Records) }

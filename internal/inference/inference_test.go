@@ -1,0 +1,424 @@
+package inference
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"opinions/internal/interaction"
+	"opinions/internal/stats"
+)
+
+var t0 = time.Date(2016, 2, 1, 12, 0, 0, 0, time.UTC)
+
+func visit(at time.Time, dur time.Duration, effortKm float64) interaction.Record {
+	return interaction.Record{
+		Entity: "yelp/e", Kind: interaction.VisitKind,
+		Start: at, Duration: dur, DistanceFrom: effortKm * 1000,
+	}
+}
+
+func call(at time.Time, dur time.Duration) interaction.Record {
+	return interaction.Record{Entity: "yelp/e", Kind: interaction.CallKind, Start: at, Duration: dur}
+}
+
+func TestExtractFeaturesShape(t *testing.T) {
+	x := ExtractFeatures(EntityEvidence{})
+	if len(x) != NumFeatures {
+		t.Fatalf("len = %d, want %d", len(x), NumFeatures)
+	}
+	if len(FeatureNames) != NumFeatures {
+		t.Fatal("FeatureNames out of sync")
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatalf("empty evidence produced non-zero features: %v", x)
+		}
+	}
+}
+
+func TestExtractFeaturesValues(t *testing.T) {
+	ev := EntityEvidence{
+		Records: []interaction.Record{
+			visit(t0, time.Hour, 2),
+			visit(t0.Add(7*24*time.Hour), time.Hour, 4),
+			call(t0.Add(3*24*time.Hour), 10*time.Second),
+			call(t0.Add(5*24*time.Hour), 3*time.Minute),
+		},
+		AlternativesTried: 2,
+		ChoiceSetSize:     7,
+	}
+	x := ExtractFeatures(ev)
+	byName := map[string]float64{}
+	for i, n := range FeatureNames {
+		byName[n] = x[i]
+	}
+	if got := byName["log_visits"]; math.Abs(got-math.Log1p(2)) > 1e-12 {
+		t.Errorf("log_visits = %v", got)
+	}
+	if got := byName["mean_visit_hours"]; math.Abs(got-1) > 1e-12 {
+		t.Errorf("mean_visit_hours = %v", got)
+	}
+	if got := byName["mean_effort_km"]; math.Abs(got-3) > 1e-12 {
+		t.Errorf("mean_effort_km = %v", got)
+	}
+	if got := byName["max_effort_km"]; math.Abs(got-4) > 1e-12 {
+		t.Errorf("max_effort_km = %v", got)
+	}
+	if got := byName["alternatives_tried"]; got != 2 {
+		t.Errorf("alternatives_tried = %v", got)
+	}
+	if got := byName["short_call_frac"]; math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("short_call_frac = %v", got)
+	}
+	if got := byName["complaintish_call_frac"]; math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("complaintish_call_frac = %v", got)
+	}
+	if got := byName["span_days"]; math.Abs(got-7) > 1e-9 {
+		t.Errorf("span_days = %v", got)
+	}
+}
+
+func TestRegularityDistinguishesRoutineFromBursty(t *testing.T) {
+	routine := EntityEvidence{Records: []interaction.Record{
+		visit(t0, time.Hour, 1),
+		visit(t0.Add(7*24*time.Hour), time.Hour, 1),
+		visit(t0.Add(14*24*time.Hour), time.Hour, 1),
+		visit(t0.Add(21*24*time.Hour), time.Hour, 1),
+	}}
+	bursty := EntityEvidence{Records: []interaction.Record{
+		visit(t0, time.Hour, 1),
+		visit(t0.Add(10*time.Minute), time.Hour, 1),
+		visit(t0.Add(20*time.Minute), time.Hour, 1),
+		visit(t0.Add(30*24*time.Hour), time.Hour, 1),
+	}}
+	idx := -1
+	for i, n := range FeatureNames {
+		if n == "gap_regularity" {
+			idx = i
+		}
+	}
+	r1 := ExtractFeatures(routine)[idx]
+	r2 := ExtractFeatures(bursty)[idx]
+	if r1 <= r2 {
+		t.Fatalf("routine regularity %v not above bursty %v", r1, r2)
+	}
+}
+
+// synthExample builds a (features, rating) pair where the rating truly
+// depends on effort and exploration, not just counts.
+func synthExample(rng *stats.RNG) ([]float64, float64) {
+	opinion := rng.Float64() * 5
+	// Opinion drives behaviour: better opinion → more visits, more
+	// effort, more alternatives tried before settling.
+	nVisits := 1 + int(opinion*1.2) + rng.Intn(2)
+	var recs []interaction.Record
+	cur := t0
+	for i := 0; i < nVisits; i++ {
+		effort := 0.3 + opinion*0.5 + rng.Normal(0, 0.2)
+		if effort < 0.1 {
+			effort = 0.1
+		}
+		recs = append(recs, visit(cur, time.Duration(40+rng.Intn(40))*time.Minute, effort))
+		cur = cur.Add(time.Duration(3+rng.Intn(10)) * 24 * time.Hour)
+	}
+	ev := EntityEvidence{
+		Records:           recs,
+		AlternativesTried: int(opinion) + rng.Intn(2),
+		ChoiceSetSize:     3 + rng.Intn(8),
+	}
+	// Observed rating: opinion + noise, clamped.
+	y := opinion + rng.Normal(0, 0.3)
+	if y < 0 {
+		y = 0
+	}
+	if y > 5 {
+		y = 5
+	}
+	return ExtractFeatures(ev), y
+}
+
+func trainedModel(t *testing.T, n int) *Model {
+	t.Helper()
+	rng := stats.NewRNG(42)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < n; i++ {
+		x, y := synthExample(rng)
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	m, err := Train(xs, ys, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTrainRecoversSignal(t *testing.T) {
+	m := trainedModel(t, 800)
+	// Held-out examples.
+	rng := stats.NewRNG(7)
+	var pred, truth []float64
+	for i := 0; i < 300; i++ {
+		x, y := synthExample(rng)
+		pred = append(pred, m.Predict(x))
+		truth = append(truth, y)
+	}
+	mae, err := stats.MAE(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mae > 0.8 {
+		t.Fatalf("held-out MAE = %v, want < 0.8 stars", mae)
+	}
+	r, err := stats.Pearson(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.8 {
+		t.Fatalf("prediction correlation = %v, want ≥ 0.8", r)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, nil, 1); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []float64{1, 2}, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Train([][]float64{{1}, {2}}, []float64{1, 2}, -1); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	if _, err := Train([][]float64{{1}, {1, 2}}, []float64{1, 2}, 1); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	// Too few examples for the dimensionality.
+	if _, err := Train([][]float64{{1, 2, 3}}, []float64{1}, 1); err == nil {
+		t.Error("underdetermined system accepted")
+	}
+}
+
+func TestTrainConstantFeatureDoesNotBlowUp(t *testing.T) {
+	xs := [][]float64{{1, 5}, {2, 5}, {3, 5}, {4, 5}}
+	ys := []float64{1, 2, 3, 4}
+	m, err := Train(xs, ys, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Predict([]float64{2.5, 5})
+	if math.Abs(got-2.5) > 0.3 {
+		t.Fatalf("predict = %v, want ~2.5", got)
+	}
+}
+
+func TestPredictClamped(t *testing.T) {
+	m := trainedModel(t, 400)
+	huge := make([]float64, NumFeatures)
+	for i := range huge {
+		huge[i] = 1e6
+	}
+	v := m.Predict(huge)
+	if v < 0 || v > 5 {
+		t.Fatalf("prediction %v outside [0,5]", v)
+	}
+}
+
+func TestPredictorAbstainsOnThinEvidence(t *testing.T) {
+	m := trainedModel(t, 400)
+	p := NewPredictor(m)
+	ev := EntityEvidence{Records: []interaction.Record{visit(t0, time.Hour, 1)}}
+	if _, ok := p.Infer(ev); ok {
+		t.Fatal("predicted from a single interaction")
+	}
+}
+
+func TestPredictorAbstainsOnOutliers(t *testing.T) {
+	m := trainedModel(t, 400)
+	p := NewPredictor(m)
+	// Plenty of interactions but absurd feature values (e.g. a 1000 km
+	// commute to dinner every night) — outside anything seen in
+	// training, so the model must not extrapolate.
+	var recs []interaction.Record
+	for i := 0; i < 10; i++ {
+		recs = append(recs, visit(t0.Add(time.Duration(i)*24*time.Hour), 300*time.Hour, 5000))
+	}
+	if _, ok := p.Infer(EntityEvidence{Records: recs}); ok {
+		t.Fatal("predicted on wild out-of-distribution evidence")
+	}
+}
+
+func TestPredictorInfersOnGoodEvidence(t *testing.T) {
+	m := trainedModel(t, 400)
+	p := NewPredictor(m)
+	var recs []interaction.Record
+	for i := 0; i < 5; i++ {
+		recs = append(recs, visit(t0.Add(time.Duration(i*6)*24*time.Hour), time.Hour, 2.5))
+	}
+	ev := EntityEvidence{Records: recs, AlternativesTried: 3, ChoiceSetSize: 6}
+	r, ok := p.Infer(ev)
+	if !ok {
+		t.Fatal("abstained on solid evidence")
+	}
+	if r < 0 || r > 5 {
+		t.Fatalf("rating %v out of range", r)
+	}
+	// Heavy, effortful, explored interaction should read as positive.
+	if r < 2.5 {
+		t.Fatalf("rating %v for strong positive evidence", r)
+	}
+}
+
+func TestTrainedBeatsNaiveOnEffortCases(t *testing.T) {
+	m := trainedModel(t, 800)
+	p := NewPredictor(m)
+	naive := NaiveCountPredictor{}
+	rng := stats.NewRNG(13)
+	var pTrained, pNaive, truth []float64
+	for i := 0; i < 400; i++ {
+		x, y := synthExample(rng)
+		_ = x
+		// Rebuild the evidence to feed both predictors identically.
+		// synthExample already extracted features; regenerate evidence
+		// with the same distributional mix.
+		ev := evidenceFromOpinion(rng, y)
+		if r1, ok1 := p.Infer(ev); ok1 {
+			if r2, ok2 := naive.Infer(ev); ok2 {
+				pTrained = append(pTrained, r1)
+				pNaive = append(pNaive, r2)
+				truth = append(truth, y)
+			}
+		}
+	}
+	if len(truth) < 50 {
+		t.Fatalf("only %d comparable cases", len(truth))
+	}
+	maeT, _ := stats.MAE(pTrained, truth)
+	maeN, _ := stats.MAE(pNaive, truth)
+	if maeT >= maeN {
+		t.Fatalf("trained MAE %v not better than naive %v", maeT, maeN)
+	}
+}
+
+// evidenceFromOpinion mirrors synthExample's behaviour model.
+func evidenceFromOpinion(rng *stats.RNG, opinion float64) EntityEvidence {
+	nVisits := 1 + int(opinion*1.2) + rng.Intn(2)
+	var recs []interaction.Record
+	cur := t0
+	for i := 0; i < nVisits; i++ {
+		effort := 0.3 + opinion*0.5 + rng.Normal(0, 0.2)
+		if effort < 0.1 {
+			effort = 0.1
+		}
+		recs = append(recs, visit(cur, time.Duration(40+rng.Intn(40))*time.Minute, effort))
+		cur = cur.Add(time.Duration(3+rng.Intn(10)) * 24 * time.Hour)
+	}
+	return EntityEvidence{
+		Records:           recs,
+		AlternativesTried: int(opinion) + rng.Intn(2),
+		ChoiceSetSize:     3 + rng.Intn(8),
+	}
+}
+
+func TestNaivePredictorMonotoneInCount(t *testing.T) {
+	naive := NaiveCountPredictor{}
+	mk := func(n int) EntityEvidence {
+		var recs []interaction.Record
+		for i := 0; i < n; i++ {
+			recs = append(recs, visit(t0.Add(time.Duration(i)*24*time.Hour), time.Hour, 1))
+		}
+		return EntityEvidence{Records: recs}
+	}
+	r3, ok3 := naive.Infer(mk(3))
+	r10, ok10 := naive.Infer(mk(10))
+	if !ok3 || !ok10 {
+		t.Fatal("naive abstained unexpectedly")
+	}
+	if r10 <= r3 {
+		t.Fatalf("naive not monotone: %v vs %v", r3, r10)
+	}
+	if _, ok := naive.Infer(mk(1)); ok {
+		t.Fatal("naive predicted below evidence floor")
+	}
+}
+
+func TestTrainSetPerCategory(t *testing.T) {
+	rng := stats.NewRNG(55)
+	var xs [][]float64
+	var ys []float64
+	var cats []string
+	// Two categories with different rating offsets plus uncategorized
+	// pairs.
+	for i := 0; i < 120; i++ {
+		x, y := synthExample(rng)
+		xs = append(xs, x)
+		switch i % 3 {
+		case 0:
+			ys = append(ys, clampTo5(y+0.5))
+			cats = append(cats, "restaurant")
+		case 1:
+			ys = append(ys, clampTo5(y-0.5))
+			cats = append(cats, "dentist")
+		default:
+			ys = append(ys, y)
+			cats = append(cats, "")
+		}
+	}
+	set, err := TrainSet(xs, ys, cats, 1.0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Global == nil {
+		t.Fatal("no global model")
+	}
+	if len(set.PerCategory) != 2 {
+		t.Fatalf("per-category models = %d, want 2", len(set.PerCategory))
+	}
+	// For falls back to global for unknown categories.
+	if set.For("plumber") != set.Global {
+		t.Fatal("unknown category did not fall back to global")
+	}
+	if set.For("restaurant") == set.Global {
+		t.Fatal("trained category fell back to global")
+	}
+	// Below the per-category minimum nothing is trained.
+	set2, err := TrainSet(xs[:40], ys[:40], cats[:40], 1.0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set2.PerCategory) != 0 {
+		t.Fatalf("under-threshold categories trained: %d", len(set2.PerCategory))
+	}
+}
+
+func TestTrainSetValidation(t *testing.T) {
+	if _, err := TrainSet([][]float64{{1}}, []float64{1}, nil, 1, 0); err == nil {
+		t.Fatal("category length mismatch accepted")
+	}
+	var nilSet *ModelSet
+	if nilSet.For("x") != nil {
+		t.Fatal("nil set returned a model")
+	}
+}
+
+func clampTo5(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 5 {
+		return 5
+	}
+	return v
+}
+
+func TestSolveSingular(t *testing.T) {
+	// Two identical rows with zero penalty → singular.
+	a := [][]float64{
+		{1, 1, 2},
+		{1, 1, 2},
+	}
+	if _, err := solve(a); err == nil {
+		t.Fatal("singular system solved")
+	}
+}

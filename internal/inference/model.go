@@ -1,0 +1,309 @@
+package inference
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Model is a ridge regression over standardized features. Exported
+// fields make the model serializable, so the RSP can train centrally on
+// volunteered (features, rating) pairs and ship the model to clients.
+type Model struct {
+	// Weights has NumFeatures entries plus a trailing intercept.
+	Weights []float64 `json:"weights"`
+	// Mean and Std standardize inputs before applying Weights.
+	Mean []float64 `json:"mean"`
+	Std  []float64 `json:"std"`
+	// Lambda is the ridge penalty the model was trained with.
+	Lambda float64 `json:"lambda"`
+	// ResidualStd is the training-set residual standard deviation, used
+	// by the abstention rule.
+	ResidualStd float64 `json:"residual_std"`
+	// N is the number of training examples.
+	N int `json:"n"`
+}
+
+// Train fits a ridge regression of ys on xs with penalty lambda. Each
+// row of xs must have the same length; lambda must be non-negative. At
+// least dim+1 examples are required.
+func Train(xs [][]float64, ys []float64, lambda float64) (*Model, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("inference: %d feature rows vs %d labels", len(xs), len(ys))
+	}
+	if lambda < 0 {
+		return nil, errors.New("inference: negative ridge penalty")
+	}
+	dim := len(xs[0])
+	if dim == 0 {
+		return nil, errors.New("inference: empty feature vectors")
+	}
+	for i, x := range xs {
+		if len(x) != dim {
+			return nil, fmt.Errorf("inference: row %d has %d features, want %d", i, len(x), dim)
+		}
+	}
+	if len(xs) < dim+1 {
+		return nil, fmt.Errorf("inference: %d examples insufficient for %d features", len(xs), dim)
+	}
+
+	// Standardize features.
+	mean := make([]float64, dim)
+	std := make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		for _, x := range xs {
+			mean[j] += x[j]
+		}
+		mean[j] /= float64(len(xs))
+		for _, x := range xs {
+			d := x[j] - mean[j]
+			std[j] += d * d
+		}
+		std[j] = math.Sqrt(std[j] / float64(len(xs)))
+		if std[j] < 1e-9 {
+			std[j] = 1 // constant feature: neutralize rather than blow up
+		}
+	}
+	z := make([][]float64, len(xs))
+	for i, x := range xs {
+		row := make([]float64, dim+1)
+		for j := 0; j < dim; j++ {
+			row[j] = (x[j] - mean[j]) / std[j]
+		}
+		row[dim] = 1 // intercept
+		z[i] = row
+	}
+
+	// Normal equations: (Z'Z + λI)w = Z'y, intercept unpenalized.
+	d1 := dim + 1
+	a := make([][]float64, d1)
+	for i := range a {
+		a[i] = make([]float64, d1+1)
+	}
+	for _, row := range z {
+		for i := 0; i < d1; i++ {
+			for j := 0; j < d1; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < dim; i++ {
+		a[i][i] += lambda
+	}
+	for k, row := range z {
+		for i := 0; i < d1; i++ {
+			a[i][d1] += row[i] * ys[k]
+		}
+	}
+	w, err := solve(a)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Model{Weights: w, Mean: mean, Std: std, Lambda: lambda, N: len(xs)}
+	// Residual spread on the training set.
+	var ss float64
+	for i, x := range xs {
+		r := m.Predict(x) - ys[i]
+		ss += r * r
+	}
+	m.ResidualStd = math.Sqrt(ss / float64(len(xs)))
+	return m, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on an
+// augmented matrix a (n rows, n+1 columns), returning the solution.
+func solve(a [][]float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, errors.New("inference: singular design matrix")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		// Eliminate.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for c := col; c <= n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = a[i][n] / a[i][i]
+	}
+	return w, nil
+}
+
+// Predict returns the model's raw rating estimate for a feature vector,
+// clamped to [0, 5].
+func (m *Model) Predict(x []float64) float64 {
+	dim := len(m.Mean)
+	v := m.Weights[dim] // intercept
+	for j := 0; j < dim && j < len(x); j++ {
+		v += m.Weights[j] * (x[j] - m.Mean[j]) / m.Std[j]
+	}
+	return clamp(v, 0, 5)
+}
+
+// zMax returns the largest absolute standardized coordinate of x — how
+// far outside the training distribution this example sits.
+func (m *Model) zMax(x []float64) float64 {
+	var z float64
+	for j := 0; j < len(m.Mean) && j < len(x); j++ {
+		v := math.Abs((x[j] - m.Mean[j]) / m.Std[j])
+		if v > z {
+			z = v
+		}
+	}
+	return z
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ModelSet bundles the global model with per-category refinements.
+// Effort scales differ wildly across domains — a 2 km trip to dinner is
+// routine, a 2 km trip to the third dentist visit is devotion — so the
+// RSP trains one model per category wherever the vocal minority
+// volunteered enough pairs, falling back to the global model elsewhere.
+type ModelSet struct {
+	Global      *Model            `json:"global"`
+	PerCategory map[string]*Model `json:"per_category,omitempty"`
+}
+
+// For returns the best model for a category: the category's own when
+// trained, otherwise the global one.
+func (s *ModelSet) For(category string) *Model {
+	if s == nil {
+		return nil
+	}
+	if m, ok := s.PerCategory[category]; ok && m != nil {
+		return m
+	}
+	return s.Global
+}
+
+// TrainSet fits the global model plus per-category models for every
+// category with at least minPerCategory examples (default 2×features).
+// Categories may be empty strings (uncategorized pairs train only the
+// global model).
+func TrainSet(xs [][]float64, ys []float64, categories []string, lambda float64, minPerCategory int) (*ModelSet, error) {
+	if len(categories) != len(xs) {
+		return nil, fmt.Errorf("inference: %d categories for %d rows", len(categories), len(xs))
+	}
+	global, err := Train(xs, ys, lambda)
+	if err != nil {
+		return nil, err
+	}
+	if minPerCategory <= 0 {
+		minPerCategory = 2 * len(xs[0])
+	}
+	set := &ModelSet{Global: global}
+	byCat := map[string][]int{}
+	for i, c := range categories {
+		if c != "" {
+			byCat[c] = append(byCat[c], i)
+		}
+	}
+	for cat, idx := range byCat {
+		if len(idx) < minPerCategory {
+			continue
+		}
+		cx := make([][]float64, len(idx))
+		cy := make([]float64, len(idx))
+		for k, i := range idx {
+			cx[k] = xs[i]
+			cy[k] = ys[i]
+		}
+		m, err := Train(cx, cy, lambda)
+		if err != nil {
+			continue // singular category design: global covers it
+		}
+		if set.PerCategory == nil {
+			set.PerCategory = make(map[string]*Model)
+		}
+		set.PerCategory[cat] = m
+	}
+	return set, nil
+}
+
+// Predictor wraps a trained Model with the abstention rule: "an RSP must
+// strive to identify instances when accurate inference is infeasible and
+// choose to avoid making a judgement" (§4.1 footnote).
+type Predictor struct {
+	Model *Model
+	// MinInteractions is the evidence floor; below it the predictor
+	// always abstains (default 3).
+	MinInteractions int
+	// MaxZ abstains when any feature lies further than this many
+	// training standard deviations from the training mean (default 4) —
+	// the model would be extrapolating.
+	MaxZ float64
+}
+
+// NewPredictor returns a predictor with default abstention thresholds.
+func NewPredictor(m *Model) *Predictor {
+	return &Predictor{Model: m, MinInteractions: 3, MaxZ: 4}
+}
+
+// Infer returns the inferred rating for the evidence, or ok=false when
+// inference is infeasible.
+func (p *Predictor) Infer(ev EntityEvidence) (rating float64, ok bool) {
+	min := p.MinInteractions
+	if min <= 0 {
+		min = 3
+	}
+	if ev.InteractionCount() < min {
+		return 0, false
+	}
+	x := ExtractFeatures(ev)
+	maxZ := p.MaxZ
+	if maxZ <= 0 {
+		maxZ = 4
+	}
+	if p.Model.zMax(x) > maxZ {
+		return 0, false
+	}
+	return p.Model.Predict(x), true
+}
+
+// NaiveCountPredictor is the strawman §4.1 warns against: repetition as
+// endorsement, ignoring effort, exploration, and choice set. Experiment
+// E2 compares the trained predictor against it.
+type NaiveCountPredictor struct {
+	// MinInteractions mirrors the trained predictor's evidence floor so
+	// the comparison is fair (default 3).
+	MinInteractions int
+}
+
+// Infer maps interaction count to a rating: more repetition, higher
+// rating.
+func (n NaiveCountPredictor) Infer(ev EntityEvidence) (float64, bool) {
+	min := n.MinInteractions
+	if min <= 0 {
+		min = 3
+	}
+	c := ev.InteractionCount()
+	if c < min {
+		return 0, false
+	}
+	return clamp(2.0+math.Log2(float64(c))*0.6, 0, 5), true
+}

@@ -1,0 +1,99 @@
+package inference
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"opinions/internal/interaction"
+	"opinions/internal/stats"
+)
+
+// Property: ExtractFeatures always returns exactly NumFeatures finite
+// values, for arbitrary record mixes.
+func TestExtractFeaturesTotal(t *testing.T) {
+	f := func(kinds []uint8, durS []uint16, distM []uint16, alt, choice uint8) bool {
+		var recs []interaction.Record
+		for i, k := range kinds {
+			var dur time.Duration
+			var dist float64
+			if i < len(durS) {
+				dur = time.Duration(durS[i]) * time.Second
+			}
+			if i < len(distM) {
+				dist = float64(distM[i])
+			}
+			recs = append(recs, interaction.Record{
+				Entity:   "e",
+				Kind:     interaction.Kind(int(k) % 3),
+				Start:    t0.Add(time.Duration(i) * time.Hour),
+				Duration: dur, DistanceFrom: dist,
+			})
+		}
+		x := ExtractFeatures(EntityEvidence{
+			Records:           recs,
+			AlternativesTried: int(alt),
+			ChoiceSetSize:     int(choice),
+		})
+		if len(x) != NumFeatures {
+			return false
+		}
+		for _, v := range x {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a trained model's prediction is always within [0, 5], no
+// matter how wild the input features are.
+func TestPredictAlwaysClamped(t *testing.T) {
+	m := trainedModel(t, 300)
+	f := func(raw []float64) bool {
+		x := make([]float64, NumFeatures)
+		for i := range x {
+			if i < len(raw) && !math.IsNaN(raw[i]) && !math.IsInf(raw[i], 0) {
+				x[i] = raw[i]
+			}
+		}
+		v := m.Predict(x)
+		return v >= 0 && v <= 5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: training on any consistent linear signal recovers it well
+// enough to beat a constant predictor.
+func TestTrainBeatsConstantBaseline(t *testing.T) {
+	rng := stats.NewRNG(77)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 300; i++ {
+		x, y := synthExample(rng)
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	m, err := Train(xs, ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanY, _ := stats.Mean(ys)
+	var ssModel, ssConst float64
+	for i, x := range xs {
+		d1 := m.Predict(x) - ys[i]
+		d2 := meanY - ys[i]
+		ssModel += d1 * d1
+		ssConst += d2 * d2
+	}
+	if ssModel >= ssConst {
+		t.Fatalf("model SSE %v not below constant baseline %v", ssModel, ssConst)
+	}
+}

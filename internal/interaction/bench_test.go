@@ -1,0 +1,58 @@
+package interaction
+
+import (
+	"testing"
+	"time"
+
+	"opinions/internal/geo"
+	"opinions/internal/sensing"
+)
+
+// benchSamples builds a realistic day: home, commute, work, lunch,
+// work, dinner, home — one fix per minute.
+func benchSamples() []sensing.Sample {
+	day := time.Date(2016, 1, 4, 0, 0, 0, 0, time.UTC)
+	home := base
+	work := geo.Offset(base, 4000, 0)
+	cafe := geo.Offset(base, 2000, 0)
+	rest := geo.Offset(base, -1500, 800)
+	var out []sensing.Sample
+	add := func(p geo.Point, fromMin, toMin int) {
+		for m := fromMin; m < toMin; m++ {
+			out = append(out, sensing.Sample{Time: day.Add(time.Duration(m) * time.Minute), Point: p})
+		}
+	}
+	add(home, 0, 8*60)
+	add(work, 8*60+20, 12*60)
+	add(cafe, 12*60+10, 12*60+50)
+	add(work, 13*60, 17*60+30)
+	add(rest, 18*60+10, 19*60+30)
+	add(home, 19*60+50, 24*60)
+	return out
+}
+
+func BenchmarkDetectVisitsFullDay(b *testing.B) {
+	d := NewDetector(testResolver(), Config{})
+	samples := benchSamples()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.DetectVisits(samples)
+	}
+}
+
+func BenchmarkFromCalls(b *testing.B) {
+	d := NewDetector(testResolver(), Config{})
+	t0 := time.Date(2016, 1, 4, 9, 0, 0, 0, time.UTC)
+	calls := make([]CallObservation, 20)
+	for i := range calls {
+		phone := "+17345550001"
+		if i%2 == 0 {
+			phone = "+19999999999"
+		}
+		calls[i] = CallObservation{Phone: phone, Time: t0, Duration: time.Minute}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.FromCalls(calls)
+	}
+}

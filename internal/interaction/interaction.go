@@ -1,0 +1,224 @@
+// Package interaction turns raw device observations into interaction
+// records: the visits, calls, and payments linking a user to an entity,
+// together with the per-interaction features the paper's server-side
+// history stores ("duration of interaction, time since last interaction,
+// distance travelled since previous stationary spot", §4.2).
+//
+// The central algorithm is visit segmentation: clustering consecutive
+// location samples into stationary episodes and resolving each episode
+// to an entity. Nothing in this package sees ground truth; it operates
+// only on what the sensing layer observed.
+package interaction
+
+import (
+	"time"
+
+	"opinions/internal/geo"
+	"opinions/internal/mapping"
+	"opinions/internal/sensing"
+)
+
+// Kind distinguishes how the user interacted with the entity.
+type Kind int
+
+// Interaction kinds.
+const (
+	VisitKind Kind = iota
+	CallKind
+	PaymentKind
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case VisitKind:
+		return "visit"
+	case CallKind:
+		return "call"
+	case PaymentKind:
+		return "payment"
+	}
+	return "unknown"
+}
+
+// Record is one detected interaction between the device's user and an
+// entity. These are exactly the fields the anonymous server-side history
+// stores; none identifies the user.
+type Record struct {
+	Entity   string // entity key
+	Kind     Kind
+	Start    time.Time
+	Duration time.Duration
+	// DistanceFrom is the distance in meters from the previous
+	// stationary spot to this one (visits only) — the §4.1 effort
+	// feature ("the distance traveled by a user to visit a dentist").
+	DistanceFrom float64
+	// Amount is the payment amount (payments only).
+	Amount float64
+}
+
+// CallObservation is what the device sees in its call log: a number, not
+// an entity.
+type CallObservation struct {
+	Phone    string
+	Time     time.Time
+	Duration time.Duration
+}
+
+// PaymentObservation is what the device sees from a payment notification.
+type PaymentObservation struct {
+	Merchant string
+	Time     time.Time
+	Amount   float64
+}
+
+// Config tunes visit segmentation.
+type Config struct {
+	// ClusterRadius is the maximum distance from a stationary cluster's
+	// centroid for a sample to join it (default 80 m, comfortably above
+	// WiFi positioning noise).
+	ClusterRadius float64
+	// MinVisit is the minimum stationary duration that counts as a visit
+	// (default 8 minutes; shorter stops are passings-by).
+	MinVisit time.Duration
+	// MaxVisit is the maximum stationary duration that counts as a
+	// visit (default 3 hours). Longer stays are almost certainly the
+	// user's home, workplace, or job site — §4.1's warning made
+	// concrete: an apartment above a shop, or an employee's shift, must
+	// not read as patronage.
+	MaxVisit time.Duration
+	// MatchRadius is how close a cluster centroid must be to an entity
+	// to attribute the visit (default 100 m).
+	MatchRadius float64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.ClusterRadius <= 0 {
+		c.ClusterRadius = 80
+	}
+	if c.MinVisit <= 0 {
+		c.MinVisit = 8 * time.Minute
+	}
+	if c.MaxVisit <= 0 {
+		c.MaxVisit = 3 * time.Hour
+	}
+	if c.MatchRadius <= 0 {
+		c.MatchRadius = 100
+	}
+	return c
+}
+
+// Detector segments sample streams into interaction records.
+type Detector struct {
+	cfg Config
+	res *mapping.Resolver
+}
+
+// NewDetector returns a detector resolving against res.
+func NewDetector(res *mapping.Resolver, cfg Config) *Detector {
+	return &Detector{cfg: cfg.withDefaults(), res: res}
+}
+
+// cluster is a run of samples that stayed in one place.
+type cluster struct {
+	centroid geo.Point
+	n        int
+	start    time.Time
+	end      time.Time
+}
+
+func (c *cluster) add(p geo.Point, t time.Time) {
+	// Incremental centroid.
+	c.centroid.Lat += (p.Lat - c.centroid.Lat) / float64(c.n+1)
+	c.centroid.Lon += (p.Lon - c.centroid.Lon) / float64(c.n+1)
+	c.n++
+	c.end = t
+}
+
+// DetectVisits segments one day's location samples (which must be in
+// time order) into visits. Clusters that resolve to no entity — the
+// user's home, workplace, or anywhere the RSP has no listing — produce
+// no record but still serve as the "previous stationary spot" for the
+// effort feature of the next visit.
+func (d *Detector) DetectVisits(samples []sensing.Sample) []Record {
+	if len(samples) == 0 {
+		return nil
+	}
+	var clusters []*cluster
+	cur := &cluster{centroid: samples[0].Point, n: 1, start: samples[0].Time, end: samples[0].Time}
+	for _, s := range samples[1:] {
+		if geo.Distance(s.Point, cur.centroid) <= d.cfg.ClusterRadius {
+			cur.add(s.Point, s.Time)
+			continue
+		}
+		clusters = append(clusters, cur)
+		cur = &cluster{centroid: s.Point, n: 1, start: s.Time, end: s.Time}
+	}
+	clusters = append(clusters, cur)
+
+	var out []Record
+	var prev *cluster
+	for _, c := range clusters {
+		dur := c.end.Sub(c.start)
+		if dur < d.cfg.MinVisit {
+			continue // brief stop or a single fix mid-travel
+		}
+		var distFrom float64
+		if prev != nil {
+			distFrom = geo.Distance(prev.centroid, c.centroid)
+		}
+		prev = c
+		if dur > d.cfg.MaxVisit {
+			continue // home, workplace, or a shift — not patronage
+		}
+		key, ok := d.res.ResolvePoint(c.centroid, d.cfg.MatchRadius)
+		if ok {
+			out = append(out, Record{
+				Entity:       key,
+				Kind:         VisitKind,
+				Start:        c.start,
+				Duration:     dur,
+				DistanceFrom: distFrom,
+			})
+		}
+	}
+	return out
+}
+
+// FromCalls resolves call-log entries to records; unresolvable numbers
+// (friends, businesses the RSP does not list) are dropped.
+func (d *Detector) FromCalls(calls []CallObservation) []Record {
+	var out []Record
+	for _, c := range calls {
+		key, ok := d.res.ResolvePhone(c.Phone)
+		if !ok {
+			continue
+		}
+		out = append(out, Record{
+			Entity:   key,
+			Kind:     CallKind,
+			Start:    c.Time,
+			Duration: c.Duration,
+		})
+	}
+	return out
+}
+
+// FromPayments resolves payment notifications to records.
+func (d *Detector) FromPayments(payments []PaymentObservation) []Record {
+	var out []Record
+	for _, p := range payments {
+		key, ok := d.res.ResolveMerchant(p.Merchant)
+		if !ok {
+			continue
+		}
+		out = append(out, Record{
+			Entity: key,
+			Kind:   PaymentKind,
+			Start:  p.Time,
+			Amount: p.Amount,
+		})
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+package interaction
+
+import (
+	"testing"
+	"time"
+
+	"opinions/internal/geo"
+	"opinions/internal/mapping"
+	"opinions/internal/sensing"
+	"opinions/internal/stats"
+	"opinions/internal/trace"
+	"opinions/internal/world"
+)
+
+var base = geo.Point{Lat: 42.28, Lon: -83.74}
+
+func testResolver() *mapping.Resolver {
+	return mapping.NewResolver([]*world.Entity{
+		{ID: "cafe", Service: world.Yelp, Category: "cafe", Loc: geo.Offset(base, 2000, 0), Phone: "+17345550001"},
+		{ID: "dentist", Service: world.Yelp, Category: "dentist", Loc: geo.Offset(base, 0, 3000), Phone: "+17345550002"},
+	})
+}
+
+// samplesAt emits n samples at p, one per minute starting at t.
+func samplesAt(p geo.Point, t time.Time, n int) []sensing.Sample {
+	out := make([]sensing.Sample, n)
+	for i := range out {
+		out[i] = sensing.Sample{Time: t.Add(time.Duration(i) * time.Minute), Point: p, Source: sensing.GPS}
+	}
+	return out
+}
+
+func TestDetectVisitBasic(t *testing.T) {
+	d := NewDetector(testResolver(), Config{})
+	t0 := time.Date(2016, 1, 4, 9, 0, 0, 0, time.UTC)
+	cafe := geo.Offset(base, 2000, 0)
+	var samples []sensing.Sample
+	samples = append(samples, samplesAt(base, t0, 30)...)                     // home (unlisted)
+	samples = append(samples, samplesAt(cafe, t0.Add(40*time.Minute), 20)...) // cafe visit
+	samples = append(samples, samplesAt(base, t0.Add(70*time.Minute), 30)...) // home again
+
+	recs := d.DetectVisits(samples)
+	if len(recs) != 1 {
+		t.Fatalf("detected %d visits, want 1 (home must not produce records)", len(recs))
+	}
+	r := recs[0]
+	if r.Entity != "yelp/cafe" || r.Kind != VisitKind {
+		t.Fatalf("record = %+v", r)
+	}
+	if r.Duration < 15*time.Minute || r.Duration > 25*time.Minute {
+		t.Fatalf("duration = %v", r.Duration)
+	}
+	// Effort feature: distance from home (~2000 m).
+	if r.DistanceFrom < 1800 || r.DistanceFrom > 2200 {
+		t.Fatalf("DistanceFrom = %v, want ~2000", r.DistanceFrom)
+	}
+}
+
+func TestShortStopIgnored(t *testing.T) {
+	d := NewDetector(testResolver(), Config{})
+	t0 := time.Date(2016, 1, 4, 9, 0, 0, 0, time.UTC)
+	cafe := geo.Offset(base, 2000, 0)
+	var samples []sensing.Sample
+	samples = append(samples, samplesAt(base, t0, 30)...)
+	samples = append(samples, samplesAt(cafe, t0.Add(31*time.Minute), 3)...) // 2 minutes only
+	samples = append(samples, samplesAt(base, t0.Add(40*time.Minute), 30)...)
+	if recs := d.DetectVisits(samples); len(recs) != 0 {
+		t.Fatalf("short stop produced %d records", len(recs))
+	}
+}
+
+func TestNoisySamplesStillCluster(t *testing.T) {
+	d := NewDetector(testResolver(), Config{})
+	t0 := time.Date(2016, 1, 4, 9, 0, 0, 0, time.UTC)
+	cafe := geo.Offset(base, 2000, 0)
+	var samples []sensing.Sample
+	// Jittered fixes within 40 m of the cafe.
+	offsets := []float64{-40, -20, 0, 20, 40, -30, 30, -10, 10, 0, 15, -15}
+	for i, off := range offsets {
+		samples = append(samples, sensing.Sample{
+			Time:  t0.Add(time.Duration(i) * time.Minute),
+			Point: geo.Offset(cafe, off, -off),
+		})
+	}
+	recs := d.DetectVisits(samples)
+	if len(recs) != 1 {
+		t.Fatalf("noisy visit produced %d records, want 1", len(recs))
+	}
+}
+
+func TestVisitAtUnlistedPlaceProducesNothing(t *testing.T) {
+	d := NewDetector(testResolver(), Config{})
+	t0 := time.Date(2016, 1, 4, 9, 0, 0, 0, time.UTC)
+	nowhere := geo.Offset(base, 9000, 9000)
+	if recs := d.DetectVisits(samplesAt(nowhere, t0, 60)); len(recs) != 0 {
+		t.Fatalf("unlisted place produced %d records", len(recs))
+	}
+}
+
+func TestTwoVisitsInOneDay(t *testing.T) {
+	d := NewDetector(testResolver(), Config{})
+	t0 := time.Date(2016, 1, 4, 9, 0, 0, 0, time.UTC)
+	cafe := geo.Offset(base, 2000, 0)
+	dentist := geo.Offset(base, 0, 3000)
+	var samples []sensing.Sample
+	samples = append(samples, samplesAt(base, t0, 20)...)
+	samples = append(samples, samplesAt(cafe, t0.Add(30*time.Minute), 15)...)
+	samples = append(samples, samplesAt(base, t0.Add(50*time.Minute), 20)...)
+	samples = append(samples, samplesAt(dentist, t0.Add(80*time.Minute), 45)...)
+	recs := d.DetectVisits(samples)
+	if len(recs) != 2 {
+		t.Fatalf("detected %d visits, want 2", len(recs))
+	}
+	if recs[0].Entity != "yelp/cafe" || recs[1].Entity != "yelp/dentist" {
+		t.Fatalf("entities = %s, %s", recs[0].Entity, recs[1].Entity)
+	}
+	// Dentist's DistanceFrom is measured from home (the previous
+	// stationary cluster), not from the cafe.
+	if recs[1].DistanceFrom < 2800 || recs[1].DistanceFrom > 3200 {
+		t.Fatalf("dentist DistanceFrom = %v, want ~3000", recs[1].DistanceFrom)
+	}
+}
+
+func TestLongStayTreatedAsHomeNotVisit(t *testing.T) {
+	// A user living (or working a shift) right next to a listed entity
+	// must not generate visit records from an 8-hour stay.
+	d := NewDetector(testResolver(), Config{})
+	t0 := time.Date(2016, 1, 4, 0, 0, 0, 0, time.UTC)
+	cafe := geo.Offset(base, 2000, 0)
+	if recs := d.DetectVisits(samplesAt(cafe, t0, 8*60)); len(recs) != 0 {
+		t.Fatalf("8h stay produced %d visit records", len(recs))
+	}
+	// But the long stay still anchors the next visit's effort distance.
+	dentist := geo.Offset(base, 0, 3000)
+	var samples []sensing.Sample
+	samples = append(samples, samplesAt(cafe, t0, 8*60)...)
+	samples = append(samples, samplesAt(dentist, t0.Add(9*time.Hour), 45)...)
+	recs := d.DetectVisits(samples)
+	if len(recs) != 1 || recs[0].Entity != "yelp/dentist" {
+		t.Fatalf("recs = %+v", recs)
+	}
+	if recs[0].DistanceFrom < 3000 || recs[0].DistanceFrom > 4200 {
+		t.Fatalf("DistanceFrom = %v, want distance from the long stay (~3600)", recs[0].DistanceFrom)
+	}
+}
+
+func TestFromCalls(t *testing.T) {
+	d := NewDetector(testResolver(), Config{})
+	t0 := time.Date(2016, 1, 4, 9, 0, 0, 0, time.UTC)
+	recs := d.FromCalls([]CallObservation{
+		{Phone: "+17345550002", Time: t0, Duration: 2 * time.Minute},
+		{Phone: "+19999999999", Time: t0, Duration: time.Minute}, // a friend
+	})
+	if len(recs) != 1 {
+		t.Fatalf("resolved %d calls, want 1", len(recs))
+	}
+	if recs[0].Entity != "yelp/dentist" || recs[0].Kind != CallKind || recs[0].Duration != 2*time.Minute {
+		t.Fatalf("record = %+v", recs[0])
+	}
+}
+
+func TestFromPayments(t *testing.T) {
+	d := NewDetector(testResolver(), Config{})
+	t0 := time.Date(2016, 1, 4, 12, 0, 0, 0, time.UTC)
+	recs := d.FromPayments([]PaymentObservation{
+		{Merchant: "yelp/cafe", Time: t0, Amount: 12.50},
+		{Merchant: "acme-unknown", Time: t0, Amount: 99},
+	})
+	if len(recs) != 1 {
+		t.Fatalf("resolved %d payments, want 1", len(recs))
+	}
+	if recs[0].Kind != PaymentKind || recs[0].Amount != 12.50 {
+		t.Fatalf("record = %+v", recs[0])
+	}
+}
+
+func TestDetectVisitsEmpty(t *testing.T) {
+	d := NewDetector(testResolver(), Config{})
+	if recs := d.DetectVisits(nil); recs != nil {
+		t.Fatalf("empty samples produced %v", recs)
+	}
+}
+
+func TestEndToEndWithSensingPolicy(t *testing.T) {
+	// Full loop: true timeline → duty-cycled sampling → visit detection
+	// recovers the visit.
+	d := NewDetector(testResolver(), Config{})
+	day := time.Date(2016, 1, 4, 0, 0, 0, 0, time.UTC)
+	cafe := geo.Offset(base, 2000, 0)
+	segs := []trace.Segment{
+		{Start: day, End: day.Add(9 * time.Hour), From: base, To: base, At: "home"},
+		{Start: day.Add(9 * time.Hour), End: day.Add(9*time.Hour + 12*time.Minute), From: base, To: cafe},
+		{Start: day.Add(9*time.Hour + 12*time.Minute), End: day.Add(10*time.Hour + 12*time.Minute), From: cafe, To: cafe, At: "yelp/cafe"},
+		{Start: day.Add(10*time.Hour + 12*time.Minute), End: day.Add(10*time.Hour + 24*time.Minute), From: cafe, To: base},
+		{Start: day.Add(10*time.Hour + 24*time.Minute), End: day.Add(24 * time.Hour), From: base, To: base, At: "home"},
+	}
+	samples, _ := sensing.DutyCycled{}.SampleDay(stats.NewRNG(1), segs)
+	recs := d.DetectVisits(samples)
+	found := false
+	for _, r := range recs {
+		if r.Entity == "yelp/cafe" {
+			found = true
+			if r.Duration < 30*time.Minute {
+				t.Fatalf("recovered duration %v too short", r.Duration)
+			}
+			if r.DistanceFrom < 1700 || r.DistanceFrom > 2300 {
+				t.Fatalf("recovered effort distance %v, want ~2000", r.DistanceFrom)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("duty-cycled sampling + detection failed to recover the visit")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if VisitKind.String() != "visit" || CallKind.String() != "call" || PaymentKind.String() != "payment" {
+		t.Fatal("bad kind strings")
+	}
+	if Kind(9).String() != "unknown" {
+		t.Fatal("unknown kind string")
+	}
+}

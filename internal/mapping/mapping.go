@@ -1,0 +1,96 @@
+// Package mapping resolves the sensitive raw inputs an RSP client
+// observes — location fixes, dialled phone numbers, card-payment
+// merchants — to the entities the RSP knows about.
+//
+// Per §3.1, this mapping happens *locally on the device*: "An app can
+// then map these sensitive inputs to the corresponding entities (e.g.,
+// map location to restaurant or phone number to dentist)." The Resolver
+// is therefore the on-device copy of the RSP's point-of-interest
+// directory; raw locations and numbers never leave the device.
+package mapping
+
+import (
+	"opinions/internal/geo"
+	"opinions/internal/world"
+)
+
+// Resolver maps raw observations to entity keys.
+type Resolver struct {
+	index   *geo.Index
+	byKey   map[string]*world.Entity
+	byPhone map[string]string
+}
+
+// NewResolver builds a resolver over the given entity directory.
+func NewResolver(entities []*world.Entity) *Resolver {
+	r := &Resolver{
+		index:   geo.NewIndex(250),
+		byKey:   make(map[string]*world.Entity, len(entities)),
+		byPhone: make(map[string]string, len(entities)),
+	}
+	for _, e := range entities {
+		key := e.Key()
+		r.byKey[key] = e
+		r.index.Insert(key, e.Loc)
+		if e.Phone != "" {
+			r.byPhone[e.Phone] = key
+		}
+	}
+	return r
+}
+
+// Len returns the number of entities in the directory.
+func (r *Resolver) Len() int { return len(r.byKey) }
+
+// Entity returns the directory entry for key, or nil.
+func (r *Resolver) Entity(key string) *world.Entity { return r.byKey[key] }
+
+// ResolvePoint returns the key of the entity nearest to p within
+// maxRadius meters, or ("", false) when nothing is close enough.
+func (r *Resolver) ResolvePoint(p geo.Point, maxRadius float64) (string, bool) {
+	n, ok := r.index.Nearest(p, maxRadius)
+	if !ok {
+		return "", false
+	}
+	return n.ID, true
+}
+
+// ResolvePhone returns the key of the entity owning the phone number, or
+// ("", false).
+func (r *Resolver) ResolvePhone(phone string) (string, bool) {
+	k, ok := r.byPhone[phone]
+	return k, ok
+}
+
+// ResolveMerchant returns the key of the entity matching a payment
+// merchant descriptor. In this synthetic substrate the descriptor is the
+// entity key itself; the indirection exists so a fuzzier matcher can
+// replace it without touching callers.
+func (r *Resolver) ResolveMerchant(descriptor string) (string, bool) {
+	_, ok := r.byKey[descriptor]
+	if !ok {
+		return "", false
+	}
+	return descriptor, true
+}
+
+// SimilarNearby counts entities similar to the one identified by key
+// (same category, comparable price) within radius meters — the §4.1
+// choice-set feature: "the number of other similar options from among
+// which the user selected the entity".
+func (r *Resolver) SimilarNearby(key string, radius float64) int {
+	e := r.byKey[key]
+	if e == nil {
+		return 0
+	}
+	n := 0
+	for _, nb := range r.index.Within(e.Loc, radius) {
+		if nb.ID == key {
+			continue
+		}
+		if other := r.byKey[nb.ID]; other != nil && e.SimilarTo(other) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,98 @@
+package mapping
+
+import (
+	"testing"
+
+	"opinions/internal/geo"
+	"opinions/internal/world"
+)
+
+func testEntities() []*world.Entity {
+	base := geo.Point{Lat: 42.28, Lon: -83.74}
+	return []*world.Entity{
+		{ID: "r1", Service: world.Yelp, Category: "restaurant", Loc: base, Phone: "+17345550001", PriceLevel: 2},
+		{ID: "r2", Service: world.Yelp, Category: "restaurant", Loc: geo.Offset(base, 150, 0), Phone: "+17345550002", PriceLevel: 2},
+		{ID: "r3", Service: world.Yelp, Category: "restaurant", Loc: geo.Offset(base, 400, 0), Phone: "+17345550003", PriceLevel: 4},
+		{ID: "d1", Service: world.Yelp, Category: "dentist", Loc: geo.Offset(base, 0, 300), Phone: "+17345550004", PriceLevel: 2},
+	}
+}
+
+func TestResolvePointNearest(t *testing.T) {
+	r := NewResolver(testEntities())
+	base := geo.Point{Lat: 42.28, Lon: -83.74}
+	key, ok := r.ResolvePoint(geo.Offset(base, 20, 0), 100)
+	if !ok || key != "yelp/r1" {
+		t.Fatalf("ResolvePoint = %q, %v", key, ok)
+	}
+	if _, ok := r.ResolvePoint(geo.Offset(base, 5000, 5000), 100); ok {
+		t.Fatal("resolved a point far from everything")
+	}
+}
+
+func TestResolvePhone(t *testing.T) {
+	r := NewResolver(testEntities())
+	key, ok := r.ResolvePhone("+17345550004")
+	if !ok || key != "yelp/d1" {
+		t.Fatalf("ResolvePhone = %q, %v", key, ok)
+	}
+	if _, ok := r.ResolvePhone("+10000000000"); ok {
+		t.Fatal("resolved an unknown phone")
+	}
+}
+
+func TestResolveMerchant(t *testing.T) {
+	r := NewResolver(testEntities())
+	key, ok := r.ResolveMerchant("yelp/r2")
+	if !ok || key != "yelp/r2" {
+		t.Fatalf("ResolveMerchant = %q, %v", key, ok)
+	}
+	if _, ok := r.ResolveMerchant("stripe*unknown"); ok {
+		t.Fatal("resolved unknown merchant")
+	}
+}
+
+func TestSimilarNearby(t *testing.T) {
+	r := NewResolver(testEntities())
+	// r1 (price 2): r2 within 150m is similar; r3 (price 4) is not
+	// similar; d1 is a different category.
+	if n := r.SimilarNearby("yelp/r1", 500); n != 1 {
+		t.Fatalf("SimilarNearby = %d, want 1", n)
+	}
+	if n := r.SimilarNearby("yelp/r1", 50); n != 0 {
+		t.Fatalf("SimilarNearby small radius = %d, want 0", n)
+	}
+	if n := r.SimilarNearby("nosuch/e", 500); n != 0 {
+		t.Fatalf("SimilarNearby unknown = %d", n)
+	}
+}
+
+func TestEntityLookup(t *testing.T) {
+	r := NewResolver(testEntities())
+	if e := r.Entity("yelp/r1"); e == nil || e.ID != "r1" {
+		t.Fatalf("Entity = %+v", e)
+	}
+	if e := r.Entity("nope"); e != nil {
+		t.Fatal("Entity invented an entry")
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestResolverWithCityDirectory(t *testing.T) {
+	city := world.BuildCity(world.CityConfig{Seed: 1, NumUsers: 10})
+	r := NewResolver(city.Entities)
+	if r.Len() != len(city.Entities) {
+		t.Fatalf("Len = %d, want %d", r.Len(), len(city.Entities))
+	}
+	for _, e := range city.Entities[:20] {
+		key, ok := r.ResolvePoint(e.Loc, 10)
+		if !ok {
+			t.Fatalf("entity %s not resolvable at its own location", e.ID)
+		}
+		_ = key // co-located entities may resolve to a tied neighbor
+		if got, ok := r.ResolvePhone(e.Phone); !ok || got != e.Key() {
+			t.Fatalf("phone resolution failed for %s", e.ID)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package onion
+
+import (
+	"crypto/rand"
+	"testing"
+)
+
+func BenchmarkWrap3Hop(b *testing.B) {
+	n, err := NewNetwork(5, rand.Reader, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	circuit, err := n.PickCircuit(3, rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Wrap(circuit, payload, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPeel(b *testing.B) {
+	n, err := NewNetwork(1, rand.Reader, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	relay := n.relays["relay-0"]
+	onion, err := Wrap([]RelayInfo{relay.Info()}, make([]byte, 512), rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := relay.Peel(onion); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSendEndToEnd(b *testing.B) {
+	n, err := NewNetwork(5, rand.Reader, func([]byte) error { return nil })
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.Send(payload, 3, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

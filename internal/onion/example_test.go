@@ -1,0 +1,25 @@
+package onion_test
+
+import (
+	"crypto/rand"
+	"fmt"
+
+	"opinions/internal/onion"
+)
+
+// Send one payload through a 3-hop circuit; the exit is the only place
+// the plaintext reappears.
+func Example() {
+	network, err := onion.NewNetwork(5, rand.Reader, func(payload []byte) error {
+		fmt.Println("exit delivered:", string(payload))
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := network.Send([]byte("anonymous upload"), 3, rand.Reader); err != nil {
+		panic(err)
+	}
+	// Output:
+	// exit delivered: anonymous upload
+}

@@ -1,0 +1,293 @@
+// Package onion implements the anonymity-network substrate §4.2 assumes:
+// "the underlying anonymity network ensures that any two anonymous
+// channels are unlinkable."
+//
+// It is a deliberately small onion-routing layer in the Tor mold, built
+// on stdlib crypto only: the client picks a circuit of relays, wraps the
+// payload in one encryption layer per hop (ephemeral X25519 key
+// agreement + AES-256-GCM), and each relay peels exactly one layer,
+// learning only its predecessor and successor. The entry relay sees who
+// is sending but not what or to where beyond the next hop; the exit
+// relay sees the payload but not the sender. No single relay can link
+// sender to payload.
+//
+// The upload discipline in package anonymity (per-entity channels,
+// randomized delay) composes with this transport: the Mix decides *when*
+// an upload leaves the device; a fresh onion circuit decides *how* it
+// reaches the RSP.
+package onion
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// RelayInfo is a relay's public directory entry.
+type RelayInfo struct {
+	ID     string
+	PubKey *ecdh.PublicKey
+}
+
+// Relay is one onion router.
+type Relay struct {
+	ID   string
+	priv *ecdh.PrivateKey
+}
+
+// NewRelay generates a relay with a fresh X25519 key.
+func NewRelay(id string, rng io.Reader) (*Relay, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	priv, err := ecdh.X25519().GenerateKey(rng)
+	if err != nil {
+		return nil, fmt.Errorf("onion: generating relay key: %w", err)
+	}
+	return &Relay{ID: id, priv: priv}, nil
+}
+
+// Info returns the relay's directory entry.
+func (r *Relay) Info() RelayInfo {
+	return RelayInfo{ID: r.ID, PubKey: r.priv.PublicKey()}
+}
+
+// ExitID is the next-hop label marking the final layer: the peeled
+// payload is for the destination service, not another relay.
+const ExitID = "@exit"
+
+// layer wire format (per hop):
+//
+//	[32B ephemeral X25519 pub][12B nonce][ciphertext]
+//
+// plaintext format inside:
+//
+//	[2B next-hop length][next-hop][inner bytes]
+
+// Wrap builds the onion for payload over the circuit (first element =
+// entry relay). The final layer's next-hop is ExitID.
+func Wrap(circuit []RelayInfo, payload []byte, rng io.Reader) ([]byte, error) {
+	if len(circuit) == 0 {
+		return nil, errors.New("onion: empty circuit")
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	inner := payload
+	// Wrap from the exit inward.
+	for i := len(circuit) - 1; i >= 0; i-- {
+		next := ExitID
+		if i < len(circuit)-1 {
+			next = circuit[i+1].ID
+		}
+		var err error
+		inner, err = seal(circuit[i].PubKey, next, inner, rng)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return inner, nil
+}
+
+func seal(pub *ecdh.PublicKey, nextHop string, inner []byte, rng io.Reader) ([]byte, error) {
+	eph, err := ecdh.X25519().GenerateKey(rng)
+	if err != nil {
+		return nil, fmt.Errorf("onion: ephemeral key: %w", err)
+	}
+	shared, err := eph.ECDH(pub)
+	if err != nil {
+		return nil, fmt.Errorf("onion: key agreement: %w", err)
+	}
+	key := deriveKey(shared)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := io.ReadFull(rng, nonce); err != nil {
+		return nil, fmt.Errorf("onion: nonce: %w", err)
+	}
+	var pt bytes.Buffer
+	var lenBuf [2]byte
+	if len(nextHop) > 0xffff {
+		return nil, errors.New("onion: next hop name too long")
+	}
+	binary.BigEndian.PutUint16(lenBuf[:], uint16(len(nextHop)))
+	pt.Write(lenBuf[:])
+	pt.WriteString(nextHop)
+	pt.Write(inner)
+
+	ct := gcm.Seal(nil, nonce, pt.Bytes(), eph.PublicKey().Bytes())
+	var out bytes.Buffer
+	out.Write(eph.PublicKey().Bytes())
+	out.Write(nonce)
+	out.Write(ct)
+	return out.Bytes(), nil
+}
+
+// deriveKey expands the raw shared secret into an AES-256 key (HKDF
+// reduced to a single HMAC extract-and-expand step, which is sound for
+// one fixed-length output).
+func deriveKey(shared []byte) []byte {
+	mac := hmac.New(sha256.New, []byte("opinions-onion-v1"))
+	mac.Write(shared)
+	return mac.Sum(nil)
+}
+
+// Peeled is the result of removing one layer.
+type Peeled struct {
+	// NextHop is the relay ID to forward Inner to, or ExitID.
+	NextHop string
+	Inner   []byte
+}
+
+// ErrMalformed is returned for onions that cannot be parsed or
+// authenticated at this relay.
+var ErrMalformed = errors.New("onion: malformed or tampered layer")
+
+// Peel removes this relay's layer.
+func (r *Relay) Peel(onion []byte) (Peeled, error) {
+	const pubLen = 32
+	if len(onion) < pubLen+12+16 {
+		return Peeled{}, ErrMalformed
+	}
+	ephPub, err := ecdh.X25519().NewPublicKey(onion[:pubLen])
+	if err != nil {
+		return Peeled{}, ErrMalformed
+	}
+	shared, err := r.priv.ECDH(ephPub)
+	if err != nil {
+		return Peeled{}, ErrMalformed
+	}
+	block, err := aes.NewCipher(deriveKey(shared))
+	if err != nil {
+		return Peeled{}, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return Peeled{}, err
+	}
+	nonce := onion[pubLen : pubLen+gcm.NonceSize()]
+	ct := onion[pubLen+gcm.NonceSize():]
+	pt, err := gcm.Open(nil, nonce, ct, onion[:pubLen])
+	if err != nil {
+		return Peeled{}, ErrMalformed
+	}
+	if len(pt) < 2 {
+		return Peeled{}, ErrMalformed
+	}
+	hopLen := int(binary.BigEndian.Uint16(pt[:2]))
+	if len(pt) < 2+hopLen {
+		return Peeled{}, ErrMalformed
+	}
+	return Peeled{
+		NextHop: string(pt[2 : 2+hopLen]),
+		Inner:   pt[2+hopLen:],
+	}, nil
+}
+
+// Network is an in-process relay mesh used by simulations and tests.
+type Network struct {
+	relays map[string]*Relay
+	// Exit delivers fully peeled payloads to the destination service.
+	Exit func(payload []byte) error
+}
+
+// NewNetwork creates a mesh of n relays.
+func NewNetwork(n int, rng io.Reader, exit func([]byte) error) (*Network, error) {
+	if n < 1 {
+		return nil, errors.New("onion: need at least one relay")
+	}
+	net := &Network{relays: make(map[string]*Relay, n), Exit: exit}
+	for i := 0; i < n; i++ {
+		r, err := NewRelay(fmt.Sprintf("relay-%d", i), rng)
+		if err != nil {
+			return nil, err
+		}
+		net.relays[r.ID] = r
+	}
+	return net, nil
+}
+
+// Directory lists the mesh's relays in ID order.
+func (n *Network) Directory() []RelayInfo {
+	out := make([]RelayInfo, 0, len(n.relays))
+	for i := 0; i < len(n.relays); i++ {
+		id := fmt.Sprintf("relay-%d", i)
+		out = append(out, n.relays[id].Info())
+	}
+	return out
+}
+
+// PickCircuit selects hops distinct relays uniformly at random.
+func (n *Network) PickCircuit(hops int, rng io.Reader) ([]RelayInfo, error) {
+	if hops < 1 || hops > len(n.relays) {
+		return nil, fmt.Errorf("onion: cannot pick %d hops from %d relays", hops, len(n.relays))
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	dir := n.Directory()
+	// Fisher–Yates over the directory using rejection-free random bytes.
+	for i := len(dir) - 1; i > 0; i-- {
+		var b [8]byte
+		if _, err := io.ReadFull(rng, b[:]); err != nil {
+			return nil, err
+		}
+		j := int(binary.BigEndian.Uint64(b[:]) % uint64(i+1))
+		dir[i], dir[j] = dir[j], dir[i]
+	}
+	return dir[:hops], nil
+}
+
+// Route injects an onion at the entry relay and forwards it hop by hop
+// until the exit delivers the payload.
+func (n *Network) Route(entryID string, onion []byte) error {
+	cur := entryID
+	msg := onion
+	for depth := 0; depth <= len(n.relays); depth++ {
+		relay, ok := n.relays[cur]
+		if !ok {
+			return fmt.Errorf("onion: no relay %q", cur)
+		}
+		peeled, err := relay.Peel(msg)
+		if err != nil {
+			return fmt.Errorf("onion: at %s: %w", cur, err)
+		}
+		if peeled.NextHop == ExitID {
+			if n.Exit == nil {
+				return errors.New("onion: no exit configured")
+			}
+			return n.Exit(peeled.Inner)
+		}
+		cur = peeled.NextHop
+		msg = peeled.Inner
+	}
+	return errors.New("onion: routing loop")
+}
+
+// Send wraps payload over a fresh circuit of the given length and routes
+// it. This is the one-call client API.
+func (n *Network) Send(payload []byte, hops int, rng io.Reader) error {
+	circuit, err := n.PickCircuit(hops, rng)
+	if err != nil {
+		return err
+	}
+	onion, err := Wrap(circuit, payload, rng)
+	if err != nil {
+		return err
+	}
+	return n.Route(circuit[0].ID, onion)
+}

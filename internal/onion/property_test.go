@@ -1,0 +1,66 @@
+package onion
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: any payload round-trips through any circuit length 1..4,
+// and the onion never contains the plaintext payload (for payloads long
+// enough that containment is meaningful).
+func TestOnionRoundTripProperty(t *testing.T) {
+	n, err := NewNetwork(4, rand.Reader, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(payload []byte, hopSeed uint8) bool {
+		hops := int(hopSeed)%4 + 1
+		var got []byte
+		n.Exit = func(p []byte) error { got = append([]byte(nil), p...); return nil }
+		circuit, err := n.PickCircuit(hops, rand.Reader)
+		if err != nil {
+			return false
+		}
+		onion, err := Wrap(circuit, payload, rand.Reader)
+		if err != nil {
+			return false
+		}
+		if len(payload) >= 8 && bytes.Contains(onion, payload) {
+			return false
+		}
+		if err := n.Route(circuit[0].ID, onion); err != nil {
+			return false
+		}
+		return bytes.Equal(got, payload)
+	}
+	cfg := &quick.Config{MaxCount: 40} // each check does real crypto
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flipping any single byte of an onion makes the entry relay
+// reject it.
+func TestOnionTamperProperty(t *testing.T) {
+	n, err := NewNetwork(2, rand.Reader, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := n.Directory()
+	f := func(payload []byte, pos uint16, bit uint8) bool {
+		onion, err := Wrap([]RelayInfo{dir[0], dir[1]}, payload, rand.Reader)
+		if err != nil {
+			return false
+		}
+		i := int(pos) % len(onion)
+		onion[i] ^= 1 << (bit % 8)
+		_, err = n.relays[dir[0].ID].Peel(onion)
+		return err != nil
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

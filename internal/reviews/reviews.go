@@ -1,0 +1,166 @@
+// Package reviews is the classic explicit-review subsystem — what RSPs
+// already have today (§2). It stores the reviews the vocal minority
+// posts and computes the per-entity statistics the measurement study
+// crawls. The implicit-inference pipeline augments, not replaces, this
+// store (§3.1: RSPs "not only accept reviews from users like they do
+// today").
+package reviews
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Review is one explicit review.
+type Review struct {
+	ID     string    `json:"id"`
+	Entity string    `json:"entity"`
+	Author string    `json:"author"` // public pseudonym, not a device identity
+	Rating float64   `json:"rating"`
+	Text   string    `json:"text"`
+	Time   time.Time `json:"time"`
+}
+
+// ErrBadRating is returned for ratings outside [0, 5].
+var ErrBadRating = errors.New("reviews: rating outside [0, 5]")
+
+// Store holds reviews per entity. Store is safe for concurrent use.
+type Store struct {
+	mu       sync.RWMutex
+	byEntity map[string][]Review
+	seq      int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{byEntity: make(map[string][]Review)}
+}
+
+// Post validates and stores a review, assigning it an ID. The entity key
+// must be non-empty; ratings must be in [0, 5].
+func (s *Store) Post(r Review) (Review, error) {
+	if r.Entity == "" {
+		return Review{}, errors.New("reviews: empty entity")
+	}
+	if r.Rating < 0 || r.Rating > 5 {
+		return Review{}, ErrBadRating
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	r.ID = fmt.Sprintf("rev-%d", s.seq)
+	s.byEntity[r.Entity] = append(s.byEntity[r.Entity], r)
+	return r, nil
+}
+
+// Count returns the number of reviews for an entity.
+func (s *Store) Count(entityKey string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byEntity[entityKey])
+}
+
+// Mean returns the mean rating and whether any reviews exist.
+func (s *Store) Mean(entityKey string) (float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rs := s.byEntity[entityKey]
+	if len(rs) == 0 {
+		return 0, false
+	}
+	var sum float64
+	for _, r := range rs {
+		sum += r.Rating
+	}
+	return sum / float64(len(rs)), true
+}
+
+// ForEntity returns a page of reviews, newest first.
+func (s *Store) ForEntity(entityKey string, offset, limit int) []Review {
+	s.mu.RLock()
+	rs := append([]Review(nil), s.byEntity[entityKey]...)
+	s.mu.RUnlock()
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Time.After(rs[j].Time) })
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= len(rs) {
+		return nil
+	}
+	rs = rs[offset:]
+	if limit > 0 && limit < len(rs) {
+		rs = rs[:limit]
+	}
+	return rs
+}
+
+// All returns every stored review, grouped by entity in map iteration
+// order flattened to a slice; callers needing order should sort.
+func (s *Store) All() []Review {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Review
+	for _, rs := range s.byEntity {
+		out = append(out, rs...)
+	}
+	return out
+}
+
+// Restore replaces the store's contents with the given reviews,
+// advancing the ID sequence past any restored "rev-<n>" IDs so future
+// posts stay unique.
+func (s *Store) Restore(revs []Review) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byEntity = make(map[string][]Review)
+	s.seq = 0
+	for _, r := range revs {
+		s.byEntity[r.Entity] = append(s.byEntity[r.Entity], r)
+		var n int
+		if _, err := fmt.Sscanf(r.ID, "rev-%d", &n); err == nil && n > s.seq {
+			s.seq = n
+		}
+	}
+}
+
+// TotalReviews returns the number of reviews across all entities.
+func (s *Store) TotalReviews() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, rs := range s.byEntity {
+		n += len(rs)
+	}
+	return n
+}
+
+// Seed bulk-loads synthetic reviews for an entity (used by the crawl
+// universe, where only counts and a plausible rating distribution
+// matter). Ratings cycle deterministically around the base quality.
+func (s *Store) Seed(entityKey string, count int, quality float64, at time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < count; i++ {
+		s.seq++
+		// Deterministic spread of ±1 star around quality, half-star grid.
+		delta := float64(i%5)/2 - 1
+		rating := quality + delta
+		if rating < 0 {
+			rating = 0
+		}
+		if rating > 5 {
+			rating = 5
+		}
+		s.byEntity[entityKey] = append(s.byEntity[entityKey], Review{
+			ID:     fmt.Sprintf("rev-%d", s.seq),
+			Entity: entityKey,
+			Author: fmt.Sprintf("seeded-%d", i),
+			Rating: rating,
+			Text:   "seeded review",
+			Time:   at.Add(-time.Duration(i) * 24 * time.Hour),
+		})
+	}
+}

@@ -1,0 +1,157 @@
+package reviews
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2016, 4, 1, 0, 0, 0, 0, time.UTC)
+
+func TestPostAndFetch(t *testing.T) {
+	s := NewStore()
+	r, err := s.Post(Review{Entity: "yelp/a", Author: "alice", Rating: 4.5, Text: "great", Time: t0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID == "" {
+		t.Fatal("no ID assigned")
+	}
+	if s.Count("yelp/a") != 1 {
+		t.Fatalf("Count = %d", s.Count("yelp/a"))
+	}
+	got := s.ForEntity("yelp/a", 0, 10)
+	if len(got) != 1 || got[0].Author != "alice" {
+		t.Fatalf("ForEntity = %+v", got)
+	}
+}
+
+func TestPostValidation(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Post(Review{Entity: "", Rating: 3}); err == nil {
+		t.Error("empty entity accepted")
+	}
+	if _, err := s.Post(Review{Entity: "e", Rating: 5.5}); !errors.Is(err, ErrBadRating) {
+		t.Errorf("rating 5.5 err = %v", err)
+	}
+	if _, err := s.Post(Review{Entity: "e", Rating: -0.1}); !errors.Is(err, ErrBadRating) {
+		t.Errorf("rating -0.1 err = %v", err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Mean("none"); ok {
+		t.Fatal("mean of empty entity")
+	}
+	_, _ = s.Post(Review{Entity: "e", Rating: 4})
+	_, _ = s.Post(Review{Entity: "e", Rating: 2})
+	m, ok := s.Mean("e")
+	if !ok || m != 3 {
+		t.Fatalf("Mean = %v, %v", m, ok)
+	}
+}
+
+func TestForEntityPagingAndOrder(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 5; i++ {
+		_, _ = s.Post(Review{Entity: "e", Rating: float64(i), Time: t0.Add(time.Duration(i) * time.Hour)})
+	}
+	page := s.ForEntity("e", 0, 2)
+	if len(page) != 2 {
+		t.Fatalf("page size = %d", len(page))
+	}
+	// Newest first.
+	if page[0].Rating != 4 || page[1].Rating != 3 {
+		t.Fatalf("order wrong: %v, %v", page[0].Rating, page[1].Rating)
+	}
+	page2 := s.ForEntity("e", 2, 2)
+	if len(page2) != 2 || page2[0].Rating != 2 {
+		t.Fatalf("second page: %+v", page2)
+	}
+	if got := s.ForEntity("e", 10, 2); got != nil {
+		t.Fatalf("past-end page = %v", got)
+	}
+	if got := s.ForEntity("e", -1, 0); len(got) != 5 {
+		t.Fatalf("negative offset, no limit = %d", len(got))
+	}
+}
+
+func TestSeed(t *testing.T) {
+	s := NewStore()
+	s.Seed("yelp/big", 120, 4.0, t0)
+	if s.Count("yelp/big") != 120 {
+		t.Fatalf("seeded count = %d", s.Count("yelp/big"))
+	}
+	m, ok := s.Mean("yelp/big")
+	if !ok || m < 3.3 || m > 4.7 {
+		t.Fatalf("seeded mean = %v", m)
+	}
+	if s.TotalReviews() != 120 {
+		t.Fatalf("total = %d", s.TotalReviews())
+	}
+}
+
+func TestConcurrentPost(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 40; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := s.Post(Review{Entity: fmt.Sprintf("e%d", i%4), Rating: 3})
+			if err != nil {
+				t.Error(err)
+			}
+			s.Count("e0")
+			s.Mean("e1")
+		}(i)
+	}
+	wg.Wait()
+	if s.TotalReviews() != 40 {
+		t.Fatalf("total = %d", s.TotalReviews())
+	}
+	// IDs must be unique.
+	seen := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		for _, r := range s.ForEntity(fmt.Sprintf("e%d", i), 0, 0) {
+			if seen[r.ID] {
+				t.Fatalf("duplicate ID %s", r.ID)
+			}
+			seen[r.ID] = true
+		}
+	}
+}
+
+func TestAllAndRestore(t *testing.T) {
+	s := NewStore()
+	_, _ = s.Post(Review{Entity: "a", Rating: 4, Time: t0})
+	_, _ = s.Post(Review{Entity: "b", Rating: 2, Time: t0})
+	all := s.All()
+	if len(all) != 2 {
+		t.Fatalf("All = %d", len(all))
+	}
+	// Restore into a fresh store; sequence must advance past restored IDs.
+	s2 := NewStore()
+	s2.Restore(all)
+	if s2.TotalReviews() != 2 {
+		t.Fatalf("restored = %d", s2.TotalReviews())
+	}
+	r, err := s2.Post(Review{Entity: "a", Rating: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, old := range all {
+		if r.ID == old.ID {
+			t.Fatalf("new ID %s collides with restored", r.ID)
+		}
+	}
+	// Restore with non-numeric IDs must not break the sequence.
+	s3 := NewStore()
+	s3.Restore([]Review{{ID: "imported-xyz", Entity: "a", Rating: 1}})
+	if _, err := s3.Post(Review{Entity: "a", Rating: 2}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,361 @@
+package rspclient
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"opinions/internal/history"
+	"opinions/internal/rspserver"
+	"opinions/internal/simclock"
+	"opinions/internal/trace"
+	"opinions/internal/world"
+)
+
+func testWorld(t *testing.T) (*world.City, *trace.Simulator) {
+	t.Helper()
+	city := world.BuildCity(world.CityConfig{Seed: 21, NumUsers: 30, SpanMeters: 10000})
+	sim := trace.New(city, trace.Config{Seed: 21, Days: 14})
+	return city, sim
+}
+
+func testServerFor(t *testing.T, city *world.City) *rspserver.Server {
+	t.Helper()
+	srv, err := rspserver.New(rspserver.Config{
+		Catalog: city.Entities,
+		Clock:   simclock.NewSim(simclock.Epoch),
+		KeyBits: 1024,
+		// Generous token budget so integration flows are not throttled.
+		TokenRate: 100000, TokenPeriod: 24 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func TestAgentEndToEndLocal(t *testing.T) {
+	city, sim := testWorld(t)
+	srv := testServerFor(t, city)
+	transport := &LocalTransport{Server: srv, Clock: simclock.NewSim(simclock.Epoch)}
+
+	u := city.Users[0]
+	agent := NewAgent(Config{DeviceID: "dev-0", Author: "user0", Seed: 1, MixMax: time.Hour}, transport)
+	if _, err := agent.ProcessDay(trace.DayLog{}); err == nil {
+		t.Fatal("ProcessDay before Bootstrap should fail")
+	}
+	if err := agent.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	if agent.HasModel() {
+		t.Fatal("model exists before any training")
+	}
+
+	totalDetected := 0
+	for d := 0; d < sim.Days(); d++ {
+		for _, dl := range sim.SimulateDate(d) {
+			if dl.User != u.ID {
+				continue
+			}
+			res, err := agent.ProcessDay(dl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			totalDetected += res.Detected
+			if res.Energy <= 0 && len(dl.Segments) > 0 {
+				t.Fatal("no energy charged for a sensed day")
+			}
+		}
+	}
+	if totalDetected == 0 {
+		t.Fatal("agent detected no interactions in 14 days")
+	}
+	if agent.PendingUploads() == 0 {
+		t.Fatal("nothing queued for upload")
+	}
+
+	// Flush well past the mixing window: everything must deliver.
+	flushAt := sim.Start().AddDate(0, 0, sim.Days()+1)
+	sent, err := agent.FlushUploads(flushAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent == 0 {
+		t.Fatal("flush delivered nothing")
+	}
+	_, _, hists := srv.Stores()
+	if hists.Stats().Records == 0 {
+		t.Fatal("server stored no records")
+	}
+
+	// Every anonymous ID on the server matches hash(Ru, entity) and the
+	// device ID never appears.
+	for _, key := range hists.Entities() {
+		for _, h := range hists.ByEntity(key) {
+			if h.AnonID != history.AnonID(agent.Ru(), key) {
+				t.Fatalf("unexpected anon ID for %s", key)
+			}
+			if strings.Contains(h.AnonID, "dev-0") {
+				t.Fatal("device ID leaked into anonymous ID")
+			}
+		}
+	}
+}
+
+func TestAgentEndToEndHTTP(t *testing.T) {
+	city, sim := testWorld(t)
+	srv := testServerFor(t, city)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	transport := &HTTPTransport{BaseURL: ts.URL}
+
+	agent := NewAgent(Config{DeviceID: "dev-http", Author: "u", Seed: 2, MixMax: time.Minute}, transport)
+	if err := agent.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	if agent.Resolver().Len() != len(city.Entities) {
+		t.Fatalf("directory size = %d, want %d", agent.Resolver().Len(), len(city.Entities))
+	}
+	u := city.Users[1]
+	for d := 0; d < 7; d++ {
+		for _, dl := range sim.SimulateDate(d) {
+			if dl.User == u.ID {
+				if _, err := agent.ProcessDay(dl); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	sent, err := agent.FlushUploads(sim.Start().AddDate(0, 0, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, hists := srv.Stores()
+	if sent == 0 || hists.Stats().Records == 0 {
+		t.Fatalf("HTTP path delivered %d uploads, server has %d records", sent, hists.Stats().Records)
+	}
+}
+
+func TestAgentReviewsAndTraining(t *testing.T) {
+	city, sim := testWorld(t)
+	srv := testServerFor(t, city)
+	transport := &LocalTransport{Server: srv, Clock: simclock.NewSim(simclock.Epoch)}
+
+	// Run agents for every user so the vocal minority posts reviews.
+	agents := map[world.UserID]*Agent{}
+	for i, u := range city.Users {
+		a := NewAgent(Config{DeviceID: string(u.ID), Author: string(u.ID), Seed: int64(i), MixMax: time.Hour}, transport)
+		if err := a.Bootstrap(); err != nil {
+			t.Fatal(err)
+		}
+		agents[u.ID] = a
+	}
+	reviewsPosted := 0
+	trainingPairs := 0
+	for d := 0; d < sim.Days(); d++ {
+		for _, dl := range sim.SimulateDate(d) {
+			res, err := agents[dl.User].ProcessDay(dl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reviewsPosted += res.ReviewsPosted
+			trainingPairs += res.TrainingPairs
+		}
+	}
+	rev, _, _ := srv.Stores()
+	if rev.TotalReviews() != reviewsPosted {
+		t.Fatalf("server reviews %d != posted %d", rev.TotalReviews(), reviewsPosted)
+	}
+	if srv.TrainingPairs() != trainingPairs {
+		t.Fatalf("server pairs %d != submitted %d", srv.TrainingPairs(), trainingPairs)
+	}
+}
+
+func TestAgentInferenceFlow(t *testing.T) {
+	city, sim := testWorld(t)
+	srv := testServerFor(t, city)
+	transport := &LocalTransport{Server: srv, Clock: simclock.NewSim(simclock.Epoch)}
+
+	// Pre-train a model from synthetic pairs so the agent can infer.
+	seedTraining(t, srv)
+
+	u := city.Users[2]
+	agent := NewAgent(Config{DeviceID: "dev-2", Author: "u2", Seed: 3, MixMax: time.Minute}, transport)
+	if err := agent.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	if !agent.HasModel() {
+		t.Fatal("agent did not pick up the model")
+	}
+	for d := 0; d < sim.Days(); d++ {
+		for _, dl := range sim.SimulateDate(d) {
+			if dl.User == u.ID {
+				if _, err := agent.ProcessDay(dl); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	queued := agent.InferOpinions(sim.Start().AddDate(0, 0, sim.Days()))
+	if queued == 0 {
+		t.Skip("no entity accumulated enough evidence in 14 days for this user")
+	}
+	if _, err := agent.FlushUploads(sim.Start().AddDate(0, 0, sim.Days()+1)); err != nil {
+		t.Fatal(err)
+	}
+	_, ops, _ := srv.Stores()
+	if ops.Total() != queued {
+		t.Fatalf("server opinions %d != queued %d", ops.Total(), queued)
+	}
+	// Re-inferring immediately must not duplicate uploads.
+	if again := agent.InferOpinions(sim.Start().AddDate(0, 0, sim.Days())); again != 0 {
+		t.Fatalf("unchanged inference re-queued %d", again)
+	}
+}
+
+// seedTraining installs a model trained on synthetic effort-correlated
+// pairs.
+func seedTraining(t *testing.T, srv *rspserver.Server) {
+	t.Helper()
+	rng := newTestRNG()
+	for i := 0; i < 200; i++ {
+		x, y := syntheticPair(rng)
+		if err := srv.AddTrainingPair(x, y, "cafe"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := srv.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgentTransparencyAndCorrection(t *testing.T) {
+	city, sim := testWorld(t)
+	srv := testServerFor(t, city)
+	transport := &LocalTransport{Server: srv, Clock: simclock.NewSim(simclock.Epoch)}
+	u := city.Users[3]
+	agent := NewAgent(Config{DeviceID: "dev-3", Author: "u3", Seed: 4, MixMax: time.Hour}, transport)
+	if err := agent.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < sim.Days(); d++ {
+		for _, dl := range sim.SimulateDate(d) {
+			if dl.User == u.ID {
+				_, _ = agent.ProcessDay(dl)
+			}
+		}
+	}
+	views := agent.Inferences()
+	if len(views) == 0 {
+		t.Fatal("transparency screen empty after two weeks")
+	}
+	target := views[0].Entity
+	agent.Correct(target)
+	for _, v := range agent.Inferences() {
+		if v.Entity == target {
+			t.Fatal("corrected entity still listed")
+		}
+	}
+	// Records for the corrected entity must no longer be collected.
+	before := agent.SnapshotLen()
+	for d := 0; d < 3; d++ {
+		for _, dl := range sim.SimulateDate(d) {
+			if dl.User == u.ID {
+				_, _ = agent.ProcessDay(dl)
+			}
+		}
+	}
+	for _, v := range agent.Inferences() {
+		if v.Entity == target {
+			t.Fatal("opted-out entity re-appeared")
+		}
+	}
+	_ = before
+}
+
+func TestAgentTokenRateLimitRequeues(t *testing.T) {
+	city, sim := testWorld(t)
+	srv, err := rspserver.New(rspserver.Config{
+		Catalog: city.Entities, Clock: simclock.NewSim(simclock.Epoch),
+		KeyBits: 1024, TokenRate: 2, TokenPeriod: 24 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	transport := &LocalTransport{Server: srv, Clock: simclock.NewSim(simclock.Epoch)}
+	u := city.Users[4]
+	agent := NewAgent(Config{DeviceID: "dev-4", Author: "u4", Seed: 5, MixMax: time.Minute}, transport)
+	if err := agent.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 10; d++ {
+		for _, dl := range sim.SimulateDate(d) {
+			if dl.User == u.ID {
+				_, _ = agent.ProcessDay(dl)
+			}
+		}
+	}
+	pendingBefore := agent.PendingUploads()
+	if pendingBefore <= 2 {
+		t.Skip("too few uploads to exercise the rate limit")
+	}
+	sent, err := agent.FlushUploads(sim.Start().AddDate(0, 0, 11))
+	if err == nil {
+		t.Fatal("expected rate-limit error")
+	}
+	if sent != 2 {
+		t.Fatalf("sent %d, want exactly the token budget (2)", sent)
+	}
+	if agent.PendingUploads() != pendingBefore-2 {
+		t.Fatalf("pending = %d, want %d requeued", agent.PendingUploads(), pendingBefore-2)
+	}
+}
+
+func TestSnapshotRetentionBoundsDeviceExposure(t *testing.T) {
+	city, sim := testWorld(t)
+	srv := testServerFor(t, city)
+	transport := &LocalTransport{Server: srv, Clock: simclock.NewSim(simclock.Epoch)}
+	u := city.Users[5]
+	agent := NewAgent(Config{
+		DeviceID: "dev-5", Author: "u5", Seed: 6,
+		Retention: 5 * 24 * time.Hour, MixMax: time.Minute,
+	}, transport)
+	if err := agent.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < sim.Days(); d++ {
+		for _, dl := range sim.SimulateDate(d) {
+			if dl.User == u.ID {
+				_, _ = agent.ProcessDay(dl)
+			}
+		}
+	}
+	// Everything on the device must be younger than retention.
+	cutoff := sim.Start().AddDate(0, 0, sim.Days()).Add(-5 * 24 * time.Hour)
+	for _, key := range agentEntities(agent) {
+		for _, r := range agentRecords(agent, key) {
+			if r.Start.Before(cutoff.Add(-24 * time.Hour)) {
+				t.Fatalf("record from %v survived a 5-day retention", r.Start)
+			}
+		}
+	}
+}
+
+func agentEntities(a *Agent) []string {
+	var out []string
+	for _, v := range a.Inferences() {
+		out = append(out, v.Entity)
+	}
+	return out
+}
+
+func agentRecords(a *Agent, key string) []interactionRecord {
+	var out []interactionRecord
+	for _, r := range a.store.ForEntity(key) {
+		out = append(out, interactionRecord{Start: r.Start})
+	}
+	return out
+}
+
+type interactionRecord struct{ Start time.Time }

@@ -1,0 +1,37 @@
+package rspclient
+
+import (
+	"strings"
+	"testing"
+
+	"opinions/internal/rspserver"
+	"opinions/internal/world"
+)
+
+// FuzzLoadState: arbitrary persisted-state bytes must never panic the
+// agent and never install a weak device secret.
+func FuzzLoadState(f *testing.F) {
+	f.Add(`{"version":1,"ru":"QUFBQUFBQUFBQUFBQUFBQUFBQUFBQUFBQUFBQUFBQUE=","inferred":{"yelp/a":4.5}}`)
+	f.Add(`{}`)
+	f.Add(`{"version":1,"ru":"AA=="}`)
+	f.Add(`garbage`)
+	srv, err := rspserver.New(rspserver.Config{
+		Catalog: []*world.Entity{{ID: "a", Service: world.Yelp, Zip: "z", Category: "c"}},
+		KeyBits: 512,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		a := NewAgent(Config{DeviceID: "d", Seed: 1}, &LocalTransport{Server: srv})
+		if err := a.Bootstrap(); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.LoadState(strings.NewReader(data)); err != nil {
+			return
+		}
+		if len(a.Ru()) < 16 {
+			t.Fatal("loaded a weak device secret")
+		}
+	})
+}

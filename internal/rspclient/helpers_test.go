@@ -1,0 +1,48 @@
+package rspclient
+
+import (
+	"time"
+
+	"opinions/internal/inference"
+	"opinions/internal/interaction"
+	"opinions/internal/simclock"
+	"opinions/internal/stats"
+)
+
+func newTestRNG() *stats.RNG { return stats.NewRNG(99) }
+
+// syntheticPair fabricates one (features, rating) training pair where
+// the rating genuinely depends on effort and exploration — the same
+// behaviour model the inference package's own tests use.
+func syntheticPair(rng *stats.RNG) ([]float64, float64) {
+	opinion := rng.Float64() * 5
+	nVisits := 1 + int(opinion*1.2) + rng.Intn(2)
+	var recs []interaction.Record
+	cur := simclock.Epoch
+	for i := 0; i < nVisits; i++ {
+		effort := 0.3 + opinion*0.5 + rng.Normal(0, 0.2)
+		if effort < 0.1 {
+			effort = 0.1
+		}
+		recs = append(recs, interaction.Record{
+			Entity: "yelp/train", Kind: interaction.VisitKind,
+			Start:        cur,
+			Duration:     time.Duration(40+rng.Intn(40)) * time.Minute,
+			DistanceFrom: effort * 1000,
+		})
+		cur = cur.Add(time.Duration(3+rng.Intn(10)) * 24 * time.Hour)
+	}
+	ev := inference.EntityEvidence{
+		Records:           recs,
+		AlternativesTried: int(opinion) + rng.Intn(2),
+		ChoiceSetSize:     3 + rng.Intn(8),
+	}
+	y := opinion + rng.Normal(0, 0.3)
+	if y < 0 {
+		y = 0
+	}
+	if y > 5 {
+		y = 5
+	}
+	return inference.ExtractFeatures(ev), y
+}

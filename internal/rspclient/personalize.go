@@ -1,0 +1,100 @@
+package rspclient
+
+import (
+	"net/url"
+	"sort"
+	"strconv"
+
+	"opinions/internal/rspserver"
+)
+
+// Personalize reranks search results using the device's local history —
+// the §5 incentive for installing the app at all: "for any search query
+// issued by a user, the RSP could tailor results based on the user's
+// history."
+//
+// Everything happens client-side: the server returns its global ranking
+// and never learns which categories or price points this user favours.
+// The personal signal added to each result's score is
+//
+//   - category affinity: how much of the user's retained history is in
+//     the result's category, and
+//   - price affinity: whether the result's price level matches the
+//     price level the user actually patronizes in that category.
+func (a *Agent) Personalize(results []rspserver.WireResult) []rspserver.WireResult {
+	if a.resolver == nil || len(results) == 0 {
+		return results
+	}
+	// Profile the local history: records per category, and record-count
+	// per (category, price level).
+	catCount := map[string]int{}
+	pricePref := map[string]map[int]int{}
+	for _, key := range a.store.Entities() {
+		e := a.resolver.Entity(key)
+		if e == nil {
+			continue
+		}
+		n := len(a.store.ForEntity(key))
+		catCount[e.Category] += n
+		if pricePref[e.Category] == nil {
+			pricePref[e.Category] = map[int]int{}
+		}
+		pricePref[e.Category][e.PriceLevel] += n
+	}
+
+	type scored struct {
+		r rspserver.WireResult
+		s float64
+	}
+	out := make([]scored, len(results))
+	for i, r := range results {
+		s := r.Score
+		cat := r.Entity.Category
+		if n := catCount[cat]; n > 0 {
+			frac := float64(n) / 10
+			if frac > 1 {
+				frac = 1
+			}
+			s += 0.35 * frac
+			// Price affinity: modal patronized price in this category.
+			modal, best := 0, 0
+			for price, cnt := range pricePref[cat] {
+				if cnt > best || (cnt == best && price < modal) {
+					modal, best = price, cnt
+				}
+			}
+			if best > 0 {
+				d := r.Entity.PriceLevel - modal
+				if d < 0 {
+					d = -d
+				}
+				if d <= 1 {
+					s += 0.25
+				}
+			}
+		}
+		out[i] = scored{r: r, s: s}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].s > out[j].s })
+	ranked := make([]rspserver.WireResult, len(out))
+	for i, sc := range out {
+		ranked[i] = sc.r
+	}
+	return ranked
+}
+
+// Search fetches the server's global ranking over HTTP. It is a
+// convenience for pairing with Personalize; LocalTransport users can
+// query the engine directly.
+func (t *HTTPTransport) Search(service, zip, category string, limit int) ([]rspserver.WireResult, error) {
+	q := url.Values{}
+	q.Set("service", service)
+	q.Set("zip", zip)
+	q.Set("category", category)
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	var out []rspserver.WireResult
+	err := t.getJSON("/api/search?"+q.Encode(), &out)
+	return out, err
+}

@@ -1,0 +1,116 @@
+package rspclient
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"opinions/internal/interaction"
+	"opinions/internal/rspserver"
+	"opinions/internal/simclock"
+	"opinions/internal/world"
+)
+
+// personalizeAgent builds an agent whose local history shows a strong
+// cheap-chinese habit.
+func personalizeAgent(t *testing.T) (*Agent, []rspserver.WireResult) {
+	t.Helper()
+	catalog := []*world.Entity{
+		{ID: "cheap-ch", Service: world.Yelp, Zip: "z", Category: "chinese", PriceLevel: 1, Name: "Cheap Chinese"},
+		{ID: "fancy-ch", Service: world.Yelp, Zip: "z", Category: "chinese", PriceLevel: 4, Name: "Fancy Chinese"},
+		{ID: "thai", Service: world.Yelp, Zip: "z", Category: "thai", PriceLevel: 1, Name: "Thai"},
+	}
+	srv, err := rspserver.New(rspserver.Config{Catalog: catalog, KeyBits: 512, Clock: simclock.NewSim(simclock.Epoch)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAgent(Config{DeviceID: "d", Seed: 1}, &LocalTransport{Server: srv})
+	if err := a.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	// Seed local history: many records at the cheap chinese place.
+	for i := 0; i < 8; i++ {
+		a.store.Add(interaction.Record{
+			Entity: "yelp/cheap-ch", Kind: interaction.VisitKind,
+			Start: simclock.Epoch.Add(time.Duration(i) * 24 * time.Hour), Duration: time.Hour,
+		})
+	}
+	// Identical global scores so only affinity separates them.
+	results := []rspserver.WireResult{
+		{Entity: rspserver.FromEntity(catalog[2]), Score: 3.0}, // thai
+		{Entity: rspserver.FromEntity(catalog[1]), Score: 3.0}, // fancy chinese
+		{Entity: rspserver.FromEntity(catalog[0]), Score: 3.0}, // cheap chinese
+	}
+	return a, results
+}
+
+func TestPersonalizePrefersHabitCategoryAndPrice(t *testing.T) {
+	a, results := personalizeAgent(t)
+	ranked := a.Personalize(results)
+	if ranked[0].Entity.Key != "yelp/cheap-ch" {
+		t.Fatalf("top = %s, want the habitual cheap chinese", ranked[0].Entity.Key)
+	}
+	// Fancy chinese gets category affinity but not price affinity, so it
+	// should still beat thai (no affinity at all).
+	if ranked[1].Entity.Key != "yelp/fancy-ch" {
+		t.Fatalf("second = %s, want fancy chinese", ranked[1].Entity.Key)
+	}
+}
+
+func TestPersonalizeRespectsLargeScoreGaps(t *testing.T) {
+	a, results := personalizeAgent(t)
+	// A globally far-better thai place must stay on top: affinity nudges
+	// (≤0.6) must not override a full star of evidence.
+	results[0].Score = 4.5
+	ranked := a.Personalize(results)
+	if ranked[0].Entity.Key != "yelp/thai" {
+		t.Fatalf("top = %s, want the 4.5-score thai", ranked[0].Entity.Key)
+	}
+}
+
+func TestPersonalizeNoHistoryIsStable(t *testing.T) {
+	catalog := []*world.Entity{
+		{ID: "a", Service: world.Yelp, Zip: "z", Category: "c", Name: "A"},
+		{ID: "b", Service: world.Yelp, Zip: "z", Category: "c", Name: "B"},
+	}
+	srv, err := rspserver.New(rspserver.Config{Catalog: catalog, KeyBits: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAgent(Config{DeviceID: "d", Seed: 1}, &LocalTransport{Server: srv})
+	if err := a.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	results := []rspserver.WireResult{
+		{Entity: rspserver.WireEntity{Key: "yelp/a", Category: "c"}, Score: 3.2},
+		{Entity: rspserver.WireEntity{Key: "yelp/b", Category: "c"}, Score: 3.1},
+	}
+	ranked := a.Personalize(results)
+	if ranked[0].Entity.Key != "yelp/a" || ranked[1].Entity.Key != "yelp/b" {
+		t.Fatal("order changed without any local history")
+	}
+	if got := a.Personalize(nil); got != nil {
+		t.Fatal("nil results not passed through")
+	}
+}
+
+func TestHTTPTransportSearch(t *testing.T) {
+	catalog := []*world.Entity{
+		{ID: "a", Service: world.Yelp, Zip: "48104", Category: "chinese", Name: "A"},
+		{ID: "b", Service: world.Yelp, Zip: "48104", Category: "chinese", Name: "B"},
+	}
+	srv, err := rspserver.New(rspserver.Config{Catalog: catalog, KeyBits: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	tr := &HTTPTransport{BaseURL: ts.URL}
+	results, err := tr.Search("yelp", "48104", "chinese", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("results = %d", len(results))
+	}
+}

@@ -1,0 +1,77 @@
+package rspclient
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"opinions/internal/interaction"
+)
+
+// AgentState is the persisted device state: everything the app must keep
+// across restarts. Ru is the critical piece — §4.2's anonymous IDs are
+// hash(Ru, entity), so losing Ru would fragment the user's server-side
+// histories into orphans; the snapshot and inference caches just avoid
+// rework.
+//
+// This is exactly the data a stolen device exposes (§4.2's threat
+// model): Ru plus the bounded recent snapshot. The design already
+// accounts for both — Ru retrieves nothing from the update-only server,
+// and the snapshot is retention-bounded.
+type AgentState struct {
+	Version  int                  `json:"version"`
+	Ru       []byte               `json:"ru"`
+	Inferred map[string]float64   `json:"inferred"`
+	OptedOut []string             `json:"opted_out"`
+	Records  []interaction.Record `json:"records"`
+}
+
+// stateVersion guards the persisted schema.
+const stateVersion = 1
+
+// SaveState writes the agent's durable state to w as JSON.
+func (a *Agent) SaveState(w io.Writer) error {
+	st := AgentState{
+		Version:  stateVersion,
+		Ru:       a.Ru(),
+		Inferred: a.InferredOpinions(),
+		Records:  a.store.Dump(),
+	}
+	for k := range a.optedOut {
+		st.OptedOut = append(st.OptedOut, k)
+	}
+	sort.Strings(st.OptedOut)
+	if err := json.NewEncoder(w).Encode(&st); err != nil {
+		return fmt.Errorf("rspclient: saving state: %w", err)
+	}
+	return nil
+}
+
+// LoadState restores durable state saved by SaveState. It must be called
+// after Bootstrap and replaces Ru, the snapshot, the inference cache,
+// and the opt-out list.
+func (a *Agent) LoadState(r io.Reader) error {
+	var st AgentState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("rspclient: loading state: %w", err)
+	}
+	if st.Version != stateVersion {
+		return fmt.Errorf("rspclient: state version %d, want %d", st.Version, stateVersion)
+	}
+	if len(st.Ru) < 16 {
+		return errors.New("rspclient: state has a malformed device secret")
+	}
+	a.ru = append([]byte(nil), st.Ru...)
+	a.inferred = make(map[string]float64, len(st.Inferred))
+	for k, v := range st.Inferred {
+		a.inferred[k] = v
+	}
+	a.optedOut = make(map[string]bool, len(st.OptedOut))
+	for _, k := range st.OptedOut {
+		a.optedOut[k] = true
+	}
+	a.store.Restore(st.Records)
+	return nil
+}

@@ -1,0 +1,78 @@
+package rspclient
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"opinions/internal/history"
+	"opinions/internal/interaction"
+	"opinions/internal/rspserver"
+	"opinions/internal/simclock"
+	"opinions/internal/world"
+)
+
+func stateAgent(t *testing.T) (*Agent, *rspserver.Server) {
+	t.Helper()
+	catalog := []*world.Entity{
+		{ID: "a", Service: world.Yelp, Zip: "z", Category: "cafe", Name: "A"},
+		{ID: "b", Service: world.Yelp, Zip: "z", Category: "cafe", Name: "B"},
+	}
+	srv, err := rspserver.New(rspserver.Config{Catalog: catalog, KeyBits: 512, Clock: simclock.NewSim(simclock.Epoch)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAgent(Config{DeviceID: "d", Seed: 7}, &LocalTransport{Server: srv})
+	if err := a.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	return a, srv
+}
+
+func TestSaveLoadStatePreservesRu(t *testing.T) {
+	a, srv := stateAgent(t)
+	a.store.Add(interaction.Record{Entity: "yelp/a", Kind: interaction.VisitKind, Start: simclock.Epoch, Duration: time.Hour})
+	a.inferred["yelp/a"] = 4.2
+	a.Correct("yelp/b")
+
+	var buf bytes.Buffer
+	if err := a.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A "reinstalled" agent on the same device restores state and keeps
+	// producing the same anonymous IDs.
+	b := NewAgent(Config{DeviceID: "d", Seed: 99}, &LocalTransport{Server: srv})
+	if err := b.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if history.AnonID(b.Ru(), "yelp/a") != history.AnonID(a.Ru(), "yelp/a") {
+		t.Fatal("Ru changed across restore; anonymous histories would fragment")
+	}
+	if got := b.InferredOpinions()["yelp/a"]; got != 4.2 {
+		t.Fatalf("inference cache = %v", got)
+	}
+	if !b.optedOut["yelp/b"] {
+		t.Fatal("opt-out lost")
+	}
+	if len(b.store.ForEntity("yelp/a")) != 1 {
+		t.Fatal("snapshot records lost")
+	}
+}
+
+func TestLoadStateValidation(t *testing.T) {
+	a, _ := stateAgent(t)
+	if err := a.LoadState(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage state loaded")
+	}
+	if err := a.LoadState(strings.NewReader(`{"version":9,"ru":"AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA="}`)); err == nil {
+		t.Fatal("bad version loaded")
+	}
+	if err := a.LoadState(strings.NewReader(`{"version":1,"ru":"AA=="}`)); err == nil {
+		t.Fatal("short Ru loaded")
+	}
+}

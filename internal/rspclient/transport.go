@@ -1,0 +1,291 @@
+package rspclient
+
+import (
+	"bytes"
+	"crypto/rsa"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"net/http"
+
+	"opinions/internal/attest"
+	"opinions/internal/geo"
+	"opinions/internal/inference"
+	"opinions/internal/reviews"
+	"opinions/internal/rspserver"
+	"opinions/internal/simclock"
+	"opinions/internal/world"
+)
+
+// Transport is the client's view of the RSP service. Two implementations
+// exist: HTTPTransport speaks the real wire protocol; LocalTransport
+// binds directly to an in-process server for large-scale experiments.
+type Transport interface {
+	// FetchDirectory downloads the on-device POI directory.
+	FetchDirectory() ([]*world.Entity, error)
+	// FetchModel downloads the current inference model set; ErrNoModel
+	// when the server has not trained one yet.
+	FetchModel() (*inference.ModelSet, error)
+	// FetchTokenKey downloads the issuer's public key.
+	FetchTokenKey() (*rsa.PublicKey, error)
+	// SignToken asks the issuer to blind-sign for this device.
+	SignToken(device string, blinded *big.Int) (*big.Int, error)
+	// Upload delivers one anonymous upload.
+	Upload(req rspserver.UploadRequest) error
+	// PostReview posts an explicit review under the user's public
+	// pseudonym.
+	PostReview(entity, author string, rating float64, text string) error
+	// SubmitTraining volunteers one (features, rating) pair, optionally
+	// labelled with the entity's category.
+	SubmitTraining(features []float64, rating float64, category string) error
+}
+
+// ErrNoModel indicates the server has no trained model yet.
+var ErrNoModel = errors.New("rspclient: server has no model")
+
+// HTTPTransport talks to an RSP over its HTTP API.
+type HTTPTransport struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+}
+
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return http.DefaultClient
+}
+
+func (t *HTTPTransport) getJSON(path string, out any) error {
+	resp, err := t.client().Get(t.BaseURL + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return httpError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (t *HTTPTransport) postJSON(path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := t.client().Post(t.BaseURL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return httpError(resp)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+func httpError(resp *http.Response) error {
+	var e rspserver.ErrorResponse
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("rspclient: server returned %d: %s", resp.StatusCode, e.Error)
+	}
+	return fmt.Errorf("rspclient: server returned %d", resp.StatusCode)
+}
+
+// FetchDirectory implements Transport.
+func (t *HTTPTransport) FetchDirectory() ([]*world.Entity, error) {
+	var wire []rspserver.WireEntity
+	if err := t.getJSON("/api/directory", &wire); err != nil {
+		return nil, err
+	}
+	out := make([]*world.Entity, len(wire))
+	for i, w := range wire {
+		out[i] = entityFromWire(w)
+	}
+	return out, nil
+}
+
+// entityFromWire rebuilds the client-side directory entry. The latent
+// quality is not on the wire; the zero value is correct — clients never
+// use it.
+func entityFromWire(w rspserver.WireEntity) *world.Entity {
+	id := w.Key
+	if len(w.Service)+1 < len(w.Key) {
+		id = w.Key[len(w.Service)+1:]
+	}
+	return &world.Entity{
+		ID:         world.EntityID(id),
+		Service:    world.ServiceKind(w.Service),
+		Category:   w.Category,
+		Zip:        w.Zip,
+		Name:       w.Name,
+		Loc:        geo.Point{Lat: w.Lat, Lon: w.Lon},
+		Phone:      w.Phone,
+		PriceLevel: w.PriceLevel,
+	}
+}
+
+// FetchModel implements Transport.
+func (t *HTTPTransport) FetchModel() (*inference.ModelSet, error) {
+	var m inference.ModelSet
+	err := t.getJSON("/api/model", &m)
+	if err != nil {
+		if isStatus(err, http.StatusNotFound) {
+			return nil, ErrNoModel
+		}
+		return nil, err
+	}
+	return &m, nil
+}
+
+// isStatus sniffs the status code out of httpError's message; good
+// enough for the one case (404 → ErrNoModel) the client distinguishes.
+func isStatus(err error, code int) bool {
+	return err != nil && bytes.Contains([]byte(err.Error()), []byte(fmt.Sprintf("returned %d", code)))
+}
+
+// FetchTokenKey implements Transport.
+func (t *HTTPTransport) FetchTokenKey() (*rsa.PublicKey, error) {
+	var kr rspserver.TokenKeyResponse
+	if err := t.getJSON("/api/token/key", &kr); err != nil {
+		return nil, err
+	}
+	n, ok := new(big.Int).SetString(kr.N, 10)
+	if !ok {
+		return nil, errors.New("rspclient: bad modulus from server")
+	}
+	return &rsa.PublicKey{N: n, E: kr.E}, nil
+}
+
+// SignToken implements Transport.
+func (t *HTTPTransport) SignToken(device string, blinded *big.Int) (*big.Int, error) {
+	var out rspserver.TokenSignResponse
+	err := t.postJSON("/api/token", rspserver.TokenSignRequest{Device: device, Blinded: blinded.String()}, &out)
+	if err != nil {
+		return nil, err
+	}
+	sig, ok := new(big.Int).SetString(out.BlindSig, 10)
+	if !ok {
+		return nil, errors.New("rspclient: bad blind signature from server")
+	}
+	return sig, nil
+}
+
+// Upload implements Transport.
+func (t *HTTPTransport) Upload(req rspserver.UploadRequest) error {
+	return t.postJSON("/api/upload", req, nil)
+}
+
+// PostReview implements Transport.
+func (t *HTTPTransport) PostReview(entity, author string, rating float64, text string) error {
+	return t.postJSON("/api/reviews", rspserver.PostReviewRequest{
+		Entity: entity, Author: author, Rating: rating, Text: text,
+	}, nil)
+}
+
+// SubmitTraining implements Transport.
+func (t *HTTPTransport) SubmitTraining(features []float64, rating float64, category string) error {
+	return t.postJSON("/api/train", rspserver.TrainRequest{Features: features, Rating: rating, Category: category}, nil)
+}
+
+// Attest runs the §4.3 remote-attestation round trip for a device:
+// fetch a nonce, produce the quote over the build the device runs, and
+// submit it. Call before requesting tokens when the RSP enforces
+// attestation.
+func (t *HTTPTransport) Attest(device *attest.Device) error {
+	var ch rspserver.AttestChallengeResponse
+	if err := t.postJSON("/api/attest/challenge", struct{}{}, &ch); err != nil {
+		return fmt.Errorf("rspclient: attest challenge: %w", err)
+	}
+	nonce, err := hex.DecodeString(ch.Nonce)
+	if err != nil {
+		return fmt.Errorf("rspclient: attest nonce: %w", err)
+	}
+	if err := t.postJSON("/api/attest/verify", rspserver.FromQuote(device.Attest(nonce)), nil); err != nil {
+		return fmt.Errorf("rspclient: attest verify: %w", err)
+	}
+	return nil
+}
+
+// LocalTransport binds a client directly to an in-process server,
+// bypassing HTTP. Experiments simulating hundreds of devices over
+// hundreds of days use this; the wire types and validation paths are
+// identical.
+type LocalTransport struct {
+	Server *rspserver.Server
+	// Clock stamps locally posted reviews; defaults to the real clock.
+	Clock simclock.Clock
+}
+
+// FetchDirectory implements Transport.
+func (t *LocalTransport) FetchDirectory() ([]*world.Entity, error) {
+	return t.Server.Catalog(), nil
+}
+
+// FetchModel implements Transport.
+func (t *LocalTransport) FetchModel() (*inference.ModelSet, error) {
+	m := t.Server.Models()
+	if m == nil {
+		return nil, ErrNoModel
+	}
+	return m, nil
+}
+
+// FetchTokenKey implements Transport.
+func (t *LocalTransport) FetchTokenKey() (*rsa.PublicKey, error) {
+	return t.Server.Issuer().PublicKey(), nil
+}
+
+// SignToken implements Transport.
+func (t *LocalTransport) SignToken(device string, blinded *big.Int) (*big.Int, error) {
+	return t.Server.Issuer().Sign(device, blinded)
+}
+
+// Upload implements Transport.
+func (t *LocalTransport) Upload(req rspserver.UploadRequest) error {
+	return t.Server.AcceptUpload(req)
+}
+
+// PostReview implements Transport.
+func (t *LocalTransport) PostReview(entity, author string, rating float64, text string) error {
+	rev, _, _ := t.Server.Stores()
+	if t.Server.Engine().Entity(entity) == nil {
+		return fmt.Errorf("rspclient: no entity %q", entity)
+	}
+	clock := t.Clock
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	_, err := rev.Post(reviews.Review{
+		Entity: entity, Author: author, Rating: rating, Text: text, Time: clock.Now(),
+	})
+	return err
+}
+
+// SubmitTraining implements Transport.
+func (t *LocalTransport) SubmitTraining(features []float64, rating float64, category string) error {
+	return t.Server.AddTrainingPair(features, rating, category)
+}
+
+// Attest runs the remote-attestation round trip in-process. It fails
+// when the server has no verifier configured.
+func (t *LocalTransport) Attest(device *attest.Device) error {
+	v := t.Server.Attestor()
+	if v == nil {
+		return errors.New("rspclient: server does not require attestation")
+	}
+	nonce, err := v.Challenge(nil)
+	if err != nil {
+		return err
+	}
+	return v.Verify(device.Attest(nonce))
+}

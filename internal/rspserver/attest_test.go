@@ -1,0 +1,101 @@
+package rspserver
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"opinions/internal/attest"
+	"opinions/internal/simclock"
+	"opinions/internal/world"
+)
+
+// attestedServer builds a server requiring attestation, one provisioned
+// honest device, and one tampered device.
+func attestedServer(t *testing.T) (*httptest.Server, *attest.Device, *attest.Device) {
+	t.Helper()
+	clock := simclock.NewSim(simclock.Epoch)
+	goodBuild := []byte("official client build v1")
+	verifier := attest.NewVerifier(clock, attest.MeasureBuild(goodBuild))
+
+	honest := attest.NewDevice("honest", []byte("ak-honest"), goodBuild)
+	verifier.Provision("honest", []byte("ak-honest"))
+	tampered := attest.NewDevice("tampered", []byte("ak-tampered"), goodBuild)
+	verifier.Provision("tampered", []byte("ak-tampered"))
+	tampered.Tamper([]byte("patched build that fakes activity"))
+
+	catalog := []*world.Entity{{ID: "a", Service: world.Yelp, Zip: "z", Category: "c"}}
+	srv, err := New(Config{Catalog: catalog, Clock: clock, KeyBits: 1024, Attestation: verifier})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, honest, tampered
+}
+
+// attestOverHTTP runs the challenge/verify round trip.
+func attestOverHTTP(t *testing.T, base string, d *attest.Device) *http.Response {
+	t.Helper()
+	var ch AttestChallengeResponse
+	resp := postJSON(t, base+"/api/attest/challenge", struct{}{}, &ch)
+	if resp.StatusCode != 200 {
+		t.Fatalf("challenge status %d", resp.StatusCode)
+	}
+	nonce, err := hexDecode(ch.Nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return postJSON(t, base+"/api/attest/verify", FromQuote(d.Attest(nonce)), nil)
+}
+
+func TestTokenGatedOnAttestation(t *testing.T) {
+	ts, honest, _ := attestedServer(t)
+	// Before attesting, token requests are refused.
+	resp := postJSON(t, ts.URL+"/api/token", TokenSignRequest{Device: "honest", Blinded: "12345"}, nil)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("unattested token status %d", resp.StatusCode)
+	}
+	// Attest, then tokens flow.
+	if resp := attestOverHTTP(t, ts.URL, honest); resp.StatusCode != 200 {
+		t.Fatalf("honest attest status %d", resp.StatusCode)
+	}
+	tok := fetchToken(t, ts.URL, "honest")
+	if tok.Msg == "" {
+		t.Fatal("no token issued after attestation")
+	}
+}
+
+func TestTamperedClientNeverGetsTokens(t *testing.T) {
+	ts, _, tampered := attestedServer(t)
+	if resp := attestOverHTTP(t, ts.URL, tampered); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("tampered attest status %d, want 403", resp.StatusCode)
+	}
+	resp := postJSON(t, ts.URL+"/api/token", TokenSignRequest{Device: "tampered", Blinded: "12345"}, nil)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("tampered token status %d, want 403", resp.StatusCode)
+	}
+}
+
+func TestAttestEndpointsDisabledWithoutVerifier(t *testing.T) {
+	_, ts := testServer(t) // no Attestation configured
+	resp := postJSON(t, ts.URL+"/api/attest/challenge", struct{}{}, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("challenge without verifier status %d", resp.StatusCode)
+	}
+	// And tokens flow without attestation (backward compatible).
+	tok := fetchToken(t, ts.URL, "any")
+	if tok.Msg == "" {
+		t.Fatal("token issuance broke without attestation")
+	}
+}
+
+func TestAttestVerifyMalformed(t *testing.T) {
+	ts, _, _ := attestedServer(t)
+	resp := postJSON(t, ts.URL+"/api/attest/verify", AttestVerifyRequest{
+		Device: "honest", Nonce: "zz", Measurement: "aa", MAC: "bb",
+	}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed quote status %d", resp.StatusCode)
+	}
+}

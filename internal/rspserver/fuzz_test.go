@@ -1,0 +1,78 @@
+package rspserver
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzWireRecordToRecord: arbitrary wire records must never panic and
+// never produce negative durations or distances.
+func FuzzWireRecordToRecord(f *testing.F) {
+	f.Add("visit", 3600.0, 2000.0, 0.0)
+	f.Add("call", 30.0, 0.0, 0.0)
+	f.Add("payment", 0.0, 0.0, 42.5)
+	f.Add("teleport", -1.0, -1.0, -1.0)
+	f.Fuzz(func(t *testing.T, kind string, durS, distM, amount float64) {
+		w := WireRecord{Kind: kind, DurationS: durS, DistanceM: distM, Amount: amount}
+		rec, err := w.ToRecord("yelp/x")
+		if err != nil {
+			return
+		}
+		if rec.Duration < 0 || rec.DistanceFrom < 0 {
+			t.Fatalf("negative values accepted: %+v", rec)
+		}
+		// Round trip must preserve the kind.
+		if FromRecord(rec).Kind != kind {
+			t.Fatalf("kind round trip: %q", kind)
+		}
+	})
+}
+
+// FuzzWireTokenToToken: arbitrary token strings must never panic.
+func FuzzWireTokenToToken(f *testing.F) {
+	f.Add("abcd", "12345")
+	f.Add("", "")
+	f.Add("zz", "-9")
+	f.Add("00ff", "999999999999999999999999999")
+	f.Fuzz(func(t *testing.T, msg, sig string) {
+		tok, err := (WireToken{Msg: msg, Sig: sig}).ToToken()
+		if err != nil {
+			return
+		}
+		if tok.Sig == nil {
+			t.Fatal("nil sig without error")
+		}
+	})
+}
+
+// FuzzUploadRequestJSON: arbitrary JSON bodies must never panic the
+// upload acceptor.
+func FuzzUploadRequestJSON(f *testing.F) {
+	f.Add(`{"anon_id":"a","entity":"yelp/a","rating":4.5,"token":{"msg":"ab","sig":"1"}}`)
+	f.Add(`{}`)
+	f.Add(`{"record":{"kind":"visit"}}`)
+	f.Add(`not json at all`)
+	srv, err := New(Config{Catalog: nil, KeyBits: 512})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		var req UploadRequest
+		if json.Unmarshal([]byte(body), &req) != nil {
+			return
+		}
+		_ = srv.AcceptUpload(req) // must not panic
+	})
+}
+
+// FuzzAttestVerifyRequest: arbitrary quote fields must never panic.
+func FuzzAttestVerifyRequest(f *testing.F) {
+	f.Add("dev", "abcd", "0011223344556677889900112233445566778899001122334455667788990011", "ff")
+	f.Add("", "", "", "")
+	f.Add("d", "zz", "aa", "bb")
+	f.Fuzz(func(t *testing.T, device, nonce, measurement, mac string) {
+		_, _ = (AttestVerifyRequest{
+			Device: device, Nonce: nonce, Measurement: measurement, MAC: mac,
+		}).ToQuote()
+	})
+}

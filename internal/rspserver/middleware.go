@@ -1,0 +1,104 @@
+package rspserver
+
+import (
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"opinions/internal/simclock"
+)
+
+// Middleware wraps an http.Handler.
+type Middleware func(http.Handler) http.Handler
+
+// Chain applies middlewares left to right (the first listed is the
+// outermost).
+func Chain(h http.Handler, mws ...Middleware) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}
+
+// statusRecorder captures the response status for logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// WithLogging logs one line per request: method, path, status, latency,
+// remote host. Logger defaults to the standard logger.
+func WithLogging(logger *log.Logger) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+			start := time.Now()
+			next.ServeHTTP(rec, r)
+			host, _, err := net.SplitHostPort(r.RemoteAddr)
+			if err != nil {
+				host = r.RemoteAddr
+			}
+			l := logger
+			if l == nil {
+				l = log.Default()
+			}
+			l.Printf("%s %s %d %s %s", r.Method, r.URL.Path, rec.status,
+				time.Since(start).Round(time.Microsecond), host)
+		})
+	}
+}
+
+// WithRateLimit bounds each remote host to ratePerWindow requests per
+// window, answering 429 beyond it. This protects the public endpoints
+// (search, reviews) from scraping and the crypto endpoints from
+// grinding; the anonymous upload path is *already* limited by blind
+// tokens, which rate-limit without identifying, so operators typically
+// set this well above the token rate.
+func WithRateLimit(ratePerWindow int, window time.Duration, clock simclock.Clock) Middleware {
+	if ratePerWindow <= 0 {
+		ratePerWindow = 300
+	}
+	if window <= 0 {
+		window = time.Minute
+	}
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	type bucket struct {
+		windowStart time.Time
+		n           int
+	}
+	var mu sync.Mutex
+	buckets := map[string]*bucket{}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			host, _, err := net.SplitHostPort(r.RemoteAddr)
+			if err != nil {
+				host = r.RemoteAddr
+			}
+			now := clock.Now()
+			mu.Lock()
+			b := buckets[host]
+			if b == nil || now.Sub(b.windowStart) >= window {
+				b = &bucket{windowStart: now}
+				buckets[host] = b
+			}
+			b.n++
+			over := b.n > ratePerWindow
+			mu.Unlock()
+			if over {
+				w.Header().Set("Retry-After", window.String())
+				http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package rspserver
+
+import (
+	"bytes"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"opinions/internal/simclock"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+func TestWithLoggingWritesOneLine(t *testing.T) {
+	var buf bytes.Buffer
+	logger := log.New(&buf, "", 0)
+	h := Chain(okHandler(), WithLogging(logger))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	if _, err := http.Get(ts.URL + "/api/search"); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	if !strings.Contains(line, "GET /api/search 200") {
+		t.Fatalf("log line = %q", line)
+	}
+	if strings.Count(line, "\n") != 1 {
+		t.Fatalf("expected exactly one line, got %q", line)
+	}
+}
+
+func TestWithRateLimit(t *testing.T) {
+	clock := simclock.NewSim(simclock.Epoch)
+	h := Chain(okHandler(), WithRateLimit(3, time.Minute, clock))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	status := func() int {
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	for i := 0; i < 3; i++ {
+		if s := status(); s != 200 {
+			t.Fatalf("request %d status %d", i, s)
+		}
+	}
+	if s := status(); s != http.StatusTooManyRequests {
+		t.Fatalf("4th request status %d, want 429", s)
+	}
+	// Window rollover refills.
+	clock.Advance(61 * time.Second)
+	if s := status(); s != 200 {
+		t.Fatalf("after window status %d", s)
+	}
+}
+
+func TestChainOrder(t *testing.T) {
+	var order []string
+	mk := func(name string) Middleware {
+		return func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				order = append(order, name)
+				next.ServeHTTP(w, r)
+			})
+		}
+	}
+	h := Chain(okHandler(), mk("outer"), mk("inner"))
+	req := httptest.NewRequest(http.MethodGet, "/", nil)
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestRateLimitedFullServer(t *testing.T) {
+	srv, _ := testServer(t)
+	clock := simclock.NewSim(simclock.Epoch)
+	h := Chain(srv.Handler(), WithRateLimit(2, time.Minute, clock))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	for i := 0; i < 2; i++ {
+		if resp := getJSON(t, ts.URL+"/api/meta", nil); resp.StatusCode != 200 {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	if resp := getJSON(t, ts.URL+"/api/meta", nil); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+}

@@ -1,0 +1,730 @@
+// Package rspserver is the Recommendation Sharing Provider service of
+// Figure 2: the HTTP API that accepts explicit reviews and anonymous
+// inference uploads, answers search queries with both review and
+// inferred-opinion summaries, issues rate-limited blind-signed upload
+// tokens, trains and serves the inference model, and runs the §4.3
+// fraud sweep over its anonymous history store.
+//
+// The API deliberately has no endpoint that retrieves a history by its
+// anonymous ID — the store is update-only toward clients (§4.2).
+package rspserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"opinions/internal/aggregate"
+	"opinions/internal/attest"
+	"opinions/internal/blindsig"
+	"opinions/internal/dp"
+	"opinions/internal/fraud"
+	"opinions/internal/history"
+	"opinions/internal/inference"
+	"opinions/internal/reviews"
+	"opinions/internal/search"
+	"opinions/internal/simclock"
+	"opinions/internal/stats"
+	"opinions/internal/storage"
+	"opinions/internal/world"
+)
+
+// Config configures a server.
+type Config struct {
+	// Catalog is the entity directory the service fronts.
+	Catalog []*world.Entity
+	// Clock defaults to the real clock.
+	Clock simclock.Clock
+	// TokenRate and TokenPeriod bound per-device token issuance
+	// (defaults: 50 per 24h).
+	TokenRate   int
+	TokenPeriod time.Duration
+	// KeyBits sizes the issuer's RSA key (default 2048; tests use less).
+	KeyBits int
+	// Zips lists the query locations exposed in /api/meta; optional.
+	Zips []string
+	// Attestation, when non-nil, gates token issuance on remote
+	// attestation (§4.3): only devices with a valid, unexpired quote of
+	// a known-good client build receive upload tokens.
+	Attestation *attest.Verifier
+	// PrivacyEpsilon, when positive, releases all inference-derived
+	// aggregates (inferred counts/histograms, Figure-3 visualizations)
+	// through an ε-differentially-private Laplace mechanism — closing
+	// the small-count leakage the paper's cited de-anonymization work
+	// [24, 25] warns about. Explicit reviews are public posts and are
+	// released exactly.
+	PrivacyEpsilon float64
+	// PrivacySeed makes the noise deterministic for tests; 0 seeds from
+	// the key generation entropy.
+	PrivacySeed int64
+}
+
+// Server implements the RSP. Construct with New.
+type Server struct {
+	catalog   []*world.Entity
+	engine    *search.Engine
+	reviews   *reviews.Store
+	opinions  *aggregate.OpinionStore
+	histories *history.ServerStore
+	issuer    *blindsig.Issuer
+	redeemer  *blindsig.Redeemer
+	clock     simclock.Clock
+	meta      MetaResponse
+	attestor  *attest.Verifier
+
+	dpMu   sync.Mutex
+	dpMech *dp.Mechanism
+
+	mu        sync.RWMutex
+	trainX    [][]float64
+	trainY    []float64
+	trainCats []string
+	models    *inference.ModelSet
+}
+
+// New builds a server over the catalog.
+func New(cfg Config) (*Server, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
+	if cfg.TokenRate <= 0 {
+		cfg.TokenRate = 50
+	}
+	if cfg.TokenPeriod <= 0 {
+		cfg.TokenPeriod = 24 * time.Hour
+	}
+	if cfg.KeyBits <= 0 {
+		cfg.KeyBits = 2048
+	}
+	issuer, err := blindsig.NewIssuer(cfg.KeyBits, cfg.TokenRate, cfg.TokenPeriod, cfg.Clock)
+	if err != nil {
+		return nil, fmt.Errorf("rspserver: %w", err)
+	}
+	rev := reviews.NewStore()
+	ops := aggregate.NewOpinionStore()
+	hists := history.NewServerStore()
+	s := &Server{
+		catalog:   cfg.Catalog,
+		engine:    search.NewEngine(cfg.Catalog, rev, ops, hists),
+		reviews:   rev,
+		opinions:  ops,
+		histories: hists,
+		issuer:    issuer,
+		redeemer:  blindsig.NewRedeemer(issuer.PublicKey()),
+		clock:     cfg.Clock,
+		attestor:  cfg.Attestation,
+	}
+	if cfg.PrivacyEpsilon > 0 {
+		seed := cfg.PrivacySeed
+		if seed == 0 {
+			seed = issuer.PublicKey().N.Int64() // arbitrary key-derived entropy
+		}
+		s.dpMech = dp.New(cfg.PrivacyEpsilon, stats.NewRNG(seed))
+	}
+	s.meta = buildMeta(cfg.Catalog, cfg.Zips)
+	return s, nil
+}
+
+// releaseResult applies the differential-privacy mechanism (when
+// enabled) to every inference-derived field of a result before it leaves
+// the server. Explicit-review fields pass through untouched.
+func (s *Server) releaseResult(w WireResult) WireResult {
+	if s.dpMech == nil {
+		return w
+	}
+	s.dpMu.Lock()
+	defer s.dpMu.Unlock()
+	m := s.dpMech
+
+	noisedCount := m.Count(w.InferredCount)
+	w.InferredCount = int(math.Round(noisedCount))
+	if w.InferredCount < 3 {
+		// Too few contributors to release a mean or histogram safely.
+		w.InferredMean = 0
+		w.InferredHistogram = [11]int{}
+	} else {
+		if mean, ok := m.Mean(w.InferredMean*noisedCount, int(noisedCount), 0, 5); ok {
+			w.InferredMean = mean
+		} else {
+			w.InferredMean = 0
+		}
+		fh := m.FixedHistogram(w.InferredHistogram)
+		for i, v := range fh {
+			w.InferredHistogram[i] = int(math.Round(v))
+		}
+	}
+
+	if w.VisitsPerUser != nil {
+		noised := m.Histogram(w.VisitsPerUser)
+		out := make(map[int]int, len(noised))
+		for k, v := range noised {
+			if r := int(math.Round(v)); r > 0 {
+				out[k] = r
+			}
+		}
+		w.VisitsPerUser = out
+		// Per-bin distance means: suppress bins whose released user
+		// count is tiny, noise the rest.
+		dist := make(map[int]float64, len(w.MeanDistanceKmByVisits))
+		for k, v := range w.MeanDistanceKmByVisits {
+			n := out[k]
+			if mean, ok := m.Mean(v*float64(n), n, 0, 50); ok {
+				dist[k] = mean
+			}
+		}
+		w.MeanDistanceKmByVisits = dist
+		w.RawInteractions = int(math.Round(m.Count(w.RawInteractions)))
+		w.EffectiveInteractions = m.Count(int(math.Round(w.EffectiveInteractions)))
+		if frac, ok := m.Mean(w.RepeatFraction*noisedCount, int(noisedCount), 0, 1); ok {
+			w.RepeatFraction = frac
+		} else {
+			w.RepeatFraction = 0
+		}
+	}
+	return w
+}
+
+func buildMeta(catalog []*world.Entity, zips []string) MetaResponse {
+	type svcAgg struct {
+		cats map[string]bool
+		zips map[string]bool
+	}
+	bySvc := map[world.ServiceKind]*svcAgg{}
+	for _, e := range catalog {
+		a := bySvc[e.Service]
+		if a == nil {
+			a = &svcAgg{cats: map[string]bool{}, zips: map[string]bool{}}
+			bySvc[e.Service] = a
+		}
+		a.cats[e.Category] = true
+		if e.Zip != "" {
+			a.zips[e.Zip] = true
+		}
+	}
+	var meta MetaResponse
+	var kinds []string
+	for k := range bySvc {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		a := bySvc[world.ServiceKind(k)]
+		ms := MetaService{Kind: k, Name: k}
+		for c := range a.cats {
+			ms.Categories = append(ms.Categories, c)
+		}
+		sort.Strings(ms.Categories)
+		if len(zips) > 0 {
+			ms.Zips = zips
+		} else {
+			for z := range a.zips {
+				ms.Zips = append(ms.Zips, z)
+			}
+			sort.Strings(ms.Zips)
+		}
+		meta.Services = append(meta.Services, ms)
+	}
+	return meta
+}
+
+// Stores exposes the underlying stores for in-process composition (the
+// experiment harness and the core facade wire clients directly to these
+// instead of going through HTTP).
+func (s *Server) Stores() (*reviews.Store, *aggregate.OpinionStore, *history.ServerStore) {
+	return s.reviews, s.opinions, s.histories
+}
+
+// Engine returns the search engine.
+func (s *Server) Engine() *search.Engine { return s.engine }
+
+// Catalog returns the entity directory the server fronts.
+func (s *Server) Catalog() []*world.Entity { return s.catalog }
+
+// Issuer returns the token issuer.
+func (s *Server) Issuer() *blindsig.Issuer { return s.issuer }
+
+// Redeemer returns the token redeemer.
+func (s *Server) Redeemer() *blindsig.Redeemer { return s.redeemer }
+
+// Attestor returns the attestation verifier, or nil when attestation is
+// not enforced.
+func (s *Server) Attestor() *attest.Verifier { return s.attestor }
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/meta", s.handleMeta)
+	mux.HandleFunc("/api/search", s.handleSearch)
+	mux.HandleFunc("/api/entity", s.handleEntity)
+	mux.HandleFunc("/api/reviews", s.handleReviews)
+	mux.HandleFunc("/api/directory", s.handleDirectory)
+	mux.HandleFunc("/api/token/key", s.handleTokenKey)
+	mux.HandleFunc("/api/token", s.handleTokenSign)
+	mux.HandleFunc("/api/attest/challenge", s.handleAttestChallenge)
+	mux.HandleFunc("/api/attest/verify", s.handleAttestVerify)
+	mux.HandleFunc("/api/upload", s.handleUpload)
+	mux.HandleFunc("/api/model", s.handleModel)
+	mux.HandleFunc("/api/train", s.handleTrain)
+	mux.HandleFunc("/api/model/retrain", s.handleRetrain)
+	mux.HandleFunc("/api/fraud/sweep", s.handleFraudSweep)
+	mux.HandleFunc("/api/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.meta)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	q := r.URL.Query()
+	limit := 0
+	if ls := q.Get("limit"); ls != "" {
+		var err error
+		limit, err = strconv.Atoi(ls)
+		if err != nil || limit < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", ls))
+			return
+		}
+	}
+	results := s.engine.Search(search.Query{
+		Service:  world.ServiceKind(q.Get("service")),
+		Zip:      q.Get("zip"),
+		Category: q.Get("category"),
+		Limit:    limit,
+	})
+	out := make([]WireResult, len(results))
+	for i, res := range results {
+		out[i] = s.releaseResult(FromResult(res))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleEntity(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	key := r.URL.Query().Get("key")
+	ent := s.engine.Entity(key)
+	if ent == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no entity %q", key))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.releaseResult(FromResult(s.engine.Describe(ent))))
+}
+
+func (s *Server) handleReviews(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query()
+		entity := q.Get("entity")
+		offset, _ := strconv.Atoi(q.Get("offset"))
+		limit, _ := strconv.Atoi(q.Get("limit"))
+		if limit <= 0 || limit > 100 {
+			limit = 20
+		}
+		writeJSON(w, http.StatusOK, s.reviews.ForEntity(entity, offset, limit))
+	case http.MethodPost:
+		var req PostReviewRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if s.engine.Entity(req.Entity) == nil {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("no entity %q", req.Entity))
+			return
+		}
+		rev, err := s.reviews.Post(reviews.Review{
+			Entity: req.Entity, Author: req.Author,
+			Rating: req.Rating, Text: req.Text, Time: s.clock.Now(),
+		})
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, rev)
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET or POST"))
+	}
+}
+
+func (s *Server) handleDirectory(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	svc := r.URL.Query().Get("service")
+	var out []WireEntity
+	for _, e := range s.catalog {
+		if svc == "" || string(e.Service) == svc {
+			out = append(out, FromEntity(e))
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleTokenKey(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	pub := s.issuer.PublicKey()
+	writeJSON(w, http.StatusOK, TokenKeyResponse{N: pub.N.String(), E: pub.E})
+}
+
+func (s *Server) handleTokenSign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req TokenSignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Device == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing device"))
+		return
+	}
+	blinded, ok := new(big.Int).SetString(req.Blinded, 10)
+	if !ok {
+		writeErr(w, http.StatusBadRequest, errors.New("blinded not a number"))
+		return
+	}
+	if s.attestor != nil && !s.attestor.IsAttested(req.Device) {
+		writeErr(w, http.StatusForbidden, errors.New("device must pass remote attestation before receiving tokens"))
+		return
+	}
+	sig, err := s.issuer.Sign(req.Device, blinded)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, blindsig.ErrRateLimited) {
+			status = http.StatusTooManyRequests
+		}
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TokenSignResponse{BlindSig: sig.String()})
+}
+
+func (s *Server) handleAttestChallenge(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	if s.attestor == nil {
+		writeErr(w, http.StatusNotFound, errors.New("attestation not enabled"))
+		return
+	}
+	nonce, err := s.attestor.Challenge(nil)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AttestChallengeResponse{Nonce: hexEncode(nonce)})
+}
+
+func (s *Server) handleAttestVerify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	if s.attestor == nil {
+		writeErr(w, http.StatusNotFound, errors.New("attestation not enabled"))
+		return
+	}
+	var req AttestVerifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	quote, err := req.ToQuote()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.attestor.Verify(quote); err != nil {
+		writeErr(w, http.StatusForbidden, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req UploadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.AcceptUpload(req); err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, blindsig.ErrTokenInvalid), errors.Is(err, blindsig.ErrTokenSpent):
+			status = http.StatusForbidden
+		case errors.Is(err, history.ErrEntityMismatch):
+			status = http.StatusConflict
+		}
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, struct{}{})
+}
+
+// AcceptUpload applies an anonymous upload: redeem the token, then
+// append the record and/or inferred rating. Exposed for in-process
+// composition.
+func (s *Server) AcceptUpload(req UploadRequest) error {
+	if req.AnonID == "" || req.Entity == "" {
+		return errors.New("rspserver: upload missing anon_id or entity")
+	}
+	if req.Record == nil && req.Rating == nil {
+		return errors.New("rspserver: upload carries neither record nor rating")
+	}
+	if s.engine.Entity(req.Entity) == nil {
+		return fmt.Errorf("rspserver: upload for unknown entity %q", req.Entity)
+	}
+	tok, err := req.Token.ToToken()
+	if err != nil {
+		return err
+	}
+	if err := s.redeemer.Redeem(tok); err != nil {
+		return err
+	}
+	if req.Record != nil {
+		rec, err := req.Record.ToRecord(req.Entity)
+		if err != nil {
+			return err
+		}
+		if err := s.histories.Append(req.AnonID, req.Entity, rec); err != nil {
+			return err
+		}
+	}
+	if req.Rating != nil {
+		if *req.Rating < 0 || *req.Rating > 5 {
+			return errors.New("rspserver: rating outside [0, 5]")
+		}
+		s.opinions.Add(req.Entity, *req.Rating)
+	}
+	return nil
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	s.mu.RLock()
+	m := s.models
+	s.mu.RUnlock()
+	if m == nil {
+		writeErr(w, http.StatusNotFound, errors.New("no model trained yet"))
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req TrainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.AddTrainingPair(req.Features, req.Rating, req.Category); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, struct{}{})
+}
+
+// AddTrainingPair stores one volunteered training example; category may
+// be empty (the pair then informs only the global model).
+func (s *Server) AddTrainingPair(features []float64, rating float64, category string) error {
+	if len(features) != inference.NumFeatures {
+		return fmt.Errorf("rspserver: %d features, want %d", len(features), inference.NumFeatures)
+	}
+	if rating < 0 || rating > 5 {
+		return errors.New("rspserver: training rating outside [0, 5]")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.trainX = append(s.trainX, append([]float64(nil), features...))
+	s.trainY = append(s.trainY, rating)
+	s.trainCats = append(s.trainCats, category)
+	return nil
+}
+
+func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	m, err := s.Retrain()
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// Retrain fits a fresh model set (global + per-category) on the
+// accumulated training pairs and installs it.
+func (s *Server) Retrain() (*inference.ModelSet, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set, err := inference.TrainSet(s.trainX, s.trainY, s.trainCats, 1.0, 0)
+	if err != nil {
+		return nil, err
+	}
+	s.models = set
+	return set, nil
+}
+
+// Models returns the current model set, or nil.
+func (s *Server) Models() *inference.ModelSet {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.models
+}
+
+// Model returns the current global model, or nil.
+func (s *Server) Model() *inference.Model {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.models == nil {
+		return nil
+	}
+	return s.models.Global
+}
+
+// TrainingPairs returns how many volunteered examples are stored.
+func (s *Server) TrainingPairs() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.trainX)
+}
+
+func (s *Server) handleFraudSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	scanned, discarded := s.FraudSweep()
+	writeJSON(w, http.StatusOK, SweepResponse{Scanned: scanned, Discarded: discarded})
+}
+
+// FraudSweep builds the typical-user profile from all stored histories
+// and drops the ones the §4.3 detector flags. It returns (scanned,
+// discarded).
+func (s *Server) FraudSweep() (int, int) {
+	var all []*history.EntityHistory
+	for _, entity := range s.histories.Entities() {
+		all = append(all, s.histories.ByEntity(entity)...)
+	}
+	if len(all) == 0 {
+		return 0, 0
+	}
+	det := fraud.NewDetector(fraud.BuildProfile(all))
+	_, discarded := det.Filter(all)
+	for _, h := range discarded {
+		s.histories.Drop(h.AnonID)
+	}
+	return len(all), len(discarded)
+}
+
+// Snapshot captures the full server state for persistence.
+func (s *Server) Snapshot() *storage.Snapshot {
+	s.mu.RLock()
+	trainX := make([][]float64, len(s.trainX))
+	for i, x := range s.trainX {
+		trainX[i] = append([]float64(nil), x...)
+	}
+	trainY := append([]float64(nil), s.trainY...)
+	trainCats := append([]string(nil), s.trainCats...)
+	models := s.models
+	s.mu.RUnlock()
+	return &storage.Snapshot{
+		SavedAt:   s.clock.Now(),
+		Reviews:   s.reviews.All(),
+		Opinions:  s.opinions.Dump(),
+		Histories: s.histories.Dump(),
+		TrainX:    trainX,
+		TrainY:    trainY,
+		TrainCats: trainCats,
+		Models:    models,
+	}
+}
+
+// RestoreSnapshot replaces the server's state with the snapshot's.
+func (s *Server) RestoreSnapshot(snap *storage.Snapshot) error {
+	if snap == nil {
+		return errors.New("rspserver: nil snapshot")
+	}
+	if err := s.histories.Restore(snap.Histories); err != nil {
+		return err
+	}
+	s.reviews.Restore(snap.Reviews)
+	s.opinions.Restore(snap.Opinions)
+	s.mu.Lock()
+	s.trainX = make([][]float64, len(snap.TrainX))
+	for i, x := range snap.TrainX {
+		s.trainX[i] = append([]float64(nil), x...)
+	}
+	s.trainY = append([]float64(nil), snap.TrainY...)
+	s.trainCats = append([]string(nil), snap.TrainCats...)
+	if len(s.trainCats) < len(s.trainY) {
+		// Older snapshots may lack categories; pad.
+		s.trainCats = append(s.trainCats, make([]string, len(s.trainY)-len(s.trainCats))...)
+	}
+	s.models = snap.Models
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	hs := s.histories.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Entities:         len(s.catalog),
+		Reviews:          s.reviews.TotalReviews(),
+		Histories:        hs.Histories,
+		HistoryRecords:   hs.Records,
+		InferredOpinions: s.opinions.Total(),
+		TrainingPairs:    s.TrainingPairs(),
+	})
+}

@@ -1,0 +1,61 @@
+package search
+
+import (
+	"fmt"
+	"testing"
+
+	"opinions/internal/aggregate"
+	"opinions/internal/history"
+	"opinions/internal/interaction"
+	"opinions/internal/reviews"
+	"opinions/internal/world"
+)
+
+// benchEngine builds an engine over 2,000 entities with evidence spread
+// across the stores.
+func benchEngine(b *testing.B) *Engine {
+	b.Helper()
+	var catalog []*world.Entity
+	rev := reviews.NewStore()
+	ops := aggregate.NewOpinionStore()
+	hists := history.NewServerStore()
+	for i := 0; i < 2000; i++ {
+		e := &world.Entity{
+			ID: world.EntityID(fmt.Sprintf("e%04d", i)), Service: world.Yelp,
+			Zip: fmt.Sprintf("z%d", i%10), Category: "cafe", Quality: 3,
+		}
+		catalog = append(catalog, e)
+		if i%3 == 0 {
+			rev.Seed(e.Key(), 5+i%40, 3.5, t0)
+		}
+		if i%2 == 0 {
+			for k := 0; k < 1+i%8; k++ {
+				ops.Add(e.Key(), 3.5)
+			}
+		}
+		if i%5 == 0 {
+			id := fmt.Sprintf("anon-%d", i)
+			_ = hists.Append(id, e.Key(), interaction.Record{
+				Entity: e.Key(), Kind: interaction.VisitKind, Start: t0,
+			})
+		}
+	}
+	return NewEngine(catalog, rev, ops, hists)
+}
+
+func BenchmarkSearch200Results(b *testing.B) {
+	e := benchEngine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Search(Query{Service: world.Yelp, Zip: "z3", Category: "cafe"})
+	}
+}
+
+func BenchmarkDescribe(b *testing.B) {
+	e := benchEngine(b)
+	ent := e.Entity("yelp/e0000")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Describe(ent)
+	}
+}

@@ -1,0 +1,294 @@
+// Package sensing models the device side of the paper's client: turning
+// a user's true movement timeline into the location samples an RSP app
+// would actually observe, under different sampling policies with
+// different energy costs.
+//
+// Section 5 ("Location tracking") prescribes exploiting accelerometer
+// cues — sample location only once the user has been stationary for a
+// few minutes, resample when they move — and using WiFi/cell positioning
+// rather than GPS alone. This package implements that policy alongside
+// two baselines so experiment E5 can quantify the energy/recall
+// trade-off.
+package sensing
+
+import (
+	"time"
+
+	"opinions/internal/geo"
+	"opinions/internal/stats"
+	"opinions/internal/trace"
+)
+
+// Source identifies the positioning technology behind a sample.
+type Source int
+
+// Positioning sources, in decreasing accuracy and energy cost.
+const (
+	GPS Source = iota
+	WiFi
+	Cell
+)
+
+// String implements fmt.Stringer.
+func (s Source) String() string {
+	switch s {
+	case GPS:
+		return "gps"
+	case WiFi:
+		return "wifi"
+	case Cell:
+		return "cell"
+	}
+	return "unknown"
+}
+
+// accuracyMeters is the 1-sigma position error per source.
+func (s Source) accuracyMeters() float64 {
+	switch s {
+	case GPS:
+		return 8
+	case WiFi:
+		return 35
+	default:
+		return 350
+	}
+}
+
+// energyPerFixMAH is the battery cost of one position fix.
+func (s Source) energyPerFixMAH() float64 {
+	switch s {
+	case GPS:
+		return 0.35
+	case WiFi:
+		return 0.06
+	default:
+		return 0.01
+	}
+}
+
+// Sample is one observed location fix.
+type Sample struct {
+	Time     time.Time
+	Point    geo.Point
+	Source   Source
+	Accuracy float64 // 1-sigma error estimate in meters
+}
+
+// Energy is battery consumption in milliamp-hours.
+type Energy float64
+
+// accelerometerMAHPerHour is the cost of keeping the accelerometer on
+// continuously; it is cheap enough to run all day.
+const accelerometerMAHPerHour = 0.9
+
+// Policy converts one day's true movement timeline into observed samples
+// plus the energy spent observing them.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// SampleDay observes one day's segments. Implementations must be
+	// deterministic given the rng.
+	SampleDay(rng *stats.RNG, segs []trace.Segment) ([]Sample, Energy)
+}
+
+// fix produces a noisy sample of the true position at t.
+func fix(rng *stats.RNG, segs []trace.Segment, t time.Time, src Source) Sample {
+	p := trace.PositionAt(segs, t)
+	acc := src.accuracyMeters()
+	noisy := geo.Offset(p, rng.Normal(0, acc), rng.Normal(0, acc))
+	return Sample{Time: t, Point: noisy, Source: src, Accuracy: acc}
+}
+
+// AlwaysOnGPS samples GPS at a fixed interval all day — the naive
+// baseline whose energy draw the paper says users will not accept.
+type AlwaysOnGPS struct {
+	// Interval between fixes; default 1 minute.
+	Interval time.Duration
+}
+
+// Name implements Policy.
+func (AlwaysOnGPS) Name() string { return "gps-always" }
+
+// SampleDay implements Policy.
+func (p AlwaysOnGPS) SampleDay(rng *stats.RNG, segs []trace.Segment) ([]Sample, Energy) {
+	interval := p.Interval
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	if len(segs) == 0 {
+		return nil, 0
+	}
+	start := segs[0].Start
+	end := segs[len(segs)-1].End
+	var out []Sample
+	var e Energy
+	for t := start; !t.After(end); t = t.Add(interval) {
+		out = append(out, fix(rng, segs, t, GPS))
+		e += Energy(GPS.energyPerFixMAH())
+	}
+	return out, e
+}
+
+// DutyCycled is the §5 policy: the accelerometer (cheap, always on)
+// reveals motion state; GPS fires only after the user has been
+// stationary for StationaryDelay, then re-fires every ResampleEvery
+// while they remain stationary.
+//
+// The simulator's segment boundaries stand in for accelerometer motion
+// transitions, which is exactly the information a real accelerometer
+// provides (moving vs not), not the user's position.
+type DutyCycled struct {
+	// StationaryDelay before the first fix of a stay; default 3 minutes.
+	StationaryDelay time.Duration
+	// ResampleEvery while stationary; default 10 minutes.
+	ResampleEvery time.Duration
+	// Source for fixes; default GPS.
+	Source Source
+}
+
+// Name implements Policy.
+func (p DutyCycled) Name() string {
+	if p.Source == WiFi {
+		return "duty-cycled-wifi"
+	}
+	return "duty-cycled-gps"
+}
+
+// SampleDay implements Policy.
+func (p DutyCycled) SampleDay(rng *stats.RNG, segs []trace.Segment) ([]Sample, Energy) {
+	delay := p.StationaryDelay
+	if delay <= 0 {
+		delay = 3 * time.Minute
+	}
+	every := p.ResampleEvery
+	if every <= 0 {
+		every = 10 * time.Minute
+	}
+	var out []Sample
+	var e Energy
+	var hours float64
+	for _, s := range segs {
+		hours += s.End.Sub(s.Start).Hours()
+		if !s.Stationary() {
+			continue
+		}
+		for t := s.Start.Add(delay); t.Before(s.End); t = t.Add(every) {
+			out = append(out, fix(rng, segs, t, p.Source))
+			e += Energy(p.Source.energyPerFixMAH())
+		}
+	}
+	e += Energy(hours * accelerometerMAHPerHour)
+	return out, e
+}
+
+// WiFiAssisted duty-cycles like DutyCycled but takes most fixes with
+// WiFi positioning and confirms long stays with one GPS fix, trading a
+// little accuracy for most of the energy savings (§5's "leveraging WiFi
+// and cellular information, not only the GPS").
+type WiFiAssisted struct {
+	StationaryDelay time.Duration
+	ResampleEvery   time.Duration
+	// GPSConfirmAfter is the stay duration after which a single GPS fix
+	// confirms the WiFi position; default 20 minutes.
+	GPSConfirmAfter time.Duration
+}
+
+// Name implements Policy.
+func (WiFiAssisted) Name() string { return "wifi-assisted" }
+
+// SampleDay implements Policy.
+func (p WiFiAssisted) SampleDay(rng *stats.RNG, segs []trace.Segment) ([]Sample, Energy) {
+	delay := p.StationaryDelay
+	if delay <= 0 {
+		delay = 3 * time.Minute
+	}
+	every := p.ResampleEvery
+	if every <= 0 {
+		every = 10 * time.Minute
+	}
+	confirm := p.GPSConfirmAfter
+	if confirm <= 0 {
+		confirm = 20 * time.Minute
+	}
+	var out []Sample
+	var e Energy
+	var hours float64
+	for _, s := range segs {
+		hours += s.End.Sub(s.Start).Hours()
+		if !s.Stationary() {
+			continue
+		}
+		confirmed := false
+		for t := s.Start.Add(delay); t.Before(s.End); t = t.Add(every) {
+			src := WiFi
+			if !confirmed && t.Sub(s.Start) >= confirm {
+				src = GPS
+				confirmed = true
+			}
+			out = append(out, fix(rng, segs, t, src))
+			e += Energy(src.energyPerFixMAH())
+		}
+	}
+	e += Energy(hours * accelerometerMAHPerHour)
+	return out, e
+}
+
+// Adaptive duty-cycles like DutyCycled but downgrades to cheaper
+// positioning once the day's battery spend crosses a budget: GPS while
+// affordable, WiFi past the budget, cell past twice the budget. This is
+// how a deployed client honours §5's energy concern on a bad day (long
+// trips, many stops) without giving up coverage entirely.
+type Adaptive struct {
+	// BudgetMAH is the soft daily budget (default 40 mAh — well under
+	// 1% of a phone battery).
+	BudgetMAH float64
+	// StationaryDelay/ResampleEvery as in DutyCycled.
+	StationaryDelay time.Duration
+	ResampleEvery   time.Duration
+}
+
+// Name implements Policy.
+func (Adaptive) Name() string { return "adaptive-budget" }
+
+// SampleDay implements Policy.
+func (p Adaptive) SampleDay(rng *stats.RNG, segs []trace.Segment) ([]Sample, Energy) {
+	budget := p.BudgetMAH
+	if budget <= 0 {
+		budget = 40
+	}
+	delay := p.StationaryDelay
+	if delay <= 0 {
+		delay = 3 * time.Minute
+	}
+	every := p.ResampleEvery
+	if every <= 0 {
+		every = 10 * time.Minute
+	}
+	var out []Sample
+	var e Energy
+	var hours float64
+	for _, s := range segs {
+		hours += s.End.Sub(s.Start).Hours()
+		if !s.Stationary() {
+			continue
+		}
+		for t := s.Start.Add(delay); t.Before(s.End); t = t.Add(every) {
+			src := GPS
+			switch {
+			case float64(e) > 2*budget:
+				src = Cell
+			case float64(e) > budget:
+				src = WiFi
+			}
+			out = append(out, fix(rng, segs, t, src))
+			e += Energy(src.energyPerFixMAH())
+		}
+	}
+	e += Energy(hours * accelerometerMAHPerHour)
+	return out, e
+}
+
+// AllPolicies returns the policies compared in experiment E5.
+func AllPolicies() []Policy {
+	return []Policy{AlwaysOnGPS{}, DutyCycled{}, WiFiAssisted{}, Adaptive{}}
+}

@@ -1,0 +1,215 @@
+package sensing
+
+import (
+	"testing"
+	"time"
+
+	"opinions/internal/geo"
+	"opinions/internal/stats"
+	"opinions/internal/trace"
+)
+
+// testDay builds a simple day: home 0-8h, travel 10min, visit 1h,
+// travel, home rest of day.
+func testDay() []trace.Segment {
+	day := time.Date(2016, 1, 4, 0, 0, 0, 0, time.UTC)
+	home := geo.Point{Lat: 42.28, Lon: -83.74}
+	shop := geo.Offset(home, 2000, 1000)
+	return []trace.Segment{
+		{Start: day, End: day.Add(8 * time.Hour), From: home, To: home, At: "home"},
+		{Start: day.Add(8 * time.Hour), End: day.Add(8*time.Hour + 10*time.Minute), From: home, To: shop},
+		{Start: day.Add(8*time.Hour + 10*time.Minute), End: day.Add(9*time.Hour + 10*time.Minute), From: shop, To: shop, At: "yelp/shop"},
+		{Start: day.Add(9*time.Hour + 10*time.Minute), End: day.Add(9*time.Hour + 20*time.Minute), From: shop, To: home},
+		{Start: day.Add(9*time.Hour + 20*time.Minute), End: day.Add(24 * time.Hour), From: home, To: home, At: "home"},
+	}
+}
+
+func TestAlwaysOnGPSSamplesWholeDay(t *testing.T) {
+	segs := testDay()
+	samples, e := AlwaysOnGPS{}.SampleDay(stats.NewRNG(1), segs)
+	if len(samples) < 24*60 {
+		t.Fatalf("got %d samples, want ≥ 1440", len(samples))
+	}
+	if e <= 0 {
+		t.Fatal("no energy charged")
+	}
+	for i := 1; i < len(samples); i++ {
+		if !samples[i].Time.After(samples[i-1].Time) {
+			t.Fatal("samples not strictly ordered")
+		}
+	}
+}
+
+func TestDutyCycledSamplesOnlyStays(t *testing.T) {
+	segs := testDay()
+	samples, _ := DutyCycled{}.SampleDay(stats.NewRNG(1), segs)
+	for _, s := range samples {
+		// Every sample must fall inside some stationary segment.
+		inside := false
+		for _, seg := range segs {
+			if seg.Stationary() && !s.Time.Before(seg.Start) && s.Time.Before(seg.End) {
+				inside = true
+				break
+			}
+		}
+		if !inside {
+			t.Fatalf("sample at %v during travel", s.Time)
+		}
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+}
+
+func TestDutyCycledCheaperThanAlwaysOn(t *testing.T) {
+	segs := testDay()
+	_, eAlways := AlwaysOnGPS{}.SampleDay(stats.NewRNG(1), segs)
+	_, eDuty := DutyCycled{}.SampleDay(stats.NewRNG(1), segs)
+	_, eWiFi := WiFiAssisted{}.SampleDay(stats.NewRNG(1), segs)
+	if eDuty >= eAlways {
+		t.Fatalf("duty-cycled (%v) not cheaper than always-on (%v)", eDuty, eAlways)
+	}
+	if eWiFi >= eDuty {
+		t.Fatalf("wifi-assisted (%v) not cheaper than duty-cycled GPS (%v)", eWiFi, eDuty)
+	}
+}
+
+func TestDutyCycledStillCoversVisit(t *testing.T) {
+	segs := testDay()
+	samples, _ := DutyCycled{}.SampleDay(stats.NewRNG(1), segs)
+	visitStart := segs[2].Start
+	visitEnd := segs[2].End
+	n := 0
+	for _, s := range samples {
+		if !s.Time.Before(visitStart) && s.Time.Before(visitEnd) {
+			n++
+		}
+	}
+	// 1h stay, 3min delay, 10min resample → ~6 fixes.
+	if n < 3 {
+		t.Fatalf("only %d fixes during the 1h visit", n)
+	}
+}
+
+func TestSampleNoiseMatchesSourceAccuracy(t *testing.T) {
+	segs := testDay()
+	rng := stats.NewRNG(2)
+	home := geo.Point{Lat: 42.28, Lon: -83.74}
+	var gpsErr, wifiErr []float64
+	for i := 0; i < 300; i++ {
+		s := fix(rng, segs, segs[0].Start.Add(time.Hour), GPS)
+		gpsErr = append(gpsErr, geo.Distance(s.Point, home))
+		w := fix(rng, segs, segs[0].Start.Add(time.Hour), WiFi)
+		wifiErr = append(wifiErr, geo.Distance(w.Point, home))
+	}
+	mg, _ := stats.Mean(gpsErr)
+	mw, _ := stats.Mean(wifiErr)
+	if mg >= mw {
+		t.Fatalf("GPS mean error %v not better than WiFi %v", mg, mw)
+	}
+	if mg > 30 {
+		t.Fatalf("GPS mean error %v m too large", mg)
+	}
+}
+
+func TestWiFiAssistedIncludesGPSConfirm(t *testing.T) {
+	segs := testDay()
+	samples, _ := WiFiAssisted{}.SampleDay(stats.NewRNG(3), segs)
+	hasGPS, hasWiFi := false, false
+	for _, s := range samples {
+		switch s.Source {
+		case GPS:
+			hasGPS = true
+		case WiFi:
+			hasWiFi = true
+		}
+	}
+	if !hasGPS || !hasWiFi {
+		t.Fatalf("wifi-assisted sources: gps=%v wifi=%v, want both", hasGPS, hasWiFi)
+	}
+}
+
+func TestPoliciesDeterministic(t *testing.T) {
+	segs := testDay()
+	for _, p := range AllPolicies() {
+		a, ea := p.SampleDay(stats.NewRNG(7), segs)
+		b, eb := p.SampleDay(stats.NewRNG(7), segs)
+		if len(a) != len(b) || ea != eb {
+			t.Fatalf("%s not deterministic", p.Name())
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s sample %d differs", p.Name(), i)
+			}
+		}
+	}
+}
+
+func TestEmptyDay(t *testing.T) {
+	for _, p := range AllPolicies() {
+		samples, e := p.SampleDay(stats.NewRNG(1), nil)
+		if len(samples) != 0 || e != 0 {
+			t.Fatalf("%s on empty day: %d samples, %v energy", p.Name(), len(samples), e)
+		}
+	}
+}
+
+func TestPolicyNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range AllPolicies() {
+		if seen[p.Name()] {
+			t.Fatalf("duplicate policy name %s", p.Name())
+		}
+		seen[p.Name()] = true
+	}
+	if (DutyCycled{Source: WiFi}).Name() == (DutyCycled{}).Name() {
+		t.Fatal("wifi variant shares name with gps variant")
+	}
+}
+
+func TestAdaptiveRespectsBudget(t *testing.T) {
+	// A pathological day with very long stationary time would blow a
+	// GPS budget; adaptive must degrade to cheaper sources.
+	day := time.Date(2016, 1, 4, 0, 0, 0, 0, time.UTC)
+	home := geo.Point{Lat: 42.28, Lon: -83.74}
+	segs := []trace.Segment{
+		{Start: day, End: day.Add(24 * time.Hour), From: home, To: home, At: "home"},
+	}
+	tight := Adaptive{BudgetMAH: 2, ResampleEvery: 2 * time.Minute}
+	samples, e := tight.SampleDay(stats.NewRNG(1), segs)
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	counts := map[Source]int{}
+	for _, s := range samples {
+		counts[s.Source]++
+	}
+	if counts[GPS] == 0 || counts[WiFi] == 0 || counts[Cell] == 0 {
+		t.Fatalf("adaptive did not degrade through sources: %v", counts)
+	}
+	// Position-fix spend beyond the accelerometer baseline must be a
+	// small fraction of what GPS-only duty cycling would have paid
+	// (720 fixes × 0.35 mAh ≈ 252 mAh); the ladder degrades to cell
+	// fixes that accrue at 1/35th the GPS rate.
+	fixSpend := float64(e) - 24*accelerometerMAHPerHour
+	if fixSpend > 15 {
+		t.Fatalf("fix spend %v mAh; ladder failed to degrade", fixSpend)
+	}
+	// A generous budget behaves like plain duty cycling.
+	loose := Adaptive{BudgetMAH: 10000}
+	samples2, _ := loose.SampleDay(stats.NewRNG(1), segs)
+	for _, s := range samples2 {
+		if s.Source != GPS {
+			t.Fatal("generous budget degraded unnecessarily")
+		}
+	}
+}
+
+func TestSourceStrings(t *testing.T) {
+	if GPS.String() != "gps" || WiFi.String() != "wifi" || Cell.String() != "cell" {
+		t.Fatal("bad source strings")
+	}
+	if Source(9).String() != "unknown" {
+		t.Fatal("unknown source string")
+	}
+}

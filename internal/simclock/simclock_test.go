@@ -1,0 +1,84 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSimStartsAtGivenInstant(t *testing.T) {
+	start := time.Date(2016, 11, 9, 0, 0, 0, 0, time.UTC)
+	c := NewSim(start)
+	if got := c.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+}
+
+func TestSimAdvance(t *testing.T) {
+	c := NewSim(Epoch)
+	got := c.Advance(90 * time.Minute)
+	want := Epoch.Add(90 * time.Minute)
+	if !got.Equal(want) {
+		t.Fatalf("Advance returned %v, want %v", got, want)
+	}
+	if !c.Now().Equal(want) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), want)
+	}
+}
+
+func TestSimAdvanceNegativeIsIgnored(t *testing.T) {
+	c := NewSim(Epoch)
+	c.Advance(-time.Hour)
+	if !c.Now().Equal(Epoch) {
+		t.Fatalf("negative Advance moved the clock to %v", c.Now())
+	}
+}
+
+func TestSimSetForwardOnly(t *testing.T) {
+	c := NewSim(Epoch)
+	fwd := Epoch.Add(24 * time.Hour)
+	if got := c.Set(fwd); !got.Equal(fwd) {
+		t.Fatalf("Set forward returned %v, want %v", got, fwd)
+	}
+	if got := c.Set(Epoch); !got.Equal(fwd) {
+		t.Fatalf("Set backward moved the clock to %v", got)
+	}
+}
+
+func TestSimZeroValueUsable(t *testing.T) {
+	var c Sim
+	if got := c.Now(); !got.Equal(time.Time{}) {
+		t.Fatalf("zero Sim Now() = %v, want zero time", got)
+	}
+	c.Advance(time.Second)
+	if c.Now().IsZero() {
+		t.Fatal("Advance on zero Sim did not move the clock")
+	}
+}
+
+func TestSimConcurrentAdvance(t *testing.T) {
+	c := NewSim(Epoch)
+	const n = 100
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Advance(time.Second)
+		}()
+	}
+	wg.Wait()
+	want := Epoch.Add(n * time.Second)
+	if !c.Now().Equal(want) {
+		t.Fatalf("after %d concurrent 1s advances Now() = %v, want %v", n, c.Now(), want)
+	}
+}
+
+func TestRealClockRoughlyNow(t *testing.T) {
+	before := time.Now()
+	got := Real{}.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real.Now() = %v outside [%v, %v]", got, before, after)
+	}
+}

@@ -1,0 +1,106 @@
+// Package storage persists the RSP's state — reviews, anonymous
+// histories, inferred opinions, training pairs, and the trained model —
+// as an atomic, compressed JSON snapshot.
+//
+// A snapshot is the whole-store format: the paper's privacy design
+// (§4.2) means the server state is already free of user identities, so
+// a snapshot leaks nothing a live server would not. Snapshots are
+// written via a temp file + rename, so a crash mid-save never corrupts
+// the previous snapshot.
+package storage
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"opinions/internal/history"
+	"opinions/internal/inference"
+	"opinions/internal/reviews"
+)
+
+// FormatVersion identifies the snapshot schema; bump on breaking change.
+const FormatVersion = 1
+
+// Snapshot is the serializable server state.
+type Snapshot struct {
+	Version int       `json:"version"`
+	SavedAt time.Time `json:"saved_at"`
+
+	Reviews   []reviews.Review        `json:"reviews"`
+	Opinions  map[string][]float64    `json:"opinions"`
+	Histories []history.EntityHistory `json:"histories"`
+
+	TrainX    [][]float64         `json:"train_x"`
+	TrainY    []float64           `json:"train_y"`
+	TrainCats []string            `json:"train_cats,omitempty"`
+	Models    *inference.ModelSet `json:"models,omitempty"`
+}
+
+// Write serializes the snapshot to w (gzip-compressed JSON).
+func Write(w io.Writer, s *Snapshot) error {
+	if s.Version == 0 {
+		s.Version = FormatVersion
+	}
+	gz := gzip.NewWriter(w)
+	enc := json.NewEncoder(gz)
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("storage: encoding snapshot: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		return fmt.Errorf("storage: flushing snapshot: %w", err)
+	}
+	return nil
+}
+
+// Read deserializes a snapshot from r.
+func Read(r io.Reader) (*Snapshot, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening snapshot: %w", err)
+	}
+	defer gz.Close()
+	var s Snapshot
+	if err := json.NewDecoder(gz).Decode(&s); err != nil {
+		return nil, fmt.Errorf("storage: decoding snapshot: %w", err)
+	}
+	if s.Version != FormatVersion {
+		return nil, fmt.Errorf("storage: snapshot version %d, want %d", s.Version, FormatVersion)
+	}
+	return &s, nil
+}
+
+// SaveFile writes the snapshot to path atomically (temp file + rename).
+func SaveFile(path string, s *Snapshot) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return fmt.Errorf("storage: creating temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := Write(tmp, s); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("storage: closing temp file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("storage: installing snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a snapshot from path.
+func LoadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,126 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"opinions/internal/history"
+	"opinions/internal/interaction"
+	"opinions/internal/reviews"
+)
+
+var t0 = time.Date(2016, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func sampleSnapshot() *Snapshot {
+	return &Snapshot{
+		SavedAt: t0,
+		Reviews: []reviews.Review{
+			{ID: "rev-1", Entity: "yelp/a", Author: "alice", Rating: 4.5, Time: t0},
+			{ID: "rev-2", Entity: "yelp/b", Author: "bob", Rating: 2, Time: t0},
+		},
+		Opinions: map[string][]float64{"yelp/a": {4.0, 4.5}},
+		Histories: []history.EntityHistory{
+			{AnonID: "h1", Entity: "yelp/a", Records: []interaction.Record{
+				{Entity: "yelp/a", Kind: interaction.VisitKind, Start: t0, Duration: time.Hour, DistanceFrom: 2000},
+			}},
+		},
+		TrainX: [][]float64{{1, 2, 3}},
+		TrainY: []float64{4},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != FormatVersion {
+		t.Fatalf("version = %d", got.Version)
+	}
+	if len(got.Reviews) != 2 || got.Reviews[0].Author != "alice" {
+		t.Fatalf("reviews = %+v", got.Reviews)
+	}
+	if len(got.Opinions["yelp/a"]) != 2 {
+		t.Fatalf("opinions = %+v", got.Opinions)
+	}
+	if len(got.Histories) != 1 || got.Histories[0].Records[0].Duration != time.Hour {
+		t.Fatalf("histories = %+v", got.Histories)
+	}
+	if got.TrainY[0] != 4 {
+		t.Fatalf("training pairs = %+v", got.TrainY)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.gz")
+	if err := SaveFile(path, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Reviews) != 2 {
+		t.Fatalf("reviews = %d", len(got.Reviews))
+	}
+	// No stray temp files.
+	entries, _ := os.ReadDir(filepath.Dir(path))
+	for _, e := range entries {
+		if e.Name() != "state.gz" {
+			t.Fatalf("leftover file %s", e.Name())
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.gz")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestReadGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not gzip"))); err == nil {
+		t.Fatal("garbage read")
+	}
+}
+
+func TestVersionMismatch(t *testing.T) {
+	s := sampleSnapshot()
+	s.Version = 99
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("version mismatch accepted")
+	}
+}
+
+func TestSaveFileBadDirectory(t *testing.T) {
+	if err := SaveFile("/nonexistent-dir-xyz/state.gz", sampleSnapshot()); err == nil {
+		t.Fatal("impossible path saved")
+	}
+}
+
+func TestWriteSetsVersion(t *testing.T) {
+	var buf bytes.Buffer
+	s := sampleSnapshot()
+	s.Version = 0
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != FormatVersion {
+		t.Fatalf("version = %d", got.Version)
+	}
+}

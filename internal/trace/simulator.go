@@ -1,0 +1,568 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"opinions/internal/geo"
+	"opinions/internal/stats"
+	"opinions/internal/world"
+)
+
+// travelSpeed is the assumed door-to-door speed in meters per second
+// (city driving including parking).
+const travelSpeed = 9.0
+
+// Config controls a simulation run.
+type Config struct {
+	Seed  int64
+	Start time.Time // first simulated midnight (UTC)
+	Days  int
+	// ReviewBoost multiplies every user's review propensity (default 1).
+	// Values > 1 model the §3 alternative of reminding/incentivizing
+	// users to post: "if an RSP attempts to increase the chances of its
+	// users posting reviews by reminding them to do so".
+	ReviewBoost float64
+	// MoveFraction is the fraction of users who relocate once during
+	// the horizon (default 0.06). Relocation is the confound §4.1 names
+	// explicitly: "the user may have interacted with a different
+	// electrician only because she moved to a different city" — a
+	// provider switch that means nothing about the old provider's
+	// quality. Set to -1 to disable moves entirely.
+	MoveFraction float64
+}
+
+// DefaultConfig simulates 120 days starting at the paper-era epoch.
+func DefaultConfig() Config {
+	return Config{Seed: 1, Start: time.Date(2016, 1, 4, 0, 0, 0, 0, time.UTC), Days: 120}
+}
+
+// Simulator generates deterministic daily activity for every user of a
+// city. Construct with New; the zero value is not usable.
+type Simulator struct {
+	City *world.City
+	cfg  Config
+
+	root    *stats.RNG
+	circles map[world.UserID][]world.UserID
+	cal     map[world.UserID]*calendar
+	moves   map[world.UserID]*relocation
+}
+
+// relocation is one user's mid-horizon move.
+type relocation struct {
+	day  int
+	home geo.Point
+}
+
+// providerEvent is one scheduled home-service engagement.
+type providerEvent struct {
+	entity   *world.Entity
+	kind     CallPurpose
+	duration time.Duration
+}
+
+// calendar holds the rare pre-scheduled events of one user, precomputed
+// so day generation is independent per day.
+type calendar struct {
+	dentist       map[int]*world.Entity // day index -> appointment
+	dentistCall   map[int]*world.Entity // booking calls
+	providerCall  map[int][]providerEvent
+	providerVisit map[int][]providerEvent // provider comes to user's home
+	hairdresser   map[int]*world.Entity
+}
+
+// New builds a simulator over city. All randomness derives from
+// cfg.Seed, so two simulators with the same city and config produce
+// identical logs.
+func New(city *world.City, cfg Config) *Simulator {
+	if cfg.Days <= 0 {
+		cfg.Days = 120
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = DefaultConfig().Start
+	}
+	s := &Simulator{
+		City:    city,
+		cfg:     cfg,
+		root:    stats.NewRNG(cfg.Seed),
+		circles: make(map[world.UserID][]world.UserID),
+		cal:     make(map[world.UserID]*calendar),
+		moves:   make(map[world.UserID]*relocation),
+	}
+	s.buildCircles()
+	s.buildMoves()
+	s.buildCalendars()
+	return s
+}
+
+// buildMoves decides which users relocate, when, and where.
+func (s *Simulator) buildMoves() {
+	frac := s.cfg.MoveFraction
+	if frac < 0 {
+		return
+	}
+	if frac == 0 {
+		frac = 0.06
+	}
+	rng := s.root.Split("moves")
+	for _, u := range s.City.Users {
+		if !rng.Bool(frac) {
+			continue
+		}
+		// New home across town: far enough that old favourites stop
+		// being convenient.
+		s.moves[u.ID] = &relocation{
+			day: 1 + rng.Intn(s.cfg.Days),
+			home: geo.Offset(u.Home,
+				rng.Normal(0, 4000)+6000*sign(rng),
+				rng.Normal(0, 4000)+6000*sign(rng)),
+		}
+	}
+}
+
+func sign(rng *stats.RNG) float64 {
+	if rng.Bool(0.5) {
+		return 1
+	}
+	return -1
+}
+
+// homeOn returns the user's home on day index d.
+func (s *Simulator) homeOn(u *world.User, d int) geo.Point {
+	if m := s.moves[u.ID]; m != nil && d >= m.day {
+		return m.home
+	}
+	return u.Home
+}
+
+// Moves exposes the relocation schedule to experiments (ground truth
+// for the §4.1 confound analysis): user → move day index, for users who
+// move.
+func (s *Simulator) Moves() map[world.UserID]int {
+	out := make(map[world.UserID]int, len(s.moves))
+	for id, m := range s.moves {
+		out[id] = m.day
+	}
+	return out
+}
+
+// Days returns the number of simulated days.
+func (s *Simulator) Days() int { return s.cfg.Days }
+
+// Start returns the first simulated midnight.
+func (s *Simulator) Start() time.Time { return s.cfg.Start }
+
+// buildCircles assigns each user a stable friend circle of up to 3
+// other users, used for group outings.
+func (s *Simulator) buildCircles() {
+	users := s.City.Users
+	n := len(users)
+	if n < 2 {
+		return
+	}
+	rng := s.root.Split("circles")
+	for i, u := range users {
+		size := 1 + rng.Intn(3)
+		circle := make([]world.UserID, 0, size)
+		for k := 0; k < size; k++ {
+			j := (i + 1 + rng.Intn(n-1)) % n
+			if users[j].ID != u.ID {
+				circle = append(circle, users[j].ID)
+			}
+		}
+		s.circles[u.ID] = circle
+	}
+}
+
+// buildCalendars pre-schedules dentist appointments, home-service
+// engagements, and haircuts for every user across the horizon.
+func (s *Simulator) buildCalendars() {
+	for _, u := range s.City.Users {
+		rng := s.root.Split("cal/" + string(u.ID))
+		c := &calendar{
+			dentist:       make(map[int]*world.Entity),
+			dentistCall:   make(map[int]*world.Entity),
+			providerCall:  make(map[int][]providerEvent),
+			providerVisit: make(map[int][]providerEvent),
+			hairdresser:   make(map[int]*world.Entity),
+		}
+		s.cal[u.ID] = c
+
+		// Dentist: loyal to one practice, occasionally switching when
+		// exploring (the §4.1 "tried out many options" signal). A
+		// relocation forces a re-choice from the new home — the §4.1
+		// confound.
+		dentist := s.City.Choose(rng, u, "dentist", u.Home)
+		pDental := u.DentalPerYear / 365
+		moved := false
+		for d := 0; d < s.cfg.Days; d++ {
+			if m := s.moves[u.ID]; m != nil && d >= m.day && !moved {
+				moved = true
+				dentist = s.City.Choose(rng, u, "dentist", m.home)
+			}
+			if !rng.Bool(pDental) {
+				continue
+			}
+			if dentist == nil {
+				break
+			}
+			if rng.Bool(u.Explorer * 0.5) {
+				dentist = s.City.Choose(rng, u, "dentist", s.homeOn(u, d))
+			}
+			c.dentist[d] = dentist
+			callDay := d - 3
+			if callDay >= 0 {
+				c.dentistCall[callDay] = dentist
+			}
+		}
+
+		// Home services: booking call, then the provider visits the home
+		// two days later; a bad experience triggers a complaint call —
+		// the confound §4.1 warns about ("repeated phone calls to a
+		// plumber may be because the plumber did a poor job").
+		pService := u.HomeServicePerYear / 365
+		for d := 0; d < s.cfg.Days; d++ {
+			if !rng.Bool(pService) {
+				continue
+			}
+			cat := "plumber"
+			if rng.Bool(0.45) {
+				cat = "electrician"
+			}
+			prov := s.City.Choose(rng, u, cat, s.homeOn(u, d))
+			if prov == nil {
+				continue
+			}
+			c.providerCall[d] = append(c.providerCall[d], providerEvent{
+				entity: prov, kind: CallBooking,
+				duration: time.Duration(60+rng.Intn(180)) * time.Second,
+			})
+			if d+2 < s.cfg.Days {
+				c.providerVisit[d+2] = append(c.providerVisit[d+2], providerEvent{entity: prov})
+			}
+			if u.TrueOpinion(prov) < 2.5 && rng.Bool(0.6) && d+4 < s.cfg.Days {
+				c.providerCall[d+4] = append(c.providerCall[d+4], providerEvent{
+					entity: prov, kind: CallComplaint,
+					duration: time.Duration(120+rng.Intn(300)) * time.Second,
+				})
+			}
+		}
+
+		// Haircuts roughly every five weeks; relocation re-chooses.
+		hairdresser := s.City.Choose(rng, u, "hairdresser", u.Home)
+		hairMoved := false
+		for d := 0; d < s.cfg.Days; d++ {
+			if m := s.moves[u.ID]; m != nil && d >= m.day && !hairMoved {
+				hairMoved = true
+				hairdresser = s.City.Choose(rng, u, "hairdresser", m.home)
+			}
+			if hairdresser != nil && rng.Bool(1.0/35) {
+				c.hairdresser[d] = hairdresser
+			}
+		}
+	}
+}
+
+// Run simulates every user across the whole horizon and returns the day
+// logs in (date, user) order.
+func (s *Simulator) Run() []DayLog {
+	out := make([]DayLog, 0, len(s.City.Users)*s.cfg.Days)
+	for d := 0; d < s.cfg.Days; d++ {
+		out = append(out, s.SimulateDate(d)...)
+	}
+	return out
+}
+
+// groupPlan is a planned group dinner for one date.
+type groupPlan struct {
+	restaurant *world.Entity
+	groupID    string
+	size       int
+}
+
+// SimulateDate generates logs for all users on day index d (0-based from
+// Config.Start). Group dinners are planned in a first pass so that every
+// member's log contains the shared visit.
+func (s *Simulator) SimulateDate(d int) []DayLog {
+	date := s.cfg.Start.AddDate(0, 0, d)
+	plans := s.planGroups(d, date)
+	logs := make([]DayLog, 0, len(s.City.Users))
+	for _, u := range s.City.Users {
+		logs = append(logs, s.simulateUserDay(u, d, date, plans[u.ID]))
+	}
+	return logs
+}
+
+// planGroups decides which users initiate group dinners on this date and
+// which friends join them.
+func (s *Simulator) planGroups(d int, date time.Time) map[world.UserID]*groupPlan {
+	rng := s.root.Split(fmt.Sprintf("plan/%d", d))
+	plans := make(map[world.UserID]*groupPlan)
+	weekend := isWeekend(date)
+	for _, u := range s.City.Users {
+		if plans[u.ID] != nil {
+			continue // already invited by an earlier initiator
+		}
+		p := dinnerProb(u, weekend) * u.Sociability
+		if !rng.Bool(p) {
+			continue
+		}
+		rest := s.City.Choose(rng, u, "restaurant", s.homeOn(u, d))
+		if rest == nil {
+			continue
+		}
+		gid := fmt.Sprintf("g-%d-%s", d, u.ID)
+		members := []world.UserID{u.ID}
+		for _, fid := range s.circles[u.ID] {
+			if plans[fid] == nil && rng.Bool(0.7) {
+				members = append(members, fid)
+			}
+		}
+		gp := &groupPlan{restaurant: rest, groupID: gid, size: len(members)}
+		for _, id := range members {
+			plans[id] = gp
+		}
+	}
+	return plans
+}
+
+func dinnerProb(u *world.User, weekend bool) float64 {
+	p := u.EatOutPerWeek / 7
+	if weekend {
+		p *= 1.5
+	} else {
+		p *= 0.8
+	}
+	return math.Min(p, 0.95)
+}
+
+func isWeekend(date time.Time) bool {
+	wd := date.Weekday()
+	return wd == time.Saturday || wd == time.Sunday
+}
+
+// simulateUserDay builds one user's full day.
+func (s *Simulator) simulateUserDay(u *world.User, d int, date time.Time, plan *groupPlan) DayLog {
+	rng := s.root.Split(fmt.Sprintf("day/%d/%s", d, u.ID))
+	cal := s.cal[u.ID]
+	home := s.homeOn(u, d)
+	b := newDayBuilderAt(u, date, home)
+	weekend := isWeekend(date)
+	workday := !weekend
+
+	// Morning at home.
+	if workday {
+		b.stayUntil("home", home, b.clock(8, rng.Intn(30)))
+		b.travelTo(u.Work)
+		// Morning work block.
+		b.stayUntil("work", u.Work, b.clock(12, 0))
+		// Lunch at a cafe near work.
+		if rng.Bool(0.45) {
+			cafe := s.City.Choose(rng, u, "cafe", u.Work)
+			if cafe != nil {
+				s.visit(b, rng, u, cafe, 35+rng.Intn(20), plan == nil, 12+rng.Float64()*8)
+				b.travelTo(u.Work)
+			}
+		}
+		// Afternoon: possible dentist appointment at 14:00.
+		if dent := cal.dentist[d]; dent != nil {
+			b.stayUntil("work", u.Work, b.clock(13, 30))
+			s.visit(b, rng, u, dent, 40+rng.Intn(25), rng.Bool(0.7), 80+rng.Float64()*120)
+			b.travelTo(u.Work)
+		}
+		b.stayUntil("work", u.Work, b.clock(17, 15+rng.Intn(30)))
+		// Haircut after work.
+		if h := cal.hairdresser[d]; h != nil {
+			s.visit(b, rng, u, h, 30+rng.Intn(20), rng.Bool(0.8), 25+rng.Float64()*30)
+		}
+		b.travelTo(home)
+	} else {
+		b.stayUntil("home", home, b.clock(10, rng.Intn(60)))
+		// Weekend brunch.
+		if rng.Bool(0.3) {
+			cafe := s.City.Choose(rng, u, "cafe", home)
+			if cafe != nil {
+				s.visit(b, rng, u, cafe, 45+rng.Intn(30), rng.Bool(0.85), 15+rng.Float64()*10)
+				b.travelTo(home)
+			}
+		}
+		if h := cal.hairdresser[d]; h != nil {
+			b.stayUntil("home", home, b.clock(13, 0))
+			s.visit(b, rng, u, h, 30+rng.Intn(20), rng.Bool(0.8), 25+rng.Float64()*30)
+			b.travelTo(home)
+		}
+	}
+
+	// Phone calls from the calendar (made from wherever the user is; the
+	// timeline does not move).
+	if dent := cal.dentistCall[d]; dent != nil {
+		b.call(dent, b.clock(10, rng.Intn(120)), time.Duration(90+rng.Intn(150))*time.Second, CallBooking)
+	}
+	for _, pe := range cal.providerCall[d] {
+		b.call(pe.entity, b.clock(9, rng.Intn(180)), pe.duration, pe.kind)
+	}
+	// Provider visits the home: the digital footprint is the payment.
+	for _, pe := range cal.providerVisit[d] {
+		b.pay(pe.entity, b.clock(11, rng.Intn(240)), 150+rng.Float64()*300)
+		s.maybeReview(b, rng, u, pe.entity, b.clock(20, 0))
+	}
+
+	// Dinner: group plan or solo decision.
+	if plan != nil {
+		b.stayUntil("home", home, b.clock(18, 20+rng.Intn(20)))
+		s.groupVisit(b, rng, u, plan, 75+rng.Intn(40))
+		b.travelTo(home)
+	} else if rng.Bool(dinnerProb(u, weekend) * (1 - u.Sociability)) {
+		rest := s.City.Choose(rng, u, "restaurant", home)
+		if rest != nil {
+			b.stayUntil("home", home, b.clock(18, 30+rng.Intn(30)))
+			if rng.Bool(0.15) {
+				// Reservation call earlier in the afternoon.
+				b.call(rest, b.clock(15, rng.Intn(90)), time.Duration(45+rng.Intn(60))*time.Second, CallBooking)
+			}
+			s.visit(b, rng, u, rest, 60+rng.Intn(45), rng.Bool(0.85), 20+rng.Float64()*35)
+			b.travelTo(home)
+		}
+	}
+
+	// Evening gym for some.
+	if rng.Bool(0.10) {
+		gym := s.City.Choose(rng, u, "gym", home)
+		if gym != nil {
+			b.stayUntil("home", home, b.clock(20, 30))
+			s.visit(b, rng, u, gym, 50+rng.Intn(30), false, 0)
+			b.travelTo(home)
+		}
+	}
+
+	b.stayUntil("home", home, b.clock(23, 59))
+	return b.log
+}
+
+// visit moves the user to e, records the ground-truth visit, and
+// optionally a payment and review.
+func (s *Simulator) visit(b *dayBuilder, rng *stats.RNG, u *world.User, e *world.Entity, minutes int, pay bool, amount float64) {
+	from := b.loc
+	b.travelTo(e.Loc)
+	arrive := b.now
+	b.stayFor(e.Key(), e.Loc, time.Duration(minutes)*time.Minute)
+	b.log.Visits = append(b.log.Visits, Visit{
+		User: u.ID, Entity: e.Key(),
+		Arrive: arrive, Depart: b.now,
+		FromPoint: from, GroupSize: 1,
+	})
+	if pay && amount > 0 {
+		b.pay(e, b.now.Add(-2*time.Minute), amount)
+	}
+	s.maybeReview(b, rng, u, e, b.now.Add(2*time.Hour))
+}
+
+// groupVisit is like visit but annotates the shared group.
+func (s *Simulator) groupVisit(b *dayBuilder, rng *stats.RNG, u *world.User, plan *groupPlan, minutes int) {
+	from := b.loc
+	e := plan.restaurant
+	b.travelTo(e.Loc)
+	arrive := b.now
+	b.stayFor(e.Key(), e.Loc, time.Duration(minutes)*time.Minute)
+	b.log.Visits = append(b.log.Visits, Visit{
+		User: u.ID, Entity: e.Key(),
+		Arrive: arrive, Depart: b.now,
+		FromPoint: from,
+		GroupID:   plan.groupID, GroupSize: plan.size,
+	})
+	if rng.Bool(0.85) {
+		b.pay(e, b.now.Add(-2*time.Minute), 18+rng.Float64()*30)
+	}
+	s.maybeReview(b, rng, u, e, b.now.Add(2*time.Hour))
+}
+
+// maybeReview posts an explicit review with the user's class propensity —
+// the participation gap of §2 emerges from here. Config.ReviewBoost
+// models reminder campaigns.
+func (s *Simulator) maybeReview(b *dayBuilder, rng *stats.RNG, u *world.User, e *world.Entity, at time.Time) {
+	p := u.Class.ReviewProbability()
+	if s.cfg.ReviewBoost > 0 {
+		p = math.Min(1, p*s.cfg.ReviewBoost)
+	}
+	if !rng.Bool(p) {
+		return
+	}
+	b.log.Reviews = append(b.log.Reviews, Review{
+		User: u.ID, Entity: e.Key(), Time: at, Rating: u.ExplicitRating(e),
+	})
+}
+
+// dayBuilder accumulates one DayLog, tracking a time/location cursor.
+type dayBuilder struct {
+	log  DayLog
+	now  time.Time
+	loc  geo.Point
+	date time.Time
+}
+
+func newDayBuilderAt(u *world.User, date time.Time, home geo.Point) *dayBuilder {
+	return &dayBuilder{
+		log:  DayLog{User: u.ID, Date: date},
+		now:  date,
+		loc:  home,
+		date: date,
+	}
+}
+
+// clock returns the given wall-clock time on the builder's date.
+func (b *dayBuilder) clock(hour, minute int) time.Time {
+	return b.date.Add(time.Duration(hour)*time.Hour + time.Duration(minute)*time.Minute)
+}
+
+// stayUntil appends a stationary segment at p labelled `at` lasting until
+// t (no-op if t is not after the cursor).
+func (b *dayBuilder) stayUntil(at string, p geo.Point, t time.Time) {
+	if !t.After(b.now) {
+		return
+	}
+	b.log.Segments = append(b.log.Segments, Segment{
+		Start: b.now, End: t, From: p, To: p, At: at,
+	})
+	b.now = t
+	b.loc = p
+}
+
+// stayFor appends a stationary segment of duration d.
+func (b *dayBuilder) stayFor(at string, p geo.Point, d time.Duration) {
+	b.stayUntil(at, p, b.now.Add(d))
+}
+
+// travelTo appends a travel leg from the cursor location to p.
+func (b *dayBuilder) travelTo(p geo.Point) {
+	dist := geo.Distance(b.loc, p)
+	if dist < 1 {
+		b.loc = p
+		return
+	}
+	dur := time.Duration(dist/travelSpeed) * time.Second
+	if dur < time.Minute {
+		dur = time.Minute
+	}
+	b.log.Segments = append(b.log.Segments, Segment{
+		Start: b.now, End: b.now.Add(dur), From: b.loc, To: p,
+	})
+	b.now = b.now.Add(dur)
+	b.loc = p
+}
+
+// call records a phone call (the user does not move).
+func (b *dayBuilder) call(e *world.Entity, at time.Time, dur time.Duration, purpose CallPurpose) {
+	b.log.Calls = append(b.log.Calls, Call{
+		User: b.log.User, Phone: e.Phone, Entity: e.Key(),
+		Time: at, Duration: dur, Purpose: purpose,
+	})
+}
+
+// pay records a card payment.
+func (b *dayBuilder) pay(e *world.Entity, at time.Time, amount float64) {
+	b.log.Payments = append(b.log.Payments, Payment{
+		User: b.log.User, Entity: e.Key(), Time: at, Amount: amount,
+	})
+}

@@ -1,0 +1,370 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"opinions/internal/geo"
+	"opinions/internal/world"
+)
+
+func smallCity() *world.City {
+	return world.BuildCity(world.CityConfig{Seed: 11, NumUsers: 60, SpanMeters: 10000})
+}
+
+func smallSim(days int) *Simulator {
+	return New(smallCity(), Config{Seed: 5, Days: days})
+}
+
+func TestSimulatorDeterministic(t *testing.T) {
+	a := smallSim(7).Run()
+	b := smallSim(7).Run()
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].User != b[i].User || len(a[i].Visits) != len(b[i].Visits) ||
+			len(a[i].Calls) != len(b[i].Calls) || len(a[i].Segments) != len(b[i].Segments) {
+			t.Fatalf("day %d differs", i)
+		}
+		for j := range a[i].Visits {
+			if a[i].Visits[j] != b[i].Visits[j] {
+				t.Fatalf("visit differs: %+v vs %+v", a[i].Visits[j], b[i].Visits[j])
+			}
+		}
+	}
+}
+
+func TestSegmentsAreContiguousAndOrdered(t *testing.T) {
+	logs := smallSim(5).Run()
+	for _, dl := range logs {
+		for i, s := range dl.Segments {
+			if s.End.Before(s.Start) {
+				t.Fatalf("segment ends before it starts: %+v", s)
+			}
+			if i > 0 && s.Start.Before(dl.Segments[i-1].End) {
+				t.Fatalf("user %s: segment %d overlaps previous", dl.User, i)
+			}
+		}
+		if len(dl.Segments) == 0 {
+			t.Fatalf("user %s has no segments", dl.User)
+		}
+		first := dl.Segments[0]
+		if first.At != "home" {
+			t.Fatalf("day starts at %q, want home", first.At)
+		}
+	}
+}
+
+func TestVisitsMatchSegments(t *testing.T) {
+	logs := smallSim(5).Run()
+	for _, dl := range logs {
+		for _, v := range dl.Visits {
+			found := false
+			for _, s := range dl.Segments {
+				if s.At == v.Entity && s.Start.Equal(v.Arrive) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("visit %+v has no matching stay segment", v)
+			}
+			if !v.Depart.After(v.Arrive) {
+				t.Fatalf("visit departs before arriving: %+v", v)
+			}
+		}
+	}
+}
+
+func TestActivityRatesPlausible(t *testing.T) {
+	const days = 28
+	sim := smallSim(days)
+	logs := sim.Run()
+	perUserVisits := map[world.UserID]int{}
+	totalCalls, totalPayments, totalReviews := 0, 0, 0
+	for _, dl := range logs {
+		perUserVisits[dl.User] += len(dl.Visits)
+		totalCalls += len(dl.Calls)
+		totalPayments += len(dl.Payments)
+		totalReviews += len(dl.Reviews)
+	}
+	var sum float64
+	for _, n := range perUserVisits {
+		sum += float64(n)
+	}
+	mean := sum / float64(len(perUserVisits)) / days * 7 // visits per week
+	// Personas average ~2.5 dinners/week plus lunches, haircuts, gym:
+	// expect several visits per week but not dozens per day.
+	if mean < 2 || mean > 25 {
+		t.Fatalf("mean visits/week = %v, implausible", mean)
+	}
+	if totalCalls == 0 {
+		t.Fatal("no phone calls generated")
+	}
+	if totalPayments == 0 {
+		t.Fatal("no payments generated")
+	}
+	if totalReviews == 0 {
+		t.Fatal("no reviews generated in 28 days; participation model broken")
+	}
+}
+
+func TestReviewsComeFromVocalMinority(t *testing.T) {
+	city := world.BuildCity(world.CityConfig{Seed: 3, NumUsers: 300})
+	sim := New(city, Config{Seed: 9, Days: 45})
+	logs := sim.Run()
+	reviewers := map[world.UserID]bool{}
+	interactors := map[world.UserID]bool{}
+	for _, dl := range logs {
+		if len(dl.Visits) > 0 {
+			interactors[dl.User] = true
+		}
+		for range dl.Reviews {
+			reviewers[dl.User] = true
+		}
+	}
+	if len(interactors) < 250 {
+		t.Fatalf("only %d users interacted", len(interactors))
+	}
+	frac := float64(len(reviewers)) / float64(len(interactors))
+	// §2: the vast majority consume but do not post.
+	if frac > 0.45 {
+		t.Fatalf("%.0f%% of interacting users posted reviews; expected a minority", frac*100)
+	}
+}
+
+func TestGroupVisitsShareGroupID(t *testing.T) {
+	city := world.BuildCity(world.CityConfig{Seed: 3, NumUsers: 200})
+	sim := New(city, Config{Seed: 2, Days: 21})
+	logs := sim.Run()
+	groups := map[string][]Visit{}
+	for _, dl := range logs {
+		for _, v := range dl.Visits {
+			if v.GroupID != "" {
+				groups[v.GroupID] = append(groups[v.GroupID], v)
+			}
+		}
+	}
+	if len(groups) == 0 {
+		t.Fatal("no group visits in 21 days")
+	}
+	multi := 0
+	for gid, vs := range groups {
+		ent := vs[0].Entity
+		size := vs[0].GroupSize
+		for _, v := range vs {
+			if v.Entity != ent {
+				t.Fatalf("group %s spans entities %s and %s", gid, ent, v.Entity)
+			}
+			if v.GroupSize != size {
+				t.Fatalf("group %s reports sizes %d and %d", gid, size, v.GroupSize)
+			}
+		}
+		if len(vs) > size {
+			t.Fatalf("group %s has %d visits but declared size %d", gid, len(vs), size)
+		}
+		if len(vs) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no group had more than one member log a visit")
+	}
+}
+
+func TestDentistVisitsHaveBookingCalls(t *testing.T) {
+	city := world.BuildCity(world.CityConfig{Seed: 4, NumUsers: 150})
+	sim := New(city, Config{Seed: 6, Days: 90})
+	logs := sim.Run()
+	dentistVisits := 0
+	bookingCallsByUser := map[world.UserID]map[string]bool{}
+	for _, dl := range logs {
+		for _, c := range dl.Calls {
+			if c.Purpose == CallBooking {
+				if bookingCallsByUser[dl.User] == nil {
+					bookingCallsByUser[dl.User] = map[string]bool{}
+				}
+				bookingCallsByUser[dl.User][c.Entity] = true
+			}
+		}
+	}
+	withCall := 0
+	for _, dl := range logs {
+		for _, v := range dl.Visits {
+			e := city.EntityByKey(v.Entity)
+			if e == nil || e.Category != "dentist" {
+				continue
+			}
+			dentistVisits++
+			if bookingCallsByUser[dl.User][v.Entity] {
+				withCall++
+			}
+		}
+	}
+	if dentistVisits == 0 {
+		t.Skip("no dentist visits in horizon (rare but possible at this scale)")
+	}
+	// Appointments within the first 3 days have their booking call before
+	// the horizon; the majority should have one.
+	if float64(withCall)/float64(dentistVisits) < 0.5 {
+		t.Fatalf("only %d of %d dentist visits had booking calls", withCall, dentistVisits)
+	}
+}
+
+func TestComplaintCallsTargetBadProviders(t *testing.T) {
+	city := world.BuildCity(world.CityConfig{Seed: 8, NumUsers: 400})
+	sim := New(city, Config{Seed: 8, Days: 120})
+	logs := sim.Run()
+	complaints := 0
+	for _, dl := range logs {
+		u := city.UserByID(dl.User)
+		for _, c := range dl.Calls {
+			if c.Purpose != CallComplaint {
+				continue
+			}
+			complaints++
+			e := city.EntityByKey(c.Entity)
+			if op := u.TrueOpinion(e); op >= 2.5 {
+				t.Fatalf("complaint call to provider with opinion %v", op)
+			}
+		}
+	}
+	if complaints == 0 {
+		t.Skip("no complaint calls generated at this scale/seed")
+	}
+}
+
+func TestPositionAtInterpolates(t *testing.T) {
+	start := time.Date(2016, 1, 4, 0, 0, 0, 0, time.UTC)
+	home := geo.Point{Lat: 42.0, Lon: -83.0}
+	work := geo.Offset(home, 0, 1000)
+	segs := []Segment{
+		{Start: start, End: start.Add(8 * time.Hour), From: home, To: home, At: "home"},
+		{Start: start.Add(8 * time.Hour), End: start.Add(8*time.Hour + 10*time.Minute), From: home, To: work},
+		{Start: start.Add(8*time.Hour + 10*time.Minute), End: start.Add(17 * time.Hour), From: work, To: work, At: "work"},
+	}
+	if got := PositionAt(segs, start.Add(time.Hour)); geo.Distance(got, home) > 1 {
+		t.Fatalf("stationary position wrong: %v", got)
+	}
+	mid := PositionAt(segs, start.Add(8*time.Hour+5*time.Minute))
+	dHome := geo.Distance(mid, home)
+	if dHome < 400 || dHome > 600 {
+		t.Fatalf("midpoint of travel is %v m from home, want ~500", dHome)
+	}
+	if got := PositionAt(segs, start.Add(20*time.Hour)); geo.Distance(got, work) > 1 {
+		t.Fatalf("after last segment: %v", got)
+	}
+	if got := PositionAt(segs, start.Add(-time.Hour)); geo.Distance(got, home) > 1 {
+		t.Fatalf("before first segment: %v", got)
+	}
+	if got := PositionAt(nil, start); got != (geo.Point{}) {
+		t.Fatalf("empty segments: %v", got)
+	}
+}
+
+func TestVisitFromPointIsPreviousStationarySpot(t *testing.T) {
+	logs := smallSim(10).Run()
+	city := smallCity()
+	checked := 0
+	for _, dl := range logs {
+		u := city.UserByID(dl.User)
+		if u == nil {
+			t.Fatalf("unknown user %s", dl.User)
+		}
+		for _, v := range dl.Visits {
+			// FromPoint must be a real place: home, work, or an entity.
+			d1 := geo.Distance(v.FromPoint, u.Home)
+			d2 := geo.Distance(v.FromPoint, u.Work)
+			if d1 > 5 && d2 > 5 {
+				// Could be a previous entity; verify some segment is
+				// stationary there.
+				ok := false
+				for _, s := range dl.Segments {
+					if s.Stationary() && geo.Distance(s.From, v.FromPoint) < 5 {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("visit FromPoint %v is nowhere the user stayed", v.FromPoint)
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no visits checked")
+	}
+}
+
+func TestCallsReferenceRealPhones(t *testing.T) {
+	city := smallCity()
+	sim := New(city, Config{Seed: 5, Days: 30})
+	for _, dl := range sim.Run() {
+		for _, c := range dl.Calls {
+			e := city.PhoneBook[c.Phone]
+			if e == nil {
+				t.Fatalf("call to unknown phone %s", c.Phone)
+			}
+			if e.Key() != c.Entity {
+				t.Fatalf("call entity mismatch: %s vs %s", e.Key(), c.Entity)
+			}
+			if c.Duration <= 0 {
+				t.Fatalf("non-positive call duration %v", c.Duration)
+			}
+		}
+	}
+}
+
+func TestRelocationSwitchesProviders(t *testing.T) {
+	city := world.BuildCity(world.CityConfig{Seed: 9, NumUsers: 300})
+	sim := New(city, Config{Seed: 9, Days: 150, MoveFraction: 0.5})
+	moves := sim.Moves()
+	if len(moves) < 100 {
+		t.Fatalf("only %d movers at MoveFraction 0.5", len(moves))
+	}
+	logs := sim.Run()
+	// For movers: home-anchored stays must relocate after the move day.
+	byUser := map[world.UserID][]DayLog{}
+	for _, dl := range logs {
+		byUser[dl.User] = append(byUser[dl.User], dl)
+	}
+	checked := 0
+	for uid, moveDay := range moves {
+		if moveDay < 10 || moveDay > 140 {
+			continue
+		}
+		days := byUser[uid]
+		before := days[moveDay-1].Segments[0].From
+		after := days[moveDay].Segments[0].From
+		if d := geo.Distance(before, after); d < 1000 {
+			t.Fatalf("user %s moved only %v m at relocation", uid, d)
+		}
+		checked++
+		if checked >= 10 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no movers checked")
+	}
+}
+
+func TestMoveFractionDisable(t *testing.T) {
+	city := world.BuildCity(world.CityConfig{Seed: 9, NumUsers: 50})
+	sim := New(city, Config{Seed: 9, Days: 30, MoveFraction: -1})
+	if len(sim.Moves()) != 0 {
+		t.Fatal("moves generated despite MoveFraction -1")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	sim := New(smallCity(), Config{Seed: 1})
+	if sim.Days() != 120 {
+		t.Fatalf("default days = %d", sim.Days())
+	}
+	if sim.Start().IsZero() {
+		t.Fatal("default start is zero")
+	}
+}

@@ -1,0 +1,131 @@
+// Package trace is the behavioural simulator: it animates the users of a
+// world.City through simulated days, producing the raw material the rest
+// of the pipeline consumes — movement timelines (for the sensing layer),
+// phone calls and card payments (digital footprints, §1), ground-truth
+// visits with group annotations (§4.1), and the explicit reviews that the
+// minority of vocal users post (§2's participation gap).
+//
+// The simulator is the repository's stand-in for reality: experiments
+// score inference against its ground truth, which no system component is
+// allowed to observe.
+package trace
+
+import (
+	"time"
+
+	"opinions/internal/geo"
+	"opinions/internal/world"
+)
+
+// Segment is one piece of a user's daily movement timeline: either a
+// stationary stay (From == To) or a travel leg (linear motion From → To).
+type Segment struct {
+	Start, End time.Time
+	From, To   geo.Point
+	// At labels a stay: "home", "work", or the entity key being visited.
+	// Empty for travel legs.
+	At string
+}
+
+// Stationary reports whether the segment is a stay.
+func (s Segment) Stationary() bool { return s.At != "" }
+
+// Visit is a ground-truth physical visit to an entity.
+type Visit struct {
+	User   world.UserID
+	Entity string // entity key
+	Arrive time.Time
+	Depart time.Time
+	// FromPoint is the stationary spot the user travelled from; the
+	// distance from it to the entity is the §4.1 "effort" ground truth.
+	FromPoint geo.Point
+	// GroupID is non-empty when the visit is part of a group outing;
+	// all members share the same GroupID (§4.1 group accounting).
+	GroupID   string
+	GroupSize int
+}
+
+// Call is a ground-truth phone call from a user to an entity's number.
+type Call struct {
+	User     world.UserID
+	Phone    string
+	Entity   string // entity key owning the phone
+	Time     time.Time
+	Duration time.Duration
+	// Purpose records why the simulator generated the call; experiments
+	// use it to reason about confounds (e.g. complaint calls to a bad
+	// plumber, §4.1's "laziness or compulsion" discussion).
+	Purpose CallPurpose
+}
+
+// CallPurpose is the simulator's reason for a call.
+type CallPurpose int
+
+// Call purposes.
+const (
+	CallBooking CallPurpose = iota
+	CallFollowUp
+	CallComplaint
+)
+
+// Payment is a ground-truth card payment at an entity.
+type Payment struct {
+	User   world.UserID
+	Entity string // entity key
+	Time   time.Time
+	Amount float64
+}
+
+// Review is an explicit review a user chose to post — the minority signal
+// existing RSPs rely on.
+type Review struct {
+	User   world.UserID
+	Entity string // entity key
+	Time   time.Time
+	Rating float64
+}
+
+// DayLog is everything one user did on one date.
+type DayLog struct {
+	User     world.UserID
+	Date     time.Time // midnight local
+	Segments []Segment
+	Visits   []Visit
+	Calls    []Call
+	Payments []Payment
+	Reviews  []Review
+}
+
+// PositionAt returns the user's position at time t according to the
+// day's timeline, interpolating linearly along travel legs. Times before
+// the first segment return the first segment's start point; times after
+// the last return the last segment's end point.
+func PositionAt(segs []Segment, t time.Time) geo.Point {
+	if len(segs) == 0 {
+		return geo.Point{}
+	}
+	if t.Before(segs[0].Start) {
+		return segs[0].From
+	}
+	for _, s := range segs {
+		if t.After(s.End) {
+			continue
+		}
+		if s.Stationary() || s.End.Equal(s.Start) {
+			return s.From
+		}
+		frac := float64(t.Sub(s.Start)) / float64(s.End.Sub(s.Start))
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return geo.Point{
+			Lat: s.From.Lat + (s.To.Lat-s.From.Lat)*frac,
+			Lon: s.From.Lon + (s.To.Lon-s.From.Lon)*frac,
+		}
+	}
+	last := segs[len(segs)-1]
+	return last.To
+}

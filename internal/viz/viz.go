@@ -1,0 +1,198 @@
+// Package viz renders the experiment harness's data as terminal plots
+// and CSV files. The paper's artifacts are figures; cmd/experiments can
+// therefore show an actual curve (-plot) or emit plotting-ready CSV
+// (-csv) instead of only printing summary rows.
+//
+// The ASCII renderer is deliberately simple: fixed-size grid, one
+// character per series, log-x support for the heavy-tailed Figure 1
+// axes.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one labelled line of (x, y) points, y typically in [0, 1]
+// for CDFs.
+type Series struct {
+	Label  string
+	X, Y   []float64
+	Marker byte
+}
+
+// Plot is a terminal chart.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX plots x on a log2 axis (Figure 1's style).
+	LogX   bool
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 16)
+	Series []Series
+}
+
+// defaultMarkers assigns distinct markers when series don't set one.
+var defaultMarkers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the plot to w.
+func (p *Plot) Render(w io.Writer) {
+	width := p.Width
+	if width <= 0 {
+		width = 64
+	}
+	height := p.Height
+	if height <= 0 {
+		height = 16
+	}
+	// Data bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for i := range s.X {
+			x, y := p.tx(s.X[i]), s.Y[i]
+			if x < minX {
+				minX = x
+			}
+			if x > maxX {
+				maxX = x
+			}
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	if math.IsInf(minX, 1) || maxX == minX {
+		fmt.Fprintln(w, p.Title, "(no data)")
+		return
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range p.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		for i := range s.X {
+			cx := int(math.Round((p.tx(s.X[i]) - minX) / (maxX - minX) * float64(width-1)))
+			cy := int(math.Round((s.Y[i] - minY) / (maxY - minY) * float64(height-1)))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				grid[row][cx] = marker
+			}
+		}
+	}
+
+	if p.Title != "" {
+		fmt.Fprintln(w, p.Title)
+	}
+	for r, line := range grid {
+		yVal := maxY - (maxY-minY)*float64(r)/float64(height-1)
+		fmt.Fprintf(w, "%7.2f |%s|\n", yVal, string(line))
+	}
+	fmt.Fprintf(w, "%7s +%s+\n", "", strings.Repeat("-", width))
+	lo, hi := p.untx(minX), p.untx(maxX)
+	axis := fmt.Sprintf("%g", lo)
+	axisRight := fmt.Sprintf("%g", hi)
+	pad := width - len(axis) - len(axisRight)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(w, "%8s%s%s%s", "", axis, strings.Repeat(" ", pad), axisRight)
+	if p.XLabel != "" {
+		fmt.Fprintf(w, "  (%s", p.XLabel)
+		if p.LogX {
+			fmt.Fprint(w, ", log scale")
+		}
+		fmt.Fprint(w, ")")
+	}
+	fmt.Fprintln(w)
+	// Legend.
+	for si, s := range p.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		fmt.Fprintf(w, "%9c %s\n", marker, s.Label)
+	}
+}
+
+func (p *Plot) tx(x float64) float64 {
+	if p.LogX {
+		if x < 1 {
+			x = 1
+		}
+		return math.Log2(x)
+	}
+	return x
+}
+
+func (p *Plot) untx(x float64) float64 {
+	if p.LogX {
+		return math.Round(math.Exp2(x))
+	}
+	return x
+}
+
+// WriteCSV emits the plot's series as tidy CSV: label,x,y — the format
+// every plotting tool ingests directly.
+func WriteCSV(w io.Writer, series []Series) error {
+	if _, err := fmt.Fprintln(w, "series,x,y"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", csvEscape(s.Label), s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Bars renders a simple horizontal bar chart for labelled values.
+func Bars(w io.Writer, title string, labels []string, values []float64, unit string) {
+	fmt.Fprintln(w, title)
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	sortIdx := make([]int, len(values))
+	for i := range sortIdx {
+		sortIdx[i] = i
+	}
+	sort.SliceStable(sortIdx, func(a, b int) bool { return values[sortIdx[a]] > values[sortIdx[b]] })
+	for _, i := range sortIdx {
+		n := int(values[i] / maxV * 40)
+		fmt.Fprintf(w, "  %-*s %8.1f %s %s\n", maxL, labels[i], values[i], unit, strings.Repeat("█", n))
+	}
+}

@@ -1,0 +1,146 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func cdfSeries() []Series {
+	return []Series{
+		{Label: "yelp", X: []float64{1, 4, 16, 64, 256, 1024}, Y: []float64{0.02, 0.12, 0.39, 0.75, 0.95, 1.0}},
+		{Label: "healthgrades", X: []float64{1, 4, 16, 64}, Y: []float64{0.11, 0.46, 0.88, 1.0}},
+	}
+}
+
+func TestPlotRenderBasics(t *testing.T) {
+	p := &Plot{Title: "Figure 1(a)", XLabel: "reviews", LogX: true, Series: cdfSeries()}
+	var buf bytes.Buffer
+	p.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Figure 1(a)") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "yelp") || !strings.Contains(out, "healthgrades") {
+		t.Fatal("missing legend entries")
+	}
+	if !strings.Contains(out, "log scale") {
+		t.Fatal("missing log-scale note")
+	}
+	// Both default markers must appear in the grid.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("markers missing from plot area")
+	}
+	// Y axis covers [~0, 1].
+	if !strings.Contains(out, "1.00") {
+		t.Fatal("y-axis max missing")
+	}
+}
+
+func TestPlotEmptyData(t *testing.T) {
+	p := &Plot{Title: "empty"}
+	var buf bytes.Buffer
+	p.Render(&buf)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatal("empty plot did not say so")
+	}
+}
+
+func TestPlotSinglePointDoesNotPanic(t *testing.T) {
+	p := &Plot{Series: []Series{{Label: "one", X: []float64{5, 6}, Y: []float64{1, 1}}}}
+	var buf bytes.Buffer
+	p.Render(&buf) // flat y: must not divide by zero
+	if buf.Len() == 0 {
+		t.Fatal("nothing rendered")
+	}
+}
+
+func TestMarkersPlacedMonotonically(t *testing.T) {
+	// For an increasing CDF, markers in later columns must never sit
+	// below earlier ones (row index decreases or stays equal).
+	p := &Plot{Width: 40, Height: 10, Series: []Series{{
+		Label: "cdf",
+		X:     []float64{1, 2, 3, 4, 5, 6, 7, 8},
+		Y:     []float64{0.1, 0.2, 0.4, 0.5, 0.7, 0.8, 0.9, 1.0},
+	}}}
+	var buf bytes.Buffer
+	p.Render(&buf)
+	lines := strings.Split(buf.String(), "\n")
+	type pt struct{ row, col int }
+	var pts []pt
+	for r, line := range lines {
+		bar := strings.Index(line, "|")
+		if bar < 0 {
+			continue
+		}
+		for c := bar + 1; c < len(line); c++ {
+			if line[c] == '*' {
+				pts = append(pts, pt{r, c})
+			}
+		}
+	}
+	if len(pts) < 4 {
+		t.Fatalf("too few markers: %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		for j := 0; j < i; j++ {
+			if pts[i].col > pts[j].col && pts[i].row > pts[j].row {
+				t.Fatalf("CDF rendered non-monotone: %v after %v", pts[i], pts[j])
+			}
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []Series{
+		{Label: "a,b", X: []float64{1}, Y: []float64{0.5}},
+		{Label: "plain", X: []float64{2, 3}, Y: []float64{0.6, 0.7}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "series,x,y\n") {
+		t.Fatal("missing header")
+	}
+	if !strings.Contains(out, `"a,b",1,0.5`) {
+		t.Fatalf("escaping wrong: %q", out)
+	}
+	if strings.Count(out, "\n") != 4 {
+		t.Fatalf("row count wrong: %q", out)
+	}
+}
+
+func TestBars(t *testing.T) {
+	var buf bytes.Buffer
+	Bars(&buf, "energy", []string{"gps", "wifi"}, []float64{504, 31.5}, "mAh")
+	out := buf.String()
+	if !strings.Contains(out, "gps") || !strings.Contains(out, "mAh") {
+		t.Fatalf("bars output: %q", out)
+	}
+	// gps bar longer than wifi bar.
+	gpsLine, wifiLine := "", ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "gps") {
+			gpsLine = l
+		}
+		if strings.Contains(l, "wifi") {
+			wifiLine = l
+		}
+	}
+	if strings.Count(gpsLine, "█") <= strings.Count(wifiLine, "█") {
+		t.Fatal("bar lengths not proportional")
+	}
+	// Sorted descending: gps printed before wifi.
+	if strings.Index(out, "gps") > strings.Index(out, "wifi") {
+		t.Fatal("bars not sorted by value")
+	}
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	var buf bytes.Buffer
+	Bars(&buf, "t", []string{"a"}, []float64{0}, "")
+	if buf.Len() == 0 {
+		t.Fatal("nothing rendered")
+	}
+}

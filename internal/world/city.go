@@ -1,0 +1,222 @@
+package world
+
+import (
+	"fmt"
+	"math"
+
+	"opinions/internal/geo"
+	"opinions/internal/stats"
+)
+
+// PhysicalCategories are the entity categories that exist in the
+// behavioural city. Restaurants dominate activity volume; dentists and
+// home-service providers are the rare, high-stakes categories the paper
+// repeatedly uses as examples ("the dentists and plumbers she would
+// recommend can be inferred from her phone call history").
+var PhysicalCategories = []string{
+	"restaurant", "cafe", "dentist", "plumber", "electrician", "hairdresser", "gym",
+}
+
+// CityConfig controls generation of the behavioural city.
+type CityConfig struct {
+	Seed     int64
+	NumUsers int
+	// EntitiesPerCategory sets how many entities of each category exist;
+	// when nil, DefaultEntityCounts is used.
+	EntitiesPerCategory map[string]int
+	// SpanMeters is the side of the square city (default 16 km).
+	SpanMeters float64
+}
+
+// DefaultEntityCounts is a small city with realistic category ratios.
+func DefaultEntityCounts() map[string]int {
+	return map[string]int{
+		"restaurant":  120,
+		"cafe":        40,
+		"dentist":     25,
+		"plumber":     18,
+		"electrician": 15,
+		"hairdresser": 30,
+		"gym":         12,
+	}
+}
+
+// DefaultCityConfig returns the configuration used by most experiments:
+// 400 users in a 16 km city.
+func DefaultCityConfig() CityConfig {
+	return CityConfig{Seed: 1, NumUsers: 400, SpanMeters: 16000}
+}
+
+// City is the behavioural universe: physical entities with locations and
+// phone numbers, and users with homes, workplaces and personas.
+type City struct {
+	Center   geo.Point
+	Span     float64
+	Users    []*User
+	Entities []*Entity
+
+	// Spatial is an index over entity locations for proximity queries.
+	Spatial *geo.Index
+	// PhoneBook resolves a phone number to the entity that owns it.
+	PhoneBook map[string]*Entity
+
+	byKey      map[string]*Entity
+	byCategory map[string][]*Entity
+	usersByID  map[UserID]*User
+}
+
+// BuildCity generates a deterministic city from cfg.
+func BuildCity(cfg CityConfig) *City {
+	if cfg.NumUsers <= 0 {
+		cfg.NumUsers = 400
+	}
+	if cfg.SpanMeters <= 0 {
+		cfg.SpanMeters = 16000
+	}
+	counts := cfg.EntitiesPerCategory
+	if counts == nil {
+		counts = DefaultEntityCounts()
+	}
+	c := &City{
+		Center:     geo.Point{Lat: 42.28, Lon: -83.74},
+		Span:       cfg.SpanMeters,
+		Spatial:    geo.NewIndex(500),
+		PhoneBook:  make(map[string]*Entity),
+		byKey:      make(map[string]*Entity),
+		byCategory: make(map[string][]*Entity),
+		usersByID:  make(map[UserID]*User),
+	}
+	root := stats.NewRNG(cfg.Seed)
+
+	erng := root.Split("city/entities")
+	serial := 0
+	for _, cat := range PhysicalCategories {
+		n := counts[cat]
+		for i := 0; i < n; i++ {
+			serial++
+			loc := c.randomPoint(erng)
+			e := &Entity{
+				ID:         EntityID(fmt.Sprintf("city-%s-%03d", cat, i)),
+				Service:    Yelp, // the behavioural city is served by one RSP
+				Category:   cat,
+				Zip:        "48104",
+				Name:       entityName("city", cat, serial),
+				Loc:        loc,
+				Phone:      fmt.Sprintf("+1734555%04d", serial),
+				Quality:    clamp(erng.Normal(3.4, 0.9), 0.5, 5),
+				PriceLevel: 1 + erng.Intn(4),
+			}
+			c.Entities = append(c.Entities, e)
+			c.Spatial.Insert(e.Key(), e.Loc)
+			c.PhoneBook[e.Phone] = e
+			c.byKey[e.Key()] = e
+			c.byCategory[cat] = append(c.byCategory[cat], e)
+		}
+	}
+
+	urng := root.Split("city/users")
+	for i := 0; i < cfg.NumUsers; i++ {
+		u := &User{
+			ID:        UserID(fmt.Sprintf("u%05d", i)),
+			Home:      c.randomPoint(urng),
+			Work:      c.randomPoint(urng),
+			tasteSeed: uint64(urng.Int63()),
+		}
+		// 1/9/90 participation split [11].
+		switch r := urng.Float64(); {
+		case r < 0.01:
+			u.Class = HeavyContributor
+		case r < 0.10:
+			u.Class = OccasionalContributor
+		default:
+			u.Class = Lurker
+		}
+		u.Persona = Persona{
+			EatOutPerWeek:      math.Max(0.2, urng.Normal(2.5, 1.2)),
+			DentalPerYear:      math.Max(0.3, urng.Normal(2.0, 0.8)),
+			HomeServicePerYear: math.Max(0.1, urng.Normal(1.5, 1.0)),
+			Sociability:        clamp(urng.Normal(0.35, 0.2), 0, 0.9),
+			Explorer:           clamp(urng.Normal(0.3, 0.2), 0.02, 0.95),
+			Pickiness:          clamp(urng.Normal(0.5, 0.25), 0, 1),
+		}
+		c.Users = append(c.Users, u)
+		c.usersByID[u.ID] = u
+	}
+	return c
+}
+
+func (c *City) randomPoint(rng *stats.RNG) geo.Point {
+	half := c.Span / 2
+	return geo.Offset(c.Center,
+		(rng.Float64()*2-1)*half,
+		(rng.Float64()*2-1)*half)
+}
+
+// EntityByKey returns the entity with the given "service/id" key, or nil.
+func (c *City) EntityByKey(key string) *Entity { return c.byKey[key] }
+
+// EntitiesByCategory returns all entities in a category (shared slice; do
+// not mutate).
+func (c *City) EntitiesByCategory(cat string) []*Entity { return c.byCategory[cat] }
+
+// UserByID returns the user with the given id, or nil.
+func (c *City) UserByID(id UserID) *User { return c.usersByID[id] }
+
+// Choose picks the entity of the given category a user would select when
+// starting from `from`, combining quality preference and distance as
+// §4.1 assumes real users do. With probability u.Explorer the user
+// samples among the top options (softmax-ish), otherwise takes the
+// argmax. Returns nil if the category is empty.
+func (c *City) Choose(rng *stats.RNG, u *User, category string, from geo.Point) *Entity {
+	cands := c.byCategory[category]
+	if len(cands) == 0 {
+		return nil
+	}
+	type scored struct {
+		e *Entity
+		u float64
+	}
+	best := make([]scored, 0, len(cands))
+	for _, e := range cands {
+		best = append(best, scored{e, u.utility(e, geo.Distance(from, e.Loc))})
+	}
+	// Partial selection sort for top-5 keeps this O(5n).
+	k := 5
+	if k > len(best) {
+		k = len(best)
+	}
+	for i := 0; i < k; i++ {
+		maxJ := i
+		for j := i + 1; j < len(best); j++ {
+			if best[j].u > best[maxJ].u {
+				maxJ = j
+			}
+		}
+		best[i], best[maxJ] = best[maxJ], best[i]
+	}
+	if rng.Bool(u.Explorer) {
+		// Exploration: weighted pick among the top k.
+		w := make([]float64, k)
+		for i := 0; i < k; i++ {
+			w[i] = math.Exp(best[i].u - best[0].u)
+		}
+		return best[rng.Pick(w)].e
+	}
+	return best[0].e
+}
+
+// SimilarNearby counts entities similar to e (same category, comparable
+// price) within radius meters — the §4.1 choice-set size feature.
+func (c *City) SimilarNearby(e *Entity, radius float64) int {
+	n := 0
+	for _, nb := range c.Spatial.Within(e.Loc, radius) {
+		other := c.byKey[nb.ID]
+		if other == nil || other.Key() == e.Key() {
+			continue
+		}
+		if e.SimilarTo(other) {
+			n++
+		}
+	}
+	return n
+}

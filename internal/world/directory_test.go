@@ -1,0 +1,224 @@
+package world
+
+import (
+	"math"
+	"testing"
+
+	"opinions/internal/stats"
+)
+
+func TestZipsCountAndUniqueness(t *testing.T) {
+	zips := Zips(50)
+	if len(zips) != 50 {
+		t.Fatalf("len = %d", len(zips))
+	}
+	seen := make(map[string]bool)
+	for _, z := range zips {
+		if seen[z.Code] {
+			t.Fatalf("duplicate zip %s", z.Code)
+		}
+		seen[z.Code] = true
+	}
+}
+
+func TestProfileUnknownService(t *testing.T) {
+	if _, err := Profile("myspace"); err == nil {
+		t.Fatal("unknown service accepted")
+	}
+	p, err := Profile(Yelp)
+	if err != nil || p.Kind != Yelp {
+		t.Fatalf("Profile(Yelp) = %+v, %v", p, err)
+	}
+}
+
+func TestProfileCategoryCountsMatchPaper(t *testing.T) {
+	// Table 1: 9 cuisines on Yelp, 24 provider types on Angie's List,
+	// 4 doctor types on Healthgrades.
+	p := Profiles()
+	if n := len(p[Yelp].Categories); n != 9 {
+		t.Errorf("Yelp categories = %d, want 9", n)
+	}
+	if n := len(p[AngiesList].Categories); n != 24 {
+		t.Errorf("Angie's List categories = %d, want 24", n)
+	}
+	if n := len(p[Healthgrades].Categories); n != 4 {
+		t.Errorf("Healthgrades categories = %d, want 4", n)
+	}
+}
+
+func TestDirectoryDeterministic(t *testing.T) {
+	cfg := TestDirectoryConfig()
+	a := BuildDirectory(cfg)
+	b := BuildDirectory(cfg)
+	if len(a.Entities[Yelp]) != len(b.Entities[Yelp]) {
+		t.Fatal("entity counts differ across identical builds")
+	}
+	for i := range a.Entities[Yelp] {
+		ea, eb := a.Entities[Yelp][i], b.Entities[Yelp][i]
+		if ea.ID != eb.ID || ea.ReviewCount != eb.ReviewCount {
+			t.Fatalf("entity %d differs: %+v vs %+v", i, ea, eb)
+		}
+	}
+}
+
+func TestDirectoryTable1Totals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale directory build")
+	}
+	d := BuildDirectory(DefaultDirectoryConfig())
+	// Paper Table 1: 24,417 restaurants; 26,066 providers; 24,922 doctors.
+	// Require the synthetic totals within 20% — the claim is "≈25k each".
+	for _, tc := range []struct {
+		kind ServiceKind
+		want float64
+	}{
+		{Yelp, 24417}, {AngiesList, 26066}, {Healthgrades, 24922},
+	} {
+		got := float64(len(d.Entities[tc.kind]))
+		if math.Abs(got-tc.want)/tc.want > 0.20 {
+			t.Errorf("%s entities = %v, want within 20%% of %v", tc.kind, got, tc.want)
+		}
+	}
+}
+
+func TestDirectoryReviewMediansMatchPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale directory build")
+	}
+	d := BuildDirectory(DefaultDirectoryConfig())
+	// Paper Fig 1(a): medians 25 (Yelp), 8 (Angie's List), 5 (Healthgrades).
+	for _, tc := range []struct {
+		kind     ServiceKind
+		want     float64
+		tolerate float64
+	}{
+		{Yelp, 25, 6}, {AngiesList, 8, 3}, {Healthgrades, 5, 2},
+	} {
+		med, err := stats.Median(d.ReviewCounts(tc.kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(med-tc.want) > tc.tolerate {
+			t.Errorf("%s review median = %v, want %v±%v", tc.kind, med, tc.want, tc.tolerate)
+		}
+	}
+}
+
+func TestDirectoryFig1bMedians(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale directory build")
+	}
+	d := BuildDirectory(DefaultDirectoryConfig())
+	// Paper Fig 1(b): for the median query, results with ≥50 reviews are
+	// 12 (Yelp), 2 (Angie's List), 1 (Healthgrades).
+	for _, tc := range []struct {
+		kind     ServiceKind
+		want     float64
+		tolerate float64
+	}{
+		{Yelp, 12, 5}, {AngiesList, 2, 1.5}, {Healthgrades, 1, 1},
+	} {
+		var perQuery []float64
+		p := d.Profiles[tc.kind]
+		for _, z := range d.Zips {
+			for _, cat := range p.Categories {
+				n := 0
+				for _, e := range d.Lookup(tc.kind, z.Code, cat) {
+					if e.ReviewCount >= 50 {
+						n++
+					}
+				}
+				perQuery = append(perQuery, float64(n))
+			}
+		}
+		med, err := stats.Median(perQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(med-tc.want) > tc.tolerate {
+			t.Errorf("%s median results ≥50 reviews = %v, want %v±%v", tc.kind, med, tc.want, tc.tolerate)
+		}
+	}
+}
+
+func TestDirectoryFig1cDiscrepancy(t *testing.T) {
+	d := BuildDirectory(TestDirectoryConfig())
+	// Paper Fig 1(c): implicit interactions exceed explicit feedback by
+	// more than an order of magnitude at the median.
+	for _, kind := range InteractionServices {
+		var ratios []float64
+		for _, e := range d.Entities[kind] {
+			if e.Feedback > 0 {
+				ratios = append(ratios, float64(e.Interactions)/float64(e.Feedback))
+			}
+		}
+		med, err := stats.Median(ratios)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if med < 10 {
+			t.Errorf("%s median interaction/feedback ratio = %v, want ≥10", kind, med)
+		}
+	}
+}
+
+func TestDirectoryLookupMissing(t *testing.T) {
+	d := BuildDirectory(TestDirectoryConfig())
+	if got := d.Lookup(Yelp, "00000", "chinese"); got != nil {
+		t.Fatalf("missing zip returned %d entities", len(got))
+	}
+	if got := d.Lookup("nosuch", "00000", "chinese"); got != nil {
+		t.Fatal("missing service returned entities")
+	}
+}
+
+func TestDirectoryQueryCount(t *testing.T) {
+	d := BuildDirectory(TestDirectoryConfig())
+	if got := d.QueryCount(Yelp); got != 10*9 {
+		t.Fatalf("QueryCount(Yelp) = %d, want 90", got)
+	}
+	if got := d.QueryCount("nosuch"); got != 0 {
+		t.Fatalf("QueryCount(unknown) = %d", got)
+	}
+}
+
+func TestDirectoryFind(t *testing.T) {
+	d := BuildDirectory(TestDirectoryConfig())
+	first := d.Entities[Yelp][0]
+	if got := d.Find(Yelp, first.ID); got != first {
+		t.Fatal("Find did not return the entity")
+	}
+	if got := d.Find(Yelp, "nope"); got != nil {
+		t.Fatal("Find invented an entity")
+	}
+}
+
+func TestEntityReviewCountsPositive(t *testing.T) {
+	d := BuildDirectory(TestDirectoryConfig())
+	for _, kind := range ReviewServices {
+		for _, e := range d.Entities[kind] {
+			if e.ReviewCount < 1 {
+				t.Fatalf("%s has review count %d", e.ID, e.ReviewCount)
+			}
+			if e.Quality < 0 || e.Quality > 5 {
+				t.Fatalf("%s has quality %v", e.ID, e.Quality)
+			}
+		}
+	}
+}
+
+func TestSimilarTo(t *testing.T) {
+	a := &Entity{Service: Yelp, Category: "chinese", PriceLevel: 2}
+	b := &Entity{Service: Yelp, Category: "chinese", PriceLevel: 3}
+	cEnt := &Entity{Service: Yelp, Category: "thai", PriceLevel: 2}
+	dEnt := &Entity{Service: Yelp, Category: "chinese", PriceLevel: 4}
+	if !a.SimilarTo(b) {
+		t.Error("price within 1 should be similar")
+	}
+	if a.SimilarTo(cEnt) {
+		t.Error("different category should not be similar")
+	}
+	if a.SimilarTo(dEnt) {
+		t.Error("price gap 2 should not be similar")
+	}
+}

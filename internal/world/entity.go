@@ -1,0 +1,67 @@
+package world
+
+import (
+	"fmt"
+
+	"opinions/internal/geo"
+)
+
+// EntityID uniquely identifies an entity within a service.
+type EntityID string
+
+// Entity is something users form opinions about: a restaurant, doctor,
+// service provider, app, or video.
+type Entity struct {
+	ID       EntityID
+	Service  ServiceKind
+	Category string
+	Zip      string
+	Name     string
+
+	// Loc and Phone are how the physical world reaches the entity; they
+	// are what the client's mapping layer resolves sensor inputs against.
+	Loc   geo.Point
+	Phone string
+
+	// Quality is the latent ground-truth quality in [0, 5] that the
+	// simulator uses to generate both user behaviour and explicit
+	// ratings. Real systems never observe it; experiments use it only to
+	// score inference accuracy.
+	Quality float64
+
+	// PriceLevel in [1, 4] contributes to entity similarity (§4.1's
+	// choice-set features compare "nearby restaurants with similar
+	// attributes").
+	PriceLevel int
+
+	// ReviewCount is the directory universe's calibrated number of
+	// explicit reviews (Figure 1a/b). Zero in the behavioural city,
+	// where reviews accumulate from simulated users instead.
+	ReviewCount int
+
+	// Interactions and Feedback populate Figure 1(c) for Play/YouTube
+	// entities: users who installed/viewed vs users who left any
+	// explicit feedback.
+	Interactions int64
+	Feedback     int64
+}
+
+// Key returns the globally unique "service/id" form used by stores and
+// wire formats.
+func (e *Entity) Key() string { return string(e.Service) + "/" + string(e.ID) }
+
+// SimilarTo reports whether other plausibly competes with e: same
+// service and category, and a price level within 1. The §4.1 choice-set
+// feature counts similar entities near the chosen one.
+func (e *Entity) SimilarTo(other *Entity) bool {
+	if e.Service != other.Service || e.Category != other.Category {
+		return false
+	}
+	d := e.PriceLevel - other.PriceLevel
+	return d >= -1 && d <= 1
+}
+
+// entityName fabricates a deterministic human-readable name.
+func entityName(svc ServiceKind, category string, n int) string {
+	return fmt.Sprintf("%s-%s-%04d", svc, category, n)
+}

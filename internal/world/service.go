@@ -1,0 +1,146 @@
+// Package world builds the synthetic universes every experiment runs on.
+//
+// Two universes correspond to the paper's two kinds of evidence:
+//
+//   - Directory: the five online services measured in §2 (Yelp,
+//     Angie's List, Healthgrades, Google Play, YouTube), with entities,
+//     review counts, and interaction counts drawn from heavy-tailed
+//     distributions calibrated so the statistics the paper reports
+//     (medians of Figure 1a–c, totals of Table 1) are reproduced.
+//   - City: a behavioural city of users and physical entities with
+//     latent quality and ground-truth opinions, which the trace
+//     simulator animates to exercise the full implicit-inference
+//     pipeline (Figures 2 and 3, design sections 4.1–4.3).
+//
+// Everything is deterministic given a seed.
+package world
+
+import "fmt"
+
+// ServiceKind identifies one of the measured services.
+type ServiceKind string
+
+// The five services the paper measures in §2.
+const (
+	Yelp         ServiceKind = "yelp"
+	AngiesList   ServiceKind = "angieslist"
+	Healthgrades ServiceKind = "healthgrades"
+	GooglePlay   ServiceKind = "play"
+	YouTube      ServiceKind = "youtube"
+)
+
+// ReviewServices are the three review-centric services of Table 1 and
+// Figure 1(a)/(b), in the order the paper lists them.
+var ReviewServices = []ServiceKind{Yelp, AngiesList, Healthgrades}
+
+// InteractionServices are the two services of Figure 1(c) where both
+// explicit feedback and implicit interactions are observable.
+var InteractionServices = []ServiceKind{GooglePlay, YouTube}
+
+// ServiceProfile captures the calibration of one service's synthetic
+// population. The log-normal parameters are chosen so that the crawl
+// experiments reproduce the paper's reported statistics; see the fields'
+// comments and DESIGN.md for the derivations.
+type ServiceProfile struct {
+	Kind ServiceKind
+	Name string
+
+	// Categories queried per zip code in the §2 methodology: 9 cuisines
+	// on Yelp, 24 provider types on Angie's List, 4 doctor types on
+	// Healthgrades.
+	Categories []string
+
+	// ReviewMedian and ReviewSigma parameterize the log-normal from
+	// which an entity's review count is drawn (paper medians: 25 / 8 / 5).
+	ReviewMedian float64
+	ReviewSigma  float64
+
+	// QueryMedian and QuerySigma parameterize the log-normal number of
+	// entities matching one (zip, category) query. Together with the
+	// review-count distribution these reproduce Figure 1(b)'s medians of
+	// results with ≥50 reviews (12 / 2 / 1) and Table 1's totals.
+	QueryMedian float64
+	QuerySigma  float64
+
+	// InteractionMedian/Sigma and FeedbackRate model Figure 1(c):
+	// implicit interactions (installs, views) per entity, and the
+	// fraction of interacting users who leave explicit feedback.
+	InteractionMedian float64
+	InteractionSigma  float64
+	FeedbackRateLo    float64
+	FeedbackRateHi    float64
+}
+
+// Profiles returns the calibrated profile for each service.
+func Profiles() map[ServiceKind]ServiceProfile {
+	return map[ServiceKind]ServiceProfile{
+		Yelp: {
+			Kind: Yelp,
+			Name: "Yelp",
+			Categories: []string{
+				"chinese", "mexican", "italian", "japanese", "indian",
+				"thai", "american", "mediterranean", "korean",
+			},
+			ReviewMedian: 25, ReviewSigma: 1.40,
+			// 450 queries x mean 54.3 entities ≈ 24,417 (Table 1);
+			// P(reviews ≥ 50) ≈ 0.31, so the median query yields ≈ 12
+			// results with ≥50 reviews (Fig 1b).
+			QueryMedian: 40, QuerySigma: 0.78,
+		},
+		AngiesList: {
+			Kind: AngiesList,
+			Name: "Angie's List",
+			Categories: []string{
+				"electrician", "plumber", "gardener", "roofer", "painter",
+				"handyman", "hvac", "carpenter", "locksmith", "mover",
+				"cleaner", "pestcontrol", "landscaper", "flooring",
+				"remodeler", "mason", "paver", "fencing", "gutter",
+				"chimney", "appliance", "septic", "treeservice", "drywall",
+			},
+			ReviewMedian: 8, ReviewSigma: 1.43,
+			// 1200 queries x mean 21.7 ≈ 26,066; P(≥50) ≈ 0.10 → median
+			// query yields ≈ 2 results with ≥50 reviews.
+			QueryMedian: 18, QuerySigma: 0.62,
+		},
+		Healthgrades: {
+			Kind: Healthgrades,
+			Name: "Healthgrades",
+			Categories: []string{
+				"dentist", "familymedicine", "pediatrics", "plasticsurgery",
+			},
+			ReviewMedian: 5, ReviewSigma: 1.00,
+			// 200 queries x mean 124.6 ≈ 24,922; P(≥50) ≈ 0.011 → median
+			// query yields ≈ 1 result with ≥50 reviews.
+			QueryMedian: 90, QuerySigma: 0.80,
+		},
+		GooglePlay: {
+			Kind:       GooglePlay,
+			Name:       "Google Play",
+			Categories: []string{"app"},
+			// Reviews on Play exist but Fig 1(c) is about the gap between
+			// installs and any explicit feedback.
+			ReviewMedian: 30, ReviewSigma: 1.6,
+			QueryMedian: 1000, QuerySigma: 0,
+			InteractionMedian: 50000, InteractionSigma: 2.2,
+			FeedbackRateLo: 0.002, FeedbackRateHi: 0.03,
+		},
+		YouTube: {
+			Kind:         YouTube,
+			Name:         "YouTube",
+			Categories:   []string{"video"},
+			ReviewMedian: 20, ReviewSigma: 1.6,
+			QueryMedian: 1000, QuerySigma: 0,
+			InteractionMedian: 20000, InteractionSigma: 2.4,
+			FeedbackRateLo: 0.002, FeedbackRateHi: 0.04,
+		},
+	}
+}
+
+// Profile returns the profile for kind, or an error for an unknown kind.
+func Profile(kind ServiceKind) (ServiceProfile, error) {
+	p, ok := Profiles()[kind]
+	if !ok {
+		return ServiceProfile{}, fmt.Errorf("world: unknown service %q", kind)
+	}
+	return p, nil
+}
