@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"opinions/internal/core"
+	"opinions/internal/faultinject"
 	"opinions/internal/rspserver"
 	"opinions/internal/storage"
 	"opinions/internal/world"
@@ -29,17 +30,21 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		universe = flag.String("world", "city", "universe to serve: city | directory")
-		scale    = flag.Float64("scale", 0.2, "directory scale (1.0 = paper scale, ~75k entities)")
-		seed     = flag.Int64("seed", 1, "world seed")
-		users    = flag.Int("users", 400, "city users (city world only)")
-		keyBits  = flag.Int("keybits", 2048, "blind-signature RSA key size")
-		dataPath = flag.String("data", "", "snapshot file: loaded on start, saved on shutdown and every -save-every")
-		saveEvr  = flag.Duration("save-every", 5*time.Minute, "periodic snapshot interval (with -data)")
-		epsilon  = flag.Float64("privacy-epsilon", 0, "when >0, release inference aggregates with ε-differential privacy")
-		rateLim  = flag.Int("rate-limit", 600, "per-host HTTP requests per minute (0 disables)")
-		quiet    = flag.Bool("quiet", false, "disable per-request logging")
+		addr        = flag.String("addr", ":8080", "listen address")
+		universe    = flag.String("world", "city", "universe to serve: city | directory")
+		scale       = flag.Float64("scale", 0.2, "directory scale (1.0 = paper scale, ~75k entities)")
+		seed        = flag.Int64("seed", 1, "world seed")
+		users       = flag.Int("users", 400, "city users (city world only)")
+		keyBits     = flag.Int("keybits", 2048, "blind-signature RSA key size")
+		dataPath    = flag.String("data", "", "snapshot file: loaded on start, saved on shutdown and every -save-every")
+		saveEvr     = flag.Duration("save-every", 5*time.Minute, "periodic snapshot interval (with -data)")
+		epsilon     = flag.Float64("privacy-epsilon", 0, "when >0, release inference aggregates with ε-differential privacy")
+		rateLim     = flag.Int("rate-limit", 600, "per-host HTTP requests per minute (0 disables)")
+		quiet       = flag.Bool("quiet", false, "disable per-request logging")
+		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request handler timeout (0 disables)")
+		maxInFlight = flag.Int("max-inflight", 256, "max concurrent requests before shedding with 503 (0 disables)")
+		chaos       = flag.Bool("chaos", false, "inject faults (latency, 5xx bursts, resets, truncation) for resilience testing")
+		chaosSeed   = flag.Int64("chaos-seed", 1, "fault-injection RNG seed (with -chaos)")
 	)
 	flag.Parse()
 
@@ -81,13 +86,32 @@ func main() {
 		}
 	}
 
+	// Recovery is outermost so a panic anywhere below it — including an
+	// injected connection reset — becomes a logged 500, not a dead
+	// process. The chaos injector is innermost: faults fire instead of
+	// the real handler, behind the same shedding the real traffic sees.
 	handler := repo.Handler()
-	var mws []rspserver.Middleware
+	mws := []rspserver.Middleware{rspserver.WithRecovery(nil)}
 	if !*quiet {
 		mws = append(mws, rspserver.WithLogging(nil))
 	}
 	if *rateLim > 0 {
 		mws = append(mws, rspserver.WithRateLimit(*rateLim, time.Minute, nil))
+	}
+	mws = append(mws, rspserver.WithTimeout(*reqTimeout))
+	mws = append(mws, rspserver.WithMaxInFlight(*maxInFlight, time.Second))
+	if *chaos {
+		inj := faultinject.New(faultinject.Config{
+			Seed:         *chaosSeed,
+			ErrorRate:    0.20,
+			ErrorBurst:   2,
+			ResetRate:    0.05,
+			TruncateRate: 0.05,
+			LatencyMin:   10 * time.Millisecond,
+			LatencyMax:   250 * time.Millisecond,
+		})
+		mws = append(mws, inj.Middleware)
+		log.Printf("rspd: CHAOS MODE — injecting faults (seed %d); not for production", *chaosSeed)
 	}
 	handler = rspserver.Chain(handler, mws...)
 
@@ -119,12 +143,15 @@ func main() {
 			case <-ticker.C:
 				save("periodic")
 			case <-stop:
-				save("shutdown")
+				// Drain in-flight requests BEFORE the final snapshot:
+				// an upload accepted during the drain must be in the
+				// snapshot, or a restart silently loses it.
 				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 				defer cancel()
 				if err := srv.Shutdown(ctx); err != nil {
 					log.Printf("rspd: shutdown: %v", err)
 				}
+				save("shutdown")
 				return
 			}
 		}

@@ -12,6 +12,7 @@
 package crawler
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -21,18 +22,21 @@ import (
 	"sync"
 	"time"
 
+	"opinions/internal/resilience"
 	"opinions/internal/rspserver"
 )
 
 // Client is an HTTP client for one RSP endpoint. It is a polite
 // crawler: per-worker delays space requests out, and transient failures
-// (network errors, 5xx, 429) retry with exponential backoff, so a
-// long-running measurement (the full §2 study is 1,850 queries) survives
-// flaky paths without hammering the service.
+// (network errors, 5xx, 429) retry with exponential backoff via the
+// shared resilience policy, so a long-running measurement (the full §2
+// study is 1,850 queries) survives flaky paths without hammering the
+// service. Retries/Backoff/Sleep are a thin adapter over
+// resilience.Policy, kept so existing crawl configs read unchanged.
 type Client struct {
 	// BaseURL is the server root.
 	BaseURL string
-	// HTTP defaults to http.DefaultClient.
+	// HTTP defaults to a client with a 30s overall timeout.
 	HTTP *http.Client
 	// Workers bounds query concurrency (default 8).
 	Workers int
@@ -42,17 +46,42 @@ type Client struct {
 	// Retries is how many times transient failures retry (default 3).
 	Retries int
 	// Backoff is the initial retry backoff, doubled per attempt
-	// (default 100ms).
+	// (default 100ms). The crawler's schedule is deliberately
+	// jitter-free: with a politeness Delay already spacing requests,
+	// a reproducible schedule is worth more than desynchronization.
 	Backoff time.Duration
 	// Sleep is swappable for tests; defaults to time.Sleep.
 	Sleep func(time.Duration)
 }
 
+// defaultClient bounds whole-call time; http.DefaultClient would hang
+// forever on a stalled connection mid-sweep.
+var defaultClient = &http.Client{Timeout: 30 * time.Second}
+
 func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return defaultClient
+}
+
+// policy maps the crawler's public knobs onto the shared retry policy.
+func (c *Client) policy() resilience.Policy {
+	retries := c.Retries
+	if retries <= 0 {
+		retries = 3
+	}
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	return resilience.Policy{
+		MaxAttempts: retries + 1,
+		BaseDelay:   backoff,
+		MaxDelay:    time.Minute,
+		Jitter:      func() float64 { return 0 },
+		Sleep:       c.Sleep,
+	}
 }
 
 func (c *Client) workers() int {
@@ -76,46 +105,37 @@ func transientStatus(code int) bool {
 }
 
 func (c *Client) getJSON(path string, out any) error {
-	retries := c.Retries
-	if retries <= 0 {
-		retries = 3
-	}
-	backoff := c.Backoff
-	if backoff <= 0 {
-		backoff = 100 * time.Millisecond
-	}
-	var lastErr error
-	for attempt := 0; attempt <= retries; attempt++ {
-		if attempt > 0 {
-			c.sleep(backoff)
-			backoff *= 2
-		}
+	return c.policy().Do(context.Background(), func(ctx context.Context) error {
 		if c.Delay > 0 {
 			c.sleep(c.Delay)
 		}
-		resp, err := c.httpClient().Get(c.BaseURL + path)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 		if err != nil {
-			lastErr = err
-			continue
+			return resilience.Permanent(fmt.Errorf("crawler: GET %s: %w", path, err))
 		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+		}()
 		if resp.StatusCode != http.StatusOK {
 			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-			resp.Body.Close()
-			lastErr = fmt.Errorf("crawler: GET %s: status %d: %s", path, resp.StatusCode, body)
+			err := fmt.Errorf("crawler: GET %s: status %d: %s", path, resp.StatusCode, body)
 			if transientStatus(resp.StatusCode) {
-				continue
+				return err
 			}
-			return lastErr
+			return resilience.Permanent(err)
 		}
-		err = json.NewDecoder(resp.Body).Decode(out)
-		resp.Body.Close()
-		if err != nil {
-			lastErr = fmt.Errorf("crawler: GET %s: decoding: %w", path, err)
-			continue
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			// A 200 with an unparseable body is a transport fault
+			// (truncation, a proxy error page), not a server answer.
+			return fmt.Errorf("crawler: GET %s: decoding: %w", path, err)
 		}
 		return nil
-	}
-	return lastErr
+	})
 }
 
 // Meta fetches the service universe description.

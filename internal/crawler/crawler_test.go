@@ -1,11 +1,14 @@
 package crawler
 
 import (
+	"io"
+	"log"
 	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
 
+	"opinions/internal/faultinject"
 	"opinions/internal/rspserver"
 	"opinions/internal/stats"
 	"opinions/internal/world"
@@ -173,6 +176,67 @@ func TestRetryOnTransientFailure(t *testing.T) {
 	}
 	if len(slept) != 2 || slept[1] != 2*slept[0] {
 		t.Fatalf("backoff pattern = %v, want doubling", slept)
+	}
+}
+
+// TestChaosSweepCompletes is the crawler half of the chaos acceptance
+// bar: behind 20% injected 5xx (in bursts) and 5% connection resets,
+// a full (zip, category) sweep must still complete with every query
+// answered — the §2 measurement is only credible if a flaky service
+// cannot silently punch holes in it.
+func TestChaosSweepCompletes(t *testing.T) {
+	dir := world.BuildDirectory(world.TestDirectoryConfig())
+	var catalog []*world.Entity
+	for _, kind := range world.ReviewServices {
+		catalog = append(catalog, dir.Entities[kind]...)
+	}
+	var zips []string
+	for _, z := range dir.Zips {
+		zips = append(zips, z.Code)
+	}
+	srv, err := rspserver.New(rspserver.Config{Catalog: catalog, KeyBits: 1024, Zips: zips})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(faultinject.Config{
+		Seed:       99,
+		ErrorRate:  0.20,
+		ErrorBurst: 2,
+		ResetRate:  0.05,
+	})
+	handler := rspserver.Chain(srv.Handler(),
+		rspserver.WithRecovery(log.New(io.Discard, "", 0)),
+		inj.Middleware,
+	)
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, Workers: 4, Retries: 8,
+		Backoff: time.Millisecond, Sleep: func(time.Duration) {}}
+	meta, err := c.Meta()
+	if err != nil {
+		t.Fatalf("meta through chaos: %v", err)
+	}
+	var yelpMeta rspserver.MetaService
+	for _, s := range meta.Services {
+		if s.Kind == string(world.Yelp) {
+			yelpMeta = s
+		}
+	}
+	m, err := CrawlService(c, yelpMeta)
+	if err != nil {
+		t.Fatalf("sweep through chaos: %v", err)
+	}
+	want := len(yelpMeta.Zips) * len(yelpMeta.Categories)
+	if len(m.Queries) != want {
+		t.Fatalf("sweep answered %d queries, want %d — chaos punched holes", len(m.Queries), want)
+	}
+	if s := inj.Stats(); s.Errors == 0 || s.Resets == 0 {
+		t.Fatalf("fault mix did not fire: %+v", s)
+	}
+	// The measurement is still the directory's ground truth.
+	if m.TotalEntities() != len(dir.Entities[world.Yelp]) {
+		t.Fatalf("crawled %d entities, directory has %d", m.TotalEntities(), len(dir.Entities[world.Yelp]))
 	}
 }
 

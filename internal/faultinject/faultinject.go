@@ -1,0 +1,268 @@
+// Package faultinject is the chaos layer the resilience code is tested
+// against: a deterministic injector that produces the failures a
+// deployed RSP actually sees — added latency, 5xx bursts, connection
+// resets, truncated/malformed JSON bodies, and token-issuance outages —
+// as both an http.RoundTripper (client-side faults) and a server
+// middleware (service-side faults).
+//
+// Faults are injected *instead of* running the wrapped handler or
+// request, never after it, so an injected failure has no server-side
+// effects. That property is what lets the chaos soak test account for
+// uploads exactly: a faulted upload was provably not stored, so a
+// client that retries until success loses nothing and duplicates
+// nothing.
+//
+// All randomness flows from one seeded RNG behind a mutex, so a
+// single-threaded client driving the injector sees the same fault
+// schedule on every run.
+package faultinject
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"opinions/internal/stats"
+)
+
+// Config describes the fault mix. All rates are probabilities in
+// [0, 1], evaluated independently per request in the order: token
+// outage, reset, 5xx, truncation, latency (at most one fault fires;
+// latency composes with anything).
+type Config struct {
+	// Seed drives the fault schedule deterministically.
+	Seed int64
+	// ResetRate is the probability of dropping the connection with no
+	// response at all.
+	ResetRate float64
+	// ErrorRate is the probability of answering 503 instead of serving.
+	ErrorRate float64
+	// ErrorBurst makes injected 5xx come in runs: once one fires, the
+	// next ErrorBurst-1 requests fail too (default 1 = independent).
+	ErrorBurst int
+	// TruncateRate is the probability of answering 200 with a
+	// truncated, unparseable JSON body.
+	TruncateRate float64
+	// LatencyMin/LatencyMax bound a uniform injected delay added to
+	// every request (zero = none).
+	LatencyMin, LatencyMax time.Duration
+	// TokenOutage starts the injector with token issuance down; see
+	// SetTokenOutage for flipping it mid-run.
+	TokenOutage bool
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	Requests      int
+	Resets        int
+	Errors        int
+	Truncations   int
+	TokenRefusals int
+	Delayed       int
+}
+
+// Injector decides, per request, which fault (if any) to inject.
+// Safe for concurrent use; decisions are serialized, so a sequential
+// request stream sees a reproducible schedule.
+type Injector struct {
+	mu          sync.Mutex
+	cfg         Config
+	rng         *stats.RNG
+	burstLeft   int
+	tokenOutage bool
+	stats       Stats
+}
+
+// New builds an injector for the fault mix.
+func New(cfg Config) *Injector {
+	if cfg.ErrorBurst <= 0 {
+		cfg.ErrorBurst = 1
+	}
+	return &Injector{cfg: cfg, rng: stats.NewRNG(cfg.Seed), tokenOutage: cfg.TokenOutage}
+}
+
+// SetTokenOutage flips the token-issuance outage on or off, simulating
+// the issuer (or the attestation service gating it) going down mid-run.
+func (in *Injector) SetTokenOutage(down bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.tokenOutage = down
+}
+
+// Stats returns a snapshot of the fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// fault is one injection decision.
+type fault int
+
+const (
+	faultNone fault = iota
+	faultReset
+	faultError
+	faultTruncate
+	faultTokenRefusal
+)
+
+// decide rolls the dice for one request. isToken marks requests against
+// the token-issuance endpoint, which a token outage rejects outright.
+func (in *Injector) decide(isToken bool) (fault, time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stats.Requests++
+
+	var delay time.Duration
+	if in.cfg.LatencyMax > in.cfg.LatencyMin {
+		delay = in.cfg.LatencyMin +
+			time.Duration(in.rng.Float64()*float64(in.cfg.LatencyMax-in.cfg.LatencyMin))
+	} else {
+		delay = in.cfg.LatencyMin
+	}
+	if delay > 0 {
+		in.stats.Delayed++
+	}
+
+	if isToken && in.tokenOutage {
+		in.stats.TokenRefusals++
+		return faultTokenRefusal, delay
+	}
+	if in.burstLeft > 0 {
+		in.burstLeft--
+		in.stats.Errors++
+		return faultError, delay
+	}
+	if in.cfg.ResetRate > 0 && in.rng.Float64() < in.cfg.ResetRate {
+		in.stats.Resets++
+		return faultReset, delay
+	}
+	if in.cfg.ErrorRate > 0 && in.rng.Float64() < in.cfg.ErrorRate {
+		in.stats.Errors++
+		in.burstLeft = in.cfg.ErrorBurst - 1
+		return faultError, delay
+	}
+	if in.cfg.TruncateRate > 0 && in.rng.Float64() < in.cfg.TruncateRate {
+		in.stats.Truncations++
+		return faultTruncate, delay
+	}
+	return faultNone, delay
+}
+
+// isTokenIssuance matches the blind-signing endpoint (not the public
+// key fetch — an outage of the signer does not unpublish its key).
+func isTokenIssuance(method, path string) bool {
+	return method == http.MethodPost && path == "/api/token"
+}
+
+// truncatedBody is a syntactically broken JSON prefix — what a
+// mid-transfer connection loss leaves in the client's buffer.
+const truncatedBody = `{"entities":[{"key":"yelp/trunc`
+
+// Middleware returns a server middleware injecting the configured
+// faults before the wrapped handler runs. Its type matches
+// rspserver.Middleware structurally, so it can join a Chain directly.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f, delay := in.decide(isTokenIssuance(r.Method, r.URL.Path))
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		switch f {
+		case faultReset:
+			// The canonical way to abort the connection mid-response:
+			// net/http drops the TCP stream and the client sees
+			// EOF/ECONNRESET. Recovery middleware must re-panic this.
+			panic(http.ErrAbortHandler)
+		case faultError:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"injected overload"}`, http.StatusServiceUnavailable)
+		case faultTokenRefusal:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"injected token issuance outage"}`, http.StatusServiceUnavailable)
+		case faultTruncate:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte(truncatedBody))
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+// resetError is the client-side stand-in for a connection reset.
+type resetError struct{}
+
+func (resetError) Error() string   { return "faultinject: connection reset" }
+func (resetError) Timeout() bool   { return false }
+func (resetError) Temporary() bool { return true }
+
+// roundTripper injects faults on the client side of the wire.
+type roundTripper struct {
+	in   *Injector
+	base http.RoundTripper
+}
+
+// RoundTripper wraps base (nil = http.DefaultTransport) so requests
+// suffer the configured faults before leaving the process. As with the
+// middleware, a faulted request is never delivered, so it has no
+// server-side effects.
+func (in *Injector) RoundTripper(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &roundTripper{in: in, base: base}
+}
+
+func (t *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	f, delay := t.in.decide(isTokenIssuance(req.Method, req.URL.Path))
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	synthesize := func(status int, body string) *http.Response {
+		return &http.Response{
+			Status:     fmt.Sprintf("%d %s", status, http.StatusText(status)),
+			StatusCode: status,
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          stringBody(body),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}
+	}
+	switch f {
+	case faultReset:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, resetError{}
+	case faultError:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return synthesize(http.StatusServiceUnavailable, `{"error":"injected overload"}`), nil
+	case faultTokenRefusal:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return synthesize(http.StatusServiceUnavailable, `{"error":"injected token issuance outage"}`), nil
+	case faultTruncate:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return synthesize(http.StatusOK, truncatedBody), nil
+	default:
+		return t.base.RoundTrip(req)
+	}
+}
+
+// stringBody wraps a string as a response body.
+func stringBody(s string) *bodyReader { return &bodyReader{r: strings.NewReader(s)} }
+
+type bodyReader struct{ r *strings.Reader }
+
+func (b *bodyReader) Read(p []byte) (int, error) { return b.r.Read(p) }
+func (b *bodyReader) Close() error               { return nil }

@@ -1,0 +1,212 @@
+package faultinject
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func okJSON() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"ok":true}`))
+	})
+}
+
+func TestMiddlewareDeterministicSchedule(t *testing.T) {
+	run := func() []int {
+		in := New(Config{Seed: 7, ErrorRate: 0.3, TruncateRate: 0.2})
+		ts := httptest.NewServer(in.Middleware(okJSON()))
+		defer ts.Close()
+		var codes []int
+		for i := 0; i < 40; i++ {
+			resp, err := http.Get(ts.URL + "/api/meta")
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes = append(codes, resp.StatusCode)
+		}
+		return codes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at request %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	has5xx := false
+	for _, c := range a {
+		if c == http.StatusServiceUnavailable {
+			has5xx = true
+		}
+	}
+	if !has5xx {
+		t.Fatal("30% error rate injected no 5xx in 40 requests")
+	}
+}
+
+func TestMiddlewareErrorBurst(t *testing.T) {
+	in := New(Config{Seed: 1, ErrorRate: 0.2, ErrorBurst: 3})
+	ts := httptest.NewServer(in.Middleware(okJSON()))
+	defer ts.Close()
+	var codes []int
+	for i := 0; i < 60; i++ {
+		resp, err := http.Get(ts.URL + "/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		codes = append(codes, resp.StatusCode)
+	}
+	// Every injected failure must be part of a run of exactly 3 (the
+	// final run may be cut off by the end of the request stream).
+	for i := 0; i < len(codes); {
+		if codes[i] != http.StatusServiceUnavailable {
+			i++
+			continue
+		}
+		run := 0
+		for i < len(codes) && codes[i] == http.StatusServiceUnavailable {
+			run++
+			i++
+		}
+		if run%3 != 0 && i < len(codes) {
+			t.Fatalf("burst of %d, want multiples of 3", run)
+		}
+	}
+	if in.Stats().Errors == 0 {
+		t.Fatal("no errors recorded")
+	}
+}
+
+func TestMiddlewareTruncatedBodyIsUnparseable(t *testing.T) {
+	in := New(Config{Seed: 3, TruncateRate: 1.0})
+	ts := httptest.NewServer(in.Middleware(okJSON()))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/api/directory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (truncation masquerades as success)", resp.StatusCode)
+	}
+	var v map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&v); err == nil {
+		t.Fatal("truncated body parsed cleanly")
+	}
+}
+
+func TestMiddlewareConnectionReset(t *testing.T) {
+	in := New(Config{Seed: 5, ResetRate: 1.0})
+	ts := httptest.NewServer(in.Middleware(okJSON()))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/api/search")
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("reset produced a clean response")
+	}
+	if s := in.Stats(); s.Resets != 1 {
+		t.Fatalf("resets = %d, want 1", s.Resets)
+	}
+}
+
+func TestTokenOutageTargetsIssuanceOnly(t *testing.T) {
+	in := New(Config{Seed: 9, TokenOutage: true})
+	ts := httptest.NewServer(in.Middleware(okJSON()))
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/api/token", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("token issuance status = %d, want 503 during outage", resp.StatusCode)
+	}
+	// The key endpoint and everything else stay up.
+	for _, path := range []string{"/api/token/key", "/api/meta"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status = %d during token outage, want 200", path, resp.StatusCode)
+		}
+	}
+
+	in.SetTokenOutage(false)
+	resp, err = http.Post(ts.URL+"/api/token", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("issuance still down after outage cleared: %d", resp.StatusCode)
+	}
+}
+
+func TestRoundTripperInjectsWithoutTouchingServer(t *testing.T) {
+	served := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	in := New(Config{Seed: 11, ErrorRate: 1.0})
+	client := &http.Client{Transport: in.RoundTripper(nil)}
+	resp, err := client.Get(ts.URL + "/api/meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want synthesized 503", resp.StatusCode)
+	}
+	if len(body) == 0 {
+		t.Fatal("synthesized response has no body")
+	}
+	if served != 0 {
+		t.Fatalf("server saw %d requests; injected faults must not be delivered", served)
+	}
+}
+
+func TestRoundTripperReset(t *testing.T) {
+	in := New(Config{Seed: 13, ResetRate: 1.0})
+	client := &http.Client{Transport: in.RoundTripper(nil)}
+	_, err := client.Get("http://127.0.0.1:1/api/meta")
+	if err == nil {
+		t.Fatal("reset produced a response")
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	in := New(Config{Seed: 17, LatencyMin: 5 * time.Millisecond, LatencyMax: 10 * time.Millisecond})
+	ts := httptest.NewServer(in.Middleware(okJSON()))
+	defer ts.Close()
+	start := time.Now()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("request took %v, want ≥ injected 5ms", elapsed)
+	}
+	if in.Stats().Delayed != 1 {
+		t.Fatalf("delayed = %d, want 1", in.Stats().Delayed)
+	}
+}

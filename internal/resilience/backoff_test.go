@@ -1,0 +1,199 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"opinions/internal/stats"
+)
+
+// TestDelayJitterBounds drives Delay with a seeded jitter source across
+// the schedule and asserts every sample lands in [base·2^a, 2·base·2^a]
+// (capped at MaxDelay / 2·MaxDelay).
+func TestDelayJitterBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		base time.Duration
+		cap  time.Duration
+	}{
+		{"default-ish", 100 * time.Millisecond, 30 * time.Second},
+		{"tight-cap", 50 * time.Millisecond, 200 * time.Millisecond},
+		{"one-ms", time.Millisecond, time.Minute},
+		{"base-equals-cap", time.Second, time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := stats.NewRNG(42)
+			p := Policy{BaseDelay: tc.base, MaxDelay: tc.cap, Jitter: rng.Float64}
+			for attempt := 0; attempt < 12; attempt++ {
+				lo := tc.base
+				for i := 0; i < attempt && lo < tc.cap; i++ {
+					lo *= 2
+				}
+				if lo > tc.cap {
+					lo = tc.cap
+				}
+				hi := 2 * lo
+				for sample := 0; sample < 200; sample++ {
+					d := p.Delay(attempt)
+					if d < lo || d >= hi {
+						t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, d, lo, hi)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDelayZeroJitterDoubles(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: time.Minute, Jitter: func() float64 { return 0 }}
+	want := 10 * time.Millisecond
+	for attempt := 0; attempt < 6; attempt++ {
+		if d := p.Delay(attempt); d != want {
+			t.Fatalf("attempt %d: delay %v, want %v", attempt, d, want)
+		}
+		want *= 2
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Millisecond,
+		Jitter: func() float64 { return 0 },
+		Sleep:  func(d time.Duration) { slept = append(slept, d) }}
+	calls := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if len(slept) != 2 || slept[0] != time.Millisecond || slept[1] != 2*time.Millisecond {
+		t.Fatalf("slept = %v, want [1ms 2ms]", slept)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	boom := errors.New("boom")
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Nanosecond, Sleep: func(time.Duration) {}}
+	calls := 0
+	err := p.Do(context.Background(), func(context.Context) error { calls++; return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestDoStopsOnPermanent(t *testing.T) {
+	boom := errors.New("gone")
+	p := Policy{MaxAttempts: 5, Sleep: func(time.Duration) { t.Fatal("slept for a permanent error") }}
+	calls := 0
+	err := p.Do(context.Background(), func(context.Context) error { calls++; return Permanent(boom) })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+// TestDoNoSleepAfterCancel is the contract the agent's nightly flush
+// depends on: once the context dies, Do must return without sleeping.
+func TestDoNoSleepAfterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{MaxAttempts: 10, BaseDelay: time.Hour,
+		Sleep: func(time.Duration) { t.Fatal("slept after cancellation") }}
+	calls := 0
+	err := p.Do(ctx, func(context.Context) error {
+		calls++
+		cancel() // the failing attempt takes the context down with it
+		return errors.New("transient")
+	})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in chain", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no attempts after cancel)", calls)
+	}
+}
+
+func TestDoCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := Policy{MaxAttempts: 3, Sleep: func(time.Duration) { t.Fatal("slept") }}
+	calls := 0
+	// The first attempt still runs (op owns its own ctx check); the
+	// error return must carry the cancellation and no sleep may happen.
+	err := p.Do(ctx, func(c context.Context) error { calls++; return c.Err() })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+// TestDoDefaultSleepAbortsMidWait uses the real timer-based sleep and
+// cancels during the backoff: Do must return promptly, not after the
+// full hour-long delay.
+func TestDoDefaultSleepAbortsMidWait(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{MaxAttempts: 2, BaseDelay: time.Hour}
+	start := time.Now()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err := p.Do(ctx, func(context.Context) error { return errors.New("transient") })
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Do blocked %v through a cancelled backoff", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in chain", err)
+	}
+}
+
+func TestPerAttemptTimeout(t *testing.T) {
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Nanosecond,
+		PerAttemptTimeout: 5 * time.Millisecond, Sleep: func(time.Duration) {}}
+	calls := 0
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		<-ctx.Done() // a hung dependency: block until the attempt deadline
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3 (attempt timeouts are retryable)", calls)
+	}
+}
+
+func TestPermanentTransparency(t *testing.T) {
+	inner := errors.New("server returned 404")
+	wrapped := Permanent(inner)
+	if !errors.Is(wrapped, inner) {
+		t.Fatal("errors.Is lost the inner error")
+	}
+	if wrapped.Error() != inner.Error() {
+		t.Fatalf("message changed: %q", wrapped.Error())
+	}
+	if !IsPermanent(wrapped) || IsPermanent(inner) {
+		t.Fatal("IsPermanent misclassified")
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+}

@@ -1,0 +1,188 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"opinions/internal/simclock"
+)
+
+// State is a circuit breaker's position.
+type State int
+
+const (
+	// Closed: traffic flows; failures are counted.
+	Closed State = iota
+	// Open: traffic is refused until the cooldown elapses.
+	Open
+	// HalfOpen: a bounded number of probe requests may test the
+	// dependency; one success closes the circuit, one failure re-opens
+	// it.
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrOpen is returned by Allow (and Do) while the circuit refuses
+// traffic. It is Permanent under the default retry classification —
+// backing off against an open circuit is the breaker's job, not the
+// retry loop's.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// Breaker is a three-state circuit breaker. The zero value is usable:
+// 5 consecutive failures open the circuit, a 30s cooldown moves it to
+// half-open, and a single successful probe closes it again. Breaker is
+// safe for concurrent use.
+type Breaker struct {
+	// FailureThreshold is the run of consecutive failures that opens
+	// the circuit (default 5).
+	FailureThreshold int
+	// Cooldown is how long the circuit stays open before allowing
+	// probes (default 30s).
+	Cooldown time.Duration
+	// MaxProbes bounds concurrent half-open probes (default 1).
+	MaxProbes int
+	// Clock defaults to the real clock; tests inject a simulated one.
+	Clock simclock.Clock
+
+	mu       sync.Mutex
+	state    State
+	failures int
+	openedAt time.Time
+	probes   int
+}
+
+func (b *Breaker) threshold() int {
+	if b.FailureThreshold > 0 {
+		return b.FailureThreshold
+	}
+	return 5
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return 30 * time.Second
+}
+
+func (b *Breaker) maxProbes() int {
+	if b.MaxProbes > 0 {
+		return b.MaxProbes
+	}
+	return 1
+}
+
+func (b *Breaker) now() time.Time {
+	if b.Clock != nil {
+		return b.Clock.Now()
+	}
+	return time.Now()
+}
+
+// State reports the breaker's current position (advancing open →
+// half-open if the cooldown has elapsed).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advance()
+	return b.state
+}
+
+// advance moves Open → HalfOpen once the cooldown has elapsed.
+// Callers hold b.mu.
+func (b *Breaker) advance() {
+	if b.state == Open && b.now().Sub(b.openedAt) >= b.cooldown() {
+		b.state = HalfOpen
+		b.probes = 0
+	}
+}
+
+// Allow asks permission to attempt the protected operation. A nil
+// return means go ahead — the caller must report the outcome with
+// Success or Failure. ErrOpen means the circuit is refusing traffic.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advance()
+	switch b.state {
+	case Closed:
+		return nil
+	case HalfOpen:
+		if b.probes >= b.maxProbes() {
+			return ErrOpen
+		}
+		b.probes++
+		return nil
+	default:
+		return ErrOpen
+	}
+}
+
+// Success reports that an allowed attempt succeeded.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == HalfOpen {
+		b.state = Closed
+	}
+	b.failures = 0
+	b.probes = 0
+}
+
+// Failure reports that an allowed attempt failed.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		b.trip()
+	case Closed:
+		b.failures++
+		if b.failures >= b.threshold() {
+			b.trip()
+		}
+	}
+}
+
+// trip opens the circuit. Callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.now()
+	b.failures = 0
+	b.probes = 0
+}
+
+// Observe folds an operation result into the breaker: nil is a
+// Success, anything else a Failure. Handy as a one-line epilogue.
+func (b *Breaker) Observe(err error) {
+	if err == nil {
+		b.Success()
+	} else {
+		b.Failure()
+	}
+}
+
+// Do runs op under the breaker: refused immediately with ErrOpen when
+// the circuit is open, otherwise executed and its outcome recorded.
+func (b *Breaker) Do(ctx context.Context, op func(context.Context) error) error {
+	if err := b.Allow(); err != nil {
+		return err
+	}
+	err := op(ctx)
+	b.Observe(err)
+	return err
+}

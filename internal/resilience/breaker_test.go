@@ -1,0 +1,165 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"opinions/internal/simclock"
+)
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	clock := simclock.NewSim(simclock.Epoch)
+	b := &Breaker{FailureThreshold: 3, Cooldown: time.Minute, Clock: clock}
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker refused attempt %d: %v", i, err)
+		}
+		b.Failure()
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open after 3 failures", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open breaker allowed traffic (err=%v)", err)
+	}
+}
+
+func TestBreakerHalfOpenProbeAndRecovery(t *testing.T) {
+	clock := simclock.NewSim(simclock.Epoch)
+	b := &Breaker{FailureThreshold: 1, Cooldown: time.Minute, Clock: clock}
+	b.Allow()
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("did not open")
+	}
+	clock.Advance(61 * time.Second)
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open after cooldown", b.State())
+	}
+	// Only one probe fits.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open refused the probe: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("second concurrent probe allowed")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed after successful probe", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("recovered breaker refused traffic: %v", err)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clock := simclock.NewSim(simclock.Epoch)
+	b := &Breaker{FailureThreshold: 1, Cooldown: time.Minute, Clock: clock}
+	b.Allow()
+	b.Failure()
+	clock.Advance(2 * time.Minute)
+	if err := b.Allow(); err != nil {
+		t.Fatal("probe refused")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state = %v, want re-opened", b.State())
+	}
+	// The cooldown restarts from the re-open.
+	clock.Advance(30 * time.Second)
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("re-opened breaker allowed traffic before a full cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsFailureRun(t *testing.T) {
+	b := &Breaker{FailureThreshold: 3, Clock: simclock.NewSim(simclock.Epoch)}
+	for i := 0; i < 10; i++ {
+		b.Failure()
+		b.Failure()
+		b.Success() // never three in a row
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed (failures never consecutive)", b.State())
+	}
+}
+
+func TestBreakerDo(t *testing.T) {
+	clock := simclock.NewSim(simclock.Epoch)
+	b := &Breaker{FailureThreshold: 2, Cooldown: time.Minute, Clock: clock}
+	boom := errors.New("down")
+	op := func(context.Context) error { return boom }
+	for i := 0; i < 2; i++ {
+		if err := b.Do(context.Background(), op); !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if err := b.Do(context.Background(), op); !errors.Is(err, ErrOpen) {
+		t.Fatalf("err = %v, want ErrOpen without running op", err)
+	}
+	clock.Advance(2 * time.Minute)
+	ok := func(context.Context) error { return nil }
+	if err := b.Do(context.Background(), ok); err != nil {
+		t.Fatalf("probe failed: %v", err)
+	}
+	if b.State() != Closed {
+		t.Fatal("did not close after successful probe")
+	}
+}
+
+func TestHedgeFirstWins(t *testing.T) {
+	calls := 0
+	v, err := Hedge(context.Background(), time.Hour, func(context.Context) (int, error) {
+		calls++
+		return 7, nil
+	})
+	if err != nil || v != 7 {
+		t.Fatalf("got (%d, %v)", v, err)
+	}
+	if calls != 1 {
+		t.Fatalf("hedged a fast call: %d launches", calls)
+	}
+}
+
+func TestHedgeLaunchesSecondCopy(t *testing.T) {
+	release := make(chan struct{})
+	launches := make(chan int, 2)
+	var n atomic.Int32
+	v, err := Hedge(context.Background(), time.Millisecond, func(ctx context.Context) (int, error) {
+		id := int(n.Add(1))
+		launches <- id
+		if id == 1 {
+			// The first copy hangs until the test ends.
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return 0, ctx.Err()
+		}
+		return 42, nil
+	})
+	close(release)
+	if err != nil || v != 42 {
+		t.Fatalf("got (%d, %v)", v, err)
+	}
+	if len(launches) != 2 {
+		t.Fatalf("launches = %d, want 2", len(launches))
+	}
+}
+
+func TestHedgeSingleFailureReturnsWithoutHedging(t *testing.T) {
+	boom := errors.New("nope")
+	start := time.Now()
+	_, err := Hedge(context.Background(), time.Hour, func(context.Context) (int, error) {
+		return 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("waited for the hedge timer on a known-failed call")
+	}
+}

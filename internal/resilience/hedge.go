@@ -1,0 +1,70 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// Hedge runs op, and if it has not finished within delay, launches a
+// second concurrent copy; the first result to arrive wins and the
+// loser's context is cancelled. Hedging trades a little duplicate work
+// for a hard cut of the latency tail on read-only calls — never hedge
+// a non-idempotent operation.
+//
+// If both copies fail, the first error to arrive is returned.
+func Hedge[T any](ctx context.Context, delay time.Duration, op func(context.Context) (T, error)) (T, error) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type result struct {
+		v   T
+		err error
+	}
+	results := make(chan result, 2)
+	launch := func() {
+		v, err := op(hctx)
+		results <- result{v, err}
+	}
+
+	go launch()
+	inflight := 1
+
+	t := time.NewTimer(delay)
+	defer t.Stop()
+
+	var zero T
+	var firstErr error
+	for {
+		select {
+		case <-t.C:
+			if inflight == 1 {
+				go launch()
+				inflight++
+			}
+		case r := <-results:
+			if r.err == nil {
+				return r.v, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			inflight--
+			if inflight == 0 {
+				// Both copies failed — or the only copy failed before
+				// the hedge fired; don't hedge a call we already know
+				// fails.
+				return zero, firstErr
+			}
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+}
+
+// WithTimeout runs op with a context bounded by d — sugar for the
+// per-call deadline pattern.
+func WithTimeout(ctx context.Context, d time.Duration, op func(context.Context) error) error {
+	tctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	return op(tctx)
+}

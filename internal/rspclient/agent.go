@@ -53,6 +53,10 @@ type Config struct {
 	// MinInferenceEvidence is the evidence floor before inferring
 	// (default 3 interactions).
 	MinInferenceEvidence int
+	// SpoolPath, when set, backs the failed-upload spool with a file so
+	// undelivered uploads survive an app restart. Empty keeps the spool
+	// in memory only.
+	SpoolPath string
 }
 
 // Agent is one device. Construct with NewAgent, then Bootstrap.
@@ -66,6 +70,7 @@ type Agent struct {
 	detector *interaction.Detector
 	store    *history.ClientStore
 	mix      *anonymity.Mix
+	spool    *Spool
 	tokenKey *rsa.PublicKey
 	models   *inference.ModelSet
 
@@ -88,6 +93,13 @@ func NewAgent(cfg Config, transport Transport) *Agent {
 	for i := range ru {
 		ru[i] = byte(rng.Intn(256))
 	}
+	spool, err := NewSpool(cfg.SpoolPath)
+	if err != nil {
+		// A corrupt spool file must not brick the agent: start empty
+		// but keep the path so new uploads overwrite the bad file.
+		// Callers that need the error can construct via NewSpool first.
+		spool = &Spool{path: cfg.SpoolPath}
+	}
 	return &Agent{
 		cfg:       cfg,
 		transport: transport,
@@ -95,6 +107,7 @@ func NewAgent(cfg Config, transport Transport) *Agent {
 		rng:       rng,
 		store:     history.NewClientStore(cfg.Retention),
 		mix:       anonymity.NewMix(cfg.MixMin, cfg.MixMax, rng.Split("mix")),
+		spool:     spool,
 		optedOut:  make(map[string]bool),
 		inferred:  make(map[string]float64),
 	}
@@ -273,20 +286,31 @@ func abs(v float64) float64 {
 	return v
 }
 
-// FlushUploads delivers every upload whose mixing delay has elapsed,
-// acquiring a fresh blind token for each. Returns the number delivered.
-// Rate-limited token requests leave the upload queued for a later flush.
+// FlushUploads delivers every upload whose mixing delay has elapsed —
+// spooled leftovers from earlier failed flushes first — acquiring a
+// fresh blind token for each. Returns the number delivered.
+//
+// Failure never loses an upload. When token issuance is down or
+// rate-limited, the current upload and everything behind it go to the
+// spool and re-drain next flush. When an individual delivery fails
+// after its retries, that upload is spooled (tokenless; a fresh token
+// is fetched at redelivery) and the flush continues with the rest. The
+// first error is returned so callers can log it, but the agent
+// degrades by queueing, not by crashing or dropping.
 func (a *Agent) FlushUploads(now time.Time) (int, error) {
-	due := a.mix.Flush(now)
+	due := append(a.spool.TakeAll(), a.mix.Flush(now)...)
 	sent := 0
+	var firstErr error
 	for i, u := range due {
 		tok, err := a.fetchToken()
 		if err != nil {
-			// Requeue the remainder; tokens refill next period.
-			for _, rest := range due[i:] {
-				a.mix.Submit(rest, now)
+			// Token issuance is unavailable for this period; spool
+			// everything undelivered and try again next flush.
+			a.spool.PutAll(due[i:])
+			if firstErr == nil {
+				firstErr = fmt.Errorf("rspclient: acquiring token: %w", err)
 			}
-			return sent, fmt.Errorf("rspclient: acquiring token: %w", err)
+			return sent, firstErr
 		}
 		req := rspserver.UploadRequest{
 			AnonID: u.AnonID,
@@ -299,11 +323,15 @@ func (a *Agent) FlushUploads(now time.Time) (int, error) {
 			req.Record = &w
 		}
 		if err := a.transport.Upload(req); err != nil {
-			return sent, fmt.Errorf("rspclient: uploading: %w", err)
+			a.spool.Put(u)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("rspclient: uploading: %w", err)
+			}
+			continue
 		}
 		sent++
 	}
-	return sent, nil
+	return sent, firstErr
 }
 
 // fetchToken runs the blind-signature protocol once.
@@ -355,8 +383,13 @@ func (a *Agent) Correct(entityKey string) {
 	a.optedOut[entityKey] = true
 }
 
-// PendingUploads reports the size of the mixing queue.
-func (a *Agent) PendingUploads() int { return a.mix.Pending() }
+// PendingUploads reports the number of undelivered uploads: still in
+// the mixing queue or spooled after a failed delivery.
+func (a *Agent) PendingUploads() int { return a.mix.Pending() + a.spool.Len() }
+
+// SpooledUploads reports only the uploads held back by delivery
+// failures (past their mixing delay, awaiting redelivery).
+func (a *Agent) SpooledUploads() int { return a.spool.Len() }
 
 // SnapshotLen reports the number of records in the on-device snapshot.
 func (a *Agent) SnapshotLen() int { return a.store.Len() }

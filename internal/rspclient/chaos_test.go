@@ -1,0 +1,260 @@
+package rspclient
+
+// The chaos soak test: a device agent lives a simulated fortnight
+// against an RSP behind the fault injector — 20% injected 5xx, 5%
+// connection resets, 5% truncated bodies, and a token-issuance outage
+// in the middle of the run — and must finish with zero lost uploads.
+// This is the acceptance bar for the resilience layer: the paper's
+// "comprehensive repository" is only comprehensive if flaky mobile
+// networks don't silently eat opinions (§4.2).
+
+import (
+	"io"
+	"log"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"opinions/internal/faultinject"
+	"opinions/internal/resilience"
+	"opinions/internal/rspserver"
+	"opinions/internal/simclock"
+	"opinions/internal/stats"
+)
+
+func TestChaosSoakZeroLostUploads(t *testing.T) {
+	city, sim := testWorld(t)
+	srv := testServerFor(t, city)
+
+	inj := faultinject.New(faultinject.Config{
+		Seed:         7,
+		ErrorRate:    0.20,
+		ErrorBurst:   2,
+		ResetRate:    0.05,
+		TruncateRate: 0.05,
+	})
+	quiet := log.New(io.Discard, "", 0)
+	handler := rspserver.Chain(srv.Handler(),
+		rspserver.WithRecovery(quiet),
+		inj.Middleware,
+	)
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	// A patient retry policy with a deterministic jitter stream and no
+	// real sleeping: the soak exercises schedules, not wall clocks.
+	jitter := stats.NewRNG(3)
+	retry := &resilience.Policy{
+		MaxAttempts: 8,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    4 * time.Millisecond,
+		Jitter:      jitter.Float64,
+		Sleep:       func(time.Duration) {},
+	}
+	transport := &HTTPTransport{BaseURL: ts.URL, Retry: retry}
+
+	spoolPath := filepath.Join(t.TempDir(), "spool.json")
+	agent := NewAgent(Config{
+		DeviceID: "dev-chaos", Author: "uc", Seed: 11,
+		MixMax: time.Hour, SpoolPath: spoolPath,
+	}, transport)
+	if err := agent.Bootstrap(); err != nil {
+		t.Fatalf("bootstrap through chaos: %v", err)
+	}
+
+	u := city.Users[0]
+	totalDetected := 0
+	flushErrs := 0
+	for d := 0; d < sim.Days(); d++ {
+		for _, dl := range sim.SimulateDate(d) {
+			if dl.User != u.ID {
+				continue
+			}
+			res, err := agent.ProcessDay(dl)
+			// Interaction records are queued before review posting, so
+			// Detected is valid even when a review POST exhausted its
+			// retries; the day's opinions are already in the mix.
+			totalDetected += res.Detected
+			if err != nil {
+				t.Logf("day %d degraded: %v", d, err)
+			}
+		}
+		// Token issuance goes down for the middle of the run and the
+		// nightly flushes must degrade to spooling, not lose data.
+		if d == 5 {
+			inj.SetTokenOutage(true)
+		}
+		if d == 8 {
+			inj.SetTokenOutage(false)
+		}
+		night := sim.Start().AddDate(0, 0, d+1).Add(2 * time.Hour)
+		if _, err := agent.FlushUploads(night); err != nil {
+			flushErrs++
+			t.Logf("nightly flush %d degraded: %v", d, err)
+		}
+	}
+	if totalDetected == 0 {
+		t.Fatal("nothing detected; soak exercised nothing")
+	}
+	if s := inj.Stats(); s.Errors == 0 || s.Resets == 0 || s.TokenRefusals == 0 {
+		t.Fatalf("fault mix did not fire: %+v", s)
+	}
+
+	// Drain: keep flushing past the mixing window until the spool and
+	// mix are empty. Bounded so a delivery bug fails instead of hanging.
+	drainAt := sim.Start().AddDate(0, 0, sim.Days()+1)
+	for i := 0; agent.PendingUploads() > 0; i++ {
+		if i >= 50 {
+			t.Fatalf("spool not drained after %d extra flushes: %d pending (%d spooled)",
+				i, agent.PendingUploads(), agent.SpooledUploads())
+		}
+		if _, err := agent.FlushUploads(drainAt); err != nil {
+			t.Logf("drain flush degraded: %v", err)
+		}
+		drainAt = drainAt.Add(time.Hour)
+	}
+
+	// Zero lost uploads: every detected record made it into the
+	// server's anonymous history store, exactly once — injected faults
+	// fire instead of the handler, so a failed delivery has no
+	// server-side effect and a retried one cannot double-count.
+	_, _, hists := srv.Stores()
+	if got := hists.Stats().Records; got != totalDetected {
+		t.Fatalf("server has %d records, agent detected %d — %d uploads lost",
+			got, totalDetected, totalDetected-got)
+	}
+	if agent.SpooledUploads() != 0 {
+		t.Fatalf("%d uploads stuck in the spool", agent.SpooledUploads())
+	}
+	if flushErrs == 0 {
+		t.Fatal("no flush ever degraded; the outage window did not bite")
+	}
+}
+
+// TestChaosSpoolSurvivesRestart reboots the agent mid-outage: uploads
+// spooled by the first process must drain from the second.
+func TestChaosSpoolSurvivesRestart(t *testing.T) {
+	city, sim := testWorld(t)
+	srv := testServerFor(t, city)
+	inj := faultinject.New(faultinject.Config{Seed: 1, TokenOutage: true})
+	ts := httptest.NewServer(inj.Middleware(srv.Handler()))
+	defer ts.Close()
+
+	retry := &resilience.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, Sleep: func(time.Duration) {}}
+	spoolPath := filepath.Join(t.TempDir(), "spool.json")
+	mkAgent := func() *Agent {
+		// Same seed: the reborn agent derives the same Ru, so its
+		// anonymous IDs still line up with the spooled uploads.
+		return NewAgent(Config{
+			DeviceID: "dev-r", Author: "ur", Seed: 21,
+			MixMax: time.Minute, SpoolPath: spoolPath,
+		}, &HTTPTransport{BaseURL: ts.URL, Retry: retry})
+	}
+
+	a1 := mkAgent()
+	if err := a1.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	u := city.Users[2]
+	for d := 0; d < 5; d++ {
+		for _, dl := range sim.SimulateDate(d) {
+			if dl.User == u.ID {
+				_, _ = a1.ProcessDay(dl)
+			}
+		}
+	}
+	flushAt := sim.Start().AddDate(0, 0, 6)
+	if _, err := a1.FlushUploads(flushAt); err == nil {
+		t.Fatal("flush during a token outage reported success")
+	}
+	spooled := a1.SpooledUploads()
+	if spooled == 0 {
+		t.Skip("user produced no uploads in 5 days")
+	}
+
+	// "Restart": a fresh agent process on the same spool file, after
+	// the outage clears.
+	inj.SetTokenOutage(false)
+	a2 := mkAgent()
+	if err := a2.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	if a2.SpooledUploads() != spooled {
+		t.Fatalf("restart recovered %d spooled uploads, want %d", a2.SpooledUploads(), spooled)
+	}
+	sent, err := a2.FlushUploads(flushAt)
+	if err != nil {
+		t.Fatalf("post-restart drain: %v", err)
+	}
+	if sent != spooled {
+		t.Fatalf("drained %d, want %d", sent, spooled)
+	}
+	_, _, hists := srv.Stores()
+	if hists.Stats().Records == 0 {
+		t.Fatal("server stored nothing after the drain")
+	}
+}
+
+// TestFlushDegradesWhenServerDown: with the RSP entirely unreachable,
+// a flush must queue everything and report the failure — not crash,
+// not lose.
+func TestFlushDegradesWhenServerDown(t *testing.T) {
+	city, sim := testWorld(t)
+	srv := testServerFor(t, city)
+
+	// Bootstrap against a live server, then yank it away.
+	ts := httptest.NewServer(srv.Handler())
+	retry := &resilience.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, Sleep: func(time.Duration) {}}
+	agent := NewAgent(Config{DeviceID: "dev-down", Author: "ud", Seed: 31, MixMax: time.Minute},
+		&HTTPTransport{BaseURL: ts.URL, Retry: retry})
+	if err := agent.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	u := city.Users[3]
+	for d := 0; d < 5; d++ {
+		for _, dl := range sim.SimulateDate(d) {
+			if dl.User == u.ID {
+				_, _ = agent.ProcessDay(dl)
+			}
+		}
+	}
+	pending := agent.PendingUploads()
+	if pending == 0 {
+		t.Skip("no uploads produced")
+	}
+	ts.Close()
+
+	flushAt := sim.Start().AddDate(0, 0, 6)
+	sent, err := agent.FlushUploads(flushAt)
+	if err == nil {
+		t.Fatal("flush against a dead server reported success")
+	}
+	if sent != 0 {
+		t.Fatalf("sent = %d against a dead server", sent)
+	}
+	if agent.PendingUploads() != pending {
+		t.Fatalf("pending %d → %d: uploads lost to a dead server", pending, agent.PendingUploads())
+	}
+}
+
+// TestTransportBreakerFailsFast: with a breaker installed, repeated
+// failures open the circuit and subsequent calls are refused without
+// touching the network.
+func TestTransportBreakerFailsFast(t *testing.T) {
+	clock := simclock.NewSim(simclock.Epoch)
+	br := &resilience.Breaker{FailureThreshold: 2, Cooldown: time.Minute, Clock: clock}
+	retry := &resilience.Policy{MaxAttempts: 1}
+	tr := &HTTPTransport{BaseURL: "http://127.0.0.1:1", Retry: retry, Breaker: br}
+	for i := 0; i < 2; i++ {
+		if _, err := tr.FetchDirectory(); err == nil {
+			t.Fatal("dead server served a directory")
+		}
+	}
+	if br.State() != resilience.Open {
+		t.Fatalf("breaker state = %v after %d failures", br.State(), 2)
+	}
+	if _, err := tr.FetchDirectory(); err == nil {
+		t.Fatal("open breaker allowed a call")
+	}
+}

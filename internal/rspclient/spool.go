@@ -1,0 +1,129 @@
+package rspclient
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"opinions/internal/anonymity"
+	"opinions/internal/blindsig"
+)
+
+// Spool is the agent's durable holding area for uploads that cleared
+// the mixing window but could not be delivered — the RSP was down,
+// token issuance was out, the radio dropped. Spooled uploads re-drain
+// on the next flush tick instead of being lost, which is what makes
+// the repository's coverage claim survive real networks: §4.2's "upload
+// all of its inferences asynchronously" silently assumes the uploads
+// eventually arrive.
+//
+// With a backing path the spool persists across process restarts
+// (written atomically on every mutation: temp file + rename). Tokens
+// are never spooled — a fresh blind token is acquired at delivery time,
+// so a spool file leaks nothing a captured device would not already
+// reveal, and never wastes issued tokens.
+type Spool struct {
+	mu    sync.Mutex
+	path  string
+	items []anonymity.Upload
+}
+
+// NewSpool returns an in-memory spool (path "") or a durable one backed
+// by path. An existing well-formed file is loaded; a missing file is an
+// empty spool; a corrupt file is an error.
+func NewSpool(path string) (*Spool, error) {
+	s := &Spool{path: path}
+	if path == "" {
+		return s, nil
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("rspclient: reading spool %s: %w", path, err)
+	}
+	if len(data) > 0 {
+		if err := json.Unmarshal(data, &s.items); err != nil {
+			return nil, fmt.Errorf("rspclient: corrupt spool %s: %w", path, err)
+		}
+	}
+	// Spooled entries must never carry tokens (see type comment); clear
+	// any a hand-edited file might hold.
+	for i := range s.items {
+		s.items[i].Token = blindsig.Token{}
+	}
+	return s, nil
+}
+
+// Put appends one upload and persists.
+func (s *Spool) Put(u anonymity.Upload) {
+	s.PutAll([]anonymity.Upload{u})
+}
+
+// PutAll appends uploads and persists. Tokens are stripped; delivery
+// always acquires fresh ones.
+func (s *Spool) PutAll(us []anonymity.Upload) {
+	if len(us) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, u := range us {
+		u.Token = blindsig.Token{}
+		s.items = append(s.items, u)
+	}
+	s.persistLocked()
+}
+
+// TakeAll removes and returns everything spooled, persisting the now
+// empty state. The caller owns delivery; anything it cannot deliver it
+// must Put back.
+func (s *Spool) TakeAll() []anonymity.Upload {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.items
+	s.items = nil
+	s.persistLocked()
+	return out
+}
+
+// Len reports the number of spooled uploads.
+func (s *Spool) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+// persistLocked writes the spool atomically. Callers hold s.mu.
+// Persistence is best-effort: a write failure (disk full, read-only
+// FS) degrades to in-memory durability rather than crashing the agent.
+func (s *Spool) persistLocked() {
+	if s.path == "" {
+		return
+	}
+	data, err := json.Marshal(s.items)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(s.path), ".spool-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, s.path); err != nil {
+		os.Remove(name)
+	}
+}

@@ -1,0 +1,136 @@
+package rspclient
+
+import (
+	"math/big"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"opinions/internal/anonymity"
+	"opinions/internal/blindsig"
+	"opinions/internal/interaction"
+)
+
+func sampleUploads() []anonymity.Upload {
+	rating := 4.5
+	return []anonymity.Upload{
+		{AnonID: "anon-1", Entity: "yelp/a", Record: &interaction.Record{
+			Entity: "yelp/a", Kind: interaction.VisitKind,
+			Start: time.Date(2016, 3, 1, 12, 0, 0, 0, time.UTC), Duration: 40 * time.Minute,
+		}},
+		{AnonID: "anon-2", Entity: "yelp/b", Rating: &rating},
+	}
+}
+
+func TestSpoolInMemoryPutTake(t *testing.T) {
+	s, err := NewSpool("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PutAll(sampleUploads())
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+	got := s.TakeAll()
+	if len(got) != 2 || s.Len() != 0 {
+		t.Fatalf("take returned %d, left %d", len(got), s.Len())
+	}
+	if got[0].AnonID != "anon-1" || got[1].Entity != "yelp/b" {
+		t.Fatalf("order not preserved: %+v", got)
+	}
+	if got[1].Rating == nil || *got[1].Rating != 4.5 {
+		t.Fatal("rating lost")
+	}
+}
+
+func TestSpoolSurvivesRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spool.json")
+	s, err := NewSpool(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PutAll(sampleUploads())
+
+	// A second spool on the same path — the app restarting — sees the
+	// undelivered uploads.
+	s2, err := NewSpool(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s2.TakeAll()
+	if len(got) != 2 {
+		t.Fatalf("restart recovered %d uploads, want 2", len(got))
+	}
+	if got[0].Record == nil || got[0].Record.Kind != interaction.VisitKind {
+		t.Fatalf("record did not round-trip: %+v", got[0].Record)
+	}
+	if got[1].Rating == nil || *got[1].Rating != 4.5 {
+		t.Fatal("rating did not round-trip")
+	}
+
+	// TakeAll persisted the empty state: a third open sees nothing.
+	s3, err := NewSpool(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Len() != 0 {
+		t.Fatalf("drained spool reloaded %d items", s3.Len())
+	}
+}
+
+func TestSpoolStripsTokens(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spool.json")
+	s, err := NewSpool(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := sampleUploads()[0]
+	u.Token = blindsig.Token{Msg: []byte("secret"), Sig: big.NewInt(42)}
+	s.Put(u)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) == "" {
+		t.Fatal("nothing persisted")
+	}
+	s2, err := NewSpool(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s2.TakeAll()
+	if len(got) != 1 {
+		t.Fatal("lost the upload")
+	}
+	if got[0].Token.Msg != nil || got[0].Token.Sig != nil {
+		t.Fatalf("token leaked into the spool: %+v", got[0].Token)
+	}
+}
+
+func TestSpoolMissingFileIsEmpty(t *testing.T) {
+	s, err := NewSpool(filepath.Join(t.TempDir(), "never-written.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatal("phantom items")
+	}
+}
+
+func TestSpoolCorruptFileErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spool.json")
+	if err := os.WriteFile(path, []byte(`{"not":"a list`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSpool(path); err == nil {
+		t.Fatal("corrupt spool accepted")
+	}
+	// The agent constructor degrades to an empty spool on the same
+	// path instead of failing.
+	a := NewAgent(Config{DeviceID: "d", Seed: 1, SpoolPath: path}, &HTTPTransport{})
+	if a.SpooledUploads() != 0 {
+		t.Fatal("agent inherited corrupt state")
+	}
+}

@@ -2,6 +2,7 @@ package rspclient
 
 import (
 	"bytes"
+	"context"
 	"crypto/rsa"
 	"encoding/hex"
 	"encoding/json"
@@ -10,10 +11,12 @@ import (
 	"io"
 	"math/big"
 	"net/http"
+	"time"
 
 	"opinions/internal/attest"
 	"opinions/internal/geo"
 	"opinions/internal/inference"
+	"opinions/internal/resilience"
 	"opinions/internal/reviews"
 	"opinions/internal/rspserver"
 	"opinions/internal/simclock"
@@ -46,31 +49,128 @@ type Transport interface {
 // ErrNoModel indicates the server has no trained model yet.
 var ErrNoModel = errors.New("rspclient: server has no model")
 
-// HTTPTransport talks to an RSP over its HTTP API.
+// DefaultRetry is the retry schedule HTTPTransport uses when none is
+// configured: 4 attempts, 100ms jittered exponential backoff, 10s per
+// attempt. A phone on a flaky mobile link recovers from transient 5xx,
+// resets, and garbled bodies without user-visible failure.
+var DefaultRetry = resilience.Policy{
+	MaxAttempts:       4,
+	BaseDelay:         100 * time.Millisecond,
+	MaxDelay:          5 * time.Second,
+	PerAttemptTimeout: 10 * time.Second,
+}
+
+// defaultHTTPClient bounds whole-call time even when the caller supplied
+// no client — http.DefaultClient's zero timeout would hang forever on a
+// stalled connection.
+var defaultHTTPClient = &http.Client{Timeout: 30 * time.Second}
+
+// HTTPTransport talks to an RSP over its HTTP API, retrying transient
+// failures (network errors, 5xx, 429, malformed bodies) under a
+// resilience.Policy. 4xx responses are permanent and surface
+// immediately.
 type HTTPTransport struct {
 	// BaseURL is the server root, e.g. "http://localhost:8080".
 	BaseURL string
-	// Client defaults to http.DefaultClient.
+	// Client defaults to a client with a 30s overall timeout.
 	Client *http.Client
+	// Retry overrides DefaultRetry. Set &resilience.Policy{MaxAttempts: 1}
+	// for single-shot behaviour.
+	Retry *resilience.Policy
+	// Breaker, when set, fails calls fast while the RSP is down instead
+	// of burning the device's radio on retries.
+	Breaker *resilience.Breaker
 }
 
 func (t *HTTPTransport) client() *http.Client {
 	if t.Client != nil {
 		return t.Client
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
+}
+
+func (t *HTTPTransport) retry() resilience.Policy {
+	if t.Retry != nil {
+		return *t.Retry
+	}
+	return DefaultRetry
+}
+
+// drainClose consumes what remains of a response body before closing so
+// the connection returns to the keep-alive pool, on success and error
+// paths alike.
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, 1<<20))
+	_ = body.Close()
+}
+
+// transientStatus reports whether a response status is worth retrying.
+func transientStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// roundTrip performs one HTTP exchange with retries: GET when body is
+// nil, POST otherwise. The request body is marshalled once and replayed
+// per attempt; the response decodes into out when non-nil.
+func (t *HTTPTransport) roundTrip(method, path string, body []byte, out any) error {
+	op := func(ctx context.Context) error {
+		var reader io.Reader
+		if body != nil {
+			reader = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, t.BaseURL+path, reader)
+		if err != nil {
+			return resilience.Permanent(err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := t.client().Do(req)
+		if err != nil {
+			return err
+		}
+		defer drainClose(resp.Body)
+		if resp.StatusCode >= 300 {
+			err := httpError(resp)
+			if !transientStatus(resp.StatusCode) {
+				return resilience.Permanent(err)
+			}
+			return err
+		}
+		// The API answers every 2xx with a JSON body. Parse it even when
+		// the caller ignores it: a body that does not parse means the
+		// response was truncated or garbled in flight, and treating it
+		// as success would count an undelivered upload as delivered.
+		target := out
+		if target == nil {
+			var sink json.RawMessage
+			target = &sink
+		}
+		if err := json.NewDecoder(resp.Body).Decode(target); err != nil {
+			// A truncated or garbled body is a transport fault: retry
+			// it like any other flaky-network symptom.
+			return fmt.Errorf("rspclient: decoding %s: %w", path, err)
+		}
+		return nil
+	}
+	if t.Breaker != nil {
+		guarded := op
+		op = func(ctx context.Context) error {
+			if err := t.Breaker.Allow(); err != nil {
+				// An open circuit fails fast; retrying inside the
+				// cooldown is pointless.
+				return resilience.Permanent(err)
+			}
+			err := guarded(ctx)
+			t.Breaker.Observe(err)
+			return err
+		}
+	}
+	return t.retry().Do(context.Background(), op)
 }
 
 func (t *HTTPTransport) getJSON(path string, out any) error {
-	resp, err := t.client().Get(t.BaseURL + path)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		return httpError(resp)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return t.roundTrip(http.MethodGet, path, nil, out)
 }
 
 func (t *HTTPTransport) postJSON(path string, body, out any) error {
@@ -78,18 +178,7 @@ func (t *HTTPTransport) postJSON(path string, body, out any) error {
 	if err != nil {
 		return err
 	}
-	resp, err := t.client().Post(t.BaseURL+path, "application/json", bytes.NewReader(buf))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		return httpError(resp)
-	}
-	if out != nil {
-		return json.NewDecoder(resp.Body).Decode(out)
-	}
-	return nil
+	return t.roundTrip(http.MethodPost, path, buf, out)
 }
 
 func httpError(resp *http.Response) error {

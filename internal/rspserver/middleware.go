@@ -1,9 +1,12 @@
 package rspserver
 
 import (
+	"errors"
 	"log"
 	"net"
 	"net/http"
+	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
 
@@ -26,12 +29,34 @@ func Chain(h http.Handler, mws ...Middleware) http.Handler {
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(code)
 }
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(p)
+}
+
+// Flush forwards to the underlying writer so streaming handlers keep
+// working through the logging wrapper. Embedding the ResponseWriter
+// interface alone would hide optional interfaces like http.Flusher
+// from type assertions.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the wrapped writer per the Go 1.20
+// http.ResponseController convention, so controllers reach the real
+// connection for deadlines, hijacking, and flushing.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // WithLogging logs one line per request: method, path, status, latency,
 // remote host. Logger defaults to the standard logger.
@@ -51,6 +76,79 @@ func WithLogging(logger *log.Logger) Middleware {
 			}
 			l.Printf("%s %s %d %s %s", r.Method, r.URL.Path, rec.status,
 				time.Since(start).Round(time.Microsecond), host)
+		})
+	}
+}
+
+// WithRecovery converts handler panics into a logged 500 instead of
+// killing the connection (and, for an unrecovered panic in the only
+// serving goroutine, the process). http.ErrAbortHandler is re-panicked
+// — it is the sanctioned way to abort a response mid-flight, and both
+// net/http and the fault injector rely on it propagating.
+func WithRecovery(logger *log.Logger) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+			defer func() {
+				p := recover()
+				if p == nil {
+					return
+				}
+				if p == http.ErrAbortHandler {
+					panic(p)
+				}
+				l := logger
+				if l == nil {
+					l = log.Default()
+				}
+				l.Printf("rspserver: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				if !rec.wrote {
+					writeErr(rec, http.StatusInternalServerError, errors.New("internal server error"))
+				}
+			}()
+			next.ServeHTTP(rec, r)
+		})
+	}
+}
+
+// WithTimeout bounds each request's total handler time, answering 503
+// with a JSON error when it elapses. It shields the server from slow
+// handlers and slow-reading clients alike; handlers that stream should
+// be mounted outside this middleware (the buffering wrapper does not
+// support Flush).
+func WithTimeout(d time.Duration) Middleware {
+	return func(next http.Handler) http.Handler {
+		if d <= 0 {
+			return next
+		}
+		return http.TimeoutHandler(next, d, `{"error":"request timed out"}`)
+	}
+}
+
+// WithMaxInFlight sheds load beyond n concurrently served requests,
+// answering 503 with a Retry-After hint instead of queueing without
+// bound — under overload a fast, honest "come back later" keeps tail
+// latency bounded and lets well-behaved clients (whose resilience
+// policies honour Retry-After-ish backoff) spread themselves out.
+func WithMaxInFlight(n int, retryAfter time.Duration) Middleware {
+	return func(next http.Handler) http.Handler {
+		if n <= 0 {
+			return next
+		}
+		sem := make(chan struct{}, n)
+		secs := int(retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+				next.ServeHTTP(w, r)
+			default:
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				writeErr(w, http.StatusServiceUnavailable, errors.New("server overloaded, retry later"))
+			}
 		})
 	}
 }

@@ -2,6 +2,8 @@ package rspserver
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
 	"log"
 	"net/http"
 	"net/http/httptest"
@@ -95,5 +97,169 @@ func TestRateLimitedFullServer(t *testing.T) {
 	}
 	if resp := getJSON(t, ts.URL+"/api/meta", nil); resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+}
+
+// flushRecorder is a ResponseWriter that records Flush calls — the
+// underlying writer a streaming handler needs to reach through the
+// logging wrapper.
+type flushRecorder struct {
+	http.ResponseWriter
+	flushes int
+}
+
+func (f *flushRecorder) Flush() { f.flushes++ }
+
+// TestStatusRecorderForwardsFlusher is the regression test for the
+// wrapped-handler interface loss: a handler behind WithLogging must
+// still see http.Flusher and reach the real writer.
+func TestStatusRecorderForwardsFlusher(t *testing.T) {
+	under := &flushRecorder{ResponseWriter: httptest.NewRecorder()}
+	var sawFlusher bool
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		sawFlusher = ok
+		if ok {
+			f.Flush()
+		}
+	}), WithLogging(log.New(io.Discard, "", 0)))
+	h.ServeHTTP(under, httptest.NewRequest(http.MethodGet, "/", nil))
+	if !sawFlusher {
+		t.Fatal("handler behind WithLogging lost http.Flusher")
+	}
+	if under.flushes != 1 {
+		t.Fatalf("underlying writer flushed %d times, want 1", under.flushes)
+	}
+}
+
+// TestStatusRecorderUnwrap checks the Go 1.20 ResponseController path:
+// Unwrap must expose the real writer so controllers can flush through
+// any depth of wrapping.
+func TestStatusRecorderUnwrap(t *testing.T) {
+	under := &flushRecorder{ResponseWriter: httptest.NewRecorder()}
+	rec := &statusRecorder{ResponseWriter: under}
+	if got := rec.Unwrap(); got != http.ResponseWriter(under) {
+		t.Fatalf("Unwrap = %T, want the wrapped writer", got)
+	}
+	if err := http.NewResponseController(rec).Flush(); err != nil {
+		t.Fatalf("ResponseController.Flush through statusRecorder: %v", err)
+	}
+	if under.flushes != 1 {
+		t.Fatalf("flushes = %d, want 1", under.flushes)
+	}
+}
+
+func TestStatusRecorderFlushToleratesNonFlusher(t *testing.T) {
+	rec := &statusRecorder{ResponseWriter: nonFlusher{}}
+	rec.Flush() // must not panic
+}
+
+type nonFlusher struct{}
+
+func (nonFlusher) Header() http.Header         { return http.Header{} }
+func (nonFlusher) Write(p []byte) (int, error) { return len(p), nil }
+func (nonFlusher) WriteHeader(int)             {}
+
+func TestWithRecoveryTurnsPanicInto500(t *testing.T) {
+	var buf bytes.Buffer
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	}), WithRecovery(log.New(&buf, "", 0)))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("panic killed the connection: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(buf.String(), "kaboom") {
+		t.Fatal("panic value not logged")
+	}
+	// The server survives to serve the next request.
+	resp2, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+}
+
+func TestWithRecoveryRepanicsAbortHandler(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	})
+	h := Chain(inner, WithRecovery(log.New(io.Discard, "", 0)))
+	defer func() {
+		if p := recover(); p != http.ErrAbortHandler {
+			t.Fatalf("recovered %v, want re-panicked ErrAbortHandler", p)
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	t.Fatal("ErrAbortHandler was swallowed")
+}
+
+func TestWithTimeoutSheds(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}), WithTimeout(20*time.Millisecond))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 on timeout", resp.StatusCode)
+	}
+}
+
+func TestWithMaxInFlightSheds(t *testing.T) {
+	enter := make(chan struct{})
+	release := make(chan struct{})
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		enter <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}), WithMaxInFlight(1, 7*time.Second))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(ts.URL)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	<-enter // the slot is taken
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 shed", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "7" {
+		t.Fatalf("Retry-After = %q, want \"7\"", ra)
+	}
+	var e ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("shed response not a JSON error (err=%v, body=%+v)", err, e)
+	}
+
+	close(release)
+	if err := <-errc; err != nil {
+		t.Fatalf("in-flight request failed: %v", err)
 	}
 }
