@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test race vet fmt verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# verify is the full pre-merge gate: build + vet + tests + race tests +
+# gofmt cleanliness.
+verify:
+	sh scripts/verify.sh

@@ -13,6 +13,8 @@
 package anonymity
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"sort"
 	"time"
 
@@ -23,8 +25,8 @@ import (
 
 // Upload is one item in flight to the RSP on an anonymous channel: a
 // detected interaction record, an inferred opinion, or both. It carries
-// the anonymous history ID, the entity, a one-time upload token — and
-// deliberately nothing else.
+// the anonymous history ID, the entity, a one-time upload token, an
+// idempotency key — and deliberately nothing else.
 type Upload struct {
 	AnonID string
 	Entity string
@@ -34,6 +36,29 @@ type Upload struct {
 	// Rating is an inferred opinion in [0, 5] (nil for record uploads).
 	Rating *float64
 	Token  blindsig.Token
+	// Key is the upload's idempotency key, stamped once at creation and
+	// kept stable across retries, spooling, and process restarts, so the
+	// server can recognize a redelivery of an already-applied upload and
+	// not count the opinion twice. It is fresh randomness — unlinkable to
+	// the device, the entity, or any other upload — so it leaks nothing
+	// beyond the AnonID it travels with.
+	Key string
+}
+
+// NewUploadKey draws a fresh idempotency key. Keys must be globally
+// unique across process restarts, so they come from crypto/rand rather
+// than the agent's deterministic stream: a reseeded RNG would reissue
+// the first process's keys and the server would silently drop the
+// second process's genuinely new uploads as replays.
+func NewUploadKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; an empty key
+		// degrades to pre-idempotency (at-least-once) behaviour rather
+		// than panicking the agent.
+		return ""
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Mix delays and shuffles uploads. Each submitted upload is assigned a
@@ -98,6 +123,19 @@ func (m *Mix) Flush(now time.Time) []Upload {
 
 // Pending returns the number of queued uploads.
 func (m *Mix) Pending() int { return len(m.pending) }
+
+// Drain returns every queued upload regardless of remaining delay, in
+// shuffled order, emptying the queue. Agents about to terminate use it
+// to hand the queue to durable storage instead of losing it.
+func (m *Mix) Drain() []Upload {
+	out := make([]Upload, len(m.pending))
+	for i, p := range m.pending {
+		out[i] = p.u
+	}
+	m.pending = nil
+	m.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
 
 // ---------------------------------------------------------------------
 // Linkage adversary (evaluation harness, not a system component).

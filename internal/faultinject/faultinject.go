@@ -5,12 +5,13 @@
 // as both an http.RoundTripper (client-side faults) and a server
 // middleware (service-side faults).
 //
-// Faults are injected *instead of* running the wrapped handler or
+// Most faults are injected *instead of* running the wrapped handler or
 // request, never after it, so an injected failure has no server-side
-// effects. That property is what lets the chaos soak test account for
-// uploads exactly: a faulted upload was provably not stored, so a
-// client that retries until success loses nothing and duplicates
-// nothing.
+// effects and the chaos soak can account for uploads exactly. The one
+// deliberate exception is TruncateAppliedRate: the handler RUNS and its
+// effects stand, but the response is cut off mid-body — the
+// applied-but-unacknowledged case that breaks naive retry accounting
+// and that the exactly-once upload ledger exists to absorb.
 //
 // All randomness flows from one seeded RNG behind a mutex, so a
 // single-threaded client driving the injector sees the same fault
@@ -19,6 +20,7 @@ package faultinject
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
@@ -43,8 +45,14 @@ type Config struct {
 	// next ErrorBurst-1 requests fail too (default 1 = independent).
 	ErrorBurst int
 	// TruncateRate is the probability of answering 200 with a
-	// truncated, unparseable JSON body.
+	// truncated, unparseable JSON body. The handler does NOT run.
 	TruncateRate float64
+	// TruncateAppliedRate is the probability of running the real
+	// handler — its effects stand — and then truncating the response
+	// body so the client cannot tell the request was applied. This is
+	// the fault that turns at-least-once retry into duplicates unless
+	// the server deduplicates by idempotency key.
+	TruncateAppliedRate float64
 	// LatencyMin/LatencyMax bound a uniform injected delay added to
 	// every request (zero = none).
 	LatencyMin, LatencyMax time.Duration
@@ -55,12 +63,13 @@ type Config struct {
 
 // Stats counts injected faults.
 type Stats struct {
-	Requests      int
-	Resets        int
-	Errors        int
-	Truncations   int
-	TokenRefusals int
-	Delayed       int
+	Requests           int
+	Resets             int
+	Errors             int
+	Truncations        int
+	TruncationsApplied int
+	TokenRefusals      int
+	Delayed            int
 }
 
 // Injector decides, per request, which fault (if any) to inject.
@@ -106,6 +115,7 @@ const (
 	faultReset
 	faultError
 	faultTruncate
+	faultTruncateApplied
 	faultTokenRefusal
 )
 
@@ -149,6 +159,10 @@ func (in *Injector) decide(isToken bool) (fault, time.Duration) {
 		in.stats.Truncations++
 		return faultTruncate, delay
 	}
+	if in.cfg.TruncateAppliedRate > 0 && in.rng.Float64() < in.cfg.TruncateAppliedRate {
+		in.stats.TruncationsApplied++
+		return faultTruncateApplied, delay
+	}
 	return faultNone, delay
 }
 
@@ -187,10 +201,50 @@ func (in *Injector) Middleware(next http.Handler) http.Handler {
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusOK)
 			_, _ = w.Write([]byte(truncatedBody))
+		case faultTruncateApplied:
+			// Run the real handler against a buffer, keep its effects,
+			// then forward the true status with only a prefix of the
+			// body — the client sees an unparseable success.
+			rec := &bufferedResponse{header: make(http.Header), status: http.StatusOK}
+			next.ServeHTTP(rec, r)
+			for k, vs := range rec.header {
+				for _, v := range vs {
+					w.Header().Add(k, v)
+				}
+			}
+			w.WriteHeader(rec.status)
+			_, _ = w.Write(truncate(rec.body))
 		default:
 			next.ServeHTTP(w, r)
 		}
 	})
+}
+
+// bufferedResponse captures a handler's response so the injector can
+// forward a truncated copy after the handler has fully run.
+type bufferedResponse struct {
+	header http.Header
+	status int
+	body   []byte
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(status int) { b.status = status }
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	b.body = append(b.body, p...)
+	return len(p), nil
+}
+
+// truncate cuts a body roughly in half, guaranteeing the result is a
+// strict prefix (and therefore unparseable JSON for any object/array
+// body the API produces).
+func truncate(body []byte) []byte {
+	if len(body) < 2 {
+		return nil
+	}
+	return body[:len(body)/2]
 }
 
 // resetError is the client-side stand-in for a connection reset.
@@ -254,6 +308,19 @@ func (t *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
 			req.Body.Close()
 		}
 		return synthesize(http.StatusOK, truncatedBody), nil
+	case faultTruncateApplied:
+		// Deliver the request for real, then lose most of the response
+		// in "transit": the server applied it, the client cannot tell.
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		cut := truncate(body)
+		resp.Body = stringBody(string(cut))
+		resp.ContentLength = int64(len(cut))
+		return resp, nil
 	default:
 		return t.base.RoundTrip(req)
 	}

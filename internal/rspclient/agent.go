@@ -192,6 +192,11 @@ func (a *Agent) ProcessDay(day trace.DayLog) (DayResult, error) {
 			AnonID: history.AnonID(a.ru, r.Entity),
 			Entity: r.Entity,
 			Record: &rec,
+			// The idempotency key is stamped once here, at creation; it
+			// rides through the mix, the wire, and the spool unchanged,
+			// so every delivery attempt of this upload is recognizably
+			// the same upload to the server.
+			Key: anonymity.NewUploadKey(),
 		}, r.Start)
 	}
 	res.Detected = len(recs)
@@ -273,6 +278,7 @@ func (a *Agent) InferOpinions(now time.Time) int {
 			AnonID: history.AnonID(a.ru, key),
 			Entity: key,
 			Rating: &r,
+			Key:    anonymity.NewUploadKey(),
 		}, now)
 		queued++
 	}
@@ -302,6 +308,13 @@ func (a *Agent) FlushUploads(now time.Time) (int, error) {
 	sent := 0
 	var firstErr error
 	for i, u := range due {
+		if u.Key == "" {
+			// Uploads spooled by a pre-idempotency build carry no key;
+			// stamp one now so this and every later delivery attempt of
+			// the entry share it.
+			u.Key = anonymity.NewUploadKey()
+			due[i] = u
+		}
 		tok, err := a.fetchToken()
 		if err != nil {
 			// Token issuance is unavailable for this period; spool
@@ -317,6 +330,7 @@ func (a *Agent) FlushUploads(now time.Time) (int, error) {
 			Entity: u.Entity,
 			Rating: u.Rating,
 			Token:  rspserver.FromToken(tok),
+			Key:    u.Key,
 		}
 		if u.Record != nil {
 			w := rspserver.FromRecord(*u.Record)
@@ -381,6 +395,18 @@ func (a *Agent) Correct(entityKey string) {
 	a.store.Forget(entityKey)
 	delete(a.inferred, entityKey)
 	a.optedOut[entityKey] = true
+}
+
+// Suspend moves every upload still waiting in the mixing queue into the
+// durable spool — the app's "about to be killed" hook. Spooled entries
+// skip the remainder of their mixing delay on redelivery, a deliberate
+// trade: across a restart, durability (and the exactly-once accounting
+// that the idempotency keys provide) outranks the last hours of timing
+// smear. Returns the number of uploads moved.
+func (a *Agent) Suspend() int {
+	pending := a.mix.Drain()
+	a.spool.PutAll(pending)
+	return len(pending)
 }
 
 // PendingUploads reports the number of undelivered uploads: still in

@@ -2,11 +2,13 @@ package rspclient
 
 // The chaos soak test: a device agent lives a simulated fortnight
 // against an RSP behind the fault injector — 20% injected 5xx, 5%
-// connection resets, 5% truncated bodies, and a token-issuance outage
-// in the middle of the run — and must finish with zero lost uploads.
-// This is the acceptance bar for the resilience layer: the paper's
-// "comprehensive repository" is only comprehensive if flaky mobile
-// networks don't silently eat opinions (§4.2).
+// connection resets, 5% truncated bodies, 5% applied-then-truncated
+// responses, a token-issuance outage in the middle of the run, and one
+// process restart — and must finish with zero lost AND zero duplicated
+// uploads. This is the acceptance bar for the resilience layer plus the
+// exactly-once ledger: the paper's "comprehensive repository" is only
+// trustworthy if flaky mobile networks neither silently eat opinions
+// (§4.2) nor double-count them under retry.
 
 import (
 	"io"
@@ -33,6 +35,13 @@ func TestChaosSoakZeroLostUploads(t *testing.T) {
 		ErrorBurst:   2,
 		ResetRate:    0.05,
 		TruncateRate: 0.05,
+		// Applied-then-truncated responses are the duplicate generator:
+		// the handler runs, the client cannot tell, and only the
+		// idempotency ledger keeps the retry from counting twice. The
+		// rate is higher than the pure-truncation rate because it is
+		// rolled last (the earlier faults eat most requests) and the
+		// soak only makes a few hundred requests in total.
+		TruncateAppliedRate: 0.15,
 	})
 	quiet := log.New(io.Discard, "", 0)
 	handler := rspserver.Chain(srv.Handler(),
@@ -55,10 +64,16 @@ func TestChaosSoakZeroLostUploads(t *testing.T) {
 	transport := &HTTPTransport{BaseURL: ts.URL, Retry: retry}
 
 	spoolPath := filepath.Join(t.TempDir(), "spool.json")
-	agent := NewAgent(Config{
-		DeviceID: "dev-chaos", Author: "uc", Seed: 11,
-		MixMax: time.Hour, SpoolPath: spoolPath,
-	}, transport)
+	mkAgent := func() *Agent {
+		// Same seed: a reborn agent derives the same Ru, so its
+		// anonymous IDs line up with the uploads spooled by its
+		// predecessor.
+		return NewAgent(Config{
+			DeviceID: "dev-chaos", Author: "uc", Seed: 11,
+			MixMax: time.Hour, SpoolPath: spoolPath,
+		}, transport)
+	}
+	agent := mkAgent()
 	if err := agent.Bootstrap(); err != nil {
 		t.Fatalf("bootstrap through chaos: %v", err)
 	}
@@ -88,6 +103,20 @@ func TestChaosSoakZeroLostUploads(t *testing.T) {
 		if d == 8 {
 			inj.SetTokenOutage(false)
 		}
+		// One process restart, mid-outage, before the nightly flush so
+		// the mixing queue still holds the day's uploads: the dying
+		// process suspends them into the durable spool; its successor
+		// picks everything up from the file. Spooled uploads keep their
+		// idempotency keys, so redelivery of anything the server
+		// already applied cannot double-count.
+		if d == 6 {
+			moved := agent.Suspend()
+			t.Logf("restart at day %d: %d uploads suspended to spool", d, moved)
+			agent = mkAgent()
+			if err := agent.Bootstrap(); err != nil {
+				t.Fatalf("re-bootstrap after restart: %v", err)
+			}
+		}
 		night := sim.Start().AddDate(0, 0, d+1).Add(2 * time.Hour)
 		if _, err := agent.FlushUploads(night); err != nil {
 			flushErrs++
@@ -96,9 +125,6 @@ func TestChaosSoakZeroLostUploads(t *testing.T) {
 	}
 	if totalDetected == 0 {
 		t.Fatal("nothing detected; soak exercised nothing")
-	}
-	if s := inj.Stats(); s.Errors == 0 || s.Resets == 0 || s.TokenRefusals == 0 {
-		t.Fatalf("fault mix did not fire: %+v", s)
 	}
 
 	// Drain: keep flushing past the mixing window until the spool and
@@ -114,15 +140,26 @@ func TestChaosSoakZeroLostUploads(t *testing.T) {
 		}
 		drainAt = drainAt.Add(time.Hour)
 	}
+	// The mix check runs after the drain, where the bulk of the upload
+	// traffic (and therefore most chances to fire each fault) lives.
+	if s := inj.Stats(); s.Errors == 0 || s.Resets == 0 || s.TokenRefusals == 0 || s.TruncationsApplied == 0 {
+		t.Fatalf("fault mix did not fire: %+v", s)
+	}
 
-	// Zero lost uploads: every detected record made it into the
-	// server's anonymous history store, exactly once — injected faults
-	// fire instead of the handler, so a failed delivery has no
-	// server-side effect and a retried one cannot double-count.
+	// Zero lost AND zero duplicated uploads: every detected record made
+	// it into the server's anonymous history store exactly once. Losing
+	// one would leave records < detected; double-applying one (the
+	// applied-then-truncated responses guarantee redeliveries of
+	// already-applied uploads happened) would leave records > detected.
 	_, _, hists := srv.Stores()
 	if got := hists.Stats().Records; got != totalDetected {
-		t.Fatalf("server has %d records, agent detected %d — %d uploads lost",
-			got, totalDetected, totalDetected-got)
+		verb := "lost"
+		n := totalDetected - got
+		if got > totalDetected {
+			verb, n = "duplicated", got-totalDetected
+		}
+		t.Fatalf("server has %d records, agent detected %d — %d uploads %s",
+			got, totalDetected, n, verb)
 	}
 	if agent.SpooledUploads() != 0 {
 		t.Fatalf("%d uploads stuck in the spool", agent.SpooledUploads())

@@ -1,0 +1,245 @@
+package rspclient
+
+// The duplicate-delivery regression test for exactly-once uploads: the
+// server accepts an upload but the 202 acknowledgement is truncated in
+// flight, so the client retries, exhausts its attempts, spools, restarts,
+// and redelivers under a fresh token. Before the idempotency ledger this
+// sequence double-counted the opinion (retry → ErrTokenSpent → spool →
+// fresh-token redelivery → second apply); now every path must converge
+// on exactly one server-side application.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"opinions/internal/anonymity"
+	"opinions/internal/history"
+	"opinions/internal/resilience"
+	"opinions/internal/rspserver"
+)
+
+// truncatingUploadMiddleware runs the real handler for POST /api/upload
+// and then, while enabled, forwards only half of the response body —
+// the applied-but-unacknowledged failure mode.
+type truncatingUploadMiddleware struct {
+	next    http.Handler
+	enabled atomic.Bool
+	hits    atomic.Int64
+}
+
+func (m *truncatingUploadMiddleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !m.enabled.Load() || r.Method != http.MethodPost || r.URL.Path != "/api/upload" {
+		m.next.ServeHTTP(w, r)
+		return
+	}
+	m.hits.Add(1)
+	rec := httptest.NewRecorder()
+	m.next.ServeHTTP(rec, r)
+	body := rec.Body.Bytes()
+	for k, vs := range rec.Header() {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(rec.Code)
+	_, _ = w.Write(body[:len(body)/2])
+}
+
+func TestUploadExactlyOnceAcrossRetrySpoolRestart(t *testing.T) {
+	city, _ := testWorld(t)
+	srv := testServerFor(t, city)
+	mw := &truncatingUploadMiddleware{next: srv.Handler()}
+	mw.enabled.Store(true)
+	ts := httptest.NewServer(mw)
+	defer ts.Close()
+
+	retry := &resilience.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, Sleep: func(time.Duration) {}}
+	spoolPath := filepath.Join(t.TempDir(), "spool.json")
+	mkAgent := func() *Agent {
+		// Same seed: the reborn agent derives the same Ru.
+		return NewAgent(Config{
+			DeviceID: "dev-once", Author: "uo", Seed: 5,
+			MixMax: time.Minute, SpoolPath: spoolPath,
+		}, &HTTPTransport{BaseURL: ts.URL, Retry: retry})
+	}
+
+	a1 := mkAgent()
+	if err := a1.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	entity := city.Entities[0].Key()
+	rating := 4.5
+	t0 := time.Unix(1_600_000_000, 0)
+	a1.mix.Submit(anonymity.Upload{
+		AnonID: history.AnonID(a1.Ru(), entity),
+		Entity: entity,
+		Rating: &rating,
+		Key:    anonymity.NewUploadKey(),
+	}, t0)
+
+	// Every delivery attempt is applied server-side but acknowledged
+	// with a truncated body: the flush must fail and spool the upload.
+	if _, err := a1.FlushUploads(t0.Add(2 * time.Minute)); err == nil {
+		t.Fatal("flush with every acknowledgement truncated reported success")
+	}
+	if mw.hits.Load() < 2 {
+		t.Fatalf("only %d upload attempts reached the server; retry did not fire", mw.hits.Load())
+	}
+	if a1.SpooledUploads() != 1 {
+		t.Fatalf("%d uploads spooled, want 1", a1.SpooledUploads())
+	}
+	_, ops, _ := srv.Stores()
+	if got := ops.Total(); got != 1 {
+		t.Fatalf("opinions.Total() = %d after truncated-ack retries, want 1 (retry double-counted)", got)
+	}
+
+	// "Restart": a fresh agent process on the same spool file; the
+	// truncation clears; the redelivery travels under a fresh blind
+	// token but the original idempotency key.
+	mw.enabled.Store(false)
+	a2 := mkAgent()
+	if err := a2.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	if a2.SpooledUploads() != 1 {
+		t.Fatalf("restart recovered %d spooled uploads, want 1", a2.SpooledUploads())
+	}
+	sent, err := a2.FlushUploads(t0.Add(time.Hour))
+	if err != nil {
+		t.Fatalf("post-restart drain: %v", err)
+	}
+	if sent != 1 {
+		t.Fatalf("drained %d, want 1", sent)
+	}
+	if got := ops.Total(); got != 1 {
+		t.Fatalf("opinions.Total() = %d after spool redelivery, want 1 (redelivery double-counted)", got)
+	}
+	if got := ops.Count(entity); got != 1 {
+		t.Fatalf("opinions.Count(%q) = %d, want 1", entity, got)
+	}
+}
+
+// TestSpoolPersistsIdempotencyKey: the key is the upload's identity
+// across deliveries, so the spool file must carry it through a restart.
+func TestSpoolPersistsIdempotencyKey(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spool.json")
+	s1, err := NewSpool(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rating := 3.0
+	key := anonymity.NewUploadKey()
+	s1.Put(anonymity.Upload{AnonID: "anon", Entity: "yelp/e", Rating: &rating, Key: key})
+
+	s2, err := NewSpool(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s2.TakeAll()
+	if len(got) != 1 {
+		t.Fatalf("reloaded %d uploads, want 1", len(got))
+	}
+	if got[0].Key != key {
+		t.Fatalf("reloaded key %q, want %q", got[0].Key, key)
+	}
+}
+
+// TestNewUploadKeyUnique: keys are fresh randomness, never repeated —
+// a repeat would make the server silently drop a genuine upload.
+func TestNewUploadKeyUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		k := anonymity.NewUploadKey()
+		if len(k) != 32 {
+			t.Fatalf("key %q has length %d, want 32 hex chars", k, len(k))
+		}
+		if seen[k] {
+			t.Fatalf("duplicate key %q after %d draws", k, i)
+		}
+		seen[k] = true
+	}
+}
+
+// TestIsStatusMatchesStructurally: status detection must survive
+// wrapping (retry/breaker layers) and must NOT fire on server messages
+// that merely contain status-like text.
+func TestIsStatusMatchesStructurally(t *testing.T) {
+	base := &StatusError{Code: 404, Message: "no model trained yet"}
+	wrapped := fmt.Errorf("attempt 3: %w", resilience.Permanent(base))
+	if !isStatus(wrapped, 404) {
+		t.Fatal("wrapped StatusError(404) not detected")
+	}
+	if isStatus(wrapped, 500) {
+		t.Fatal("StatusError(404) matched 500")
+	}
+	spoofed := &StatusError{Code: 500, Message: `entity "returned 404" missing`}
+	if isStatus(spoofed, 404) {
+		t.Fatal("message text spoofed a 404 match")
+	}
+	if isStatus(errors.New("rspclient: server returned 404"), 404) {
+		t.Fatal("plain text error matched as a status")
+	}
+}
+
+// TestFetchModelNoModel: the 404 → ErrNoModel mapping works end to end
+// over the wire through the retry layer.
+func TestFetchModelNoModel(t *testing.T) {
+	city, _ := testWorld(t)
+	srv := testServerFor(t, city)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	tr := &HTTPTransport{BaseURL: ts.URL, Retry: &resilience.Policy{MaxAttempts: 1}}
+	if _, err := tr.FetchModel(); err != ErrNoModel {
+		t.Fatalf("FetchModel on untrained server: %v, want ErrNoModel", err)
+	}
+}
+
+// TestEntityFromWireRejectsMalformedKeys: a directory key that does not
+// carry the advertised service prefix must fail loudly, not silently
+// mis-derive an entity ID.
+func TestEntityFromWireRejectsMalformedKeys(t *testing.T) {
+	good := rspserver.WireEntity{Key: "yelp/abc", Service: "yelp", Name: "ok"}
+	e, err := entityFromWire(good)
+	if err != nil || string(e.ID) != "abc" {
+		t.Fatalf("good key: entity %+v, err %v", e, err)
+	}
+	for _, w := range []rspserver.WireEntity{
+		{Key: "angieslist/abc", Service: "yelp"}, // wrong service
+		{Key: "yelp/", Service: "yelp"},          // empty ID
+		{Key: "yelp", Service: "yelp"},           // no separator
+		{Key: "elp/abc", Service: "yelp"},        // prefix shorter than service
+	} {
+		if _, err := entityFromWire(w); err == nil {
+			t.Errorf("key %q service %q: no error", w.Key, w.Service)
+		}
+	}
+}
+
+// TestUploadRequestCarriesKey: the idempotency key survives the JSON
+// round trip the wire imposes.
+func TestUploadRequestCarriesKey(t *testing.T) {
+	rating := 2.0
+	req := rspserver.UploadRequest{AnonID: "a", Entity: "e", Rating: &rating, Key: "k-123"}
+	buf, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf, []byte(`"key":"k-123"`)) {
+		t.Fatalf("wire form %s does not carry the key", buf)
+	}
+	var back rspserver.UploadRequest
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Key != "k-123" {
+		t.Fatalf("key %q after round trip", back.Key)
+	}
+}

@@ -24,7 +24,11 @@ import (
 // (written atomically on every mutation: temp file + rename). Tokens
 // are never spooled — a fresh blind token is acquired at delivery time,
 // so a spool file leaks nothing a captured device would not already
-// reveal, and never wastes issued tokens.
+// reveal, and never wastes issued tokens. Idempotency keys ARE spooled:
+// the key is the upload's identity across deliveries, and redelivering
+// under a fresh token with the original key is exactly what lets the
+// server absorb the duplicate when the first delivery was applied but
+// its response never arrived.
 type Spool struct {
 	mu    sync.Mutex
 	path  string

@@ -11,6 +11,7 @@ import (
 	"io"
 	"math/big"
 	"net/http"
+	"strings"
 	"time"
 
 	"opinions/internal/attest"
@@ -181,13 +182,33 @@ func (t *HTTPTransport) postJSON(path string, body, out any) error {
 	return t.roundTrip(http.MethodPost, path, buf, out)
 }
 
+// StatusError is a non-2xx response from the server, carrying the
+// status code structurally so callers can match it with errors.As even
+// through resilience wrappers — never by sniffing digits out of the
+// message, which a server error string like `entity "returned 404"
+// missing` would spoof.
+type StatusError struct {
+	// Code is the HTTP status code.
+	Code int
+	// Message is the server's JSON error body, when it sent one.
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("rspclient: server returned %d: %s", e.Code, e.Message)
+	}
+	return fmt.Sprintf("rspclient: server returned %d", e.Code)
+}
+
 func httpError(resp *http.Response) error {
 	var e rspserver.ErrorResponse
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	se := &StatusError{Code: resp.StatusCode}
 	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("rspclient: server returned %d: %s", resp.StatusCode, e.Error)
+		se.Message = e.Error
 	}
-	return fmt.Errorf("rspclient: server returned %d", resp.StatusCode)
+	return se
 }
 
 // FetchDirectory implements Transport.
@@ -198,18 +219,24 @@ func (t *HTTPTransport) FetchDirectory() ([]*world.Entity, error) {
 	}
 	out := make([]*world.Entity, len(wire))
 	for i, w := range wire {
-		out[i] = entityFromWire(w)
+		e, err := entityFromWire(w)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = e
 	}
 	return out, nil
 }
 
 // entityFromWire rebuilds the client-side directory entry. The latent
 // quality is not on the wire; the zero value is correct — clients never
-// use it.
-func entityFromWire(w rspserver.WireEntity) *world.Entity {
-	id := w.Key
-	if len(w.Service)+1 < len(w.Key) {
-		id = w.Key[len(w.Service)+1:]
+// use it. A key that does not carry the advertised "service/" prefix is
+// a malformed directory entry and fails loudly: deriving an ID from the
+// wrong offset would silently fragment the client's histories.
+func entityFromWire(w rspserver.WireEntity) (*world.Entity, error) {
+	id, ok := strings.CutPrefix(w.Key, w.Service+"/")
+	if !ok || id == "" {
+		return nil, fmt.Errorf("rspclient: directory key %q does not match service %q", w.Key, w.Service)
 	}
 	return &world.Entity{
 		ID:         world.EntityID(id),
@@ -220,7 +247,7 @@ func entityFromWire(w rspserver.WireEntity) *world.Entity {
 		Loc:        geo.Point{Lat: w.Lat, Lon: w.Lon},
 		Phone:      w.Phone,
 		PriceLevel: w.PriceLevel,
-	}
+	}, nil
 }
 
 // FetchModel implements Transport.
@@ -236,10 +263,11 @@ func (t *HTTPTransport) FetchModel() (*inference.ModelSet, error) {
 	return &m, nil
 }
 
-// isStatus sniffs the status code out of httpError's message; good
-// enough for the one case (404 → ErrNoModel) the client distinguishes.
+// isStatus reports whether err is (or wraps, at any depth — breaker and
+// retry wrappers included) a StatusError with the given code.
 func isStatus(err error, code int) bool {
-	return err != nil && bytes.Contains([]byte(err.Error()), []byte(fmt.Sprintf("returned %d", code)))
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == code
 }
 
 // FetchTokenKey implements Transport.

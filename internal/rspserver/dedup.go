@@ -1,0 +1,126 @@
+package rspserver
+
+import "sync"
+
+// dedupLedger is the server half of exactly-once uploads: a bounded,
+// FIFO-evicting set of the idempotency keys of already-applied uploads.
+// A client that retries after a truncated 2xx, or redelivers a spooled
+// upload under a fresh token after a restart, presents the same key; the
+// ledger lets AcceptUpload answer success without re-applying, so a
+// flaky network cannot double-count an inferred opinion.
+//
+// The bound keeps memory constant under the north-star load (millions of
+// flaky clients): a key only matters while its upload might still be
+// retried, which the client's spool cycle bounds to far less than the
+// ledger's horizon at any plausible capacity. Eviction of an ancient key
+// degrades that one upload to at-least-once, never to loss.
+//
+// Keys carry no identity — they are client-drawn randomness, unlinkable
+// across uploads — so persisting them in snapshots leaks nothing the
+// anonymous histories do not already contain.
+type dedupLedger struct {
+	mu       sync.Mutex
+	capacity int
+	seen     map[string]struct{}
+	order    []string // FIFO, oldest first; len(order) == len(seen)
+	inflight map[string]struct{}
+}
+
+// defaultDedupCapacity bounds the ledger when Config leaves it zero.
+const defaultDedupCapacity = 1 << 16
+
+func newDedupLedger(capacity int) *dedupLedger {
+	if capacity <= 0 {
+		capacity = defaultDedupCapacity
+	}
+	return &dedupLedger{
+		capacity: capacity,
+		seen:     make(map[string]struct{}),
+		inflight: make(map[string]struct{}),
+	}
+}
+
+// begin claims key for an apply in progress. It reports done=true when
+// the key was already committed (the caller must answer success without
+// re-applying) and dup=true when another request is mid-apply with the
+// same key (the caller treats the upload as delivered — the racing
+// twin owns the apply).
+func (l *dedupLedger) begin(key string) (done, dup bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.seen[key]; ok {
+		return true, false
+	}
+	if _, ok := l.inflight[key]; ok {
+		return false, true
+	}
+	l.inflight[key] = struct{}{}
+	return false, false
+}
+
+// commit records key as applied and releases the in-flight claim,
+// evicting the oldest key when over capacity.
+func (l *dedupLedger) commit(key string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.inflight, key)
+	if _, ok := l.seen[key]; ok {
+		return
+	}
+	l.seen[key] = struct{}{}
+	l.order = append(l.order, key)
+	for len(l.order) > l.capacity {
+		delete(l.seen, l.order[0])
+		l.order = l.order[1:]
+	}
+}
+
+// abort releases the in-flight claim without recording the key: the
+// apply failed, so a retry must be allowed to run it again.
+func (l *dedupLedger) abort(key string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.inflight, key)
+}
+
+// contains reports whether key has been committed.
+func (l *dedupLedger) contains(key string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.seen[key]
+	return ok
+}
+
+// len reports the number of committed keys held.
+func (l *dedupLedger) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.order)
+}
+
+// dump returns the committed keys, oldest first, for snapshotting.
+func (l *dedupLedger) dump() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.order...)
+}
+
+// restore replaces the ledger contents with keys (oldest first),
+// truncating from the old end when over capacity.
+func (l *dedupLedger) restore(keys []string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if excess := len(keys) - l.capacity; excess > 0 {
+		keys = keys[excess:]
+	}
+	l.seen = make(map[string]struct{}, len(keys))
+	l.order = make([]string, 0, len(keys))
+	for _, k := range keys {
+		if _, ok := l.seen[k]; ok {
+			continue
+		}
+		l.seen[k] = struct{}{}
+		l.order = append(l.order, k)
+	}
+	l.inflight = make(map[string]struct{})
+}

@@ -1,0 +1,186 @@
+package rspserver
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"opinions/internal/simclock"
+	"opinions/internal/world"
+)
+
+// uploadFor builds a rating upload for the test catalog's entity "a".
+func uploadFor(t *testing.T, ts *httptest.Server, device, key string) UploadRequest {
+	t.Helper()
+	rating := 4.0
+	return UploadRequest{
+		AnonID: "anon-" + device,
+		Entity: "yelp/a",
+		Rating: &rating,
+		Token:  fetchToken(t, ts.URL, device),
+		Key:    key,
+	}
+}
+
+// TestUploadReplaySameTokenIsIdempotent is the truncated-2xx retry on
+// the wire: the exact same request body (same token, same key) arrives
+// twice. The second delivery must answer success and change nothing.
+func TestUploadReplaySameTokenIsIdempotent(t *testing.T) {
+	srv, ts := testServer(t)
+	req := uploadFor(t, ts, "dev-replay", "key-replay-1")
+
+	for attempt := 0; attempt < 3; attempt++ {
+		if resp := postJSON(t, ts.URL+"/api/upload", req, nil); resp.StatusCode != 202 {
+			t.Fatalf("attempt %d: status %d, want 202", attempt, resp.StatusCode)
+		}
+	}
+	_, ops, _ := srv.Stores()
+	if got := ops.Total(); got != 1 {
+		t.Fatalf("opinions.Total() = %d after 3 deliveries of one upload, want 1", got)
+	}
+}
+
+// TestUploadRedeliveryFreshTokenIsIdempotent is the spool-redrain case:
+// the first delivery was applied but unacknowledged, the client spooled
+// the upload (token stripped) and redelivers under a fresh token with
+// the original idempotency key.
+func TestUploadRedeliveryFreshTokenIsIdempotent(t *testing.T) {
+	srv, ts := testServer(t)
+	first := uploadFor(t, ts, "dev-redeliver", "key-redeliver-1")
+	if resp := postJSON(t, ts.URL+"/api/upload", first, nil); resp.StatusCode != 202 {
+		t.Fatalf("first delivery status %d", resp.StatusCode)
+	}
+
+	second := first
+	second.Token = fetchToken(t, ts.URL, "dev-redeliver")
+	if resp := postJSON(t, ts.URL+"/api/upload", second, nil); resp.StatusCode != 202 {
+		t.Fatalf("redelivery status %d, want 202", resp.StatusCode)
+	}
+	_, ops, hists := srv.Stores()
+	if got := ops.Total(); got != 1 {
+		t.Fatalf("opinions.Total() = %d after redelivery, want 1", got)
+	}
+	if got := hists.Stats().Records; got != 0 {
+		t.Fatalf("history records = %d for a rating-only upload, want 0", got)
+	}
+}
+
+// TestUploadSpentTokenUnknownKeyStays403: deduplication must not excuse
+// genuine double-spending — a spent token under a *different* key is
+// still refused.
+func TestUploadSpentTokenUnknownKeyStays403(t *testing.T) {
+	srv, ts := testServer(t)
+	first := uploadFor(t, ts, "dev-doublespend", "key-ds-1")
+	if resp := postJSON(t, ts.URL+"/api/upload", first, nil); resp.StatusCode != 202 {
+		t.Fatalf("first delivery status %d", resp.StatusCode)
+	}
+	second := first
+	second.Key = "key-ds-2" // a different upload riding a spent token
+	if resp := postJSON(t, ts.URL+"/api/upload", second, nil); resp.StatusCode != 403 {
+		t.Fatalf("spent token under new key: status %d, want 403", resp.StatusCode)
+	}
+	_, ops, _ := srv.Stores()
+	if got := ops.Total(); got != 1 {
+		t.Fatalf("opinions.Total() = %d, want 1", got)
+	}
+}
+
+// TestUploadKeylessStaysAtLeastOnce: legacy clients without keys keep
+// the old semantics — every delivery counts.
+func TestUploadKeylessStaysAtLeastOnce(t *testing.T) {
+	srv, ts := testServer(t)
+	for i := 0; i < 2; i++ {
+		req := uploadFor(t, ts, "dev-legacy", "")
+		if resp := postJSON(t, ts.URL+"/api/upload", req, nil); resp.StatusCode != 202 {
+			t.Fatalf("delivery %d status %d", i, resp.StatusCode)
+		}
+	}
+	_, ops, _ := srv.Stores()
+	if got := ops.Total(); got != 2 {
+		t.Fatalf("opinions.Total() = %d for two keyless uploads, want 2", got)
+	}
+}
+
+// TestDedupLedgerSurvivesSnapshot: exactly-once must hold across a
+// server restart — a key accepted before the shutdown snapshot is still
+// a duplicate afterward.
+func TestDedupLedgerSurvivesSnapshot(t *testing.T) {
+	srv, ts := testServer(t)
+	req := uploadFor(t, ts, "dev-snap", "key-snap-1")
+	if resp := postJSON(t, ts.URL+"/api/upload", req, nil); resp.StatusCode != 202 {
+		t.Fatalf("first delivery status %d", resp.StatusCode)
+	}
+	snap := srv.Snapshot()
+
+	srv2, ts2 := testServer(t)
+	if err := srv2.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if srv2.DedupLen() != 1 {
+		t.Fatalf("restored ledger holds %d keys, want 1", srv2.DedupLen())
+	}
+	redeliver := req
+	redeliver.Token = fetchToken(t, ts2.URL, "dev-snap")
+	if resp := postJSON(t, ts2.URL+"/api/upload", redeliver, nil); resp.StatusCode != 202 {
+		t.Fatalf("post-restart redelivery status %d, want 202", resp.StatusCode)
+	}
+	_, ops, _ := srv2.Stores()
+	if got := ops.Total(); got != 1 {
+		t.Fatalf("opinions.Total() = %d after restart + redelivery, want 1", got)
+	}
+}
+
+// TestDedupLedgerBounded: the ledger evicts FIFO at its configured
+// capacity instead of growing without bound.
+func TestDedupLedgerBounded(t *testing.T) {
+	catalog := []*world.Entity{
+		{ID: "a", Service: world.Yelp, Zip: "z", Category: "c", Name: "A", Quality: 3},
+	}
+	srv, err := New(Config{
+		Catalog: catalog, Clock: simclock.NewSim(simclock.Epoch),
+		KeyBits: 1024, DedupCapacity: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 7; i++ {
+		req := uploadFor(t, ts, "dev-bound", fmt.Sprintf("key-bound-%d", i))
+		if resp := postJSON(t, ts.URL+"/api/upload", req, nil); resp.StatusCode != 202 {
+			t.Fatalf("upload %d status %d", i, resp.StatusCode)
+		}
+	}
+	if got := srv.DedupLen(); got != 4 {
+		t.Fatalf("ledger holds %d keys, want capacity 4", got)
+	}
+	// The newest key is still deduplicated; the evicted oldest one has
+	// degraded (by design) to at-least-once.
+	newest := uploadFor(t, ts, "dev-bound", "key-bound-6")
+	_, ops, _ := srv.Stores()
+	before := ops.Total()
+	if resp := postJSON(t, ts.URL+"/api/upload", newest, nil); resp.StatusCode != 202 {
+		t.Fatalf("redelivery of newest key status %d", resp.StatusCode)
+	}
+	if got := ops.Total(); got != before {
+		t.Fatalf("opinions.Total() = %d after deduplicated redelivery, want %d", got, before)
+	}
+}
+
+// TestDirectoryEmptyIsJSONArray: a directory query with no matches must
+// serialize as [] — a stable array type for clients — not JSON null.
+func TestDirectoryEmptyIsJSONArray(t *testing.T) {
+	_, ts := testServer(t)
+	var out []WireEntity
+	resp := getJSON(t, ts.URL+"/api/directory?service=nosuch", &out)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out == nil {
+		t.Fatal("empty directory decoded to nil — server sent JSON null, want []")
+	}
+	if len(out) != 0 {
+		t.Fatalf("unexpected %d entities for unknown service", len(out))
+	}
+}

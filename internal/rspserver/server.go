@@ -28,6 +28,7 @@ import (
 	"opinions/internal/fraud"
 	"opinions/internal/history"
 	"opinions/internal/inference"
+	"opinions/internal/interaction"
 	"opinions/internal/reviews"
 	"opinions/internal/search"
 	"opinions/internal/simclock"
@@ -64,6 +65,10 @@ type Config struct {
 	// PrivacySeed makes the noise deterministic for tests; 0 seeds from
 	// the key generation entropy.
 	PrivacySeed int64
+	// DedupCapacity bounds the exactly-once upload ledger (number of
+	// idempotency keys remembered; default 65536). Older keys evict FIFO;
+	// an evicted key degrades that upload to at-least-once, never loss.
+	DedupCapacity int
 }
 
 // Server implements the RSP. Construct with New.
@@ -78,6 +83,7 @@ type Server struct {
 	clock     simclock.Clock
 	meta      MetaResponse
 	attestor  *attest.Verifier
+	dedup     *dedupLedger
 
 	dpMu   sync.Mutex
 	dpMech *dp.Mechanism
@@ -120,6 +126,7 @@ func New(cfg Config) (*Server, error) {
 		redeemer:  blindsig.NewRedeemer(issuer.PublicKey()),
 		clock:     cfg.Clock,
 		attestor:  cfg.Attestation,
+		dedup:     newDedupLedger(cfg.DedupCapacity),
 	}
 	if cfg.PrivacyEpsilon > 0 {
 		seed := cfg.PrivacySeed
@@ -379,7 +386,9 @@ func (s *Server) handleDirectory(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	svc := r.URL.Query().Get("service")
-	var out []WireEntity
+	// Initialized non-nil so an empty directory serializes as [] — a
+	// stable array type for clients — rather than JSON null.
+	out := []WireEntity{}
 	for _, e := range s.catalog {
 		if svc == "" || string(e.Service) == svc {
 			out = append(out, FromEntity(e))
@@ -499,9 +508,16 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, struct{}{})
 }
 
-// AcceptUpload applies an anonymous upload: redeem the token, then
-// append the record and/or inferred rating. Exposed for in-process
-// composition.
+// AcceptUpload applies an anonymous upload exactly once: validate,
+// consult the dedup ledger, redeem the token, then append the record
+// and/or inferred rating and commit the upload's idempotency key.
+// Exposed for in-process composition.
+//
+// A replayed key — a retry after a truncated 2xx, or a spooled upload
+// redelivered under a fresh token after an app restart — returns success
+// without touching the stores, and a token-spent refusal on a key the
+// ledger already holds is likewise success: the first delivery was
+// applied, the client just never heard the answer.
 func (s *Server) AcceptUpload(req UploadRequest) error {
 	if req.AnonID == "" || req.Entity == "" {
 		return errors.New("rspserver: upload missing anon_id or entity")
@@ -512,30 +528,64 @@ func (s *Server) AcceptUpload(req UploadRequest) error {
 	if s.engine.Entity(req.Entity) == nil {
 		return fmt.Errorf("rspserver: upload for unknown entity %q", req.Entity)
 	}
+	// Validate the payload fully before spending anything: a malformed
+	// upload must neither burn the token nor half-apply.
+	var rec interaction.Record
+	if req.Record != nil {
+		var err error
+		rec, err = req.Record.ToRecord(req.Entity)
+		if err != nil {
+			return err
+		}
+	}
+	if req.Rating != nil && (*req.Rating < 0 || *req.Rating > 5) {
+		return errors.New("rspserver: rating outside [0, 5]")
+	}
 	tok, err := req.Token.ToToken()
 	if err != nil {
 		return err
 	}
+	if req.Key != "" {
+		done, dup := s.dedup.begin(req.Key)
+		if done || dup {
+			// Already applied (or a racing twin of this very request is
+			// mid-apply and owns it): answer success, apply nothing, and
+			// leave the token unspent for the fresh-token redelivery case.
+			return nil
+		}
+	}
 	if err := s.redeemer.Redeem(tok); err != nil {
+		if req.Key != "" {
+			s.dedup.abort(req.Key)
+			if errors.Is(err, blindsig.ErrTokenSpent) && s.dedup.contains(req.Key) {
+				// The same token+key was committed between our ledger
+				// check and the redeem — the retry raced its twin. The
+				// upload is applied; report success, not 403.
+				return nil
+			}
+		}
 		return err
 	}
 	if req.Record != nil {
-		rec, err := req.Record.ToRecord(req.Entity)
-		if err != nil {
-			return err
-		}
 		if err := s.histories.Append(req.AnonID, req.Entity, rec); err != nil {
+			if req.Key != "" {
+				s.dedup.abort(req.Key)
+			}
 			return err
 		}
 	}
 	if req.Rating != nil {
-		if *req.Rating < 0 || *req.Rating > 5 {
-			return errors.New("rspserver: rating outside [0, 5]")
-		}
 		s.opinions.Add(req.Entity, *req.Rating)
+	}
+	if req.Key != "" {
+		s.dedup.commit(req.Key)
 	}
 	return nil
 }
+
+// DedupLen reports the number of idempotency keys the exactly-once
+// ledger currently holds (tests and operational introspection).
+func (s *Server) DedupLen() int { return s.dedup.len() }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
@@ -680,6 +730,7 @@ func (s *Server) Snapshot() *storage.Snapshot {
 		Reviews:   s.reviews.All(),
 		Opinions:  s.opinions.Dump(),
 		Histories: s.histories.Dump(),
+		DedupKeys: s.dedup.dump(),
 		TrainX:    trainX,
 		TrainY:    trainY,
 		TrainCats: trainCats,
@@ -697,6 +748,10 @@ func (s *Server) RestoreSnapshot(snap *storage.Snapshot) error {
 	}
 	s.reviews.Restore(snap.Reviews)
 	s.opinions.Restore(snap.Opinions)
+	// Restoring the ledger with the stores keeps exactly-once across a
+	// server restart: a client redelivering a spooled upload accepted
+	// just before the shutdown snapshot is still recognized as applied.
+	s.dedup.restore(snap.DedupKeys)
 	s.mu.Lock()
 	s.trainX = make([][]float64, len(snap.TrainX))
 	for i, x := range snap.TrainX {

@@ -103,6 +103,11 @@ type UploadRequest struct {
 	Record *WireRecord `json:"record,omitempty"`
 	Rating *float64    `json:"rating,omitempty"`
 	Token  WireToken   `json:"token"`
+	// Key is the client-stamped idempotency key: stable across retries,
+	// spooling, and redelivery under a fresh token, so the server can
+	// recognize and absorb duplicate deliveries (exactly-once uploads).
+	// Empty (legacy clients) disables deduplication for this upload.
+	Key string `json:"key,omitempty"`
 }
 
 // TokenKeyResponse exposes the issuer's public key (GET /api/token/key).

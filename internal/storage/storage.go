@@ -24,7 +24,16 @@ import (
 )
 
 // FormatVersion identifies the snapshot schema; bump on breaking change.
-const FormatVersion = 1
+// Version history:
+//
+//	1 — initial schema.
+//	2 — adds DedupKeys, the exactly-once upload ledger. Version-1
+//	    snapshots load with an empty ledger (uploads accepted before the
+//	    upgrade predate idempotency keys, so there is nothing to migrate).
+const FormatVersion = 2
+
+// minReadVersion is the oldest snapshot schema Read still accepts.
+const minReadVersion = 1
 
 // Snapshot is the serializable server state.
 type Snapshot struct {
@@ -34,6 +43,9 @@ type Snapshot struct {
 	Reviews   []reviews.Review        `json:"reviews"`
 	Opinions  map[string][]float64    `json:"opinions"`
 	Histories []history.EntityHistory `json:"histories"`
+	// DedupKeys is the exactly-once upload ledger: idempotency keys of
+	// already-applied uploads, oldest first (since version 2).
+	DedupKeys []string `json:"dedup_keys,omitempty"`
 
 	TrainX    [][]float64         `json:"train_x"`
 	TrainY    []float64           `json:"train_y"`
@@ -41,14 +53,17 @@ type Snapshot struct {
 	Models    *inference.ModelSet `json:"models,omitempty"`
 }
 
-// Write serializes the snapshot to w (gzip-compressed JSON).
+// Write serializes the snapshot to w (gzip-compressed JSON). The caller's
+// snapshot is not mutated; a zero Version is stamped FormatVersion on the
+// wire only.
 func Write(w io.Writer, s *Snapshot) error {
-	if s.Version == 0 {
-		s.Version = FormatVersion
+	out := *s
+	if out.Version == 0 {
+		out.Version = FormatVersion
 	}
 	gz := gzip.NewWriter(w)
 	enc := json.NewEncoder(gz)
-	if err := enc.Encode(s); err != nil {
+	if err := enc.Encode(&out); err != nil {
 		return fmt.Errorf("storage: encoding snapshot: %w", err)
 	}
 	if err := gz.Close(); err != nil {
@@ -57,7 +72,8 @@ func Write(w io.Writer, s *Snapshot) error {
 	return nil
 }
 
-// Read deserializes a snapshot from r.
+// Read deserializes a snapshot from r, migrating older supported schema
+// versions forward.
 func Read(r io.Reader) (*Snapshot, error) {
 	gz, err := gzip.NewReader(r)
 	if err != nil {
@@ -68,13 +84,20 @@ func Read(r io.Reader) (*Snapshot, error) {
 	if err := json.NewDecoder(gz).Decode(&s); err != nil {
 		return nil, fmt.Errorf("storage: decoding snapshot: %w", err)
 	}
-	if s.Version != FormatVersion {
-		return nil, fmt.Errorf("storage: snapshot version %d, want %d", s.Version, FormatVersion)
+	if s.Version < minReadVersion || s.Version > FormatVersion {
+		return nil, fmt.Errorf("storage: snapshot version %d, want %d..%d",
+			s.Version, minReadVersion, FormatVersion)
 	}
+	// v1 → v2: no dedup ledger on disk; start empty.
+	s.Version = FormatVersion
 	return &s, nil
 }
 
-// SaveFile writes the snapshot to path atomically (temp file + rename).
+// SaveFile writes the snapshot to path atomically and durably: temp
+// file, fsync, rename, then fsync of the directory. Without the syncs a
+// power loss shortly after rename can leave either an empty file (data
+// never flushed) or the old name (rename never journaled) — the classic
+// rename-without-fsync hole.
 func SaveFile(path string, s *Snapshot) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".snapshot-*")
@@ -86,12 +109,29 @@ func SaveFile(path string, s *Snapshot) error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("storage: syncing temp file: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("storage: closing temp file: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("storage: installing snapshot: %w", err)
 	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Filesystems that refuse directory fsync (some network mounts) are
+// tolerated: the rename itself still happened.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
 	return nil
 }
 

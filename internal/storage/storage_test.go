@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"compress/gzip"
 	"os"
 	"path/filepath"
 	"testing"
@@ -122,5 +123,79 @@ func TestWriteSetsVersion(t *testing.T) {
 	}
 	if got.Version != FormatVersion {
 		t.Fatalf("version = %d", got.Version)
+	}
+}
+
+// TestWriteDoesNotMutateCaller: stamping the wire version must happen on
+// a copy — a server that keeps its Snapshot around (e.g. to diff against
+// the next save) must not find it silently rewritten.
+func TestWriteDoesNotMutateCaller(t *testing.T) {
+	s := sampleSnapshot()
+	s.Version = 0
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Version != 0 {
+		t.Fatalf("Write mutated caller's Version to %d", s.Version)
+	}
+}
+
+// TestReadMigratesV1: a version-1 snapshot (pre-dedup-ledger) loads
+// cleanly with an empty ledger and is stamped to the current version.
+func TestReadMigratesV1(t *testing.T) {
+	s := sampleSnapshot()
+	s.Version = 1
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("v1 snapshot rejected: %v", err)
+	}
+	if got.Version != FormatVersion {
+		t.Fatalf("migrated version = %d, want %d", got.Version, FormatVersion)
+	}
+	if len(got.DedupKeys) != 0 {
+		t.Fatalf("v1 migration invented %d dedup keys", len(got.DedupKeys))
+	}
+	if len(got.Reviews) != 2 {
+		t.Fatalf("v1 payload lost: %d reviews", len(got.Reviews))
+	}
+}
+
+// TestDedupKeysRoundTrip: the exactly-once ledger survives persistence
+// in order (the order IS the FIFO eviction order after a restore).
+func TestDedupKeysRoundTrip(t *testing.T) {
+	s := sampleSnapshot()
+	s.DedupKeys = []string{"k-old", "k-mid", "k-new"}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.DedupKeys) != 3 || got.DedupKeys[0] != "k-old" || got.DedupKeys[2] != "k-new" {
+		t.Fatalf("dedup keys = %v, want [k-old k-mid k-new]", got.DedupKeys)
+	}
+}
+
+// TestVersionTooOld: versions below minReadVersion are refused rather
+// than misinterpreted. Write stamps zero versions, so the stale snapshot
+// is gzipped by hand.
+func TestVersionTooOld(t *testing.T) {
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if _, err := gz.Write([]byte(`{"version":0}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("version 0 accepted, want error")
 	}
 }
