@@ -6,15 +6,20 @@
 //	agent -server http://localhost:8080 -seed 1 -user 3 -days 30
 //
 // The agent prints what it detected, inferred, and uploaded, then shows
-// the transparency screen (§5).
+// the transparency screen (§5). With -dump-metrics it also writes the
+// client-side observability counters (retries, breaker transitions,
+// spool depth) to stderr in Prometheus text format on exit.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 	"time"
 
+	"opinions/internal/obs"
+	"opinions/internal/resilience"
 	"opinions/internal/rspclient"
 	"opinions/internal/trace"
 	"opinions/internal/world"
@@ -22,17 +27,25 @@ import (
 
 func main() {
 	var (
-		server  = flag.String("server", "http://localhost:8080", "rspd base URL")
-		seed    = flag.Int64("seed", 1, "world seed (must match rspd's)")
-		users   = flag.Int("users", 400, "city users (must match rspd's)")
-		userIdx = flag.Int("user", 0, "which simulated user this device belongs to")
-		days    = flag.Int("days", 30, "days of life to simulate")
+		server      = flag.String("server", "http://localhost:8080", "rspd base URL")
+		seed        = flag.Int64("seed", 1, "world seed (must match rspd's)")
+		users       = flag.Int("users", 400, "city users (must match rspd's)")
+		userIdx     = flag.Int("user", 0, "which simulated user this device belongs to")
+		days        = flag.Int("days", 30, "days of life to simulate")
+		dumpMetrics = flag.Bool("dump-metrics", false, "write client metrics to stderr on exit")
 	)
 	flag.Parse()
 
+	logger := obs.NewLogger(os.Stderr, slog.LevelInfo)
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	city := world.BuildCity(world.CityConfig{Seed: *seed, NumUsers: *users})
 	if *userIdx < 0 || *userIdx >= len(city.Users) {
-		log.Fatalf("user index %d out of range [0, %d)", *userIdx, len(city.Users))
+		fatal("user index out of range", "user", *userIdx, "users", len(city.Users))
 	}
 	u := city.Users[*userIdx]
 	sim := trace.New(city, trace.Config{Seed: *seed + 1, Days: *days})
@@ -42,12 +55,16 @@ func main() {
 		Author:   string(u.ID),
 		Seed:     *seed + int64(*userIdx),
 		MixMax:   6 * time.Hour,
-	}, &rspclient.HTTPTransport{BaseURL: *server})
+	}, &rspclient.HTTPTransport{
+		BaseURL: *server,
+		Breaker: &resilience.Breaker{},
+	})
 	if err := agent.Bootstrap(); err != nil {
-		log.Fatalf("bootstrap: %v", err)
+		fatal("bootstrap", "err", err)
 	}
-	log.Printf("agent: device for user %s (%s), directory %d entities, model=%v",
-		u.ID, u.Class, agent.Resolver().Len(), agent.HasModel())
+	logger.Info("device up",
+		"user", u.ID, "class", u.Class,
+		"directory_entities", agent.Resolver().Len(), "model", agent.HasModel())
 
 	var detected, reviews, pairs int
 	for d := 0; d < sim.Days(); d++ {
@@ -57,7 +74,7 @@ func main() {
 			}
 			res, err := agent.ProcessDay(dl)
 			if err != nil {
-				log.Fatalf("day %d: %v", d, err)
+				fatal("processing day", "day", d, "err", err)
 			}
 			detected += res.Detected
 			reviews += res.ReviewsPosted
@@ -67,15 +84,17 @@ func main() {
 		night := sim.Start().AddDate(0, 0, d+1).Add(2 * time.Hour)
 		agent.InferOpinions(night)
 		if _, err := agent.FlushUploads(night); err != nil {
-			log.Printf("flush: %v (will retry tomorrow)", err)
+			logger.Warn("flush failed, will retry tomorrow", "err", err, "spooled", agent.SpooledUploads())
 		}
 	}
 	sent, err := agent.FlushUploads(sim.Start().AddDate(0, 0, *days+1))
 	if err != nil {
-		log.Printf("final flush: %v", err)
+		logger.Warn("final flush", "err", err)
 	}
-	log.Printf("agent: %d interactions detected, %d reviews posted, %d training pairs, %d uploads in final flush",
-		detected, reviews, pairs, sent)
+	logger.Info("done",
+		"detected", detected, "reviews_posted", reviews,
+		"training_pairs", pairs, "final_flush_uploads", sent,
+		"pending_uploads", agent.PendingUploads())
 
 	fmt.Println("\nTransparency screen (§5): what this app believes about you")
 	for _, v := range agent.Inferences() {
@@ -84,5 +103,10 @@ func main() {
 		} else {
 			fmt.Printf("  %-40s %2d records  (no inference)\n", v.Entity, v.Records)
 		}
+	}
+
+	if *dumpMetrics {
+		fmt.Fprintln(os.Stderr, "\n# client metrics")
+		_ = obs.Default.WritePrometheus(os.Stderr)
 	}
 }

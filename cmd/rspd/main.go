@@ -6,16 +6,22 @@
 //	rspd -world city                 # behavioural city (device agents connect)
 //	rspd -world directory -scale 0.1 # the five measured services (crawler connects)
 //
-// Endpoints are documented in internal/rspserver.
+// Endpoints are documented in internal/rspserver. Observability rides
+// the public listener at /metrics (Prometheus text format),
+// /debug/vars (expvar JSON), and /debug/requests (recent traced
+// spans); profiling via net/http/pprof is opt-in behind -debug-addr so
+// it never shares the public listener.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -23,6 +29,7 @@ import (
 
 	"opinions/internal/core"
 	"opinions/internal/faultinject"
+	"opinions/internal/obs"
 	"opinions/internal/rspserver"
 	"opinions/internal/storage"
 	"opinions/internal/world"
@@ -31,6 +38,7 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
+		debugAddr   = flag.String("debug-addr", "", "optional private listener for pprof profiling (plus metrics/vars/requests); empty disables")
 		universe    = flag.String("world", "city", "universe to serve: city | directory")
 		scale       = flag.Float64("scale", 0.2, "directory scale (1.0 = paper scale, ~75k entities)")
 		seed        = flag.Int64("seed", 1, "world seed")
@@ -43,10 +51,18 @@ func main() {
 		quiet       = flag.Bool("quiet", false, "disable per-request logging")
 		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request handler timeout (0 disables)")
 		maxInFlight = flag.Int("max-inflight", 256, "max concurrent requests before shedding with 503 (0 disables)")
+		spans       = flag.Int("trace-spans", 256, "recent request spans retained for /debug/requests")
 		chaos       = flag.Bool("chaos", false, "inject faults (latency, 5xx bursts, resets, truncation) for resilience testing")
 		chaosSeed   = flag.Int64("chaos-seed", 1, "fault-injection RNG seed (with -chaos)")
 	)
 	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr, slog.LevelInfo)
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	var catalog []*world.Entity
 	var zips []string
@@ -72,29 +88,37 @@ func main() {
 
 	repo, err := core.Open(core.Config{Catalog: catalog, KeyBits: *keyBits, Zips: zips, PrivacyEpsilon: *epsilon})
 	if err != nil {
-		log.Fatalf("opening repository: %v", err)
+		fatal("opening repository", "err", err)
 	}
 
 	if *dataPath != "" {
 		if snap, err := storage.LoadFile(*dataPath); err == nil {
 			if err := repo.Server().RestoreSnapshot(snap); err != nil {
-				log.Fatalf("restoring %s: %v", *dataPath, err)
+				fatal("restoring snapshot", "path", *dataPath, "err", err)
 			}
-			log.Printf("rspd: restored snapshot from %s (saved %s)", *dataPath, snap.SavedAt.Format(time.RFC3339))
+			logger.Info("restored snapshot", "path", *dataPath, "saved_at", snap.SavedAt.Format(time.RFC3339))
 		} else if !errors.Is(err, os.ErrNotExist) {
-			log.Fatalf("loading %s: %v", *dataPath, err)
+			fatal("loading snapshot", "path", *dataPath, "err", err)
 		}
 	}
 
 	// Recovery is outermost so a panic anywhere below it — including an
 	// injected connection reset — becomes a logged 500, not a dead
-	// process. The chaos injector is innermost: faults fire instead of
-	// the real handler, behind the same shedding the real traffic sees.
+	// process. Tracing sits directly inside recovery so every log line
+	// and metric below runs in trace context; metrics wrap the shedding
+	// middlewares so shed 503s and rate-limit 429s are counted as such.
+	// The chaos injector is innermost: faults fire instead of the real
+	// handler, behind the same shedding the real traffic sees.
+	ring := obs.NewSpanRing(*spans)
 	handler := repo.Handler()
-	mws := []rspserver.Middleware{rspserver.WithRecovery(nil)}
-	if !*quiet {
-		mws = append(mws, rspserver.WithLogging(nil))
+	mws := []rspserver.Middleware{
+		rspserver.WithRecovery(logger),
+		rspserver.WithTracing(ring),
 	}
+	if !*quiet {
+		mws = append(mws, rspserver.WithLogging(logger))
+	}
+	mws = append(mws, rspserver.WithMetrics())
 	if *rateLim > 0 {
 		mws = append(mws, rspserver.WithRateLimit(*rateLim, time.Minute, nil))
 	}
@@ -111,24 +135,55 @@ func main() {
 			LatencyMax:   250 * time.Millisecond,
 		})
 		mws = append(mws, inj.Middleware)
-		log.Printf("rspd: CHAOS MODE — injecting faults (seed %d); not for production", *chaosSeed)
+		logger.Warn("CHAOS MODE — injecting faults; not for production", "seed", *chaosSeed)
 	}
 	handler = rspserver.Chain(handler, mws...)
 
+	// Observability endpoints share the public listener but sit outside
+	// the middleware chain: a scrape must not burn the rate limit, be
+	// shed, or have chaos injected into it.
+	obs.RegisterProcessMetrics(obs.Default)
+	expvar.Publish("obs", expvar.Func(func() any { return obs.Default.Snapshot() }))
+	mux := http.NewServeMux()
+	mux.Handle("/", handler)
+	mux.Handle("/metrics", obs.Default.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/debug/requests", ring.Handler())
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           handler,
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+
+	if *debugAddr != "" {
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg.Handle("/metrics", obs.Default.Handler())
+		dbg.Handle("/debug/vars", expvar.Handler())
+		dbg.Handle("/debug/requests", ring.Handler())
+		go func() {
+			logger.Info("debug listener up (pprof enabled)", "addr", *debugAddr)
+			dsrv := &http.Server{Addr: *debugAddr, Handler: dbg, ReadHeaderTimeout: 10 * time.Second}
+			if err := dsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+	}
+
 	save := func(reason string) {
 		if *dataPath == "" {
 			return
 		}
 		if err := storage.SaveFile(*dataPath, repo.Server().Snapshot()); err != nil {
-			log.Printf("rspd: snapshot (%s) failed: %v", reason, err)
+			logger.Error("snapshot failed", "reason", reason, "err", err)
 			return
 		}
-		log.Printf("rspd: snapshot saved to %s (%s)", *dataPath, reason)
+		logger.Info("snapshot saved", "path", *dataPath, "reason", reason)
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -149,7 +204,7 @@ func main() {
 				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 				defer cancel()
 				if err := srv.Shutdown(ctx); err != nil {
-					log.Printf("rspd: shutdown: %v", err)
+					logger.Error("shutdown", "err", err)
 				}
 				save("shutdown")
 				return
@@ -157,9 +212,9 @@ func main() {
 		}
 	}()
 
-	log.Printf("rspd: serving %d entities (%s world) on %s", len(catalog), *universe, *addr)
+	logger.Info("serving", "entities", len(catalog), "world", *universe, "addr", *addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("rspd: %v", err)
+		fatal("serve failed", "err", err)
 	}
 	<-done
 }

@@ -22,8 +22,24 @@ import (
 	"sync"
 	"time"
 
+	"opinions/internal/obs"
 	"opinions/internal/resilience"
 	"opinions/internal/rspserver"
+)
+
+// Crawl instruments, on the process-wide registry. A long §2 sweep is
+// 1,850 queries; these make its progress and the politeness/backoff
+// behaviour visible while it runs.
+var (
+	metricPages = obs.Default.CounterVec("crawler_pages_total",
+		"Pages fetched, by outcome (ok, or error after retries).",
+		"outcome")
+	metricRetries = obs.Default.Counter("crawler_retries_total",
+		"Fetch attempts beyond the first, across all pages.")
+	metricRateLimited = obs.Default.Counter("crawler_rate_limited_total",
+		"429 responses received from the service (each triggers a backoff wait).")
+	metricPoliteWaits = obs.Default.Counter("crawler_politeness_waits_total",
+		"Politeness delays taken before requests.")
 )
 
 // Client is an HTTP client for one RSP endpoint. It is a polite
@@ -105,13 +121,23 @@ func transientStatus(code int) bool {
 }
 
 func (c *Client) getJSON(path string, out any) error {
-	return c.policy().Do(context.Background(), func(ctx context.Context) error {
+	// One trace ID per page, shared across its retry attempts, so the
+	// service's span ring shows a slow crawl as coherent traces.
+	trace := obs.NewTraceID()
+	attempt := 0
+	err := c.policy().Do(context.Background(), func(ctx context.Context) error {
 		if c.Delay > 0 {
+			metricPoliteWaits.Inc()
 			c.sleep(c.Delay)
 		}
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 		if err != nil {
 			return resilience.Permanent(fmt.Errorf("crawler: GET %s: %w", path, err))
+		}
+		req.Header.Set(obs.TraceHeader, string(trace))
+		req.Header.Set(obs.RetryHeader, fmt.Sprint(attempt))
+		if attempt++; attempt > 1 {
+			metricRetries.Inc()
 		}
 		resp, err := c.httpClient().Do(req)
 		if err != nil {
@@ -122,6 +148,9 @@ func (c *Client) getJSON(path string, out any) error {
 			resp.Body.Close()
 		}()
 		if resp.StatusCode != http.StatusOK {
+			if resp.StatusCode == http.StatusTooManyRequests {
+				metricRateLimited.Inc()
+			}
 			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 			err := fmt.Errorf("crawler: GET %s: status %d: %s", path, resp.StatusCode, body)
 			if transientStatus(resp.StatusCode) {
@@ -136,6 +165,12 @@ func (c *Client) getJSON(path string, out any) error {
 		}
 		return nil
 	})
+	if err != nil {
+		metricPages.With("error").Inc()
+	} else {
+		metricPages.With("ok").Inc()
+	}
+	return err
 }
 
 // Meta fetches the service universe description.

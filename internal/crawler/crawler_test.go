@@ -2,7 +2,7 @@ package crawler
 
 import (
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -205,7 +205,7 @@ func TestChaosSweepCompletes(t *testing.T) {
 		ResetRate:  0.05,
 	})
 	handler := rspserver.Chain(srv.Handler(),
-		rspserver.WithRecovery(log.New(io.Discard, "", 0)),
+		rspserver.WithRecovery(slog.New(slog.NewTextHandler(io.Discard, nil))),
 		inj.Middleware,
 	)
 	ts := httptest.NewServer(handler)

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Handler serves the ring as JSON at /debug/requests: newest
+// first, optionally filtered with ?trace=<id>.
+func (r *SpanRing) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		spans := r.Snapshot()
+		if q := req.URL.Query().Get("trace"); q != "" {
+			id, ok := ParseTraceID(q)
+			if !ok {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+			filtered := spans[:0]
+			for _, s := range spans {
+				if s.Trace == id {
+					filtered = append(filtered, s)
+				}
+			}
+			spans = filtered
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Total uint64 `json:"total"`
+			Spans []Span `json:"spans"`
+		}{Total: r.Total(), Spans: spans})
+	})
+}
+
+// RegisterProcessMetrics adds runtime self-observation gauges
+// (goroutines, heap bytes, GC cycles, uptime) to the registry —
+// evaluated at scrape time, costing nothing between scrapes.
+func RegisterProcessMetrics(r *Registry) {
+	start := time.Now()
+	r.GaugeFunc("process_uptime_seconds", "Seconds since the process registered its metrics.",
+		func() float64 { return time.Since(start).Seconds() })
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.HeapAlloc)
+		})
+	r.GaugeFunc("go_gc_cycles_total", "Completed GC cycles.",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.NumGC)
+		})
+}

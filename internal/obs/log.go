@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// traceLogHandler is a slog.Handler that stamps the context's trace ID
+// onto every record, so any log line emitted while serving a traced
+// request carries trace_id=... without the call site knowing about
+// tracing at all.
+type traceLogHandler struct{ inner slog.Handler }
+
+// NewTraceLogHandler wraps any slog handler with trace-ID injection.
+func NewTraceLogHandler(inner slog.Handler) slog.Handler {
+	return &traceLogHandler{inner: inner}
+}
+
+func (h *traceLogHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *traceLogHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if id, ok := TraceFrom(ctx); ok {
+		rec = rec.Clone()
+		rec.AddAttrs(slog.String("trace_id", string(id)))
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *traceLogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &traceLogHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *traceLogHandler) WithGroup(name string) slog.Handler {
+	return &traceLogHandler{inner: h.inner.WithGroup(name)}
+}
+
+// NewLogger is the shared logger constructor for the cmd binaries: a
+// text slog.Logger writing to w, wrapped so trace IDs in the request
+// context surface automatically.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(NewTraceLogHandler(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})))
+}

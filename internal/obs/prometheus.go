@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every registered metric in the Prometheus
+// text exposition format (version 0.0.4): a # HELP and # TYPE line per
+// family, then one sample line per series, families sorted by name and
+// series sorted by label values, so scrapes diff cleanly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.fams4expo() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		if f.fn != nil {
+			if _, err := fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.fn())); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, s := range f.sortedSeries() {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// fams4expo returns families sorted by name; families with no series
+// and no value function are skipped (a declared Vec nobody resolved
+// yet has nothing to say).
+func (r *Registry) fams4expo() []*family {
+	var out []*family
+	for _, f := range r.families() {
+		f.mu.RLock()
+		n := len(f.series)
+		f.mu.RUnlock()
+		if n > 0 || f.fn != nil {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func (f *family) sortedSeries() []*series {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*series, len(keys))
+	for i, k := range keys {
+		out[i] = f.series[k]
+	}
+	f.mu.RUnlock()
+	return out
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	labels := renderLabels(f.labels, s.labelValues, "", "")
+	switch m := s.metric.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labels, m.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labels, m.Value())
+		return err
+	case *Histogram:
+		bounds, counts := m.Buckets()
+		// Cumulate on the way out; use the bucket total (not m.Count)
+		// for _count so the exposition is internally consistent even
+		// when observations land mid-scrape.
+		var cum uint64
+		for i, b := range bounds {
+			cum += counts[i]
+			ls := renderLabels(f.labels, s.labelValues, "le", formatFloat(b))
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, ls, cum); err != nil {
+				return err
+			}
+		}
+		cum += counts[len(counts)-1]
+		ls := renderLabels(f.labels, s.labelValues, "le", "+Inf")
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, ls, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labels, formatFloat(m.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labels, cum)
+		return err
+	default:
+		return fmt.Errorf("obs: unknown metric type %T", s.metric)
+	}
+}
+
+// renderLabels formats {k="v",...}; extraName/extraValue append a
+// synthetic label (the histogram's le). Empty label sets render as "".
+func renderLabels(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(v string) string { return helpEscaper.Replace(v) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Handler serves the registry in Prometheus text format — mount at
+// /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader is the HTTP header that carries a trace ID between
+// client and server.
+const TraceHeader = "X-Trace-Id"
+
+// RetryHeader carries the client's 0-based attempt number, so the
+// server can count how much of its traffic is retry pressure without
+// the client identifying itself.
+const RetryHeader = "X-Retry-Attempt"
+
+// TraceID is a 128-bit request identifier, lowercase hex encoded (32
+// characters). It is drawn fresh for each logical client call and
+// shared by all retry attempts of that call, which is exactly what
+// makes a retry storm legible in server logs.
+type TraceID string
+
+// fallback generates IDs when crypto/rand fails (it effectively never
+// does; this keeps tracing non-fatal regardless).
+var fallback struct {
+	mu      sync.Mutex
+	counter uint64
+}
+
+// NewTraceID returns a fresh random trace ID.
+func NewTraceID() TraceID {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		fallback.mu.Lock()
+		fallback.counter++
+		n := fallback.counter
+		fallback.mu.Unlock()
+		return TraceID(fmt.Sprintf("%016x%016x", time.Now().UnixNano(), n))
+	}
+	return TraceID(hex.EncodeToString(b[:]))
+}
+
+// ParseTraceID validates a wire-received trace ID: exactly 32 hex
+// characters. Anything else is rejected — a trace ID is reflected into
+// logs and debug endpoints, so it must not be a free-text channel.
+func ParseTraceID(s string) (TraceID, bool) {
+	if len(s) != 32 {
+		return "", false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f':
+		case c >= 'A' && c <= 'F':
+			// Normalize below.
+		default:
+			return "", false
+		}
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return "", false
+	}
+	return TraceID(hex.EncodeToString(b)), true
+}
+
+type traceKey struct{}
+
+// WithTrace returns a context carrying the trace ID.
+func WithTrace(ctx context.Context, id TraceID) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceFrom extracts the trace ID from a context, if any.
+func TraceFrom(ctx context.Context) (TraceID, bool) {
+	id, ok := ctx.Value(traceKey{}).(TraceID)
+	return id, ok
+}
+
+// Span is one completed server-side request: what arrived, what was
+// answered, and how long it took.
+type Span struct {
+	Trace    TraceID       `json:"trace"`
+	Method   string        `json:"method"`
+	Path     string        `json:"path"`
+	Status   int           `json:"status"`
+	Bytes    int64         `json:"bytes"`
+	Remote   string        `json:"remote"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// SpanRing is a bounded ring of the most recent spans — enough to
+// answer "what just happened" from /debug/requests without a tracing
+// backend. Safe for concurrent use.
+type SpanRing struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	total atomic.Uint64
+}
+
+// NewSpanRing returns a ring holding the last n spans (default 256
+// when n <= 0).
+func NewSpanRing(n int) *SpanRing {
+	if n <= 0 {
+		n = 256
+	}
+	return &SpanRing{buf: make([]Span, 0, n)}
+}
+
+// Record appends a span, evicting the oldest when full.
+func (r *SpanRing) Record(s Span) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, s)
+	} else {
+		r.buf[r.next] = s
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.mu.Unlock()
+	r.total.Add(1)
+}
+
+// Total reports how many spans were ever recorded (including evicted
+// ones).
+func (r *SpanRing) Total() uint64 { return r.total.Load() }
+
+// Snapshot returns the retained spans, newest first.
+func (r *SpanRing) Snapshot() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, 0, len(r.buf))
+	// Oldest-first order in the ring is buf[next:], then buf[:next];
+	// walk it backwards for newest-first.
+	for i := len(r.buf) - 1; i >= 0; i-- {
+		out = append(out, r.buf[(r.next+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Find returns the most recent span with the given trace ID.
+func (r *SpanRing) Find(id TraceID) (Span, bool) {
+	for _, s := range r.Snapshot() {
+		if s.Trace == id {
+			return s, true
+		}
+	}
+	return Span{}, false
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewTraceIDFormat(t *testing.T) {
+	seen := map[TraceID]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if len(id) != 32 {
+			t.Fatalf("trace id %q has length %d", id, len(id))
+		}
+		if _, ok := ParseTraceID(string(id)); !ok {
+			t.Fatalf("generated id %q does not parse", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestParseTraceID(t *testing.T) {
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{strings.Repeat("a", 32), true},
+		{strings.Repeat("A", 32), true}, // uppercase accepted, normalized
+		{strings.Repeat("a", 31), false},
+		{strings.Repeat("a", 33), false},
+		{strings.Repeat("g", 32), false},
+		{"", false},
+		{strings.Repeat("a", 16) + "\"><script>inject", false},
+	}
+	for _, c := range cases {
+		id, ok := ParseTraceID(c.in)
+		if ok != c.ok {
+			t.Fatalf("ParseTraceID(%q) ok=%v, want %v", c.in, ok, c.ok)
+		}
+		if ok && string(id) != strings.ToLower(c.in) {
+			t.Fatalf("ParseTraceID(%q) = %q, want normalized lowercase", c.in, id)
+		}
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	if _, ok := TraceFrom(context.Background()); ok {
+		t.Fatal("empty context claims a trace")
+	}
+	id := NewTraceID()
+	ctx := WithTrace(context.Background(), id)
+	got, ok := TraceFrom(ctx)
+	if !ok || got != id {
+		t.Fatalf("TraceFrom = %q, %v; want %q, true", got, ok, id)
+	}
+}
+
+func TestSpanRingEvictsOldest(t *testing.T) {
+	r := NewSpanRing(3)
+	for i := 0; i < 5; i++ {
+		r.Record(Span{Path: fmt.Sprintf("/p%d", i)})
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d, want 5", r.Total())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("retained %d spans, want 3", len(snap))
+	}
+	// Newest first: p4, p3, p2.
+	for i, want := range []string{"/p4", "/p3", "/p2"} {
+		if snap[i].Path != want {
+			t.Fatalf("snapshot[%d] = %q, want %q (snap %v)", i, snap[i].Path, want, snap)
+		}
+	}
+}
+
+func TestSpanRingFind(t *testing.T) {
+	r := NewSpanRing(4)
+	id := NewTraceID()
+	r.Record(Span{Trace: NewTraceID(), Path: "/other"})
+	r.Record(Span{Trace: id, Path: "/mine", Status: 202, Duration: time.Millisecond})
+	s, ok := r.Find(id)
+	if !ok || s.Path != "/mine" || s.Status != 202 {
+		t.Fatalf("Find = %+v, %v", s, ok)
+	}
+	if _, ok := r.Find(NewTraceID()); ok {
+		t.Fatal("found a span for an unknown trace")
+	}
+}
+
+func TestSpanRingConcurrent(t *testing.T) {
+	r := NewSpanRing(16)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				r.Record(Span{Trace: "0123456789abcdef0123456789abcdef"})
+				r.Snapshot()
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if r.Total() != 2000 {
+		t.Fatalf("total = %d, want 2000", r.Total())
+	}
+}

@@ -57,6 +57,13 @@ type Breaker struct {
 	MaxProbes int
 	// Clock defaults to the real clock; tests inject a simulated one.
 	Clock simclock.Clock
+	// OnStateChange, when set, is called after every state transition
+	// with the old and new state — observability counts breaker trips
+	// through this hook instead of polling State. It is invoked outside
+	// the breaker's lock (calling back into the breaker is safe) and
+	// must be set before first use; mutating it concurrently with
+	// traffic is a race.
+	OnStateChange func(from, to State)
 
 	mu       sync.Mutex
 	state    State
@@ -97,9 +104,22 @@ func (b *Breaker) now() time.Time {
 // half-open if the cooldown has elapsed).
 func (b *Breaker) State() State {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	b.advance()
-	return b.state
+	to := b.state
+	b.mu.Unlock()
+	b.notify(from, to)
+	return to
+}
+
+// notify reports a transition to the hook. Called after b.mu is
+// released so the hook may inspect the breaker freely. Every public
+// mutation performs at most one transition, so the (from, to) pair is
+// exact, not a collapsed summary.
+func (b *Breaker) notify(from, to State) {
+	if from != to && b.OnStateChange != nil {
+		b.OnStateChange(from, to)
+	}
 }
 
 // advance moves Open → HalfOpen once the cooldown has elapsed.
@@ -116,37 +136,44 @@ func (b *Breaker) advance() {
 // Success or Failure. ErrOpen means the circuit is refusing traffic.
 func (b *Breaker) Allow() error {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	b.advance()
+	var err error
 	switch b.state {
 	case Closed:
-		return nil
 	case HalfOpen:
 		if b.probes >= b.maxProbes() {
-			return ErrOpen
+			err = ErrOpen
+		} else {
+			b.probes++
 		}
-		b.probes++
-		return nil
 	default:
-		return ErrOpen
+		err = ErrOpen
 	}
+	to := b.state
+	b.mu.Unlock()
+	b.notify(from, to)
+	return err
 }
 
 // Success reports that an allowed attempt succeeded.
 func (b *Breaker) Success() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	if b.state == HalfOpen {
 		b.state = Closed
 	}
 	b.failures = 0
 	b.probes = 0
+	to := b.state
+	b.mu.Unlock()
+	b.notify(from, to)
 }
 
 // Failure reports that an allowed attempt failed.
 func (b *Breaker) Failure() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	switch b.state {
 	case HalfOpen:
 		b.trip()
@@ -156,6 +183,9 @@ func (b *Breaker) Failure() {
 			b.trip()
 		}
 	}
+	to := b.state
+	b.mu.Unlock()
+	b.notify(from, to)
 }
 
 // trip opens the circuit. Callers hold b.mu.

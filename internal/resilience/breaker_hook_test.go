@@ -1,0 +1,105 @@
+package resilience
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"opinions/internal/simclock"
+)
+
+// recordTransitions wires a hook that appends "from→to" strings.
+func recordTransitions(b *Breaker) *[]string {
+	var log []string
+	b.OnStateChange = func(from, to State) {
+		log = append(log, fmt.Sprintf("%v→%v", from, to))
+	}
+	return &log
+}
+
+func TestBreakerHookSeesFullLifecycle(t *testing.T) {
+	clock := simclock.NewSim(simclock.Epoch)
+	b := &Breaker{FailureThreshold: 2, Cooldown: time.Minute, Clock: clock}
+	log := recordTransitions(b)
+
+	// Two failures trip the circuit.
+	b.Allow()
+	b.Failure()
+	if len(*log) != 0 {
+		t.Fatalf("hook fired before threshold: %v", *log)
+	}
+	b.Allow()
+	b.Failure()
+
+	// Cooldown elapses; the next Allow advances to half-open.
+	clock.Advance(time.Minute)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open probe refused: %v", err)
+	}
+	b.Success()
+
+	want := []string{"closed→open", "open→half-open", "half-open→closed"}
+	if len(*log) != len(want) {
+		t.Fatalf("transitions = %v, want %v", *log, want)
+	}
+	for i := range want {
+		if (*log)[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q (all: %v)", i, (*log)[i], want[i], *log)
+		}
+	}
+}
+
+func TestBreakerHookProbeFailureReopens(t *testing.T) {
+	clock := simclock.NewSim(simclock.Epoch)
+	b := &Breaker{FailureThreshold: 1, Cooldown: time.Minute, Clock: clock}
+	log := recordTransitions(b)
+
+	b.Allow()
+	b.Failure()
+	clock.Advance(time.Minute)
+	b.Allow()
+	b.Failure() // failed probe re-opens
+
+	want := []string{"closed→open", "open→half-open", "half-open→open"}
+	if len(*log) != 3 || (*log)[2] != want[2] {
+		t.Fatalf("transitions = %v, want %v", *log, want)
+	}
+}
+
+func TestBreakerHookNotCalledOnNonTransitions(t *testing.T) {
+	b := &Breaker{FailureThreshold: 5}
+	log := recordTransitions(b)
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Success() // closed stays closed
+	}
+	if len(*log) != 0 {
+		t.Fatalf("hook fired without a transition: %v", *log)
+	}
+}
+
+// TestBreakerHookReentrant pins the documented guarantee that the hook
+// runs outside the breaker's lock: calling back into the breaker from
+// the hook must not deadlock.
+func TestBreakerHookReentrant(t *testing.T) {
+	clock := simclock.NewSim(simclock.Epoch)
+	b := &Breaker{FailureThreshold: 1, Cooldown: time.Minute, Clock: clock}
+	var states []State
+	b.OnStateChange = func(from, to State) {
+		states = append(states, b.State()) // would deadlock if mu were held
+	}
+	done := make(chan struct{})
+	go func() {
+		b.Allow()
+		b.Failure()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("hook deadlocked calling back into the breaker")
+	}
+	if len(states) != 1 || states[0] != Open {
+		t.Fatalf("reentrant State() = %v, want [open]", states)
+	}
+}

@@ -12,7 +12,7 @@ package rspclient
 
 import (
 	"io"
-	"log"
+	"log/slog"
 	"net/http/httptest"
 	"path/filepath"
 	"testing"
@@ -43,7 +43,7 @@ func TestChaosSoakZeroLostUploads(t *testing.T) {
 		// soak only makes a few hundred requests in total.
 		TruncateAppliedRate: 0.15,
 	})
-	quiet := log.New(io.Discard, "", 0)
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
 	handler := rspserver.Chain(srv.Handler(),
 		rspserver.WithRecovery(quiet),
 		inj.Middleware,

@@ -1,0 +1,42 @@
+package rspclient
+
+import (
+	"opinions/internal/obs"
+	"opinions/internal/resilience"
+)
+
+// Client-side instruments, shared by every agent/transport in the
+// process and registered on the process-wide registry. Counters are
+// additive across instances; the spool depth gauge is maintained by
+// deltas for the same reason.
+var (
+	metricCalls = obs.Default.CounterVec("rsp_client_requests_total",
+		"Transport calls by path and outcome (ok or error, after retries).",
+		"path", "outcome")
+	metricRetries = obs.Default.Counter("rsp_client_retries_total",
+		"Individual retry attempts beyond the first try, across all transport calls.")
+	metricBreaker = obs.Default.CounterVec("rsp_client_breaker_transitions_total",
+		"Circuit-breaker state transitions, labeled from->to.",
+		"from", "to")
+	metricBreakerFastFail = obs.Default.Counter("rsp_client_breaker_fastfails_total",
+		"Calls refused immediately because the circuit was open.")
+	metricSpoolDepth = obs.Default.Gauge("rsp_client_spool_depth",
+		"Uploads currently spooled awaiting redelivery, summed across spools.")
+	metricSpooled = obs.Default.Counter("rsp_client_spooled_total",
+		"Uploads put into a spool after a failed delivery (or a suspend).")
+	metricDrained = obs.Default.Counter("rsp_client_spool_drained_total",
+		"Uploads taken back out of a spool for a delivery attempt.")
+)
+
+// InstrumentBreaker wires a breaker's state-change hook into the
+// transition counter, chaining (not replacing) any hook already set.
+// Call once per breaker, before traffic.
+func InstrumentBreaker(b *resilience.Breaker) {
+	prev := b.OnStateChange
+	b.OnStateChange = func(from, to resilience.State) {
+		metricBreaker.With(from.String(), to.String()).Inc()
+		if prev != nil {
+			prev(from, to)
+		}
+	}
+}

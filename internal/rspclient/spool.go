@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"opinions/internal/anonymity"
 	"opinions/internal/blindsig"
@@ -33,6 +34,11 @@ type Spool struct {
 	mu    sync.Mutex
 	path  string
 	items []anonymity.Upload
+	// oldestSince is the wall-clock time the oldest current entry was
+	// spooled — the spool-age signal. Zero when empty. Wall clock, not
+	// sim time: age is an operational how-stale-is-durability metric,
+	// not simulation state.
+	oldestSince time.Time
 }
 
 // NewSpool returns an in-memory spool (path "") or a durable one backed
@@ -60,6 +66,10 @@ func NewSpool(path string) (*Spool, error) {
 	for i := range s.items {
 		s.items[i].Token = blindsig.Token{}
 	}
+	if len(s.items) > 0 {
+		s.oldestSince = time.Now()
+		metricSpoolDepth.Add(int64(len(s.items)))
+	}
 	return s, nil
 }
 
@@ -76,10 +86,15 @@ func (s *Spool) PutAll(us []anonymity.Upload) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if len(s.items) == 0 {
+		s.oldestSince = time.Now()
+	}
 	for _, u := range us {
 		u.Token = blindsig.Token{}
 		s.items = append(s.items, u)
 	}
+	metricSpooled.Add(uint64(len(us)))
+	metricSpoolDepth.Add(int64(len(us)))
 	s.persistLocked()
 }
 
@@ -91,8 +106,24 @@ func (s *Spool) TakeAll() []anonymity.Upload {
 	defer s.mu.Unlock()
 	out := s.items
 	s.items = nil
+	s.oldestSince = time.Time{}
+	metricDrained.Add(uint64(len(out)))
+	metricSpoolDepth.Add(int64(-len(out)))
 	s.persistLocked()
 	return out
+}
+
+// OldestAge reports how long the oldest spooled upload has been
+// waiting for redelivery (zero when the spool is empty). This is the
+// per-instance spool-age signal; the process-wide depth rides the
+// rsp_client_spool_depth gauge.
+func (s *Spool) OldestAge() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.items) == 0 || s.oldestSince.IsZero() {
+		return 0
+	}
+	return time.Since(s.oldestSince)
 }
 
 // Len reports the number of spooled uploads.

@@ -11,12 +11,15 @@ import (
 	"io"
 	"math/big"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"opinions/internal/attest"
 	"opinions/internal/geo"
 	"opinions/internal/inference"
+	"opinions/internal/obs"
 	"opinions/internal/resilience"
 	"opinions/internal/reviews"
 	"opinions/internal/rspserver"
@@ -81,6 +84,10 @@ type HTTPTransport struct {
 	// Breaker, when set, fails calls fast while the RSP is down instead
 	// of burning the device's radio on retries.
 	Breaker *resilience.Breaker
+
+	// obsOnce instruments the breaker's state-change hook exactly once,
+	// lazily, so literal construction keeps working.
+	obsOnce sync.Once
 }
 
 func (t *HTTPTransport) client() *http.Client {
@@ -113,7 +120,21 @@ func transientStatus(code int) bool {
 // roundTrip performs one HTTP exchange with retries: GET when body is
 // nil, POST otherwise. The request body is marshalled once and replayed
 // per attempt; the response decodes into out when non-nil.
+//
+// Every logical call gets one fresh trace ID shared by all its retry
+// attempts, sent as X-Trace-Id, with the 0-based attempt number on
+// X-Retry-Attempt — the server sees a retry storm as repeats of one
+// trace, not as unrelated traffic. The ID is minted here, at delivery
+// time: it identifies this HTTP exchange only and never rides an
+// upload through the mix or the spool (see DESIGN.md, Observability).
 func (t *HTTPTransport) roundTrip(method, path string, body []byte, out any) error {
+	t.obsOnce.Do(func() {
+		if t.Breaker != nil {
+			InstrumentBreaker(t.Breaker)
+		}
+	})
+	trace := obs.NewTraceID()
+	attempt := 0
 	op := func(ctx context.Context) error {
 		var reader io.Reader
 		if body != nil {
@@ -125,6 +146,11 @@ func (t *HTTPTransport) roundTrip(method, path string, body []byte, out any) err
 		}
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
+		}
+		req.Header.Set(obs.TraceHeader, string(trace))
+		req.Header.Set(obs.RetryHeader, strconv.Itoa(attempt))
+		if attempt++; attempt > 1 {
+			metricRetries.Inc()
 		}
 		resp, err := t.client().Do(req)
 		if err != nil {
@@ -160,6 +186,7 @@ func (t *HTTPTransport) roundTrip(method, path string, body []byte, out any) err
 			if err := t.Breaker.Allow(); err != nil {
 				// An open circuit fails fast; retrying inside the
 				// cooldown is pointless.
+				metricBreakerFastFail.Inc()
 				return resilience.Permanent(err)
 			}
 			err := guarded(ctx)
@@ -167,7 +194,13 @@ func (t *HTTPTransport) roundTrip(method, path string, body []byte, out any) err
 			return err
 		}
 	}
-	return t.retry().Do(context.Background(), op)
+	err := t.retry().Do(context.Background(), op)
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	metricCalls.With(path, outcome).Inc()
+	return err
 }
 
 func (t *HTTPTransport) getJSON(path string, out any) error {

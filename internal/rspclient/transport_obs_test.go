@@ -1,0 +1,161 @@
+package rspclient
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"opinions/internal/obs"
+	"opinions/internal/resilience"
+)
+
+// headerLog records the trace headers of every attempt a test server
+// sees, so tests can assert on the wire-level retry/tracing protocol.
+type headerLog struct {
+	mu       sync.Mutex
+	traces   []string
+	attempts []string
+}
+
+func (l *headerLog) record(r *http.Request) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.traces = append(l.traces, r.Header.Get(obs.TraceHeader))
+	l.attempts = append(l.attempts, r.Header.Get(obs.RetryHeader))
+}
+
+func fastRetry(attempts int) *resilience.Policy {
+	return &resilience.Policy{
+		MaxAttempts: attempts,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    2 * time.Millisecond,
+	}
+}
+
+func TestTransportSendsOneTraceAcrossRetries(t *testing.T) {
+	var log headerLog
+	var calls int
+	var mu sync.Mutex
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		log.record(r)
+		mu.Lock()
+		calls++
+		first := calls == 1
+		mu.Unlock()
+		if first {
+			http.Error(w, `{"error":"transient"}`, http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`[]`)) // empty directory
+	}))
+	defer srv.Close()
+
+	retriesBefore := metricRetries.Value()
+	okBefore := metricCalls.With("/api/directory", "ok").Value()
+
+	tr := &HTTPTransport{BaseURL: srv.URL, Retry: fastRetry(3)}
+	if _, err := tr.FetchDirectory(); err != nil {
+		t.Fatalf("FetchDirectory after one transient failure: %v", err)
+	}
+
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	if len(log.traces) != 2 {
+		t.Fatalf("server saw %d attempts, want 2", len(log.traces))
+	}
+	if _, ok := obs.ParseTraceID(log.traces[0]); !ok {
+		t.Fatalf("attempt 0 carried invalid trace id %q", log.traces[0])
+	}
+	if log.traces[0] != log.traces[1] {
+		t.Fatalf("retry changed trace id: %q then %q — a retry storm must look like one trace", log.traces[0], log.traces[1])
+	}
+	if log.attempts[0] != "0" || log.attempts[1] != "1" {
+		t.Fatalf("retry attempts on the wire = %v, want [0 1]", log.attempts)
+	}
+	if got := metricRetries.Value() - retriesBefore; got != 1 {
+		t.Fatalf("retry counter delta = %d, want 1", got)
+	}
+	if got := metricCalls.With("/api/directory", "ok").Value() - okBefore; got != 1 {
+		t.Fatalf("ok-call counter delta = %d, want 1", got)
+	}
+}
+
+func TestTransportMintsFreshTracePerCall(t *testing.T) {
+	var log headerLog
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		log.record(r)
+		w.Write([]byte(`[]`))
+	}))
+	defer srv.Close()
+
+	tr := &HTTPTransport{BaseURL: srv.URL, Retry: fastRetry(1)}
+	tr.FetchDirectory()
+	tr.FetchDirectory()
+
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	if len(log.traces) != 2 || log.traces[0] == log.traces[1] {
+		t.Fatalf("two logical calls shared a trace id: %v", log.traces)
+	}
+}
+
+func TestTransportCountsErrorOutcome(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"nope"}`, http.StatusForbidden)
+	}))
+	defer srv.Close()
+
+	before := metricCalls.With("/api/directory", "error").Value()
+	tr := &HTTPTransport{BaseURL: srv.URL, Retry: fastRetry(1)}
+	if _, err := tr.FetchDirectory(); err == nil {
+		t.Fatal("403 did not surface as an error")
+	}
+	if got := metricCalls.With("/api/directory", "error").Value() - before; got != 1 {
+		t.Fatalf("error-call counter delta = %d, want 1", got)
+	}
+}
+
+func TestInstrumentBreakerCountsTransitionsAndChains(t *testing.T) {
+	b := &resilience.Breaker{FailureThreshold: 1}
+	var chained []string
+	b.OnStateChange = func(from, to resilience.State) {
+		chained = append(chained, from.String()+"->"+to.String())
+	}
+	InstrumentBreaker(b)
+
+	before := metricBreaker.With("closed", "open").Value()
+	b.Allow()
+	b.Failure()
+
+	if got := metricBreaker.With("closed", "open").Value() - before; got != 1 {
+		t.Fatalf("transition counter delta = %d, want 1", got)
+	}
+	if len(chained) != 1 || chained[0] != "closed->open" {
+		t.Fatalf("prior hook not chained: %v", chained)
+	}
+}
+
+func TestTransportCountsBreakerFastFails(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	fastBefore := metricBreakerFastFail.Value()
+	tr := &HTTPTransport{
+		BaseURL: srv.URL,
+		Retry:   fastRetry(1),
+		Breaker: &resilience.Breaker{FailureThreshold: 1, Cooldown: time.Hour},
+	}
+	// First call trips the breaker; second fails fast without touching
+	// the network.
+	tr.FetchDirectory()
+	if _, err := tr.FetchDirectory(); err == nil {
+		t.Fatal("open breaker let a call through")
+	}
+	if got := metricBreakerFastFail.Value() - fastBefore; got != 1 {
+		t.Fatalf("fast-fail counter delta = %d, want 1", got)
+	}
+}

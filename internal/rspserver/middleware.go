@@ -2,7 +2,7 @@ package rspserver
 
 import (
 	"errors"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime/debug"
@@ -25,10 +25,12 @@ func Chain(h http.Handler, mws ...Middleware) http.Handler {
 	return h
 }
 
-// statusRecorder captures the response status for logging.
+// statusRecorder captures the response status and body size for
+// logging and the RED metrics.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 	wrote  bool
 }
 
@@ -40,7 +42,9 @@ func (r *statusRecorder) WriteHeader(code int) {
 
 func (r *statusRecorder) Write(p []byte) (int, error) {
 	r.wrote = true
-	return r.ResponseWriter.Write(p)
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
 }
 
 // Flush forwards to the underlying writer so streaming handlers keep
@@ -58,9 +62,11 @@ func (r *statusRecorder) Flush() {
 // connection for deadlines, hijacking, and flushing.
 func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
-// WithLogging logs one line per request: method, path, status, latency,
-// remote host. Logger defaults to the standard logger.
-func WithLogging(logger *log.Logger) Middleware {
+// WithLogging logs one line per request: method, path, status, bytes,
+// latency, remote host. Logger defaults to slog's default logger; the
+// record is emitted with the request context, so a logger built on
+// obs.NewTraceLogHandler stamps trace_id automatically.
+func WithLogging(logger *slog.Logger) Middleware {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
@@ -72,10 +78,15 @@ func WithLogging(logger *log.Logger) Middleware {
 			}
 			l := logger
 			if l == nil {
-				l = log.Default()
+				l = slog.Default()
 			}
-			l.Printf("%s %s %d %s %s", r.Method, r.URL.Path, rec.status,
-				time.Since(start).Round(time.Microsecond), host)
+			l.InfoContext(r.Context(), "request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", rec.status,
+				"bytes", rec.bytes,
+				"dur", time.Since(start).Round(time.Microsecond),
+				"remote", host)
 		})
 	}
 }
@@ -85,7 +96,7 @@ func WithLogging(logger *log.Logger) Middleware {
 // serving goroutine, the process). http.ErrAbortHandler is re-panicked
 // — it is the sanctioned way to abort a response mid-flight, and both
 // net/http and the fault injector rely on it propagating.
-func WithRecovery(logger *log.Logger) Middleware {
+func WithRecovery(logger *slog.Logger) Middleware {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
@@ -97,11 +108,16 @@ func WithRecovery(logger *log.Logger) Middleware {
 				if p == http.ErrAbortHandler {
 					panic(p)
 				}
+				metricPanics.Inc()
 				l := logger
 				if l == nil {
-					l = log.Default()
+					l = slog.Default()
 				}
-				l.Printf("rspserver: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				l.ErrorContext(r.Context(), "panic serving request",
+					"method", r.Method,
+					"path", r.URL.Path,
+					"panic", p,
+					"stack", string(debug.Stack()))
 				if !rec.wrote {
 					writeErr(rec, http.StatusInternalServerError, errors.New("internal server error"))
 				}
@@ -146,6 +162,7 @@ func WithMaxInFlight(n int, retryAfter time.Duration) Middleware {
 				defer func() { <-sem }()
 				next.ServeHTTP(w, r)
 			default:
+				metricSheds.Inc()
 				w.Header().Set("Retry-After", strconv.Itoa(secs))
 				writeErr(w, http.StatusServiceUnavailable, errors.New("server overloaded, retry later"))
 			}
@@ -192,6 +209,7 @@ func WithRateLimit(ratePerWindow int, window time.Duration, clock simclock.Clock
 			over := b.n > ratePerWindow
 			mu.Unlock()
 			if over {
+				metricRateLimited.Inc()
 				w.Header().Set("Retry-After", window.String())
 				http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
 				return

@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -14,6 +14,19 @@ import (
 	"opinions/internal/simclock"
 )
 
+// testLogger returns a text slog.Logger writing to w, without
+// timestamps, for stable assertions.
+func testLogger(w io.Writer) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if a.Key == slog.TimeKey && len(groups) == 0 {
+				return slog.Attr{}
+			}
+			return a
+		},
+	}))
+}
+
 func okHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -22,16 +35,17 @@ func okHandler() http.Handler {
 
 func TestWithLoggingWritesOneLine(t *testing.T) {
 	var buf bytes.Buffer
-	logger := log.New(&buf, "", 0)
-	h := Chain(okHandler(), WithLogging(logger))
+	h := Chain(okHandler(), WithLogging(testLogger(&buf)))
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 	if _, err := http.Get(ts.URL + "/api/search"); err != nil {
 		t.Fatal(err)
 	}
 	line := buf.String()
-	if !strings.Contains(line, "GET /api/search 200") {
-		t.Fatalf("log line = %q", line)
+	for _, want := range []string{"method=GET", "path=/api/search", "status=200"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("log line %q missing %q", line, want)
+		}
 	}
 	if strings.Count(line, "\n") != 1 {
 		t.Fatalf("expected exactly one line, got %q", line)
@@ -122,7 +136,7 @@ func TestStatusRecorderForwardsFlusher(t *testing.T) {
 		if ok {
 			f.Flush()
 		}
-	}), WithLogging(log.New(io.Discard, "", 0)))
+	}), WithLogging(testLogger(io.Discard)))
 	h.ServeHTTP(under, httptest.NewRequest(http.MethodGet, "/", nil))
 	if !sawFlusher {
 		t.Fatal("handler behind WithLogging lost http.Flusher")
@@ -164,7 +178,7 @@ func TestWithRecoveryTurnsPanicInto500(t *testing.T) {
 	var buf bytes.Buffer
 	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		panic("kaboom")
-	}), WithRecovery(log.New(&buf, "", 0)))
+	}), WithRecovery(testLogger(&buf)))
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 	resp, err := http.Get(ts.URL)
@@ -190,7 +204,7 @@ func TestWithRecoveryRepanicsAbortHandler(t *testing.T) {
 	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		panic(http.ErrAbortHandler)
 	})
-	h := Chain(inner, WithRecovery(log.New(io.Discard, "", 0)))
+	h := Chain(inner, WithRecovery(testLogger(io.Discard)))
 	defer func() {
 		if p := recover(); p != http.ErrAbortHandler {
 			t.Fatalf("recovered %v, want re-panicked ErrAbortHandler", p)

@@ -1,0 +1,135 @@
+package rspserver
+
+import (
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"opinions/internal/obs"
+)
+
+// The server's instruments, registered once on the process-wide
+// registry. Handles are package-level so the hot path is a single
+// atomic add; the Vec lookups resolve per request (one read-locked map
+// hit), never per increment.
+var (
+	metricRequests = obs.Default.CounterVec("rsp_http_requests_total",
+		"HTTP requests served, by route, method, and status code.",
+		"route", "method", "code")
+	metricDuration = obs.Default.HistogramVec("rsp_http_request_seconds",
+		"HTTP request latency in seconds, by route.",
+		nil, "route")
+	metricRespBytes = obs.Default.CounterVec("rsp_http_response_bytes_total",
+		"HTTP response body bytes written, by route.",
+		"route")
+	metricInFlight = obs.Default.Gauge("rsp_http_inflight_requests",
+		"Requests currently being served.")
+	metricSheds = obs.Default.Counter("rsp_http_sheds_total",
+		"Requests shed with 503 by the max-in-flight limiter.")
+	metricRateLimited = obs.Default.Counter("rsp_http_rate_limited_total",
+		"Requests refused with 429 by the per-host rate limiter.")
+	metricPanics = obs.Default.Counter("rsp_http_panics_total",
+		"Handler panics converted to 500s by the recovery middleware.")
+	metricRetried = obs.Default.Counter("rsp_http_retried_requests_total",
+		"Requests that declared themselves retries via "+obs.RetryHeader+".")
+	metricDedupReplays = obs.Default.Counter("rsp_upload_dedup_replays_total",
+		"Upload deliveries absorbed by the exactly-once ledger (already-applied keys answered success without re-applying).")
+	metricTokenRefusals = obs.Default.Counter("rsp_token_rate_limited_total",
+		"Token-signing requests refused because the device exceeded its issuance rate.")
+)
+
+// apiRoutes is the closed route vocabulary for metric labels. Raw
+// request paths must never become label values — an attacker probing
+// /api/%x paths would otherwise mint unbounded series.
+var apiRoutes = map[string]struct{}{
+	"/api/meta":             {},
+	"/api/search":           {},
+	"/api/entity":           {},
+	"/api/reviews":          {},
+	"/api/directory":        {},
+	"/api/token/key":        {},
+	"/api/token":            {},
+	"/api/attest/challenge": {},
+	"/api/attest/verify":    {},
+	"/api/upload":           {},
+	"/api/model":            {},
+	"/api/train":            {},
+	"/api/model/retrain":    {},
+	"/api/fraud/sweep":      {},
+	"/api/stats":            {},
+}
+
+func routeLabel(path string) string {
+	if _, ok := apiRoutes[path]; ok {
+		return path
+	}
+	return "other"
+}
+
+// WithMetrics is the RED middleware: per-route request counts by
+// method and status, a per-route latency histogram, response bytes,
+// and the in-flight gauge. Mount it inside tracing/logging and outside
+// the shedding middlewares, so shed and rate-limited refusals are
+// counted as the 503s/429s they are.
+func WithMetrics() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			route := routeLabel(r.URL.Path)
+			if ra := r.Header.Get(obs.RetryHeader); ra != "" && ra != "0" {
+				metricRetried.Inc()
+			}
+			metricInFlight.Add(1)
+			rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+			start := time.Now()
+			defer func() {
+				// The deferred body runs even when the handler panics
+				// (recovery sits outside), so in-flight cannot leak.
+				metricInFlight.Add(-1)
+				metricDuration.With(route).Observe(time.Since(start).Seconds())
+				metricRequests.With(route, r.Method, strconv.Itoa(rec.status)).Inc()
+				metricRespBytes.With(route).Add(uint64(rec.bytes))
+			}()
+			next.ServeHTTP(rec, r)
+		})
+	}
+}
+
+// WithTracing adopts the client's X-Trace-Id (or mints one), carries
+// it in the request context, echoes it on the response, and records a
+// completed span into the ring. Mount it outermost-but-one (inside
+// recovery only), so every log line and metric below it is taken in
+// trace context.
+func WithTracing(ring *obs.SpanRing) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			id, ok := obs.ParseTraceID(r.Header.Get(obs.TraceHeader))
+			if !ok {
+				id = obs.NewTraceID()
+			}
+			r = r.WithContext(obs.WithTrace(r.Context(), id))
+			w.Header().Set(obs.TraceHeader, string(id))
+			rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+			start := time.Now()
+			defer func() {
+				if ring != nil {
+					host, _, err := net.SplitHostPort(r.RemoteAddr)
+					if err != nil {
+						host = r.RemoteAddr
+					}
+					ring.Record(obs.Span{
+						Trace:    id,
+						Method:   r.Method,
+						Path:     r.URL.Path,
+						Status:   rec.status,
+						Bytes:    rec.bytes,
+						Remote:   host,
+						Start:    start,
+						Duration: time.Since(start),
+					})
+				}
+			}()
+			next.ServeHTTP(rec, r)
+		})
+	}
+}

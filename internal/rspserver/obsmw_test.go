@@ -1,0 +1,187 @@
+package rspserver
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"opinions/internal/obs"
+)
+
+// The server's instruments live on obs.Default, which is process-wide
+// and shared across tests, so every assertion here is a before/after
+// delta rather than an absolute value.
+
+func TestWithMetricsRED(t *testing.T) {
+	const route = "/api/search"
+	reqBefore := metricRequests.With(route, "GET", "201").Value()
+	bytesBefore := metricRespBytes.With(route).Value()
+	durBefore := metricDuration.With(route).Count()
+
+	var inFlightInside int64
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inFlightInside = metricInFlight.Value()
+		w.WriteHeader(201)
+		w.Write([]byte("hello, metrics"))
+	}), WithMetrics())
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", route, nil))
+
+	if got := metricRequests.With(route, "GET", "201").Value() - reqBefore; got != 1 {
+		t.Fatalf("request counter delta = %d, want 1", got)
+	}
+	if got := metricRespBytes.With(route).Value() - bytesBefore; got != uint64(len("hello, metrics")) {
+		t.Fatalf("response bytes delta = %d, want %d", got, len("hello, metrics"))
+	}
+	if got := metricDuration.With(route).Count() - durBefore; got != 1 {
+		t.Fatalf("duration observations delta = %d, want 1", got)
+	}
+	if inFlightInside < 1 {
+		t.Fatalf("in-flight gauge inside handler = %d, want >= 1", inFlightInside)
+	}
+}
+
+func TestWithMetricsUnknownRouteCollapsesToOther(t *testing.T) {
+	before := metricRequests.With("other", "GET", "200").Value()
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}), WithMetrics())
+	// Paths an attacker probes must not mint new series.
+	for _, p := range []string{"/api/%78", "/admin", "/api/upload/../x"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", p, nil))
+	}
+	if got := metricRequests.With("other", "GET", "200").Value() - before; got != 3 {
+		t.Fatalf("other-route counter delta = %d, want 3", got)
+	}
+}
+
+func TestWithMetricsRetriedHeader(t *testing.T) {
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}), WithMetrics())
+	send := func(attempt string) uint64 {
+		before := metricRetried.Value()
+		req := httptest.NewRequest("GET", "/api/meta", nil)
+		if attempt != "" {
+			req.Header.Set(obs.RetryHeader, attempt)
+		}
+		h.ServeHTTP(httptest.NewRecorder(), req)
+		return metricRetried.Value() - before
+	}
+	if got := send(""); got != 0 {
+		t.Fatalf("no header counted as retry: delta %d", got)
+	}
+	if got := send("0"); got != 0 {
+		t.Fatalf("first attempt counted as retry: delta %d", got)
+	}
+	if got := send("1"); got != 1 {
+		t.Fatalf("retry attempt not counted: delta %d", got)
+	}
+	if got := send("3"); got != 1 {
+		t.Fatalf("later retry attempt not counted: delta %d", got)
+	}
+}
+
+func TestRouteLabel(t *testing.T) {
+	if got := routeLabel("/api/upload"); got != "/api/upload" {
+		t.Fatalf("known route mapped to %q", got)
+	}
+	for _, p := range []string{"/api/uploadx", "/", "/metrics", "/api/upload/"} {
+		if got := routeLabel(p); got != "other" {
+			t.Fatalf("routeLabel(%q) = %q, want other", p, got)
+		}
+	}
+}
+
+func TestWithTracingAdoptsClientTraceID(t *testing.T) {
+	ring := obs.NewSpanRing(8)
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// The trace must be visible to the handler via context.
+		if _, ok := obs.TraceFrom(r.Context()); !ok {
+			t.Error("handler context carries no trace")
+		}
+		w.WriteHeader(202)
+		w.Write([]byte("ok"))
+	}), WithTracing(ring))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	id := obs.NewTraceID()
+	req, _ := http.NewRequest("POST", srv.URL+"/api/upload", nil)
+	req.Header.Set(obs.TraceHeader, string(id))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if echo := resp.Header.Get(obs.TraceHeader); echo != string(id) {
+		t.Fatalf("response echoed trace %q, want %q", echo, id)
+	}
+	span, ok := ring.Find(id)
+	if !ok {
+		t.Fatalf("no span recorded for client trace %s", id)
+	}
+	if span.Method != "POST" || span.Path != "/api/upload" || span.Status != 202 || span.Bytes != 2 {
+		t.Fatalf("span = %+v", span)
+	}
+	if span.Remote == "" {
+		t.Fatal("span missing remote host")
+	}
+}
+
+func TestWithTracingMintsWhenAbsentOrInvalid(t *testing.T) {
+	ring := obs.NewSpanRing(8)
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}), WithTracing(ring))
+
+	for _, header := range []string{"", "not-a-trace-id"} {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("GET", "/api/meta", nil)
+		if header != "" {
+			req.Header.Set(obs.TraceHeader, header)
+		}
+		h.ServeHTTP(rec, req)
+		echo, ok := obs.ParseTraceID(rec.Header().Get(obs.TraceHeader))
+		if !ok {
+			t.Fatalf("header %q: response trace %q is not a valid minted id", header, rec.Header().Get(obs.TraceHeader))
+		}
+		if _, ok := ring.Find(echo); !ok {
+			t.Fatalf("header %q: minted trace %s not in ring", header, echo)
+		}
+	}
+}
+
+func TestStatusRecorderCountsBytes(t *testing.T) {
+	rec := &statusRecorder{ResponseWriter: httptest.NewRecorder(), status: http.StatusOK}
+	rec.WriteHeader(418)
+	rec.Write([]byte("short"))
+	rec.Write([]byte(" and more"))
+	if rec.status != 418 {
+		t.Fatalf("status = %d", rec.status)
+	}
+	if want := int64(len("short and more")); rec.bytes != want {
+		t.Fatalf("bytes = %d, want %d", rec.bytes, want)
+	}
+}
+
+func TestWithMaxInFlightCountsSheds(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+	}), WithMaxInFlight(1, 0))
+
+	before := metricSheds.Value()
+	go h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/api/meta", nil))
+	<-entered
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/meta", nil))
+	close(release)
+
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("shed request answered %d", rec.Code)
+	}
+	if got := metricSheds.Value() - before; got != 1 {
+		t.Fatalf("shed counter delta = %d, want 1", got)
+	}
+}

@@ -434,6 +434,7 @@ func (s *Server) handleTokenSign(w http.ResponseWriter, r *http.Request) {
 		status := http.StatusBadRequest
 		if errors.Is(err, blindsig.ErrRateLimited) {
 			status = http.StatusTooManyRequests
+			metricTokenRefusals.Inc()
 		}
 		writeErr(w, status, err)
 		return
@@ -551,6 +552,7 @@ func (s *Server) AcceptUpload(req UploadRequest) error {
 			// Already applied (or a racing twin of this very request is
 			// mid-apply and owns it): answer success, apply nothing, and
 			// leave the token unspent for the fresh-token redelivery case.
+			metricDedupReplays.Inc()
 			return nil
 		}
 	}
@@ -561,6 +563,7 @@ func (s *Server) AcceptUpload(req UploadRequest) error {
 				// The same token+key was committed between our ledger
 				// check and the redeem — the retry raced its twin. The
 				// upload is applied; report success, not 403.
+				metricDedupReplays.Inc()
 				return nil
 			}
 		}
