@@ -22,12 +22,14 @@ fmt:
 verify:
 	sh scripts/verify.sh
 
-# bench runs every benchmark and writes a machine-readable report to
-# BENCH_PR4.json (human output still streams to the terminal). The root
-# package's experiment benchmarks each run one full simulated
-# experiment, so they get -benchtime 1x; the internal micro-benchmarks
-# use the default sampling so ns/op figures are meaningful.
+# bench runs every benchmark — including the WAL append and
+# striped-read benchmarks in internal/store — and writes a
+# machine-readable report to BENCH_PR5.json (human output still streams
+# to the terminal). The root package's experiment benchmarks each run
+# one full simulated experiment, so they get -benchtime 1x; the
+# internal micro-benchmarks use the default sampling so ns/op figures
+# are meaningful.
 bench:
 	{ $(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . && \
 	  $(GO) test -run '^$$' -bench . -benchmem ./internal/... ; } \
-	  | $(GO) run ./cmd/benchjson -out BENCH_PR4.json
+	  | $(GO) run ./cmd/benchjson -out BENCH_PR5.json

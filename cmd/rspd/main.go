@@ -32,6 +32,7 @@ import (
 	"opinions/internal/obs"
 	"opinions/internal/rspserver"
 	"opinions/internal/storage"
+	"opinions/internal/store"
 	"opinions/internal/world"
 )
 
@@ -44,8 +45,10 @@ func main() {
 		seed        = flag.Int64("seed", 1, "world seed")
 		users       = flag.Int("users", 400, "city users (city world only)")
 		keyBits     = flag.Int("keybits", 2048, "blind-signature RSA key size")
-		dataPath    = flag.String("data", "", "snapshot file: loaded on start, saved on shutdown and every -save-every")
-		saveEvr     = flag.Duration("save-every", 5*time.Minute, "periodic snapshot interval (with -data)")
+		dataPath    = flag.String("data", "", "snapshot file: loaded on start, saved on shutdown and every -save-every (mutually exclusive with -wal-dir)")
+		walDir      = flag.String("wal-dir", "", "durability directory: write-ahead log + snapshot; every mutation is fsynced before it is acknowledged, and recovery on boot replays the log tail")
+		compactEvr  = flag.Int("compact-every", 0, "fold the WAL into a snapshot every N records (with -wal-dir; 0 = default 4096, negative disables auto-compaction)")
+		saveEvr     = flag.Duration("save-every", 5*time.Minute, "periodic snapshot interval (with -data) or compaction interval (with -wal-dir)")
 		epsilon     = flag.Float64("privacy-epsilon", 0, "when >0, release inference aggregates with ε-differential privacy")
 		rateLim     = flag.Int("rate-limit", 600, "per-host HTTP requests per minute (0 disables)")
 		quiet       = flag.Bool("quiet", false, "disable per-request logging")
@@ -86,7 +89,26 @@ func main() {
 		os.Exit(2)
 	}
 
-	repo, err := core.Open(core.Config{Catalog: catalog, KeyBits: *keyBits, Zips: zips, PrivacyEpsilon: *epsilon})
+	if *dataPath != "" && *walDir != "" {
+		fmt.Fprintln(os.Stderr, "-data and -wal-dir are mutually exclusive: the WAL directory owns its own snapshot")
+		os.Exit(2)
+	}
+
+	// With -wal-dir, opening the store IS recovery: load the snapshot,
+	// replay the log tail past it, repair a torn final record. Every
+	// subsequent mutation is applied, logged, and fsynced before its
+	// HTTP response goes out.
+	var st *store.Store
+	if *walDir != "" {
+		var err error
+		st, err = store.Open(store.Options{Dir: *walDir, CompactEvery: *compactEvr, Logger: logger})
+		if err != nil {
+			fatal("opening durable store", "dir", *walDir, "err", err)
+		}
+		logger.Info("durable store open", "dir", *walDir, "seq", st.Seq())
+	}
+
+	repo, err := core.Open(core.Config{Catalog: catalog, KeyBits: *keyBits, Zips: zips, PrivacyEpsilon: *epsilon, Store: st})
 	if err != nil {
 		fatal("opening repository", "err", err)
 	}
@@ -176,14 +198,22 @@ func main() {
 	}
 
 	save := func(reason string) {
-		if *dataPath == "" {
-			return
+		switch {
+		case st != nil:
+			// WAL mode: a "save" is a compaction — fold the log into the
+			// store's own snapshot and drop the superseded segments.
+			if err := st.Compact(); err != nil {
+				logger.Error("compaction failed", "reason", reason, "err", err)
+				return
+			}
+			logger.Info("wal compacted", "dir", *walDir, "reason", reason)
+		case *dataPath != "":
+			if err := storage.SaveFile(*dataPath, repo.Server().Snapshot()); err != nil {
+				logger.Error("snapshot failed", "reason", reason, "err", err)
+				return
+			}
+			logger.Info("snapshot saved", "path", *dataPath, "reason", reason)
 		}
-		if err := storage.SaveFile(*dataPath, repo.Server().Snapshot()); err != nil {
-			logger.Error("snapshot failed", "reason", reason, "err", err)
-			return
-		}
-		logger.Info("snapshot saved", "path", *dataPath, "reason", reason)
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -207,6 +237,11 @@ func main() {
 					logger.Error("shutdown", "err", err)
 				}
 				save("shutdown")
+				if st != nil {
+					if err := st.Close(); err != nil {
+						logger.Error("closing durable store", "err", err)
+					}
+				}
 				return
 			}
 		}

@@ -42,7 +42,10 @@ func main() {
 		*users, *days, time.Since(start).Round(time.Second))
 
 	if *sweep {
-		scanned, discarded := dep.Server.FraudSweep()
+		scanned, discarded, err := dep.Server.FraudSweep()
+		if err != nil {
+			log.Fatalf("simulate: fraud sweep: %v", err)
+		}
 		fmt.Fprintf(os.Stderr, "fraud sweep: %d scanned, %d discarded\n", scanned, discarded)
 	}
 

@@ -56,7 +56,10 @@ func main() {
 	}
 
 	fmt.Println("\nrunning the §4.3 typical-user sweep...")
-	scanned, discarded := dep.Server.FraudSweep()
+	scanned, discarded, err := dep.Server.FraudSweep()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("scanned %d histories, discarded %d\n", scanned, discarded)
 
 	still := map[string]bool{}

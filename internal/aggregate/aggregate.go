@@ -20,19 +20,35 @@ import (
 	"opinions/internal/history"
 	"opinions/internal/interaction"
 	"opinions/internal/stats"
+	"opinions/internal/stripe"
 )
 
 // OpinionStore accumulates anonymously uploaded inferred ratings per
 // entity. It is the server-side sink for the client pipeline's output.
 // OpinionStore is safe for concurrent use.
+//
+// Ratings are striped by entity key so a search summarizing one
+// entity's opinions never waits behind an upload landing on another.
 type OpinionStore struct {
+	shards [stripe.NumShards]opinionShard
+}
+
+type opinionShard struct {
 	mu      sync.RWMutex
 	ratings map[string][]float64
 }
 
 // NewOpinionStore returns an empty store.
 func NewOpinionStore() *OpinionStore {
-	return &OpinionStore{ratings: make(map[string][]float64)}
+	s := &OpinionStore{}
+	for i := range s.shards {
+		s.shards[i].ratings = make(map[string][]float64)
+	}
+	return s
+}
+
+func (os *OpinionStore) shard(entityKey string) *opinionShard {
+	return &os.shards[stripe.Index(entityKey)]
 }
 
 // Add records one inferred rating (clamped to [0, 5]) for an entity.
@@ -43,34 +59,40 @@ func (os *OpinionStore) Add(entityKey string, rating float64) {
 	if rating > 5 {
 		rating = 5
 	}
-	os.mu.Lock()
-	defer os.mu.Unlock()
-	os.ratings[entityKey] = append(os.ratings[entityKey], rating)
+	sh := os.shard(entityKey)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.ratings[entityKey] = append(sh.ratings[entityKey], rating)
 }
 
 // Total returns the number of inferred ratings across all entities.
 func (os *OpinionStore) Total() int {
-	os.mu.RLock()
-	defer os.mu.RUnlock()
 	n := 0
-	for _, rs := range os.ratings {
-		n += len(rs)
+	for i := range os.shards {
+		sh := &os.shards[i]
+		sh.mu.RLock()
+		for _, rs := range sh.ratings {
+			n += len(rs)
+		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
 
 // Count returns how many inferred ratings an entity has.
 func (os *OpinionStore) Count(entityKey string) int {
-	os.mu.RLock()
-	defer os.mu.RUnlock()
-	return len(os.ratings[entityKey])
+	sh := os.shard(entityKey)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.ratings[entityKey])
 }
 
 // Mean returns the mean inferred rating and whether any exist.
 func (os *OpinionStore) Mean(entityKey string) (float64, bool) {
-	os.mu.RLock()
-	defer os.mu.RUnlock()
-	rs := os.ratings[entityKey]
+	sh := os.shard(entityKey)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rs := sh.ratings[entityKey]
 	if len(rs) == 0 {
 		return 0, false
 	}
@@ -84,10 +106,11 @@ func (os *OpinionStore) Mean(entityKey string) (float64, bool) {
 // Histogram returns counts of inferred ratings in 11 half-star bins
 // [0, 0.5), [0.5, 1.0), …, [5.0, 5.0]; the last bin holds exact 5s.
 func (os *OpinionStore) Histogram(entityKey string) [11]int {
-	os.mu.RLock()
-	defer os.mu.RUnlock()
+	sh := os.shard(entityKey)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	var h [11]int
-	for _, r := range os.ratings[entityKey] {
+	for _, r := range sh.ratings[entityKey] {
 		i := int(r * 2)
 		if i > 10 {
 			i = 10
@@ -99,22 +122,31 @@ func (os *OpinionStore) Histogram(entityKey string) [11]int {
 
 // Dump returns a deep copy of all ratings by entity, for snapshotting.
 func (os *OpinionStore) Dump() map[string][]float64 {
-	os.mu.RLock()
-	defer os.mu.RUnlock()
-	out := make(map[string][]float64, len(os.ratings))
-	for k, v := range os.ratings {
-		out[k] = append([]float64(nil), v...)
+	out := make(map[string][]float64)
+	for i := range os.shards {
+		sh := &os.shards[i]
+		sh.mu.RLock()
+		for k, v := range sh.ratings {
+			out[k] = append([]float64(nil), v...)
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
 
 // Restore replaces the store's contents with the dumped ratings.
 func (os *OpinionStore) Restore(ratings map[string][]float64) {
-	os.mu.Lock()
-	defer os.mu.Unlock()
-	os.ratings = make(map[string][]float64, len(ratings))
+	for i := range os.shards {
+		sh := &os.shards[i]
+		sh.mu.Lock()
+		sh.ratings = make(map[string][]float64)
+		sh.mu.Unlock()
+	}
 	for k, v := range ratings {
-		os.ratings[k] = append([]float64(nil), v...)
+		sh := os.shard(k)
+		sh.mu.Lock()
+		sh.ratings[k] = append([]float64(nil), v...)
+		sh.mu.Unlock()
 	}
 }
 

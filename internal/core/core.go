@@ -21,6 +21,7 @@ import (
 	"opinions/internal/rspserver"
 	"opinions/internal/search"
 	"opinions/internal/simclock"
+	"opinions/internal/store"
 	"opinions/internal/world"
 )
 
@@ -41,6 +42,10 @@ type Config struct {
 	// PrivacyEpsilon, when positive, publishes inference aggregates with
 	// ε-differential privacy (see internal/dp).
 	PrivacyEpsilon float64
+	// Store, when non-nil, is the durable state layer (WAL + snapshot
+	// compaction) the repository commits through; open it with
+	// store.Open before calling Open. Nil runs memory-only.
+	Store *store.Store
 }
 
 // Repository is the assembled system.
@@ -63,6 +68,7 @@ func Open(cfg Config) (*Repository, error) {
 		KeyBits:        cfg.KeyBits,
 		Zips:           cfg.Zips,
 		PrivacyEpsilon: cfg.PrivacyEpsilon,
+		Store:          cfg.Store,
 	})
 	if err != nil {
 		return nil, err
@@ -117,8 +123,9 @@ func (r *Repository) TrainModel() error {
 }
 
 // SweepFraud runs the §4.3 typical-user sweep, discarding anomalous
-// histories. Returns (scanned, discarded).
-func (r *Repository) SweepFraud() (int, int) { return r.srv.FraudSweep() }
+// histories. Returns (scanned, discarded); the error surfaces a
+// durability failure committing the drops.
+func (r *Repository) SweepFraud() (int, int, error) { return r.srv.FraudSweep() }
 
 // Stats summarizes repository contents.
 type Stats struct {

@@ -101,7 +101,10 @@ func TestTrainModelWithoutData(t *testing.T) {
 
 func TestSweepFraudEmpty(t *testing.T) {
 	repo, _ := testRepo(t)
-	scanned, discarded := repo.SweepFraud()
+	scanned, discarded, err := repo.SweepFraud()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if scanned != 0 || discarded != 0 {
 		t.Fatalf("sweep on empty store = %d, %d", scanned, discarded)
 	}

@@ -1,0 +1,92 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// ErrInjectedCrash is the sentinel every operation on a crashed
+// CrashFile returns. Durability code must treat it like any other I/O
+// error — there is nothing recoverable about a dead process.
+var ErrInjectedCrash = errors.New("faultinject: injected crash")
+
+// walFile is the handle shape a CrashFile wraps and presents. It
+// matches store.File structurally, so a CrashFile slots into the WAL's
+// OpenFile seam without this package importing the store.
+type walFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// CrashFile simulates a process dying mid-write to a log file: the
+// Nth Write persists only the first half of its bytes and then the
+// "process" is gone — that write and every later Write, Sync, and
+// Close fail with ErrInjectedCrash. The half-written bytes are exactly
+// the torn final record a write-ahead log must detect and discard on
+// recovery; everything fsynced before the crash is intact.
+//
+// Deterministic by construction: the crash point is a write ordinal,
+// not a probability, so a test replays the same torn byte sequence
+// every run.
+type CrashFile struct {
+	mu      sync.Mutex
+	f       walFile
+	writes  int
+	crashAt int // 1-based ordinal of the Write that tears; 0 = never
+	crashed bool
+}
+
+// NewCrashFile wraps f so the crashAt-th Write tears and crashes.
+func NewCrashFile(f walFile, crashAt int) *CrashFile {
+	return &CrashFile{f: f, crashAt: crashAt}
+}
+
+// Write passes through until the crash ordinal, then writes half the
+// buffer and crashes permanently.
+func (c *CrashFile) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return 0, ErrInjectedCrash
+	}
+	c.writes++
+	if c.crashAt > 0 && c.writes >= c.crashAt {
+		c.crashed = true
+		n, _ := c.f.Write(p[:len(p)/2])
+		// Push the torn bytes to disk so recovery really sees them; a
+		// crash that loses the whole buffered write is the easy case.
+		_ = c.f.Sync()
+		_ = c.f.Close()
+		return n, ErrInjectedCrash
+	}
+	return c.f.Write(p)
+}
+
+// Sync passes through until crashed.
+func (c *CrashFile) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrInjectedCrash
+	}
+	return c.f.Sync()
+}
+
+// Close passes through until crashed.
+func (c *CrashFile) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrInjectedCrash
+	}
+	return c.f.Close()
+}
+
+// Crashed reports whether the injected crash has fired.
+func (c *CrashFile) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}

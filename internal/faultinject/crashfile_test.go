@@ -1,0 +1,84 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// memFile is an in-memory walFile recording what "reached disk".
+type memFile struct {
+	buf    bytes.Buffer
+	syncs  int
+	closed bool
+}
+
+func (m *memFile) Write(p []byte) (int, error) { return m.buf.Write(p) }
+func (m *memFile) Sync() error                 { m.syncs++; return nil }
+func (m *memFile) Close() error                { m.closed = true; return nil }
+
+func TestCrashFileTearsNthWrite(t *testing.T) {
+	under := &memFile{}
+	cf := NewCrashFile(under, 3)
+
+	for i := 0; i < 2; i++ {
+		if _, err := cf.Write([]byte("12345678")); err != nil {
+			t.Fatalf("write %d before the crash ordinal: %v", i+1, err)
+		}
+	}
+	if cf.Crashed() {
+		t.Fatal("crashed early")
+	}
+	n, err := cf.Write([]byte("ABCDEFGH"))
+	if !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("crash write returned %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("crash write persisted %d bytes, want half (4)", n)
+	}
+	if !cf.Crashed() {
+		t.Fatal("not crashed after the ordinal")
+	}
+	// The torn bytes must actually be "on disk": synced and closed.
+	if got := under.buf.String(); got != "1234567812345678ABCD" {
+		t.Fatalf("underlying bytes = %q", got)
+	}
+	if under.syncs == 0 || !under.closed {
+		t.Fatalf("torn bytes not pushed to disk: syncs=%d closed=%v", under.syncs, under.closed)
+	}
+}
+
+func TestCrashFileDeadAfterCrash(t *testing.T) {
+	cf := NewCrashFile(&memFile{}, 1)
+	if _, err := cf.Write([]byte("xx")); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("first write = %v, want crash at ordinal 1", err)
+	}
+	if _, err := cf.Write([]byte("yy")); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("write after crash = %v", err)
+	}
+	if err := cf.Sync(); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("sync after crash = %v", err)
+	}
+	if err := cf.Close(); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("close after crash = %v", err)
+	}
+}
+
+func TestCrashFileZeroNeverCrashes(t *testing.T) {
+	under := &memFile{}
+	cf := NewCrashFile(under, 0)
+	for i := 0; i < 100; i++ {
+		if _, err := cf.Write([]byte("a")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if err := cf.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if cf.Crashed() {
+		t.Fatal("crashAt=0 crashed")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"opinions/internal/interaction"
+	"opinions/internal/stripe"
 )
 
 // AnonID derives the anonymous history identifier for (Ru, entity):
@@ -183,18 +184,52 @@ var ErrEntityMismatch = errors.New("history: anonymous ID already bound to a dif
 // operation, and iteration is only by entity, because "the RSP's service
 // only need support requests to update histories but not to retrieve
 // them" (§4.2). ServerStore is safe for concurrent use.
+//
+// Internally the store is striped two ways so reads stop serializing
+// behind uploads: an anonID-striped binding index (anonID → entity,
+// backing the §4.2 entity-mismatch check and Drop routing) and an
+// entity-striped history map (the aggregation read surface). Writers
+// take an ID stripe then an entity stripe, always in that order;
+// readers take only an entity stripe.
 type ServerStore struct {
+	ids      [stripe.NumShards]idShard
+	entities [stripe.NumShards]entityShard
+}
+
+// idShard guards the anonID → entity binding for its stripe of IDs.
+type idShard struct {
+	mu      sync.Mutex
+	binding map[string]string
+}
+
+// entityShard guards the histories of its stripe of entities:
+// entity key → anonID → history. All mutation of a history's Records
+// happens under this shard's write lock, so readers holding the read
+// lock may hand out slice-header copies safely (records are
+// append-only; existing elements are never rewritten in place).
+type entityShard struct {
 	mu       sync.RWMutex
-	byID     map[string]*EntityHistory
-	byEntity map[string][]*EntityHistory
+	byEntity map[string]map[string]*EntityHistory
 }
 
 // NewServerStore returns an empty store.
 func NewServerStore() *ServerStore {
-	return &ServerStore{
-		byID:     make(map[string]*EntityHistory),
-		byEntity: make(map[string][]*EntityHistory),
+	ss := &ServerStore{}
+	for i := range ss.ids {
+		ss.ids[i].binding = make(map[string]string)
 	}
+	for i := range ss.entities {
+		ss.entities[i].byEntity = make(map[string]map[string]*EntityHistory)
+	}
+	return ss
+}
+
+func (ss *ServerStore) idShard(anonID string) *idShard {
+	return &ss.ids[stripe.Index(anonID)]
+}
+
+func (ss *ServerStore) entityShard(entityKey string) *entityShard {
+	return &ss.entities[stripe.Index(entityKey)]
 }
 
 // Append adds a record to the history identified by anonID, creating the
@@ -203,37 +238,62 @@ func (ss *ServerStore) Append(anonID, entityKey string, rec interaction.Record) 
 	if anonID == "" || entityKey == "" {
 		return fmt.Errorf("history: empty identifier (anonID=%q entity=%q)", anonID, entityKey)
 	}
-	ss.mu.Lock()
-	defer ss.mu.Unlock()
-	h, ok := ss.byID[anonID]
-	if !ok {
-		h = &EntityHistory{AnonID: anonID, Entity: entityKey}
-		ss.byID[anonID] = h
-		ss.byEntity[entityKey] = append(ss.byEntity[entityKey], h)
-	} else if h.Entity != entityKey {
+	ids := ss.idShard(anonID)
+	ids.mu.Lock()
+	defer ids.mu.Unlock()
+	if bound, ok := ids.binding[anonID]; ok && bound != entityKey {
 		return ErrEntityMismatch
+	}
+	ids.binding[anonID] = entityKey
+
+	es := ss.entityShard(entityKey)
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	hists := es.byEntity[entityKey]
+	if hists == nil {
+		hists = make(map[string]*EntityHistory)
+		es.byEntity[entityKey] = hists
+	}
+	h := hists[anonID]
+	if h == nil {
+		h = &EntityHistory{AnonID: anonID, Entity: entityKey}
+		hists[anonID] = h
 	}
 	h.Records = append(h.Records, rec)
 	return nil
 }
 
-// ByEntity returns the histories stored for an entity. The returned
-// slice is a copy but the histories are shared; callers must not mutate
-// them. This is the RSP-internal aggregation surface (Figure 3, §4.3's
-// typical-user profile); it is never exposed over the network API.
+// ByEntity returns the histories stored for an entity, ordered by
+// anonymous ID. Each returned history is a fresh header whose Records
+// slice snapshots the store at call time; concurrent appends create
+// new history state without invalidating it. This is the RSP-internal
+// aggregation surface (Figure 3, §4.3's typical-user profile); it is
+// never exposed over the network API.
 func (ss *ServerStore) ByEntity(entityKey string) []*EntityHistory {
-	ss.mu.RLock()
-	defer ss.mu.RUnlock()
-	return append([]*EntityHistory(nil), ss.byEntity[entityKey]...)
+	es := ss.entityShard(entityKey)
+	es.mu.RLock()
+	hists := es.byEntity[entityKey]
+	out := make([]*EntityHistory, 0, len(hists))
+	for _, h := range hists {
+		out = append(out, &EntityHistory{AnonID: h.AnonID, Entity: h.Entity, Records: h.Records})
+	}
+	es.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].AnonID < out[j].AnonID })
+	return out
 }
 
 // Entities returns all entity keys with at least one history, sorted.
 func (ss *ServerStore) Entities() []string {
-	ss.mu.RLock()
-	defer ss.mu.RUnlock()
-	out := make([]string, 0, len(ss.byEntity))
-	for k := range ss.byEntity {
-		out = append(out, k)
+	var out []string
+	for i := range ss.entities {
+		es := &ss.entities[i]
+		es.mu.RLock()
+		for k, hists := range es.byEntity {
+			if len(hists) > 0 {
+				out = append(out, k)
+			}
+		}
+		es.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -243,67 +303,89 @@ func (ss *ServerStore) Entities() []string {
 // "Discarding interaction histories that significantly deviate from the
 // activity patterns of the typical user").
 func (ss *ServerStore) Drop(anonID string) {
-	ss.mu.Lock()
-	defer ss.mu.Unlock()
-	h, ok := ss.byID[anonID]
+	ids := ss.idShard(anonID)
+	ids.mu.Lock()
+	defer ids.mu.Unlock()
+	entityKey, ok := ids.binding[anonID]
 	if !ok {
 		return
 	}
-	delete(ss.byID, anonID)
-	list := ss.byEntity[h.Entity]
-	for i, other := range list {
-		if other == h {
-			ss.byEntity[h.Entity] = append(list[:i], list[i+1:]...)
-			break
-		}
-	}
-	if len(ss.byEntity[h.Entity]) == 0 {
-		delete(ss.byEntity, h.Entity)
+	delete(ids.binding, anonID)
+
+	es := ss.entityShard(entityKey)
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	hists := es.byEntity[entityKey]
+	delete(hists, anonID)
+	if len(hists) == 0 {
+		delete(es.byEntity, entityKey)
 	}
 }
 
 // Dump returns a deep copy of every history, for snapshotting. Order is
 // deterministic (by anonymous ID).
 func (ss *ServerStore) Dump() []EntityHistory {
-	ss.mu.RLock()
-	defer ss.mu.RUnlock()
-	ids := make([]string, 0, len(ss.byID))
-	for id := range ss.byID {
-		ids = append(ids, id)
+	var out []EntityHistory
+	for i := range ss.entities {
+		es := &ss.entities[i]
+		es.mu.RLock()
+		for _, hists := range es.byEntity {
+			for _, h := range hists {
+				out = append(out, EntityHistory{
+					AnonID:  h.AnonID,
+					Entity:  h.Entity,
+					Records: append([]interaction.Record(nil), h.Records...),
+				})
+			}
+		}
+		es.mu.RUnlock()
 	}
-	sort.Strings(ids)
-	out := make([]EntityHistory, 0, len(ids))
-	for _, id := range ids {
-		h := ss.byID[id]
-		out = append(out, EntityHistory{
-			AnonID:  h.AnonID,
-			Entity:  h.Entity,
-			Records: append([]interaction.Record(nil), h.Records...),
-		})
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AnonID < out[j].AnonID })
 	return out
 }
 
 // Restore replaces the store's contents with the dumped histories.
 func (ss *ServerStore) Restore(hists []EntityHistory) error {
-	ss.mu.Lock()
-	defer ss.mu.Unlock()
-	ss.byID = make(map[string]*EntityHistory, len(hists))
-	ss.byEntity = make(map[string][]*EntityHistory)
 	for _, h := range hists {
 		if h.AnonID == "" || h.Entity == "" {
 			return fmt.Errorf("history: restoring malformed history (anonID=%q entity=%q)", h.AnonID, h.Entity)
 		}
-		if _, dup := ss.byID[h.AnonID]; dup {
+	}
+	seen := make(map[string]bool, len(hists))
+	for _, h := range hists {
+		if seen[h.AnonID] {
 			return fmt.Errorf("history: duplicate anonymous ID %q in snapshot", h.AnonID)
 		}
-		cp := &EntityHistory{
+		seen[h.AnonID] = true
+	}
+	for i := range ss.ids {
+		ss.ids[i].mu.Lock()
+		ss.ids[i].binding = make(map[string]string)
+		ss.ids[i].mu.Unlock()
+	}
+	for i := range ss.entities {
+		ss.entities[i].mu.Lock()
+		ss.entities[i].byEntity = make(map[string]map[string]*EntityHistory)
+		ss.entities[i].mu.Unlock()
+	}
+	for _, h := range hists {
+		ids := ss.idShard(h.AnonID)
+		ids.mu.Lock()
+		ids.binding[h.AnonID] = h.Entity
+		es := ss.entityShard(h.Entity)
+		es.mu.Lock()
+		m := es.byEntity[h.Entity]
+		if m == nil {
+			m = make(map[string]*EntityHistory)
+			es.byEntity[h.Entity] = m
+		}
+		m[h.AnonID] = &EntityHistory{
 			AnonID:  h.AnonID,
 			Entity:  h.Entity,
 			Records: append([]interaction.Record(nil), h.Records...),
 		}
-		ss.byID[h.AnonID] = cp
-		ss.byEntity[h.Entity] = append(ss.byEntity[h.Entity], cp)
+		es.mu.Unlock()
+		ids.mu.Unlock()
 	}
 	return nil
 }
@@ -317,11 +399,18 @@ type Stats struct {
 
 // Stats returns current totals.
 func (ss *ServerStore) Stats() Stats {
-	ss.mu.RLock()
-	defer ss.mu.RUnlock()
-	s := Stats{Histories: len(ss.byID), Entities: len(ss.byEntity)}
-	for _, h := range ss.byID {
-		s.Records += len(h.Records)
+	var s Stats
+	for i := range ss.entities {
+		es := &ss.entities[i]
+		es.mu.RLock()
+		s.Entities += len(es.byEntity)
+		for _, hists := range es.byEntity {
+			s.Histories += len(hists)
+			for _, h := range hists {
+				s.Records += len(h.Records)
+			}
+		}
+		es.mu.RUnlock()
 	}
 	return s
 }

@@ -11,7 +11,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"opinions/internal/stripe"
 )
 
 // Review is one explicit review.
@@ -28,15 +31,32 @@ type Review struct {
 var ErrBadRating = errors.New("reviews: rating outside [0, 5]")
 
 // Store holds reviews per entity. Store is safe for concurrent use.
+//
+// State is striped by entity key: a read of one entity's reviews never
+// waits on a write to another's, so search-time review stats stop
+// serializing behind concurrent posts. The ID sequence is a single
+// atomic counter shared across stripes.
 type Store struct {
+	seq    atomic.Int64
+	shards [stripe.NumShards]reviewShard
+}
+
+type reviewShard struct {
 	mu       sync.RWMutex
 	byEntity map[string][]Review
-	seq      int
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{byEntity: make(map[string][]Review)}
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].byEntity = make(map[string][]Review)
+	}
+	return s
+}
+
+func (s *Store) shard(entityKey string) *reviewShard {
+	return &s.shards[stripe.Index(entityKey)]
 }
 
 // Post validates and stores a review, assigning it an ID. The entity key
@@ -48,26 +68,28 @@ func (s *Store) Post(r Review) (Review, error) {
 	if r.Rating < 0 || r.Rating > 5 {
 		return Review{}, ErrBadRating
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.seq++
-	r.ID = fmt.Sprintf("rev-%d", s.seq)
-	s.byEntity[r.Entity] = append(s.byEntity[r.Entity], r)
+	r.ID = fmt.Sprintf("rev-%d", s.seq.Add(1))
+	sh := s.shard(r.Entity)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.byEntity[r.Entity] = append(sh.byEntity[r.Entity], r)
 	return r, nil
 }
 
 // Count returns the number of reviews for an entity.
 func (s *Store) Count(entityKey string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.byEntity[entityKey])
+	sh := s.shard(entityKey)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.byEntity[entityKey])
 }
 
 // Mean returns the mean rating and whether any reviews exist.
 func (s *Store) Mean(entityKey string) (float64, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rs := s.byEntity[entityKey]
+	sh := s.shard(entityKey)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rs := sh.byEntity[entityKey]
 	if len(rs) == 0 {
 		return 0, false
 	}
@@ -80,9 +102,10 @@ func (s *Store) Mean(entityKey string) (float64, bool) {
 
 // ForEntity returns a page of reviews, newest first.
 func (s *Store) ForEntity(entityKey string, offset, limit int) []Review {
-	s.mu.RLock()
-	rs := append([]Review(nil), s.byEntity[entityKey]...)
-	s.mu.RUnlock()
+	sh := s.shard(entityKey)
+	sh.mu.RLock()
+	rs := append([]Review(nil), sh.byEntity[entityKey]...)
+	sh.mu.RUnlock()
 	sort.Slice(rs, func(i, j int) bool { return rs[i].Time.After(rs[j].Time) })
 	if offset < 0 {
 		offset = 0
@@ -97,14 +120,17 @@ func (s *Store) ForEntity(entityKey string, offset, limit int) []Review {
 	return rs
 }
 
-// All returns every stored review, grouped by entity in map iteration
-// order flattened to a slice; callers needing order should sort.
+// All returns every stored review, flattened shard by shard; callers
+// needing order should sort.
 func (s *Store) All() []Review {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []Review
-	for _, rs := range s.byEntity {
-		out = append(out, rs...)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, rs := range sh.byEntity {
+			out = append(out, rs...)
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
@@ -113,26 +139,36 @@ func (s *Store) All() []Review {
 // advancing the ID sequence past any restored "rev-<n>" IDs so future
 // posts stay unique.
 func (s *Store) Restore(revs []Review) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.byEntity = make(map[string][]Review)
-	s.seq = 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.byEntity = make(map[string][]Review)
+		sh.mu.Unlock()
+	}
+	var max int64
 	for _, r := range revs {
-		s.byEntity[r.Entity] = append(s.byEntity[r.Entity], r)
-		var n int
-		if _, err := fmt.Sscanf(r.ID, "rev-%d", &n); err == nil && n > s.seq {
-			s.seq = n
+		sh := s.shard(r.Entity)
+		sh.mu.Lock()
+		sh.byEntity[r.Entity] = append(sh.byEntity[r.Entity], r)
+		sh.mu.Unlock()
+		var n int64
+		if _, err := fmt.Sscanf(r.ID, "rev-%d", &n); err == nil && n > max {
+			max = n
 		}
 	}
+	s.seq.Store(max)
 }
 
 // TotalReviews returns the number of reviews across all entities.
 func (s *Store) TotalReviews() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := 0
-	for _, rs := range s.byEntity {
-		n += len(rs)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, rs := range sh.byEntity {
+			n += len(rs)
+		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
@@ -141,10 +177,10 @@ func (s *Store) TotalReviews() int {
 // universe, where only counts and a plausible rating distribution
 // matter). Ratings cycle deterministically around the base quality.
 func (s *Store) Seed(entityKey string, count int, quality float64, at time.Time) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shard(entityKey)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	for i := 0; i < count; i++ {
-		s.seq++
 		// Deterministic spread of ±1 star around quality, half-star grid.
 		delta := float64(i%5)/2 - 1
 		rating := quality + delta
@@ -154,8 +190,8 @@ func (s *Store) Seed(entityKey string, count int, quality float64, at time.Time)
 		if rating > 5 {
 			rating = 5
 		}
-		s.byEntity[entityKey] = append(s.byEntity[entityKey], Review{
-			ID:     fmt.Sprintf("rev-%d", s.seq),
+		sh.byEntity[entityKey] = append(sh.byEntity[entityKey], Review{
+			ID:     fmt.Sprintf("rev-%d", s.seq.Add(1)),
 			Entity: entityKey,
 			Author: fmt.Sprintf("seeded-%d", i),
 			Rating: rating,

@@ -21,7 +21,6 @@ import (
 	"opinions/internal/inference"
 	"opinions/internal/obs"
 	"opinions/internal/resilience"
-	"opinions/internal/reviews"
 	"opinions/internal/rspserver"
 	"opinions/internal/simclock"
 	"opinions/internal/world"
@@ -405,19 +404,14 @@ func (t *LocalTransport) Upload(req rspserver.UploadRequest) error {
 	return t.Server.AcceptUpload(req)
 }
 
-// PostReview implements Transport.
+// PostReview implements Transport. It goes through the server's commit
+// path — never straight to the review store — so locally posted
+// reviews hit the write-ahead log like everything else.
 func (t *LocalTransport) PostReview(entity, author string, rating float64, text string) error {
-	rev, _, _ := t.Server.Stores()
 	if t.Server.Engine().Entity(entity) == nil {
 		return fmt.Errorf("rspclient: no entity %q", entity)
 	}
-	clock := t.Clock
-	if clock == nil {
-		clock = simclock.Real{}
-	}
-	_, err := rev.Post(reviews.Review{
-		Entity: entity, Author: author, Rating: rating, Text: text, Time: clock.Now(),
-	})
+	_, err := t.Server.PostReview(entity, author, rating, text)
 	return err
 }
 

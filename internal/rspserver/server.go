@@ -34,6 +34,7 @@ import (
 	"opinions/internal/simclock"
 	"opinions/internal/stats"
 	"opinions/internal/storage"
+	"opinions/internal/store"
 	"opinions/internal/world"
 )
 
@@ -68,31 +69,35 @@ type Config struct {
 	// DedupCapacity bounds the exactly-once upload ledger (number of
 	// idempotency keys remembered; default 65536). Older keys evict FIFO;
 	// an evicted key degrades that upload to at-least-once, never loss.
+	// Ignored when Store is supplied (the store owns the ledger).
 	DedupCapacity int
+	// Store, when non-nil, is the durable state layer every mutation
+	// commits through — typically store.Open with a WAL directory, after
+	// recovery. Nil builds a memory-only store: same commit interface,
+	// no log (tests, simulations, and the legacy -data snapshot mode).
+	Store *store.Store
 }
 
 // Server implements the RSP. Construct with New.
+//
+// All state lives in the store.Store: every mutation path — uploads,
+// reviews, training pairs, retrains, fraud sweeps — builds a
+// store.Record and goes through st.Commit, which serializes applies,
+// logs them, and (on a durable store) acknowledges after fsync. Reads
+// go straight to the store's striped sub-stores and never contend with
+// the commit lock.
 type Server struct {
-	catalog   []*world.Entity
-	engine    *search.Engine
-	reviews   *reviews.Store
-	opinions  *aggregate.OpinionStore
-	histories *history.ServerStore
-	issuer    *blindsig.Issuer
-	redeemer  *blindsig.Redeemer
-	clock     simclock.Clock
-	meta      MetaResponse
-	attestor  *attest.Verifier
-	dedup     *dedupLedger
+	catalog  []*world.Entity
+	engine   *search.Engine
+	issuer   *blindsig.Issuer
+	redeemer *blindsig.Redeemer
+	clock    simclock.Clock
+	meta     MetaResponse
+	attestor *attest.Verifier
+	st       *store.Store
 
 	dpMu   sync.Mutex
 	dpMech *dp.Mechanism
-
-	mu        sync.RWMutex
-	trainX    [][]float64
-	trainY    []float64
-	trainCats []string
-	models    *inference.ModelSet
 }
 
 // New builds a server over the catalog.
@@ -113,20 +118,21 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rspserver: %w", err)
 	}
-	rev := reviews.NewStore()
-	ops := aggregate.NewOpinionStore()
-	hists := history.NewServerStore()
+	st := cfg.Store
+	if st == nil {
+		st, err = store.Open(store.Options{Clock: cfg.Clock, DedupCapacity: cfg.DedupCapacity})
+		if err != nil {
+			return nil, fmt.Errorf("rspserver: %w", err)
+		}
+	}
 	s := &Server{
-		catalog:   cfg.Catalog,
-		engine:    search.NewEngine(cfg.Catalog, rev, ops, hists),
-		reviews:   rev,
-		opinions:  ops,
-		histories: hists,
-		issuer:    issuer,
-		redeemer:  blindsig.NewRedeemer(issuer.PublicKey()),
-		clock:     cfg.Clock,
-		attestor:  cfg.Attestation,
-		dedup:     newDedupLedger(cfg.DedupCapacity),
+		catalog:  cfg.Catalog,
+		engine:   search.NewEngine(cfg.Catalog, st.Reviews(), st.Opinions(), st.Histories()),
+		issuer:   issuer,
+		redeemer: blindsig.NewRedeemer(issuer.PublicKey()),
+		clock:    cfg.Clock,
+		attestor: cfg.Attestation,
+		st:       st,
 	}
 	if cfg.PrivacyEpsilon > 0 {
 		seed := cfg.PrivacySeed
@@ -241,12 +247,17 @@ func buildMeta(catalog []*world.Entity, zips []string) MetaResponse {
 	return meta
 }
 
-// Stores exposes the underlying stores for in-process composition (the
-// experiment harness and the core facade wire clients directly to these
-// instead of going through HTTP).
+// Stores exposes the underlying read stores for in-process composition
+// (the experiment harness and the core facade read these directly
+// instead of going through HTTP). Mutations must go through the
+// server's commit paths, never straight to these stores, or they
+// bypass the write-ahead log.
 func (s *Server) Stores() (*reviews.Store, *aggregate.OpinionStore, *history.ServerStore) {
-	return s.reviews, s.opinions, s.histories
+	return s.st.Reviews(), s.st.Opinions(), s.st.Histories()
 }
+
+// Store returns the durable state layer the server commits through.
+func (s *Server) Store() *store.Store { return s.st }
 
 // Engine returns the search engine.
 func (s *Server) Engine() *search.Engine { return s.engine }
@@ -355,7 +366,7 @@ func (s *Server) handleReviews(w http.ResponseWriter, r *http.Request) {
 		if limit <= 0 || limit > 100 {
 			limit = 20
 		}
-		writeJSON(w, http.StatusOK, s.reviews.ForEntity(entity, offset, limit))
+		writeJSON(w, http.StatusOK, s.st.Reviews().ForEntity(entity, offset, limit))
 	case http.MethodPost:
 		var req PostReviewRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -366,12 +377,13 @@ func (s *Server) handleReviews(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusNotFound, fmt.Errorf("no entity %q", req.Entity))
 			return
 		}
-		rev, err := s.reviews.Post(reviews.Review{
-			Entity: req.Entity, Author: req.Author,
-			Rating: req.Rating, Text: req.Text, Time: s.clock.Now(),
-		})
+		rev, err := s.PostReview(req.Entity, req.Author, req.Rating, req.Text)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			status := http.StatusBadRequest
+			if errors.Is(err, store.ErrUnavailable) {
+				status = http.StatusServiceUnavailable
+			}
+			writeErr(w, status, err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, rev)
@@ -502,6 +514,11 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusForbidden
 		case errors.Is(err, history.ErrEntityMismatch):
 			status = http.StatusConflict
+		case errors.Is(err, store.ErrUnavailable):
+			// Durability is gone; a 503 sends the client back to its
+			// spool, exactly like any other outage. Its retry lands
+			// after a restart has recovered state from disk.
+			status = http.StatusServiceUnavailable
 		}
 		writeErr(w, status, err)
 		return
@@ -510,9 +527,10 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 }
 
 // AcceptUpload applies an anonymous upload exactly once: validate,
-// consult the dedup ledger, redeem the token, then append the record
-// and/or inferred rating and commit the upload's idempotency key.
-// Exposed for in-process composition.
+// consult the dedup ledger, redeem the token, then commit one upload
+// record — history append, inferred rating, and idempotency-key
+// admission as a unit — through the durable store. Exposed for
+// in-process composition.
 //
 // A replayed key — a retry after a truncated 2xx, or a spooled upload
 // redelivered under a fresh token after an app restart — returns success
@@ -546,8 +564,15 @@ func (s *Server) AcceptUpload(req UploadRequest) error {
 	if err != nil {
 		return err
 	}
+	// Refuse before spending anything once durability is gone: the token
+	// stays unspent and the key unclaimed, so the retry that lands after
+	// a restart applies from scratch.
+	if s.st.Failed() {
+		return store.ErrUnavailable
+	}
+	ledger := s.st.Ledger()
 	if req.Key != "" {
-		done, dup := s.dedup.begin(req.Key)
+		done, dup := ledger.Begin(req.Key)
 		if done || dup {
 			// Already applied (or a racing twin of this very request is
 			// mid-apply and owns it): answer success, apply nothing, and
@@ -558,8 +583,8 @@ func (s *Server) AcceptUpload(req UploadRequest) error {
 	}
 	if err := s.redeemer.Redeem(tok); err != nil {
 		if req.Key != "" {
-			s.dedup.abort(req.Key)
-			if errors.Is(err, blindsig.ErrTokenSpent) && s.dedup.contains(req.Key) {
+			ledger.Abort(req.Key)
+			if errors.Is(err, blindsig.ErrTokenSpent) && ledger.Contains(req.Key) {
 				// The same token+key was committed between our ledger
 				// check and the redeem — the retry raced its twin. The
 				// upload is applied; report success, not 403.
@@ -569,35 +594,54 @@ func (s *Server) AcceptUpload(req UploadRequest) error {
 		}
 		return err
 	}
+	crec := &store.Record{Kind: store.KindUpload, AnonID: req.AnonID, Entity: req.Entity, Key: req.Key}
 	if req.Record != nil {
-		if err := s.histories.Append(req.AnonID, req.Entity, rec); err != nil {
-			if req.Key != "" {
-				s.dedup.abort(req.Key)
-			}
-			return err
-		}
+		crec.Visit = &rec
 	}
 	if req.Rating != nil {
-		s.opinions.Add(req.Entity, *req.Rating)
+		rating := *req.Rating
+		crec.Rating = &rating
 	}
-	if req.Key != "" {
-		s.dedup.commit(req.Key)
+	if err := s.st.Commit(crec); err != nil {
+		if req.Key != "" {
+			// Whether the apply failed (key still only in flight) or the
+			// log failed after the apply (key admitted but the client
+			// will see an error, never an ack): erase every trace of the
+			// key so the retry — possibly against a restarted server
+			// whose fresh redeemer considers the token unspent — applies
+			// from scratch rather than being swallowed as a replay.
+			ledger.Remove(req.Key)
+		}
+		return err
 	}
 	return nil
 }
 
+// PostReview validates and commits one explicit review, returning it
+// with its assigned ID.
+func (s *Server) PostReview(entity, author string, rating float64, text string) (reviews.Review, error) {
+	if s.engine.Entity(entity) == nil {
+		return reviews.Review{}, fmt.Errorf("rspserver: no entity %q", entity)
+	}
+	rec := &store.Record{Kind: store.KindReview, Review: &reviews.Review{
+		Entity: entity, Author: author, Rating: rating, Text: text, Time: s.clock.Now(),
+	}}
+	if err := s.st.Commit(rec); err != nil {
+		return reviews.Review{}, err
+	}
+	return rec.Result().(reviews.Review), nil
+}
+
 // DedupLen reports the number of idempotency keys the exactly-once
 // ledger currently holds (tests and operational introspection).
-func (s *Server) DedupLen() int { return s.dedup.len() }
+func (s *Server) DedupLen() int { return s.st.Ledger().Len() }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
-	s.mu.RLock()
-	m := s.models
-	s.mu.RUnlock()
+	m := s.st.Models()
 	if m == nil {
 		writeErr(w, http.StatusNotFound, errors.New("no model trained yet"))
 		return
@@ -616,7 +660,11 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.AddTrainingPair(req.Features, req.Rating, req.Category); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		status := http.StatusBadRequest
+		if errors.Is(err, store.ErrUnavailable) {
+			status = http.StatusServiceUnavailable
+		}
+		writeErr(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, struct{}{})
@@ -631,12 +679,12 @@ func (s *Server) AddTrainingPair(features []float64, rating float64, category st
 	if rating < 0 || rating > 5 {
 		return errors.New("rspserver: training rating outside [0, 5]")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.trainX = append(s.trainX, append([]float64(nil), features...))
-	s.trainY = append(s.trainY, rating)
-	s.trainCats = append(s.trainCats, category)
-	return nil
+	return s.st.Commit(&store.Record{
+		Kind:        store.KindTrainPair,
+		Features:    append([]float64(nil), features...),
+		TrainRating: rating,
+		Category:    category,
+	})
 }
 
 func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
@@ -646,129 +694,95 @@ func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
 	}
 	m, err := s.Retrain()
 	if err != nil {
-		writeErr(w, http.StatusConflict, err)
+		status := http.StatusConflict
+		if errors.Is(err, store.ErrUnavailable) {
+			status = http.StatusServiceUnavailable
+		}
+		writeErr(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, m)
 }
 
 // Retrain fits a fresh model set (global + per-category) on the
-// accumulated training pairs and installs it.
+// accumulated training pairs and installs it. The retrain is itself a
+// logged record: training is deterministic, so replay reproduces the
+// exact model from the pairs replayed before it.
 func (s *Server) Retrain() (*inference.ModelSet, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	set, err := inference.TrainSet(s.trainX, s.trainY, s.trainCats, 1.0, 0)
-	if err != nil {
+	rec := &store.Record{Kind: store.KindRetrain}
+	if err := s.st.Commit(rec); err != nil {
 		return nil, err
 	}
-	s.models = set
-	return set, nil
+	return rec.Result().(*inference.ModelSet), nil
 }
 
 // Models returns the current model set, or nil.
-func (s *Server) Models() *inference.ModelSet {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.models
-}
+func (s *Server) Models() *inference.ModelSet { return s.st.Models() }
 
 // Model returns the current global model, or nil.
 func (s *Server) Model() *inference.Model {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.models == nil {
-		return nil
+	if m := s.st.Models(); m != nil {
+		return m.Global
 	}
-	return s.models.Global
+	return nil
 }
 
 // TrainingPairs returns how many volunteered examples are stored.
-func (s *Server) TrainingPairs() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.trainX)
-}
+func (s *Server) TrainingPairs() int { return s.st.TrainingPairs() }
 
 func (s *Server) handleFraudSweep(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
 	}
-	scanned, discarded := s.FraudSweep()
+	scanned, discarded, err := s.FraudSweep()
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, SweepResponse{Scanned: scanned, Discarded: discarded})
 }
 
 // FraudSweep builds the typical-user profile from all stored histories
 // and drops the ones the §4.3 detector flags. It returns (scanned,
-// discarded).
-func (s *Server) FraudSweep() (int, int) {
+// discarded). The detection runs against the striped read state; only
+// the resulting drops are committed — the log records WHICH histories
+// went, not the detector inputs, so replay cannot diverge.
+func (s *Server) FraudSweep() (int, int, error) {
+	hists := s.st.Histories()
 	var all []*history.EntityHistory
-	for _, entity := range s.histories.Entities() {
-		all = append(all, s.histories.ByEntity(entity)...)
+	for _, entity := range hists.Entities() {
+		all = append(all, hists.ByEntity(entity)...)
 	}
 	if len(all) == 0 {
-		return 0, 0
+		return 0, 0, nil
 	}
 	det := fraud.NewDetector(fraud.BuildProfile(all))
 	_, discarded := det.Filter(all)
-	for _, h := range discarded {
-		s.histories.Drop(h.AnonID)
+	if len(discarded) == 0 {
+		return len(all), 0, nil
 	}
-	return len(all), len(discarded)
+	ids := make([]string, len(discarded))
+	for i, h := range discarded {
+		ids[i] = h.AnonID
+	}
+	if err := s.st.Commit(&store.Record{Kind: store.KindSweep, Dropped: ids}); err != nil {
+		return len(all), 0, err
+	}
+	return len(all), len(discarded), nil
 }
 
-// Snapshot captures the full server state for persistence.
-func (s *Server) Snapshot() *storage.Snapshot {
-	s.mu.RLock()
-	trainX := make([][]float64, len(s.trainX))
-	for i, x := range s.trainX {
-		trainX[i] = append([]float64(nil), x...)
-	}
-	trainY := append([]float64(nil), s.trainY...)
-	trainCats := append([]string(nil), s.trainCats...)
-	models := s.models
-	s.mu.RUnlock()
-	return &storage.Snapshot{
-		SavedAt:   s.clock.Now(),
-		Reviews:   s.reviews.All(),
-		Opinions:  s.opinions.Dump(),
-		Histories: s.histories.Dump(),
-		DedupKeys: s.dedup.dump(),
-		TrainX:    trainX,
-		TrainY:    trainY,
-		TrainCats: trainCats,
-		Models:    models,
-	}
-}
+// Snapshot captures the full server state for persistence. The copy is
+// taken under the store's commit lock for a consistent cut; callers
+// gzip-encode it (storage.Write/SaveFile) outside any lock.
+func (s *Server) Snapshot() *storage.Snapshot { return s.st.Snapshot() }
 
 // RestoreSnapshot replaces the server's state with the snapshot's.
 func (s *Server) RestoreSnapshot(snap *storage.Snapshot) error {
 	if snap == nil {
 		return errors.New("rspserver: nil snapshot")
 	}
-	if err := s.histories.Restore(snap.Histories); err != nil {
-		return err
-	}
-	s.reviews.Restore(snap.Reviews)
-	s.opinions.Restore(snap.Opinions)
-	// Restoring the ledger with the stores keeps exactly-once across a
-	// server restart: a client redelivering a spooled upload accepted
-	// just before the shutdown snapshot is still recognized as applied.
-	s.dedup.restore(snap.DedupKeys)
-	s.mu.Lock()
-	s.trainX = make([][]float64, len(snap.TrainX))
-	for i, x := range snap.TrainX {
-		s.trainX[i] = append([]float64(nil), x...)
-	}
-	s.trainY = append([]float64(nil), snap.TrainY...)
-	s.trainCats = append([]string(nil), snap.TrainCats...)
-	if len(s.trainCats) < len(s.trainY) {
-		// Older snapshots may lack categories; pad.
-		s.trainCats = append(s.trainCats, make([]string, len(s.trainY)-len(s.trainCats))...)
-	}
-	s.models = snap.Models
-	s.mu.Unlock()
-	return nil
+	return s.st.Restore(snap)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -776,13 +790,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
-	hs := s.histories.Stats()
+	hs := s.st.Histories().Stats()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Entities:         len(s.catalog),
-		Reviews:          s.reviews.TotalReviews(),
+		Reviews:          s.st.Reviews().TotalReviews(),
 		Histories:        hs.Histories,
 		HistoryRecords:   hs.Records,
-		InferredOpinions: s.opinions.Total(),
+		InferredOpinions: s.st.Opinions().Total(),
 		TrainingPairs:    s.TrainingPairs(),
 	})
 }

@@ -30,7 +30,12 @@ import (
 //	2 — adds DedupKeys, the exactly-once upload ledger. Version-1
 //	    snapshots load with an empty ledger (uploads accepted before the
 //	    upgrade predate idempotency keys, so there is nothing to migrate).
-const FormatVersion = 2
+//	3 — adds WALSeq, the sequence number of the last write-ahead-log
+//	    record folded into this snapshot. Recovery loads the snapshot and
+//	    replays only WAL records with a higher sequence. Version-1 and -2
+//	    snapshots load with WALSeq 0 (they predate the WAL, so every
+//	    surviving log record replays on top of them).
+const FormatVersion = 3
 
 // minReadVersion is the oldest snapshot schema Read still accepts.
 const minReadVersion = 1
@@ -39,6 +44,10 @@ const minReadVersion = 1
 type Snapshot struct {
 	Version int       `json:"version"`
 	SavedAt time.Time `json:"saved_at"`
+	// WALSeq is the sequence number of the last write-ahead-log record
+	// whose effects this snapshot contains (since version 3; 0 = no WAL,
+	// or a snapshot taken before any record was logged).
+	WALSeq uint64 `json:"wal_seq,omitempty"`
 
 	Reviews   []reviews.Review        `json:"reviews"`
 	Opinions  map[string][]float64    `json:"opinions"`
@@ -89,6 +98,8 @@ func Read(r io.Reader) (*Snapshot, error) {
 			s.Version, minReadVersion, FormatVersion)
 	}
 	// v1 → v2: no dedup ledger on disk; start empty.
+	// v2 → v3: no WAL sequence on disk; WALSeq stays 0, so a recovery
+	// replays every surviving log record on top of the snapshot.
 	s.Version = FormatVersion
 	return &s, nil
 }

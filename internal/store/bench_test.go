@@ -1,0 +1,142 @@
+package store
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"opinions/internal/interaction"
+	"opinions/internal/simclock"
+)
+
+func benchUpload(i int) *Record {
+	v := interaction.Record{
+		Entity:   fmt.Sprintf("ent/%d", i%64),
+		Kind:     interaction.VisitKind,
+		Start:    simclock.Epoch,
+		Duration: 45 * time.Minute,
+	}
+	r := 4.0
+	return &Record{
+		Kind:   KindUpload,
+		AnonID: fmt.Sprintf("anon-%d", i%1024),
+		Entity: v.Entity,
+		Visit:  &v,
+		Rating: &r,
+		Key:    fmt.Sprintf("bench-key-%d", i),
+	}
+}
+
+// BenchmarkWALAppend measures the full commit path — apply, append,
+// group-commit fsync — against a real file. The fsync dominates; the
+// NoSync variant isolates everything else.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, nosync := range []bool{false, true} {
+		name := "fsync"
+		if nosync {
+			name = "nosync"
+		}
+		b.Run(name, func(b *testing.B) {
+			s, err := Open(Options{
+				Dir: b.TempDir(), Clock: simclock.NewSim(simclock.Epoch),
+				CompactEvery: -1, NoSync: nosync,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Commit(benchUpload(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWALAppendParallel measures group commit under contention:
+// many committers per fsync is the whole point of the batch design.
+func BenchmarkWALAppendParallel(b *testing.B) {
+	s, err := Open(Options{
+		Dir: b.TempDir(), Clock: simclock.NewSim(simclock.Epoch), CompactEvery: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	var ctr atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(ctr.Add(1))
+			if err := s.Commit(benchUpload(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCommitMemoryOnly is the commit path with the log removed:
+// the cost of serialized apply alone.
+func BenchmarkCommitMemoryOnly(b *testing.B) {
+	s, err := Open(Options{Clock: simclock.NewSim(simclock.Epoch)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Commit(benchUpload(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStripedReadUnderWrites measures read throughput on the
+// sharded stores while a writer streams commits — the contention the
+// striping exists to eliminate.
+func BenchmarkStripedReadUnderWrites(b *testing.B) {
+	s, err := Open(Options{Clock: simclock.NewSim(simclock.Epoch)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 4096; i++ {
+		if err := s.Commit(benchUpload(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = s.Commit(benchUpload(1 << 20 * i))
+			}
+		}
+	}()
+	hists, ops := s.Histories(), s.Opinions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			ent := fmt.Sprintf("ent/%d", i%64)
+			_ = hists.ByEntity(ent)
+			_, _ = ops.Mean(ent)
+			i++
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-done
+}

@@ -1,13 +1,18 @@
-package rspserver
+package store
 
 import "sync"
 
-// dedupLedger is the server half of exactly-once uploads: a bounded,
+// Ledger is the server half of exactly-once uploads: a bounded,
 // FIFO-evicting set of the idempotency keys of already-applied uploads.
 // A client that retries after a truncated 2xx, or redelivers a spooled
 // upload under a fresh token after a restart, presents the same key; the
-// ledger lets AcceptUpload answer success without re-applying, so a
+// ledger lets the upload path answer success without re-applying, so a
 // flaky network cannot double-count an inferred opinion.
+//
+// The ledger lives in the durable store because its contents are state:
+// key admission is replayed from the write-ahead log (each applied
+// upload record carries its key) and folded into snapshots, so
+// exactly-once holds across crashes, not just clean restarts.
 //
 // The bound keeps memory constant under the north-star load (millions of
 // flaky clients): a key only matters while its upload might still be
@@ -16,9 +21,9 @@ import "sync"
 // degrades that one upload to at-least-once, never to loss.
 //
 // Keys carry no identity — they are client-drawn randomness, unlinkable
-// across uploads — so persisting them in snapshots leaks nothing the
-// anonymous histories do not already contain.
-type dedupLedger struct {
+// across uploads — so persisting them in snapshots and WAL records leaks
+// nothing the anonymous histories do not already contain.
+type Ledger struct {
 	mu       sync.Mutex
 	capacity int
 	seen     map[string]struct{}
@@ -26,26 +31,28 @@ type dedupLedger struct {
 	inflight map[string]struct{}
 }
 
-// defaultDedupCapacity bounds the ledger when Config leaves it zero.
-const defaultDedupCapacity = 1 << 16
+// DefaultDedupCapacity bounds the ledger when Options leave it zero.
+const DefaultDedupCapacity = 1 << 16
 
-func newDedupLedger(capacity int) *dedupLedger {
+// NewLedger returns an empty ledger holding at most capacity keys
+// (DefaultDedupCapacity when non-positive).
+func NewLedger(capacity int) *Ledger {
 	if capacity <= 0 {
-		capacity = defaultDedupCapacity
+		capacity = DefaultDedupCapacity
 	}
-	return &dedupLedger{
+	return &Ledger{
 		capacity: capacity,
 		seen:     make(map[string]struct{}),
 		inflight: make(map[string]struct{}),
 	}
 }
 
-// begin claims key for an apply in progress. It reports done=true when
+// Begin claims key for an apply in progress. It reports done=true when
 // the key was already committed (the caller must answer success without
 // re-applying) and dup=true when another request is mid-apply with the
 // same key (the caller treats the upload as delivered — the racing
 // twin owns the apply).
-func (l *dedupLedger) begin(key string) (done, dup bool) {
+func (l *Ledger) Begin(key string) (done, dup bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if _, ok := l.seen[key]; ok {
@@ -58,9 +65,9 @@ func (l *dedupLedger) begin(key string) (done, dup bool) {
 	return false, false
 }
 
-// commit records key as applied and releases the in-flight claim,
+// Commit records key as applied and releases the in-flight claim,
 // evicting the oldest key when over capacity.
-func (l *dedupLedger) commit(key string) {
+func (l *Ledger) Commit(key string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	delete(l.inflight, key)
@@ -75,39 +82,59 @@ func (l *dedupLedger) commit(key string) {
 	}
 }
 
-// abort releases the in-flight claim without recording the key: the
+// Abort releases the in-flight claim without recording the key: the
 // apply failed, so a retry must be allowed to run it again.
-func (l *dedupLedger) abort(key string) {
+func (l *Ledger) Abort(key string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	delete(l.inflight, key)
 }
 
-// contains reports whether key has been committed.
-func (l *dedupLedger) contains(key string) bool {
+// Remove erases every trace of key — committed or in flight. The upload
+// path calls this when a durability failure strikes after the key was
+// admitted: the client never received an acknowledgement, so its retry
+// must be allowed to apply from scratch (against the restarted server).
+func (l *Ledger) Remove(key string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.inflight, key)
+	if _, ok := l.seen[key]; !ok {
+		return
+	}
+	delete(l.seen, key)
+	for i, k := range l.order {
+		if k == key {
+			l.order = append(l.order[:i], l.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Contains reports whether key has been committed.
+func (l *Ledger) Contains(key string) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	_, ok := l.seen[key]
 	return ok
 }
 
-// len reports the number of committed keys held.
-func (l *dedupLedger) len() int {
+// Len reports the number of committed keys held.
+func (l *Ledger) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.order)
 }
 
-// dump returns the committed keys, oldest first, for snapshotting.
-func (l *dedupLedger) dump() []string {
+// Dump returns the committed keys, oldest first, for snapshotting.
+func (l *Ledger) Dump() []string {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return append([]string(nil), l.order...)
 }
 
-// restore replaces the ledger contents with keys (oldest first),
+// Restore replaces the ledger contents with keys (oldest first),
 // truncating from the old end when over capacity.
-func (l *dedupLedger) restore(keys []string) {
+func (l *Ledger) Restore(keys []string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if excess := len(keys) - l.capacity; excess > 0 {

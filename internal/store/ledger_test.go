@@ -1,0 +1,88 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestLedgerExactlyOnceProtocol(t *testing.T) {
+	l := NewLedger(10)
+	if done, dup := l.Begin("a"); done || dup {
+		t.Fatalf("fresh Begin = %v, %v", done, dup)
+	}
+	if done, dup := l.Begin("a"); done || !dup {
+		t.Fatalf("racing Begin = %v, %v, want in-flight dup", done, dup)
+	}
+	l.Commit("a")
+	if done, _ := l.Begin("a"); !done {
+		t.Fatal("committed key not reported done")
+	}
+	if !l.Contains("a") || l.Len() != 1 {
+		t.Fatalf("Contains=%v Len=%d", l.Contains("a"), l.Len())
+	}
+}
+
+func TestLedgerAbortAllowsRetry(t *testing.T) {
+	l := NewLedger(10)
+	l.Begin("a")
+	l.Abort("a")
+	if done, dup := l.Begin("a"); done || dup {
+		t.Fatalf("Begin after Abort = %v, %v, want fresh", done, dup)
+	}
+}
+
+func TestLedgerRemoveErasesCommitted(t *testing.T) {
+	l := NewLedger(10)
+	l.Begin("a")
+	l.Commit("a")
+	l.Remove("a")
+	if l.Contains("a") || l.Len() != 0 {
+		t.Fatal("Remove left traces of a committed key")
+	}
+	if done, dup := l.Begin("a"); done || dup {
+		t.Fatalf("Begin after Remove = %v, %v, want fresh", done, dup)
+	}
+	// Remove of an in-flight-only key also clears the claim.
+	l.Remove("a")
+	if done, dup := l.Begin("a"); done || dup {
+		t.Fatalf("Begin after in-flight Remove = %v, %v", done, dup)
+	}
+}
+
+func TestLedgerEvictsFIFO(t *testing.T) {
+	l := NewLedger(3)
+	for i := 0; i < 5; i++ {
+		k := fmt.Sprintf("k%d", i)
+		l.Begin(k)
+		l.Commit(k)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want capacity 3", l.Len())
+	}
+	if l.Contains("k0") || l.Contains("k1") {
+		t.Fatal("oldest keys not evicted")
+	}
+	if !l.Contains("k2") || !l.Contains("k4") {
+		t.Fatal("recent keys evicted")
+	}
+}
+
+func TestLedgerRestoreTruncatesOldEnd(t *testing.T) {
+	l := NewLedger(3)
+	l.Restore([]string{"a", "b", "c", "d", "e"})
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	if l.Contains("a") || l.Contains("b") {
+		t.Fatal("restore kept keys past capacity from the old end")
+	}
+	if !l.Contains("e") {
+		t.Fatal("restore dropped the newest key")
+	}
+	// Duplicates in the restored list collapse.
+	l2 := NewLedger(10)
+	l2.Restore([]string{"x", "x", "y"})
+	if l2.Len() != 2 {
+		t.Fatalf("Len after dup restore = %d, want 2", l2.Len())
+	}
+}

@@ -1,0 +1,34 @@
+package store
+
+import "opinions/internal/obs"
+
+// fsyncBuckets resolves the fsync latency range: tens of microseconds
+// on a lying consumer SSD through tens of milliseconds on a spun-down
+// disk or a saturated cloud volume.
+var fsyncBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1,
+}
+
+var (
+	metricWALAppends = obs.Default.Counter("wal_appends_total",
+		"Records appended to the write-ahead log.")
+	metricWALAppendBytes = obs.Default.Counter("wal_appended_bytes_total",
+		"Bytes appended to the write-ahead log, frames included.")
+	metricWALFsyncs = obs.Default.Counter("wal_fsyncs_total",
+		"Group-commit fsync calls on the active WAL segment.")
+	metricWALFsyncSeconds = obs.Default.Histogram("wal_fsync_seconds",
+		"Latency of WAL fsync calls.", fsyncBuckets)
+	metricWALCompactions = obs.Default.Counter("wal_compactions_total",
+		"Compactions folding the WAL into a snapshot.")
+	metricWALReplayed = obs.Default.Counter("wal_replayed_records_total",
+		"WAL records replayed during recovery.")
+	metricWALTornTails = obs.Default.Counter("wal_torn_tails_total",
+		"Torn or corrupt trailing records truncated during recovery.")
+	metricWALSegmentBytes = obs.Default.Gauge("wal_active_segment_bytes",
+		"Size of the active WAL segment, compaction trigger input.")
+	metricStoreCommits = obs.Default.CounterVec("store_commits_total",
+		"Mutations committed through the store, by record kind.", "kind")
+	metricStoreUnavailable = obs.Default.Counter("store_unavailable_total",
+		"Commits refused because the WAL previously failed.")
+)

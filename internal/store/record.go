@@ -1,0 +1,79 @@
+package store
+
+import (
+	"opinions/internal/interaction"
+	"opinions/internal/reviews"
+)
+
+// Kind discriminates write-ahead-log records. Every server mutation is
+// exactly one record; replaying the records in sequence order over a
+// snapshot reconstructs the state byte for byte.
+type Kind string
+
+// The record kinds, one per mutation path.
+const (
+	// KindUpload is an applied anonymous upload: an interaction record
+	// appended to a history, an inferred rating added to an entity's
+	// opinions, or both, plus the admission of the upload's idempotency
+	// key into the exactly-once ledger.
+	KindUpload Kind = "upload"
+	// KindReview is a posted explicit review.
+	KindReview Kind = "review"
+	// KindTrainPair is one volunteered training example.
+	KindTrainPair Kind = "train_pair"
+	// KindRetrain is a model retrain over the accumulated pairs. The
+	// record carries no model — training is deterministic, so replay
+	// reproduces it from the pairs already replayed.
+	KindRetrain Kind = "retrain"
+	// KindSweep is a fraud sweep; the record carries the anonymous IDs
+	// that were dropped, not the detector inputs, so replay cannot
+	// diverge even if the detector's profile would differ mid-replay.
+	KindSweep Kind = "sweep"
+)
+
+// Record is one logged mutation. Exactly the fields of its Kind are
+// set; the rest stay zero and are omitted from the wire form.
+//
+// By design a record carries no user identity: uploads are logged under
+// the same anonymous history ID the server stores them under (§4.2),
+// idempotency keys are client-drawn randomness, and reviews name only
+// the public pseudonym their author chose to post under. The WAL is
+// therefore exactly as privacy-sensitive as a snapshot — no more.
+type Record struct {
+	// Seq is the record's position in the log, assigned by Commit and
+	// carried in the frame header rather than the JSON payload (so the
+	// payload can be marshaled before the sequence is known).
+	Seq uint64 `json:"-"`
+
+	Kind Kind `json:"kind"`
+
+	// KindUpload fields.
+	AnonID string              `json:"anon_id,omitempty"`
+	Entity string              `json:"entity,omitempty"`
+	Visit  *interaction.Record `json:"visit,omitempty"`
+	Rating *float64            `json:"rating,omitempty"`
+	// Key is the upload's idempotency key; empty for keyless uploads.
+	Key string `json:"key,omitempty"`
+
+	// KindReview field: the review as submitted, without an ID — the
+	// apply assigns it, deterministically, because applies serialize.
+	Review *reviews.Review `json:"review,omitempty"`
+
+	// KindTrainPair fields.
+	Features    []float64 `json:"features,omitempty"`
+	TrainRating float64   `json:"train_rating,omitempty"`
+	Category    string    `json:"category,omitempty"`
+
+	// KindSweep field: the anonymous IDs the sweep discarded.
+	Dropped []string `json:"dropped,omitempty"`
+
+	// out carries the apply's product back to the committer (the posted
+	// review with its ID, the freshly trained model set). Never
+	// serialized; meaningless after replay.
+	out any
+}
+
+// Result returns what applying the record produced: the stored
+// reviews.Review for KindReview, the *inference.ModelSet for
+// KindRetrain, nil otherwise.
+func (r *Record) Result() any { return r.out }

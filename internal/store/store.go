@@ -1,0 +1,444 @@
+// Package store is the RSP's durable state layer: every server
+// mutation — an accepted upload, a posted review, a training pair, a
+// retrain, a fraud sweep — is one Record committed through Store.Commit,
+// which applies it to the in-memory striped stores, appends it to an
+// append-only checksummed write-ahead log, and acknowledges only after
+// a group-commit fsync. Background compaction folds the log into the
+// storage.Snapshot format; recovery loads the snapshot and replays the
+// log tail, repairing a torn final record, so an unclean kill loses
+// nothing that was acknowledged and duplicates nothing that was not.
+//
+// Reads never touch the commit lock: the underlying stores are sharded
+// by entity key (internal/stripe), so search-time aggregation over one
+// entity proceeds while uploads land on others.
+//
+// The log is exactly as privacy-sensitive as a snapshot: records carry
+// anonymous history IDs, entity keys, and client-drawn idempotency
+// keys — never a user identity (see DESIGN.md "Durability").
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"opinions/internal/aggregate"
+	"opinions/internal/history"
+	"opinions/internal/inference"
+	"opinions/internal/reviews"
+	"opinions/internal/simclock"
+	"opinions/internal/storage"
+)
+
+// ErrUnavailable is returned by Commit once the write-ahead log has
+// failed (or the store is closed): durability can no longer be
+// promised, so mutations are refused until a restart recovers from
+// disk. The HTTP layer maps it to 503, which clients absorb by
+// spooling and retrying — the same path as any other outage.
+var ErrUnavailable = errors.New("store: durability unavailable; mutations refused until restart")
+
+// DefaultCompactEvery is the auto-compaction trigger when Options
+// leave it zero: fold the WAL into a snapshot every this many records.
+const DefaultCompactEvery = 4096
+
+// snapshotFile is the snapshot's name inside the WAL directory.
+const snapshotFile = "snapshot.gz"
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the durability directory (snapshot + WAL segments). Empty
+	// runs the store memory-only: same commit interface, no log.
+	Dir string
+	// Clock stamps snapshots; defaults to the real clock.
+	Clock simclock.Clock
+	// DedupCapacity bounds the exactly-once ledger (default 65536).
+	DedupCapacity int
+	// CompactEvery triggers background compaction after this many
+	// committed records (default DefaultCompactEvery; negative disables
+	// auto-compaction — explicit Compact calls still work).
+	CompactEvery int
+	// NoSync skips fsync on the log (benchmarks and tests that measure
+	// everything but the disk). Group commit still flushes the buffer.
+	NoSync bool
+	// OpenFile, when non-nil, creates WAL segment files — the fault
+	// injection seam for torn-write and crash-mid-append tests.
+	OpenFile func(path string) (File, error)
+	// Logger receives recovery and compaction events; nil = slog default.
+	Logger *slog.Logger
+}
+
+// Store owns the server state and its durability. Construct with Open;
+// all mutations go through Commit.
+type Store struct {
+	clock        simclock.Clock
+	logger       *slog.Logger
+	dir          string
+	snapPath     string
+	compactEvery int
+
+	state *state
+	log   *walLog // nil when memory-only
+
+	// commitMu serializes apply+append so the log order IS the apply
+	// order. Reads bypass it entirely.
+	commitMu     sync.Mutex
+	seq          uint64
+	sinceCompact int
+	closed       bool
+
+	failed atomic.Bool
+
+	compactMu  sync.Mutex  // serializes compactions and restores
+	compacting atomic.Bool // single-flight latch for background compaction
+	wg         sync.WaitGroup
+}
+
+// Open builds a store. With a Dir it recovers on the spot: load the
+// snapshot if present, replay every WAL record past the snapshot's
+// sequence, truncate a torn tail in the final segment, and start a
+// fresh active segment. A torn or corrupt record anywhere but the tail
+// is an error — that is not a crash artifact but lost data.
+func Open(opts Options) (*Store, error) {
+	clock := opts.Clock
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	compactEvery := opts.CompactEvery
+	if compactEvery == 0 {
+		compactEvery = DefaultCompactEvery
+	}
+	if compactEvery < 0 {
+		compactEvery = 0
+	}
+	s := &Store{
+		clock:        clock,
+		logger:       logger,
+		dir:          opts.Dir,
+		compactEvery: compactEvery,
+		state:        newState(opts.DedupCapacity),
+	}
+	if opts.Dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating WAL dir: %w", err)
+	}
+	s.snapPath = filepath.Join(opts.Dir, snapshotFile)
+	if _, err := os.Stat(s.snapPath); err == nil {
+		snap, err := storage.LoadFile(s.snapPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.state.restore(snap); err != nil {
+			return nil, err
+		}
+		s.seq = snap.WALSeq
+	}
+
+	segs, err := listSegments(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	replayed, skipped, maxGen := 0, 0, 0
+	for i, seg := range segs {
+		if seg.gen > maxGen {
+			maxGen = seg.gen
+		}
+		validLen, torn, err := replaySegment(seg.path, func(seq uint64, payload []byte) error {
+			if seq <= s.seq {
+				skipped++ // already folded into the snapshot
+				return nil
+			}
+			if seq != s.seq+1 {
+				return fmt.Errorf("store: WAL gap in %s: record %d follows %d", seg.path, seq, s.seq)
+			}
+			var rec Record
+			if err := json.Unmarshal(payload, &rec); err != nil {
+				return fmt.Errorf("store: decoding WAL record %d in %s: %w", seq, seg.path, err)
+			}
+			rec.Seq = seq
+			if err := s.state.apply(&rec); err != nil {
+				return fmt.Errorf("store: replaying WAL record %d: %w", seq, err)
+			}
+			s.seq = seq
+			replayed++
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if torn {
+			if i != len(segs)-1 {
+				return nil, fmt.Errorf("store: corrupt WAL record mid-log in %s", seg.path)
+			}
+			// The crash artifact: a record half-written when the process
+			// died. It was never acknowledged (acks follow fsync of the
+			// full frame), so discarding it loses nothing.
+			if err := os.Truncate(seg.path, validLen); err != nil {
+				return nil, fmt.Errorf("store: repairing torn WAL tail: %w", err)
+			}
+			metricWALTornTails.Inc()
+			logger.Warn("wal: truncated torn tail", "segment", seg.path, "valid_bytes", validLen)
+		}
+	}
+	l, err := newWalLog(opts.Dir, maxGen+1, opts.OpenFile, opts.NoSync)
+	if err != nil {
+		return nil, err
+	}
+	s.log = l
+	metricWALReplayed.Add(uint64(replayed))
+	if replayed > 0 || skipped > 0 || len(segs) > 0 {
+		logger.Info("wal: recovered", "dir", opts.Dir, "seq", s.seq,
+			"replayed", replayed, "skipped", skipped, "segments", len(segs))
+	}
+	return s, nil
+}
+
+// Commit applies one record and makes it durable. The sequence is:
+// marshal outside the lock, then under the commit lock apply to memory
+// and append to the log, then wait (outside the lock) for the group
+// fsync that covers the record. An apply error leaves the log
+// untouched; a log error marks the store failed — memory may then be
+// ahead of disk, so every later Commit refuses with ErrUnavailable
+// until a restart re-derives state from disk.
+func (s *Store) Commit(rec *Record) error {
+	if s.failed.Load() {
+		metricStoreUnavailable.Inc()
+		return ErrUnavailable
+	}
+	var payload []byte
+	if s.log != nil {
+		var err error
+		payload, err = json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("store: encoding record: %w", err)
+		}
+	}
+	s.commitMu.Lock()
+	if s.closed {
+		s.commitMu.Unlock()
+		metricStoreUnavailable.Inc()
+		return ErrUnavailable
+	}
+	rec.Seq = s.seq + 1
+	if err := s.state.apply(rec); err != nil {
+		s.commitMu.Unlock()
+		return err
+	}
+	s.seq++
+	var b *walBatch
+	var trigger bool
+	if s.log != nil {
+		var size int64
+		var err error
+		b, size, err = s.log.append(rec.Seq, payload)
+		if err != nil {
+			s.commitMu.Unlock()
+			s.fail("append", err)
+			return fmt.Errorf("%w (appending record %d: %v)", ErrUnavailable, rec.Seq, err)
+		}
+		metricWALAppends.Inc()
+		metricWALAppendBytes.Add(uint64(frameHeaderLen + len(payload)))
+		metricWALSegmentBytes.Set(size)
+		s.sinceCompact++
+		trigger = s.compactEvery > 0 && s.sinceCompact >= s.compactEvery
+	}
+	s.commitMu.Unlock()
+	metricStoreCommits.With(string(rec.Kind)).Inc()
+	if b != nil {
+		if err := b.wait(); err != nil {
+			s.fail("fsync", err)
+			return fmt.Errorf("%w (syncing record %d: %v)", ErrUnavailable, rec.Seq, err)
+		}
+	}
+	if trigger {
+		s.maybeCompact()
+	}
+	return nil
+}
+
+// fail latches the store unavailable after a durability error.
+func (s *Store) fail(op string, err error) {
+	if s.failed.CompareAndSwap(false, true) {
+		s.logger.Error("store: WAL failed; refusing further mutations", "op", op, "err", err)
+	}
+}
+
+// Failed reports whether the store has latched unavailable.
+func (s *Store) Failed() bool { return s.failed.Load() }
+
+// Seq returns the sequence of the last committed record.
+func (s *Store) Seq() uint64 {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	return s.seq
+}
+
+// Reviews returns the explicit-review store (striped; read freely).
+func (s *Store) Reviews() *reviews.Store { return s.state.reviews }
+
+// Opinions returns the inferred-opinion store (striped; read freely).
+func (s *Store) Opinions() *aggregate.OpinionStore { return s.state.opinions }
+
+// Histories returns the anonymous history store (striped; read freely).
+func (s *Store) Histories() *history.ServerStore { return s.state.histories }
+
+// Ledger returns the exactly-once upload ledger.
+func (s *Store) Ledger() *Ledger { return s.state.ledger }
+
+// Models returns the current model set, or nil.
+func (s *Store) Models() *inference.ModelSet {
+	s.state.trainMu.RLock()
+	defer s.state.trainMu.RUnlock()
+	return s.state.models
+}
+
+// TrainingPairs reports how many volunteered examples are stored.
+func (s *Store) TrainingPairs() int {
+	s.state.trainMu.RLock()
+	defer s.state.trainMu.RUnlock()
+	return len(s.state.trainX)
+}
+
+// Snapshot captures the full state plus the WAL sequence it reflects.
+// It holds the commit lock during the in-memory copy so the cut is
+// consistent with WALSeq; callers serialize (gzip) outside any lock.
+func (s *Store) Snapshot() *storage.Snapshot {
+	s.commitMu.Lock()
+	snap := s.state.dump(s.clock.Now())
+	snap.WALSeq = s.seq
+	s.commitMu.Unlock()
+	return snap
+}
+
+// Restore replaces the state with the snapshot's contents, resets the
+// sequence to the snapshot's, and — on a durable store — persists the
+// snapshot and discards the now-obsolete log segments.
+func (s *Store) Restore(snap *storage.Snapshot) error {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	s.commitMu.Lock()
+	if err := s.state.restore(snap); err != nil {
+		s.commitMu.Unlock()
+		return err
+	}
+	s.seq = snap.WALSeq
+	s.sinceCompact = 0
+	var olds []segmentInfo
+	if s.log != nil {
+		var err error
+		olds, err = listSegments(s.dir)
+		if err != nil {
+			s.commitMu.Unlock()
+			return err
+		}
+		if err := s.log.rotate(); err != nil {
+			s.commitMu.Unlock()
+			s.fail("rotate", err)
+			return fmt.Errorf("%w (rotating WAL: %v)", ErrUnavailable, err)
+		}
+	}
+	s.commitMu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	if err := storage.SaveFile(s.snapPath, snap); err != nil {
+		// Old segments stay; disk still describes the pre-Restore state,
+		// which a crash now would recover. The next compaction heals.
+		return err
+	}
+	for _, seg := range olds {
+		_ = os.Remove(seg.path)
+	}
+	return nil
+}
+
+// Compact folds everything committed so far into the snapshot file and
+// discards the log segments it supersedes. The commit lock is held only
+// for the in-memory cut and segment rotation; serialization, the disk
+// write, and segment removal run outside it, so a slow disk never
+// stalls uploads. Old segments are removed only after the new snapshot
+// is durably installed — a crash mid-compaction recovers from the old
+// snapshot plus the old segments.
+func (s *Store) Compact() error {
+	if s.log == nil {
+		return nil
+	}
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	s.commitMu.Lock()
+	if s.closed {
+		s.commitMu.Unlock()
+		return ErrUnavailable
+	}
+	snap := s.state.dump(s.clock.Now())
+	snap.WALSeq = s.seq
+	s.sinceCompact = 0
+	olds, err := listSegments(s.dir)
+	if err != nil {
+		s.commitMu.Unlock()
+		return err
+	}
+	if err := s.log.rotate(); err != nil {
+		s.commitMu.Unlock()
+		s.fail("rotate", err)
+		return fmt.Errorf("%w (rotating WAL: %v)", ErrUnavailable, err)
+	}
+	metricWALSegmentBytes.Set(int64(len(segMagic)))
+	s.commitMu.Unlock()
+
+	if err := storage.SaveFile(s.snapPath, snap); err != nil {
+		return err
+	}
+	for _, seg := range olds {
+		_ = os.Remove(seg.path)
+	}
+	metricWALCompactions.Inc()
+	s.logger.Info("wal: compacted", "seq", snap.WALSeq, "segments_folded", len(olds))
+	return nil
+}
+
+// maybeCompact starts a background compaction unless one is running.
+func (s *Store) maybeCompact() {
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer s.compacting.Store(false)
+		// ErrUnavailable here is either a rotate failure (fail already
+		// logged the root cause) or a close racing the trigger (benign:
+		// the shutdown path compacts explicitly).
+		if err := s.Compact(); err != nil && !errors.Is(err, ErrUnavailable) {
+			s.logger.Error("store: background compaction failed", "err", err)
+		}
+	}()
+}
+
+// Close refuses further commits, waits for background compaction, and
+// closes the log. It does not compact; callers wanting a final fold
+// (cmd/rspd shutdown) call Compact first.
+func (s *Store) Close() error {
+	s.commitMu.Lock()
+	if s.closed {
+		s.commitMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.commitMu.Unlock()
+	s.wg.Wait()
+	if s.log != nil {
+		return s.log.close()
+	}
+	return nil
+}

@@ -1,0 +1,492 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"opinions/internal/faultinject"
+	"opinions/internal/interaction"
+	"opinions/internal/reviews"
+	"opinions/internal/simclock"
+)
+
+// uploadRec builds a KindUpload record: one visit plus an inferred
+// rating for entity, under anonymous id, keyed for exactly-once.
+func uploadRec(id, entity string, rating float64, key string) *Record {
+	v := interaction.Record{
+		Entity:   entity,
+		Kind:     interaction.VisitKind,
+		Start:    simclock.Epoch,
+		Duration: 30 * time.Minute,
+	}
+	r := rating
+	return &Record{Kind: KindUpload, AnonID: id, Entity: entity, Visit: &v, Rating: &r, Key: key}
+}
+
+func mustOpen(t *testing.T, opts Options) *Store {
+	t.Helper()
+	if opts.Clock == nil {
+		opts.Clock = simclock.NewSim(simclock.Epoch)
+	}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func commitN(t *testing.T, s *Store, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		rec := uploadRec(fmt.Sprintf("anon-%d", i), fmt.Sprintf("ent/%d", i%3), 4.0, fmt.Sprintf("key-%d", i))
+		if err := s.Commit(rec); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+}
+
+func TestMemoryOnlyCommit(t *testing.T) {
+	s := mustOpen(t, Options{})
+	commitN(t, s, 3)
+	if got := s.Seq(); got != 3 {
+		t.Fatalf("seq = %d, want 3", got)
+	}
+	if got := s.Histories().Stats().Records; got != 3 {
+		t.Fatalf("records = %d, want 3", got)
+	}
+	if !s.Ledger().Contains("key-1") {
+		t.Fatal("committed key not in ledger")
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("memory-only Compact: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestRecoveryReplaysLog drives every record kind through Commit, kills
+// the store cleanly, and reopens: replay alone (no compaction ran) must
+// reconstruct the histories, reviews, training set, model, and ledger.
+func TestRecoveryReplaysLog(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, NoSync: true, CompactEvery: -1})
+	commitN(t, s, 5)
+
+	rev := &Record{Kind: KindReview, Review: &reviews.Review{
+		Entity: "ent/0", Author: "alice", Rating: 4.5, Text: "great", Time: simclock.Epoch,
+	}}
+	if err := s.Commit(rev); err != nil {
+		t.Fatalf("review commit: %v", err)
+	}
+	posted, ok := rev.Result().(reviews.Review)
+	if !ok || posted.ID == "" {
+		t.Fatalf("review result = %#v", rev.Result())
+	}
+
+	for i := 0; i < 4; i++ {
+		pair := &Record{Kind: KindTrainPair,
+			Features: []float64{float64(i), float64(i % 2)}, TrainRating: 3 + float64(i)/4, Category: "restaurant"}
+		if err := s.Commit(pair); err != nil {
+			t.Fatalf("train pair: %v", err)
+		}
+	}
+	if err := s.Commit(&Record{Kind: KindRetrain}); err != nil {
+		t.Fatalf("retrain: %v", err)
+	}
+	if s.Models() == nil {
+		t.Fatal("no model after retrain")
+	}
+	if err := s.Commit(&Record{Kind: KindSweep, Dropped: []string{"anon-0"}}); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	wantSeq := s.Seq()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r := mustOpen(t, Options{Dir: dir, NoSync: true})
+	defer r.Close()
+	if got := r.Seq(); got != wantSeq {
+		t.Fatalf("recovered seq = %d, want %d", got, wantSeq)
+	}
+	if got := r.Histories().Stats().Records; got != 4 { // 5 uploads - 1 swept
+		t.Fatalf("recovered records = %d, want 4", got)
+	}
+	got := r.Reviews().ForEntity("ent/0", 0, 10)
+	if len(got) != 1 || got[0].ID != posted.ID || got[0].Author != "alice" {
+		t.Fatalf("recovered reviews = %+v, want ID %s", got, posted.ID)
+	}
+	if r.TrainingPairs() != 4 {
+		t.Fatalf("recovered pairs = %d, want 4", r.TrainingPairs())
+	}
+	if r.Models() == nil {
+		t.Fatal("retrain did not replay")
+	}
+	for i := 1; i < 5; i++ {
+		if !r.Ledger().Contains(fmt.Sprintf("key-%d", i)) {
+			t.Fatalf("ledger lost key-%d across restart", i)
+		}
+	}
+}
+
+// TestRecoveryAfterCompaction: state folded into the snapshot plus a
+// log tail written after the fold must both survive a reopen.
+func TestRecoveryAfterCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, NoSync: true, CompactEvery: -1})
+	commitN(t, s, 10)
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("%d segments after compaction, want 1 (fresh active)", len(segs))
+	}
+	for i := 0; i < 3; i++ {
+		rec := uploadRec(fmt.Sprintf("tail-%d", i), "ent/9", 2.0, fmt.Sprintf("tail-key-%d", i))
+		if err := s.Commit(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, Options{Dir: dir, NoSync: true})
+	defer r.Close()
+	if got := r.Seq(); got != 13 {
+		t.Fatalf("seq = %d, want 13", got)
+	}
+	if got := r.Histories().Stats().Records; got != 13 {
+		t.Fatalf("records = %d, want 13", got)
+	}
+}
+
+// TestAutoCompaction: crossing CompactEvery must fold the log in the
+// background; Close waits for it.
+func TestAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, NoSync: true, CompactEvery: 5})
+	commitN(t, s, 12)
+	// The fold runs on a background goroutine; give it a bounded moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(s.snapPath); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("auto-compaction never produced a snapshot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := mustOpen(t, Options{Dir: dir, NoSync: true})
+	defer r.Close()
+	if got := r.Histories().Stats().Records; got != 12 {
+		t.Fatalf("records = %d, want 12", got)
+	}
+}
+
+// TestTornTailTruncated: garbage after the last intact frame — the
+// crash artifact — must be truncated away on recovery, not fatal.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, NoSync: true, CompactEvery: -1})
+	commitN(t, s, 3)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments = %v, %v", segs, err)
+	}
+	last := segs[len(segs)-1].path
+	intact, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A frame header promising 100 bytes, followed by only 4: a write
+	// torn mid-payload.
+	f, err := os.OpenFile(last, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], 100)
+	f.Write(hdr[:])
+	f.Write([]byte("torn"))
+	f.Close()
+
+	before := metricWALTornTails.Value()
+	r := mustOpen(t, Options{Dir: dir, NoSync: true})
+	defer r.Close()
+	if got := r.Seq(); got != 3 {
+		t.Fatalf("seq = %d, want 3", got)
+	}
+	if metricWALTornTails.Value() != before+1 {
+		t.Fatal("torn-tail repair not counted")
+	}
+	if fi, err := os.Stat(last); err != nil || fi.Size() != intact.Size() {
+		t.Fatalf("segment size %d after repair, want %d", fi.Size(), intact.Size())
+	}
+}
+
+// TestCorruptMidLogFatal: a torn record anywhere but the final segment
+// is lost data, not a crash artifact — recovery must refuse.
+func TestCorruptMidLogFatal(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, NoSync: true, CompactEvery: -1})
+	commitN(t, s, 2)
+	s.Close()
+	// Reopen rolls a second segment; more commits land there.
+	s2 := mustOpen(t, Options{Dir: dir, NoSync: true, CompactEvery: -1})
+	for i := 0; i < 2; i++ {
+		if err := s2.Commit(uploadRec(fmt.Sprintf("b-%d", i), "ent/1", 3, fmt.Sprintf("bk-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2.Close()
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var withRecords []segmentInfo
+	for _, seg := range segs {
+		if fi, _ := os.Stat(seg.path); fi.Size() > int64(len(segMagic)) {
+			withRecords = append(withRecords, seg)
+		}
+	}
+	if len(withRecords) < 2 {
+		t.Fatalf("want 2 populated segments, have %d", len(withRecords))
+	}
+	f, err := os.OpenFile(withRecords[0].path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("garbage mid-log"))
+	f.Close()
+
+	if _, err := Open(Options{Dir: dir, NoSync: true, Clock: simclock.NewSim(simclock.Epoch)}); err == nil {
+		t.Fatal("recovery accepted a corrupt record before the final segment")
+	}
+}
+
+// TestWALGapFatal: a missing sequence number means a lost record;
+// recovery must refuse rather than silently skip.
+func TestWALGapFatal(t *testing.T) {
+	dir := t.TempDir()
+	f, err := os.Create(segmentPath(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(segMagic)
+	writeFrame := func(seq uint64) {
+		payload := []byte(`{"kind":"sweep"}`)
+		var hdr [frameHeaderLen]byte
+		binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.BigEndian.PutUint32(hdr[4:8], crcFrame(seq, payload))
+		binary.BigEndian.PutUint64(hdr[8:16], seq)
+		f.Write(hdr[:])
+		f.Write(payload)
+	}
+	writeFrame(1)
+	writeFrame(3) // 2 is missing
+	f.Close()
+
+	if _, err := Open(Options{Dir: dir, Clock: simclock.NewSim(simclock.Epoch)}); err == nil {
+		t.Fatal("recovery accepted a sequence gap")
+	}
+}
+
+// TestForeignSegmentTruncated: a final segment that never got its magic
+// (crash between create and first flush) is torn at offset zero.
+func TestForeignSegmentTruncated(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(segmentPath(dir, 1), []byte("OPIN"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, Options{Dir: dir, NoSync: true})
+	defer s.Close()
+	if got := s.Seq(); got != 0 {
+		t.Fatalf("seq = %d, want 0", got)
+	}
+	if fi, err := os.Stat(segmentPath(dir, 1)); err != nil || fi.Size() != 0 {
+		t.Fatalf("partial-magic segment not truncated: %v %v", fi, err)
+	}
+}
+
+// TestCrashMidAppendLatches: the injected torn write must fail that
+// commit with ErrUnavailable, latch the store against further
+// mutations, and leave a log that recovers to exactly the acknowledged
+// prefix.
+func TestCrashMidAppendLatches(t *testing.T) {
+	dir := t.TempDir()
+	openCrash := func(path string) (File, error) {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		// Write 1 carries the magic plus the first frame; write 2 — the
+		// second frame — tears halfway through.
+		return faultinject.NewCrashFile(f, 2), nil
+	}
+	s := mustOpen(t, Options{Dir: dir, CompactEvery: -1, OpenFile: openCrash})
+	if err := s.Commit(uploadRec("a", "ent/0", 4, "k-0")); err != nil {
+		t.Fatalf("pre-crash commit: %v", err)
+	}
+	err := s.Commit(uploadRec("b", "ent/1", 3, "k-1"))
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("torn append returned %v, want ErrUnavailable", err)
+	}
+	if !s.Failed() {
+		t.Fatal("store not latched after WAL failure")
+	}
+	if err := s.Commit(uploadRec("c", "ent/2", 2, "k-2")); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("post-crash commit returned %v, want ErrUnavailable", err)
+	}
+
+	// Unclean kill: abandon without Close, recover from disk.
+	before := metricWALTornTails.Value()
+	r := mustOpen(t, Options{Dir: dir})
+	defer r.Close()
+	if got := r.Seq(); got != 1 {
+		t.Fatalf("recovered seq = %d, want 1 (only the acknowledged record)", got)
+	}
+	if got := r.Histories().Stats().Records; got != 1 {
+		t.Fatalf("recovered records = %d, want 1", got)
+	}
+	if !r.Ledger().Contains("k-0") || r.Ledger().Contains("k-1") {
+		t.Fatalf("ledger after recovery: k-0=%v k-1=%v, want true/false",
+			r.Ledger().Contains("k-0"), r.Ledger().Contains("k-1"))
+	}
+	if metricWALTornTails.Value() != before+1 {
+		t.Fatal("torn tail not detected during recovery")
+	}
+	if err := r.Commit(uploadRec("b", "ent/1", 3, "k-1")); err != nil {
+		t.Fatalf("retry against recovered store: %v", err)
+	}
+}
+
+// TestGroupCommitConcurrent hammers Commit from many goroutines: every
+// record must land exactly once and the fsync count must not exceed the
+// append count (group commit can only batch, never add).
+func TestGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, CompactEvery: -1})
+	const workers, each = 8, 25
+	appends0, fsyncs0 := metricWALAppends.Value(), metricWALFsyncs.Value()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				rec := uploadRec(fmt.Sprintf("w%d-%d", w, i), fmt.Sprintf("ent/%d", i%5), 4,
+					fmt.Sprintf("w%d-key-%d", w, i))
+				if err := s.Commit(rec); err != nil {
+					t.Errorf("worker %d commit %d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Seq(); got != workers*each {
+		t.Fatalf("seq = %d, want %d", got, workers*each)
+	}
+	if got := s.Histories().Stats().Records; got != workers*each {
+		t.Fatalf("records = %d, want %d", got, workers*each)
+	}
+	appends := metricWALAppends.Value() - appends0
+	fsyncs := metricWALFsyncs.Value() - fsyncs0
+	if appends != workers*each {
+		t.Fatalf("appends = %d, want %d", appends, workers*each)
+	}
+	if fsyncs == 0 || fsyncs > appends {
+		t.Fatalf("fsyncs = %d for %d appends", fsyncs, appends)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := mustOpen(t, Options{Dir: dir, NoSync: true})
+	defer r.Close()
+	if got := r.Histories().Stats().Records; got != workers*each {
+		t.Fatalf("recovered records = %d, want %d", got, workers*each)
+	}
+}
+
+// TestSnapshotIsolation: a snapshot must be a deep copy — commits after
+// the cut cannot leak into it.
+func TestSnapshotIsolation(t *testing.T) {
+	s := mustOpen(t, Options{})
+	defer s.Close()
+	commitN(t, s, 2)
+	snap := s.Snapshot()
+	commitN(t, s, 1) // would panic on key reuse if commitN restarted; ids differ anyway
+	if got := len(snap.Histories); got != 2 {
+		t.Fatalf("snapshot grew after the cut: %d histories", got)
+	}
+	if snap.WALSeq != 2 {
+		t.Fatalf("snapshot WALSeq = %d, want 2", snap.WALSeq)
+	}
+}
+
+// TestRestoreResetsLog: Restore must reset the sequence, replace the
+// state, and leave a log that recovers the restored state.
+func TestRestoreResetsLog(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, NoSync: true, CompactEvery: -1})
+	commitN(t, s, 3)
+	snap := s.Snapshot()
+	for i := 0; i < 2; i++ {
+		if err := s.Commit(uploadRec(fmt.Sprintf("x-%d", i), "ent/0", 1, fmt.Sprintf("x-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got := s.Seq(); got != 3 {
+		t.Fatalf("seq after restore = %d, want 3", got)
+	}
+	if got := s.Histories().Stats().Records; got != 3 {
+		t.Fatalf("records after restore = %d, want 3", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := mustOpen(t, Options{Dir: dir, NoSync: true})
+	defer r.Close()
+	if got := r.Histories().Stats().Records; got != 3 {
+		t.Fatalf("recovered records = %d, want 3", got)
+	}
+}
+
+// TestUnknownKindRefused: an unknown record kind must fail before
+// anything is applied or logged.
+func TestUnknownKindRefused(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, NoSync: true})
+	defer s.Close()
+	if err := s.Commit(&Record{Kind: "nonsense"}); err == nil {
+		t.Fatal("unknown kind committed")
+	}
+	if got := s.Seq(); got != 0 {
+		t.Fatalf("failed apply advanced seq to %d", got)
+	}
+	if s.Failed() {
+		t.Fatal("apply error latched the store; only WAL errors should")
+	}
+}

@@ -1,0 +1,372 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The on-disk write-ahead-log format. A segment file is:
+//
+//	"OPINWAL1"                                  8-byte magic
+//	frame*                                      zero or more frames
+//
+// and each frame is:
+//
+//	uint32 BE  payload length                   4 bytes
+//	uint32 BE  CRC-32 (IEEE) over seq+payload   4 bytes
+//	uint64 BE  record sequence number           8 bytes
+//	payload    JSON-encoded Record              length bytes
+//
+// The checksum covers the sequence number so a frame cannot be
+// spliced into a different log position, and the length is checked
+// against maxRecordBytes before allocation so a corrupt header cannot
+// drive a huge allocation. Segment files are named by a monotonically
+// increasing generation (wal-<gen>.log) rather than by sequence, so a
+// crash between opening a fresh segment and writing its first record
+// can never collide with an existing file name.
+const (
+	segMagic       = "OPINWAL1"
+	frameHeaderLen = 4 + 4 + 8
+	maxRecordBytes = 1 << 26 // 64 MiB: far above any real record, far below a bad length
+	walBufSize     = 1 << 16
+)
+
+// File is the writable handle a WAL segment lives on. *os.File
+// satisfies it; fault injection substitutes implementations that tear
+// writes or fail fsync.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// defaultOpenFile creates a fresh segment. O_EXCL: generations never
+// repeat, so an existing file of the same name means a bookkeeping bug,
+// not a file to append to.
+func defaultOpenFile(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+}
+
+func segmentPath(dir string, gen int) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%08d.log", gen))
+}
+
+// segmentInfo is one discovered segment file.
+type segmentInfo struct {
+	path string
+	gen  int
+}
+
+// listSegments returns the segment files under dir in generation
+// (= creation) order.
+func listSegments(dir string) ([]segmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: listing WAL dir: %w", err)
+	}
+	var out []segmentInfo
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		var gen int
+		if n, err := fmt.Sscanf(e.Name(), "wal-%d.log", &gen); err == nil && n == 1 {
+			out = append(out, segmentInfo{path: filepath.Join(dir, e.Name()), gen: gen})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].gen < out[j].gen })
+	return out, nil
+}
+
+func crcFrame(seq uint64, payload []byte) uint32 {
+	var sb [8]byte
+	binary.BigEndian.PutUint64(sb[:], seq)
+	c := crc32.Update(0, crc32.IEEETable, sb[:])
+	return crc32.Update(c, crc32.IEEETable, payload)
+}
+
+// walBatch is one group commit: every record buffered since the last
+// fsync shares a batch, and one fsync acknowledges them all.
+type walBatch struct {
+	dirty bool // a record is buffered; guarded by walLog.mu
+	done  chan struct{}
+	err   error
+	once  sync.Once
+}
+
+func newWalBatch() *walBatch { return &walBatch{done: make(chan struct{})} }
+
+func (b *walBatch) complete(err error) {
+	b.once.Do(func() {
+		b.err = err
+		close(b.done)
+	})
+}
+
+func (b *walBatch) wait() error {
+	<-b.done
+	return b.err
+}
+
+// walLog is the append side of the log: buffered frame writes under a
+// mutex, with a single background syncer turning any number of
+// concurrent committers into one fsync per flush cycle (group commit).
+// Appenders return immediately with the batch to wait on; the syncer
+// flushes the buffer, fsyncs once, and releases the whole batch.
+type walLog struct {
+	dir      string
+	nosync   bool
+	openFile func(path string) (File, error)
+
+	// mu guards the buffered writer, active file, size, generation, and
+	// the current batch. syncMu serializes flush cycles, rotation, and
+	// close against each other; lock order is always syncMu then mu.
+	mu     sync.Mutex
+	syncMu sync.Mutex
+	f      File
+	w      *bufio.Writer
+	path   string
+	gen    int
+	size   int64
+	cur    *walBatch
+	closed bool
+
+	syncCh chan struct{}
+	quit   chan struct{}
+	wg     sync.WaitGroup
+}
+
+var errWALClosed = errors.New("store: write-ahead log closed")
+
+// newWalLog opens a fresh active segment at the given generation and
+// starts the group-commit syncer.
+func newWalLog(dir string, gen int, openFile func(string) (File, error), nosync bool) (*walLog, error) {
+	if openFile == nil {
+		openFile = defaultOpenFile
+	}
+	l := &walLog{
+		dir:      dir,
+		nosync:   nosync,
+		openFile: openFile,
+		cur:      newWalBatch(),
+		syncCh:   make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+	}
+	if err := l.openSegmentLocked(gen); err != nil {
+		return nil, err
+	}
+	l.wg.Add(1)
+	go l.syncer()
+	return l, nil
+}
+
+// openSegmentLocked creates segment gen and installs it as the active
+// file. The caller holds mu (or the log is not yet shared). On error
+// the previous segment, if any, stays installed.
+func (l *walLog) openSegmentLocked(gen int) error {
+	path := segmentPath(l.dir, gen)
+	f, err := l.openFile(path)
+	if err != nil {
+		return fmt.Errorf("store: opening WAL segment: %w", err)
+	}
+	w := bufio.NewWriterSize(f, walBufSize)
+	if _, err := w.WriteString(segMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing WAL segment header: %w", err)
+	}
+	l.f, l.w, l.path, l.gen, l.size = f, w, path, gen, int64(len(segMagic))
+	return nil
+}
+
+// append buffers one frame and returns the batch to wait on plus the
+// active segment's size. The write is not durable until the batch
+// completes.
+func (l *walLog) append(seq uint64, payload []byte) (*walBatch, int64, error) {
+	if len(payload) == 0 || len(payload) > maxRecordBytes {
+		return nil, 0, fmt.Errorf("store: record payload %d bytes (max %d)", len(payload), maxRecordBytes)
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, 0, errWALClosed
+	}
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crcFrame(seq, payload))
+	binary.BigEndian.PutUint64(hdr[8:16], seq)
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		l.mu.Unlock()
+		return nil, 0, err
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		l.mu.Unlock()
+		return nil, 0, err
+	}
+	l.size += frameHeaderLen + int64(len(payload))
+	size := l.size
+	b := l.cur
+	b.dirty = true
+	l.mu.Unlock()
+	select {
+	case l.syncCh <- struct{}{}:
+	default: // a flush is already pending; it will pick this record up
+	}
+	return b, size, nil
+}
+
+func (l *walLog) syncer() {
+	defer l.wg.Done()
+	for {
+		select {
+		case <-l.quit:
+			return
+		case <-l.syncCh:
+			l.flushCycle()
+		}
+	}
+}
+
+// flushCycle swaps in a fresh batch, flushes everything buffered, and
+// fsyncs once for the whole batch. Records appended while the fsync is
+// in flight land in the fresh batch and ride the next cycle — that
+// window is what amortizes fsync across concurrent committers.
+func (l *walLog) flushCycle() {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	b := l.cur
+	if l.closed || !b.dirty {
+		l.mu.Unlock()
+		return
+	}
+	l.cur = newWalBatch()
+	err := l.w.Flush()
+	f := l.f
+	l.mu.Unlock()
+	if err == nil && !l.nosync {
+		start := time.Now()
+		err = f.Sync()
+		metricWALFsyncs.Inc()
+		metricWALFsyncSeconds.Observe(time.Since(start).Seconds())
+	}
+	b.complete(err)
+}
+
+// rotate flushes and fsyncs the active segment, releases any pending
+// batch, then switches appends to a fresh segment at the next
+// generation. The caller must have quiesced appends (the store holds
+// its commit lock); waiters on the pending batch need no quiescing —
+// they are released here with the flush's outcome.
+func (l *walLog) rotate() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errWALClosed
+	}
+	err := l.w.Flush()
+	if err == nil && !l.nosync {
+		err = l.f.Sync()
+	}
+	if b := l.cur; b.dirty {
+		b.complete(err)
+		l.cur = newWalBatch()
+	}
+	if err != nil {
+		return err
+	}
+	old := l.f
+	if err := l.openSegmentLocked(l.gen + 1); err != nil {
+		return err
+	}
+	_ = old.Close()
+	return nil
+}
+
+// close flushes, fsyncs, releases any pending batch, and stops the
+// syncer. Idempotent.
+func (l *walLog) close() error {
+	l.syncMu.Lock()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		l.syncMu.Unlock()
+		return nil
+	}
+	err := l.w.Flush()
+	if err == nil && !l.nosync {
+		err = l.f.Sync()
+	}
+	if b := l.cur; b.dirty {
+		b.complete(err)
+	}
+	cerr := l.f.Close()
+	l.closed = true
+	l.mu.Unlock()
+	l.syncMu.Unlock()
+	close(l.quit)
+	l.wg.Wait()
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// replaySegment scans one segment file, invoking fn for every intact
+// frame in order. It returns the byte offset just past the last intact
+// frame and whether the segment ends in a torn or corrupt frame — a
+// partial header, a partial payload, a bad length, a checksum mismatch,
+// or a missing/short magic. A replay error from fn aborts the scan.
+func replaySegment(path string, fn func(seq uint64, payload []byte) error) (validLen int64, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false, fmt.Errorf("store: opening WAL segment: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, walBufSize)
+
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return 0, true, nil // empty or partial header: torn at offset 0
+	}
+	if string(magic) != segMagic {
+		return 0, true, nil // foreign bytes; truncating to 0 discards them
+	}
+	off := int64(len(segMagic))
+	var hdr [frameHeaderLen]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return off, false, nil // clean end
+			}
+			return off, true, nil // partial frame header
+		}
+		n := binary.BigEndian.Uint32(hdr[0:4])
+		sum := binary.BigEndian.Uint32(hdr[4:8])
+		seq := binary.BigEndian.Uint64(hdr[8:16])
+		if n == 0 || n > maxRecordBytes {
+			return off, true, nil // corrupt length
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return off, true, nil // partial payload
+		}
+		if crcFrame(seq, payload) != sum {
+			return off, true, nil // bit rot or a write torn inside the payload
+		}
+		if err := fn(seq, payload); err != nil {
+			return off, false, err
+		}
+		off += frameHeaderLen + int64(n)
+	}
+}

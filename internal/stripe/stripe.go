@@ -1,0 +1,33 @@
+// Package stripe is the shard-selection helper behind the N-way
+// striped locks of the read state (reviews, inferred opinions,
+// anonymous histories). Striping by entity key lets searches and
+// review reads proceed on one shard while an upload mutates another,
+// instead of every handler serializing behind a single store-wide
+// RWMutex.
+//
+// The shard count is a fixed power of two so selection is one hash
+// and one mask, and so every striped store agrees on the same
+// geometry (which keeps lock-ordering reasoning local to each store).
+package stripe
+
+// NumShards is the stripe width shared by all striped stores. 64 is
+// comfortably above the server's max-in-flight default (256 requests
+// over 64 stripes keeps expected queue depth per stripe low) while
+// keeping per-store fixed overhead at a few KB.
+const NumShards = 64
+
+// fnv1a constants (64-bit).
+const (
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+// Index maps a key to its shard in [0, NumShards).
+func Index(key string) int {
+	var h uint64 = offset64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h & (NumShards - 1))
+}

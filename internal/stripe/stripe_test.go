@@ -1,0 +1,33 @@
+package stripe
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestIndexInRange(t *testing.T) {
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("yelp/entity-%d", i)
+		if idx := Index(k); idx < 0 || idx >= NumShards {
+			t.Fatalf("Index(%q) = %d outside [0, %d)", k, idx, NumShards)
+		}
+	}
+}
+
+func TestIndexStable(t *testing.T) {
+	if Index("a") != Index("a") {
+		t.Fatal("Index not deterministic")
+	}
+}
+
+func TestIndexSpreads(t *testing.T) {
+	// Entity-key-shaped inputs should hit a healthy fraction of the
+	// shards; a degenerate hash would funnel everything into a few.
+	hit := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		hit[Index(fmt.Sprintf("yelp/e%04d", i))] = true
+	}
+	if len(hit) < NumShards/2 {
+		t.Fatalf("1000 keys hit only %d/%d shards", len(hit), NumShards)
+	}
+}

@@ -11,11 +11,11 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> go test ./..."
-go test ./...
+echo "==> go test -shuffle=on ./..."
+go test -shuffle=on ./...
 
-echo "==> go test -race ./..."
-go test -race ./...
+echo "==> go test -race -shuffle=on ./..."
+go test -race -shuffle=on ./...
 
 echo "==> gofmt -l"
 unformatted=$(gofmt -l .)
