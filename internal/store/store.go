@@ -177,6 +177,23 @@ func Open(opts Options) (*Store, error) {
 			return nil, err
 		}
 		if torn {
+			if validLen <= int64(len(segMagic)) {
+				// A segment with no intact frame: the process died between
+				// creating the file and flushing its header or first frame.
+				// Nothing acknowledged can live here — acks follow a
+				// full-frame fsync — so this is a crash artifact in any
+				// position, not lost data. Remove it rather than truncate:
+				// left behind (even at zero bytes), the next recovery would
+				// see a non-final torn segment and refuse to start. If an
+				// fsynced frame really did vanish from disk here, the
+				// sequence-gap check still refuses on the next segment.
+				if err := os.Remove(seg.path); err != nil {
+					return nil, fmt.Errorf("store: removing headerless WAL segment: %w", err)
+				}
+				metricWALTornTails.Inc()
+				logger.Warn("wal: removed headerless segment", "segment", seg.path)
+				continue
+			}
 			if i != len(segs)-1 {
 				return nil, fmt.Errorf("store: corrupt WAL record mid-log in %s", seg.path)
 			}
@@ -320,41 +337,58 @@ func (s *Store) Snapshot() *storage.Snapshot {
 	return snap
 }
 
-// Restore replaces the state with the snapshot's contents, resets the
-// sequence to the snapshot's, and — on a durable store — persists the
-// snapshot and discards the now-obsolete log segments.
+// Restore replaces the state with the snapshot's contents. The
+// sequence space is never rewound: the restored state adopts the
+// larger of the snapshot's sequence and the store's own, and snap's
+// WALSeq is updated to match before it is persisted, so records still
+// on disk from before the restore can never alias post-restore
+// commits — a crash that lands between the snapshot install and the
+// old segments' removal replays the stale segments as already-folded
+// no-ops instead of splicing pre-restore records into the restored
+// state.
+//
+// Unlike Compact, the commit lock is held across the disk write:
+// Restore is a rare administrative operation, and the lock is what
+// guarantees no commit is acknowledged onto the new timeline before
+// the snapshot describing that timeline is durably on disk. If
+// persisting fails, the store latches unavailable — memory (restored)
+// and disk (pre-restore) disagree, and only a restart re-derives a
+// consistent state.
 func (s *Store) Restore(snap *storage.Snapshot) error {
 	s.compactMu.Lock()
 	defer s.compactMu.Unlock()
 	s.commitMu.Lock()
-	if err := s.state.restore(snap); err != nil {
-		s.commitMu.Unlock()
-		return err
+	defer s.commitMu.Unlock()
+	if s.closed || s.failed.Load() {
+		return ErrUnavailable
 	}
-	s.seq = snap.WALSeq
-	s.sinceCompact = 0
 	var olds []segmentInfo
 	if s.log != nil {
 		var err error
 		olds, err = listSegments(s.dir)
 		if err != nil {
-			s.commitMu.Unlock()
 			return err
 		}
-		if err := s.log.rotate(); err != nil {
-			s.commitMu.Unlock()
-			s.fail("rotate", err)
-			return fmt.Errorf("%w (rotating WAL: %v)", ErrUnavailable, err)
-		}
 	}
-	s.commitMu.Unlock()
+	if err := s.state.restore(snap); err != nil {
+		return err
+	}
+	if snap.WALSeq > s.seq {
+		s.seq = snap.WALSeq
+	}
+	snap.WALSeq = s.seq
+	s.sinceCompact = 0
 	if s.log == nil {
 		return nil
 	}
+	if err := s.log.rotate(); err != nil {
+		s.fail("rotate", err)
+		return fmt.Errorf("%w (rotating WAL: %v)", ErrUnavailable, err)
+	}
+	metricWALSegmentBytes.Set(int64(len(segMagic)))
 	if err := storage.SaveFile(s.snapPath, snap); err != nil {
-		// Old segments stay; disk still describes the pre-Restore state,
-		// which a crash now would recover. The next compaction heals.
-		return err
+		s.fail("restore", err)
+		return fmt.Errorf("%w (persisting restored snapshot: %v)", ErrUnavailable, err)
 	}
 	for _, seg := range olds {
 		_ = os.Remove(seg.path)

@@ -310,9 +310,11 @@ func TestWALGapFatal(t *testing.T) {
 	}
 }
 
-// TestForeignSegmentTruncated: a final segment that never got its magic
-// (crash between create and first flush) is torn at offset zero.
-func TestForeignSegmentTruncated(t *testing.T) {
+// TestHeaderlessSegmentRemoved: a segment that never got its magic
+// (crash between create and first flush) holds nothing acknowledged.
+// Recovery must delete it — truncating it to zero bytes and leaving it
+// would make the next recovery read it as a torn mid-log segment.
+func TestHeaderlessSegmentRemoved(t *testing.T) {
 	dir := t.TempDir()
 	if err := os.WriteFile(segmentPath(dir, 1), []byte("OPIN"), 0o644); err != nil {
 		t.Fatal(err)
@@ -322,8 +324,68 @@ func TestForeignSegmentTruncated(t *testing.T) {
 	if got := s.Seq(); got != 0 {
 		t.Fatalf("seq = %d, want 0", got)
 	}
-	if fi, err := os.Stat(segmentPath(dir, 1)); err != nil || fi.Size() != 0 {
-		t.Fatalf("partial-magic segment not truncated: %v %v", fi, err)
+	if _, err := os.Stat(segmentPath(dir, 1)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("partial-magic segment not removed: %v", err)
+	}
+}
+
+// TestIdleCrashLoopRecovers is the double-kill regression: a kill
+// before any commit used to leave a zero-byte segment that the next
+// recovery truncated but left in place, so once a later generation
+// existed every subsequent open refused with "corrupt WAL record
+// mid-log". The artifact must instead be removed, the populated later
+// segment replayed, and the store must keep working across further
+// restarts.
+func TestIdleCrashLoopRecovers(t *testing.T) {
+	dir := t.TempDir()
+	// Kill #1's artifact: a segment created whose header never hit disk.
+	if err := os.WriteFile(segmentPath(dir, 1), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s1 := mustOpen(t, Options{Dir: dir, NoSync: true})
+	commitN(t, s1, 2)
+	// Kill #2: abandon without Close. The zero-byte artifact is now
+	// followed by a populated generation — the shape that used to brick.
+	s2 := mustOpen(t, Options{Dir: dir, NoSync: true})
+	if got := s2.Seq(); got != 2 {
+		t.Fatalf("recovered seq = %d, want 2", got)
+	}
+	if got := s2.Histories().Stats().Records; got != 2 {
+		t.Fatalf("recovered records = %d, want 2", got)
+	}
+	if err := s2.Commit(uploadRec("post", "ent/0", 4, "post-key")); err != nil {
+		t.Fatalf("commit after recovery: %v", err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	r := mustOpen(t, Options{Dir: dir, NoSync: true})
+	defer r.Close()
+	if got := r.Seq(); got != 3 {
+		t.Fatalf("seq after third open = %d, want 3", got)
+	}
+}
+
+// TestSegmentHeaderOnDiskAtOpen: the active segment's magic must reach
+// the file the moment the segment opens, not ride the first commit's
+// flush — a zero-byte segment on disk is the artifact the two tests
+// above recover from, and it should not be producible by a mere kill.
+func TestSegmentHeaderOnDiskAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, NoSync: true})
+	defer s.Close()
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments = %v, %v", segs, err)
+	}
+	fi, err := os.Stat(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != int64(len(segMagic)) {
+		t.Fatalf("active segment is %d bytes before any commit, want %d (header flushed at open)",
+			fi.Size(), len(segMagic))
 	}
 }
 
@@ -338,9 +400,10 @@ func TestCrashMidAppendLatches(t *testing.T) {
 		if err != nil {
 			return nil, err
 		}
-		// Write 1 carries the magic plus the first frame; write 2 — the
-		// second frame — tears halfway through.
-		return faultinject.NewCrashFile(f, 2), nil
+		// Write 1 is the segment header, flushed at open; write 2 carries
+		// the first frame; write 3 — the second frame — tears halfway
+		// through.
+		return faultinject.NewCrashFile(f, 3), nil
 	}
 	s := mustOpen(t, Options{Dir: dir, CompactEvery: -1, OpenFile: openCrash})
 	if err := s.Commit(uploadRec("a", "ent/0", 4, "k-0")); err != nil {
@@ -443,8 +506,10 @@ func TestSnapshotIsolation(t *testing.T) {
 	}
 }
 
-// TestRestoreResetsLog: Restore must reset the sequence, replace the
-// state, and leave a log that recovers the restored state.
+// TestRestoreResetsLog: Restore must replace the state and leave a log
+// that recovers the restored state. The sequence is NOT rewound — it
+// continues past the discarded commits, so records still on disk from
+// before the restore can never alias post-restore ones.
 func TestRestoreResetsLog(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, Options{Dir: dir, NoSync: true, CompactEvery: -1})
@@ -458,19 +523,106 @@ func TestRestoreResetsLog(t *testing.T) {
 	if err := s.Restore(snap); err != nil {
 		t.Fatalf("Restore: %v", err)
 	}
-	if got := s.Seq(); got != 3 {
-		t.Fatalf("seq after restore = %d, want 3", got)
+	if got := s.Seq(); got != 5 {
+		t.Fatalf("seq after restore = %d, want 5 (sequence continues, never rewinds)", got)
 	}
 	if got := s.Histories().Stats().Records; got != 3 {
 		t.Fatalf("records after restore = %d, want 3", got)
+	}
+	if err := s.Commit(uploadRec("post", "ent/1", 2, "post-key")); err != nil {
+		t.Fatalf("commit after restore: %v", err)
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
 	r := mustOpen(t, Options{Dir: dir, NoSync: true})
 	defer r.Close()
+	if got := r.Seq(); got != 6 {
+		t.Fatalf("recovered seq = %d, want 6", got)
+	}
+	if got := r.Histories().Stats().Records; got != 4 {
+		t.Fatalf("recovered records = %d, want 4", got)
+	}
+}
+
+// TestRestoreSurvivesStaleSegments: the crash window between Restore
+// persisting the new snapshot and removing the old segments. Because
+// the restored snapshot adopts the store's current sequence, the stale
+// segments replay as already-folded no-ops — their records must not be
+// spliced into the restored state and must not read as a gap.
+func TestRestoreSurvivesStaleSegments(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, NoSync: true, CompactEvery: -1})
+	commitN(t, s, 3)
+	snap := s.Snapshot()
+	for i := 0; i < 2; i++ {
+		if err := s.Commit(uploadRec(fmt.Sprintf("x-%d", i), "ent/0", 1, fmt.Sprintf("x-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stash := make(map[string][]byte, len(segs))
+	for _, seg := range segs {
+		b, err := os.ReadFile(seg.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stash[seg.path] = b
+	}
+	if err := s.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// "Crash before removal": resurrect the pre-restore segments.
+	for path, b := range stash {
+		if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	r := mustOpen(t, Options{Dir: dir, NoSync: true})
+	defer r.Close()
+	if got := r.Seq(); got != 5 {
+		t.Fatalf("recovered seq = %d, want 5", got)
+	}
 	if got := r.Histories().Stats().Records; got != 3 {
-		t.Fatalf("recovered records = %d, want 3", got)
+		t.Fatalf("recovered records = %d, want 3 (stale segments replayed into the restored state)", got)
+	}
+}
+
+// TestRestorePersistFailureLatches: if Restore cannot persist the
+// snapshot, memory (restored) and disk (pre-restore) disagree and the
+// sequence spaces have diverged — the store must latch unavailable so
+// nothing is acknowledged on a timeline a restart would not recover.
+func TestRestorePersistFailureLatches(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, NoSync: true, CompactEvery: -1})
+	defer s.Close()
+	commitN(t, s, 3)
+	snap := s.Snapshot()
+	if err := s.Commit(uploadRec("x", "ent/0", 1, "x-key")); err != nil {
+		t.Fatal(err)
+	}
+	// SaveFile installs via rename; a directory squatting on the
+	// snapshot path makes that fail.
+	if err := os.Mkdir(s.snapPath, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Restore(snap)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Restore with unwritable snapshot returned %v, want ErrUnavailable", err)
+	}
+	if !s.Failed() {
+		t.Fatal("store not latched after failed restore persist")
+	}
+	if err := s.Commit(uploadRec("y", "ent/1", 2, "y-key")); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("commit after failed restore returned %v, want ErrUnavailable", err)
 	}
 }
 

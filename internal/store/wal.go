@@ -170,18 +170,34 @@ func newWalLog(dir string, gen int, openFile func(string) (File, error), nosync 
 }
 
 // openSegmentLocked creates segment gen and installs it as the active
-// file. The caller holds mu (or the log is not yet shared). On error
-// the previous segment, if any, stays installed.
+// file. The magic is flushed (and, unless nosync, fsynced) before the
+// segment is installed: a segment file must never sit on disk at zero
+// bytes, or a kill here would leave an artifact a later recovery could
+// misread as a torn mid-log segment. The caller holds mu (or the log
+// is not yet shared). On error the partial file is removed and the
+// previous segment, if any, stays installed.
 func (l *walLog) openSegmentLocked(gen int) error {
 	path := segmentPath(l.dir, gen)
 	f, err := l.openFile(path)
 	if err != nil {
 		return fmt.Errorf("store: opening WAL segment: %w", err)
 	}
+	fail := func(op string, err error) error {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("store: %s WAL segment header: %w", op, err)
+	}
 	w := bufio.NewWriterSize(f, walBufSize)
 	if _, err := w.WriteString(segMagic); err != nil {
-		f.Close()
-		return fmt.Errorf("store: writing WAL segment header: %w", err)
+		return fail("writing", err)
+	}
+	if err := w.Flush(); err != nil {
+		return fail("writing", err)
+	}
+	if !l.nosync {
+		if err := f.Sync(); err != nil {
+			return fail("syncing", err)
+		}
 	}
 	l.f, l.w, l.path, l.gen, l.size = f, w, path, gen, int64(len(segMagic))
 	return nil
