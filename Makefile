@@ -23,8 +23,9 @@ verify:
 	sh scripts/verify.sh
 
 # bench runs every benchmark — including the WAL append and
-# striped-read benchmarks in internal/store — and writes a
-# machine-readable report to BENCH_PR5.json (human output still streams
+# striped-read benchmarks in internal/store and the replication
+# throughput/lag benchmarks in internal/replication — and writes a
+# machine-readable report to BENCH_PR6.json (human output still streams
 # to the terminal). The root package's experiment benchmarks each run
 # one full simulated experiment, so they get -benchtime 1x; the
 # internal micro-benchmarks use the default sampling so ns/op figures
@@ -32,4 +33,4 @@ verify:
 bench:
 	{ $(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . && \
 	  $(GO) test -run '^$$' -bench . -benchmem ./internal/... ; } \
-	  | $(GO) run ./cmd/benchjson -out BENCH_PR5.json
+	  | $(GO) run ./cmd/benchjson -out BENCH_PR6.json

@@ -15,21 +15,25 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"expvar"
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"opinions/internal/core"
 	"opinions/internal/faultinject"
 	"opinions/internal/obs"
+	"opinions/internal/replication"
 	"opinions/internal/rspserver"
 	"opinions/internal/storage"
 	"opinions/internal/store"
@@ -57,6 +61,11 @@ func main() {
 		spans       = flag.Int("trace-spans", 256, "recent request spans retained for /debug/requests")
 		chaos       = flag.Bool("chaos", false, "inject faults (latency, 5xx bursts, resets, truncation) for resilience testing")
 		chaosSeed   = flag.Int64("chaos-seed", 1, "fault-injection RNG seed (with -chaos)")
+		replAddr    = flag.String("replication-addr", "", "listen address for the WAL replication stream (leader mode; a follower with this set starts leading on promotion)")
+		replFrom    = flag.String("replicate-from", "", "leader replication address to follow (follower mode: mutating routes answer 503 until promotion)")
+		replSync    = flag.Bool("replication-sync", true, "semi-synchronous commits: acknowledge a mutation only after an attached follower has it (with -replication-addr)")
+		failAfter   = flag.Duration("failover-after", 10*time.Second, "follower auto-promotes after this long without leader contact (with -replicate-from; 0 = explicit /promote only)")
+		leaderURL   = flag.String("leader-url", "", "leader's public HTTP URL, returned as X-Leader on follower-gate 503s")
 	)
 	flag.Parse()
 
@@ -124,6 +133,58 @@ func main() {
 		}
 	}
 
+	// Replication. The leader streams every WAL commit to followers over
+	// -replication-addr; a follower tails -replicate-from, applies the
+	// stream through its own store, and refuses local mutations until it
+	// is promoted — explicitly via POST /promote, or automatically after
+	// -failover-after without leader contact. A follower that also has
+	// -replication-addr set starts serving the stream itself the moment
+	// it is promoted, so the survivor of a failover can take followers
+	// of its own. Works with a memory-only store too (the stream is the
+	// durability), though -wal-dir is the intended pairing.
+	stateStore := repo.Server().Store()
+	var (
+		repMu     sync.Mutex
+		repLeader *replication.Leader
+	)
+	startLeading := func() {
+		repMu.Lock()
+		defer repMu.Unlock()
+		if repLeader != nil {
+			return
+		}
+		ln, err := net.Listen("tcp", *replAddr)
+		if err != nil {
+			logger.Error("replication listener failed", "addr", *replAddr, "err", err)
+			return
+		}
+		l := replication.NewLeader(stateStore, replication.LeaderOptions{SyncCommit: *replSync, Logger: logger})
+		repLeader = l
+		go func() {
+			if err := l.Serve(ln); err != nil {
+				logger.Error("replication serve failed", "err", err)
+			}
+		}()
+		logger.Info("replication leader serving", "addr", *replAddr, "sync", *replSync)
+	}
+	var follower *replication.Follower
+	switch {
+	case *replFrom != "":
+		follower = replication.StartFollower(stateStore, *replFrom, replication.FollowerOptions{
+			FailoverAfter: *failAfter,
+			OnPromote: func(reason string) {
+				logger.Warn("promoted to leader", "reason", reason)
+				if *replAddr != "" {
+					startLeading()
+				}
+			},
+			Logger: logger,
+		})
+		logger.Info("following leader", "addr", *replFrom, "failover_after", *failAfter)
+	case *replAddr != "":
+		startLeading()
+	}
+
 	// Recovery is outermost so a panic anywhere below it — including an
 	// injected connection reset — becomes a logged 500, not a dead
 	// process. Tracing sits directly inside recovery so every log line
@@ -159,6 +220,10 @@ func main() {
 		mws = append(mws, inj.Middleware)
 		logger.Warn("CHAOS MODE — injecting faults; not for production", "seed", *chaosSeed)
 	}
+	if follower != nil {
+		fol := follower
+		mws = append(mws, rspserver.WithFollowerGate(func() bool { return !fol.Promoted() }, *leaderURL))
+	}
 	handler = rspserver.Chain(handler, mws...)
 
 	// Observability endpoints share the public listener but sit outside
@@ -171,6 +236,36 @@ func main() {
 	mux.Handle("/metrics", obs.Default.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.Handle("/debug/requests", ring.Handler())
+
+	// Liveness, readiness, and the operator promotion lever share the
+	// public listener but bypass the middleware chain: a probe must not
+	// burn the rate limit or be shed, and /promote must work while the
+	// follower gate is refusing everything else.
+	health := &rspserver.Health{Store: stateStore}
+	if follower != nil {
+		fol := follower
+		health.AddReadyCheck("replication", func() (bool, string) {
+			if fol.CaughtUp() {
+				return true, ""
+			}
+			return false, fmt.Sprintf("follower %d records behind leader", fol.Lag())
+		})
+	}
+	mux.HandleFunc("/healthz", health.Healthz())
+	mux.HandleFunc("/readyz", health.Readyz())
+	mux.HandleFunc("/promote", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if follower == nil {
+			http.Error(w, "not a replication follower", http.StatusConflict)
+			return
+		}
+		did := follower.Promote("operator request")
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]bool{"promoted": did})
+	})
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -236,6 +331,17 @@ func main() {
 				if err := srv.Shutdown(ctx); err != nil {
 					logger.Error("shutdown", "err", err)
 				}
+				// Stop replication before the final save: the follower's
+				// tail loop and the leader's sessions must not race the
+				// compaction or the store close.
+				if follower != nil {
+					follower.Close()
+				}
+				repMu.Lock()
+				if repLeader != nil {
+					repLeader.Close()
+				}
+				repMu.Unlock()
 				save("shutdown")
 				if st != nil {
 					if err := st.Close(); err != nil {

@@ -1,0 +1,181 @@
+package faultinject
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"opinions/internal/stats"
+)
+
+// ErrConnDropped is the error every operation on a FlakyConn returns
+// once an injected drop has severed it. It satisfies net.Error as a
+// non-timeout so transports classify it like a real peer reset.
+var ErrConnDropped = &droppedError{}
+
+type droppedError struct{}
+
+func (*droppedError) Error() string   { return "faultinject: connection dropped" }
+func (*droppedError) Timeout() bool   { return false }
+func (*droppedError) Temporary() bool { return true }
+
+// FlakyConnConfig describes the fault mix for one wrapped connection.
+// All rates are probabilities in [0, 1] evaluated independently per
+// operation from one seeded RNG, so a sequential caller sees the same
+// fault schedule every run.
+type FlakyConnConfig struct {
+	// Seed drives the schedule deterministically.
+	Seed int64
+	// ReadDropRate is the per-Read probability of severing the
+	// connection instead of delivering bytes.
+	ReadDropRate float64
+	// WriteDropRate is the per-Write probability of severing the
+	// connection before any byte is written.
+	WriteDropRate float64
+	// PartialWriteRate is the per-Write probability of a mid-frame
+	// partition: half the buffer goes out, then the connection is
+	// severed — the peer sees a torn message, the exact artifact WAL
+	// framing and replication CRCs must absorb.
+	PartialWriteRate float64
+	// DelayMin/DelayMax bound a uniform injected delay added to every
+	// operation (zero = none).
+	DelayMin, DelayMax time.Duration
+	// SkipOps exempts the first N operations from faults — long enough
+	// to let a handshake through before the chaos starts.
+	SkipOps int
+	// MaxFaults caps injected faults; after that many the connection
+	// behaves perfectly (0 = unlimited). Lets a soak front-load chaos
+	// and still guarantee a quiescent tail.
+	MaxFaults int
+}
+
+// FlakyConn wraps a net.Conn with deterministic fault injection on the
+// data path. Deadlines, addresses, and Close pass through untouched.
+// Safe for one reader plus one writer, like net.Conn itself.
+type FlakyConn struct {
+	net.Conn
+	cfg FlakyConnConfig
+
+	mu      sync.Mutex
+	rng     *stats.RNG
+	ops     int
+	faults  int
+	dropped bool
+}
+
+// NewFlakyConn wraps conn; faults follow cfg's seeded schedule.
+func NewFlakyConn(conn net.Conn, cfg FlakyConnConfig) *FlakyConn {
+	return &FlakyConn{Conn: conn, cfg: cfg, rng: stats.NewRNG(cfg.Seed)}
+}
+
+// Dropped reports whether an injected fault has severed the connection.
+func (c *FlakyConn) Dropped() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Faults reports how many faults have been injected so far.
+func (c *FlakyConn) Faults() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.faults
+}
+
+// decide rolls the schedule for one operation: an optional delay plus
+// which of the rate-gated faults fires (at most one, the first listed).
+// Decisions are serialized under the lock so concurrent read/write
+// sides still draw a stable sequence.
+func (c *FlakyConn) decide(rates ...float64) (delay time.Duration, fired int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dropped {
+		return 0, -1, ErrConnDropped
+	}
+	c.ops++
+	if c.cfg.DelayMax > c.cfg.DelayMin {
+		delay = c.cfg.DelayMin + time.Duration(c.rng.Float64()*float64(c.cfg.DelayMax-c.cfg.DelayMin))
+	} else {
+		delay = c.cfg.DelayMin
+	}
+	fired = -1
+	exempt := c.ops <= c.cfg.SkipOps || (c.cfg.MaxFaults > 0 && c.faults >= c.cfg.MaxFaults)
+	for i, rate := range rates {
+		// Always draw, so the schedule doesn't depend on exemptions.
+		if rate > 0 && c.rng.Float64() < rate && fired < 0 && !exempt {
+			fired = i
+		}
+	}
+	if fired >= 0 {
+		c.faults++
+	}
+	return delay, fired, nil
+}
+
+// drop severs the connection: the underlying conn closes (the peer
+// sees EOF or a reset) and every later operation fails.
+func (c *FlakyConn) drop() {
+	c.mu.Lock()
+	c.dropped = true
+	c.mu.Unlock()
+	c.Conn.Close()
+}
+
+func (c *FlakyConn) Read(p []byte) (int, error) {
+	delay, fired, err := c.decide(c.cfg.ReadDropRate)
+	if err != nil {
+		return 0, err
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fired == 0 {
+		c.drop()
+		return 0, ErrConnDropped
+	}
+	n, err := c.Conn.Read(p)
+	if err != nil && c.Dropped() {
+		err = ErrConnDropped
+	}
+	return n, err
+}
+
+func (c *FlakyConn) Write(p []byte) (int, error) {
+	delay, fired, err := c.decide(c.cfg.WriteDropRate, c.cfg.PartialWriteRate)
+	if err != nil {
+		return 0, err
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	switch fired {
+	case 0: // drop before any byte leaves
+		c.drop()
+		return 0, ErrConnDropped
+	case 1: // mid-frame partition: half the buffer, then sever
+		if len(p) > 1 {
+			n, werr := c.Conn.Write(p[:len(p)/2])
+			c.drop()
+			if werr != nil {
+				return n, werr
+			}
+			return n, ErrConnDropped
+		}
+		c.drop()
+		return 0, ErrConnDropped
+	}
+	n, err := c.Conn.Write(p)
+	if err != nil && c.Dropped() {
+		err = ErrConnDropped
+	}
+	return n, err
+}
+
+func (c *FlakyConn) Close() error {
+	err := c.Conn.Close()
+	if errors.Is(err, net.ErrClosed) && c.Dropped() {
+		return nil // already severed by an injected fault
+	}
+	return err
+}

@@ -1,0 +1,173 @@
+package faultinject
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipeConn returns both ends of an in-memory connection.
+func pipeConn(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+// faultSchedule drives writes through a FlakyConn until it drops,
+// returning how many writes succeeded first.
+func faultSchedule(t *testing.T, cfg FlakyConnConfig) int {
+	t.Helper()
+	a, b := pipeConn(t)
+	fc := NewFlakyConn(a, cfg)
+	go func() { // drain the peer so Pipe writes don't block
+		buf := make([]byte, 64)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	msg := []byte("0123456789abcdef")
+	for i := 0; ; i++ {
+		if i > 100000 {
+			t.Fatal("no drop within 100k writes")
+		}
+		if _, err := fc.Write(msg); err != nil {
+			if !errors.Is(err, ErrConnDropped) {
+				t.Fatalf("write %d failed with %v, want ErrConnDropped", i, err)
+			}
+			return i
+		}
+	}
+}
+
+func TestFlakyConnDeterministicSchedule(t *testing.T) {
+	cfg := FlakyConnConfig{Seed: 7, WriteDropRate: 0.05}
+	first := faultSchedule(t, cfg)
+	for run := 0; run < 3; run++ {
+		if got := faultSchedule(t, cfg); got != first {
+			t.Fatalf("run %d dropped after %d writes, first run after %d", run, got, first)
+		}
+	}
+	if other := faultSchedule(t, FlakyConnConfig{Seed: 8, WriteDropRate: 0.05}); other == first {
+		t.Logf("seeds 7 and 8 coincided at %d (possible but suspicious)", other)
+	}
+}
+
+func TestFlakyConnPartialWriteTearsMidFrame(t *testing.T) {
+	a, b := pipeConn(t)
+	fc := NewFlakyConn(a, FlakyConnConfig{Seed: 1, PartialWriteRate: 1.0})
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 64)
+		n, _ := b.Read(buf)
+		got <- buf[:n]
+	}()
+	frame := []byte("header+payload-frame-bytes")
+	n, err := fc.Write(frame)
+	if !errors.Is(err, ErrConnDropped) {
+		t.Fatalf("partial write error = %v, want ErrConnDropped", err)
+	}
+	if n != len(frame)/2 {
+		t.Fatalf("partial write wrote %d bytes, want %d", n, len(frame)/2)
+	}
+	select {
+	case onWire := <-got:
+		if string(onWire) != string(frame[:len(frame)/2]) {
+			t.Fatalf("peer saw %q, want the first half %q", onWire, frame[:len(frame)/2])
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer never received the torn prefix")
+	}
+	if !fc.Dropped() {
+		t.Fatal("partial write did not sever the connection")
+	}
+	if _, err := fc.Write([]byte("more")); !errors.Is(err, ErrConnDropped) {
+		t.Fatalf("write after drop = %v, want ErrConnDropped", err)
+	}
+	if _, err := fc.Read(make([]byte, 4)); !errors.Is(err, ErrConnDropped) {
+		t.Fatalf("read after drop = %v, want ErrConnDropped", err)
+	}
+}
+
+func TestFlakyConnReadDrop(t *testing.T) {
+	a, b := pipeConn(t)
+	fc := NewFlakyConn(a, FlakyConnConfig{Seed: 3, ReadDropRate: 1.0})
+	go b.Write([]byte("hello"))
+	if _, err := fc.Read(make([]byte, 8)); !errors.Is(err, ErrConnDropped) {
+		t.Fatalf("read = %v, want ErrConnDropped", err)
+	}
+	var ne net.Error
+	if !errors.As(ErrConnDropped, &ne) || ne.Timeout() {
+		t.Fatal("ErrConnDropped should be a non-timeout net.Error")
+	}
+}
+
+func TestFlakyConnSkipOpsProtectsHandshake(t *testing.T) {
+	a, b := pipeConn(t)
+	fc := NewFlakyConn(a, FlakyConnConfig{Seed: 2, WriteDropRate: 1.0, SkipOps: 3})
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		if _, err := fc.Write([]byte("handshake")); err != nil {
+			t.Fatalf("exempt write %d failed: %v", i, err)
+		}
+	}
+	if _, err := fc.Write([]byte("data")); !errors.Is(err, ErrConnDropped) {
+		t.Fatalf("first post-exemption write = %v, want ErrConnDropped", err)
+	}
+}
+
+func TestFlakyConnMaxFaultsQuiesces(t *testing.T) {
+	a, b := pipeConn(t)
+	// Delay-only config: every op would roll a fault, but MaxFaults=0
+	// faults means we need a droppable config — use read drops capped
+	// at 1 on a conn we reopen logically via counting.
+	_ = b
+	fc := NewFlakyConn(a, FlakyConnConfig{Seed: 5, WriteDropRate: 1.0, MaxFaults: 1})
+	if _, err := fc.Write([]byte("x1")); !errors.Is(err, ErrConnDropped) {
+		t.Fatalf("first write should drop, got %v", err)
+	}
+	if fc.Faults() != 1 {
+		t.Fatalf("faults = %d, want 1", fc.Faults())
+	}
+	// The conn is severed for good — MaxFaults matters for multi-fault
+	// mixes (delays keep flowing, no new drops); verify no second fault
+	// is ever counted.
+	fc.Write([]byte("x2"))
+	fc.Write([]byte("x3"))
+	if fc.Faults() != 1 {
+		t.Fatalf("faults after quiesce = %d, want still 1", fc.Faults())
+	}
+}
+
+func TestFlakyConnDelayBounds(t *testing.T) {
+	a, b := pipeConn(t)
+	fc := NewFlakyConn(a, FlakyConnConfig{Seed: 9, DelayMin: 2 * time.Millisecond, DelayMax: 6 * time.Millisecond})
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	start := time.Now()
+	const writes = 5
+	for i := 0; i < writes; i++ {
+		if _, err := fc.Write([]byte("delayed")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < writes*2*time.Millisecond {
+		t.Fatalf("%d writes took %v, below the injected-delay floor", writes, elapsed)
+	}
+}

@@ -1,0 +1,414 @@
+package replication
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"opinions/internal/storage"
+	"opinions/internal/store"
+)
+
+// LeaderOptions configures the shipping side.
+type LeaderOptions struct {
+	// SyncCommit installs a commit barrier on the store: while at least
+	// one follower is attached, a commit is acknowledged only after a
+	// follower acks its sequence (or AckTimeout passes, surfacing
+	// ErrReplicationLag to the committer). With no follower attached the
+	// barrier waves commits through — a lone leader must not stall —
+	// and counts them as degraded. Off, replication is purely
+	// asynchronous and a leader crash can lose acked-but-unshipped
+	// records.
+	SyncCommit bool
+	// AckTimeout bounds the barrier wait (default 2s).
+	AckTimeout time.Duration
+	// HeartbeatEvery paces idle-stream heartbeats (default 1s).
+	HeartbeatEvery time.Duration
+	// SubBuffer is the per-session live-frame buffer (default 4096); a
+	// follower that falls further behind than this is dropped back to
+	// catch-up.
+	SubBuffer int
+	// Logger defaults to slog.Default().
+	Logger *slog.Logger
+}
+
+// Leader serves the store's commit stream to followers. One Leader can
+// carry several sessions; the commit barrier waits on the most
+// caught-up one.
+type Leader struct {
+	st   *store.Store
+	opts LeaderOptions
+	acks ackTracker
+
+	mu     sync.Mutex
+	lns    []net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+var errLeaderClosed = errors.New("replication: leader closed")
+
+// NewLeader wires a leader to its store; with SyncCommit it installs
+// the store's commit barrier on the spot. Call Serve to accept
+// followers.
+func NewLeader(st *store.Store, opts LeaderOptions) *Leader {
+	if opts.AckTimeout <= 0 {
+		opts.AckTimeout = 2 * time.Second
+	}
+	if opts.HeartbeatEvery <= 0 {
+		opts.HeartbeatEvery = time.Second
+	}
+	if opts.SubBuffer <= 0 {
+		opts.SubBuffer = 4096
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	l := &Leader{st: st, opts: opts, conns: make(map[net.Conn]struct{})}
+	l.acks.init()
+	if opts.SyncCommit {
+		st.SetCommitBarrier(l.barrier)
+	}
+	return l
+}
+
+func (l *Leader) barrier(seq uint64) error {
+	return l.acks.wait(seq, l.opts.AckTimeout)
+}
+
+// FollowerAck returns the highest sequence any follower has durably
+// acknowledged.
+func (l *Leader) FollowerAck() uint64 {
+	ack, _ := l.acks.snapshot()
+	return ack
+}
+
+// Attached reports how many follower sessions are currently streaming.
+func (l *Leader) Attached() int {
+	_, n := l.acks.snapshot()
+	return n
+}
+
+// Serve accepts follower connections on ln until the listener or the
+// leader is closed; each connection gets its own streaming session.
+// Blocks; run it on its own goroutine.
+func (l *Leader) Serve(ln net.Listener) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		ln.Close()
+		return errLeaderClosed
+	}
+	l.lns = append(l.lns, ln)
+	l.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			l.mu.Lock()
+			closed := l.closed
+			l.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		l.conns[conn] = struct{}{}
+		l.wg.Add(1)
+		l.mu.Unlock()
+		go func() {
+			defer l.wg.Done()
+			l.serveConn(conn)
+			l.mu.Lock()
+			delete(l.conns, conn)
+			l.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, tears down sessions, and removes the commit
+// barrier. Safe to call more than once.
+func (l *Leader) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	lns := l.lns
+	conns := make([]net.Conn, 0, len(l.conns))
+	for conn := range l.conns {
+		conns = append(conns, conn)
+	}
+	l.mu.Unlock()
+	if l.opts.SyncCommit {
+		l.st.SetCommitBarrier(nil)
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, conn := range conns {
+		conn.Close()
+	}
+	l.wg.Wait()
+	return nil
+}
+
+// serveConn runs one follower session: handshake, catch-up (disk
+// frames, or a snapshot when the follower is behind the compaction
+// base), then the live stream with heartbeats, while a side goroutine
+// consumes acks. Any error ends the session; the follower redials and
+// the next handshake resumes from wherever its disk actually is.
+func (l *Leader) serveConn(conn net.Conn) {
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	followerSeq, err := readHandshake(conn)
+	if err != nil {
+		l.opts.Logger.Warn("replication: handshake failed", "remote", conn.RemoteAddr(), "err", err)
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	metricFollowersConnected.Add(1)
+	defer metricFollowersConnected.Add(-1)
+
+	// Subscribe before catch-up: everything at or below sub.StartSeq()
+	// comes from disk (or the snapshot), everything after arrives on the
+	// subscription, and the seams overlap rather than gap.
+	sub := l.st.SubscribeFrames(l.opts.SubBuffer)
+	defer l.st.Unsubscribe(sub)
+	l.acks.attach(followerSeq)
+	defer l.acks.detach()
+
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	last, err := l.catchUp(bw, followerSeq, sub)
+	if err == nil {
+		err = writeHeartbeatMsg(bw, l.st.Seq())
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		l.opts.Logger.Warn("replication: catch-up failed", "remote", conn.RemoteAddr(), "err", err)
+		return
+	}
+	l.opts.Logger.Info("replication: follower attached",
+		"remote", conn.RemoteAddr(), "follower_seq", followerSeq, "caught_up_to", last)
+
+	go l.readAcks(conn)
+
+	ticker := time.NewTicker(l.opts.HeartbeatEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case f, ok := <-sub.C():
+			if !ok {
+				// Lagged past the buffer, or the store closed/restored.
+				// Ending the session makes the follower redial into a
+				// fresh catch-up.
+				l.opts.Logger.Warn("replication: subscription ended",
+					"remote", conn.RemoteAddr(), "lagged", sub.Lagged())
+				return
+			}
+			if err := l.streamFrame(bw, &last, f); err != nil {
+				return
+			}
+			// Drain whatever else is buffered before paying the flush.
+		drain:
+			for {
+				select {
+				case f, ok := <-sub.C():
+					if !ok {
+						break drain
+					}
+					if err := l.streamFrame(bw, &last, f); err != nil {
+						return
+					}
+				default:
+					break drain
+				}
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		case <-ticker.C:
+			if err := writeHeartbeatMsg(bw, l.st.Seq()); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (l *Leader) streamFrame(bw *bufio.Writer, last *uint64, f store.Frame) error {
+	if f.Seq <= *last {
+		return nil // already delivered during catch-up
+	}
+	if f.Seq != *last+1 {
+		return fmt.Errorf("replication: stream gap: have %d, next live frame %d", *last, f.Seq)
+	}
+	if err := writeFrameMsg(bw, f.Seq, f.Payload); err != nil {
+		return err
+	}
+	*last = f.Seq
+	metricFrames.Inc()
+	metricBytes.Add(uint64(len(f.Payload)))
+	return nil
+}
+
+// catchUp brings a follower from its handshake sequence to at least the
+// subscription start, returning the last sequence written. Frames come
+// from disk when they are still there; otherwise (behind the compaction
+// base, or a gap) the follower is re-seeded with a full snapshot.
+func (l *Leader) catchUp(bw *bufio.Writer, from uint64, sub *store.FrameSub) (uint64, error) {
+	if from >= l.st.BaseSeq() {
+		last, err := l.st.ExportFrames(from, func(seq uint64, payload []byte) error {
+			if err := writeFrameMsg(bw, seq, payload); err != nil {
+				return err
+			}
+			metricFrames.Inc()
+			metricBytes.Add(uint64(len(payload)))
+			if bw.Buffered() > 1<<15 {
+				return bw.Flush()
+			}
+			return nil
+		})
+		if err == nil && last >= sub.StartSeq() {
+			return last, nil
+		}
+		if err != nil && !errors.Is(err, store.ErrExportGap) {
+			return last, err
+		}
+		// Fall through: compacted away underneath us, or the disk ended
+		// short of the subscription start. Snapshot covers both.
+	}
+	snap := l.st.Snapshot()
+	var buf bytes.Buffer
+	if err := storage.Write(&buf, snap); err != nil {
+		return from, err
+	}
+	if err := writeSnapshotMsg(bw, snap.WALSeq, buf.Bytes()); err != nil {
+		return from, err
+	}
+	metricSnapshots.Inc()
+	metricBytes.Add(uint64(buf.Len()))
+	return snap.WALSeq, nil
+}
+
+// readAcks consumes the follower's ack stream, advancing the shared
+// tracker (which is what releases semi-sync commits) and the lag gauge.
+// A quiet or broken follower trips the read deadline; closing the
+// connection ends the write side too.
+func (l *Leader) readAcks(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 1<<10)
+	deadline := 10 * l.opts.HeartbeatEvery
+	for {
+		conn.SetReadDeadline(time.Now().Add(deadline))
+		seq, err := readAck(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				l.opts.Logger.Warn("replication: ack stream ended", "remote", conn.RemoteAddr(), "err", err)
+			}
+			return
+		}
+		l.acks.advance(seq)
+		if cur := l.st.Seq(); cur > seq {
+			metricFollowerLag.Set(int64(cur - seq))
+		} else {
+			metricFollowerLag.Set(0)
+		}
+	}
+}
+
+// ackTracker is the rendezvous between follower ack streams and the
+// commit barrier: it tracks the best ack across sessions and wakes
+// every waiter on any advance or attach/detach.
+type ackTracker struct {
+	mu       sync.Mutex
+	max      uint64
+	attached int
+	ch       chan struct{} // closed and replaced on every change
+}
+
+func (t *ackTracker) init() { t.ch = make(chan struct{}) }
+
+func (t *ackTracker) bumpLocked() {
+	close(t.ch)
+	t.ch = make(chan struct{})
+}
+
+func (t *ackTracker) attach(seq uint64) {
+	t.mu.Lock()
+	t.attached++
+	if seq > t.max {
+		t.max = seq
+	}
+	t.bumpLocked()
+	t.mu.Unlock()
+}
+
+func (t *ackTracker) detach() {
+	t.mu.Lock()
+	t.attached--
+	t.bumpLocked()
+	t.mu.Unlock()
+}
+
+func (t *ackTracker) advance(seq uint64) {
+	t.mu.Lock()
+	if seq > t.max {
+		t.max = seq
+		t.bumpLocked()
+	}
+	t.mu.Unlock()
+}
+
+func (t *ackTracker) snapshot() (uint64, int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.max, t.attached
+}
+
+// wait blocks until a follower acks seq, no follower is attached
+// (degraded pass), or the timeout lapses (ErrReplicationLag).
+func (t *ackTracker) wait(seq uint64, timeout time.Duration) error {
+	var timer *time.Timer
+	for {
+		t.mu.Lock()
+		if t.attached == 0 {
+			t.mu.Unlock()
+			metricDegradedCommits.Inc()
+			return nil
+		}
+		if t.max >= seq {
+			t.mu.Unlock()
+			return nil
+		}
+		ch := t.ch
+		t.mu.Unlock()
+		if timer == nil {
+			timer = time.NewTimer(timeout)
+			defer timer.Stop()
+		}
+		select {
+		case <-ch:
+		case <-timer.C:
+			metricBarrierTimeouts.Inc()
+			return store.ErrReplicationLag
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package replication ships the store's write-ahead log from a leader
+// to followers over a long-lived TCP connection, so the repository of
+// opinions survives the loss of one node — the paper's service-market
+// framing only works if an RSP is more durable than a single disk.
+//
+// The wire protocol is deliberately close to the on-disk WAL format.
+// A follower opens the connection and handshakes:
+//
+//	"OPINREP1"                                  8-byte magic
+//	uint64 BE  follower's last durable sequence 8 bytes
+//
+// after which the leader streams messages, each tagged by one byte:
+//
+//	'F' frame:     uint32 BE payload length, uint32 BE CRC-32 (IEEE,
+//	               over seq+payload — identical to the WAL frame CRC),
+//	               uint64 BE sequence, payload
+//	'S' snapshot:  uint64 BE sequence, uint32 BE blob length, blob
+//	               (gzip storage.Snapshot) — sent when the follower is
+//	               behind the leader's compaction base and frames alone
+//	               cannot catch it up
+//	'H' heartbeat: uint64 BE leader sequence — keeps the connection
+//	               alive and lets an idle follower measure its lag
+//
+// The follower's side of the stream is a sequence of uint64 BE acks,
+// each the follower's highest durable sequence: sent after every
+// applied message, an ack means "everything at or below this is
+// fsynced on my disk" and is what the leader's semi-synchronous commit
+// barrier waits on.
+package replication
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+const (
+	handshakeMagic = "OPINREP1"
+
+	msgFrame     = 'F'
+	msgSnapshot  = 'S'
+	msgHeartbeat = 'H'
+
+	// maxFrameBytes mirrors the store's maxRecordBytes: a larger length
+	// prefix is corruption, not data.
+	maxFrameBytes    = 1 << 26
+	maxSnapshotBytes = 1 << 30
+)
+
+func frameCRC(seq uint64, payload []byte) uint32 {
+	var sb [8]byte
+	binary.BigEndian.PutUint64(sb[:], seq)
+	c := crc32.Update(0, crc32.IEEETable, sb[:])
+	return crc32.Update(c, crc32.IEEETable, payload)
+}
+
+func writeHandshake(w io.Writer, seq uint64) error {
+	var buf [len(handshakeMagic) + 8]byte
+	copy(buf[:], handshakeMagic)
+	binary.BigEndian.PutUint64(buf[len(handshakeMagic):], seq)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readHandshake(r io.Reader) (uint64, error) {
+	var buf [len(handshakeMagic) + 8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("replication: reading handshake: %w", err)
+	}
+	if string(buf[:len(handshakeMagic)]) != handshakeMagic {
+		return 0, errors.New("replication: bad handshake magic")
+	}
+	return binary.BigEndian.Uint64(buf[len(handshakeMagic):]), nil
+}
+
+func writeFrameMsg(w io.Writer, seq uint64, payload []byte) error {
+	var hdr [1 + 4 + 4 + 8]byte
+	hdr[0] = msgFrame
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[5:9], frameCRC(seq, payload))
+	binary.BigEndian.PutUint64(hdr[9:17], seq)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func writeSnapshotMsg(w io.Writer, seq uint64, blob []byte) error {
+	var hdr [1 + 8 + 4]byte
+	hdr[0] = msgSnapshot
+	binary.BigEndian.PutUint64(hdr[1:9], seq)
+	binary.BigEndian.PutUint32(hdr[9:13], uint32(len(blob)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(blob)
+	return err
+}
+
+func writeHeartbeatMsg(w io.Writer, seq uint64) error {
+	var buf [1 + 8]byte
+	buf[0] = msgHeartbeat
+	binary.BigEndian.PutUint64(buf[1:9], seq)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func writeAck(w io.Writer, seq uint64) error {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], seq)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readAck(r io.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(buf[:]), nil
+}
+
+// message is one decoded leader→follower message. seq is the frame or
+// snapshot sequence, or the leader's current sequence for a heartbeat;
+// payload is the frame payload or snapshot blob, nil for heartbeats.
+type message struct {
+	kind    byte
+	seq     uint64
+	payload []byte
+}
+
+// readMessage decodes the next leader→follower message, verifying the
+// frame CRC — a mismatch is an error, and the session restarts rather
+// than apply a corrupt record.
+func readMessage(r *bufio.Reader) (message, error) {
+	kind, err := r.ReadByte()
+	if err != nil {
+		return message{}, err
+	}
+	switch kind {
+	case msgFrame:
+		var hdr [4 + 4 + 8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return message{}, fmt.Errorf("replication: reading frame header: %w", err)
+		}
+		n := binary.BigEndian.Uint32(hdr[0:4])
+		sum := binary.BigEndian.Uint32(hdr[4:8])
+		seq := binary.BigEndian.Uint64(hdr[8:16])
+		if n == 0 || n > maxFrameBytes {
+			return message{}, fmt.Errorf("replication: frame length %d out of range", n)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return message{}, fmt.Errorf("replication: reading frame payload: %w", err)
+		}
+		if frameCRC(seq, payload) != sum {
+			return message{}, fmt.Errorf("replication: frame %d checksum mismatch", seq)
+		}
+		return message{kind: kind, seq: seq, payload: payload}, nil
+	case msgSnapshot:
+		var hdr [8 + 4]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return message{}, fmt.Errorf("replication: reading snapshot header: %w", err)
+		}
+		seq := binary.BigEndian.Uint64(hdr[0:8])
+		n := binary.BigEndian.Uint32(hdr[8:12])
+		if n == 0 || n > maxSnapshotBytes {
+			return message{}, fmt.Errorf("replication: snapshot length %d out of range", n)
+		}
+		blob := make([]byte, n)
+		if _, err := io.ReadFull(r, blob); err != nil {
+			return message{}, fmt.Errorf("replication: reading snapshot blob: %w", err)
+		}
+		return message{kind: kind, seq: seq, payload: blob}, nil
+	case msgHeartbeat:
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return message{}, fmt.Errorf("replication: reading heartbeat: %w", err)
+		}
+		return message{kind: kind, seq: binary.BigEndian.Uint64(buf[:])}, nil
+	default:
+		return message{}, fmt.Errorf("replication: unknown message type %q", kind)
+	}
+}

@@ -1,0 +1,280 @@
+package replication
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"testing"
+	"time"
+
+	"opinions/internal/interaction"
+	"opinions/internal/resilience"
+	"opinions/internal/simclock"
+	"opinions/internal/store"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 4}))
+}
+
+func openStore(t *testing.T) *store.Store {
+	t.Helper()
+	s, err := store.Open(store.Options{
+		Dir: t.TempDir(), NoSync: true, CompactEvery: -1,
+		Clock: simclock.NewSim(simclock.Epoch), Logger: quietLogger(),
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func commitUpload(t *testing.T, s *store.Store, i int) {
+	t.Helper()
+	rating := 4.0
+	rec := &store.Record{
+		Kind:   store.KindUpload,
+		AnonID: fmt.Sprintf("anon-%d", i),
+		Entity: fmt.Sprintf("ent/%d", i%3),
+		Visit: &interaction.Record{
+			Entity: fmt.Sprintf("ent/%d", i%3), Kind: interaction.VisitKind,
+			Start: simclock.Epoch, Duration: 30 * time.Minute,
+		},
+		Rating: &rating,
+		Key:    fmt.Sprintf("key-%d", i),
+	}
+	if err := s.Commit(rec); err != nil {
+		t.Fatalf("commit %d: %v", i, err)
+	}
+}
+
+func startLeader(t *testing.T, st *store.Store, opts LeaderOptions) (*Leader, string) {
+	t.Helper()
+	if opts.Logger == nil {
+		opts.Logger = quietLogger()
+	}
+	if opts.HeartbeatEvery == 0 {
+		opts.HeartbeatEvery = 20 * time.Millisecond
+	}
+	l := NewLeader(st, opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go l.Serve(ln)
+	t.Cleanup(func() { l.Close() })
+	return l, ln.Addr().String()
+}
+
+func fastFollowerOpts() FollowerOptions {
+	return FollowerOptions{
+		Retry:         resilience.Policy{BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond},
+		Breaker:       &resilience.Breaker{FailureThreshold: 1000, Cooldown: 10 * time.Millisecond},
+		ReadTimeout:   500 * time.Millisecond,
+		Logger:        quietLogger(),
+		FailoverAfter: 0,
+	}
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestLiveStreamReplicates(t *testing.T) {
+	leaderStore, followerStore := openStore(t), openStore(t)
+	leader, addr := startLeader(t, leaderStore, LeaderOptions{})
+	f := StartFollower(followerStore, addr, fastFollowerOpts())
+	defer f.Close()
+	waitFor(t, 5*time.Second, "follower connected", f.Connected)
+	for i := 0; i < 10; i++ {
+		commitUpload(t, leaderStore, i)
+	}
+	waitFor(t, 5*time.Second, "follower caught up", func() bool { return followerStore.Seq() == 10 })
+	waitFor(t, 5*time.Second, "leader saw acks", func() bool { return leader.FollowerAck() == 10 })
+	if got, want := followerStore.Histories().Stats().Records, leaderStore.Histories().Stats().Records; got != want {
+		t.Fatalf("follower records %d, leader %d", got, want)
+	}
+	if !followerStore.Ledger().Contains("key-3") {
+		t.Fatal("dedup ledger did not ride the stream")
+	}
+	if f.Lag() != 0 || !f.CaughtUp() {
+		t.Fatalf("lag %d, caught-up %v; want 0,true", f.Lag(), f.CaughtUp())
+	}
+}
+
+func TestCatchUpFromDiskThenLive(t *testing.T) {
+	leaderStore, followerStore := openStore(t), openStore(t)
+	for i := 0; i < 5; i++ {
+		commitUpload(t, leaderStore, i)
+	}
+	_, addr := startLeader(t, leaderStore, LeaderOptions{})
+	f := StartFollower(followerStore, addr, fastFollowerOpts())
+	defer f.Close()
+	waitFor(t, 5*time.Second, "disk catch-up", func() bool { return followerStore.Seq() == 5 })
+	for i := 5; i < 9; i++ {
+		commitUpload(t, leaderStore, i)
+	}
+	waitFor(t, 5*time.Second, "live tail after catch-up", func() bool { return followerStore.Seq() == 9 })
+	if got := followerStore.Histories().Stats().Records; got != 9 {
+		t.Fatalf("follower records = %d, want 9", got)
+	}
+}
+
+func TestSnapshotSeedWhenBehindCompactionBase(t *testing.T) {
+	leaderStore, followerStore := openStore(t), openStore(t)
+	for i := 0; i < 5; i++ {
+		commitUpload(t, leaderStore, i)
+	}
+	if err := leaderStore.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	for i := 5; i < 7; i++ {
+		commitUpload(t, leaderStore, i)
+	}
+	before := metricSnapshotsLoaded.Value()
+	_, addr := startLeader(t, leaderStore, LeaderOptions{})
+	f := StartFollower(followerStore, addr, fastFollowerOpts())
+	defer f.Close()
+	waitFor(t, 5*time.Second, "snapshot seed + frames", func() bool { return followerStore.Seq() == 7 })
+	if got := followerStore.Histories().Stats().Records; got != 7 {
+		t.Fatalf("follower records = %d, want 7", got)
+	}
+	if metricSnapshotsLoaded.Value() == before {
+		t.Fatal("expected the follower to be seeded via snapshot, not frames")
+	}
+}
+
+func TestSyncBarrierRefusesWithoutAck(t *testing.T) {
+	leaderStore := openStore(t)
+	leader, addr := startLeader(t, leaderStore, LeaderOptions{
+		SyncCommit: true, AckTimeout: 100 * time.Millisecond,
+	})
+
+	// No follower attached: semi-sync degrades to async and commits pass.
+	commitUpload(t, leaderStore, 0)
+
+	// A follower that handshakes but never acks: commits must be refused
+	// with ErrReplicationLag after the timeout, without latching.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if err := writeHandshake(conn, leaderStore.Seq()); err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	waitFor(t, 5*time.Second, "silent follower attached", func() bool { return leader.Attached() == 1 })
+	rating := 4.0
+	rec := &store.Record{Kind: store.KindUpload, AnonID: "anon-x", Entity: "ent/x",
+		Visit:  &interaction.Record{Entity: "ent/x", Kind: interaction.VisitKind, Start: simclock.Epoch, Duration: time.Minute},
+		Rating: &rating, Key: "lagged-key"}
+	err = leaderStore.Commit(rec)
+	if !errors.Is(err, store.ErrReplicationLag) {
+		t.Fatalf("commit with silent follower = %v, want ErrReplicationLag", err)
+	}
+	if leaderStore.Failed() {
+		t.Fatal("barrier timeout latched the store")
+	}
+
+	// Drop the silent follower: degraded commits flow again.
+	conn.Close()
+	waitFor(t, 5*time.Second, "silent follower detached", func() bool { return leader.Attached() == 0 })
+	commitUpload(t, leaderStore, 99)
+}
+
+func TestAutoPromotionOnLeaderLoss(t *testing.T) {
+	leaderStore, followerStore := openStore(t), openStore(t)
+	leader, addr := startLeader(t, leaderStore, LeaderOptions{})
+	commitUpload(t, leaderStore, 0)
+
+	promoted := make(chan string, 1)
+	opts := fastFollowerOpts()
+	opts.FailoverAfter = 150 * time.Millisecond
+	opts.ReadTimeout = 100 * time.Millisecond
+	opts.OnPromote = func(reason string) { promoted <- reason }
+	f := StartFollower(followerStore, addr, opts)
+	defer f.Close()
+	waitFor(t, 5*time.Second, "replicated before kill", func() bool { return followerStore.Seq() == 1 })
+
+	if err := leader.Close(); err != nil {
+		t.Fatalf("leader close: %v", err)
+	}
+	select {
+	case <-promoted:
+	case <-time.After(10 * time.Second):
+		t.Fatal("follower did not auto-promote after sustained leader loss")
+	}
+	if !f.Promoted() || !f.CaughtUp() {
+		t.Fatalf("promoted=%v caughtUp=%v, want true,true", f.Promoted(), f.CaughtUp())
+	}
+	// Promotion is sticky and single-shot.
+	if f.Promote("again") {
+		t.Fatal("second Promote reported as performing the promotion")
+	}
+	// The promoted node accepts local mutations on the inherited sequence space.
+	commitUpload(t, followerStore, 1)
+	if followerStore.Seq() != 2 {
+		t.Fatalf("post-promotion seq = %d, want 2", followerStore.Seq())
+	}
+}
+
+func TestProtocolRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte(`{"kind":"upload"}`)
+	blob := []byte("not-really-gzip-but-opaque-here")
+	if err := writeFrameMsg(&buf, 7, payload); err != nil {
+		t.Fatalf("writeFrameMsg: %v", err)
+	}
+	if err := writeSnapshotMsg(&buf, 9, blob); err != nil {
+		t.Fatalf("writeSnapshotMsg: %v", err)
+	}
+	if err := writeHeartbeatMsg(&buf, 11); err != nil {
+		t.Fatalf("writeHeartbeatMsg: %v", err)
+	}
+	br := bufio.NewReader(bytes.NewReader(buf.Bytes()))
+	m1, err := readMessage(br)
+	if err != nil || m1.kind != msgFrame || m1.seq != 7 || !bytes.Equal(m1.payload, payload) {
+		t.Fatalf("frame round trip: %+v, %v", m1, err)
+	}
+	m2, err := readMessage(br)
+	if err != nil || m2.kind != msgSnapshot || m2.seq != 9 || !bytes.Equal(m2.payload, blob) {
+		t.Fatalf("snapshot round trip: %+v, %v", m2, err)
+	}
+	m3, err := readMessage(br)
+	if err != nil || m3.kind != msgHeartbeat || m3.seq != 11 {
+		t.Fatalf("heartbeat round trip: %+v, %v", m3, err)
+	}
+	if _, err := readMessage(br); err == nil {
+		t.Fatal("read past end succeeded")
+	}
+
+	// A flipped payload bit must fail the CRC, not decode quietly.
+	var corrupt bytes.Buffer
+	if err := writeFrameMsg(&corrupt, 7, payload); err != nil {
+		t.Fatalf("writeFrameMsg: %v", err)
+	}
+	raw := corrupt.Bytes()
+	raw[len(raw)-1] ^= 0x01
+	if _, err := readMessage(bufio.NewReader(bytes.NewReader(raw))); err == nil {
+		t.Fatal("corrupt frame decoded without error")
+	}
+}
+
+func TestHandshakeRejectsBadMagic(t *testing.T) {
+	if _, err := readHandshake(bytes.NewReader([]byte("NOTMAGIC\x00\x00\x00\x00\x00\x00\x00\x01"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}

@@ -20,6 +20,8 @@ var (
 		"from", "to")
 	metricBreakerFastFail = obs.Default.Counter("rsp_client_breaker_fastfails_total",
 		"Calls refused immediately because the circuit was open.")
+	metricFailovers = obs.Default.Counter("rsp_client_failovers_total",
+		"Transport target rotations after a connection failure or 503.")
 	metricSpoolDepth = obs.Default.Gauge("rsp_client_spool_depth",
 		"Uploads currently spooled awaiting redelivery, summed across spools.")
 	metricSpooled = obs.Default.Counter("rsp_client_spooled_total",

@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"opinions/internal/attest"
@@ -83,10 +84,44 @@ type HTTPTransport struct {
 	// Breaker, when set, fails calls fast while the RSP is down instead
 	// of burning the device's radio on retries.
 	Breaker *resilience.Breaker
+	// Fallbacks lists alternate server roots — the followers of a
+	// replicated deployment. When the current target refuses the
+	// connection or answers 503, the transport rotates to the next root
+	// in [BaseURL, Fallbacks...] and the retry policy's next attempt
+	// lands there. The choice is sticky: once a target works, every
+	// later call starts on it, so after a failover the client stays on
+	// the promoted follower instead of hammering the dead leader.
+	Fallbacks []string
+
+	// target indexes the sticky entry of [BaseURL, Fallbacks...].
+	target atomic.Int32
 
 	// obsOnce instruments the breaker's state-change hook exactly once,
 	// lazily, so literal construction keeps working.
 	obsOnce sync.Once
+}
+
+// currentTarget returns the sticky base URL and its ring index.
+func (t *HTTPTransport) currentTarget() (int, string) {
+	n := 1 + len(t.Fallbacks)
+	i := int(t.target.Load()) % n
+	if i == 0 {
+		return i, t.BaseURL
+	}
+	return i, t.Fallbacks[i-1]
+}
+
+// failover rotates the sticky target past idx. The compare-and-swap
+// makes concurrent failures of the same target advance it once — two
+// goroutines seeing the dead leader must not leapfrog the follower.
+func (t *HTTPTransport) failover(idx int) {
+	n := 1 + len(t.Fallbacks)
+	if n < 2 {
+		return
+	}
+	if t.target.CompareAndSwap(int32(idx), int32((idx+1)%n)) {
+		metricFailovers.Inc()
+	}
 }
 
 func (t *HTTPTransport) client() *http.Client {
@@ -139,7 +174,8 @@ func (t *HTTPTransport) roundTrip(method, path string, body []byte, out any) err
 		if body != nil {
 			reader = bytes.NewReader(body)
 		}
-		req, err := http.NewRequestWithContext(ctx, method, t.BaseURL+path, reader)
+		idx, base := t.currentTarget()
+		req, err := http.NewRequestWithContext(ctx, method, base+path, reader)
 		if err != nil {
 			return resilience.Permanent(err)
 		}
@@ -153,11 +189,22 @@ func (t *HTTPTransport) roundTrip(method, path string, body []byte, out any) err
 		}
 		resp, err := t.client().Do(req)
 		if err != nil {
+			// A connection-level failure — refused, reset, timed out —
+			// is what a dead leader looks like; aim the next attempt at
+			// the fallback.
+			t.failover(idx)
 			return err
 		}
 		defer drainClose(resp.Body)
 		if resp.StatusCode >= 300 {
 			err := httpError(resp)
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				// The node is up but refusing service: a latched store,
+				// a replication-lagged leader, or an unpromoted
+				// follower's gate. Rotate; if the whole ring says 503
+				// the retries just walk it until somebody takes writes.
+				t.failover(idx)
+			}
 			if !transientStatus(resp.StatusCode) {
 				return resilience.Permanent(err)
 			}

@@ -1,0 +1,47 @@
+package rspserver
+
+import (
+	"fmt"
+	"net/http"
+
+	"opinions/internal/obs"
+)
+
+var metricFollowerGateRefusals = obs.Default.Counter("rsp_follower_gate_refusals_total",
+	"Mutating requests refused because this node is a read-only replication follower.")
+
+// mutatingRoutes are the endpoints that commit through the store. The
+// follower gate blocks exactly these: reads stay served from the
+// replicated state, and token/attestation issuance keeps working so a
+// client can finish its handshake with whichever node it reaches.
+var mutatingRoutes = map[string]bool{
+	"/api/upload":        true,
+	"/api/reviews":       true,
+	"/api/train":         true,
+	"/api/model/retrain": true,
+	"/api/fraud/sweep":   true,
+}
+
+// WithFollowerGate refuses mutating requests while readOnly() is true —
+// the node is a replication follower that has not been promoted — with
+// 503, a Retry-After hint, and the leader's address in X-Leader so
+// clients and operators know where writes currently land. A promoted
+// follower flips readOnly to false and the gate opens without a
+// restart. GETs pass through: a follower is exactly a read replica.
+func WithFollowerGate(readOnly func() bool, leaderHint string) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodPost && mutatingRoutes[r.URL.Path] && readOnly() {
+				metricFollowerGateRefusals.Inc()
+				w.Header().Set("Retry-After", "1")
+				if leaderHint != "" {
+					w.Header().Set("X-Leader", leaderHint)
+				}
+				writeErr(w, http.StatusServiceUnavailable,
+					fmt.Errorf("rspserver: read-only replication follower; send writes to the leader (%s)", leaderHint))
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}

@@ -1,0 +1,80 @@
+package rspserver
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"opinions/internal/inference"
+	"opinions/internal/simclock"
+	"opinions/internal/world"
+)
+
+// gatedServer mounts the full API behind a follower gate whose
+// read-only state the test flips through the returned pointer.
+func gatedServer(t *testing.T) (*bool, *httptest.Server) {
+	t.Helper()
+	catalog := []*world.Entity{
+		{ID: "a", Service: world.Yelp, Zip: "48104", Category: "chinese", Name: "Golden Wok", Quality: 4},
+	}
+	srv, err := New(Config{Catalog: catalog, Clock: simclock.NewSim(simclock.Epoch), KeyBits: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	readOnly := true
+	h := Chain(srv.Handler(), WithFollowerGate(func() bool { return readOnly }, "http://leader.example:8080"))
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return &readOnly, ts
+}
+
+// TestFollowerGateRefusesMutations: while the node is an unpromoted
+// follower every mutating POST answers 503 with the leader's address in
+// X-Leader, reads and the token handshake pass through, and promotion
+// (readOnly -> false) opens the gate without a restart.
+func TestFollowerGateRefusesMutations(t *testing.T) {
+	readOnly, ts := gatedServer(t)
+
+	rating := 4.0
+	mutating := []struct {
+		name string
+		path string
+		body any
+	}{
+		{"upload", "/api/upload", UploadRequest{AnonID: "anon-1", Entity: "yelp/a", Rating: &rating}},
+		{"review", "/api/reviews", PostReviewRequest{Entity: "yelp/a", Author: "u", Rating: 4, Text: "ok"}},
+		{"train", "/api/train", TrainRequest{Features: make([]float64, inference.NumFeatures), Rating: 3}},
+		{"retrain", "/api/model/retrain", struct{}{}},
+		{"fraud-sweep", "/api/fraud/sweep", struct{}{}},
+	}
+	for _, rt := range mutating {
+		t.Run(rt.name, func(t *testing.T) {
+			resp := postJSON(t, ts.URL+rt.path, rt.body, nil)
+			if resp.StatusCode != 503 {
+				t.Fatalf("POST %s through follower gate = %d, want 503", rt.path, resp.StatusCode)
+			}
+			if got := resp.Header.Get("X-Leader"); got != "http://leader.example:8080" {
+				t.Fatalf("X-Leader = %q, want the leader hint", got)
+			}
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatalf("POST %s refused without Retry-After", rt.path)
+			}
+		})
+	}
+
+	// Reads and the blind-token handshake are exactly what a follower is
+	// for — they must pass the gate.
+	if resp := getJSON(t, ts.URL+"/api/search?zip=48104&category=chinese", nil); resp.StatusCode != 200 {
+		t.Fatalf("GET /api/search through gate = %d, want 200", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/api/reviews?entity=yelp/a", nil); resp.StatusCode != 200 {
+		t.Fatalf("GET /api/reviews through gate = %d, want 200", resp.StatusCode)
+	}
+	tok := fetchToken(t, ts.URL, "dev-gated")
+
+	// Promote: the gate opens and the same upload now lands.
+	*readOnly = false
+	req := UploadRequest{AnonID: "anon-1", Entity: "yelp/a", Rating: &rating, Token: tok, Key: "gated-key-1"}
+	if resp := postJSON(t, ts.URL+"/api/upload", req, nil); resp.StatusCode != 202 {
+		t.Fatalf("POST /api/upload after promotion = %d, want 202", resp.StatusCode)
+	}
+}

@@ -1,0 +1,74 @@
+package rspserver
+
+import (
+	"net/http"
+	"sync"
+
+	"opinions/internal/store"
+)
+
+// Health serves the two operational signals a load balancer or failover
+// controller needs: /healthz ("the process is up and serving HTTP") and
+// /readyz ("this node can safely take traffic right now"). Readiness is
+// the store's durability latch plus any registered checks — a
+// replication follower registers one that is false until it is either
+// caught up with its leader or promoted, so traffic never lands on a
+// node that would serve stale reads or refuse writes.
+type Health struct {
+	// Store, when non-nil, gates readiness on the durability latch: a
+	// store that has latched ErrUnavailable refuses mutations, so the
+	// node is up but not ready.
+	Store *store.Store
+
+	mu     sync.Mutex
+	checks []readyCheck
+}
+
+type readyCheck struct {
+	name  string
+	check func() (ok bool, detail string)
+}
+
+// AddReadyCheck registers a named readiness condition; all must pass
+// for /readyz to answer 200.
+func (h *Health) AddReadyCheck(name string, check func() (ok bool, detail string)) {
+	h.mu.Lock()
+	h.checks = append(h.checks, readyCheck{name: name, check: check})
+	h.mu.Unlock()
+}
+
+// HealthzResponse is the /healthz and /readyz body.
+type HealthzResponse struct {
+	Status string `json:"status"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// Healthz reports liveness: answering at all is the signal.
+func (h *Health) Healthz() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, HealthzResponse{Status: "ok"})
+	}
+}
+
+// Readyz reports readiness: 200 when the store is durable and every
+// registered check passes, 503 naming the first failure otherwise.
+func (h *Health) Readyz() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if h.Store != nil && h.Store.Failed() {
+			writeJSON(w, http.StatusServiceUnavailable,
+				HealthzResponse{Status: "unavailable", Reason: "store durability latched unavailable"})
+			return
+		}
+		h.mu.Lock()
+		checks := append([]readyCheck(nil), h.checks...)
+		h.mu.Unlock()
+		for _, c := range checks {
+			if ok, detail := c.check(); !ok {
+				writeJSON(w, http.StatusServiceUnavailable,
+					HealthzResponse{Status: "unavailable", Reason: c.name + ": " + detail})
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, HealthzResponse{Status: "ok"})
+	}
+}

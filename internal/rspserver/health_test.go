@@ -1,0 +1,94 @@
+package rspserver
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"opinions/internal/simclock"
+	"opinions/internal/store"
+)
+
+func healthMux(h *Health) *httptest.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", h.Healthz())
+	mux.HandleFunc("/readyz", h.Readyz())
+	return httptest.NewServer(mux)
+}
+
+// getReadyz fetches /readyz and decodes the body regardless of status.
+func getReadyz(t *testing.T, base string) (int, HealthzResponse) {
+	t.Helper()
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body HealthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestHealthzAlwaysOK(t *testing.T) {
+	ts := healthMux(&Health{Store: latchedStore(t)})
+	defer ts.Close()
+	var body HealthzResponse
+	if resp := getJSON(t, ts.URL+"/healthz", &body); resp.StatusCode != 200 {
+		t.Fatalf("/healthz = %d, want 200 even with a latched store", resp.StatusCode)
+	}
+	if body.Status != "ok" {
+		t.Fatalf("/healthz status = %q, want ok", body.Status)
+	}
+}
+
+func TestReadyzReflectsStoreLatch(t *testing.T) {
+	healthy, err := store.Open(store.Options{Clock: simclock.NewSim(simclock.Epoch)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+	ts := healthMux(&Health{Store: healthy})
+	defer ts.Close()
+	if code, _ := getReadyz(t, ts.URL); code != 200 {
+		t.Fatalf("/readyz on healthy store = %d, want 200", code)
+	}
+
+	ts2 := healthMux(&Health{Store: latchedStore(t)})
+	defer ts2.Close()
+	code, body := getReadyz(t, ts2.URL)
+	if code != 503 {
+		t.Fatalf("/readyz on latched store = %d, want 503", code)
+	}
+	if body.Status != "unavailable" || body.Reason == "" {
+		t.Fatalf("latched /readyz body = %+v, want unavailable with a reason", body)
+	}
+}
+
+func TestReadyzRunsRegisteredChecks(t *testing.T) {
+	h := &Health{}
+	ready := false
+	h.AddReadyCheck("replication", func() (bool, string) {
+		if ready {
+			return true, ""
+		}
+		return false, "follower 42 records behind leader"
+	})
+	ts := healthMux(h)
+	defer ts.Close()
+
+	code, body := getReadyz(t, ts.URL)
+	if code != 503 {
+		t.Fatalf("/readyz with failing check = %d, want 503", code)
+	}
+	if want := "replication: follower 42 records behind leader"; body.Reason != want {
+		t.Fatalf("reason = %q, want %q", body.Reason, want)
+	}
+
+	ready = true
+	if code, _ := getReadyz(t, ts.URL); code != 200 {
+		t.Fatalf("/readyz after check passes = %d, want 200", code)
+	}
+}

@@ -50,6 +50,11 @@ type Config struct {
 	TokenPeriod time.Duration
 	// KeyBits sizes the issuer's RSA key (default 2048; tests use less).
 	KeyBits int
+	// Issuer, when non-nil, is used instead of generating a fresh token
+	// key (KeyBits, TokenRate, and TokenPeriod are then ignored). A
+	// replicated leader/follower pair is handed the same issuer so
+	// tokens clients fetched before a failover stay redeemable after it.
+	Issuer *blindsig.Issuer
 	// Zips lists the query locations exposed in /api/meta; optional.
 	Zips []string
 	// Attestation, when non-nil, gates token issuance on remote
@@ -114,12 +119,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.KeyBits <= 0 {
 		cfg.KeyBits = 2048
 	}
-	issuer, err := blindsig.NewIssuer(cfg.KeyBits, cfg.TokenRate, cfg.TokenPeriod, cfg.Clock)
-	if err != nil {
-		return nil, fmt.Errorf("rspserver: %w", err)
+	issuer := cfg.Issuer
+	if issuer == nil {
+		var err error
+		issuer, err = blindsig.NewIssuer(cfg.KeyBits, cfg.TokenRate, cfg.TokenPeriod, cfg.Clock)
+		if err != nil {
+			return nil, fmt.Errorf("rspserver: %w", err)
+		}
 	}
 	st := cfg.Store
 	if st == nil {
+		var err error
 		st, err = store.Open(store.Options{Clock: cfg.Clock, DedupCapacity: cfg.DedupCapacity})
 		if err != nil {
 			return nil, fmt.Errorf("rspserver: %w", err)
@@ -577,8 +587,12 @@ func (s *Server) AcceptUpload(req UploadRequest) error {
 			// Already applied (or a racing twin of this very request is
 			// mid-apply and owns it): answer success, apply nothing, and
 			// leave the token unspent for the fresh-token redelivery case.
+			// The replay ack still goes through the replication barrier:
+			// if the original commit is not yet follower-acked (its 503
+			// was a barrier timeout), acking its replay here would let
+			// the client forget an upload a failover could then lose.
 			metricDedupReplays.Inc()
-			return nil
+			return s.st.AckBarrier(s.st.Seq())
 		}
 	}
 	if err := s.redeemer.Redeem(tok); err != nil {
@@ -589,7 +603,7 @@ func (s *Server) AcceptUpload(req UploadRequest) error {
 				// check and the redeem — the retry raced its twin. The
 				// upload is applied; report success, not 403.
 				metricDedupReplays.Inc()
-				return nil
+				return s.st.AckBarrier(s.st.Seq())
 			}
 		}
 		return err
@@ -603,13 +617,18 @@ func (s *Server) AcceptUpload(req UploadRequest) error {
 		crec.Rating = &rating
 	}
 	if err := s.st.Commit(crec); err != nil {
-		if req.Key != "" {
+		if req.Key != "" && !errors.Is(err, store.ErrReplicationLag) {
 			// Whether the apply failed (key still only in flight) or the
 			// log failed after the apply (key admitted but the client
 			// will see an error, never an ack): erase every trace of the
 			// key so the retry — possibly against a restarted server
 			// whose fresh redeemer considers the token unspent — applies
 			// from scratch rather than being swallowed as a replay.
+			//
+			// ErrReplicationLag is the exception: the record IS applied
+			// and locally durable, only the follower ack is missing.
+			// The key must stay in the ledger so the client's retry is
+			// absorbed as a replay instead of applying twice.
 			ledger.Remove(req.Key)
 		}
 		return err
@@ -749,6 +768,12 @@ func (s *Server) handleFraudSweep(w http.ResponseWriter, r *http.Request) {
 // the resulting drops are committed — the log records WHICH histories
 // went, not the detector inputs, so replay cannot diverge.
 func (s *Server) FraudSweep() (int, int, error) {
+	// An explicit latch check: a sweep that finds nothing to drop never
+	// reaches Commit, and a degraded store must still answer 503 — not
+	// a reassuring "scanned N, dropped 0".
+	if s.st.Failed() {
+		return 0, 0, store.ErrUnavailable
+	}
 	hists := s.st.Histories()
 	var all []*history.EntityHistory
 	for _, entity := range hists.Entities() {

@@ -1,0 +1,113 @@
+package rspserver
+
+import (
+	"errors"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	"opinions/internal/faultinject"
+	"opinions/internal/inference"
+	"opinions/internal/simclock"
+	"opinions/internal/store"
+	"opinions/internal/world"
+)
+
+// latchedStore opens a durable store whose very first WAL frame tears
+// (write 1 is the segment header, write 2 the frame), commits once to
+// trip the latch, and returns the now-permanently-unavailable store.
+func latchedStore(t *testing.T) *store.Store {
+	t.Helper()
+	openCrash := func(path string) (store.File, error) {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		return faultinject.NewCrashFile(f, 2), nil
+	}
+	st, err := store.Open(store.Options{
+		Dir:          t.TempDir(),
+		Clock:        simclock.NewSim(simclock.Epoch),
+		CompactEvery: -1,
+		OpenFile:     openCrash,
+		Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	rating := 3.0
+	err = st.Commit(&store.Record{Kind: store.KindUpload, AnonID: "x", Entity: "yelp/a", Rating: &rating})
+	if !errors.Is(err, store.ErrUnavailable) {
+		t.Fatalf("latching commit returned %v, want ErrUnavailable", err)
+	}
+	if !st.Failed() {
+		t.Fatal("store did not latch")
+	}
+	return st
+}
+
+// latchedServer mounts a latched store behind the standard test catalog.
+func latchedServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	catalog := []*world.Entity{
+		{ID: "a", Service: world.Yelp, Zip: "48104", Category: "chinese", Name: "Golden Wok", Quality: 4},
+	}
+	srv, err := New(Config{Catalog: catalog, Clock: simclock.NewSim(simclock.Epoch), KeyBits: 1024, Store: latchedStore(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// TestEveryMutatingRouteRefusesWhenLatched: once the store has latched
+// ErrUnavailable, EVERY route that commits — upload, review, train,
+// retrain, fraud sweep — must answer 503, including the ones whose
+// happy path might not reach Commit at all (an empty fraud sweep).
+func TestEveryMutatingRouteRefusesWhenLatched(t *testing.T) {
+	_, ts := latchedServer(t)
+	rating := 4.0
+	routes := []struct {
+		name string
+		path string
+		body any
+	}{
+		{"upload", "/api/upload", UploadRequest{
+			AnonID: "anon-1",
+			Entity: "yelp/a",
+			Rating: &rating,
+			Token:  fetchToken(t, ts.URL, "dev-latched"),
+			Key:    "latched-key-1",
+		}},
+		{"review", "/api/reviews", PostReviewRequest{Entity: "yelp/a", Author: "u", Rating: 4, Text: "ok"}},
+		{"train", "/api/train", TrainRequest{Features: make([]float64, inference.NumFeatures), Rating: 3}},
+		{"retrain", "/api/model/retrain", struct{}{}},
+		{"fraud-sweep", "/api/fraud/sweep", struct{}{}},
+	}
+	for _, rt := range routes {
+		t.Run(rt.name, func(t *testing.T) {
+			resp := postJSON(t, ts.URL+rt.path, rt.body, nil)
+			if resp.StatusCode != 503 {
+				t.Fatalf("POST %s on latched store = %d, want 503", rt.path, resp.StatusCode)
+			}
+		})
+	}
+}
+
+// TestLatchedStoreStillServesReads: the latch refuses mutations only —
+// reads and token issuance keep working, so clients can keep browsing
+// and spool their uploads for after the recovery restart.
+func TestLatchedStoreStillServesReads(t *testing.T) {
+	_, ts := latchedServer(t)
+	if resp := getJSON(t, ts.URL+"/api/meta", nil); resp.StatusCode != 200 {
+		t.Fatalf("GET /api/meta on latched store = %d, want 200", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/api/search?zip=48104&category=chinese", nil); resp.StatusCode != 200 {
+		t.Fatalf("GET /api/search on latched store = %d, want 200", resp.StatusCode)
+	}
+	fetchToken(t, ts.URL, "dev-reads-ok") // fatals internally on failure
+}

@@ -1,0 +1,285 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the store's replication surface. A leader exposes its
+// commit stream two ways — live frames via SubscribeFrames (fan-out
+// under the commit lock, never blocking a commit) and historical frames
+// via ExportFrames (re-read from the segments on disk) — and a follower
+// ingests that stream through CommitReplicated, which applies records
+// at the leader's exact sequence numbers so the two stores share one
+// sequence space. SetCommitBarrier lets the replication layer hold each
+// local commit's acknowledgement until a follower has durably acked it
+// (semi-synchronous replication); without a barrier installed every
+// call is a no-op and the store behaves exactly as before.
+
+// ErrReplicationLag is returned by Commit when the record is durable
+// locally but the replication commit barrier timed out waiting for a
+// follower acknowledgement. It wraps ErrUnavailable so the HTTP layer
+// maps it to 503 and clients spool-and-retry, but — unlike a WAL
+// failure — it does not latch the store: local durability is intact and
+// the retry is absorbed by the idempotency ledger.
+var ErrReplicationLag = fmt.Errorf("%w (locally durable; follower acknowledgement timed out)", ErrUnavailable)
+
+// ErrReplicationGap reports a CommitReplicated sequence that does not
+// contiguously extend the local log — frames were lost in transit and
+// the session must re-handshake (the leader re-sends or falls back to a
+// snapshot).
+var ErrReplicationGap = errors.New("store: replicated record out of sequence")
+
+// ErrExportGap reports that frames past the requested sequence are no
+// longer on disk (compaction folded them into the snapshot); the caller
+// must seed from a snapshot instead.
+var ErrExportGap = errors.New("store: requested WAL frames no longer on disk")
+
+// Frame is one committed record as it appears on the wire and in the
+// log: the sequence number plus the JSON payload the CRC covers.
+// Payloads are shared across subscribers and must not be mutated.
+type Frame struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// FrameSub is a live subscription to the commit stream. Frames arrive
+// on C in commit order starting strictly after StartSeq. The store
+// never blocks a commit on a subscriber: if the buffer fills, the
+// subscription is marked lagged and C is closed — the consumer restarts
+// its catch-up (disk export or snapshot) and resubscribes.
+type FrameSub struct {
+	ch     chan Frame
+	start  uint64
+	once   sync.Once
+	lagged atomic.Bool
+}
+
+// C delivers frames in commit order; closed when the subscription ends.
+func (f *FrameSub) C() <-chan Frame { return f.ch }
+
+// StartSeq is the store sequence at subscription time: every frame on C
+// has Seq > StartSeq, and everything at or below it must come from
+// ExportFrames or a snapshot.
+func (f *FrameSub) StartSeq() uint64 { return f.start }
+
+// Lagged reports whether the subscription was dropped for falling
+// behind (as opposed to Unsubscribe or store close).
+func (f *FrameSub) Lagged() bool { return f.lagged.Load() }
+
+func (f *FrameSub) close() { f.once.Do(func() { close(f.ch) }) }
+
+func (f *FrameSub) lag() {
+	f.lagged.Store(true)
+	f.close()
+}
+
+// SubscribeFrames registers a live commit-stream subscription with the
+// given channel buffer (default 1024). The StartSeq cut is taken under
+// the commit lock, so no frame is ever both covered by StartSeq and
+// delivered on C.
+func (s *Store) SubscribeFrames(buf int) *FrameSub {
+	if buf <= 0 {
+		buf = 1024
+	}
+	sub := &FrameSub{ch: make(chan Frame, buf)}
+	s.commitMu.Lock()
+	sub.start = s.seq
+	s.subMu.Lock()
+	if s.subs == nil {
+		s.subs = make(map[*FrameSub]struct{})
+	}
+	s.subs[sub] = struct{}{}
+	s.nsubs.Add(1)
+	s.subMu.Unlock()
+	s.commitMu.Unlock()
+	return sub
+}
+
+// Unsubscribe ends a subscription and closes its channel. Idempotent,
+// and safe on a subscription the store already dropped as lagged.
+func (s *Store) Unsubscribe(sub *FrameSub) {
+	s.subMu.Lock()
+	if _, ok := s.subs[sub]; ok {
+		delete(s.subs, sub)
+		s.nsubs.Add(-1)
+	}
+	s.subMu.Unlock()
+	sub.close()
+}
+
+// publishLocked fans one committed frame out to subscribers. The caller
+// holds commitMu — publication order IS commit order. Sends never
+// block: a subscriber with a full buffer is dropped as lagged.
+func (s *Store) publishLocked(seq uint64, payload []byte) {
+	if s.nsubs.Load() == 0 {
+		return
+	}
+	s.subMu.Lock()
+	for sub := range s.subs {
+		select {
+		case sub.ch <- Frame{Seq: seq, Payload: payload}:
+		default:
+			sub.lag()
+			delete(s.subs, sub)
+			s.nsubs.Add(-1)
+			metricFrameSubsLagged.Inc()
+		}
+	}
+	s.subMu.Unlock()
+}
+
+// dropSubs ends every subscription. Restores mark them lagged (the
+// state jumped; consumers must re-seed); Close ends them cleanly.
+func (s *Store) dropSubs(lagged bool) {
+	s.subMu.Lock()
+	for sub := range s.subs {
+		if lagged {
+			sub.lag()
+		} else {
+			sub.close()
+		}
+		delete(s.subs, sub)
+	}
+	s.nsubs.Store(0)
+	s.subMu.Unlock()
+}
+
+// BaseSeq returns the sequence at or below which WAL frames may no
+// longer exist on disk — they are folded into the snapshot. A replica
+// whose last applied sequence is below BaseSeq cannot be caught up by
+// frames alone and must be seeded with a snapshot. Memory-only stores
+// have no frames at all, so their base is the current sequence.
+func (s *Store) BaseSeq() uint64 {
+	if s.log == nil {
+		return s.Seq()
+	}
+	return s.base.Load()
+}
+
+// ExportFrames invokes fn, in order, for every intact frame on disk
+// with sequence strictly greater than from, and returns the last
+// sequence delivered. It first flushes and fsyncs the active segment so
+// every record committed before the call is visible; frames appended
+// concurrently may or may not appear (a torn in-flight tail simply ends
+// the scan — the caller's live subscription covers it). Returns
+// ErrExportGap (possibly wrapped) when frames past from are compacted
+// away. Compaction is held off for the duration, so a slow fn extends
+// the life of the current segments but never corrupts them.
+func (s *Store) ExportFrames(from uint64, fn func(seq uint64, payload []byte) error) (uint64, error) {
+	if s.log == nil {
+		if from < s.Seq() {
+			return from, ErrExportGap
+		}
+		return from, nil
+	}
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	if err := s.log.flush(); err != nil {
+		return from, fmt.Errorf("store: flushing WAL for export: %w", err)
+	}
+	segs, err := listSegments(s.dir)
+	if err != nil {
+		return from, err
+	}
+	last := from
+	for _, seg := range segs {
+		_, torn, err := replaySegment(seg.path, func(seq uint64, payload []byte) error {
+			if seq <= last {
+				return nil // predates the request, or duplicated across segments
+			}
+			if seq != last+1 {
+				return fmt.Errorf("%w (have %d, next on disk is %d)", ErrExportGap, last, seq)
+			}
+			if err := fn(seq, payload); err != nil {
+				return err
+			}
+			last = seq
+			return nil
+		})
+		if err != nil {
+			return last, err
+		}
+		if torn {
+			break // a concurrently-appended tail; everything durable was read
+		}
+	}
+	return last, nil
+}
+
+// CommitReplicated applies one leader frame at the leader's sequence
+// number, appends it to this store's own log, and waits for the fsync —
+// the follower's durability promise is as strong as the leader's, which
+// is what lets an ack stand in for the leader's own disk after
+// failover. Duplicate delivery (seq already applied) is a silent no-op;
+// a sequence gap is ErrReplicationGap and the session must re-seed.
+func (s *Store) CommitReplicated(seq uint64, payload []byte) error {
+	if s.failed.Load() {
+		metricStoreUnavailable.Inc()
+		return ErrUnavailable
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return fmt.Errorf("store: decoding replicated record %d: %w", seq, err)
+	}
+	s.commitMu.Lock()
+	if s.closed {
+		s.commitMu.Unlock()
+		metricStoreUnavailable.Inc()
+		return ErrUnavailable
+	}
+	if seq <= s.seq {
+		s.commitMu.Unlock()
+		return nil
+	}
+	if seq != s.seq+1 {
+		have := s.seq
+		s.commitMu.Unlock()
+		return fmt.Errorf("%w (have %d, got %d)", ErrReplicationGap, have, seq)
+	}
+	rec.Seq = seq
+	if err := s.state.apply(&rec); err != nil {
+		s.commitMu.Unlock()
+		return err
+	}
+	s.seq = seq
+	metricStoreReplicated.Inc()
+	if err := s.sealCommit(&rec, payload); err != nil {
+		return err
+	}
+	// A promoted follower may itself lead a chain; without a barrier
+	// installed this is a no-op.
+	return s.AckBarrier(seq)
+}
+
+// barrierFunc gates a commit's acknowledgement on replication progress.
+type barrierFunc func(seq uint64) error
+
+// SetCommitBarrier installs fn to run after every commit's local fsync
+// and before its acknowledgement; fn returning an error surfaces from
+// Commit (conventionally ErrReplicationLag) without latching the store.
+// A nil fn removes the barrier. The replication leader installs one
+// when semi-synchronous mode is on.
+func (s *Store) SetCommitBarrier(fn func(seq uint64) error) {
+	if fn == nil {
+		s.barrier.Store(nil)
+		return
+	}
+	b := barrierFunc(fn)
+	s.barrier.Store(&b)
+}
+
+// AckBarrier runs the installed commit barrier for seq (no-op when none
+// is installed). Exposed so acknowledgement paths that bypass Commit —
+// the server's idempotent-replay fast path — can still refuse to ack
+// ahead of replication.
+func (s *Store) AckBarrier(seq uint64) error {
+	p := s.barrier.Load()
+	if p == nil {
+		return nil
+	}
+	return (*p)(seq)
+}

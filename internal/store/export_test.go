@@ -1,0 +1,202 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestSubscribeFramesDeliversCommitsInOrder(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir(), NoSync: true, CompactEvery: -1})
+	defer s.Close()
+	commitN(t, s, 2)
+	sub := s.SubscribeFrames(16)
+	if got := sub.StartSeq(); got != 2 {
+		t.Fatalf("StartSeq = %d, want 2", got)
+	}
+	commitN2 := func(from, n int) {
+		for i := from; i < from+n; i++ {
+			rec := uploadRec(fmt.Sprintf("sub-%d", i), "ent/x", 4.0, fmt.Sprintf("sub-key-%d", i))
+			if err := s.Commit(rec); err != nil {
+				t.Fatalf("commit: %v", err)
+			}
+		}
+	}
+	commitN2(0, 3)
+	for want := uint64(3); want <= 5; want++ {
+		f := <-sub.C()
+		if f.Seq != want {
+			t.Fatalf("frame seq = %d, want %d", f.Seq, want)
+		}
+		if len(f.Payload) == 0 {
+			t.Fatalf("frame %d has empty payload", f.Seq)
+		}
+	}
+	s.Unsubscribe(sub)
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("channel open after Unsubscribe")
+	}
+	if sub.Lagged() {
+		t.Fatal("clean unsubscribe reported as lagged")
+	}
+}
+
+func TestSubscribeFramesMemoryOnlyStore(t *testing.T) {
+	s := mustOpen(t, Options{})
+	defer s.Close()
+	sub := s.SubscribeFrames(4)
+	commitN(t, s, 2)
+	if f := <-sub.C(); f.Seq != 1 || len(f.Payload) == 0 {
+		t.Fatalf("memory-only store did not publish frames: %+v", f)
+	}
+}
+
+func TestSlowSubscriberIsDroppedNotBlocking(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir(), NoSync: true, CompactEvery: -1})
+	defer s.Close()
+	sub := s.SubscribeFrames(1)
+	commitN(t, s, 5) // buffer of 1: must overflow without stalling Commit
+	if !sub.Lagged() {
+		t.Fatal("overflowed subscription not marked lagged")
+	}
+	if _, ok := <-sub.C(); !ok {
+		// drained the single buffered frame or already closed — both fine,
+		// but the channel must end up closed.
+		return
+	}
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("lagged subscription channel not closed")
+	}
+}
+
+func TestExportFramesRoundTrip(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir(), NoSync: true, CompactEvery: -1})
+	defer s.Close()
+	commitN(t, s, 6)
+	var seqs []uint64
+	last, err := s.ExportFrames(2, func(seq uint64, payload []byte) error {
+		if len(payload) == 0 {
+			t.Fatalf("empty payload at %d", seq)
+		}
+		seqs = append(seqs, seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ExportFrames: %v", err)
+	}
+	if last != 6 || len(seqs) != 4 || seqs[0] != 3 || seqs[3] != 6 {
+		t.Fatalf("exported %v (last %d), want 3..6", seqs, last)
+	}
+	// A second store fed the exported frames must converge exactly.
+	s2 := mustOpen(t, Options{Dir: t.TempDir(), NoSync: true, CompactEvery: -1})
+	defer s2.Close()
+	if _, err := s.ExportFrames(0, s2.CommitReplicated); err != nil {
+		t.Fatalf("replicating export: %v", err)
+	}
+	if s2.Seq() != s.Seq() {
+		t.Fatalf("replica seq %d, leader %d", s2.Seq(), s.Seq())
+	}
+	if got, want := s2.Histories().Stats().Records, s.Histories().Stats().Records; got != want {
+		t.Fatalf("replica records %d, leader %d", got, want)
+	}
+	if !s2.Ledger().Contains("key-1") {
+		t.Fatal("dedup ledger did not replicate")
+	}
+}
+
+func TestExportFramesGapAfterCompaction(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir(), NoSync: true, CompactEvery: -1})
+	defer s.Close()
+	commitN(t, s, 4)
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if got := s.BaseSeq(); got != 4 {
+		t.Fatalf("BaseSeq = %d, want 4", got)
+	}
+	rec := uploadRec("post", "ent/x", 4.0, "post-key")
+	if err := s.Commit(rec); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if _, err := s.ExportFrames(1, func(uint64, []byte) error { return nil }); !errors.Is(err, ErrExportGap) {
+		t.Fatalf("export across compaction = %v, want ErrExportGap", err)
+	}
+	last, err := s.ExportFrames(4, func(uint64, []byte) error { return nil })
+	if err != nil || last != 5 {
+		t.Fatalf("export past base: last %d err %v, want 5 nil", last, err)
+	}
+}
+
+func TestCommitReplicatedDupAndGap(t *testing.T) {
+	leader := mustOpen(t, Options{Dir: t.TempDir(), NoSync: true, CompactEvery: -1})
+	defer leader.Close()
+	follower := mustOpen(t, Options{Dir: t.TempDir(), NoSync: true, CompactEvery: -1})
+	defer follower.Close()
+	commitN(t, leader, 3)
+	var frames []Frame
+	if _, err := leader.ExportFrames(0, func(seq uint64, payload []byte) error {
+		frames = append(frames, Frame{Seq: seq, Payload: payload})
+		return nil
+	}); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	if err := follower.CommitReplicated(frames[0].Seq, frames[0].Payload); err != nil {
+		t.Fatalf("apply 1: %v", err)
+	}
+	if err := follower.CommitReplicated(frames[0].Seq, frames[0].Payload); err != nil {
+		t.Fatalf("duplicate delivery should no-op, got %v", err)
+	}
+	if follower.Seq() != 1 {
+		t.Fatalf("seq after dup = %d, want 1", follower.Seq())
+	}
+	if err := follower.CommitReplicated(frames[2].Seq, frames[2].Payload); !errors.Is(err, ErrReplicationGap) {
+		t.Fatalf("gap delivery = %v, want ErrReplicationGap", err)
+	}
+	// Replicated records must be as durable as local ones: reopen.
+	if err := follower.CommitReplicated(frames[1].Seq, frames[1].Payload); err != nil {
+		t.Fatalf("apply 2: %v", err)
+	}
+	dir := follower.dir
+	if err := follower.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	re := mustOpen(t, Options{Dir: dir, NoSync: true, CompactEvery: -1})
+	defer re.Close()
+	if re.Seq() != 2 || re.Histories().Stats().Records != 2 {
+		t.Fatalf("reopened replica seq %d records %d, want 2/2", re.Seq(), re.Histories().Stats().Records)
+	}
+}
+
+func TestCommitBarrierGatesAcks(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir(), NoSync: true, CompactEvery: -1})
+	defer s.Close()
+	var seen []uint64
+	s.SetCommitBarrier(func(seq uint64) error {
+		seen = append(seen, seq)
+		if seq >= 2 {
+			return ErrReplicationLag
+		}
+		return nil
+	})
+	if err := s.Commit(uploadRec("a", "ent/x", 4.0, "bar-1")); err != nil {
+		t.Fatalf("commit under passing barrier: %v", err)
+	}
+	err := s.Commit(uploadRec("b", "ent/x", 4.0, "bar-2"))
+	if !errors.Is(err, ErrReplicationLag) || !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("commit under failing barrier = %v, want ErrReplicationLag wrapping ErrUnavailable", err)
+	}
+	if s.Failed() {
+		t.Fatal("barrier timeout must not latch the store")
+	}
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("barrier saw %v, want [1 2]", seen)
+	}
+	// The record behind a lagged ack is still durable and applied.
+	if s.Seq() != 2 {
+		t.Fatalf("seq = %d, want 2", s.Seq())
+	}
+	s.SetCommitBarrier(nil)
+	if err := s.Commit(uploadRec("c", "ent/x", 4.0, "bar-3")); err != nil {
+		t.Fatalf("commit after barrier removal: %v", err)
+	}
+}

@@ -31,4 +31,8 @@ var (
 		"Mutations committed through the store, by record kind.", "kind")
 	metricStoreUnavailable = obs.Default.Counter("store_unavailable_total",
 		"Commits refused because the WAL previously failed.")
+	metricStoreReplicated = obs.Default.Counter("store_replicated_commits_total",
+		"Records applied through CommitReplicated (follower role).")
+	metricFrameSubsLagged = obs.Default.Counter("store_frame_subs_lagged_total",
+		"Frame subscriptions dropped for falling behind the commit stream.")
 )

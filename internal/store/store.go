@@ -93,6 +93,15 @@ type Store struct {
 
 	failed atomic.Bool
 
+	// Replication surface (export.go). base is the oldest sequence still
+	// guaranteed on disk as frames; subs fan the live commit stream out;
+	// barrier, when installed, gates commit acks on follower progress.
+	base    atomic.Uint64
+	subMu   sync.Mutex
+	subs    map[*FrameSub]struct{}
+	nsubs   atomic.Int32
+	barrier atomic.Pointer[barrierFunc]
+
 	compactMu  sync.Mutex  // serializes compactions and restores
 	compacting atomic.Bool // single-flight latch for background compaction
 	wg         sync.WaitGroup
@@ -142,6 +151,7 @@ func Open(opts Options) (*Store, error) {
 			return nil, err
 		}
 		s.seq = snap.WALSeq
+		s.base.Store(snap.WALSeq)
 	}
 
 	segs, err := listSegments(opts.Dir)
@@ -233,7 +243,7 @@ func (s *Store) Commit(rec *Record) error {
 		return ErrUnavailable
 	}
 	var payload []byte
-	if s.log != nil {
+	if s.log != nil || s.nsubs.Load() > 0 {
 		var err error
 		payload, err = json.Marshal(rec)
 		if err != nil {
@@ -246,12 +256,32 @@ func (s *Store) Commit(rec *Record) error {
 		metricStoreUnavailable.Inc()
 		return ErrUnavailable
 	}
+	if payload == nil && s.nsubs.Load() > 0 {
+		// A subscriber attached between the marshal check and the lock.
+		// Seq carries json:"-", so marshalling before it is set yields
+		// the same bytes the log path would have written.
+		payload, _ = json.Marshal(rec)
+	}
 	rec.Seq = s.seq + 1
 	if err := s.state.apply(rec); err != nil {
 		s.commitMu.Unlock()
 		return err
 	}
 	s.seq++
+	if err := s.sealCommit(rec, payload); err != nil {
+		return err
+	}
+	// With a replication barrier installed (semi-sync leader), hold the
+	// ack until a follower has the record too; on timeout the commit
+	// stays locally durable and the caller sees ErrReplicationLag.
+	return s.AckBarrier(rec.Seq)
+}
+
+// sealCommit finishes a commit whose record is already applied under
+// commitMu (held on entry, released here): append the frame to the log,
+// publish it to subscribers, then wait outside the lock for the group
+// fsync and kick compaction. A log error latches the store failed.
+func (s *Store) sealCommit(rec *Record, payload []byte) error {
 	var b *walBatch
 	var trigger bool
 	if s.log != nil {
@@ -268,6 +298,9 @@ func (s *Store) Commit(rec *Record) error {
 		metricWALSegmentBytes.Set(size)
 		s.sinceCompact++
 		trigger = s.compactEvery > 0 && s.sinceCompact >= s.compactEvery
+	}
+	if payload != nil {
+		s.publishLocked(rec.Seq, payload)
 	}
 	s.commitMu.Unlock()
 	metricStoreCommits.With(string(rec.Kind)).Inc()
@@ -379,6 +412,7 @@ func (s *Store) Restore(snap *storage.Snapshot) error {
 	snap.WALSeq = s.seq
 	s.sinceCompact = 0
 	if s.log == nil {
+		s.dropSubs(true)
 		return nil
 	}
 	if err := s.log.rotate(); err != nil {
@@ -393,6 +427,10 @@ func (s *Store) Restore(snap *storage.Snapshot) error {
 	for _, seg := range olds {
 		_ = os.Remove(seg.path)
 	}
+	s.base.Store(snap.WALSeq)
+	// The state jumped timelines; live subscribers must re-seed from the
+	// new snapshot rather than splice frames across the jump.
+	s.dropSubs(true)
 	return nil
 }
 
@@ -436,6 +474,7 @@ func (s *Store) Compact() error {
 	for _, seg := range olds {
 		_ = os.Remove(seg.path)
 	}
+	s.base.Store(snap.WALSeq)
 	metricWALCompactions.Inc()
 	s.logger.Info("wal: compacted", "seq", snap.WALSeq, "segments_folded", len(olds))
 	return nil
@@ -470,6 +509,7 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	s.commitMu.Unlock()
+	s.dropSubs(false)
 	s.wg.Wait()
 	if s.log != nil {
 		return s.log.close()

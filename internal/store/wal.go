@@ -277,6 +277,28 @@ func (l *walLog) flushCycle() {
 	b.complete(err)
 }
 
+// flush forces everything buffered onto disk — flush, fsync, release
+// any pending batch — without rotating. ExportFrames calls it so a
+// disk reader sees every record committed before the export began.
+func (l *walLog) flush() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errWALClosed
+	}
+	err := l.w.Flush()
+	if err == nil && !l.nosync {
+		err = l.f.Sync()
+	}
+	if b := l.cur; b.dirty {
+		b.complete(err)
+		l.cur = newWalBatch()
+	}
+	return err
+}
+
 // rotate flushes and fsyncs the active segment, releases any pending
 // batch, then switches appends to a fresh segment at the next
 // generation. The caller must have quiesced appends (the store holds
