@@ -22,15 +22,17 @@ fmt:
 verify:
 	sh scripts/verify.sh
 
-# bench runs every benchmark — including the WAL append and
-# striped-read benchmarks in internal/store and the replication
-# throughput/lag benchmarks in internal/replication — and writes a
-# machine-readable report to BENCH_PR6.json (human output still streams
-# to the terminal). The root package's experiment benchmarks each run
-# one full simulated experiment, so they get -benchtime 1x; the
-# internal micro-benchmarks use the default sampling so ns/op figures
-# are meaningful.
+# bench runs every benchmark — including the sharded commit pipeline's
+# CommitParallel scaling curve, the WAL append and striped-read
+# benchmarks in internal/store, and the replication throughput/lag
+# benchmarks in internal/replication — and writes a machine-readable
+# report to BENCH_PR7.json (human output still streams to the
+# terminal). The root package's experiment benchmarks each run one
+# full simulated experiment, so they get -benchtime 1x; the internal
+# micro-benchmarks use the default sampling so ns/op figures are
+# meaningful.
 bench:
 	{ $(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . && \
-	  $(GO) test -run '^$$' -bench . -benchmem ./internal/... ; } \
-	  | $(GO) run ./cmd/benchjson -out BENCH_PR6.json
+	  $(GO) test -run '^$$' -bench . -benchmem -skip BenchmarkCommitParallel ./internal/... && \
+	  $(GO) test -run '^$$' -bench '^BenchmarkCommitParallel$$' -benchmem -benchtime 4s ./internal/store ; } \
+	  | $(GO) run ./cmd/benchjson -out BENCH_PR7.json

@@ -52,6 +52,7 @@ func main() {
 		dataPath    = flag.String("data", "", "snapshot file: loaded on start, saved on shutdown and every -save-every (mutually exclusive with -wal-dir)")
 		walDir      = flag.String("wal-dir", "", "durability directory: write-ahead log + snapshot; every mutation is fsynced before it is acknowledged, and recovery on boot replays the log tail")
 		compactEvr  = flag.Int("compact-every", 0, "fold the WAL into a snapshot every N records (with -wal-dir; 0 = default 4096, negative disables auto-compaction)")
+		commStripes = flag.Int("commit-stripes", 0, "commit pipeline stripes: per-stripe WAL segments, sequence spaces, and group-commit syncers (with -wal-dir; 0 = match the read stripes)")
 		saveEvr     = flag.Duration("save-every", 5*time.Minute, "periodic snapshot interval (with -data) or compaction interval (with -wal-dir)")
 		epsilon     = flag.Float64("privacy-epsilon", 0, "when >0, release inference aggregates with ε-differential privacy")
 		rateLim     = flag.Int("rate-limit", 600, "per-host HTTP requests per minute (0 disables)")
@@ -110,11 +111,11 @@ func main() {
 	var st *store.Store
 	if *walDir != "" {
 		var err error
-		st, err = store.Open(store.Options{Dir: *walDir, CompactEvery: *compactEvr, Logger: logger})
+		st, err = store.Open(store.Options{Dir: *walDir, Stripes: *commStripes, CompactEvery: *compactEvr, Logger: logger})
 		if err != nil {
 			fatal("opening durable store", "dir", *walDir, "err", err)
 		}
-		logger.Info("durable store open", "dir", *walDir, "seq", st.Seq())
+		logger.Info("durable store open", "dir", *walDir, "seq", st.Seq(), "commit_stripes", st.NumStripes())
 	}
 
 	repo, err := core.Open(core.Config{Catalog: catalog, KeyBits: *keyBits, Zips: zips, PrivacyEpsilon: *epsilon, Store: st})

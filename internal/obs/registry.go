@@ -237,6 +237,22 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.lookup(name, help, "gauge", nil, nil, fn)
 }
 
+// GaugeVec declares a gauge family with labels; With resolves one
+// series. The sharded commit pipeline uses it for per-stripe values
+// (active segment size per WAL lane).
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{fam: r.lookup(name, help, "gauge", labels, nil, nil)}
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ fam *family }
+
+// With returns the gauge for the given label values, creating the
+// series on first use. Hold the result on hot paths.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.fam.getOrCreate(values, func() any { return &Gauge{} }).metric.(*Gauge)
+}
+
 // Histogram returns the unlabeled histogram with this name. bounds are
 // upper bucket bounds in ascending order (nil = DefBuckets).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {

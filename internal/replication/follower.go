@@ -236,7 +236,7 @@ func (f *Follower) session() (bool, error) {
 	defer f.setConn(nil)
 	defer conn.Close()
 	conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
-	if err := writeHandshake(conn, f.st.Seq()); err != nil {
+	if err := writeHandshake(conn, f.st.SeqVector()); err != nil {
 		return false, err
 	}
 	conn.SetWriteDeadline(time.Time{})
@@ -253,9 +253,18 @@ func (f *Follower) session() (bool, error) {
 		}
 		f.touch()
 		progressed = true
+		// fullAck: acknowledge every stripe (after a barrier, snapshot,
+		// or heartbeat); otherwise only the frame's stripe moved.
+		fullAck := true
 		switch msg.kind {
 		case msgFrame:
-			if err := f.st.CommitReplicated(msg.seq, msg.payload); err != nil {
+			stripe := int(msg.stripe)
+			if msg.stripe == wireBarrierStripe {
+				stripe = store.BarrierStripe
+			} else {
+				fullAck = false
+			}
+			if err := f.st.CommitReplicated(stripe, msg.seq, msg.payload); err != nil {
 				return progressed, err
 			}
 			metricApplied.Inc()
@@ -270,13 +279,26 @@ func (f *Follower) session() (bool, error) {
 			metricSnapshotsLoaded.Inc()
 			f.opts.Logger.Info("replication: seeded from leader snapshot", "seq", msg.seq)
 		case msgHeartbeat:
-			// Nothing to apply; the ack below doubles as our keepalive.
+			// Nothing to apply; the acks below double as our keepalive.
 		}
-		if msg.seq > f.leaderSeq.Load() {
+		// Frames carry per-stripe sequences, not totals; only snapshots
+		// and heartbeats advertise how far the leader is overall. Our own
+		// total is a lower bound on the leader's in between.
+		if msg.kind != msgFrame && msg.seq > f.leaderSeq.Load() {
 			f.leaderSeq.Store(msg.seq)
 		}
+		if mine := f.st.Seq(); mine > f.leaderSeq.Load() {
+			f.leaderSeq.Store(mine)
+		}
 		metricApplyLag.Set(int64(f.Lag()))
-		if err := writeAck(conn, f.st.Seq()); err != nil {
+		vec := f.st.SeqVector()
+		if fullAck {
+			for i, seq := range vec {
+				if err := writeAck(conn, uint32(i), seq); err != nil {
+					return progressed, err
+				}
+			}
+		} else if err := writeAck(conn, msg.stripe, vec[msg.stripe]); err != nil {
 			return progressed, err
 		}
 	}

@@ -19,12 +19,12 @@ import (
 type LeaderOptions struct {
 	// SyncCommit installs a commit barrier on the store: while at least
 	// one follower is attached, a commit is acknowledged only after a
-	// follower acks its sequence (or AckTimeout passes, surfacing
-	// ErrReplicationLag to the committer). With no follower attached the
-	// barrier waves commits through — a lone leader must not stall —
-	// and counts them as degraded. Off, replication is purely
-	// asynchronous and a leader crash can lose acked-but-unshipped
-	// records.
+	// follower acks its stripe's sequence (or AckTimeout passes,
+	// surfacing ErrReplicationLag to the committer). With no follower
+	// attached the barrier waves commits through — a lone leader must
+	// not stall — and counts them as degraded. Off, replication is
+	// purely asynchronous and a leader crash can lose
+	// acked-but-unshipped records.
 	SyncCommit bool
 	// AckTimeout bounds the barrier wait (default 2s).
 	AckTimeout time.Duration
@@ -39,8 +39,8 @@ type LeaderOptions struct {
 }
 
 // Leader serves the store's commit stream to followers. One Leader can
-// carry several sessions; the commit barrier waits on the most
-// caught-up one.
+// carry several sessions; the commit barrier waits, per stripe, on the
+// most caught-up one.
 type Leader struct {
 	st   *store.Store
 	opts LeaderOptions
@@ -72,22 +72,26 @@ func NewLeader(st *store.Store, opts LeaderOptions) *Leader {
 		opts.Logger = slog.Default()
 	}
 	l := &Leader{st: st, opts: opts, conns: make(map[net.Conn]struct{})}
-	l.acks.init()
+	l.acks.init(st.NumStripes())
 	if opts.SyncCommit {
 		st.SetCommitBarrier(l.barrier)
 	}
 	return l
 }
 
-func (l *Leader) barrier(seq uint64) error {
-	return l.acks.wait(seq, l.opts.AckTimeout)
+func (l *Leader) barrier(stripe int, seq uint64) error {
+	return l.acks.wait(stripe, seq, l.opts.AckTimeout)
 }
 
-// FollowerAck returns the highest sequence any follower has durably
-// acknowledged.
+// FollowerAck returns the total sequence acknowledged across stripes —
+// the sum of the best per-stripe acks, comparable with Store.Seq().
 func (l *Leader) FollowerAck() uint64 {
-	ack, _ := l.acks.snapshot()
-	return ack
+	vec, _ := l.acks.snapshot()
+	var sum uint64
+	for _, v := range vec {
+		sum += v
+	}
+	return sum
 }
 
 // Attached reports how many follower sessions are currently streaming.
@@ -174,25 +178,33 @@ func (l *Leader) Close() error {
 func (l *Leader) serveConn(conn net.Conn) {
 	defer conn.Close()
 	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
-	followerSeq, err := readHandshake(conn)
+	followerVec, err := readHandshake(conn)
 	if err != nil {
 		l.opts.Logger.Warn("replication: handshake failed", "remote", conn.RemoteAddr(), "err", err)
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
+	if len(followerVec) != l.st.NumStripes() {
+		// Frames are addressed by stripe; a follower striped differently
+		// cannot apply them. Ending the session (rather than snapshot-
+		// seeding into a collapsed vector) surfaces the misconfiguration.
+		l.opts.Logger.Warn("replication: follower stripe geometry mismatch",
+			"remote", conn.RemoteAddr(), "follower_stripes", len(followerVec), "stripes", l.st.NumStripes())
+		return
+	}
 	metricFollowersConnected.Add(1)
 	defer metricFollowersConnected.Add(-1)
 
-	// Subscribe before catch-up: everything at or below sub.StartSeq()
+	// Subscribe before catch-up: everything at or below sub.StartVec()
 	// comes from disk (or the snapshot), everything after arrives on the
 	// subscription, and the seams overlap rather than gap.
 	sub := l.st.SubscribeFrames(l.opts.SubBuffer)
 	defer l.st.Unsubscribe(sub)
-	l.acks.attach(followerSeq)
+	l.acks.attach(followerVec)
 	defer l.acks.detach()
 
 	bw := bufio.NewWriterSize(conn, 1<<16)
-	last, err := l.catchUp(bw, followerSeq, sub)
+	last, err := l.catchUp(bw, followerVec, sub)
 	if err == nil {
 		err = writeHeartbeatMsg(bw, l.st.Seq())
 	}
@@ -204,7 +216,7 @@ func (l *Leader) serveConn(conn net.Conn) {
 		return
 	}
 	l.opts.Logger.Info("replication: follower attached",
-		"remote", conn.RemoteAddr(), "follower_seq", followerSeq, "caught_up_to", last)
+		"remote", conn.RemoteAddr(), "follower_vec", followerVec, "caught_up_to", last)
 
 	go l.readAcks(conn)
 
@@ -221,7 +233,7 @@ func (l *Leader) serveConn(conn net.Conn) {
 					"remote", conn.RemoteAddr(), "lagged", sub.Lagged())
 				return
 			}
-			if err := l.streamFrame(bw, &last, f); err != nil {
+			if err := l.streamFrame(bw, last, f); err != nil {
 				return
 			}
 			// Drain whatever else is buffered before paying the flush.
@@ -232,7 +244,7 @@ func (l *Leader) serveConn(conn net.Conn) {
 					if !ok {
 						break drain
 					}
-					if err := l.streamFrame(bw, &last, f); err != nil {
+					if err := l.streamFrame(bw, last, f); err != nil {
 						return
 					}
 				default:
@@ -253,40 +265,79 @@ func (l *Leader) serveConn(conn net.Conn) {
 	}
 }
 
-func (l *Leader) streamFrame(bw *bufio.Writer, last *uint64, f store.Frame) error {
-	if f.Seq <= *last {
+// streamFrame ships one live frame, keeping last — the per-stripe
+// vector already delivered — contiguous. A barrier frame advances
+// every stripe at once; it travels when every lane sits exactly one
+// short of the barrier's vector, is skipped when the whole vector was
+// already delivered during catch-up, and anything in between is a
+// stream gap (the session restarts into a fresh catch-up).
+func (l *Leader) streamFrame(bw *bufio.Writer, last []uint64, f store.Frame) error {
+	if f.Stripe == store.BarrierStripe {
+		delivered := 0
+		for i, want := range f.Seqs {
+			if last[i] >= want {
+				delivered++
+			}
+		}
+		if delivered == len(f.Seqs) {
+			return nil // already delivered during catch-up
+		}
+		if delivered != 0 {
+			return fmt.Errorf("replication: stream gap: barrier %v partially delivered at %v", f.Seqs, last)
+		}
+		for i, want := range f.Seqs {
+			if last[i] != want-1 {
+				return fmt.Errorf("replication: stream gap: have %d in stripe %d, barrier wants %d", last[i], i, want)
+			}
+		}
+		if err := writeFrameMsg(bw, wireBarrierStripe, f.Seqs[0], f.Payload); err != nil {
+			return err
+		}
+		copy(last, f.Seqs)
+		metricFrames.Inc()
+		metricBytes.Add(uint64(len(f.Payload)))
+		return nil
+	}
+	if f.Seq <= last[f.Stripe] {
 		return nil // already delivered during catch-up
 	}
-	if f.Seq != *last+1 {
-		return fmt.Errorf("replication: stream gap: have %d, next live frame %d", *last, f.Seq)
+	if f.Seq != last[f.Stripe]+1 {
+		return fmt.Errorf("replication: stream gap: have %d in stripe %d, next live frame %d", last[f.Stripe], f.Stripe, f.Seq)
 	}
-	if err := writeFrameMsg(bw, f.Seq, f.Payload); err != nil {
+	if err := writeFrameMsg(bw, uint32(f.Stripe), f.Seq, f.Payload); err != nil {
 		return err
 	}
-	*last = f.Seq
+	last[f.Stripe] = f.Seq
 	metricFrames.Inc()
 	metricBytes.Add(uint64(len(f.Payload)))
 	return nil
 }
 
-// catchUp brings a follower from its handshake sequence to at least the
-// subscription start, returning the last sequence written. Frames come
-// from disk when they are still there; otherwise (behind the compaction
-// base, or a gap) the follower is re-seeded with a full snapshot.
-func (l *Leader) catchUp(bw *bufio.Writer, from uint64, sub *store.FrameSub) (uint64, error) {
-	if from >= l.st.BaseSeq() {
-		last, err := l.st.ExportFrames(from, func(seq uint64, payload []byte) error {
-			if err := writeFrameMsg(bw, seq, payload); err != nil {
+// catchUp brings a follower from its handshake vector to at least the
+// subscription start, returning the vector written. Frames come from
+// disk when they are still there; otherwise (behind the compaction
+// base in any stripe, or a gap) the follower is re-seeded with a full
+// snapshot.
+func (l *Leader) catchUp(bw *bufio.Writer, from []uint64, sub *store.FrameSub) ([]uint64, error) {
+	if vecGE(from, l.st.BaseVector()) {
+		last, err := l.st.ExportFrames(from, func(f store.Frame) error {
+			stripe := uint32(f.Stripe)
+			seq := f.Seq
+			if f.Stripe == store.BarrierStripe {
+				stripe = wireBarrierStripe
+				seq = f.Seqs[0]
+			}
+			if err := writeFrameMsg(bw, stripe, seq, f.Payload); err != nil {
 				return err
 			}
 			metricFrames.Inc()
-			metricBytes.Add(uint64(len(payload)))
+			metricBytes.Add(uint64(len(f.Payload)))
 			if bw.Buffered() > 1<<15 {
 				return bw.Flush()
 			}
 			return nil
 		})
-		if err == nil && last >= sub.StartSeq() {
+		if err == nil && vecGE(last, sub.StartVec()) {
 			return last, nil
 		}
 		if err != nil && !errors.Is(err, store.ErrExportGap) {
@@ -300,12 +351,26 @@ func (l *Leader) catchUp(bw *bufio.Writer, from uint64, sub *store.FrameSub) (ui
 	if err := storage.Write(&buf, snap); err != nil {
 		return from, err
 	}
-	if err := writeSnapshotMsg(bw, snap.WALSeq, buf.Bytes()); err != nil {
+	var total uint64
+	for _, v := range snap.WALSeqs {
+		total += v
+	}
+	if err := writeSnapshotMsg(bw, total, buf.Bytes()); err != nil {
 		return from, err
 	}
 	metricSnapshots.Inc()
 	metricBytes.Add(uint64(buf.Len()))
-	return snap.WALSeq, nil
+	return append([]uint64(nil), snap.WALSeqs...), nil
+}
+
+// vecGE reports a >= b componentwise.
+func vecGE(a, b []uint64) bool {
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // readAcks consumes the follower's ack stream, advancing the shared
@@ -316,18 +381,23 @@ func (l *Leader) readAcks(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReaderSize(conn, 1<<10)
 	deadline := 10 * l.opts.HeartbeatEvery
+	n := l.st.NumStripes()
 	for {
 		conn.SetReadDeadline(time.Now().Add(deadline))
-		seq, err := readAck(br)
+		stripe, seq, err := readAck(br)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				l.opts.Logger.Warn("replication: ack stream ended", "remote", conn.RemoteAddr(), "err", err)
 			}
 			return
 		}
-		l.acks.advance(seq)
-		if cur := l.st.Seq(); cur > seq {
-			metricFollowerLag.Set(int64(cur - seq))
+		if int(stripe) >= n {
+			l.opts.Logger.Warn("replication: ack for unknown stripe", "remote", conn.RemoteAddr(), "stripe", stripe)
+			return
+		}
+		l.acks.advance(int(stripe), seq)
+		if cur, acked := l.st.Seq(), l.FollowerAck(); cur > acked {
+			metricFollowerLag.Set(int64(cur - acked))
 		} else {
 			metricFollowerLag.Set(0)
 		}
@@ -335,27 +405,32 @@ func (l *Leader) readAcks(conn net.Conn) {
 }
 
 // ackTracker is the rendezvous between follower ack streams and the
-// commit barrier: it tracks the best ack across sessions and wakes
-// every waiter on any advance or attach/detach.
+// commit barrier: it tracks, per stripe, the best ack across sessions
+// and wakes every waiter on any advance or attach/detach.
 type ackTracker struct {
 	mu       sync.Mutex
-	max      uint64
+	vec      []uint64
 	attached int
 	ch       chan struct{} // closed and replaced on every change
 }
 
-func (t *ackTracker) init() { t.ch = make(chan struct{}) }
+func (t *ackTracker) init(n int) {
+	t.vec = make([]uint64, n)
+	t.ch = make(chan struct{})
+}
 
 func (t *ackTracker) bumpLocked() {
 	close(t.ch)
 	t.ch = make(chan struct{})
 }
 
-func (t *ackTracker) attach(seq uint64) {
+func (t *ackTracker) attach(vec []uint64) {
 	t.mu.Lock()
 	t.attached++
-	if seq > t.max {
-		t.max = seq
+	for i, seq := range vec {
+		if i < len(t.vec) && seq > t.vec[i] {
+			t.vec[i] = seq
+		}
 	}
 	t.bumpLocked()
 	t.mu.Unlock()
@@ -368,24 +443,25 @@ func (t *ackTracker) detach() {
 	t.mu.Unlock()
 }
 
-func (t *ackTracker) advance(seq uint64) {
+func (t *ackTracker) advance(stripe int, seq uint64) {
 	t.mu.Lock()
-	if seq > t.max {
-		t.max = seq
+	if seq > t.vec[stripe] {
+		t.vec[stripe] = seq
 		t.bumpLocked()
 	}
 	t.mu.Unlock()
 }
 
-func (t *ackTracker) snapshot() (uint64, int) {
+func (t *ackTracker) snapshot() ([]uint64, int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.max, t.attached
+	return append([]uint64(nil), t.vec...), t.attached
 }
 
-// wait blocks until a follower acks seq, no follower is attached
-// (degraded pass), or the timeout lapses (ErrReplicationLag).
-func (t *ackTracker) wait(seq uint64, timeout time.Duration) error {
+// wait blocks until a follower acks seq in the given stripe, no
+// follower is attached (degraded pass), or the timeout lapses
+// (ErrReplicationLag).
+func (t *ackTracker) wait(stripe int, seq uint64, timeout time.Duration) error {
 	var timer *time.Timer
 	for {
 		t.mu.Lock()
@@ -394,7 +470,7 @@ func (t *ackTracker) wait(seq uint64, timeout time.Duration) error {
 			metricDegradedCommits.Inc()
 			return nil
 		}
-		if t.max >= seq {
+		if t.vec[stripe] >= seq {
 			t.mu.Unlock()
 			return nil
 		}

@@ -3,29 +3,41 @@
 // opinions survives the loss of one node — the paper's service-market
 // framing only works if an RSP is more durable than a single disk.
 //
-// The wire protocol is deliberately close to the on-disk WAL format.
-// A follower opens the connection and handshakes:
+// The wire protocol is deliberately close to the on-disk WAL format,
+// which since the sharded commit pipeline is striped: every frame
+// belongs to one commit stripe and sequence numbers are per-stripe. A
+// follower opens the connection and handshakes:
 //
-//	"OPINREP1"                                  8-byte magic
-//	uint64 BE  follower's last durable sequence 8 bytes
+//	"OPINREP2"                                  8-byte magic
+//	uint32 BE  stripe count n                   4 bytes
+//	n × uint64 BE  follower's durable vector    8n bytes
 //
 // after which the leader streams messages, each tagged by one byte:
 //
-//	'F' frame:     uint32 BE payload length, uint32 BE CRC-32 (IEEE,
-//	               over seq+payload — identical to the WAL frame CRC),
-//	               uint64 BE sequence, payload
-//	'S' snapshot:  uint64 BE sequence, uint32 BE blob length, blob
-//	               (gzip storage.Snapshot) — sent when the follower is
-//	               behind the leader's compaction base and frames alone
-//	               cannot catch it up
-//	'H' heartbeat: uint64 BE leader sequence — keeps the connection
-//	               alive and lets an idle follower measure its lag
+//	'F' frame:     uint32 BE stripe (0xFFFFFFFF for a cross-stripe
+//	               barrier record), uint32 BE payload length, uint32 BE
+//	               CRC-32 (IEEE, over seq+payload — identical to the
+//	               WAL frame CRC), uint64 BE sequence (the stripe's, or
+//	               the barrier's stripe-0 sequence), payload. A barrier
+//	               frame travels once; its per-stripe vector rides in
+//	               the payload's stripe_seqs field and the follower
+//	               logs a copy to every stripe.
+//	'S' snapshot:  uint64 BE total sequence (sum over stripes), uint32
+//	               BE blob length, blob (gzip storage.Snapshot, whose
+//	               wal_seqs carries the per-stripe vector) — sent when
+//	               the follower is behind the leader's compaction base
+//	               and frames alone cannot catch it up
+//	'H' heartbeat: uint64 BE leader total sequence — keeps the
+//	               connection alive and lets an idle follower measure
+//	               its lag
 //
-// The follower's side of the stream is a sequence of uint64 BE acks,
-// each the follower's highest durable sequence: sent after every
-// applied message, an ack means "everything at or below this is
-// fsynced on my disk" and is what the leader's semi-synchronous commit
-// barrier waits on.
+// The follower's side of the stream is a sequence of acks, each a
+// uint32 BE stripe plus uint64 BE sequence: "everything at or below
+// this sequence in this stripe is fsynced on my disk" — what the
+// leader's semi-synchronous commit barrier waits on. A single-stripe
+// frame is acked with one ack for its stripe; barriers, snapshots, and
+// heartbeats are acked with one ack per stripe (the follower's full
+// vector).
 package replication
 
 import (
@@ -38,11 +50,19 @@ import (
 )
 
 const (
-	handshakeMagic = "OPINREP1"
+	handshakeMagic = "OPINREP2"
 
 	msgFrame     = 'F'
 	msgSnapshot  = 'S'
 	msgHeartbeat = 'H'
+
+	// wireBarrierStripe tags a barrier frame (and a full-vector ack) on
+	// the wire; it maps to store.BarrierStripe at the edges.
+	wireBarrierStripe = 0xFFFFFFFF
+
+	// maxStripesWire bounds the handshake's stripe count; mirrors the
+	// store's maxStripes.
+	maxStripesWire = 1024
 
 	// maxFrameBytes mirrors the store's maxRecordBytes: a larger length
 	// prefix is corruption, not data.
@@ -57,31 +77,54 @@ func frameCRC(seq uint64, payload []byte) uint32 {
 	return crc32.Update(c, crc32.IEEETable, payload)
 }
 
-func writeHandshake(w io.Writer, seq uint64) error {
-	var buf [len(handshakeMagic) + 8]byte
-	copy(buf[:], handshakeMagic)
-	binary.BigEndian.PutUint64(buf[len(handshakeMagic):], seq)
-	_, err := w.Write(buf[:])
+// writeHandshake sends the follower's identity: its stripe geometry
+// and, per stripe, the highest sequence durable on its disk.
+func writeHandshake(w io.Writer, vec []uint64) error {
+	buf := make([]byte, len(handshakeMagic)+4+8*len(vec))
+	copy(buf, handshakeMagic)
+	binary.BigEndian.PutUint32(buf[len(handshakeMagic):], uint32(len(vec)))
+	off := len(handshakeMagic) + 4
+	for _, seq := range vec {
+		binary.BigEndian.PutUint64(buf[off:], seq)
+		off += 8
+	}
+	_, err := w.Write(buf)
 	return err
 }
 
-func readHandshake(r io.Reader) (uint64, error) {
-	var buf [len(handshakeMagic) + 8]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return 0, fmt.Errorf("replication: reading handshake: %w", err)
+func readHandshake(r io.Reader) ([]uint64, error) {
+	var hdr [len(handshakeMagic) + 4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("replication: reading handshake: %w", err)
 	}
-	if string(buf[:len(handshakeMagic)]) != handshakeMagic {
-		return 0, errors.New("replication: bad handshake magic")
+	if string(hdr[:len(handshakeMagic)]) != handshakeMagic {
+		return nil, errors.New("replication: bad handshake magic")
 	}
-	return binary.BigEndian.Uint64(buf[len(handshakeMagic):]), nil
+	n := binary.BigEndian.Uint32(hdr[len(handshakeMagic):])
+	if n == 0 || n > maxStripesWire {
+		return nil, fmt.Errorf("replication: handshake stripe count %d out of range", n)
+	}
+	buf := make([]byte, 8*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("replication: reading handshake vector: %w", err)
+	}
+	vec := make([]uint64, n)
+	for i := range vec {
+		vec[i] = binary.BigEndian.Uint64(buf[8*i:])
+	}
+	return vec, nil
 }
 
-func writeFrameMsg(w io.Writer, seq uint64, payload []byte) error {
-	var hdr [1 + 4 + 4 + 8]byte
+// writeFrameMsg ships one committed record. stripe is the record's
+// commit stripe, or wireBarrierStripe for a barrier record (which the
+// follower fans out to every stripe itself).
+func writeFrameMsg(w io.Writer, stripe uint32, seq uint64, payload []byte) error {
+	var hdr [1 + 4 + 4 + 4 + 8]byte
 	hdr[0] = msgFrame
-	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(payload)))
-	binary.BigEndian.PutUint32(hdr[5:9], frameCRC(seq, payload))
-	binary.BigEndian.PutUint64(hdr[9:17], seq)
+	binary.BigEndian.PutUint32(hdr[1:5], stripe)
+	binary.BigEndian.PutUint32(hdr[5:9], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[9:13], frameCRC(seq, payload))
+	binary.BigEndian.PutUint64(hdr[13:21], seq)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -109,26 +152,31 @@ func writeHeartbeatMsg(w io.Writer, seq uint64) error {
 	return err
 }
 
-func writeAck(w io.Writer, seq uint64) error {
-	var buf [8]byte
-	binary.BigEndian.PutUint64(buf[:], seq)
+// writeAck reports one stripe's durable sequence upstream.
+func writeAck(w io.Writer, stripe uint32, seq uint64) error {
+	var buf [4 + 8]byte
+	binary.BigEndian.PutUint32(buf[0:4], stripe)
+	binary.BigEndian.PutUint64(buf[4:12], seq)
 	_, err := w.Write(buf[:])
 	return err
 }
 
-func readAck(r io.Reader) (uint64, error) {
-	var buf [8]byte
+func readAck(r io.Reader) (uint32, uint64, error) {
+	var buf [4 + 8]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return binary.BigEndian.Uint64(buf[:]), nil
+	return binary.BigEndian.Uint32(buf[0:4]), binary.BigEndian.Uint64(buf[4:12]), nil
 }
 
-// message is one decoded leader→follower message. seq is the frame or
-// snapshot sequence, or the leader's current sequence for a heartbeat;
-// payload is the frame payload or snapshot blob, nil for heartbeats.
+// message is one decoded leader→follower message. For frames, stripe
+// identifies the commit stripe (wireBarrierStripe for barriers) and
+// seq the position within it; for snapshots and heartbeats seq is the
+// leader's total sequence. payload is the frame payload or snapshot
+// blob, nil for heartbeats.
 type message struct {
 	kind    byte
+	stripe  uint32
 	seq     uint64
 	payload []byte
 }
@@ -143,13 +191,14 @@ func readMessage(r *bufio.Reader) (message, error) {
 	}
 	switch kind {
 	case msgFrame:
-		var hdr [4 + 4 + 8]byte
+		var hdr [4 + 4 + 4 + 8]byte
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			return message{}, fmt.Errorf("replication: reading frame header: %w", err)
 		}
-		n := binary.BigEndian.Uint32(hdr[0:4])
-		sum := binary.BigEndian.Uint32(hdr[4:8])
-		seq := binary.BigEndian.Uint64(hdr[8:16])
+		stripe := binary.BigEndian.Uint32(hdr[0:4])
+		n := binary.BigEndian.Uint32(hdr[4:8])
+		sum := binary.BigEndian.Uint32(hdr[8:12])
+		seq := binary.BigEndian.Uint64(hdr[12:20])
 		if n == 0 || n > maxFrameBytes {
 			return message{}, fmt.Errorf("replication: frame length %d out of range", n)
 		}
@@ -160,7 +209,7 @@ func readMessage(r *bufio.Reader) (message, error) {
 		if frameCRC(seq, payload) != sum {
 			return message{}, fmt.Errorf("replication: frame %d checksum mismatch", seq)
 		}
-		return message{kind: kind, seq: seq, payload: payload}, nil
+		return message{kind: kind, stripe: stripe, seq: seq, payload: payload}, nil
 	case msgSnapshot:
 		var hdr [8 + 4]byte
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {

@@ -148,12 +148,14 @@ func TestSnapshotSeedWhenBehindCompactionBase(t *testing.T) {
 	_, addr := startLeader(t, leaderStore, LeaderOptions{})
 	f := StartFollower(followerStore, addr, fastFollowerOpts())
 	defer f.Close()
-	waitFor(t, 5*time.Second, "snapshot seed + frames", func() bool { return followerStore.Seq() == 7 })
+	// Wait on the metric, not just the sequence: Restore makes the new
+	// sequences visible before it finishes its disk work, so the counter
+	// (bumped after Restore returns) is the real "seeded" signal.
+	waitFor(t, 5*time.Second, "snapshot seed + frames", func() bool {
+		return followerStore.Seq() == 7 && metricSnapshotsLoaded.Value() > before
+	})
 	if got := followerStore.Histories().Stats().Records; got != 7 {
 		t.Fatalf("follower records = %d, want 7", got)
-	}
-	if metricSnapshotsLoaded.Value() == before {
-		t.Fatal("expected the follower to be seeded via snapshot, not frames")
 	}
 }
 
@@ -173,7 +175,7 @@ func TestSyncBarrierRefusesWithoutAck(t *testing.T) {
 		t.Fatalf("dial: %v", err)
 	}
 	defer conn.Close()
-	if err := writeHandshake(conn, leaderStore.Seq()); err != nil {
+	if err := writeHandshake(conn, leaderStore.SeqVector()); err != nil {
 		t.Fatalf("handshake: %v", err)
 	}
 	waitFor(t, 5*time.Second, "silent follower attached", func() bool { return leader.Attached() == 1 })
@@ -235,7 +237,7 @@ func TestProtocolRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	payload := []byte(`{"kind":"upload"}`)
 	blob := []byte("not-really-gzip-but-opaque-here")
-	if err := writeFrameMsg(&buf, 7, payload); err != nil {
+	if err := writeFrameMsg(&buf, 3, 7, payload); err != nil {
 		t.Fatalf("writeFrameMsg: %v", err)
 	}
 	if err := writeSnapshotMsg(&buf, 9, blob); err != nil {
@@ -246,7 +248,7 @@ func TestProtocolRoundTrip(t *testing.T) {
 	}
 	br := bufio.NewReader(bytes.NewReader(buf.Bytes()))
 	m1, err := readMessage(br)
-	if err != nil || m1.kind != msgFrame || m1.seq != 7 || !bytes.Equal(m1.payload, payload) {
+	if err != nil || m1.kind != msgFrame || m1.stripe != 3 || m1.seq != 7 || !bytes.Equal(m1.payload, payload) {
 		t.Fatalf("frame round trip: %+v, %v", m1, err)
 	}
 	m2, err := readMessage(br)
@@ -263,7 +265,7 @@ func TestProtocolRoundTrip(t *testing.T) {
 
 	// A flipped payload bit must fail the CRC, not decode quietly.
 	var corrupt bytes.Buffer
-	if err := writeFrameMsg(&corrupt, 7, payload); err != nil {
+	if err := writeFrameMsg(&corrupt, 3, 7, payload); err != nil {
 		t.Fatalf("writeFrameMsg: %v", err)
 	}
 	raw := corrupt.Bytes()
@@ -276,5 +278,51 @@ func TestProtocolRoundTrip(t *testing.T) {
 func TestHandshakeRejectsBadMagic(t *testing.T) {
 	if _, err := readHandshake(bytes.NewReader([]byte("NOTMAGIC\x00\x00\x00\x00\x00\x00\x00\x01"))); err == nil {
 		t.Fatal("bad magic accepted")
+	}
+}
+
+// TestBarrierRecordsReplicate: cross-stripe barrier records (retrain,
+// fraud sweep) travel the wire once, fan out to every stripe on the
+// follower, and the follower's full-vector ack satisfies the leader's
+// semi-sync barrier. Runs at the default stripe width.
+func TestBarrierRecordsReplicate(t *testing.T) {
+	leaderStore, followerStore := openStore(t), openStore(t)
+	leader, addr := startLeader(t, leaderStore, LeaderOptions{
+		SyncCommit: true, AckTimeout: 5 * time.Second,
+	})
+	f := StartFollower(followerStore, addr, fastFollowerOpts())
+	defer f.Close()
+	waitFor(t, 5*time.Second, "follower connected", f.Connected)
+
+	for i := 0; i < 8; i++ {
+		commitUpload(t, leaderStore, i)
+	}
+	for i := 0; i < 4; i++ {
+		pair := &store.Record{Kind: store.KindTrainPair,
+			Features: []float64{float64(i), float64(i % 2)}, TrainRating: 3.5, Category: "restaurant"}
+		if err := leaderStore.Commit(pair); err != nil {
+			t.Fatalf("train pair %d: %v", i, err)
+		}
+	}
+	// Both barrier kinds, with single-stripe traffic in between.
+	if err := leaderStore.Commit(&store.Record{Kind: store.KindRetrain}); err != nil {
+		t.Fatalf("retrain: %v", err)
+	}
+	commitUpload(t, leaderStore, 8)
+	if err := leaderStore.Commit(&store.Record{Kind: store.KindSweep, Dropped: []string{"anon-2"}}); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+
+	want := leaderStore.Seq()
+	waitFor(t, 5*time.Second, "follower converged", func() bool { return followerStore.Seq() == want })
+	waitFor(t, 5*time.Second, "leader saw full acks", func() bool { return leader.FollowerAck() == want })
+	if followerStore.Models() == nil {
+		t.Fatal("retrain barrier did not rebuild the model on the follower")
+	}
+	if got, wantRecs := followerStore.Histories().Stats().Records, leaderStore.Histories().Stats().Records; got != wantRecs {
+		t.Fatalf("follower records %d, leader %d (sweep barrier diverged)", got, wantRecs)
+	}
+	if got := followerStore.TrainingPairs(); got != 4 {
+		t.Fatalf("follower training pairs = %d, want 4", got)
 	}
 }

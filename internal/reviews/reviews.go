@@ -59,8 +59,20 @@ func (s *Store) shard(entityKey string) *reviewShard {
 	return &s.shards[stripe.Index(entityKey)]
 }
 
-// Post validates and stores a review, assigning it an ID. The entity key
-// must be non-empty; ratings must be in [0, 5].
+// NextID draws the next review ID from the shared sequence. The
+// sharded commit pipeline assigns IDs at commit time — before the
+// record is marshaled into the WAL — so a replayed record carries the
+// same ID it was acknowledged with regardless of which stripe it
+// replays on.
+func (s *Store) NextID() string {
+	return fmt.Sprintf("rev-%d", s.seq.Add(1))
+}
+
+// Post validates and stores a review. A review arriving without an ID
+// is assigned the next one; a review that already carries an ID (a WAL
+// replay or a replicated commit) keeps it, and the sequence advances
+// past it so later assignments stay unique. The entity key must be
+// non-empty; ratings must be in [0, 5].
 func (s *Store) Post(r Review) (Review, error) {
 	if r.Entity == "" {
 		return Review{}, errors.New("reviews: empty entity")
@@ -68,7 +80,19 @@ func (s *Store) Post(r Review) (Review, error) {
 	if r.Rating < 0 || r.Rating > 5 {
 		return Review{}, ErrBadRating
 	}
-	r.ID = fmt.Sprintf("rev-%d", s.seq.Add(1))
+	if r.ID == "" {
+		r.ID = s.NextID()
+	} else {
+		var n int64
+		if _, err := fmt.Sscanf(r.ID, "rev-%d", &n); err == nil {
+			for {
+				cur := s.seq.Load()
+				if cur >= n || s.seq.CompareAndSwap(cur, n) {
+					break
+				}
+			}
+		}
+	}
 	sh := s.shard(r.Entity)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()

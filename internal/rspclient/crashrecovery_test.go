@@ -18,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"testing"
 	"time"
 
@@ -48,18 +49,21 @@ func TestCrashMidWALAppendRecoversExactly(t *testing.T) {
 		return srv
 	}
 
-	// Process #1: its WAL segment tears halfway through its 12th write
-	// and the store latches unavailable — the moment of death. Auto-
-	// compaction is off so the crash lands in a populated segment.
+	// Process #1: one of its per-stripe WAL segments tears halfway
+	// through that file's 6th write and the store latches unavailable —
+	// the moment of death. Four commit stripes keep each lane busy
+	// enough to reach the fault ordinal while still exercising the
+	// striped recovery path; auto-compaction is off so the crash lands
+	// in a populated segment.
 	crashOpen := func(path string) (store.File, error) {
 		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 		if err != nil {
 			return nil, err
 		}
-		return faultinject.NewCrashFile(f, 12), nil
+		return faultinject.NewCrashFile(f, 6), nil
 	}
 	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
-	st1, err := store.Open(store.Options{Dir: walDir, CompactEvery: -1, OpenFile: crashOpen, Logger: quiet})
+	st1, err := store.Open(store.Options{Dir: walDir, Stripes: 4, CompactEvery: -1, OpenFile: crashOpen, Logger: quiet})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +138,7 @@ func TestCrashMidWALAppendRecoversExactly(t *testing.T) {
 
 	// Process #2 recovers from the directory: snapshot (none here) plus
 	// WAL replay, truncating the torn tail the crash left.
-	st2, err := store.Open(store.Options{Dir: walDir, CompactEvery: -1, Logger: quiet})
+	st2, err := store.Open(store.Options{Dir: walDir, Stripes: 4, CompactEvery: -1, Logger: quiet})
 	if err != nil {
 		t.Fatalf("recovery failed: %v", err)
 	}
@@ -211,14 +215,25 @@ func TestCrashMidWALAppendRecoversExactly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"wal_appends_total", "wal_compactions_total"} {
-		re := regexp.MustCompile(`(?m)^` + name + ` ([0-9]+)$`)
-		m := re.FindSubmatch(body)
-		if m == nil {
-			t.Fatalf("/metrics does not expose %s", name)
+	// wal_appends_total is labeled by commit stripe; sum the series.
+	appendRe := regexp.MustCompile(`(?m)^wal_appends_total\{stripe="[0-9]+"\} ([0-9]+)$`)
+	var appends int
+	for _, m := range appendRe.FindAllSubmatch(body, -1) {
+		n, err := strconv.Atoi(string(m[1]))
+		if err != nil {
+			t.Fatal(err)
 		}
-		if string(m[1]) == "0" {
-			t.Fatalf("%s is zero after the soak", name)
-		}
+		appends += n
+	}
+	if appends == 0 {
+		t.Fatal("wal_appends_total is zero (or unexposed) after the soak")
+	}
+	compactRe := regexp.MustCompile(`(?m)^wal_compactions_total ([0-9]+)$`)
+	m := compactRe.FindSubmatch(body)
+	if m == nil {
+		t.Fatal("/metrics does not expose wal_compactions_total")
+	}
+	if string(m[1]) == "0" {
+		t.Fatal("wal_compactions_total is zero after the soak")
 	}
 }

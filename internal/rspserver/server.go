@@ -592,7 +592,7 @@ func (s *Server) AcceptUpload(req UploadRequest) error {
 			// was a barrier timeout), acking its replay here would let
 			// the client forget an upload a failover could then lose.
 			metricDedupReplays.Inc()
-			return s.st.AckBarrier(s.st.Seq())
+			return s.st.AckBarrierAll()
 		}
 	}
 	if err := s.redeemer.Redeem(tok); err != nil {
@@ -603,7 +603,7 @@ func (s *Server) AcceptUpload(req UploadRequest) error {
 				// check and the redeem — the retry raced its twin. The
 				// upload is applied; report success, not 403.
 				metricDedupReplays.Inc()
-				return s.st.AckBarrier(s.st.Seq())
+				return s.st.AckBarrierAll()
 			}
 		}
 		return err

@@ -35,7 +35,13 @@ import (
 //	    replays only WAL records with a higher sequence. Version-1 and -2
 //	    snapshots load with WALSeq 0 (they predate the WAL, so every
 //	    surviving log record replays on top of them).
-const FormatVersion = 3
+//	4 — adds WALSeqs, the per-stripe sequence vector of the sharded
+//	    commit pipeline: WALSeqs[i] is the last record of commit stripe i
+//	    folded into this snapshot. Version-3 snapshots load with a nil
+//	    vector; the store treats their scalar WALSeq as the baseline of
+//	    every stripe (the pre-sharding log was a single stripe, so all
+//	    per-stripe spaces begin where it ended).
+const FormatVersion = 4
 
 // minReadVersion is the oldest snapshot schema Read still accepts.
 const minReadVersion = 1
@@ -46,8 +52,14 @@ type Snapshot struct {
 	SavedAt time.Time `json:"saved_at"`
 	// WALSeq is the sequence number of the last write-ahead-log record
 	// whose effects this snapshot contains (since version 3; 0 = no WAL,
-	// or a snapshot taken before any record was logged).
+	// or a snapshot taken before any record was logged). Snapshots from
+	// a sharded store (version 4) leave it zero and fill WALSeqs.
 	WALSeq uint64 `json:"wal_seq,omitempty"`
+	// WALSeqs is the per-commit-stripe sequence vector (since version 4):
+	// WALSeqs[i] is the last record of stripe i whose effects this
+	// snapshot contains. Its length records the stripe geometry the
+	// snapshot was cut under. Nil on pre-sharding snapshots.
+	WALSeqs []uint64 `json:"wal_seqs,omitempty"`
 
 	Reviews   []reviews.Review        `json:"reviews"`
 	Opinions  map[string][]float64    `json:"opinions"`
@@ -100,6 +112,8 @@ func Read(r io.Reader) (*Snapshot, error) {
 	// v1 → v2: no dedup ledger on disk; start empty.
 	// v2 → v3: no WAL sequence on disk; WALSeq stays 0, so a recovery
 	// replays every surviving log record on top of the snapshot.
+	// v3 → v4: no per-stripe vector on disk; WALSeqs stays nil and the
+	// store seeds every commit stripe from the scalar WALSeq.
 	s.Version = FormatVersion
 	return &s, nil
 }

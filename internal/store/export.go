@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,14 +11,16 @@ import (
 
 // This file is the store's replication surface. A leader exposes its
 // commit stream two ways — live frames via SubscribeFrames (fan-out
-// under the commit lock, never blocking a commit) and historical frames
-// via ExportFrames (re-read from the segments on disk) — and a follower
-// ingests that stream through CommitReplicated, which applies records
-// at the leader's exact sequence numbers so the two stores share one
-// sequence space. SetCommitBarrier lets the replication layer hold each
-// local commit's acknowledgement until a follower has durably acked it
-// (semi-synchronous replication); without a barrier installed every
-// call is a no-op and the store behaves exactly as before.
+// under the lane locks, never blocking a commit) and historical frames
+// via ExportFrames (re-read from the per-stripe segments on disk) — and
+// a follower ingests that stream through CommitReplicated, which
+// applies records at the leader's exact (stripe, sequence) coordinates
+// so the two stores share one sequence space per stripe. Barrier
+// records travel once on the wire (Stripe == BarrierStripe) and land in
+// every stripe's log on both sides. SetCommitBarrier lets the
+// replication layer hold each local commit's acknowledgement until a
+// follower has durably acked that stripe's sequence (semi-synchronous
+// replication); without a barrier installed every call is a no-op.
 
 // ErrReplicationLag is returned by Commit when the record is durable
 // locally but the replication commit barrier timed out waiting for a
@@ -28,32 +31,45 @@ import (
 var ErrReplicationLag = fmt.Errorf("%w (locally durable; follower acknowledgement timed out)", ErrUnavailable)
 
 // ErrReplicationGap reports a CommitReplicated sequence that does not
-// contiguously extend the local log — frames were lost in transit and
-// the session must re-handshake (the leader re-sends or falls back to a
-// snapshot).
+// contiguously extend the local stripe — frames were lost in transit
+// and the session must re-handshake (the leader re-sends or falls back
+// to a snapshot).
 var ErrReplicationGap = errors.New("store: replicated record out of sequence")
 
-// ErrExportGap reports that frames past the requested sequence are no
+// ErrExportGap reports that frames past the requested vector are no
 // longer on disk (compaction folded them into the snapshot); the caller
 // must seed from a snapshot instead.
 var ErrExportGap = errors.New("store: requested WAL frames no longer on disk")
 
+// BarrierStripe is the Stripe value of a barrier frame: the record is
+// not one stripe's — it consumed a sequence slot in every stripe
+// (Frame.Seqs), and its single wire copy must be applied against all of
+// them atomically.
+const BarrierStripe = -1
+
 // Frame is one committed record as it appears on the wire and in the
-// log: the sequence number plus the JSON payload the CRC covers.
-// Payloads are shared across subscribers and must not be mutated.
+// log. A single-stripe record carries its stripe index and the
+// sequence it holds there; a barrier record carries Stripe ==
+// BarrierStripe and its full per-stripe sequence vector. Payloads (and
+// Seqs) are shared across subscribers and must not be mutated.
 type Frame struct {
+	Stripe  int
 	Seq     uint64
+	Seqs    []uint64 // barrier frames only: the per-stripe sequences consumed
 	Payload []byte
 }
 
 // FrameSub is a live subscription to the commit stream. Frames arrive
-// on C in commit order starting strictly after StartSeq. The store
-// never blocks a commit on a subscriber: if the buffer fills, the
-// subscription is marked lagged and C is closed — the consumer restarts
-// its catch-up (disk export or snapshot) and resubscribes.
+// on C in per-stripe commit order starting strictly after StartVec;
+// frames of different stripes interleave in lane-lock order, and a
+// barrier frame is ordered against every stripe (it is published while
+// all lanes are held). The store never blocks a commit on a
+// subscriber: if the buffer fills, the subscription is marked lagged
+// and C is closed — the consumer restarts its catch-up (disk export or
+// snapshot) and resubscribes.
 type FrameSub struct {
 	ch     chan Frame
-	start  uint64
+	start  []uint64
 	once   sync.Once
 	lagged atomic.Bool
 }
@@ -61,10 +77,13 @@ type FrameSub struct {
 // C delivers frames in commit order; closed when the subscription ends.
 func (f *FrameSub) C() <-chan Frame { return f.ch }
 
-// StartSeq is the store sequence at subscription time: every frame on C
-// has Seq > StartSeq, and everything at or below it must come from
-// ExportFrames or a snapshot.
-func (f *FrameSub) StartSeq() uint64 { return f.start }
+// StartVec is the per-stripe sequence vector at subscription time:
+// every frame on C sits strictly above it in its stripe (a barrier
+// frame strictly above it in every stripe), and everything at or below
+// must come from ExportFrames or a snapshot.
+func (f *FrameSub) StartVec() []uint64 {
+	return append([]uint64(nil), f.start...)
+}
 
 // Lagged reports whether the subscription was dropped for falling
 // behind (as opposed to Unsubscribe or store close).
@@ -78,16 +97,16 @@ func (f *FrameSub) lag() {
 }
 
 // SubscribeFrames registers a live commit-stream subscription with the
-// given channel buffer (default 1024). The StartSeq cut is taken under
-// the commit lock, so no frame is ever both covered by StartSeq and
+// given channel buffer (default 1024). The StartVec cut is taken while
+// every lane is held, so no frame is ever both covered by StartVec and
 // delivered on C.
 func (s *Store) SubscribeFrames(buf int) *FrameSub {
 	if buf <= 0 {
 		buf = 1024
 	}
 	sub := &FrameSub{ch: make(chan Frame, buf)}
-	s.commitMu.Lock()
-	sub.start = s.seq
+	s.lockAll()
+	sub.start = s.seqVectorLocked()
 	s.subMu.Lock()
 	if s.subs == nil {
 		s.subs = make(map[*FrameSub]struct{})
@@ -95,7 +114,7 @@ func (s *Store) SubscribeFrames(buf int) *FrameSub {
 	s.subs[sub] = struct{}{}
 	s.nsubs.Add(1)
 	s.subMu.Unlock()
-	s.commitMu.Unlock()
+	s.unlockAll()
 	return sub
 }
 
@@ -111,17 +130,28 @@ func (s *Store) Unsubscribe(sub *FrameSub) {
 	sub.close()
 }
 
-// publishLocked fans one committed frame out to subscribers. The caller
-// holds commitMu — publication order IS commit order. Sends never
-// block: a subscriber with a full buffer is dropped as lagged.
-func (s *Store) publishLocked(seq uint64, payload []byte) {
+// publishLocked fans one committed single-stripe frame out to
+// subscribers. The caller holds the stripe's lane — publication order
+// within a stripe IS that stripe's commit order. Sends never block: a
+// subscriber with a full buffer is dropped as lagged.
+func (s *Store) publishLocked(stripeIdx int, seq uint64, payload []byte) {
+	s.publish(Frame{Stripe: stripeIdx, Seq: seq, Payload: payload})
+}
+
+// publishBarrierLocked fans a barrier frame out; the caller holds
+// every lane, so the frame is totally ordered against all stripes.
+func (s *Store) publishBarrierLocked(seqs []uint64, payload []byte) {
+	s.publish(Frame{Stripe: BarrierStripe, Seqs: seqs, Payload: payload})
+}
+
+func (s *Store) publish(f Frame) {
 	if s.nsubs.Load() == 0 {
 		return
 	}
 	s.subMu.Lock()
 	for sub := range s.subs {
 		select {
-		case sub.ch <- Frame{Seq: seq, Payload: payload}:
+		case sub.ch <- f:
 		default:
 			sub.lag()
 			delete(s.subs, sub)
@@ -148,75 +178,182 @@ func (s *Store) dropSubs(lagged bool) {
 	s.subMu.Unlock()
 }
 
-// BaseSeq returns the sequence at or below which WAL frames may no
-// longer exist on disk — they are folded into the snapshot. A replica
-// whose last applied sequence is below BaseSeq cannot be caught up by
-// frames alone and must be seeded with a snapshot. Memory-only stores
-// have no frames at all, so their base is the current sequence.
-func (s *Store) BaseSeq() uint64 {
-	if s.log == nil {
-		return s.Seq()
-	}
-	return s.base.Load()
+// setBase records the per-stripe fold point (frames at or below it may
+// no longer exist on disk).
+func (s *Store) setBase(vec []uint64) {
+	cp := append([]uint64(nil), vec...)
+	s.baseMu.Lock()
+	s.base = cp
+	s.baseMu.Unlock()
 }
 
-// ExportFrames invokes fn, in order, for every intact frame on disk
-// with sequence strictly greater than from, and returns the last
-// sequence delivered. It first flushes and fsyncs the active segment so
-// every record committed before the call is visible; frames appended
-// concurrently may or may not appear (a torn in-flight tail simply ends
-// the scan — the caller's live subscription covers it). Returns
-// ErrExportGap (possibly wrapped) when frames past from are compacted
-// away. Compaction is held off for the duration, so a slow fn extends
-// the life of the current segments but never corrupts them.
-func (s *Store) ExportFrames(from uint64, fn func(seq uint64, payload []byte) error) (uint64, error) {
-	if s.log == nil {
-		if from < s.Seq() {
-			return from, ErrExportGap
+// BaseVector returns, per stripe, the sequence at or below which WAL
+// frames may no longer exist on disk — they are folded into the
+// snapshot. A replica whose applied vector sits below the base in any
+// stripe cannot be caught up by frames alone and must be seeded with a
+// snapshot. Memory-only stores have no frames at all, so their base is
+// the current vector.
+func (s *Store) BaseVector() []uint64 {
+	if s.lanes[0].log == nil {
+		return s.SeqVector()
+	}
+	s.baseMu.Lock()
+	defer s.baseMu.Unlock()
+	return append([]uint64(nil), s.base...)
+}
+
+// exportFrame is one on-disk frame staged for export merge.
+type exportFrame struct {
+	seq     uint64
+	seqs    []uint64 // non-nil for barrier records
+	payload []byte
+}
+
+// stripeSeqsKey is the cheap pre-filter for barrier detection during
+// export: only payloads containing it are decoded.
+var stripeSeqsKey = []byte(`"stripe_seqs"`)
+
+// ExportFrames invokes fn, in per-stripe order, for every intact frame
+// on disk strictly above the from vector, and returns the vector
+// delivered. Frames of different stripes are interleaved in rounds
+// split at barriers: each stripe's records up to the next barrier,
+// then the barrier exactly once (Stripe == BarrierStripe) — the same
+// interleaving contract a follower needs to apply them. It first
+// flushes and fsyncs every active segment so every record committed
+// before the call is visible; frames appended concurrently may or may
+// not appear (a torn in-flight tail, or a barrier not yet durable in
+// every scanned stripe, simply ends the export — the caller's live
+// subscription covers it). Returns ErrExportGap (possibly wrapped)
+// when frames past from are compacted away. Compaction is held off for
+// the duration, so a slow fn extends the life of the current segments
+// but never corrupts them.
+func (s *Store) ExportFrames(from []uint64, fn func(f Frame) error) ([]uint64, error) {
+	n := len(s.lanes)
+	if len(from) != n {
+		return from, fmt.Errorf("store: export vector spans %d stripes, store has %d", len(from), n)
+	}
+	last := append([]uint64(nil), from...)
+	if s.lanes[0].log == nil {
+		for i, ln := range s.lanes {
+			if from[i] < ln.seq.Load() {
+				return last, ErrExportGap
+			}
 		}
-		return from, nil
+		return last, nil
 	}
 	s.compactMu.Lock()
 	defer s.compactMu.Unlock()
-	if err := s.log.flush(); err != nil {
-		return from, fmt.Errorf("store: flushing WAL for export: %w", err)
+	base := s.BaseVector()
+	for i := range base {
+		if from[i] < base[i] {
+			return last, fmt.Errorf("%w (stripe %d: have %d, oldest on disk follows %d)", ErrExportGap, i, from[i], base[i])
+		}
+	}
+	for _, ln := range s.lanes {
+		if err := ln.log.flush(); err != nil {
+			return last, fmt.Errorf("store: flushing WAL for export: %w", err)
+		}
 	}
 	segs, err := listSegments(s.dir)
 	if err != nil {
-		return from, err
+		return last, err
 	}
-	last := from
+	staged := make([][]exportFrame, n)
 	for _, seg := range segs {
+		if seg.stripe < 0 || seg.stripe >= n {
+			continue // legacy pre-sharding segments are below base by construction
+		}
+		i := seg.stripe
 		_, torn, err := replaySegment(seg.path, func(seq uint64, payload []byte) error {
-			if seq <= last {
+			if seq <= from[i] {
 				return nil // predates the request, or duplicated across segments
 			}
-			if seq != last+1 {
-				return fmt.Errorf("%w (have %d, next on disk is %d)", ErrExportGap, last, seq)
+			want := from[i] + uint64(len(staged[i])) + 1
+			if seq != want {
+				return fmt.Errorf("%w (stripe %d: have %d, next on disk is %d)", ErrExportGap, i, want-1, seq)
 			}
-			if err := fn(seq, payload); err != nil {
-				return err
+			f := exportFrame{seq: seq, payload: append([]byte(nil), payload...)}
+			if bytes.Contains(payload, stripeSeqsKey) {
+				var probe struct {
+					StripeSeqs []uint64 `json:"stripe_seqs"`
+				}
+				if err := json.Unmarshal(payload, &probe); err != nil {
+					return fmt.Errorf("store: decoding frame %d in %s: %w", seq, seg.path, err)
+				}
+				f.seqs = probe.StripeSeqs
 			}
-			last = seq
+			staged[i] = append(staged[i], f)
 			return nil
 		})
 		if err != nil {
 			return last, err
 		}
 		if torn {
-			break // a concurrently-appended tail; everything durable was read
+			// A concurrently-appended in-flight tail: everything durable in
+			// this stripe was read; stop at the segment (segments within a
+			// stripe are scanned oldest-first, and only the newest is live).
+			continue
 		}
 	}
-	return last, nil
+	cursors := make([]int, n)
+	for {
+		for i := 0; i < n; i++ {
+			for cursors[i] < len(staged[i]) {
+				f := staged[i][cursors[i]]
+				if f.seqs != nil {
+					break // rendezvous at the barrier
+				}
+				if err := fn(Frame{Stripe: i, Seq: f.seq, Payload: f.payload}); err != nil {
+					return last, err
+				}
+				last[i] = f.seq
+				cursors[i]++
+			}
+		}
+		var bar *exportFrame
+		exhausted := false
+		for i := 0; i < n; i++ {
+			if cursors[i] >= len(staged[i]) {
+				exhausted = true
+				continue
+			}
+			f := &staged[i][cursors[i]]
+			if bar == nil {
+				bar = f
+			} else if !equalSeqs(bar.seqs, f.seqs) {
+				return last, fmt.Errorf("store: stripes disagree on the next barrier during export (%v vs %v)", bar.seqs, f.seqs)
+			}
+		}
+		if bar == nil {
+			return last, nil
+		}
+		if exhausted {
+			// The barrier landed mid-export and some stripes were scanned
+			// before its copy reached them. It is not yet provably durable
+			// everywhere from this view — end the export at the round
+			// boundary; the live subscription carries the barrier.
+			return last, nil
+		}
+		if err := fn(Frame{Stripe: BarrierStripe, Seqs: bar.seqs, Payload: bar.payload}); err != nil {
+			return last, err
+		}
+		copy(last, bar.seqs)
+		for i := range cursors {
+			cursors[i]++
+		}
+	}
 }
 
-// CommitReplicated applies one leader frame at the leader's sequence
-// number, appends it to this store's own log, and waits for the fsync —
-// the follower's durability promise is as strong as the leader's, which
-// is what lets an ack stand in for the leader's own disk after
-// failover. Duplicate delivery (seq already applied) is a silent no-op;
-// a sequence gap is ErrReplicationGap and the session must re-seed.
-func (s *Store) CommitReplicated(seq uint64, payload []byte) error {
+// CommitReplicated applies one leader frame at the leader's exact
+// coordinates, appends it to this store's own log, and waits for the
+// fsync — the follower's durability promise is as strong as the
+// leader's, which is what lets an ack stand in for the leader's own
+// disk after failover. A barrier frame (payload carrying stripe_seqs,
+// conventionally delivered with stripeIdx == BarrierStripe) is applied
+// once and logged to every stripe, fsynced everywhere before the call
+// returns. Duplicate delivery (already applied) is a silent no-op; a
+// sequence gap is ErrReplicationGap and the session must re-seed.
+func (s *Store) CommitReplicated(stripeIdx int, seq uint64, payload []byte) error {
 	if s.failed.Load() {
 		metricStoreUnavailable.Inc()
 		return ErrUnavailable
@@ -225,45 +362,127 @@ func (s *Store) CommitReplicated(seq uint64, payload []byte) error {
 	if err := json.Unmarshal(payload, &rec); err != nil {
 		return fmt.Errorf("store: decoding replicated record %d: %w", seq, err)
 	}
-	s.commitMu.Lock()
-	if s.closed {
-		s.commitMu.Unlock()
+	if rec.StripeSeqs != nil || stripeIdx == BarrierStripe {
+		return s.commitReplicatedBarrier(&rec, payload)
+	}
+	if stripeIdx < 0 || stripeIdx >= len(s.lanes) {
+		return fmt.Errorf("store: replicated record for stripe %d, store has %d stripes", stripeIdx, len(s.lanes))
+	}
+	ln := s.lanes[stripeIdx]
+	ln.lock()
+	if s.closed.Load() {
+		ln.mu.Unlock()
 		metricStoreUnavailable.Inc()
 		return ErrUnavailable
 	}
-	if seq <= s.seq {
-		s.commitMu.Unlock()
+	cur := ln.seq.Load()
+	if seq <= cur {
+		ln.mu.Unlock()
 		return nil
 	}
-	if seq != s.seq+1 {
-		have := s.seq
-		s.commitMu.Unlock()
-		return fmt.Errorf("%w (have %d, got %d)", ErrReplicationGap, have, seq)
+	if seq != cur+1 {
+		ln.mu.Unlock()
+		return fmt.Errorf("%w (stripe %d: have %d, got %d)", ErrReplicationGap, stripeIdx, cur, seq)
 	}
 	rec.Seq = seq
 	if err := s.state.apply(&rec); err != nil {
-		s.commitMu.Unlock()
+		ln.mu.Unlock()
 		return err
 	}
-	s.seq = seq
+	ln.seq.Store(seq)
 	metricStoreReplicated.Inc()
-	if err := s.sealCommit(&rec, payload); err != nil {
+	if err := s.sealCommit(ln, &rec, payload); err != nil {
 		return err
 	}
 	// A promoted follower may itself lead a chain; without a barrier
 	// installed this is a no-op.
-	return s.AckBarrier(seq)
+	return s.AckBarrier(stripeIdx, seq)
 }
 
-// barrierFunc gates a commit's acknowledgement on replication progress.
-type barrierFunc func(seq uint64) error
+// commitReplicatedBarrier applies one replicated barrier record: every
+// lane is acquired, the record applied once, and its copy appended and
+// fsynced in every stripe before the call returns — the follower never
+// acknowledges a barrier it could lose from some stripes.
+func (s *Store) commitReplicatedBarrier(rec *Record, payload []byte) error {
+	seqs := rec.StripeSeqs
+	if len(seqs) != len(s.lanes) {
+		return fmt.Errorf("store: replicated barrier spans %d stripes, store has %d", len(seqs), len(s.lanes))
+	}
+	s.lockAll()
+	if s.closed.Load() {
+		s.unlockAll()
+		metricStoreUnavailable.Inc()
+		return ErrUnavailable
+	}
+	applied, behind := 0, 0
+	for i, ln := range s.lanes {
+		cur := ln.seq.Load()
+		switch {
+		case cur >= seqs[i]:
+			applied++
+		case cur == seqs[i]-1:
+			behind++
+		default:
+			s.unlockAll()
+			return fmt.Errorf("%w (stripe %d: have %d, barrier wants %d)", ErrReplicationGap, i, cur, seqs[i])
+		}
+	}
+	if applied == len(s.lanes) {
+		s.unlockAll()
+		return nil // duplicate delivery
+	}
+	if applied != 0 {
+		// Locally the barrier half-exists — a state this store never
+		// produces itself; only a re-seed restores a coherent timeline.
+		s.unlockAll()
+		return fmt.Errorf("%w (barrier %v partially applied)", ErrReplicationGap, seqs)
+	}
+	rec.Seq = seqs[0]
+	if err := s.state.apply(rec); err != nil {
+		s.unlockAll()
+		return err
+	}
+	for i, ln := range s.lanes {
+		ln.seq.Store(seqs[i])
+	}
+	if s.lanes[0].log != nil {
+		for _, ln := range s.lanes {
+			_, size, err := ln.log.append(seqs[ln.idx], payload)
+			if err != nil {
+				s.unlockAll()
+				s.fail("append", err)
+				return fmt.Errorf("%w (appending barrier record: %v)", ErrUnavailable, err)
+			}
+			ln.met.appends.Inc()
+			ln.met.appendBytes.Add(uint64(frameHeaderLen + len(payload)))
+			ln.met.segmentBytes.Set(size)
+		}
+		for _, ln := range s.lanes {
+			if err := ln.log.flush(); err != nil {
+				s.unlockAll()
+				s.fail("fsync", err)
+				return fmt.Errorf("%w (syncing barrier record: %v)", ErrUnavailable, err)
+			}
+		}
+	}
+	s.publishBarrierLocked(seqs, payload)
+	s.unlockAll()
+	metricStoreReplicated.Inc()
+	metricBarrierCommits.Inc()
+	return s.AckBarrierVec(seqs)
+}
+
+// barrierFunc gates a commit's acknowledgement on replication progress
+// for one stripe's sequence.
+type barrierFunc func(stripeIdx int, seq uint64) error
 
 // SetCommitBarrier installs fn to run after every commit's local fsync
-// and before its acknowledgement; fn returning an error surfaces from
+// and before its acknowledgement, with the committed record's stripe
+// and the sequence it holds there; fn returning an error surfaces from
 // Commit (conventionally ErrReplicationLag) without latching the store.
 // A nil fn removes the barrier. The replication leader installs one
 // when semi-synchronous mode is on.
-func (s *Store) SetCommitBarrier(fn func(seq uint64) error) {
+func (s *Store) SetCommitBarrier(fn func(stripeIdx int, seq uint64) error) {
 	if fn == nil {
 		s.barrier.Store(nil)
 		return
@@ -272,14 +491,39 @@ func (s *Store) SetCommitBarrier(fn func(seq uint64) error) {
 	s.barrier.Store(&b)
 }
 
-// AckBarrier runs the installed commit barrier for seq (no-op when none
-// is installed). Exposed so acknowledgement paths that bypass Commit —
-// the server's idempotent-replay fast path — can still refuse to ack
-// ahead of replication.
-func (s *Store) AckBarrier(seq uint64) error {
+// AckBarrier runs the installed commit barrier for one stripe's
+// sequence (no-op when none is installed).
+func (s *Store) AckBarrier(stripeIdx int, seq uint64) error {
 	p := s.barrier.Load()
 	if p == nil {
 		return nil
 	}
-	return (*p)(seq)
+	return (*p)(stripeIdx, seq)
+}
+
+// AckBarrierVec runs the barrier for every stripe of a barrier
+// record's vector; the waits are sequential, so the worst case is one
+// timeout per stripe — acceptable for rare administrative mutations.
+func (s *Store) AckBarrierVec(seqs []uint64) error {
+	p := s.barrier.Load()
+	if p == nil {
+		return nil
+	}
+	for i, seq := range seqs {
+		if err := (*p)(i, seq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AckBarrierAll gates on the store's full current vector. Exposed so
+// acknowledgement paths that bypass Commit — the server's
+// idempotent-replay fast path — can still refuse to ack ahead of
+// replication.
+func (s *Store) AckBarrierAll() error {
+	if s.barrier.Load() == nil {
+		return nil
+	}
+	return s.AckBarrierVec(s.SeqVector())
 }

@@ -7,12 +7,12 @@ import (
 )
 
 func TestSubscribeFramesDeliversCommitsInOrder(t *testing.T) {
-	s := mustOpen(t, Options{Dir: t.TempDir(), NoSync: true, CompactEvery: -1})
+	s := mustOpen(t, Options{Dir: t.TempDir(), NoSync: true, CompactEvery: -1, Stripes: 1})
 	defer s.Close()
 	commitN(t, s, 2)
 	sub := s.SubscribeFrames(16)
-	if got := sub.StartSeq(); got != 2 {
-		t.Fatalf("StartSeq = %d, want 2", got)
+	if got := sub.StartVec(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("StartVec = %v, want [2]", got)
 	}
 	commitN2 := func(from, n int) {
 		for i := from; i < from+n; i++ {
@@ -25,8 +25,8 @@ func TestSubscribeFramesDeliversCommitsInOrder(t *testing.T) {
 	commitN2(0, 3)
 	for want := uint64(3); want <= 5; want++ {
 		f := <-sub.C()
-		if f.Seq != want {
-			t.Fatalf("frame seq = %d, want %d", f.Seq, want)
+		if f.Stripe != 0 || f.Seq != want {
+			t.Fatalf("frame (stripe %d, seq %d), want (0, %d)", f.Stripe, f.Seq, want)
 		}
 		if len(f.Payload) == 0 {
 			t.Fatalf("frame %d has empty payload", f.Seq)
@@ -70,27 +70,29 @@ func TestSlowSubscriberIsDroppedNotBlocking(t *testing.T) {
 }
 
 func TestExportFramesRoundTrip(t *testing.T) {
-	s := mustOpen(t, Options{Dir: t.TempDir(), NoSync: true, CompactEvery: -1})
+	s := mustOpen(t, Options{Dir: t.TempDir(), NoSync: true, CompactEvery: -1, Stripes: 1})
 	defer s.Close()
 	commitN(t, s, 6)
 	var seqs []uint64
-	last, err := s.ExportFrames(2, func(seq uint64, payload []byte) error {
-		if len(payload) == 0 {
-			t.Fatalf("empty payload at %d", seq)
+	last, err := s.ExportFrames([]uint64{2}, func(f Frame) error {
+		if len(f.Payload) == 0 {
+			t.Fatalf("empty payload at %d", f.Seq)
 		}
-		seqs = append(seqs, seq)
+		seqs = append(seqs, f.Seq)
 		return nil
 	})
 	if err != nil {
 		t.Fatalf("ExportFrames: %v", err)
 	}
-	if last != 6 || len(seqs) != 4 || seqs[0] != 3 || seqs[3] != 6 {
-		t.Fatalf("exported %v (last %d), want 3..6", seqs, last)
+	if last[0] != 6 || len(seqs) != 4 || seqs[0] != 3 || seqs[3] != 6 {
+		t.Fatalf("exported %v (last %v), want 3..6", seqs, last)
 	}
 	// A second store fed the exported frames must converge exactly.
-	s2 := mustOpen(t, Options{Dir: t.TempDir(), NoSync: true, CompactEvery: -1})
+	s2 := mustOpen(t, Options{Dir: t.TempDir(), NoSync: true, CompactEvery: -1, Stripes: 1})
 	defer s2.Close()
-	if _, err := s.ExportFrames(0, s2.CommitReplicated); err != nil {
+	if _, err := s.ExportFrames([]uint64{0}, func(f Frame) error {
+		return s2.CommitReplicated(f.Stripe, f.Seq, f.Payload)
+	}); err != nil {
 		t.Fatalf("replicating export: %v", err)
 	}
 	if s2.Seq() != s.Seq() {
@@ -105,62 +107,62 @@ func TestExportFramesRoundTrip(t *testing.T) {
 }
 
 func TestExportFramesGapAfterCompaction(t *testing.T) {
-	s := mustOpen(t, Options{Dir: t.TempDir(), NoSync: true, CompactEvery: -1})
+	s := mustOpen(t, Options{Dir: t.TempDir(), NoSync: true, CompactEvery: -1, Stripes: 1})
 	defer s.Close()
 	commitN(t, s, 4)
 	if err := s.Compact(); err != nil {
 		t.Fatalf("Compact: %v", err)
 	}
-	if got := s.BaseSeq(); got != 4 {
-		t.Fatalf("BaseSeq = %d, want 4", got)
+	if got := s.BaseVector(); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("BaseVector = %v, want [4]", got)
 	}
 	rec := uploadRec("post", "ent/x", 4.0, "post-key")
 	if err := s.Commit(rec); err != nil {
 		t.Fatalf("commit: %v", err)
 	}
-	if _, err := s.ExportFrames(1, func(uint64, []byte) error { return nil }); !errors.Is(err, ErrExportGap) {
+	if _, err := s.ExportFrames([]uint64{1}, func(Frame) error { return nil }); !errors.Is(err, ErrExportGap) {
 		t.Fatalf("export across compaction = %v, want ErrExportGap", err)
 	}
-	last, err := s.ExportFrames(4, func(uint64, []byte) error { return nil })
-	if err != nil || last != 5 {
-		t.Fatalf("export past base: last %d err %v, want 5 nil", last, err)
+	last, err := s.ExportFrames([]uint64{4}, func(Frame) error { return nil })
+	if err != nil || last[0] != 5 {
+		t.Fatalf("export past base: last %v err %v, want [5] nil", last, err)
 	}
 }
 
 func TestCommitReplicatedDupAndGap(t *testing.T) {
-	leader := mustOpen(t, Options{Dir: t.TempDir(), NoSync: true, CompactEvery: -1})
+	leader := mustOpen(t, Options{Dir: t.TempDir(), NoSync: true, CompactEvery: -1, Stripes: 1})
 	defer leader.Close()
-	follower := mustOpen(t, Options{Dir: t.TempDir(), NoSync: true, CompactEvery: -1})
+	follower := mustOpen(t, Options{Dir: t.TempDir(), NoSync: true, CompactEvery: -1, Stripes: 1})
 	defer follower.Close()
 	commitN(t, leader, 3)
 	var frames []Frame
-	if _, err := leader.ExportFrames(0, func(seq uint64, payload []byte) error {
-		frames = append(frames, Frame{Seq: seq, Payload: payload})
+	if _, err := leader.ExportFrames([]uint64{0}, func(f Frame) error {
+		frames = append(frames, f)
 		return nil
 	}); err != nil {
 		t.Fatalf("export: %v", err)
 	}
-	if err := follower.CommitReplicated(frames[0].Seq, frames[0].Payload); err != nil {
+	if err := follower.CommitReplicated(frames[0].Stripe, frames[0].Seq, frames[0].Payload); err != nil {
 		t.Fatalf("apply 1: %v", err)
 	}
-	if err := follower.CommitReplicated(frames[0].Seq, frames[0].Payload); err != nil {
+	if err := follower.CommitReplicated(frames[0].Stripe, frames[0].Seq, frames[0].Payload); err != nil {
 		t.Fatalf("duplicate delivery should no-op, got %v", err)
 	}
 	if follower.Seq() != 1 {
 		t.Fatalf("seq after dup = %d, want 1", follower.Seq())
 	}
-	if err := follower.CommitReplicated(frames[2].Seq, frames[2].Payload); !errors.Is(err, ErrReplicationGap) {
+	if err := follower.CommitReplicated(frames[2].Stripe, frames[2].Seq, frames[2].Payload); !errors.Is(err, ErrReplicationGap) {
 		t.Fatalf("gap delivery = %v, want ErrReplicationGap", err)
 	}
 	// Replicated records must be as durable as local ones: reopen.
-	if err := follower.CommitReplicated(frames[1].Seq, frames[1].Payload); err != nil {
+	if err := follower.CommitReplicated(frames[1].Stripe, frames[1].Seq, frames[1].Payload); err != nil {
 		t.Fatalf("apply 2: %v", err)
 	}
 	dir := follower.dir
 	if err := follower.Close(); err != nil {
 		t.Fatalf("close: %v", err)
 	}
-	re := mustOpen(t, Options{Dir: dir, NoSync: true, CompactEvery: -1})
+	re := mustOpen(t, Options{Dir: dir, NoSync: true, CompactEvery: -1, Stripes: 1})
 	defer re.Close()
 	if re.Seq() != 2 || re.Histories().Stats().Records != 2 {
 		t.Fatalf("reopened replica seq %d records %d, want 2/2", re.Seq(), re.Histories().Stats().Records)
@@ -168,10 +170,13 @@ func TestCommitReplicatedDupAndGap(t *testing.T) {
 }
 
 func TestCommitBarrierGatesAcks(t *testing.T) {
-	s := mustOpen(t, Options{Dir: t.TempDir(), NoSync: true, CompactEvery: -1})
+	s := mustOpen(t, Options{Dir: t.TempDir(), NoSync: true, CompactEvery: -1, Stripes: 1})
 	defer s.Close()
 	var seen []uint64
-	s.SetCommitBarrier(func(seq uint64) error {
+	s.SetCommitBarrier(func(stripe int, seq uint64) error {
+		if stripe != 0 {
+			t.Errorf("barrier stripe = %d, want 0", stripe)
+		}
 		seen = append(seen, seq)
 		if seq >= 2 {
 			return ErrReplicationLag
@@ -198,5 +203,69 @@ func TestCommitBarrierGatesAcks(t *testing.T) {
 	s.SetCommitBarrier(nil)
 	if err := s.Commit(uploadRec("c", "ent/x", 4.0, "bar-3")); err != nil {
 		t.Fatalf("commit after barrier removal: %v", err)
+	}
+}
+
+// TestExportReplayMultiStripe: a full multi-stripe export — uploads
+// spread across stripes plus a cross-stripe barrier — replayed through
+// CommitReplicated rebuilds an identical store: same vector, same
+// state, barrier delivered exactly once.
+func TestExportReplayMultiStripe(t *testing.T) {
+	src := mustOpen(t, Options{Dir: t.TempDir(), NoSync: true, Stripes: 4, CompactEvery: -1})
+	defer src.Close()
+	for i := 0; i < 12; i++ {
+		rec := uploadRec(fmt.Sprintf("mx-%d", i), fmt.Sprintf("ent/%d", i), 4.0, fmt.Sprintf("mx-key-%d", i))
+		if err := src.Commit(rec); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	if err := src.Commit(&Record{Kind: KindSweep, Dropped: []string{"mx-3"}}); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	for i := 12; i < 16; i++ {
+		rec := uploadRec(fmt.Sprintf("mx-%d", i), fmt.Sprintf("ent/%d", i), 4.0, fmt.Sprintf("mx-key-%d", i))
+		if err := src.Commit(rec); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+
+	dst := mustOpen(t, Options{Dir: t.TempDir(), NoSync: true, Stripes: 4, CompactEvery: -1})
+	defer dst.Close()
+	barriers := 0
+	last, err := src.ExportFrames(make([]uint64, 4), func(f Frame) error {
+		if f.Stripe == BarrierStripe {
+			barriers++
+		}
+		return dst.CommitReplicated(f.Stripe, f.Seq, f.Payload)
+	})
+	if err != nil {
+		t.Fatalf("ExportFrames: %v", err)
+	}
+	if barriers != 1 {
+		t.Fatalf("barrier emitted %d times, want exactly once", barriers)
+	}
+	if want := src.SeqVector(); !equalSeqs(last, want) {
+		t.Fatalf("export ended at %v, want %v", last, want)
+	}
+	if !equalSeqs(dst.SeqVector(), src.SeqVector()) {
+		t.Fatalf("replica vector %v, source %v", dst.SeqVector(), src.SeqVector())
+	}
+	if got, want := dst.Histories().Stats().Records, src.Histories().Stats().Records; got != want {
+		t.Fatalf("replica records %d, source %d", got, want)
+	}
+	for _, h := range dst.Histories().ByEntity("ent/3") {
+		if len(h.Records) != 0 {
+			t.Fatal("sweep barrier did not replay on the replica")
+		}
+	}
+	// Replaying the same stream again is a pile of no-ops, not a fork.
+	_, err = src.ExportFrames(make([]uint64, 4), func(f Frame) error {
+		return dst.CommitReplicated(f.Stripe, f.Seq, f.Payload)
+	})
+	if err != nil {
+		t.Fatalf("second ExportFrames: %v", err)
+	}
+	if !equalSeqs(dst.SeqVector(), src.SeqVector()) {
+		t.Fatalf("vector diverged after duplicate replay: %v vs %v", dst.SeqVector(), src.SeqVector())
 	}
 }

@@ -1,0 +1,272 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"opinions/internal/interaction"
+	"opinions/internal/simclock"
+	"opinions/internal/storage"
+)
+
+func quietLog() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// migrationUpload is a hand-craftable upload record for seeding legacy
+// WAL segments: the JSON the pre-sharding store would have logged.
+func migrationUpload(i int) *Record {
+	v := interaction.Record{
+		Entity: fmt.Sprintf("mig/ent-%d", i), Kind: interaction.VisitKind,
+		Start: simclock.Epoch, Duration: 20 * time.Minute,
+	}
+	r := 3.5
+	return &Record{
+		Kind:   KindUpload,
+		AnonID: fmt.Sprintf("mig-anon-%d", i),
+		Entity: v.Entity,
+		Visit:  &v,
+		Rating: &r,
+		Key:    fmt.Sprintf("mig-key-%d", i),
+	}
+}
+
+// writeLegacySegment writes a pre-sharding `wal-<gen>.log` segment
+// holding recs at sequences startSeq, startSeq+1, ... — byte-for-byte
+// what the single-stream store produced.
+func writeLegacySegment(t *testing.T, dir string, gen int, startSeq uint64, recs []*Record) {
+	t.Helper()
+	f, err := os.Create(filepath.Join(dir, fmt.Sprintf("wal-%08d.log", gen)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteString(segMagic); err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range recs {
+		seq := startSeq + uint64(i)
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hdr [frameHeaderLen]byte
+		binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.BigEndian.PutUint32(hdr[4:8], crcFrame(seq, payload))
+		binary.BigEndian.PutUint64(hdr[8:16], seq)
+		if _, err := f.Write(hdr[:]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLegacyWALUpgradesToStriped: a directory written by the
+// pre-sharding store — legacy single-stream segments, no snapshot —
+// opens under the sharded pipeline with every record intact, and the
+// first compaction retires the legacy family for a v4 snapshot plus
+// per-stripe segments.
+func TestLegacyWALUpgradesToStriped(t *testing.T) {
+	dir := t.TempDir()
+	writeLegacySegment(t, dir, 1, 1, []*Record{migrationUpload(0), migrationUpload(1)})
+	writeLegacySegment(t, dir, 2, 3, []*Record{migrationUpload(2)})
+
+	s := mustOpen(t, Options{Dir: dir, NoSync: true, Stripes: 4})
+	if got := s.Histories().Stats().Records; got != 3 {
+		t.Fatalf("records after upgrade = %d, want 3", got)
+	}
+	if !s.Ledger().Contains("mig-key-1") {
+		t.Fatal("legacy dedup key lost in upgrade")
+	}
+	// Every stripe's sequence space starts where the legacy stream ended.
+	for i, seq := range s.SeqVector() {
+		if seq != 3 {
+			t.Fatalf("stripe %d baseline = %d, want 3", i, seq)
+		}
+	}
+	// New commits land in striped segments on top of the legacy base.
+	if err := s.Commit(migrationUpload(3)); err != nil {
+		t.Fatalf("post-upgrade commit: %v", err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range segs {
+		if seg.stripe < 0 {
+			t.Fatalf("legacy segment %s survived compaction", seg.path)
+		}
+	}
+	snap, err := storage.LoadFile(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.WALSeqs) != 4 || snap.WALSeq != 0 {
+		t.Fatalf("compacted snapshot vector = %v (scalar %d), want 4-wide vector and scalar 0", snap.WALSeqs, snap.WALSeq)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, Options{Dir: dir, NoSync: true, Stripes: 4})
+	defer s2.Close()
+	if got := s2.Histories().Stats().Records; got != 4 {
+		t.Fatalf("records after compacted reopen = %d, want 4", got)
+	}
+}
+
+// TestUpgradeCrashLeavesMixedGenerations: the upgrade crashes before
+// its first compaction, leaving legacy AND striped segments side by
+// side. Recovery must replay the legacy stream first, then the striped
+// lanes on top, losing nothing.
+func TestUpgradeCrashLeavesMixedGenerations(t *testing.T) {
+	dir := t.TempDir()
+	writeLegacySegment(t, dir, 1, 1, []*Record{migrationUpload(0), migrationUpload(1), migrationUpload(2)})
+
+	// First sharded open; commits spread across stripes; no compaction
+	// before the "crash" (Close never compacts).
+	s := mustOpen(t, Options{Dir: dir, NoSync: true, Stripes: 4, CompactEvery: -1})
+	for i := 3; i < 8; i++ {
+		if err := s.Commit(migrationUpload(i)); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	s.Close()
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := 0
+	for _, seg := range segs {
+		if seg.stripe < 0 {
+			legacy++
+		}
+	}
+	if legacy == 0 {
+		t.Fatal("test setup: expected the legacy segment to still exist")
+	}
+
+	s2 := mustOpen(t, Options{Dir: dir, NoSync: true, Stripes: 4, CompactEvery: -1})
+	defer s2.Close()
+	if got := s2.Histories().Stats().Records; got != 8 {
+		t.Fatalf("records after mixed-generation recovery = %d, want 8", got)
+	}
+	for i := 0; i < 8; i++ {
+		if !s2.Ledger().Contains(fmt.Sprintf("mig-key-%d", i)) {
+			t.Fatalf("dedup key %d lost across mixed-generation recovery", i)
+		}
+	}
+}
+
+// TestV3ScalarSnapshotSeedsAllStripes: a v3 snapshot carries one
+// scalar WALSeq; the sharded store must adopt it as every stripe's
+// baseline rather than zero, or replicated catch-up would re-send
+// folded records.
+func TestV3ScalarSnapshotSeedsAllStripes(t *testing.T) {
+	dir := t.TempDir()
+	seed := mustOpen(t, Options{Dir: t.TempDir(), NoSync: true, Stripes: 1})
+	for i := 0; i < 2; i++ {
+		if err := seed.Commit(migrationUpload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := seed.Snapshot()
+	seed.Close()
+	// Rewrite the snapshot the way the v3 store stamped it: scalar
+	// sequence, no vector.
+	snap.Version = 3
+	snap.WALSeqs = nil
+	snap.WALSeq = 7
+	if err := storage.SaveFile(filepath.Join(dir, snapshotFile), snap); err != nil {
+		t.Fatal(err)
+	}
+
+	s := mustOpen(t, Options{Dir: dir, NoSync: true, Stripes: 4})
+	defer s.Close()
+	for i, seq := range s.SeqVector() {
+		if seq != 7 {
+			t.Fatalf("stripe %d baseline = %d, want scalar WALSeq 7", i, seq)
+		}
+	}
+	if got := s.Histories().Stats().Records; got != 2 {
+		t.Fatalf("records restored = %d, want 2", got)
+	}
+	if err := s.Commit(migrationUpload(9)); err != nil {
+		t.Fatalf("commit on adopted baseline: %v", err)
+	}
+}
+
+// TestVectorSnapshotRefusesLegacySegments: once a snapshot carries the
+// per-stripe vector, a legacy segment in the same directory is a
+// corrupted layout (sequence spaces are incomparable) and recovery
+// must refuse rather than guess.
+func TestVectorSnapshotRefusesLegacySegments(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, NoSync: true, Stripes: 2})
+	if err := s.Commit(migrationUpload(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	writeLegacySegment(t, dir, 9, 1, []*Record{migrationUpload(1)})
+	if _, err := Open(Options{Dir: dir, NoSync: true, Stripes: 2, Clock: simclock.NewSim(simclock.Epoch), Logger: quietLog()}); err == nil {
+		t.Fatal("open accepted a vector snapshot alongside legacy segments")
+	}
+}
+
+// TestStripeWidthShrinkRefusedWithSegments: segments exist for stripe
+// 3 but the store is reopened at width 2 — refusing beats silently
+// orphaning a lane's records.
+func TestStripeWidthShrinkRefusedWithSegments(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, NoSync: true, Stripes: 4, CompactEvery: -1})
+	s.Close()
+	if _, err := Open(Options{Dir: dir, NoSync: true, Stripes: 2, Clock: simclock.NewSim(simclock.Epoch), Logger: quietLog()}); err == nil {
+		t.Fatal("open accepted a width shrink with wider segments on disk")
+	}
+}
+
+// TestStripeWidthChangeAfterCompaction: compacting at the old width
+// retires all segments, after which a different -commit-stripes is
+// legal — every lane restarts at the old vector's maximum.
+func TestStripeWidthChangeAfterCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, NoSync: true, Stripes: 2})
+	for i := 0; i < 3; i++ {
+		if err := s.Commit(migrationUpload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	want := maxSeq(s.SeqVector())
+	s.Close()
+
+	s2 := mustOpen(t, Options{Dir: dir, NoSync: true, Stripes: 4})
+	defer s2.Close()
+	for i, seq := range s2.SeqVector() {
+		if seq != want {
+			t.Fatalf("stripe %d baseline after width change = %d, want %d", i, seq, want)
+		}
+	}
+	if got := s2.Histories().Stats().Records; got != 3 {
+		t.Fatalf("records after width change = %d, want 3", got)
+	}
+	if err := s2.Commit(migrationUpload(5)); err != nil {
+		t.Fatalf("commit after width change: %v", err)
+	}
+}

@@ -40,12 +40,22 @@ const (
 // the public pseudonym their author chose to post under. The WAL is
 // therefore exactly as privacy-sensitive as a snapshot — no more.
 type Record struct {
-	// Seq is the record's position in the log, assigned by Commit and
-	// carried in the frame header rather than the JSON payload (so the
-	// payload can be marshaled before the sequence is known).
+	// Seq is the record's position in its commit stripe's log, assigned
+	// by Commit and carried in the frame header rather than the JSON
+	// payload (so the payload can be marshaled before the sequence is
+	// known). Each stripe numbers its own records from 1; the pair
+	// (stripe, seq) identifies a record globally.
 	Seq uint64 `json:"-"`
 
 	Kind Kind `json:"kind"`
+
+	// StripeSeqs marks a barrier record — a cross-stripe mutation
+	// (retrain, fraud sweep) whose global position matters. The commit
+	// acquires every stripe, assigns the record the next sequence in each
+	// (StripeSeqs[i] for stripe i), and appends an identical copy to
+	// every stripe's log; recovery rendezvouses all stripes at the
+	// barrier before applying it once. Nil on single-stripe records.
+	StripeSeqs []uint64 `json:"stripe_seqs,omitempty"`
 
 	// KindUpload fields.
 	AnonID string              `json:"anon_id,omitempty"`
@@ -55,8 +65,10 @@ type Record struct {
 	// Key is the upload's idempotency key; empty for keyless uploads.
 	Key string `json:"key,omitempty"`
 
-	// KindReview field: the review as submitted, without an ID — the
-	// apply assigns it, deterministically, because applies serialize.
+	// KindReview field: the review as submitted. Commit assigns the ID
+	// before marshaling, so the logged payload carries it and a replay —
+	// which may interleave stripes differently than the live run —
+	// reproduces the exact ID each review was acknowledged with.
 	Review *reviews.Review `json:"review,omitempty"`
 
 	// KindTrainPair fields.

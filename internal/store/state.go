@@ -69,8 +69,9 @@ func (st *state) apply(rec *Record) error {
 		if err != nil {
 			return err
 		}
-		// The assigned ID is deterministic: applies serialize, so the
-		// k-th posted review is rev-k both live and on replay.
+		// The record carries the ID Commit assigned before marshaling;
+		// Post honors it, so replay — whose stripe interleaving may
+		// differ from the live run — reproduces the acknowledged IDs.
 		rec.out = posted
 		return nil
 	case KindTrainPair:

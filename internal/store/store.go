@@ -3,12 +3,26 @@
 // retrain, a fraud sweep — is one Record committed through Store.Commit,
 // which applies it to the in-memory striped stores, appends it to an
 // append-only checksummed write-ahead log, and acknowledges only after
-// a group-commit fsync. Background compaction folds the log into the
-// storage.Snapshot format; recovery loads the snapshot and replays the
-// log tail, repairing a torn final record, so an unclean kill loses
-// nothing that was acknowledged and duplicates nothing that was not.
+// a group-commit fsync.
 //
-// Reads never touch the commit lock: the underlying stores are sharded
+// The commit pipeline is sharded: each record routes to a commit
+// stripe by its entity key (the same FNV-1a hash the read stores
+// stripe on), and every stripe owns its own WAL segment family, its
+// own sequence space, and its own group-commit syncer — commits to
+// different stripes never contend on a lock or an fsync. Cross-stripe
+// mutations (retrain, fraud sweep) commit as barrier records: the
+// commit acquires every stripe, stamps the record with the next
+// sequence of each, and appends an identical copy to every stripe's
+// log, so recovery — which replays stripes in parallel — can
+// rendezvous all stripes at the barrier and re-establish the global
+// order exactly where it matters. Background compaction folds the
+// per-stripe logs into the storage.Snapshot format (v4 carries the
+// per-stripe sequence vector); recovery loads the snapshot, replays
+// every stripe past its folded sequence, and repairs torn tails per
+// stripe, so an unclean kill loses nothing that was acknowledged and
+// duplicates nothing that was not.
+//
+// Reads never touch any commit lock: the underlying stores are sharded
 // by entity key (internal/stripe), so search-time aggregation over one
 // entity proceeds while uploads land on others.
 //
@@ -33,6 +47,7 @@ import (
 	"opinions/internal/reviews"
 	"opinions/internal/simclock"
 	"opinions/internal/storage"
+	"opinions/internal/stripe"
 )
 
 // ErrUnavailable is returned by Commit once the write-ahead log has
@@ -43,8 +58,13 @@ import (
 var ErrUnavailable = errors.New("store: durability unavailable; mutations refused until restart")
 
 // DefaultCompactEvery is the auto-compaction trigger when Options
-// leave it zero: fold the WAL into a snapshot every this many records.
+// leave it zero: fold the WALs into a snapshot every this many records.
 const DefaultCompactEvery = 4096
+
+// maxStripes bounds the configurable commit-stripe count: beyond this
+// the per-lane fixed overhead (file handles, syncer goroutines)
+// outweighs any remaining fsync parallelism.
+const maxStripes = 1024
 
 // snapshotFile is the snapshot's name inside the WAL directory.
 const snapshotFile = "snapshot.gz"
@@ -54,6 +74,13 @@ type Options struct {
 	// Dir is the durability directory (snapshot + WAL segments). Empty
 	// runs the store memory-only: same commit interface, no log.
 	Dir string
+	// Stripes is the commit-stripe count: each stripe owns a WAL segment
+	// family, a sequence space, and a group-commit syncer. 0 means
+	// stripe.NumShards (matching the read stripes). Changing the count
+	// on an existing directory is safest after a clean shutdown with a
+	// final compaction; recovery refuses layouts it cannot interpret
+	// unambiguously.
+	Stripes int
 	// Clock stamps snapshots; defaults to the real clock.
 	Clock simclock.Clock
 	// DedupCapacity bounds the exactly-once ledger (default 65536).
@@ -62,14 +89,39 @@ type Options struct {
 	// committed records (default DefaultCompactEvery; negative disables
 	// auto-compaction — explicit Compact calls still work).
 	CompactEvery int
-	// NoSync skips fsync on the log (benchmarks and tests that measure
-	// everything but the disk). Group commit still flushes the buffer.
+	// NoSync skips fsync on the logs (benchmarks and tests that measure
+	// everything but the disk). Group commit still flushes the buffers.
 	NoSync bool
 	// OpenFile, when non-nil, creates WAL segment files — the fault
 	// injection seam for torn-write and crash-mid-append tests.
 	OpenFile func(path string) (File, error)
 	// Logger receives recovery and compaction events; nil = slog default.
 	Logger *slog.Logger
+}
+
+// lane is one commit stripe: a mutex serializing apply+append for the
+// records routed here, the stripe's own sequence space, and its own
+// group-committed log. Commits on different lanes run concurrently end
+// to end — including their fsyncs.
+type lane struct {
+	idx int
+	mu  sync.Mutex
+	// seq is written only under mu; the atomic lets Seq()/SeqVector()
+	// read without touching the commit path.
+	seq atomic.Uint64
+	log *walLog // nil when memory-only
+	met *laneMetrics
+}
+
+// lock acquires the lane, surfacing cross-committer contention on the
+// commit_stripe_contention gauge.
+func (ln *lane) lock() {
+	if ln.mu.TryLock() {
+		return
+	}
+	metricStripeContention.Add(1)
+	ln.mu.Lock()
+	metricStripeContention.Add(-1)
 }
 
 // Store owns the server state and its durability. Construct with Open;
@@ -82,21 +134,22 @@ type Store struct {
 	compactEvery int
 
 	state *state
-	log   *walLog // nil when memory-only
 
-	// commitMu serializes apply+append so the log order IS the apply
-	// order. Reads bypass it entirely.
-	commitMu     sync.Mutex
-	seq          uint64
-	sinceCompact int
-	closed       bool
+	// lanes are the commit stripes. Multi-lane operations (barrier
+	// commits, snapshot cuts, compaction, restore, close) always acquire
+	// lane locks in ascending index order.
+	lanes []*lane
 
-	failed atomic.Bool
+	sinceCompact atomic.Int64
+	closed       atomic.Bool // set while holding every lane lock
+	failed       atomic.Bool
 
-	// Replication surface (export.go). base is the oldest sequence still
-	// guaranteed on disk as frames; subs fan the live commit stream out;
-	// barrier, when installed, gates commit acks on follower progress.
-	base    atomic.Uint64
+	// Replication surface (export.go). base is, per stripe, the oldest
+	// sequence still guaranteed on disk as frames; subs fan the live
+	// commit stream out; barrier, when installed, gates commit acks on
+	// follower progress.
+	baseMu  sync.Mutex
+	base    []uint64
 	subMu   sync.Mutex
 	subs    map[*FrameSub]struct{}
 	nsubs   atomic.Int32
@@ -107,11 +160,37 @@ type Store struct {
 	wg         sync.WaitGroup
 }
 
+// lockAll acquires every lane in ascending order — the one global lock
+// order that makes barrier commits, snapshot cuts, and parallel
+// single-lane commits deadlock-free.
+func (s *Store) lockAll() {
+	for _, ln := range s.lanes {
+		ln.lock()
+	}
+}
+
+func (s *Store) unlockAll() {
+	for _, ln := range s.lanes {
+		ln.mu.Unlock()
+	}
+}
+
+// scannedFrame is one intact WAL frame held in memory between the
+// parallel recovery scan and the parallel replay.
+type scannedFrame struct {
+	seq  uint64
+	rec  *Record
+	path string // segment the frame lives in
+	off  int64  // byte offset of the frame within path
+}
+
 // Open builds a store. With a Dir it recovers on the spot: load the
-// snapshot if present, replay every WAL record past the snapshot's
-// sequence, truncate a torn tail in the final segment, and start a
-// fresh active segment. A torn or corrupt record anywhere but the tail
-// is an error — that is not a crash artifact but lost data.
+// snapshot if present, scan every stripe's WAL segments in parallel,
+// resolve cross-stripe barriers, then replay the stripes in parallel —
+// rendezvousing at each barrier — and start a fresh active segment per
+// stripe. Torn tails are repaired per stripe; a torn or corrupt record
+// anywhere but a tail is an error — that is not a crash artifact but
+// lost data.
 func Open(opts Options) (*Store, error) {
 	clock := opts.Clock
 	if clock == nil {
@@ -128,12 +207,23 @@ func Open(opts Options) (*Store, error) {
 	if compactEvery < 0 {
 		compactEvery = 0
 	}
+	nstripes := opts.Stripes
+	if nstripes == 0 {
+		nstripes = stripe.NumShards
+	}
+	if nstripes < 1 || nstripes > maxStripes {
+		return nil, fmt.Errorf("store: commit stripes %d outside [1, %d]", opts.Stripes, maxStripes)
+	}
 	s := &Store{
 		clock:        clock,
 		logger:       logger,
 		dir:          opts.Dir,
 		compactEvery: compactEvery,
 		state:        newState(opts.DedupCapacity),
+		lanes:        make([]*lane, nstripes),
+	}
+	for i := range s.lanes {
+		s.lanes[i] = &lane{idx: i}
 	}
 	if opts.Dir == "" {
 		return s, nil
@@ -142,6 +232,8 @@ func Open(opts Options) (*Store, error) {
 		return nil, fmt.Errorf("store: creating WAL dir: %w", err)
 	}
 	s.snapPath = filepath.Join(opts.Dir, snapshotFile)
+	var snapVec []uint64
+	var legacySeq uint64
 	if _, err := os.Stat(s.snapPath); err == nil {
 		snap, err := storage.LoadFile(s.snapPath)
 		if err != nil {
@@ -150,26 +242,43 @@ func Open(opts Options) (*Store, error) {
 		if err := s.state.restore(snap); err != nil {
 			return nil, err
 		}
-		s.seq = snap.WALSeq
-		s.base.Store(snap.WALSeq)
+		snapVec = snap.WALSeqs
+		legacySeq = snap.WALSeq
 	}
 
 	segs, err := listSegments(opts.Dir)
 	if err != nil {
 		return nil, err
 	}
-	replayed, skipped, maxGen := 0, 0, 0
-	for i, seg := range segs {
-		if seg.gen > maxGen {
-			maxGen = seg.gen
+	var legacySegs []segmentInfo
+	striped := make([][]segmentInfo, nstripes)
+	for _, seg := range segs {
+		if seg.stripe < 0 {
+			legacySegs = append(legacySegs, seg)
+			continue
 		}
+		if seg.stripe >= nstripes {
+			return nil, fmt.Errorf("store: WAL segments exist for stripe %d but the store was opened with %d stripes; reopen with at least %d stripes, or compact at the previous width before shrinking",
+				seg.stripe, nstripes, seg.stripe+1)
+		}
+		striped[seg.stripe] = append(striped[seg.stripe], seg)
+	}
+	if len(snapVec) > 0 && len(legacySegs) > 0 {
+		return nil, fmt.Errorf("store: snapshot carries a per-stripe sequence vector but legacy wal-<gen>.log segments remain in %s", opts.Dir)
+	}
+
+	// Phase 0 — legacy single-stream replay. An upgraded store replays
+	// the pre-sharding log first (its records predate every stripe), so
+	// the per-stripe sequence spaces all begin where the legacy stream
+	// ended. The first compaction retires these segments.
+	replayed := 0
+	for i, seg := range legacySegs {
 		validLen, torn, err := replaySegment(seg.path, func(seq uint64, payload []byte) error {
-			if seq <= s.seq {
-				skipped++ // already folded into the snapshot
-				return nil
+			if seq <= legacySeq {
+				return nil // already folded into the snapshot
 			}
-			if seq != s.seq+1 {
-				return fmt.Errorf("store: WAL gap in %s: record %d follows %d", seg.path, seq, s.seq)
+			if seq != legacySeq+1 {
+				return fmt.Errorf("store: WAL gap in %s: record %d follows %d", seg.path, seq, legacySeq)
 			}
 			var rec Record
 			if err := json.Unmarshal(payload, &rec); err != nil {
@@ -179,7 +288,7 @@ func Open(opts Options) (*Store, error) {
 			if err := s.state.apply(&rec); err != nil {
 				return fmt.Errorf("store: replaying WAL record %d: %w", seq, err)
 			}
-			s.seq = seq
+			legacySeq = seq
 			replayed++
 			return nil
 		})
@@ -187,72 +296,374 @@ func Open(opts Options) (*Store, error) {
 			return nil, err
 		}
 		if torn {
-			if validLen <= int64(len(segMagic)) {
-				// A segment with no intact frame: the process died between
-				// creating the file and flushing its header or first frame.
-				// Nothing acknowledged can live here — acks follow a
-				// full-frame fsync — so this is a crash artifact in any
-				// position, not lost data. Remove it rather than truncate:
-				// left behind (even at zero bytes), the next recovery would
-				// see a non-final torn segment and refuse to start. If an
-				// fsynced frame really did vanish from disk here, the
-				// sequence-gap check still refuses on the next segment.
-				if err := os.Remove(seg.path); err != nil {
-					return nil, fmt.Errorf("store: removing headerless WAL segment: %w", err)
-				}
-				metricWALTornTails.Inc()
-				logger.Warn("wal: removed headerless segment", "segment", seg.path)
-				continue
+			if err := repairTorn(seg, validLen, i == len(legacySegs)-1, logger); err != nil {
+				return nil, err
 			}
-			if i != len(segs)-1 {
-				return nil, fmt.Errorf("store: corrupt WAL record mid-log in %s", seg.path)
-			}
-			// The crash artifact: a record half-written when the process
-			// died. It was never acknowledged (acks follow fsync of the
-			// full frame), so discarding it loses nothing.
-			if err := os.Truncate(seg.path, validLen); err != nil {
-				return nil, fmt.Errorf("store: repairing torn WAL tail: %w", err)
-			}
-			metricWALTornTails.Inc()
-			logger.Warn("wal: truncated torn tail", "segment", seg.path, "valid_bytes", validLen)
 		}
 	}
-	l, err := newWalLog(opts.Dir, maxGen+1, opts.OpenFile, opts.NoSync)
-	if err != nil {
-		return nil, err
+
+	// Baselines: where each stripe's on-disk frames chain from.
+	// foldLimit guards stripe-geometry changes — with an unchanged
+	// geometry it equals the baseline and is inert; after a width change
+	// every lane restarts at the old vector's maximum, and any surviving
+	// frame from the old geometry in between is refused rather than
+	// silently treated as folded.
+	base := make([]uint64, nstripes)
+	foldLimit := make([]uint64, nstripes)
+	switch {
+	case len(snapVec) == nstripes:
+		copy(base, snapVec)
+		copy(foldLimit, snapVec)
+	case len(snapVec) > 0:
+		m := maxSeq(snapVec)
+		for i := range base {
+			base[i] = m
+			if i < len(snapVec) {
+				foldLimit[i] = snapVec[i]
+			}
+		}
+		logger.Warn("wal: commit-stripe geometry changed",
+			"snapshot_stripes", len(snapVec), "stripes", nstripes)
+	default:
+		for i := range base {
+			base[i] = legacySeq
+			foldLimit[i] = legacySeq
+		}
 	}
-	s.log = l
+
+	// Phase 1 — scan every stripe's segments in parallel into memory,
+	// repairing torn tails per stripe.
+	frames := make([][]scannedFrame, nstripes)
+	maxGens := make([]int, nstripes)
+	scanErrs := make([]error, nstripes)
+	var wg sync.WaitGroup
+	for i := 0; i < nstripes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			frames[i], maxGens[i], scanErrs[i] = scanLane(i, nstripes, striped[i], base[i], foldLimit[i], logger)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range scanErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2 — resolve barrier tails. A barrier is durable only once
+	// its copy is on disk in every stripe, and the commit holds every
+	// lane across its fsync wave, so an incomplete barrier can only be
+	// the final frame of the stripes that have it: it was never
+	// acknowledged, and dropping it loses nothing.
+	end := make([]uint64, nstripes)
+	for i := range end {
+		end[i] = base[i]
+		if n := len(frames[i]); n > 0 {
+			end[i] = frames[i][n-1].seq
+		}
+	}
+	for dropped := true; dropped; {
+		dropped = false
+		for i := range frames {
+			n := len(frames[i])
+			if n == 0 {
+				continue
+			}
+			tail := frames[i][n-1]
+			if tail.rec.StripeSeqs == nil || barrierComplete(tail.rec.StripeSeqs, end) {
+				continue
+			}
+			if err := os.Truncate(tail.path, tail.off); err != nil {
+				return nil, fmt.Errorf("store: dropping unacknowledged barrier tail: %w", err)
+			}
+			frames[i] = frames[i][:n-1]
+			end[i] = base[i]
+			if n > 1 {
+				end[i] = frames[i][n-2].seq
+			}
+			metricWALTornTails.Inc()
+			logger.Warn("wal: dropped unacknowledged barrier tail",
+				"stripe", i, "segment", tail.path, "seq", tail.seq)
+			dropped = true
+		}
+	}
+	for i := range frames {
+		for _, f := range frames[i] {
+			if f.rec.StripeSeqs != nil && !barrierComplete(f.rec.StripeSeqs, end) {
+				return nil, fmt.Errorf("store: barrier record %d in %s has acknowledged successors but is missing from other stripes", f.seq, f.path)
+			}
+		}
+	}
+
+	// Phase 3 — replay the stripes in parallel, in rounds split at
+	// barriers: every stripe applies its records up to the next barrier
+	// concurrently, the barrier is applied exactly once, and the round
+	// repeats. Per-entity order is per-stripe order (routing pins an
+	// entity to one stripe), so concurrent application cannot reorder
+	// any state the apply depends on.
+	cursors := make([]int, nstripes)
+	var replayedStriped atomic.Int64
+	for {
+		applyErrs := make([]error, nstripes)
+		var rwg sync.WaitGroup
+		for i := 0; i < nstripes; i++ {
+			if cursors[i] >= len(frames[i]) {
+				continue
+			}
+			rwg.Add(1)
+			go func(i int) {
+				defer rwg.Done()
+				for cursors[i] < len(frames[i]) {
+					f := frames[i][cursors[i]]
+					if f.rec.StripeSeqs != nil {
+						return // rendezvous at the barrier
+					}
+					if err := s.state.apply(f.rec); err != nil {
+						applyErrs[i] = fmt.Errorf("store: replaying WAL record %d (stripe %d): %w", f.seq, i, err)
+						return
+					}
+					replayedStriped.Add(1)
+					cursors[i]++
+				}
+			}(i)
+		}
+		rwg.Wait()
+		for _, err := range applyErrs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		var bar *Record
+		for i := range frames {
+			if cursors[i] < len(frames[i]) {
+				f := frames[i][cursors[i]]
+				if bar == nil {
+					bar = f.rec
+				} else if !equalSeqs(bar.StripeSeqs, f.rec.StripeSeqs) {
+					return nil, fmt.Errorf("store: stripes disagree on the next barrier (%v vs %v)", bar.StripeSeqs, f.rec.StripeSeqs)
+				}
+			}
+		}
+		if bar == nil {
+			break
+		}
+		// Every stripe holds a copy of a complete barrier; a stripe whose
+		// cursor is exhausted here lost a frame it acknowledged.
+		for i := range frames {
+			if cursors[i] >= len(frames[i]) {
+				return nil, fmt.Errorf("store: stripe %d is missing its copy of barrier %v", i, bar.StripeSeqs)
+			}
+		}
+		if err := s.state.apply(bar); err != nil {
+			return nil, fmt.Errorf("store: replaying barrier record %v: %w", bar.StripeSeqs, err)
+		}
+		replayedStriped.Add(1)
+		for i := range cursors {
+			cursors[i]++
+		}
+	}
+	replayed += int(replayedStriped.Load())
+
+	for i, ln := range s.lanes {
+		ln.met = newLaneMetrics(i)
+		l, err := newWalLog(opts.Dir, i, maxGens[i]+1, opts.OpenFile, opts.NoSync, ln.met)
+		if err != nil {
+			return nil, err
+		}
+		ln.log = l
+		ln.seq.Store(end[i])
+		ln.met.segmentBytes.Set(int64(len(segMagic)))
+	}
+	s.setBase(base)
 	metricWALReplayed.Add(uint64(replayed))
-	if replayed > 0 || skipped > 0 || len(segs) > 0 {
-		logger.Info("wal: recovered", "dir", opts.Dir, "seq", s.seq,
-			"replayed", replayed, "skipped", skipped, "segments", len(segs))
+	if replayed > 0 || len(segs) > 0 {
+		logger.Info("wal: recovered", "dir", opts.Dir, "seq", s.Seq(),
+			"stripes", nstripes, "replayed", replayed, "segments", len(segs))
 	}
 	return s, nil
 }
 
-// Commit applies one record and makes it durable. The sequence is:
-// marshal outside the lock, then under the commit lock apply to memory
-// and append to the log, then wait (outside the lock) for the group
-// fsync that covers the record. An apply error leaves the log
-// untouched; a log error marks the store failed — memory may then be
-// ahead of disk, so every later Commit refuses with ErrUnavailable
-// until a restart re-derives state from disk.
+// repairTorn applies the single-stream torn-segment rules to one
+// segment: a headerless artifact is removed in any position, a torn
+// final record is truncated away, and a torn record mid-log is an
+// error — that is lost data, not a crash artifact.
+func repairTorn(seg segmentInfo, validLen int64, final bool, logger *slog.Logger) error {
+	if validLen <= int64(len(segMagic)) {
+		// A segment with no intact frame: the process died between
+		// creating the file and flushing its header or first frame.
+		// Nothing acknowledged can live here — acks follow a full-frame
+		// fsync — so this is a crash artifact in any position, not lost
+		// data. Remove it rather than truncate: left behind (even at
+		// zero bytes), the next recovery would see a non-final torn
+		// segment and refuse to start. If an fsynced frame really did
+		// vanish from disk here, the sequence-gap check still refuses on
+		// the next segment.
+		if err := os.Remove(seg.path); err != nil {
+			return fmt.Errorf("store: removing headerless WAL segment: %w", err)
+		}
+		metricWALTornTails.Inc()
+		logger.Warn("wal: removed headerless segment", "segment", seg.path)
+		return nil
+	}
+	if !final {
+		return fmt.Errorf("store: corrupt WAL record mid-log in %s", seg.path)
+	}
+	// The crash artifact: a record half-written when the process died.
+	// It was never acknowledged (acks follow fsync of the full frame),
+	// so discarding it loses nothing.
+	if err := os.Truncate(seg.path, validLen); err != nil {
+		return fmt.Errorf("store: repairing torn WAL tail: %w", err)
+	}
+	metricWALTornTails.Inc()
+	logger.Warn("wal: truncated torn tail", "segment", seg.path, "valid_bytes", validLen)
+	return nil
+}
+
+// scanLane reads one stripe's segments into memory: every intact frame
+// past base, contiguity enforced, torn tails repaired per the
+// single-stream rules. foldLimit catches frames stranded by a
+// stripe-geometry change (see Open).
+func scanLane(laneIdx, nstripes int, segs []segmentInfo, base, foldLimit uint64, logger *slog.Logger) ([]scannedFrame, int, error) {
+	var frames []scannedFrame
+	maxGen := 0
+	next := base
+	for i, seg := range segs {
+		if seg.gen > maxGen {
+			maxGen = seg.gen
+		}
+		off := int64(len(segMagic))
+		validLen, torn, err := replaySegment(seg.path, func(seq uint64, payload []byte) error {
+			frameOff := off
+			off += frameHeaderLen + int64(len(payload))
+			if seq <= base {
+				if seq > foldLimit {
+					return fmt.Errorf("store: stripe %d record %d in %s predates the adopted stripe geometry; compact at the previous width before changing -commit-stripes", laneIdx, seq, seg.path)
+				}
+				return nil // already folded into the snapshot
+			}
+			if seq != next+1 {
+				return fmt.Errorf("store: WAL gap in %s: record %d follows %d", seg.path, seq, next)
+			}
+			rec := new(Record)
+			if err := json.Unmarshal(payload, rec); err != nil {
+				return fmt.Errorf("store: decoding WAL record %d in %s: %w", seq, seg.path, err)
+			}
+			if rec.StripeSeqs != nil && len(rec.StripeSeqs) != nstripes {
+				return fmt.Errorf("store: barrier record %d in %s spans %d stripes, store has %d", seq, seg.path, len(rec.StripeSeqs), nstripes)
+			}
+			rec.Seq = seq
+			frames = append(frames, scannedFrame{seq: seq, rec: rec, path: seg.path, off: frameOff})
+			next = seq
+			return nil
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		if torn {
+			if err := repairTorn(seg, validLen, i == len(segs)-1, logger); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	return frames, maxGen, nil
+}
+
+// barrierComplete reports whether a barrier's copy reached disk in
+// every stripe: each stripe's durable end covers the sequence the
+// barrier was assigned there.
+func barrierComplete(seqs, end []uint64) bool {
+	for i, want := range seqs {
+		if end[i] < want {
+			return false
+		}
+	}
+	return true
+}
+
+func equalSeqs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func maxSeq(v []uint64) uint64 {
+	var m uint64
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// route maps a record to its commit stripe. Uploads and reviews route
+// by entity key — the same key the read stores stripe on, so one
+// entity's mutation order is total within its stripe. Training pairs
+// share a single fixed stripe: the retrain's floating-point
+// accumulation is sensitive to pair order, and one stripe preserves it
+// exactly across live commits and parallel replay.
+func (s *Store) route(rec *Record) int {
+	n := len(s.lanes)
+	switch rec.Kind {
+	case KindReview:
+		if rec.Review != nil {
+			return stripe.IndexN(rec.Review.Entity, n)
+		}
+		return 0
+	case KindTrainPair:
+		return 0
+	default:
+		return stripe.IndexN(rec.Entity, n)
+	}
+}
+
+// barrierKind reports whether the kind mutates state that spans every
+// stripe and therefore commits as a barrier record.
+func barrierKind(k Kind) bool { return k == KindRetrain || k == KindSweep }
+
+// Commit applies one record and makes it durable. Single-stripe
+// records take only their stripe's lane: marshal outside the lock,
+// then under the lane lock apply to memory and append to that stripe's
+// log, then wait (outside the lock) for the group fsync that covers
+// the record — commits on other stripes proceed in parallel
+// throughout. Retrain and sweep records commit as barriers (see
+// commitBarrier). An apply error leaves the log untouched; a log error
+// marks the store failed — memory may then be ahead of disk, so every
+// later Commit refuses with ErrUnavailable until a restart re-derives
+// state from disk.
 func (s *Store) Commit(rec *Record) error {
 	if s.failed.Load() {
 		metricStoreUnavailable.Inc()
 		return ErrUnavailable
 	}
+	// Review IDs are assigned before the record is marshaled so the
+	// logged payload carries the ID the caller was acknowledged with —
+	// parallel replay cannot re-derive a global assignment order.
+	if rec.Kind == KindReview && rec.Review != nil && rec.Review.ID == "" {
+		rec.Review.ID = s.state.reviews.NextID()
+	}
+	if barrierKind(rec.Kind) {
+		return s.commitBarrier(rec)
+	}
+	ln := s.lanes[s.route(rec)]
 	var payload []byte
-	if s.log != nil || s.nsubs.Load() > 0 {
+	if ln.log != nil || s.nsubs.Load() > 0 {
 		var err error
 		payload, err = json.Marshal(rec)
 		if err != nil {
 			return fmt.Errorf("store: encoding record: %w", err)
 		}
 	}
-	s.commitMu.Lock()
-	if s.closed {
-		s.commitMu.Unlock()
+	ln.lock()
+	if s.closed.Load() {
+		ln.mu.Unlock()
 		metricStoreUnavailable.Inc()
 		return ErrUnavailable
 	}
@@ -262,47 +673,121 @@ func (s *Store) Commit(rec *Record) error {
 		// the same bytes the log path would have written.
 		payload, _ = json.Marshal(rec)
 	}
-	rec.Seq = s.seq + 1
+	rec.Seq = ln.seq.Load() + 1
 	if err := s.state.apply(rec); err != nil {
-		s.commitMu.Unlock()
+		ln.mu.Unlock()
 		return err
 	}
-	s.seq++
-	if err := s.sealCommit(rec, payload); err != nil {
+	ln.seq.Store(rec.Seq)
+	if err := s.sealCommit(ln, rec, payload); err != nil {
 		return err
 	}
 	// With a replication barrier installed (semi-sync leader), hold the
 	// ack until a follower has the record too; on timeout the commit
 	// stays locally durable and the caller sees ErrReplicationLag.
-	return s.AckBarrier(rec.Seq)
+	return s.AckBarrier(ln.idx, rec.Seq)
 }
 
-// sealCommit finishes a commit whose record is already applied under
-// commitMu (held on entry, released here): append the frame to the log,
-// publish it to subscribers, then wait outside the lock for the group
-// fsync and kick compaction. A log error latches the store failed.
-func (s *Store) sealCommit(rec *Record, payload []byte) error {
+// commitBarrier commits one cross-stripe record: acquire every lane in
+// ascending order, stamp the record with the next sequence of each
+// stripe, apply once, append an identical copy to every stripe's log,
+// and — still holding every lane — flush and fsync them all. Holding
+// the lanes across the fsync wave is what makes recovery's barrier
+// resolution trivial: no commit on any stripe can be acknowledged
+// after a barrier that is not itself durable everywhere, so an
+// incomplete barrier is always a tail. Barriers are rare
+// administrative mutations (retrains, fraud sweeps); stalling the
+// pipeline for one fsync wave is the price of a global ordering point.
+func (s *Store) commitBarrier(rec *Record) error {
+	s.lockAll()
+	if s.closed.Load() {
+		s.unlockAll()
+		metricStoreUnavailable.Inc()
+		return ErrUnavailable
+	}
+	seqs := make([]uint64, len(s.lanes))
+	for i, ln := range s.lanes {
+		seqs[i] = ln.seq.Load() + 1
+	}
+	rec.StripeSeqs = seqs
+	rec.Seq = seqs[0]
+	if err := s.state.apply(rec); err != nil {
+		rec.StripeSeqs = nil
+		s.unlockAll()
+		return err
+	}
+	for i, ln := range s.lanes {
+		ln.seq.Store(seqs[i])
+	}
+	hasLog := s.lanes[0].log != nil
+	var payload []byte
+	if hasLog || s.nsubs.Load() > 0 {
+		var err error
+		payload, err = json.Marshal(rec)
+		if err != nil {
+			s.unlockAll()
+			s.fail("marshal", err)
+			return fmt.Errorf("%w (encoding barrier record: %v)", ErrUnavailable, err)
+		}
+	}
+	if hasLog {
+		for _, ln := range s.lanes {
+			_, size, err := ln.log.append(seqs[ln.idx], payload)
+			if err != nil {
+				s.unlockAll()
+				s.fail("append", err)
+				return fmt.Errorf("%w (appending barrier record: %v)", ErrUnavailable, err)
+			}
+			ln.met.appends.Inc()
+			ln.met.appendBytes.Add(uint64(frameHeaderLen + len(payload)))
+			ln.met.segmentBytes.Set(size)
+		}
+		for _, ln := range s.lanes {
+			if err := ln.log.flush(); err != nil {
+				s.unlockAll()
+				s.fail("fsync", err)
+				return fmt.Errorf("%w (syncing barrier record: %v)", ErrUnavailable, err)
+			}
+		}
+	}
+	if payload != nil {
+		s.publishBarrierLocked(seqs, payload)
+	}
+	s.unlockAll()
+	metricStoreCommits.With(string(rec.Kind)).Inc()
+	metricBarrierCommits.Inc()
+	if hasLog && s.compactEvery > 0 && s.sinceCompact.Add(1) >= int64(s.compactEvery) {
+		s.maybeCompact()
+	}
+	return s.AckBarrierVec(seqs)
+}
+
+// sealCommit finishes a single-stripe commit whose record is already
+// applied under the lane lock (held on entry, released here): append
+// the frame to the stripe's log, publish it to subscribers, then wait
+// outside the lock for the group fsync and kick compaction. A log
+// error latches the store failed.
+func (s *Store) sealCommit(ln *lane, rec *Record, payload []byte) error {
 	var b *walBatch
 	var trigger bool
-	if s.log != nil {
+	if ln.log != nil {
 		var size int64
 		var err error
-		b, size, err = s.log.append(rec.Seq, payload)
+		b, size, err = ln.log.append(rec.Seq, payload)
 		if err != nil {
-			s.commitMu.Unlock()
+			ln.mu.Unlock()
 			s.fail("append", err)
 			return fmt.Errorf("%w (appending record %d: %v)", ErrUnavailable, rec.Seq, err)
 		}
-		metricWALAppends.Inc()
-		metricWALAppendBytes.Add(uint64(frameHeaderLen + len(payload)))
-		metricWALSegmentBytes.Set(size)
-		s.sinceCompact++
-		trigger = s.compactEvery > 0 && s.sinceCompact >= s.compactEvery
+		ln.met.appends.Inc()
+		ln.met.appendBytes.Add(uint64(frameHeaderLen + len(payload)))
+		ln.met.segmentBytes.Set(size)
+		trigger = s.compactEvery > 0 && s.sinceCompact.Add(1) >= int64(s.compactEvery)
 	}
 	if payload != nil {
-		s.publishLocked(rec.Seq, payload)
+		s.publishLocked(ln.idx, rec.Seq, payload)
 	}
-	s.commitMu.Unlock()
+	ln.mu.Unlock()
 	metricStoreCommits.With(string(rec.Kind)).Inc()
 	if b != nil {
 		if err := b.wait(); err != nil {
@@ -326,12 +811,43 @@ func (s *Store) fail(op string, err error) {
 // Failed reports whether the store has latched unavailable.
 func (s *Store) Failed() bool { return s.failed.Load() }
 
-// Seq returns the sequence of the last committed record.
+// Seq returns the total number of sequence slots consumed across all
+// commit stripes — the sum of the per-stripe sequences. Each
+// single-stripe record consumes one slot; a barrier record consumes
+// one in every stripe. Per-stripe components are monotone, so the sum
+// is monotone, and two stores that have applied the same commits
+// report the same total — which is what replication lag and failover
+// checks compare.
 func (s *Store) Seq() uint64 {
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
-	return s.seq
+	var sum uint64
+	for _, ln := range s.lanes {
+		sum += ln.seq.Load()
+	}
+	return sum
 }
+
+// SeqVector returns the per-stripe sequence vector. Each lane's value
+// is read atomically; for a cut consistent across stripes, quiesce
+// commits first (followers are quiescent by construction).
+func (s *Store) SeqVector() []uint64 {
+	out := make([]uint64, len(s.lanes))
+	for i, ln := range s.lanes {
+		out[i] = ln.seq.Load()
+	}
+	return out
+}
+
+// seqVectorLocked collects the vector; the caller holds every lane.
+func (s *Store) seqVectorLocked() []uint64 {
+	out := make([]uint64, len(s.lanes))
+	for i, ln := range s.lanes {
+		out[i] = ln.seq.Load()
+	}
+	return out
+}
+
+// NumStripes returns the commit-stripe count.
+func (s *Store) NumStripes() int { return len(s.lanes) }
 
 // Reviews returns the explicit-review store (striped; read freely).
 func (s *Store) Reviews() *reviews.Store { return s.state.reviews }
@@ -359,44 +875,46 @@ func (s *Store) TrainingPairs() int {
 	return len(s.state.trainX)
 }
 
-// Snapshot captures the full state plus the WAL sequence it reflects.
-// It holds the commit lock during the in-memory copy so the cut is
-// consistent with WALSeq; callers serialize (gzip) outside any lock.
+// Snapshot captures the full state plus the per-stripe sequence vector
+// it reflects. It holds every lane during the in-memory copy so the
+// cut is consistent with WALSeqs — a barrier's effects are in the
+// snapshot if and only if the vector covers it in every stripe;
+// callers serialize (gzip) outside any lock.
 func (s *Store) Snapshot() *storage.Snapshot {
-	s.commitMu.Lock()
+	s.lockAll()
 	snap := s.state.dump(s.clock.Now())
-	snap.WALSeq = s.seq
-	s.commitMu.Unlock()
+	snap.WALSeqs = s.seqVectorLocked()
+	s.unlockAll()
 	return snap
 }
 
 // Restore replaces the state with the snapshot's contents. The
-// sequence space is never rewound: the restored state adopts the
-// larger of the snapshot's sequence and the store's own, and snap's
-// WALSeq is updated to match before it is persisted, so records still
-// on disk from before the restore can never alias post-restore
-// commits — a crash that lands between the snapshot install and the
-// old segments' removal replays the stale segments as already-folded
-// no-ops instead of splicing pre-restore records into the restored
-// state.
+// sequence spaces are never rewound: each lane adopts the larger of
+// the snapshot's sequence and its own, and snap's WALSeqs is updated
+// to match before it is persisted, so records still on disk from
+// before the restore can never alias post-restore commits — a crash
+// that lands between the snapshot install and the old segments'
+// removal replays the stale segments as already-folded no-ops instead
+// of splicing pre-restore records into the restored state.
 //
-// Unlike Compact, the commit lock is held across the disk write:
-// Restore is a rare administrative operation, and the lock is what
-// guarantees no commit is acknowledged onto the new timeline before
-// the snapshot describing that timeline is durably on disk. If
-// persisting fails, the store latches unavailable — memory (restored)
-// and disk (pre-restore) disagree, and only a restart re-derives a
-// consistent state.
+// Unlike Compact, every lane is held across the disk write: Restore is
+// a rare administrative operation, and the locks are what guarantee no
+// commit is acknowledged onto the new timeline before the snapshot
+// describing that timeline is durably on disk. If persisting fails,
+// the store latches unavailable — memory (restored) and disk
+// (pre-restore) disagree, and only a restart re-derives a consistent
+// state.
 func (s *Store) Restore(snap *storage.Snapshot) error {
 	s.compactMu.Lock()
 	defer s.compactMu.Unlock()
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
-	if s.closed || s.failed.Load() {
+	s.lockAll()
+	defer s.unlockAll()
+	if s.closed.Load() || s.failed.Load() {
 		return ErrUnavailable
 	}
+	hasLog := s.lanes[0].log != nil
 	var olds []segmentInfo
-	if s.log != nil {
+	if hasLog {
 		var err error
 		olds, err = listSegments(s.dir)
 		if err != nil {
@@ -406,20 +924,26 @@ func (s *Store) Restore(snap *storage.Snapshot) error {
 	if err := s.state.restore(snap); err != nil {
 		return err
 	}
-	if snap.WALSeq > s.seq {
-		s.seq = snap.WALSeq
+	want := s.adoptVector(snap)
+	for i, ln := range s.lanes {
+		if want[i] > ln.seq.Load() {
+			ln.seq.Store(want[i])
+		}
 	}
-	snap.WALSeq = s.seq
-	s.sinceCompact = 0
-	if s.log == nil {
+	snap.WALSeqs = s.seqVectorLocked()
+	snap.WALSeq = 0
+	s.sinceCompact.Store(0)
+	if !hasLog {
 		s.dropSubs(true)
 		return nil
 	}
-	if err := s.log.rotate(); err != nil {
-		s.fail("rotate", err)
-		return fmt.Errorf("%w (rotating WAL: %v)", ErrUnavailable, err)
+	for _, ln := range s.lanes {
+		if err := ln.log.rotate(); err != nil {
+			s.fail("rotate", err)
+			return fmt.Errorf("%w (rotating WAL: %v)", ErrUnavailable, err)
+		}
+		ln.met.segmentBytes.Set(int64(len(segMagic)))
 	}
-	metricWALSegmentBytes.Set(int64(len(segMagic)))
 	if err := storage.SaveFile(s.snapPath, snap); err != nil {
 		s.fail("restore", err)
 		return fmt.Errorf("%w (persisting restored snapshot: %v)", ErrUnavailable, err)
@@ -427,46 +951,71 @@ func (s *Store) Restore(snap *storage.Snapshot) error {
 	for _, seg := range olds {
 		_ = os.Remove(seg.path)
 	}
-	s.base.Store(snap.WALSeq)
+	s.setBase(snap.WALSeqs)
 	// The state jumped timelines; live subscribers must re-seed from the
 	// new snapshot rather than splice frames across the jump.
 	s.dropSubs(true)
 	return nil
 }
 
+// adoptVector maps a snapshot's sequence marker onto this store's
+// stripe geometry: a matching vector is taken as-is, a mismatched one
+// collapses to its maximum in every lane, and a pre-sharding snapshot
+// seeds every lane from its scalar WALSeq.
+func (s *Store) adoptVector(snap *storage.Snapshot) []uint64 {
+	n := len(s.lanes)
+	out := make([]uint64, n)
+	switch {
+	case len(snap.WALSeqs) == n:
+		copy(out, snap.WALSeqs)
+	case len(snap.WALSeqs) > 0:
+		m := maxSeq(snap.WALSeqs)
+		for i := range out {
+			out[i] = m
+		}
+	default:
+		for i := range out {
+			out[i] = snap.WALSeq
+		}
+	}
+	return out
+}
+
 // Compact folds everything committed so far into the snapshot file and
-// discards the log segments it supersedes. The commit lock is held only
-// for the in-memory cut and segment rotation; serialization, the disk
-// write, and segment removal run outside it, so a slow disk never
-// stalls uploads. Old segments are removed only after the new snapshot
-// is durably installed — a crash mid-compaction recovers from the old
-// snapshot plus the old segments.
+// discards the log segments it supersedes. The lanes are held only for
+// the in-memory cut and the per-stripe segment rotations;
+// serialization, the disk write, and segment removal run outside them,
+// so a slow disk never stalls uploads. Old segments are removed only
+// after the new snapshot is durably installed — a crash mid-compaction
+// recovers from the old snapshot plus the old segments.
 func (s *Store) Compact() error {
-	if s.log == nil {
+	if s.lanes[0].log == nil {
 		return nil
 	}
 	s.compactMu.Lock()
 	defer s.compactMu.Unlock()
-	s.commitMu.Lock()
-	if s.closed {
-		s.commitMu.Unlock()
+	s.lockAll()
+	if s.closed.Load() {
+		s.unlockAll()
 		return ErrUnavailable
 	}
 	snap := s.state.dump(s.clock.Now())
-	snap.WALSeq = s.seq
-	s.sinceCompact = 0
+	snap.WALSeqs = s.seqVectorLocked()
+	s.sinceCompact.Store(0)
 	olds, err := listSegments(s.dir)
 	if err != nil {
-		s.commitMu.Unlock()
+		s.unlockAll()
 		return err
 	}
-	if err := s.log.rotate(); err != nil {
-		s.commitMu.Unlock()
-		s.fail("rotate", err)
-		return fmt.Errorf("%w (rotating WAL: %v)", ErrUnavailable, err)
+	for _, ln := range s.lanes {
+		if err := ln.log.rotate(); err != nil {
+			s.unlockAll()
+			s.fail("rotate", err)
+			return fmt.Errorf("%w (rotating WAL: %v)", ErrUnavailable, err)
+		}
+		ln.met.segmentBytes.Set(int64(len(segMagic)))
 	}
-	metricWALSegmentBytes.Set(int64(len(segMagic)))
-	s.commitMu.Unlock()
+	s.unlockAll()
 
 	if err := storage.SaveFile(s.snapPath, snap); err != nil {
 		return err
@@ -474,9 +1023,9 @@ func (s *Store) Compact() error {
 	for _, seg := range olds {
 		_ = os.Remove(seg.path)
 	}
-	s.base.Store(snap.WALSeq)
+	s.setBase(snap.WALSeqs)
 	metricWALCompactions.Inc()
-	s.logger.Info("wal: compacted", "seq", snap.WALSeq, "segments_folded", len(olds))
+	s.logger.Info("wal: compacted", "seq", maxSeq(snap.WALSeqs), "segments_folded", len(olds))
 	return nil
 }
 
@@ -499,20 +1048,25 @@ func (s *Store) maybeCompact() {
 }
 
 // Close refuses further commits, waits for background compaction, and
-// closes the log. It does not compact; callers wanting a final fold
-// (cmd/rspd shutdown) call Compact first.
+// closes every lane's log. It does not compact; callers wanting a
+// final fold (cmd/rspd shutdown) call Compact first.
 func (s *Store) Close() error {
-	s.commitMu.Lock()
-	if s.closed {
-		s.commitMu.Unlock()
+	s.lockAll()
+	if s.closed.Load() {
+		s.unlockAll()
 		return nil
 	}
-	s.closed = true
-	s.commitMu.Unlock()
+	s.closed.Store(true)
+	s.unlockAll()
 	s.dropSubs(false)
 	s.wg.Wait()
-	if s.log != nil {
-		return s.log.close()
+	var first error
+	for _, ln := range s.lanes {
+		if ln.log != nil {
+			if err := ln.log.close(); err != nil && first == nil {
+				first = err
+			}
+		}
 	}
-	return nil
+	return first
 }

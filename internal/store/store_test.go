@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
+
+	"opinions/internal/obs"
 
 	"opinions/internal/faultinject"
 	"opinions/internal/interaction"
@@ -38,6 +41,17 @@ func mustOpen(t *testing.T, opts Options) *Store {
 		t.Fatalf("Open: %v", err)
 	}
 	return s
+}
+
+// sumStripeCounter totals a per-stripe counter family over n stripes.
+func sumStripeCounter(v interface {
+	With(values ...string) *obs.Counter
+}, n int) uint64 {
+	var sum uint64
+	for i := 0; i < n; i++ {
+		sum += v.With(strconv.Itoa(i)).Value()
+	}
+	return sum
 }
 
 func commitN(t *testing.T, s *Store, n int) {
@@ -148,8 +162,8 @@ func TestRecoveryAfterCompaction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(segs) != 1 {
-		t.Fatalf("%d segments after compaction, want 1 (fresh active)", len(segs))
+	if len(segs) != s.NumStripes() {
+		t.Fatalf("%d segments after compaction, want %d (one fresh active per stripe)", len(segs), s.NumStripes())
 	}
 	for i := 0; i < 3; i++ {
 		rec := uploadRec(fmt.Sprintf("tail-%d", i), "ent/9", 2.0, fmt.Sprintf("tail-key-%d", i))
@@ -202,7 +216,7 @@ func TestAutoCompaction(t *testing.T) {
 // crash artifact — must be truncated away on recovery, not fatal.
 func TestTornTailTruncated(t *testing.T) {
 	dir := t.TempDir()
-	s := mustOpen(t, Options{Dir: dir, NoSync: true, CompactEvery: -1})
+	s := mustOpen(t, Options{Dir: dir, NoSync: true, CompactEvery: -1, Stripes: 1})
 	commitN(t, s, 3)
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
@@ -229,7 +243,7 @@ func TestTornTailTruncated(t *testing.T) {
 	f.Close()
 
 	before := metricWALTornTails.Value()
-	r := mustOpen(t, Options{Dir: dir, NoSync: true})
+	r := mustOpen(t, Options{Dir: dir, NoSync: true, Stripes: 1})
 	defer r.Close()
 	if got := r.Seq(); got != 3 {
 		t.Fatalf("seq = %d, want 3", got)
@@ -246,11 +260,11 @@ func TestTornTailTruncated(t *testing.T) {
 // is lost data, not a crash artifact — recovery must refuse.
 func TestCorruptMidLogFatal(t *testing.T) {
 	dir := t.TempDir()
-	s := mustOpen(t, Options{Dir: dir, NoSync: true, CompactEvery: -1})
+	s := mustOpen(t, Options{Dir: dir, NoSync: true, CompactEvery: -1, Stripes: 1})
 	commitN(t, s, 2)
 	s.Close()
 	// Reopen rolls a second segment; more commits land there.
-	s2 := mustOpen(t, Options{Dir: dir, NoSync: true, CompactEvery: -1})
+	s2 := mustOpen(t, Options{Dir: dir, NoSync: true, CompactEvery: -1, Stripes: 1})
 	for i := 0; i < 2; i++ {
 		if err := s2.Commit(uploadRec(fmt.Sprintf("b-%d", i), "ent/1", 3, fmt.Sprintf("bk-%d", i))); err != nil {
 			t.Fatal(err)
@@ -278,7 +292,7 @@ func TestCorruptMidLogFatal(t *testing.T) {
 	f.Write([]byte("garbage mid-log"))
 	f.Close()
 
-	if _, err := Open(Options{Dir: dir, NoSync: true, Clock: simclock.NewSim(simclock.Epoch)}); err == nil {
+	if _, err := Open(Options{Dir: dir, NoSync: true, Stripes: 1, Clock: simclock.NewSim(simclock.Epoch)}); err == nil {
 		t.Fatal("recovery accepted a corrupt record before the final segment")
 	}
 }
@@ -287,7 +301,7 @@ func TestCorruptMidLogFatal(t *testing.T) {
 // recovery must refuse rather than silently skip.
 func TestWALGapFatal(t *testing.T) {
 	dir := t.TempDir()
-	f, err := os.Create(segmentPath(dir, 1))
+	f, err := os.Create(segmentPath(dir, 0, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +330,7 @@ func TestWALGapFatal(t *testing.T) {
 // would make the next recovery read it as a torn mid-log segment.
 func TestHeaderlessSegmentRemoved(t *testing.T) {
 	dir := t.TempDir()
-	if err := os.WriteFile(segmentPath(dir, 1), []byte("OPIN"), 0o644); err != nil {
+	if err := os.WriteFile(segmentPath(dir, 0, 1), []byte("OPIN"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	s := mustOpen(t, Options{Dir: dir, NoSync: true})
@@ -324,7 +338,7 @@ func TestHeaderlessSegmentRemoved(t *testing.T) {
 	if got := s.Seq(); got != 0 {
 		t.Fatalf("seq = %d, want 0", got)
 	}
-	if _, err := os.Stat(segmentPath(dir, 1)); !errors.Is(err, os.ErrNotExist) {
+	if _, err := os.Stat(segmentPath(dir, 0, 1)); !errors.Is(err, os.ErrNotExist) {
 		t.Fatalf("partial-magic segment not removed: %v", err)
 	}
 }
@@ -339,7 +353,7 @@ func TestHeaderlessSegmentRemoved(t *testing.T) {
 func TestIdleCrashLoopRecovers(t *testing.T) {
 	dir := t.TempDir()
 	// Kill #1's artifact: a segment created whose header never hit disk.
-	if err := os.WriteFile(segmentPath(dir, 1), nil, 0o644); err != nil {
+	if err := os.WriteFile(segmentPath(dir, 0, 1), nil, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	s1 := mustOpen(t, Options{Dir: dir, NoSync: true})
@@ -376,16 +390,18 @@ func TestSegmentHeaderOnDiskAtOpen(t *testing.T) {
 	s := mustOpen(t, Options{Dir: dir, NoSync: true})
 	defer s.Close()
 	segs, err := listSegments(dir)
-	if err != nil || len(segs) != 1 {
-		t.Fatalf("segments = %v, %v", segs, err)
+	if err != nil || len(segs) != s.NumStripes() {
+		t.Fatalf("segments = %v, %v (want one per stripe)", segs, err)
 	}
-	fi, err := os.Stat(segs[0].path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if fi.Size() != int64(len(segMagic)) {
-		t.Fatalf("active segment is %d bytes before any commit, want %d (header flushed at open)",
-			fi.Size(), len(segMagic))
+	for _, seg := range segs {
+		fi, err := os.Stat(seg.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() != int64(len(segMagic)) {
+			t.Fatalf("active segment %s is %d bytes before any commit, want %d (header flushed at open)",
+				seg.path, fi.Size(), len(segMagic))
+		}
 	}
 }
 
@@ -405,7 +421,7 @@ func TestCrashMidAppendLatches(t *testing.T) {
 		// through.
 		return faultinject.NewCrashFile(f, 3), nil
 	}
-	s := mustOpen(t, Options{Dir: dir, CompactEvery: -1, OpenFile: openCrash})
+	s := mustOpen(t, Options{Dir: dir, CompactEvery: -1, OpenFile: openCrash, Stripes: 1})
 	if err := s.Commit(uploadRec("a", "ent/0", 4, "k-0")); err != nil {
 		t.Fatalf("pre-crash commit: %v", err)
 	}
@@ -422,7 +438,7 @@ func TestCrashMidAppendLatches(t *testing.T) {
 
 	// Unclean kill: abandon without Close, recover from disk.
 	before := metricWALTornTails.Value()
-	r := mustOpen(t, Options{Dir: dir})
+	r := mustOpen(t, Options{Dir: dir, Stripes: 1})
 	defer r.Close()
 	if got := r.Seq(); got != 1 {
 		t.Fatalf("recovered seq = %d, want 1 (only the acknowledged record)", got)
@@ -449,7 +465,7 @@ func TestGroupCommitConcurrent(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, Options{Dir: dir, CompactEvery: -1})
 	const workers, each = 8, 25
-	appends0, fsyncs0 := metricWALAppends.Value(), metricWALFsyncs.Value()
+	appends0, fsyncs0 := sumStripeCounter(metricWALAppends, s.NumStripes()), sumStripeCounter(metricWALFsyncs, s.NumStripes())
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -472,8 +488,8 @@ func TestGroupCommitConcurrent(t *testing.T) {
 	if got := s.Histories().Stats().Records; got != workers*each {
 		t.Fatalf("records = %d, want %d", got, workers*each)
 	}
-	appends := metricWALAppends.Value() - appends0
-	fsyncs := metricWALFsyncs.Value() - fsyncs0
+	appends := sumStripeCounter(metricWALAppends, s.NumStripes()) - appends0
+	fsyncs := sumStripeCounter(metricWALFsyncs, s.NumStripes()) - fsyncs0
 	if appends != workers*each {
 		t.Fatalf("appends = %d, want %d", appends, workers*each)
 	}
@@ -501,8 +517,12 @@ func TestSnapshotIsolation(t *testing.T) {
 	if got := len(snap.Histories); got != 2 {
 		t.Fatalf("snapshot grew after the cut: %d histories", got)
 	}
-	if snap.WALSeq != 2 {
-		t.Fatalf("snapshot WALSeq = %d, want 2", snap.WALSeq)
+	var total uint64
+	for _, v := range snap.WALSeqs {
+		total += v
+	}
+	if len(snap.WALSeqs) != s.NumStripes() || total != 2 {
+		t.Fatalf("snapshot WALSeqs = %v (sum %d), want %d stripes summing 2", snap.WALSeqs, total, s.NumStripes())
 	}
 }
 
@@ -640,5 +660,73 @@ func TestUnknownKindRefused(t *testing.T) {
 	}
 	if s.Failed() {
 		t.Fatal("apply error latched the store; only WAL errors should")
+	}
+}
+
+// lastFrameOffset walks a segment and returns the byte offset of its
+// final frame, so tests can truncate exactly that frame away.
+func lastFrameOffset(t *testing.T, path string) int64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(len(segMagic))
+	last := int64(-1)
+	for off < int64(len(data)) {
+		n := int64(binary.BigEndian.Uint32(data[off : off+4]))
+		last = off
+		off += frameHeaderLen + n
+	}
+	if last < 0 {
+		t.Fatalf("segment %s holds no frames", path)
+	}
+	return last
+}
+
+// TestIncompleteTailBarrierDropped: a crash lands a barrier record in
+// some stripes' logs but not all. The barrier was never acknowledged
+// (its fsyncs happen under the commit locks, before the ack), so
+// recovery must drop it from every stripe rather than half-apply it.
+func TestIncompleteTailBarrierDropped(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, NoSync: true, Stripes: 2, CompactEvery: -1})
+	commitN(t, s, 6) // spread uploads across both stripes
+	before := s.SeqVector()
+	if err := s.Commit(&Record{Kind: KindSweep, Dropped: []string{"anon-1"}}); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	s.Close()
+
+	// Simulate the torn write: stripe 1's copy of the barrier never hit
+	// the disk.
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s1 string
+	for _, seg := range segs {
+		if seg.stripe == 1 {
+			s1 = seg.path
+		}
+	}
+	if err := os.Truncate(s1, lastFrameOffset(t, s1)); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, Options{Dir: dir, NoSync: true, Stripes: 2, CompactEvery: -1})
+	defer r.Close()
+	if got := r.SeqVector(); !equalSeqs(got, before) {
+		t.Fatalf("recovered vector = %v, want pre-barrier %v", got, before)
+	}
+	if got := r.Histories().Stats().Records; got != 6 {
+		t.Fatalf("recovered records = %d, want all 6 (sweep must not half-apply)", got)
+	}
+	// The store keeps accepting commits on the rewound sequences.
+	if err := r.Commit(&Record{Kind: KindSweep, Dropped: []string{"anon-1"}}); err != nil {
+		t.Fatalf("post-recovery sweep: %v", err)
+	}
+	if got := r.Histories().Stats().Records; got != 5 {
+		t.Fatalf("records after re-sweep = %d, want 5", got)
 	}
 }

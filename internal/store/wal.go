@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -29,10 +30,17 @@ import (
 // The checksum covers the sequence number so a frame cannot be
 // spliced into a different log position, and the length is checked
 // against maxRecordBytes before allocation so a corrupt header cannot
-// drive a huge allocation. Segment files are named by a monotonically
-// increasing generation (wal-<gen>.log) rather than by sequence, so a
-// crash between opening a fresh segment and writing its first record
-// can never collide with an existing file name.
+// drive a huge allocation.
+//
+// The commit pipeline is sharded: each commit stripe owns its own
+// segment family, named wal-s<stripe>-<gen>.log, with its own
+// monotonically increasing generation and its own sequence space
+// numbered from 1. Generation naming (rather than sequence naming)
+// means a crash between opening a fresh segment and writing its first
+// record can never collide with an existing file name. The pre-sharding
+// single-stream family (wal-<gen>.log) is still read during recovery —
+// an upgraded store replays the legacy log before its stripe logs, and
+// the first compaction retires it.
 const (
 	segMagic       = "OPINWAL1"
 	frameHeaderLen = 4 + 4 + 8
@@ -56,18 +64,21 @@ func defaultOpenFile(path string) (File, error) {
 	return os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 }
 
-func segmentPath(dir string, gen int) string {
-	return filepath.Join(dir, fmt.Sprintf("wal-%08d.log", gen))
+func segmentPath(dir string, stripe, gen int) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-s%d-%08d.log", stripe, gen))
 }
 
-// segmentInfo is one discovered segment file.
+// segmentInfo is one discovered segment file. stripe is -1 for the
+// legacy single-stream family.
 type segmentInfo struct {
-	path string
-	gen  int
+	path   string
+	stripe int
+	gen    int
 }
 
-// listSegments returns the segment files under dir in generation
-// (= creation) order.
+// listSegments returns every WAL segment under dir — legacy and
+// striped — with legacy segments first, then stripes in index order,
+// each family in generation (= creation) order.
 func listSegments(dir string) ([]segmentInfo, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -78,12 +89,21 @@ func listSegments(dir string) ([]segmentInfo, error) {
 		if e.IsDir() {
 			continue
 		}
-		var gen int
+		var stripe, gen int
+		if n, err := fmt.Sscanf(e.Name(), "wal-s%d-%d.log", &stripe, &gen); err == nil && n == 2 {
+			out = append(out, segmentInfo{path: filepath.Join(dir, e.Name()), stripe: stripe, gen: gen})
+			continue
+		}
 		if n, err := fmt.Sscanf(e.Name(), "wal-%d.log", &gen); err == nil && n == 1 {
-			out = append(out, segmentInfo{path: filepath.Join(dir, e.Name()), gen: gen})
+			out = append(out, segmentInfo{path: filepath.Join(dir, e.Name()), stripe: -1, gen: gen})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].gen < out[j].gen })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].stripe != out[j].stripe {
+			return out[i].stripe < out[j].stripe
+		}
+		return out[i].gen < out[j].gen
+	})
 	return out, nil
 }
 
@@ -98,6 +118,7 @@ func crcFrame(seq uint64, payload []byte) uint32 {
 // fsync shares a batch, and one fsync acknowledges them all.
 type walBatch struct {
 	dirty bool // a record is buffered; guarded by walLog.mu
+	n     int  // records in the batch; guarded by walLog.mu
 	done  chan struct{}
 	err   error
 	once  sync.Once
@@ -117,15 +138,19 @@ func (b *walBatch) wait() error {
 	return b.err
 }
 
-// walLog is the append side of the log: buffered frame writes under a
-// mutex, with a single background syncer turning any number of
+// walLog is the append side of one stripe's log: buffered frame writes
+// under a mutex, with a single background syncer turning any number of
 // concurrent committers into one fsync per flush cycle (group commit).
 // Appenders return immediately with the batch to wait on; the syncer
-// flushes the buffer, fsyncs once, and releases the whole batch.
+// flushes the buffer, fsyncs once, and releases the whole batch. Each
+// commit stripe owns one walLog, so stripes never share a lock or an
+// fsync.
 type walLog struct {
 	dir      string
+	stripe   int
 	nosync   bool
 	openFile func(path string) (File, error)
+	met      *laneMetrics
 
 	// mu guards the buffered writer, active file, size, generation, and
 	// the current batch. syncMu serializes flush cycles, rotation, and
@@ -147,16 +172,18 @@ type walLog struct {
 
 var errWALClosed = errors.New("store: write-ahead log closed")
 
-// newWalLog opens a fresh active segment at the given generation and
-// starts the group-commit syncer.
-func newWalLog(dir string, gen int, openFile func(string) (File, error), nosync bool) (*walLog, error) {
+// newWalLog opens a fresh active segment for the stripe at the given
+// generation and starts the group-commit syncer.
+func newWalLog(dir string, stripe, gen int, openFile func(string) (File, error), nosync bool, met *laneMetrics) (*walLog, error) {
 	if openFile == nil {
 		openFile = defaultOpenFile
 	}
 	l := &walLog{
 		dir:      dir,
+		stripe:   stripe,
 		nosync:   nosync,
 		openFile: openFile,
+		met:      met,
 		cur:      newWalBatch(),
 		syncCh:   make(chan struct{}, 1),
 		quit:     make(chan struct{}),
@@ -177,7 +204,7 @@ func newWalLog(dir string, gen int, openFile func(string) (File, error), nosync 
 // is not yet shared). On error the partial file is removed and the
 // previous segment, if any, stays installed.
 func (l *walLog) openSegmentLocked(gen int) error {
-	path := segmentPath(l.dir, gen)
+	path := segmentPath(l.dir, l.stripe, gen)
 	f, err := l.openFile(path)
 	if err != nil {
 		return fmt.Errorf("store: opening WAL segment: %w", err)
@@ -231,6 +258,7 @@ func (l *walLog) append(seq uint64, payload []byte) (*walBatch, int64, error) {
 	size := l.size
 	b := l.cur
 	b.dirty = true
+	b.n++
 	l.mu.Unlock()
 	select {
 	case l.syncCh <- struct{}{}:
@@ -254,10 +282,28 @@ func (l *walLog) syncer() {
 // flushCycle swaps in a fresh batch, flushes everything buffered, and
 // fsyncs once for the whole batch. Records appended while the fsync is
 // in flight land in the fresh batch and ride the next cycle — that
-// window is what amortizes fsync across concurrent committers.
+// window is what amortizes fsync across concurrent committers on the
+// same stripe.
 func (l *walLog) flushCycle() {
 	l.syncMu.Lock()
 	defer l.syncMu.Unlock()
+	// Yield before sealing the batch, for as long as records keep
+	// arriving (bounded): committers released by the previous cycle are
+	// runnable but may not have appended yet, and each scheduler pass
+	// lets another wave in — the cheap analogue of a group-commit delay.
+	// A lone committer pays two empty yields, nanoseconds against the
+	// fsync.
+	lastN := -1
+	for i := 0; i < 8; i++ {
+		runtime.Gosched()
+		l.mu.Lock()
+		n := l.cur.n
+		l.mu.Unlock()
+		if n == lastN {
+			break
+		}
+		lastN = n
+	}
 	l.mu.Lock()
 	b := l.cur
 	if l.closed || !b.dirty {
@@ -267,19 +313,26 @@ func (l *walLog) flushCycle() {
 	l.cur = newWalBatch()
 	err := l.w.Flush()
 	f := l.f
+	n := b.n
 	l.mu.Unlock()
 	if err == nil && !l.nosync {
 		start := time.Now()
 		err = f.Sync()
-		metricWALFsyncs.Inc()
-		metricWALFsyncSeconds.Observe(time.Since(start).Seconds())
+		if l.met != nil {
+			l.met.fsyncs.Inc()
+			l.met.fsyncSeconds.Observe(time.Since(start).Seconds())
+		}
+	}
+	if l.met != nil {
+		l.met.batchSize.Observe(float64(n))
 	}
 	b.complete(err)
 }
 
 // flush forces everything buffered onto disk — flush, fsync, release
-// any pending batch — without rotating. ExportFrames calls it so a
-// disk reader sees every record committed before the export began.
+// any pending batch — without rotating. ExportFrames and barrier
+// commits call it so a reader (or an acknowledgement) sees every record
+// appended before the call.
 func (l *walLog) flush() error {
 	l.syncMu.Lock()
 	defer l.syncMu.Unlock()
@@ -291,8 +344,14 @@ func (l *walLog) flush() error {
 	err := l.w.Flush()
 	if err == nil && !l.nosync {
 		err = l.f.Sync()
+		if l.met != nil {
+			l.met.fsyncs.Inc()
+		}
 	}
 	if b := l.cur; b.dirty {
+		if l.met != nil {
+			l.met.batchSize.Observe(float64(b.n))
+		}
 		b.complete(err)
 		l.cur = newWalBatch()
 	}
@@ -302,8 +361,8 @@ func (l *walLog) flush() error {
 // rotate flushes and fsyncs the active segment, releases any pending
 // batch, then switches appends to a fresh segment at the next
 // generation. The caller must have quiesced appends (the store holds
-// its commit lock); waiters on the pending batch need no quiescing —
-// they are released here with the flush's outcome.
+// the stripe's lane lock); waiters on the pending batch need no
+// quiescing — they are released here with the flush's outcome.
 func (l *walLog) rotate() error {
 	l.syncMu.Lock()
 	defer l.syncMu.Unlock()

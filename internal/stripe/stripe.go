@@ -1,19 +1,24 @@
 // Package stripe is the shard-selection helper behind the N-way
 // striped locks of the read state (reviews, inferred opinions,
-// anonymous histories). Striping by entity key lets searches and
+// anonymous histories) and behind the sharded commit pipeline's
+// per-stripe WAL lanes. Striping by entity key lets searches and
 // review reads proceed on one shard while an upload mutates another,
+// and lets commits to different entities fsync on different lanes,
 // instead of every handler serializing behind a single store-wide
-// RWMutex.
+// lock.
 //
-// The shard count is a fixed power of two so selection is one hash
-// and one mask, and so every striped store agrees on the same
-// geometry (which keeps lock-ordering reasoning local to each store).
+// The hash is FNV-1a over the key; every consumer selects a shard
+// through this package so read stores and the commit pipeline agree on
+// one routing function (geometries may differ — the read stores are
+// fixed at NumShards, the commit pipeline is configurable — but a key
+// always hashes the same way).
 package stripe
 
-// NumShards is the stripe width shared by all striped stores. 64 is
-// comfortably above the server's max-in-flight default (256 requests
-// over 64 stripes keeps expected queue depth per stripe low) while
-// keeping per-store fixed overhead at a few KB.
+// NumShards is the stripe width shared by all striped read stores and
+// the default commit-stripe count. 64 is comfortably above the
+// server's max-in-flight default (256 requests over 64 stripes keeps
+// expected queue depth per stripe low) while keeping per-store fixed
+// overhead at a few KB.
 const NumShards = 64
 
 // fnv1a constants (64-bit).
@@ -22,12 +27,33 @@ const (
 	prime64  = 1099511628211
 )
 
-// Index maps a key to its shard in [0, NumShards).
-func Index(key string) int {
+// Hash is the raw 64-bit FNV-1a of key — the one hash every striped
+// structure derives its shard index from.
+func Hash(key string) uint64 {
 	var h uint64 = offset64
 	for i := 0; i < len(key); i++ {
 		h ^= uint64(key[i])
 		h *= prime64
 	}
-	return int(h & (NumShards - 1))
+	return h
+}
+
+// Index maps a key to its shard in [0, NumShards).
+func Index(key string) int {
+	return int(Hash(key) & (NumShards - 1))
+}
+
+// IndexN maps a key to a shard in [0, n) for an arbitrary positive
+// stripe count. Power-of-two counts use the same mask selection as
+// Index (so IndexN(key, NumShards) == Index(key)); other counts fall
+// back to a modulo of the full hash.
+func IndexN(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := Hash(key)
+	if n&(n-1) == 0 {
+		return int(h & uint64(n-1))
+	}
+	return int(h % uint64(n))
 }

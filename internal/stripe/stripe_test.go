@@ -20,6 +20,26 @@ func TestIndexStable(t *testing.T) {
 	}
 }
 
+func TestIndexNMatchesIndexAtDefaultWidth(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("yelp/e%04d", i)
+		if IndexN(k, NumShards) != Index(k) {
+			t.Fatalf("IndexN(%q, %d) = %d, Index = %d", k, NumShards, IndexN(k, NumShards), Index(k))
+		}
+	}
+}
+
+func TestIndexNInRange(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 64, 100, 1024} {
+		for i := 0; i < 2000; i++ {
+			k := fmt.Sprintf("tripadvisor/e%05d", i)
+			if idx := IndexN(k, n); idx < 0 || idx >= n {
+				t.Fatalf("IndexN(%q, %d) = %d outside [0, %d)", k, n, idx, n)
+			}
+		}
+	}
+}
+
 func TestIndexSpreads(t *testing.T) {
 	// Entity-key-shaped inputs should hit a healthy fraction of the
 	// shards; a degenerate hash would funnel everything into a few.
@@ -29,5 +49,38 @@ func TestIndexSpreads(t *testing.T) {
 	}
 	if len(hit) < NumShards/2 {
 		t.Fatalf("1000 keys hit only %d/%d shards", len(hit), NumShards)
+	}
+}
+
+// TestIndexNDistributionUniform is the guard the sharded commit
+// pipeline leans on: if the hash ever skewed, one WAL stripe would
+// absorb a disproportionate share of commits and silently serialize
+// the write path behind a single fsync lane again. A chi-square
+// statistic over entity-key-shaped inputs bounds the skew for every
+// stripe width the pipeline is likely to run at.
+func TestIndexNDistributionUniform(t *testing.T) {
+	const keys = 64000
+	for _, n := range []int{2, 4, 8, 16, 64, 256} {
+		counts := make([]int, n)
+		for i := 0; i < keys; i++ {
+			counts[IndexN(fmt.Sprintf("yelp/entity-%06d", i), n)]++
+		}
+		expected := float64(keys) / float64(n)
+		var chi2 float64
+		for s, c := range counts {
+			d := float64(c) - expected
+			chi2 += d * d / expected
+			// No stripe may carry more than twice or less than half its
+			// fair share — a direct bound on worst-case lane imbalance.
+			if float64(c) > 2*expected || float64(c) < expected/2 {
+				t.Fatalf("n=%d: stripe %d holds %d keys, fair share %.0f", n, s, c, expected)
+			}
+		}
+		// For a uniform hash chi-square concentrates near its mean of
+		// n-1 degrees of freedom; 2n is far outside any plausible
+		// fluctuation at these sample sizes but catches real skew.
+		if chi2 > 2*float64(n) {
+			t.Fatalf("n=%d: chi-square %.1f over %d stripes (limit %.1f)", n, chi2, n, 2*float64(n))
+		}
 	}
 }

@@ -17,6 +17,9 @@ go test -shuffle=on ./...
 echo "==> go test -race -shuffle=on ./..."
 go test -race -shuffle=on ./...
 
+echo "==> bench smoke (commit pipeline, 1 iteration)"
+go test -run '^$' -bench=Commit -benchtime=1x ./internal/store/...
+
 echo "==> gofmt -l"
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
