@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt verify bench
+.PHONY: build test race vet fmt verify bench loadtest
 
 build:
 	$(GO) build ./...
@@ -36,3 +36,16 @@ bench:
 	  $(GO) test -run '^$$' -bench . -benchmem -skip BenchmarkCommitParallel ./internal/... && \
 	  $(GO) test -run '^$$' -bench '^BenchmarkCommitParallel$$' -benchmem -benchtime 4s ./internal/store ; } \
 	  | $(GO) run ./cmd/benchjson -out BENCH_PR7.json
+
+# loadtest drives the serving path end to end: a self-hosted rspd on
+# loopback, hit by a closed-loop mixed workload (cmd/loadgen) once with
+# the read cache off and once with it on, so the report shows what
+# commit-invalidated response caching buys at the wire. Per-route
+# p50/p99/p999, throughput, error/shed rates, and the cache hit ratio
+# land in BENCH_PR8.json.
+loadtest:
+	{ $(GO) run ./cmd/loadgen -selfhost -readcache=false -label cache=off \
+	    -workers 16 -duration 10s -scale 0.02 && \
+	  $(GO) run ./cmd/loadgen -selfhost -readcache=true -label cache=on \
+	    -workers 16 -duration 10s -scale 0.02 ; } \
+	  | $(GO) run ./cmd/benchjson -out BENCH_PR8.json

@@ -1,0 +1,599 @@
+// Command loadgen is the closed-loop load generator for the serving
+// path. N workers each run a request loop against a live rspd —
+// weighted mix of search / entity / reviews / directory GETs and
+// review / upload POSTs — and the run reports per-route p50/p99/p999
+// latency, throughput, error and shed rates.
+//
+// Two modes:
+//
+//	loadgen -addr http://localhost:8080          # drive a running rspd
+//	loadgen -selfhost -scale 0.05 -duration 5s   # spin up an in-process server
+//
+// Self-host builds the directory universe and serves it from the same
+// process over a loopback listener — no external setup, rate limiting
+// off, read cache togglable with -readcache — which is what the bench
+// pipeline and the CI smoke use.
+//
+// Results go to stdout in `go test -bench` text format so the existing
+// cmd/benchjson pipeline converts them to JSON:
+//
+//	loadgen -selfhost -label cache=on | go run ./cmd/benchjson -out BENCH.json
+//
+// The human-readable summary goes to stderr. -assert-min-rps and
+// -assert-no-5xx turn the run into a smoke test with a nonzero exit
+// code on violation.
+package main
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/rsa"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/big"
+	mrand "math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"opinions/internal/blindsig"
+	"opinions/internal/obs"
+	"opinions/internal/rspserver"
+	"opinions/internal/world"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "base URL of a running rspd (e.g. http://localhost:8080); empty requires -selfhost")
+		selfhost = flag.Bool("selfhost", false, "serve an in-process directory-world rspd on loopback and drive that")
+		scale    = flag.Float64("scale", 0.02, "directory scale for -selfhost")
+		keyBits  = flag.Int("keybits", 768, "blind-signature key size for -selfhost (small: this measures serving, not RSA)")
+		readch   = flag.Bool("readcache", true, "enable the read cache in -selfhost mode")
+		workers  = flag.Int("workers", 16, "concurrent closed-loop workers")
+		duration = flag.Duration("duration", 10*time.Second, "measurement window")
+		mix      = flag.String("mix", "entity=35,search=20,reviews=20,directory=15,post-review=7,upload=3", "route weights")
+		seed     = flag.Int64("seed", 1, "workload RNG seed")
+		label    = flag.String("label", "run", "benchmark sub-name (e.g. cache=on)")
+		minRPS   = flag.Float64("assert-min-rps", 0, "exit 1 if overall throughput falls below this")
+		no5xx    = flag.Bool("assert-no-5xx", false, "exit 1 if any request returns a 5xx")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	base := *addr
+	var shutdown func()
+	if *selfhost {
+		var err error
+		base, shutdown, err = startSelfhost(*scale, *seed, *keyBits, *readch)
+		if err != nil {
+			fail("selfhost: %v", err)
+		}
+		defer shutdown()
+	}
+	if base == "" {
+		fail("need -addr or -selfhost")
+	}
+	base = strings.TrimRight(base, "/")
+
+	weights, err := parseMix(*mix)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	tr := &http.Transport{MaxIdleConns: *workers * 2, MaxIdleConnsPerHost: *workers * 2}
+	client := &http.Client{Transport: tr, Timeout: 30 * time.Second}
+
+	setup, err := discover(client, base, *seed)
+	if err != nil {
+		fail("setup: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: target %s — %d entities, %d services, %d review targets seeded\n",
+		base, len(setup.entityKeys), len(setup.services), len(setup.reviewKeys))
+
+	before := scrapeCacheCounters(client, base)
+
+	agg := newAggregate()
+	var wg sync.WaitGroup
+	stopAt := time.Now().Add(*duration)
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			runWorker(client, base, setup, weights, mrand.New(mrand.NewSource(*seed+int64(w)*7919)), w, stopAt, agg)
+		}(w)
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after := scrapeCacheCounters(client, base)
+	if shutdown != nil {
+		shutdown()
+		shutdown = nil
+	}
+
+	report(os.Stdout, os.Stderr, *label, *workers, elapsed, agg, before, after)
+
+	total, errs5xx := agg.totals()
+	rps := float64(total) / elapsed.Seconds()
+	if *minRPS > 0 && rps < *minRPS {
+		fail("throughput %.1f req/s below -assert-min-rps %.1f", rps, *minRPS)
+	}
+	if *no5xx && errs5xx > 0 {
+		fail("%d requests answered 5xx with -assert-no-5xx", errs5xx)
+	}
+}
+
+// routeStats collects one route's closed-loop samples. Latencies are
+// recorded per request and sorted once at report time; at loadgen
+// scales (≤ a few million samples) the memory is cheap and exact
+// percentiles beat a sketch.
+type routeStats struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	count     int64
+	errs      int64 // transport errors + 5xx other than 503
+	shed      int64 // 503: load shed / follower gate
+	rejected  int64 // 4xx: client-side refusals (rate limits, validation)
+}
+
+type aggregate struct {
+	mu     sync.Mutex
+	routes map[string]*routeStats
+}
+
+func newAggregate() *aggregate { return &aggregate{routes: make(map[string]*routeStats)} }
+
+func (a *aggregate) route(name string) *routeStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rs := a.routes[name]
+	if rs == nil {
+		rs = &routeStats{}
+		a.routes[name] = rs
+	}
+	return rs
+}
+
+func (a *aggregate) record(route string, d time.Duration, status int, err error) {
+	rs := a.route(route)
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.count++
+	switch {
+	case err != nil:
+		rs.errs++
+	case status == http.StatusServiceUnavailable:
+		rs.shed++
+	case status >= 500:
+		rs.errs++
+	case status >= 400:
+		rs.rejected++
+	default:
+		rs.latencies = append(rs.latencies, d)
+	}
+}
+
+func (a *aggregate) totals() (total, errs5xx int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, rs := range a.routes {
+		rs.mu.Lock()
+		total += rs.count
+		errs5xx += rs.errs + rs.shed
+		rs.mu.Unlock()
+	}
+	return total, errs5xx
+}
+
+// parseMix parses "entity=35,search=20,..." into a weighted route
+// table, expanded so a uniform draw in [0, total) lands on a route.
+func parseMix(s string) ([]string, error) {
+	known := map[string]bool{"entity": true, "search": true, "reviews": true,
+		"directory": true, "post-review": true, "upload": true}
+	var table []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -mix element %q (want route=weight)", part)
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("unknown route %q in -mix", name)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad weight in -mix element %q", part)
+		}
+		for i := 0; i < w; i++ {
+			table = append(table, name)
+		}
+	}
+	if len(table) == 0 {
+		return nil, fmt.Errorf("-mix selects no routes")
+	}
+	return table, nil
+}
+
+// setupState is what a worker needs to form requests: the query
+// surface from /api/meta, entity keys from /api/directory, and the
+// token issuer's public key for the upload protocol.
+type setupState struct {
+	services   []rspserver.MetaService
+	entityKeys []string
+	reviewKeys []string // subset with freshly posted reviews, so GETs page real data
+	pubKey     *rsa.PublicKey
+}
+
+func discover(client *http.Client, base string, seed int64) (*setupState, error) {
+	st := &setupState{}
+	var meta rspserver.MetaResponse
+	if err := getJSON(client, base+"/api/meta", &meta); err != nil {
+		return nil, fmt.Errorf("/api/meta: %w", err)
+	}
+	st.services = meta.Services
+
+	var dir []rspserver.WireEntity
+	if err := getJSON(client, base+"/api/directory", &dir); err != nil {
+		return nil, fmt.Errorf("/api/directory: %w", err)
+	}
+	if len(dir) == 0 {
+		return nil, fmt.Errorf("empty directory — nothing to load")
+	}
+	for _, e := range dir {
+		st.entityKeys = append(st.entityKeys, e.Key)
+	}
+
+	var keyResp rspserver.TokenKeyResponse
+	if err := getJSON(client, base+"/api/token/key", &keyResp); err != nil {
+		return nil, fmt.Errorf("/api/token/key: %w", err)
+	}
+	n, ok := new(big.Int).SetString(keyResp.N, 10)
+	if !ok {
+		return nil, fmt.Errorf("token key modulus not a number")
+	}
+	st.pubKey = &rsa.PublicKey{N: n, E: keyResp.E}
+
+	// Seed a handful of reviews so paginated GET /api/reviews reads
+	// non-empty pages from the first request.
+	rng := mrand.New(mrand.NewSource(seed))
+	nSeed := 8
+	if nSeed > len(st.entityKeys) {
+		nSeed = len(st.entityKeys)
+	}
+	for i := 0; i < nSeed; i++ {
+		key := st.entityKeys[rng.Intn(len(st.entityKeys))]
+		body := rspserver.PostReviewRequest{Entity: key, Author: fmt.Sprintf("loadgen-seed-%d", i), Rating: float64(rng.Intn(11)) / 2, Text: "loadgen seed review"}
+		status, err := postJSONStatus(client, base+"/api/reviews", body)
+		if err == nil && status < 300 {
+			st.reviewKeys = append(st.reviewKeys, key)
+		}
+	}
+	if len(st.reviewKeys) == 0 {
+		st.reviewKeys = st.entityKeys[:1]
+	}
+	return st, nil
+}
+
+func runWorker(client *http.Client, base string, st *setupState, mix []string, rng *mrand.Rand, worker int, stopAt time.Time, agg *aggregate) {
+	uploads := 0
+	for time.Now().Before(stopAt) {
+		route := mix[rng.Intn(len(mix))]
+		switch route {
+		case "entity":
+			key := st.entityKeys[rng.Intn(len(st.entityKeys))]
+			doGet(client, agg, route, base+"/api/entity?key="+key)
+		case "search":
+			svc := st.services[rng.Intn(len(st.services))]
+			q := "service=" + svc.Kind + "&limit=20"
+			if len(svc.Categories) > 0 {
+				q += "&category=" + svc.Categories[rng.Intn(len(svc.Categories))]
+			}
+			if len(svc.Zips) > 0 {
+				q += "&zip=" + svc.Zips[rng.Intn(len(svc.Zips))]
+			}
+			doGet(client, agg, route, base+"/api/search?"+q)
+		case "reviews":
+			key := st.reviewKeys[rng.Intn(len(st.reviewKeys))]
+			offset := rng.Intn(3) * 5
+			doGet(client, agg, route, fmt.Sprintf("%s/api/reviews?entity=%s&offset=%d&limit=20", base, key, offset))
+		case "directory":
+			q := ""
+			if rng.Intn(2) == 0 {
+				q = "?service=" + st.services[rng.Intn(len(st.services))].Kind
+			}
+			doGet(client, agg, route, base+"/api/directory"+q)
+		case "post-review":
+			key := st.entityKeys[rng.Intn(len(st.entityKeys))]
+			doPost(client, agg, route, base+"/api/reviews", rspserver.PostReviewRequest{
+				Entity: key,
+				Author: fmt.Sprintf("loadgen-w%d", worker),
+				Rating: float64(rng.Intn(11)) / 2,
+				Text:   "loadgen review",
+			})
+		case "upload":
+			uploads++
+			doUpload(client, agg, base, st, rng, worker, uploads)
+		}
+	}
+}
+
+func doGet(client *http.Client, agg *aggregate, route, url string) {
+	t0 := time.Now()
+	resp, err := client.Get(url)
+	d := time.Since(t0)
+	status := 0
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		status = resp.StatusCode
+	}
+	agg.record(route, d, status, err)
+}
+
+func doPost(client *http.Client, agg *aggregate, route, url string, body any) (int, error) {
+	buf, _ := json.Marshal(body)
+	t0 := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	d := time.Since(t0)
+	status := 0
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		status = resp.StatusCode
+	}
+	agg.record(route, d, status, err)
+	return status, err
+}
+
+// doUpload runs the full anonymous upload protocol: blind a fresh
+// serial, have the issuer sign it (each upload uses a fresh device ID
+// so per-device token rate limits don't throttle the generator),
+// unblind, then deliver a rating under the one-time token. Token
+// issuance and the upload itself are timed as separate routes — RSA
+// signing has a different cost profile than the commit path.
+func doUpload(client *http.Client, agg *aggregate, base string, st *setupState, rng *mrand.Rand, worker, n int) {
+	serial := make([]byte, 32)
+	if _, err := rand.Read(serial); err != nil {
+		agg.record("upload", 0, 0, err)
+		return
+	}
+	blinded, unblind, err := blindsig.Blind(st.pubKey, serial, rand.Reader)
+	if err != nil {
+		agg.record("upload", 0, 0, err)
+		return
+	}
+	device := fmt.Sprintf("lg-%d-%d", worker, n)
+	buf, _ := json.Marshal(rspserver.TokenSignRequest{Device: device, Blinded: blinded.String()})
+	t0 := time.Now()
+	resp, err := client.Post(base+"/api/token", "application/json", bytes.NewReader(buf))
+	d := time.Since(t0)
+	if err != nil {
+		agg.record("token", d, 0, err)
+		return
+	}
+	var signResp rspserver.TokenSignResponse
+	decErr := json.NewDecoder(resp.Body).Decode(&signResp)
+	resp.Body.Close()
+	agg.record("token", d, resp.StatusCode, nil)
+	if resp.StatusCode != http.StatusOK || decErr != nil {
+		return
+	}
+	blindSig, ok := new(big.Int).SetString(signResp.BlindSig, 10)
+	if !ok {
+		return
+	}
+	token := rspserver.FromToken(blindsig.Token{Msg: serial, Sig: unblind(blindSig)})
+
+	rating := float64(rng.Intn(11)) / 2
+	key := st.entityKeys[rng.Intn(len(st.entityKeys))]
+	doPost(client, agg, "upload", base+"/api/upload", rspserver.UploadRequest{
+		AnonID: fmt.Sprintf("anon-%d-%d", worker, n),
+		Entity: key,
+		Rating: &rating,
+		Token:  token,
+		Key:    fmt.Sprintf("lg-%d-%d", worker, n),
+	})
+}
+
+// cacheCounters is a scrape of the read cache's /metrics counters.
+type cacheCounters struct {
+	hits, misses uint64
+	ok           bool
+}
+
+func scrapeCacheCounters(client *http.Client, base string) cacheCounters {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return cacheCounters{}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return cacheCounters{}
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return cacheCounters{}
+	}
+	var c cacheCounters
+	for _, line := range strings.Split(string(body), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[0] {
+		case "readcache_hits_total":
+			c.hits, c.ok = uint64(v), true
+		case "readcache_misses_total":
+			c.misses, c.ok = uint64(v), true
+		}
+	}
+	return c
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// report writes the machine-readable bench lines to benchOut and the
+// human summary to human.
+func report(benchOut, human io.Writer, label string, workers int, elapsed time.Duration, agg *aggregate, before, after cacheCounters) {
+	fmt.Fprintf(benchOut, "goos: %s\n", runtime.GOOS)
+	fmt.Fprintf(benchOut, "goarch: %s\n", runtime.GOARCH)
+	fmt.Fprintln(benchOut, "pkg: opinions/cmd/loadgen")
+
+	routeNames := make([]string, 0, len(agg.routes))
+	for name := range agg.routes {
+		routeNames = append(routeNames, name)
+	}
+	sort.Strings(routeNames)
+
+	fmt.Fprintf(human, "loadgen: %s — %d workers, %.1fs\n", label, workers, elapsed.Seconds())
+	var total, totalErrs, totalShed int64
+	for _, name := range routeNames {
+		rs := agg.routes[name]
+		rs.mu.Lock()
+		sort.Slice(rs.latencies, func(i, j int) bool { return rs.latencies[i] < rs.latencies[j] })
+		p50 := percentile(rs.latencies, 0.50)
+		p99 := percentile(rs.latencies, 0.99)
+		p999 := percentile(rs.latencies, 0.999)
+		rps := float64(rs.count) / elapsed.Seconds()
+		errRate := float64(rs.errs) / float64(rs.count)
+		shedRate := float64(rs.shed) / float64(rs.count)
+		total += rs.count
+		totalErrs += rs.errs
+		totalShed += rs.shed
+		fmt.Fprintf(benchOut, "BenchmarkLoadgen/%s/route=%s-%d %d %d p50-ns/op %d p99-ns/op %d p999-ns/op %.1f req/s %.4f err-rate %.4f shed-rate\n",
+			label, name, workers, rs.count, p50.Nanoseconds(), p99.Nanoseconds(), p999.Nanoseconds(), rps, errRate, shedRate)
+		fmt.Fprintf(human, "  %-12s %7d reqs  %8.1f req/s  p50 %-10v p99 %-10v p999 %-10v errs %d shed %d rejected %d\n",
+			name, rs.count, rps, p50, p99, p999, rs.errs, rs.shed, rs.rejected)
+		rs.mu.Unlock()
+	}
+
+	rps := float64(total) / elapsed.Seconds()
+	line := fmt.Sprintf("BenchmarkLoadgen/%s/total-%d %d %.1f req/s %.4f err-rate %.4f shed-rate",
+		label, workers, total, rps, float64(totalErrs)/float64(max64(total, 1)), float64(totalShed)/float64(max64(total, 1)))
+	summary := fmt.Sprintf("loadgen: total %d reqs, %.1f req/s, %d errors, %d shed", total, rps, totalErrs, totalShed)
+	if before.ok && after.ok {
+		dh := after.hits - before.hits
+		dm := after.misses - before.misses
+		ratio := 0.0
+		if dh+dm > 0 {
+			ratio = float64(dh) / float64(dh+dm)
+		}
+		line += fmt.Sprintf(" %.4f cache-hit-ratio", ratio)
+		summary += fmt.Sprintf(", cache hit ratio %.1f%% (%d hits / %d misses)", ratio*100, dh, dm)
+	}
+	fmt.Fprintln(benchOut, line)
+	fmt.Fprintln(human, summary)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func postJSONStatus(client *http.Client, url string, body any) (int, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// startSelfhost builds the directory universe and serves it in-process
+// on a loopback listener: recovery, metrics, timeout, and an
+// in-flight cap, but no rate limiting — the generator IS the abusive
+// client. /metrics rides the same listener, outside the chain, so the
+// cache-hit scrape works against selfhost exactly as against rspd.
+func startSelfhost(scale float64, seed int64, keyBits int, readCache bool) (string, func(), error) {
+	dir := world.BuildDirectory(world.DirectoryConfig{Seed: seed, NumZips: 10, Scale: scale, InteractionEntities: 200})
+	var catalog []*world.Entity
+	for _, kind := range world.ReviewServices {
+		catalog = append(catalog, dir.Entities[kind]...)
+	}
+	for _, kind := range world.InteractionServices {
+		catalog = append(catalog, dir.Entities[kind]...)
+	}
+	var zips []string
+	for _, z := range dir.Zips {
+		zips = append(zips, z.Code)
+	}
+	srv, err := rspserver.New(rspserver.Config{
+		Catalog:          catalog,
+		KeyBits:          keyBits,
+		Zips:             zips,
+		TokenRate:        1 << 30, // uncapped: fresh device per upload anyway
+		TokenPeriod:      time.Hour,
+		DisableReadCache: !readCache,
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	handler := rspserver.Chain(srv.Handler(),
+		rspserver.WithRecovery(logger),
+		rspserver.WithMetrics(),
+		rspserver.WithTimeout(30*time.Second),
+		rspserver.WithMaxInFlight(1024, time.Second),
+	)
+	mux := http.NewServeMux()
+	mux.Handle("/", handler)
+	mux.Handle("/metrics", obs.Default.Handler())
+	ts := httptest.NewServer(mux)
+
+	var once sync.Once
+	var closed atomic.Bool
+	stop := func() {
+		once.Do(func() {
+			closed.Store(true)
+			ts.Close()
+		})
+	}
+	return ts.URL, stop, nil
+}

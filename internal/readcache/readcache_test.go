@@ -1,0 +1,156 @@
+package readcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestMissThenHit(t *testing.T) {
+	c := New()
+	if _, _, ok := c.Get("entity", "yelp/a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	_, gen, _ := c.Get("entity", "yelp/a")
+	if !c.Put("entity", "yelp/a", gen, []byte(`{"k":1}`)) {
+		t.Fatal("fill rejected with unchanged generation")
+	}
+	body, _, ok := c.Get("entity", "yelp/a")
+	if !ok || string(body) != `{"k":1}` {
+		t.Fatalf("hit = %q, %v", body, ok)
+	}
+	hits, misses, invals := c.Stats()
+	if hits != 1 || misses != 2 || invals != 0 {
+		t.Fatalf("stats = %d, %d, %d", hits, misses, invals)
+	}
+}
+
+func TestNamespacesAreDistinct(t *testing.T) {
+	c := New()
+	_, gen, _ := c.Get("entity", "k")
+	c.Put("entity", "k", gen, []byte("ent"))
+	if _, _, ok := c.Get("directory", "k"); ok {
+		t.Fatal("namespace bleed: entity fill visible under directory")
+	}
+	_, gen, _ = c.Get("directory", "k")
+	c.Put("directory", "k", gen, []byte("dir"))
+	if body, _, _ := c.Get("entity", "k"); string(body) != "ent" {
+		t.Fatalf("entity body = %q", body)
+	}
+	if body, _, _ := c.Get("directory", "k"); string(body) != "dir" {
+		t.Fatalf("directory body = %q", body)
+	}
+}
+
+func TestInvalidateEvictsAndBumpsGeneration(t *testing.T) {
+	c := New()
+	_, gen, _ := c.Get("entity", "k")
+	c.Put("entity", "k", gen, []byte("v1"))
+	c.Invalidate("k", "entity", "directory")
+	if _, _, ok := c.Get("entity", "k"); ok {
+		t.Fatal("entry survived invalidation")
+	}
+	_, _, invals := c.Stats()
+	if invals != 1 {
+		t.Fatalf("invalidations = %d (only the entity entry existed)", invals)
+	}
+	// A fill carrying the pre-invalidation generation must be dropped.
+	if c.Put("entity", "k", gen, []byte("stale")) {
+		t.Fatal("stale fill installed after invalidation")
+	}
+	if _, _, ok := c.Get("entity", "k"); ok {
+		t.Fatal("stale fill visible")
+	}
+	// A fresh miss/fill cycle works again.
+	_, gen2, _ := c.Get("entity", "k")
+	if !c.Put("entity", "k", gen2, []byte("v2")) {
+		t.Fatal("post-invalidation fill rejected")
+	}
+	if body, _, _ := c.Get("entity", "k"); string(body) != "v2" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestInvalidateOtherKeyKeepsEntry(t *testing.T) {
+	c := New()
+	_, gen, _ := c.Get("entity", "keep")
+	c.Put("entity", "keep", gen, []byte("v"))
+	c.Invalidate("other", "entity")
+	// "keep" may share a stripe with "other" (generation fence), but the
+	// entry itself must survive: only "other" was evicted.
+	if body, _, ok := c.Get("entity", "keep"); !ok || string(body) != "v" {
+		t.Fatalf("unrelated entry evicted: %q, %v", body, ok)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New()
+	gens := make(map[string]uint64)
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k%d", i)
+		_, gen, _ := c.Get("entity", k)
+		gens[k] = gen
+		c.Put("entity", k, gen, []byte(k))
+	}
+	if c.Len() != 100 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", c.Len())
+	}
+	_, _, invals := c.Stats()
+	if invals != 100 {
+		t.Fatalf("invalidations = %d", invals)
+	}
+	// Every pre-reset generation is fenced, whatever stripe it lived on.
+	for k, gen := range gens {
+		if c.Put("entity", k, gen, []byte("stale")) {
+			t.Fatalf("stale fill for %s installed after Reset", k)
+		}
+	}
+}
+
+// Concurrent fills, hits, and invalidations on overlapping keys; run
+// under -race. Invariant: after all invalidators finish, a final
+// invalidate+miss+fill for a key must make exactly its latest value
+// visible.
+func TestConcurrent(t *testing.T) {
+	c := New()
+	const keys = 32
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (i+w)%keys)
+				switch i % 3 {
+				case 0:
+					if body, gen, ok := c.Get("entity", k); !ok {
+						c.Put("entity", k, gen, []byte(k))
+					} else if string(body) != k {
+						t.Errorf("key %s served %q", k, body)
+						return
+					}
+				case 1:
+					c.Invalidate(k, "entity")
+				case 2:
+					c.Get("entity", k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	c.Invalidate("k0", "entity")
+	_, gen, ok := c.Get("entity", "k0")
+	if ok {
+		t.Fatal("hit immediately after invalidate")
+	}
+	if !c.Put("entity", "k0", gen, []byte("final")) {
+		t.Fatal("quiescent fill rejected")
+	}
+	if body, _, _ := c.Get("entity", "k0"); string(body) != "final" {
+		t.Fatalf("body = %q", body)
+	}
+}

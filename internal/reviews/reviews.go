@@ -36,6 +36,13 @@ var ErrBadRating = errors.New("reviews: rating outside [0, 5]")
 // waits on a write to another's, so search-time review stats stop
 // serializing behind concurrent posts. The ID sequence is a single
 // atomic counter shared across stripes.
+//
+// Each entity's slice is kept sorted by time (oldest first) at insert,
+// so a paginated read is a copy of just the requested window — the
+// serving path's hottest review read no longer copies and re-sorts the
+// whole slice per request. Live posts arrive in time order and append
+// in O(1); an out-of-order time (replays, imports) pays one in-place
+// shift.
 type Store struct {
 	seq    atomic.Int64
 	shards [stripe.NumShards]reviewShard
@@ -44,6 +51,17 @@ type Store struct {
 type reviewShard struct {
 	mu       sync.RWMutex
 	byEntity map[string][]Review
+}
+
+// insertByTime places r into rs keeping ascending time order. Equal
+// times keep arrival order (the new review goes after existing equals),
+// so newest-first enumeration lists later arrivals first among ties.
+func insertByTime(rs []Review, r Review) []Review {
+	i := sort.Search(len(rs), func(j int) bool { return rs[j].Time.After(r.Time) })
+	rs = append(rs, Review{})
+	copy(rs[i+1:], rs[i:])
+	rs[i] = r
+	return rs
 }
 
 // NewStore returns an empty store.
@@ -96,7 +114,7 @@ func (s *Store) Post(r Review) (Review, error) {
 	sh := s.shard(r.Entity)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	sh.byEntity[r.Entity] = append(sh.byEntity[r.Entity], r)
+	sh.byEntity[r.Entity] = insertByTime(sh.byEntity[r.Entity], r)
 	return r, nil
 }
 
@@ -124,24 +142,31 @@ func (s *Store) Mean(entityKey string) (float64, bool) {
 	return sum / float64(len(rs)), true
 }
 
-// ForEntity returns a page of reviews, newest first.
+// ForEntity returns a page of reviews, newest first. The slice is
+// always non-nil — an out-of-range page is an empty page, and clients
+// see a stable JSON array type, never null. Only the requested window
+// is copied (the per-entity slice stays sorted at insert), so page
+// cost is O(limit) regardless of how many reviews the entity has.
 func (s *Store) ForEntity(entityKey string, offset, limit int) []Review {
-	sh := s.shard(entityKey)
-	sh.mu.RLock()
-	rs := append([]Review(nil), sh.byEntity[entityKey]...)
-	sh.mu.RUnlock()
-	sort.Slice(rs, func(i, j int) bool { return rs[i].Time.After(rs[j].Time) })
 	if offset < 0 {
 		offset = 0
 	}
+	sh := s.shard(entityKey)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rs := sh.byEntity[entityKey]
 	if offset >= len(rs) {
-		return nil
+		return []Review{}
 	}
-	rs = rs[offset:]
-	if limit > 0 && limit < len(rs) {
-		rs = rs[:limit]
+	n := len(rs) - offset
+	if limit > 0 && limit < n {
+		n = limit
 	}
-	return rs
+	out := make([]Review, n)
+	for k := 0; k < n; k++ {
+		out[k] = rs[len(rs)-1-offset-k]
+	}
+	return out
 }
 
 // All returns every stored review, flattened shard by shard; callers
@@ -173,7 +198,7 @@ func (s *Store) Restore(revs []Review) {
 	for _, r := range revs {
 		sh := s.shard(r.Entity)
 		sh.mu.Lock()
-		sh.byEntity[r.Entity] = append(sh.byEntity[r.Entity], r)
+		sh.byEntity[r.Entity] = insertByTime(sh.byEntity[r.Entity], r)
 		sh.mu.Unlock()
 		var n int64
 		if _, err := fmt.Sscanf(r.ID, "rev-%d", &n); err == nil && n > max {
@@ -204,7 +229,8 @@ func (s *Store) Seed(entityKey string, count int, quality float64, at time.Time)
 	sh := s.shard(entityKey)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	for i := 0; i < count; i++ {
+	// Oldest first, so every insert appends to the sorted slice in O(1).
+	for i := count - 1; i >= 0; i-- {
 		// Deterministic spread of ±1 star around quality, half-star grid.
 		delta := float64(i%5)/2 - 1
 		rating := quality + delta
@@ -214,7 +240,7 @@ func (s *Store) Seed(entityKey string, count int, quality float64, at time.Time)
 		if rating > 5 {
 			rating = 5
 		}
-		sh.byEntity[entityKey] = append(sh.byEntity[entityKey], Review{
+		sh.byEntity[entityKey] = insertByTime(sh.byEntity[entityKey], Review{
 			ID:     fmt.Sprintf("rev-%d", s.seq.Add(1)),
 			Entity: entityKey,
 			Author: fmt.Sprintf("seeded-%d", i),

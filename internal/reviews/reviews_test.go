@@ -71,11 +71,95 @@ func TestForEntityPagingAndOrder(t *testing.T) {
 	if len(page2) != 2 || page2[0].Rating != 2 {
 		t.Fatalf("second page: %+v", page2)
 	}
-	if got := s.ForEntity("e", 10, 2); got != nil {
-		t.Fatalf("past-end page = %v", got)
+	// An out-of-range page is an empty page, never nil — the HTTP layer
+	// serializes it as a stable [] instead of JSON null.
+	if got := s.ForEntity("e", 10, 2); got == nil || len(got) != 0 {
+		t.Fatalf("past-end page = %v, want empty non-nil", got)
+	}
+	if got := s.ForEntity("missing", 0, 10); got == nil || len(got) != 0 {
+		t.Fatalf("unknown entity page = %v, want empty non-nil", got)
 	}
 	if got := s.ForEntity("e", -1, 0); len(got) != 5 {
 		t.Fatalf("negative offset, no limit = %d", len(got))
+	}
+}
+
+// Posts arriving out of time order must still page newest first: the
+// slice is kept sorted at insert, not re-sorted per read.
+func TestForEntityOutOfOrderInserts(t *testing.T) {
+	s := NewStore()
+	hours := []int{3, 0, 4, 1, 2}
+	for _, h := range hours {
+		_, _ = s.Post(Review{Entity: "e", Rating: float64(h), Time: t0.Add(time.Duration(h) * time.Hour)})
+	}
+	all := s.ForEntity("e", 0, 0)
+	if len(all) != 5 {
+		t.Fatalf("len = %d", len(all))
+	}
+	for i, want := range []float64{4, 3, 2, 1, 0} {
+		if all[i].Rating != want {
+			t.Fatalf("pos %d rating = %v, want %v (order %v)", i, all[i].Rating, want, all)
+		}
+	}
+	// Paging windows agree with the full enumeration.
+	if page := s.ForEntity("e", 1, 2); page[0].Rating != 3 || page[1].Rating != 2 {
+		t.Fatalf("window page = %+v", page)
+	}
+}
+
+// Ties on time keep arrival order, newest arrival first.
+func TestForEntityEqualTimes(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 3; i++ {
+		_, _ = s.Post(Review{Entity: "e", Author: fmt.Sprintf("a%d", i), Rating: 3, Time: t0})
+	}
+	got := s.ForEntity("e", 0, 0)
+	if got[0].Author != "a2" || got[2].Author != "a0" {
+		t.Fatalf("tie order = %v, %v, %v", got[0].Author, got[1].Author, got[2].Author)
+	}
+}
+
+// Readers paging while writers post out-of-order times must be
+// race-free and always see a time-sorted window (run under -race).
+func TestConcurrentPostAndRead(t *testing.T) {
+	s := NewStore()
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 200; i++ {
+				h := (i*7 + w*3) % 97 // deliberately non-monotonic times
+				_, _ = s.Post(Review{Entity: "e", Rating: 3, Time: t0.Add(time.Duration(h) * time.Minute)})
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				page := s.ForEntity("e", 0, 50)
+				for i := 1; i < len(page); i++ {
+					if page[i].Time.After(page[i-1].Time) {
+						t.Error("page not newest-first")
+						return
+					}
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if s.Count("e") != 800 {
+		t.Fatalf("count = %d", s.Count("e"))
 	}
 }
 

@@ -1,0 +1,249 @@
+package rspserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"opinions/internal/attest"
+	"opinions/internal/simclock"
+	"opinions/internal/world"
+)
+
+// End to end: a second GET /api/entity is a cache hit serving the same
+// bytes, and a committed review on that entity invalidates it so the
+// next read sees the new review count.
+func TestEntityCacheHitAndInvalidateOnReview(t *testing.T) {
+	srv, ts := testServer(t)
+	cache := srv.ReadCache()
+	if cache == nil {
+		t.Fatal("read cache disabled by default")
+	}
+
+	var first WireResult
+	if resp := getJSON(t, ts.URL+"/api/entity?key=yelp/a", &first); resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	h0, _, _ := cache.Stats()
+	var second WireResult
+	getJSON(t, ts.URL+"/api/entity?key=yelp/a", &second)
+	h1, _, _ := cache.Stats()
+	if h1 != h0+1 {
+		t.Fatalf("second read not a hit: hits %d -> %d", h0, h1)
+	}
+	if second.ReviewCount != first.ReviewCount {
+		t.Fatalf("cached read disagrees: %d vs %d", second.ReviewCount, first.ReviewCount)
+	}
+
+	// Commit a review; the commit hook must evict the entity entry.
+	resp := postJSON(t, ts.URL+"/api/reviews", PostReviewRequest{Entity: "yelp/a", Author: "bob", Rating: 4, Text: "good"}, nil)
+	if resp.StatusCode != 201 {
+		t.Fatalf("post review status %d", resp.StatusCode)
+	}
+	var after WireResult
+	getJSON(t, ts.URL+"/api/entity?key=yelp/a", &after)
+	if after.ReviewCount != first.ReviewCount+1 {
+		t.Fatalf("read after commit served stale count %d (want %d)", after.ReviewCount, first.ReviewCount+1)
+	}
+	_, _, invals := cache.Stats()
+	if invals == 0 {
+		t.Fatal("no invalidation counted after commit")
+	}
+}
+
+// Unknown entities are never cached: the key space is attacker-chosen.
+func TestEntity404NotCached(t *testing.T) {
+	srv, ts := testServer(t)
+	for i := 0; i < 3; i++ {
+		if resp := getJSON(t, ts.URL+"/api/entity?key=yelp/nope", nil); resp.StatusCode != 404 {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	if n := srv.ReadCache().Len(); n != 0 {
+		t.Fatalf("404s minted %d cache entries", n)
+	}
+}
+
+// The directory response is cached per known service kind; arbitrary
+// ?service= strings must not mint cache keys.
+func TestDirectoryCacheKnownKindsOnly(t *testing.T) {
+	srv, ts := testServer(t)
+	cache := srv.ReadCache()
+	getJSON(t, ts.URL+"/api/directory?service=yelp", nil)
+	h0, _, _ := cache.Stats()
+	getJSON(t, ts.URL+"/api/directory?service=yelp", nil)
+	h1, _, _ := cache.Stats()
+	if h1 != h0+1 {
+		t.Fatalf("repeat directory read not a hit: %d -> %d", h0, h1)
+	}
+	before := cache.Len()
+	for i := 0; i < 5; i++ {
+		getJSON(t, ts.URL+fmt.Sprintf("/api/directory?service=bogus-%d", i), nil)
+	}
+	if cache.Len() != before {
+		t.Fatalf("unknown service kinds grew the cache: %d -> %d", before, cache.Len())
+	}
+}
+
+// With DisableReadCache nothing is cached and reads still work.
+func TestDisableReadCache(t *testing.T) {
+	catalog := []*world.Entity{{ID: "a", Service: world.Yelp, Zip: "48104", Category: "chinese", Name: "Golden Wok", Quality: 4}}
+	srv, err := New(Config{Catalog: catalog, Clock: simclock.NewSim(simclock.Epoch), KeyBits: 1024, DisableReadCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if srv.ReadCache() != nil {
+		t.Fatal("cache present despite DisableReadCache")
+	}
+	var one WireResult
+	if resp := getJSON(t, ts.URL+"/api/entity?key=yelp/a", &one); resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// Differential privacy draws fresh noise per release; caching an
+// entity response would freeze one noise sample. The entity namespace
+// must bypass the cache under -privacy-epsilon.
+func TestDPBypassesEntityCache(t *testing.T) {
+	catalog := []*world.Entity{{ID: "a", Service: world.Yelp, Zip: "48104", Category: "chinese", Name: "Golden Wok", Quality: 4}}
+	srv, err := New(Config{Catalog: catalog, Clock: simclock.NewSim(simclock.Epoch), KeyBits: 1024, PrivacyEpsilon: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cache := srv.ReadCache()
+	getJSON(t, ts.URL+"/api/entity?key=yelp/a", nil)
+	getJSON(t, ts.URL+"/api/entity?key=yelp/a", nil)
+	hits, _, _ := cache.Stats()
+	if hits != 0 {
+		t.Fatalf("entity reads hit the cache under DP: %d hits", hits)
+	}
+	// The directory carries no inference aggregates; it may still cache.
+	getJSON(t, ts.URL+"/api/directory", nil)
+	getJSON(t, ts.URL+"/api/directory", nil)
+	hits, _, _ = cache.Stats()
+	if hits == 0 {
+		t.Fatal("directory reads bypass the cache under DP")
+	}
+}
+
+// Concurrent readers and review writers on one entity must never be
+// served a response older than a completed commit (run under -race).
+func TestCacheConcurrentReadWrite(t *testing.T) {
+	_, ts := testServer(t)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				getJSON(t, ts.URL+"/api/entity?key=yelp/a", nil)
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		resp := postJSON(t, ts.URL+"/api/reviews", PostReviewRequest{Entity: "yelp/a", Author: "w", Rating: 3, Text: "x"}, nil)
+		if resp.StatusCode != 201 {
+			t.Fatalf("post %d status %d", i, resp.StatusCode)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// After writers quiesce, the served count must reflect every commit.
+	var final WireResult
+	getJSON(t, ts.URL+"/api/entity?key=yelp/a", &final)
+	if final.ReviewCount != 20 {
+		t.Fatalf("final count %d, want 20", final.ReviewCount)
+	}
+}
+
+// Every mutating route must cap its request body: an over-limit body
+// answers 413, not an OOM or a silent hang.
+func TestRequestBodyLimit413(t *testing.T) {
+	// Attestation enabled so /api/attest/verify reaches its body read.
+	catalog := []*world.Entity{{ID: "a", Service: world.Yelp, Zip: "48104", Category: "chinese", Name: "Golden Wok", Quality: 4}}
+	clock := simclock.NewSim(simclock.Epoch)
+	srv, err := New(Config{Catalog: catalog, Clock: clock, KeyBits: 1024, Attestation: attest.NewVerifier(clock)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// Valid JSON past the 1 MiB bound, so the decoder must actually
+	// consume through the limit rather than bail on a syntax error.
+	big := append(append([]byte(`{"text":"`), bytes.Repeat([]byte("a"), 2<<20)...), `"}`...)
+	for _, path := range []string{"/api/reviews", "/api/token", "/api/attest/verify", "/api/upload", "/api/train"} {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(big))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s: status %d, want 413", path, resp.StatusCode)
+		}
+	}
+	// A reasonable body still parses (400 for bad content, not 413).
+	resp, _ := http.Post(ts.URL+"/api/reviews", "application/json", strings.NewReader(`{"entity":""}`))
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusRequestEntityTooLarge {
+		t.Error("small body refused as too large")
+	}
+}
+
+// Malformed paging on GET /api/reviews is a 400, matching /api/search;
+// a past-end page is a stable empty JSON array, never null.
+func TestReviewsPagingContract(t *testing.T) {
+	_, ts := testServer(t)
+	postJSON(t, ts.URL+"/api/reviews", PostReviewRequest{Entity: "yelp/a", Author: "a", Rating: 4, Text: "x"}, nil)
+
+	for _, q := range []string{"offset=abc", "offset=-1", "limit=abc", "limit=-5"} {
+		resp := getJSON(t, ts.URL+"/api/reviews?entity=yelp/a&"+q, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("?%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/api/reviews?entity=yelp/a&offset=50&limit=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if s := strings.TrimSpace(string(raw)); s != "[]" {
+		t.Fatalf("past-end page body = %s, want []", s)
+	}
+}
+
+// A snapshot restore replaces all state at once; every cached response
+// must be flushed with it.
+func TestRestoreSnapshotFlushesCache(t *testing.T) {
+	srv, ts := testServer(t)
+	getJSON(t, ts.URL+"/api/entity?key=yelp/a", nil)
+	getJSON(t, ts.URL+"/api/directory?service=yelp", nil)
+	if srv.ReadCache().Len() == 0 {
+		t.Fatal("nothing cached before restore")
+	}
+	if err := srv.RestoreSnapshot(srv.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.ReadCache().Len(); n != 0 {
+		t.Fatalf("%d cache entries survived restore", n)
+	}
+}

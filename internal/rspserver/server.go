@@ -10,6 +10,7 @@
 package rspserver
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -29,6 +30,7 @@ import (
 	"opinions/internal/history"
 	"opinions/internal/inference"
 	"opinions/internal/interaction"
+	"opinions/internal/readcache"
 	"opinions/internal/reviews"
 	"opinions/internal/search"
 	"opinions/internal/simclock"
@@ -81,6 +83,11 @@ type Config struct {
 	// recovery. Nil builds a memory-only store: same commit interface,
 	// no log (tests, simulations, and the legacy -data snapshot mode).
 	Store *store.Store
+	// DisableReadCache turns off the pre-encoded read-response cache
+	// (internal/readcache). The cache is on by default; disabling it is
+	// for uncached baselines in benchmarks and for tests that assert on
+	// recomputation.
+	DisableReadCache bool
 }
 
 // Server implements the RSP. Construct with New.
@@ -100,6 +107,13 @@ type Server struct {
 	meta     MetaResponse
 	attestor *attest.Verifier
 	st       *store.Store
+
+	// cache holds pre-encoded entity/directory responses, invalidated
+	// by the store's commit hook; nil when disabled. dirKinds is the
+	// closed set of cacheable directory filters — attacker-chosen
+	// service strings must not mint unbounded cache keys.
+	cache    *readcache.Cache
+	dirKinds map[string]bool
 
 	dpMu   sync.Mutex
 	dpMech *dp.Mechanism
@@ -152,7 +166,55 @@ func New(cfg Config) (*Server, error) {
 		s.dpMech = dp.New(cfg.PrivacyEpsilon, stats.NewRNG(seed))
 	}
 	s.meta = buildMeta(cfg.Catalog, cfg.Zips)
+	if !cfg.DisableReadCache {
+		s.cache = readcache.New()
+		s.dirKinds = map[string]bool{"": true}
+		for _, e := range cfg.Catalog {
+			s.dirKinds[string(e.Service)] = true
+		}
+		st.SetCommitHook(s.invalidateOnCommit)
+	}
 	return s, nil
+}
+
+// Cache namespaces: one per cached route.
+const (
+	cacheNSEntity    = "entity"
+	cacheNSDirectory = "directory"
+)
+
+// invalidateOnCommit is the store commit hook: it maps each applied
+// record to the cache entries it can stale. Uploads and reviews touch
+// exactly one entity's aggregates, so they invalidate that entity's
+// stripe only; retrains and fraud sweeps change inference-derived
+// state across entities, so they flush everything. Training pairs
+// change no served read state. Directory listings derive solely from
+// the immutable catalog and are never invalidated by commits.
+func (s *Server) invalidateOnCommit(rec *store.Record) {
+	switch rec.Kind {
+	case store.KindUpload:
+		s.cache.Invalidate(rec.Entity, cacheNSEntity)
+	case store.KindReview:
+		if rec.Review != nil {
+			s.cache.Invalidate(rec.Review.Entity, cacheNSEntity)
+		}
+	case store.KindRetrain, store.KindSweep:
+		s.cache.Reset()
+	}
+}
+
+// ReadCache exposes the response cache for introspection (tests,
+// cmd/loadgen's self-hosted mode); nil when disabled.
+func (s *Server) ReadCache() *readcache.Cache { return s.cache }
+
+// entityCache returns the cache for the entity-describe route, or nil
+// when it must be bypassed: with differential privacy enabled every
+// release draws fresh noise, and caching would freeze one sample.
+func (s *Server) entityCache() *readcache.Cache {
+	if s.dpMech != nil {
+		return nil
+	}
+	return s.cache
 }
 
 // releaseResult applies the differential-privacy mechanism (when
@@ -306,14 +368,91 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// jsonEncoder is a reusable buffer+encoder pair: the encoder is bound
+// to the buffer once, so the hot encode path allocates neither.
+type jsonEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	e := new(jsonEncoder)
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
+// maxPooledEncoder bounds the buffers the pool retains: a single huge
+// directory response must not pin megabytes in every pool shard.
+const maxPooledEncoder = 1 << 20
+
+// writeJSON encodes v through a pooled encoder and writes it with an
+// exact Content-Length. Encoding into the buffer first (rather than
+// streaming into the response) is what lets the same bytes feed the
+// read cache and keeps a mid-encode error from escaping as a truncated
+// 200.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	e := encPool.Get().(*jsonEncoder)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		encPool.Put(e)
+		writeJSONBytes(w, http.StatusInternalServerError, []byte(`{"error":"encoding response"}`+"\n"))
+		return
+	}
+	writeJSONBytes(w, status, e.buf.Bytes())
+	if e.buf.Cap() <= maxPooledEncoder {
+		encPool.Put(e)
+	}
+}
+
+// writeJSONBytes writes an already-encoded JSON body.
+func writeJSONBytes(w http.ResponseWriter, status int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(body)
+}
+
+// encodeJSON renders v to a fresh byte slice via the encoder pool —
+// the cache-fill path, where the bytes must outlive the pool cycle.
+func encodeJSON(v any) ([]byte, error) {
+	e := encPool.Get().(*jsonEncoder)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		encPool.Put(e)
+		return nil, err
+	}
+	body := append([]byte(nil), e.buf.Bytes()...)
+	if e.buf.Cap() <= maxPooledEncoder {
+		encPool.Put(e)
+	}
+	return body, nil
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// maxRequestBody bounds every mutating request's body. The load
+// shedder caps concurrent requests, but without a per-body bound a
+// single oversized POST could still balloon memory past it.
+const maxRequestBody = 1 << 20
+
+// decodeBody decodes a JSON request body bounded at maxRequestBody.
+// On failure the response is already written — 413 when the body
+// exceeded the bound, 400 for malformed JSON — and false is returned.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
 }
 
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
@@ -358,12 +497,35 @@ func (s *Server) handleEntity(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := r.URL.Query().Get("key")
+	cache := s.entityCache()
+	var gen uint64
+	if cache != nil {
+		// The generation is captured before any store read; a commit
+		// landing on this entity between here and the Put bumps it and
+		// the fill is dropped rather than installed stale.
+		body, g, ok := cache.Get(cacheNSEntity, key)
+		if ok {
+			writeJSONBytes(w, http.StatusOK, body)
+			return
+		}
+		gen = g
+	}
 	ent := s.engine.Entity(key)
 	if ent == nil {
+		// Misses for unknown keys are never cached: the key space is
+		// attacker-chosen and would grow the cache without bound.
 		writeErr(w, http.StatusNotFound, fmt.Errorf("no entity %q", key))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.releaseResult(FromResult(s.engine.Describe(ent))))
+	res := s.releaseResult(FromResult(s.engine.Describe(ent)))
+	if cache != nil {
+		if body, err := encodeJSON(res); err == nil {
+			cache.Put(cacheNSEntity, key, gen, body)
+			writeJSONBytes(w, http.StatusOK, body)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleReviews(w http.ResponseWriter, r *http.Request) {
@@ -371,16 +533,36 @@ func (s *Server) handleReviews(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		q := r.URL.Query()
 		entity := q.Get("entity")
-		offset, _ := strconv.Atoi(q.Get("offset"))
-		limit, _ := strconv.Atoi(q.Get("limit"))
-		if limit <= 0 || limit > 100 {
-			limit = 20
+		// Malformed paging is a client error, not "page one": silently
+		// swallowing a bad offset used to serve the first page under an
+		// arbitrary label (the same contract handleSearch enforces).
+		offset := 0
+		if v := q.Get("offset"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad offset %q", v))
+				return
+			}
+			offset = n
+		}
+		limit := 20
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+				return
+			}
+			if n > 0 {
+				limit = n
+			}
+		}
+		if limit > 100 {
+			limit = 100
 		}
 		writeJSON(w, http.StatusOK, s.st.Reviews().ForEntity(entity, offset, limit))
 	case http.MethodPost:
 		var req PostReviewRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+		if !decodeBody(w, r, &req) {
 			return
 		}
 		if s.engine.Entity(req.Entity) == nil {
@@ -408,12 +590,31 @@ func (s *Server) handleDirectory(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	svc := r.URL.Query().Get("service")
+	// Only known service kinds (and the unfiltered listing) are
+	// cacheable: arbitrary ?service= strings must not mint cache keys.
+	var gen uint64
+	cached := s.cache != nil && s.dirKinds[svc]
+	if cached {
+		body, g, ok := s.cache.Get(cacheNSDirectory, svc)
+		if ok {
+			writeJSONBytes(w, http.StatusOK, body)
+			return
+		}
+		gen = g
+	}
 	// Initialized non-nil so an empty directory serializes as [] — a
 	// stable array type for clients — rather than JSON null.
 	out := []WireEntity{}
 	for _, e := range s.catalog {
 		if svc == "" || string(e.Service) == svc {
 			out = append(out, FromEntity(e))
+		}
+	}
+	if cached {
+		if body, err := encodeJSON(out); err == nil {
+			s.cache.Put(cacheNSDirectory, svc, gen, body)
+			writeJSONBytes(w, http.StatusOK, body)
+			return
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -434,8 +635,7 @@ func (s *Server) handleTokenSign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req TokenSignRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	if req.Device == "" {
@@ -491,8 +691,7 @@ func (s *Server) handleAttestVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req AttestVerifyRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	quote, err := req.ToQuote()
@@ -513,8 +712,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req UploadRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	if err := s.AcceptUpload(req); err != nil {
@@ -674,8 +872,7 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req TrainRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	if err := s.AddTrainingPair(req.Features, req.Rating, req.Category); err != nil {
@@ -803,11 +1000,19 @@ func (s *Server) FraudSweep() (int, int, error) {
 func (s *Server) Snapshot() *storage.Snapshot { return s.st.Snapshot() }
 
 // RestoreSnapshot replaces the server's state with the snapshot's.
+// Every cached read response is flushed: the state jumped timelines,
+// so per-entity invalidation cannot bound what changed.
 func (s *Server) RestoreSnapshot(snap *storage.Snapshot) error {
 	if snap == nil {
 		return errors.New("rspserver: nil snapshot")
 	}
-	return s.st.Restore(snap)
+	if err := s.st.Restore(snap); err != nil {
+		return err
+	}
+	if s.cache != nil {
+		s.cache.Reset()
+	}
+	return nil
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

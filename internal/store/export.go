@@ -390,6 +390,7 @@ func (s *Store) CommitReplicated(stripeIdx int, seq uint64, payload []byte) erro
 		return err
 	}
 	ln.seq.Store(seq)
+	s.notifyCommit(&rec)
 	metricStoreReplicated.Inc()
 	if err := s.sealCommit(ln, &rec, payload); err != nil {
 		return err
@@ -445,6 +446,7 @@ func (s *Store) commitReplicatedBarrier(rec *Record, payload []byte) error {
 	for i, ln := range s.lanes {
 		ln.seq.Store(seqs[i])
 	}
+	s.notifyCommit(rec)
 	if s.lanes[0].log != nil {
 		for _, ln := range s.lanes {
 			_, size, err := ln.log.append(seqs[ln.idx], payload)

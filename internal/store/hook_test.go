@@ -1,0 +1,79 @@
+package store
+
+import (
+	"sync"
+	"testing"
+
+	"opinions/internal/reviews"
+	"opinions/internal/simclock"
+)
+
+// The commit hook must fire once per applied record — after the apply,
+// so a hook that reads store state sees the commit it is told about —
+// for both plain commits and cross-stripe barriers.
+func TestCommitHookFires(t *testing.T) {
+	s := mustOpen(t, Options{})
+	var mu sync.Mutex
+	var kinds []Kind
+	var entities []string
+	s.SetCommitHook(func(rec *Record) {
+		mu.Lock()
+		defer mu.Unlock()
+		kinds = append(kinds, rec.Kind)
+		entities = append(entities, rec.Entity)
+		// The apply already ran: the upload's history is visible.
+		if rec.Kind == KindUpload && s.Histories().Stats().Records == 0 {
+			t.Error("hook observed pre-apply state")
+		}
+	})
+
+	if err := s.Commit(uploadRec("anon-1", "yelp/a", 4, "k1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(&Record{Kind: KindReview, Review: &reviews.Review{Entity: "yelp/b", Rating: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(&Record{Kind: KindSweep}); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(kinds) != 3 {
+		t.Fatalf("hook fired %d times, want 3 (%v)", len(kinds), kinds)
+	}
+	if kinds[0] != KindUpload || kinds[1] != KindReview || kinds[2] != KindSweep {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	if entities[0] != "yelp/a" {
+		t.Fatalf("upload entity = %q", entities[0])
+	}
+}
+
+// Clearing the hook stops notifications; recovery replay at Open never
+// sees one (the server registers its hook after Open).
+func TestCommitHookClearAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, NoSync: true, CompactEvery: -1})
+	fired := 0
+	s.SetCommitHook(func(*Record) { fired++ })
+	commitN(t, s, 2)
+	if fired != 2 {
+		t.Fatalf("fired = %d", fired)
+	}
+	s.SetCommitHook(nil)
+	commitN(t, s, 1)
+	if fired != 2 {
+		t.Fatalf("hook fired after clear: %d", fired)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen replays the log; no hook is registered, nothing can fire.
+	r := mustOpen(t, Options{Dir: dir, NoSync: true, Clock: simclock.NewSim(simclock.Epoch)})
+	defer r.Close()
+	if r.Histories().Stats().Records == 0 {
+		t.Fatal("recovery lost uploads")
+	}
+}

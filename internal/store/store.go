@@ -158,6 +158,33 @@ type Store struct {
 	compactMu  sync.Mutex  // serializes compactions and restores
 	compacting atomic.Bool // single-flight latch for background compaction
 	wg         sync.WaitGroup
+
+	// onCommit, when set, observes every record applied through this
+	// store (see SetCommitHook).
+	onCommit atomic.Pointer[func(*Record)]
+}
+
+// SetCommitHook registers fn to observe every record applied through
+// this store — local commits, barrier commits, and replicated commits
+// alike. The hook runs after the record is applied to memory, while
+// the commit lane lock(s) are still held, so per-entity invalidation
+// is ordered exactly against that entity's commit order; fn must be
+// fast and must not call back into the store. One hook is supported
+// (the read-cache layer); recovery replay at Open precedes any
+// registration and is not observed. Passing nil removes the hook.
+func (s *Store) SetCommitHook(fn func(*Record)) {
+	if fn == nil {
+		s.onCommit.Store(nil)
+		return
+	}
+	s.onCommit.Store(&fn)
+}
+
+// notifyCommit invokes the commit hook, if any, for an applied record.
+func (s *Store) notifyCommit(rec *Record) {
+	if fn := s.onCommit.Load(); fn != nil {
+		(*fn)(rec)
+	}
 }
 
 // lockAll acquires every lane in ascending order — the one global lock
@@ -679,6 +706,7 @@ func (s *Store) Commit(rec *Record) error {
 		return err
 	}
 	ln.seq.Store(rec.Seq)
+	s.notifyCommit(rec)
 	if err := s.sealCommit(ln, rec, payload); err != nil {
 		return err
 	}
@@ -719,6 +747,7 @@ func (s *Store) commitBarrier(rec *Record) error {
 	for i, ln := range s.lanes {
 		ln.seq.Store(seqs[i])
 	}
+	s.notifyCommit(rec)
 	hasLog := s.lanes[0].log != nil
 	var payload []byte
 	if hasLog || s.nsubs.Load() > 0 {

@@ -20,6 +20,10 @@ go test -race -shuffle=on ./...
 echo "==> bench smoke (commit pipeline, 1 iteration)"
 go test -run '^$' -bench=Commit -benchtime=1x ./internal/store/...
 
+echo "==> loadgen smoke (selfhost, 2s, nonzero throughput, zero 5xx)"
+go run ./cmd/loadgen -selfhost -duration 2s -workers 8 -scale 0.01 \
+    -label smoke -assert-min-rps 50 -assert-no-5xx > /dev/null
+
 echo "==> gofmt -l"
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
