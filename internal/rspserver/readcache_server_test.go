@@ -247,3 +247,21 @@ func TestRestoreSnapshotFlushesCache(t *testing.T) {
 		t.Fatalf("%d cache entries survived restore", n)
 	}
 }
+
+// The flush must live at the store layer, not in RestoreSnapshot: a
+// replication follower seeds state via store.Restore directly, and a
+// cached response surviving that jump would be served stale forever.
+func TestStoreRestoreFlushesCache(t *testing.T) {
+	srv, ts := testServer(t)
+	getJSON(t, ts.URL+"/api/entity?key=yelp/a", nil)
+	getJSON(t, ts.URL+"/api/directory?service=yelp", nil)
+	if srv.ReadCache().Len() == 0 {
+		t.Fatal("nothing cached before restore")
+	}
+	if err := srv.Store().Restore(srv.Store().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.ReadCache().Len(); n != 0 {
+		t.Fatalf("%d cache entries survived store-level restore (follower snapshot path)", n)
+	}
+}

@@ -173,6 +173,12 @@ func New(cfg Config) (*Server, error) {
 			s.dirKinds[string(e.Service)] = true
 		}
 		st.SetCommitHook(s.invalidateOnCommit)
+		// Restores jump timelines, so per-entity invalidation cannot
+		// bound what changed. Hooking the store (rather than flushing in
+		// RestoreSnapshot) covers every Restore caller — including a
+		// replication follower seeding from a leader snapshot, which
+		// never goes through the server.
+		st.SetRestoreHook(s.cache.Reset)
 	}
 	return s, nil
 }
@@ -385,6 +391,15 @@ var encPool = sync.Pool{New: func() any {
 // directory response must not pin megabytes in every pool shard.
 const maxPooledEncoder = 1 << 20
 
+// release returns e to the pool unless its buffer grew past the cap —
+// a partially-written encode counts toward growth too, so every exit
+// path (success or error) goes through here.
+func (e *jsonEncoder) release() {
+	if e.buf.Cap() <= maxPooledEncoder {
+		encPool.Put(e)
+	}
+}
+
 // writeJSON encodes v through a pooled encoder and writes it with an
 // exact Content-Length. Encoding into the buffer first (rather than
 // streaming into the response) is what lets the same bytes feed the
@@ -394,14 +409,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	e := encPool.Get().(*jsonEncoder)
 	e.buf.Reset()
 	if err := e.enc.Encode(v); err != nil {
-		encPool.Put(e)
+		e.release()
 		writeJSONBytes(w, http.StatusInternalServerError, []byte(`{"error":"encoding response"}`+"\n"))
 		return
 	}
 	writeJSONBytes(w, status, e.buf.Bytes())
-	if e.buf.Cap() <= maxPooledEncoder {
-		encPool.Put(e)
-	}
+	e.release()
 }
 
 // writeJSONBytes writes an already-encoded JSON body.
@@ -418,13 +431,11 @@ func encodeJSON(v any) ([]byte, error) {
 	e := encPool.Get().(*jsonEncoder)
 	e.buf.Reset()
 	if err := e.enc.Encode(v); err != nil {
-		encPool.Put(e)
+		e.release()
 		return nil, err
 	}
 	body := append([]byte(nil), e.buf.Bytes()...)
-	if e.buf.Cap() <= maxPooledEncoder {
-		encPool.Put(e)
-	}
+	e.release()
 	return body, nil
 }
 
@@ -1000,19 +1011,13 @@ func (s *Server) FraudSweep() (int, int, error) {
 func (s *Server) Snapshot() *storage.Snapshot { return s.st.Snapshot() }
 
 // RestoreSnapshot replaces the server's state with the snapshot's.
-// Every cached read response is flushed: the state jumped timelines,
-// so per-entity invalidation cannot bound what changed.
+// Every cached read response is flushed via the store's restore hook,
+// which fires for any Restore caller (not just this method).
 func (s *Server) RestoreSnapshot(snap *storage.Snapshot) error {
 	if snap == nil {
 		return errors.New("rspserver: nil snapshot")
 	}
-	if err := s.st.Restore(snap); err != nil {
-		return err
-	}
-	if s.cache != nil {
-		s.cache.Reset()
-	}
-	return nil
+	return s.st.Restore(snap)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -50,6 +50,47 @@ func TestCommitHookFires(t *testing.T) {
 	}
 }
 
+// The restore hook fires once per successful Restore — on both the
+// memory-only and the WAL-backed paths — and stops after being
+// cleared.
+func TestRestoreHookFires(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"memory", Options{}},
+		{"wal", Options{Dir: "", NoSync: true}}, // Dir set below
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.name == "wal" {
+				tc.opts.Dir = t.TempDir()
+			}
+			s := mustOpen(t, tc.opts)
+			defer s.Close()
+			fired := 0
+			s.SetRestoreHook(func() { fired++ })
+			commitN(t, s, 2)
+			if fired != 0 {
+				t.Fatalf("restore hook fired on commit: %d", fired)
+			}
+			snap := s.Snapshot()
+			if err := s.Restore(snap); err != nil {
+				t.Fatal(err)
+			}
+			if fired != 1 {
+				t.Fatalf("fired = %d after restore, want 1", fired)
+			}
+			s.SetRestoreHook(nil)
+			if err := s.Restore(snap); err != nil {
+				t.Fatal(err)
+			}
+			if fired != 1 {
+				t.Fatalf("hook fired after clear: %d", fired)
+			}
+		})
+	}
+}
+
 // Clearing the hook stops notifications; recovery replay at Open never
 // sees one (the server registers its hook after Open).
 func TestCommitHookClearAndRecovery(t *testing.T) {

@@ -162,6 +162,10 @@ type Store struct {
 	// onCommit, when set, observes every record applied through this
 	// store (see SetCommitHook).
 	onCommit atomic.Pointer[func(*Record)]
+
+	// onRestore, when set, observes every successful snapshot restore
+	// (see SetRestoreHook).
+	onRestore atomic.Pointer[func()]
 }
 
 // SetCommitHook registers fn to observe every record applied through
@@ -184,6 +188,30 @@ func (s *Store) SetCommitHook(fn func(*Record)) {
 func (s *Store) notifyCommit(rec *Record) {
 	if fn := s.onCommit.Load(); fn != nil {
 		(*fn)(rec)
+	}
+}
+
+// SetRestoreHook registers fn to observe every successful Restore,
+// whoever the caller is — the admin snapshot-load path and a
+// replication follower seeding from a leader snapshot alike. The hook
+// runs after the restored state is installed in memory, while every
+// lane lock is still held, so no commit can interleave between the
+// timeline jump and the notification; like the commit hook it must be
+// fast and must not call back into the store. One hook is supported
+// (the read-cache layer flushes, since per-entity invalidation cannot
+// bound what a restore changed). Passing nil removes the hook.
+func (s *Store) SetRestoreHook(fn func()) {
+	if fn == nil {
+		s.onRestore.Store(nil)
+		return
+	}
+	s.onRestore.Store(&fn)
+}
+
+// notifyRestore invokes the restore hook, if any.
+func (s *Store) notifyRestore() {
+	if fn := s.onRestore.Load(); fn != nil {
+		(*fn)()
 	}
 }
 
@@ -964,6 +992,7 @@ func (s *Store) Restore(snap *storage.Snapshot) error {
 	s.sinceCompact.Store(0)
 	if !hasLog {
 		s.dropSubs(true)
+		s.notifyRestore()
 		return nil
 	}
 	for _, ln := range s.lanes {
@@ -984,6 +1013,7 @@ func (s *Store) Restore(snap *storage.Snapshot) error {
 	// The state jumped timelines; live subscribers must re-seed from the
 	// new snapshot rather than splice frames across the jump.
 	s.dropSubs(true)
+	s.notifyRestore()
 	return nil
 }
 
