@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt verify bench loadtest
+.PHONY: build test race vet fmt verify bench loadtest loadtest-cluster
 
 build:
 	$(GO) build ./...
@@ -49,3 +49,17 @@ loadtest:
 	  $(GO) run ./cmd/loadgen -selfhost -readcache=true -label cache=on \
 	    -workers 16 -duration 10s -scale 0.02 ; } \
 	  | $(GO) run ./cmd/benchjson -out BENCH_PR8.json
+
+# loadtest-cluster compares one node against a 3-partition in-process
+# ring on the same mixed workload: same catalog, same worker count, the
+# cluster paying for ownership gating, scatter-gather coordination, and
+# per-entity routing. On multi-core hardware each partition gets its
+# own cores and aggregate throughput scales with the ring; on a shared
+# CPU budget the report quantifies the coordination tax instead. Both
+# runs land in BENCH_PR9.json.
+loadtest-cluster:
+	{ $(GO) run ./cmd/loadgen -selfhost -label nodes=1 \
+	    -workers 16 -duration 10s -scale 0.02 && \
+	  $(GO) run ./cmd/loadgen -selfhost -cluster-nodes 3 -label nodes=3 \
+	    -workers 16 -duration 10s -scale 0.02 ; } \
+	  | $(GO) run ./cmd/benchjson -out BENCH_PR9.json

@@ -4,15 +4,26 @@
 // review / upload POSTs — and the run reports per-route p50/p99/p999
 // latency, throughput, error and shed rates.
 //
-// Two modes:
+// Modes:
 //
-//	loadgen -addr http://localhost:8080          # drive a running rspd
-//	loadgen -selfhost -scale 0.05 -duration 5s   # spin up an in-process server
+//	loadgen -addr http://localhost:8080            # drive a running rspd
+//	loadgen -selfhost -scale 0.05 -duration 5s     # spin up an in-process server
+//	loadgen -cluster ring.json                     # drive a running cluster
+//	loadgen -selfhost -cluster-nodes 3             # in-process 3-partition cluster
 //
 // Self-host builds the directory universe and serves it from the same
 // process over a loopback listener — no external setup, rate limiting
 // off, read cache togglable with -readcache — which is what the bench
 // pipeline and the CI smoke use.
+//
+// In cluster mode the generator routes exactly as the cluster-aware
+// client does: keyed requests (entity, reviews, uploads) go to the
+// partition owning the entity key via the shared ring hash, unkeyed
+// reads (search, directory) go to the coordinator chosen by hashing
+// the request URI — query-affinity routing that concentrates each
+// node's gathered-result cache. Tokens are fetched from the node the
+// upload lands
+// on, so per-node issuers work without shared key distribution.
 //
 // Results go to stdout in `go test -bench` text format so the existing
 // cmd/benchjson pipeline converts them to JSON:
@@ -47,15 +58,68 @@ import (
 	"time"
 
 	"opinions/internal/blindsig"
+	"opinions/internal/cluster"
 	"opinions/internal/obs"
 	"opinions/internal/rspserver"
+	"opinions/internal/stripe"
 	"opinions/internal/world"
 )
 
+// targets is where requests go: one base URL, or a cluster ring routed
+// the same way rspclient.Router routes — keyed requests to the owner
+// partition's preferred node, unkeyed reads to any node (every node
+// coordinates cluster-wide reads).
+type targets struct {
+	base  string        // single-node mode
+	ring  *cluster.Ring // cluster mode
+	nodes []string      // preferred node per partition
+}
+
+func newTargets(base string, ring *cluster.Ring) *targets {
+	t := &targets{base: base, ring: ring}
+	if ring != nil {
+		for p := 0; p < ring.NumPartitions(); p++ {
+			t.nodes = append(t.nodes, ring.Preferred(p))
+		}
+	}
+	return t
+}
+
+// forKey returns the node owning an entity key.
+func (t *targets) forKey(key string) string {
+	if t.ring == nil {
+		return t.base
+	}
+	return t.nodes[t.ring.Partition(key)]
+}
+
+// coordinator returns the node that coordinates an unkeyed
+// cluster-wide read. The choice hashes the request URI rather than
+// picking at random: any node can coordinate, but sending identical
+// queries to the same coordinator concentrates its gathered-result
+// cache (query-affinity routing) while distinct queries still spread
+// across the ring.
+func (t *targets) coordinator(uri string) string {
+	if t.ring == nil {
+		return t.base
+	}
+	return t.nodes[stripe.IndexN(uri, len(t.nodes))]
+}
+
+// all returns every node (setup, metrics scrapes).
+func (t *targets) all() []string {
+	if t.ring == nil {
+		return []string{t.base}
+	}
+	return t.nodes
+}
+
 func main() {
 	var (
-		addr     = flag.String("addr", "", "base URL of a running rspd (e.g. http://localhost:8080); empty requires -selfhost")
+		addr     = flag.String("addr", "", "base URL of a running rspd (e.g. http://localhost:8080); empty requires -selfhost or -cluster")
 		selfhost = flag.Bool("selfhost", false, "serve an in-process directory-world rspd on loopback and drive that")
+		clusPath = flag.String("cluster", "", "cluster ring descriptor (JSON): drive a running multi-node cluster, routing by entity key")
+		clusN    = flag.Int("cluster-nodes", 0, "with -selfhost: serve an in-process N-partition cluster instead of one node")
 		scale    = flag.Float64("scale", 0.02, "directory scale for -selfhost")
 		keyBits  = flag.Int("keybits", 768, "blind-signature key size for -selfhost (small: this measures serving, not RSA)")
 		readch   = flag.Bool("readcache", true, "enable the read cache in -selfhost mode")
@@ -74,20 +138,38 @@ func main() {
 		os.Exit(1)
 	}
 
-	base := *addr
-	var shutdown func()
-	if *selfhost {
-		var err error
-		base, shutdown, err = startSelfhost(*scale, *seed, *keyBits, *readch)
+	var (
+		tg       *targets
+		shutdown func()
+	)
+	switch {
+	case *selfhost && *clusN > 1:
+		ring, stop, err := startSelfhostCluster(*scale, *seed, *keyBits, *readch, *clusN)
+		if err != nil {
+			fail("selfhost cluster: %v", err)
+		}
+		shutdown = stop
+		defer shutdown()
+		tg = newTargets("", ring)
+	case *selfhost:
+		base, stop, err := startSelfhost(*scale, *seed, *keyBits, *readch)
 		if err != nil {
 			fail("selfhost: %v", err)
 		}
+		shutdown = stop
 		defer shutdown()
+		tg = newTargets(base, nil)
+	case *clusPath != "":
+		ring, err := cluster.Load(*clusPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		tg = newTargets("", ring)
+	case *addr != "":
+		tg = newTargets(strings.TrimRight(*addr, "/"), nil)
+	default:
+		fail("need -addr, -cluster, or -selfhost")
 	}
-	if base == "" {
-		fail("need -addr or -selfhost")
-	}
-	base = strings.TrimRight(base, "/")
 
 	weights, err := parseMix(*mix)
 	if err != nil {
@@ -97,14 +179,14 @@ func main() {
 	tr := &http.Transport{MaxIdleConns: *workers * 2, MaxIdleConnsPerHost: *workers * 2}
 	client := &http.Client{Transport: tr, Timeout: 30 * time.Second}
 
-	setup, err := discover(client, base, *seed)
+	setup, err := discover(client, tg, *seed)
 	if err != nil {
 		fail("setup: %v", err)
 	}
-	fmt.Fprintf(os.Stderr, "loadgen: target %s — %d entities, %d services, %d review targets seeded\n",
-		base, len(setup.entityKeys), len(setup.services), len(setup.reviewKeys))
+	fmt.Fprintf(os.Stderr, "loadgen: targets %v — %d entities, %d services, %d review targets seeded\n",
+		tg.all(), len(setup.entityKeys), len(setup.services), len(setup.reviewKeys))
 
-	before := scrapeCacheCounters(client, base)
+	before := scrapeCacheCounters(client, tg)
 
 	agg := newAggregate()
 	var wg sync.WaitGroup
@@ -113,14 +195,14 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			runWorker(client, base, setup, weights, mrand.New(mrand.NewSource(*seed+int64(w)*7919)), w, stopAt, agg)
+			runWorker(client, tg, setup, weights, mrand.New(mrand.NewSource(*seed+int64(w)*7919)), w, stopAt, agg)
 		}(w)
 	}
 	start := time.Now()
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	after := scrapeCacheCounters(client, base)
+	after := scrapeCacheCounters(client, tg)
 	if shutdown != nil {
 		shutdown()
 		shutdown = nil
@@ -240,24 +322,28 @@ func parseMix(s string) ([]string, error) {
 
 // setupState is what a worker needs to form requests: the query
 // surface from /api/meta, entity keys from /api/directory, and the
-// token issuer's public key for the upload protocol.
+// token issuers' public keys (per node — a cluster without shared key
+// distribution has one issuer per node) for the upload protocol.
 type setupState struct {
 	services   []rspserver.MetaService
 	entityKeys []string
 	reviewKeys []string // subset with freshly posted reviews, so GETs page real data
-	pubKey     *rsa.PublicKey
+	pubKeys    map[string]*rsa.PublicKey
 }
 
-func discover(client *http.Client, base string, seed int64) (*setupState, error) {
-	st := &setupState{}
+func discover(client *http.Client, tg *targets, seed int64) (*setupState, error) {
+	st := &setupState{pubKeys: make(map[string]*rsa.PublicKey)}
+	first := tg.all()[0]
 	var meta rspserver.MetaResponse
-	if err := getJSON(client, base+"/api/meta", &meta); err != nil {
+	if err := getJSON(client, first+"/api/meta", &meta); err != nil {
 		return nil, fmt.Errorf("/api/meta: %w", err)
 	}
 	st.services = meta.Services
 
+	// In cluster mode any node answers with the gathered cluster-wide
+	// directory, so one fetch discovers every partition's entities.
 	var dir []rspserver.WireEntity
-	if err := getJSON(client, base+"/api/directory", &dir); err != nil {
+	if err := getJSON(client, first+"/api/directory", &dir); err != nil {
 		return nil, fmt.Errorf("/api/directory: %w", err)
 	}
 	if len(dir) == 0 {
@@ -267,18 +353,21 @@ func discover(client *http.Client, base string, seed int64) (*setupState, error)
 		st.entityKeys = append(st.entityKeys, e.Key)
 	}
 
-	var keyResp rspserver.TokenKeyResponse
-	if err := getJSON(client, base+"/api/token/key", &keyResp); err != nil {
-		return nil, fmt.Errorf("/api/token/key: %w", err)
+	for _, node := range tg.all() {
+		var keyResp rspserver.TokenKeyResponse
+		if err := getJSON(client, node+"/api/token/key", &keyResp); err != nil {
+			return nil, fmt.Errorf("%s/api/token/key: %w", node, err)
+		}
+		n, ok := new(big.Int).SetString(keyResp.N, 10)
+		if !ok {
+			return nil, fmt.Errorf("token key modulus not a number")
+		}
+		st.pubKeys[node] = &rsa.PublicKey{N: n, E: keyResp.E}
 	}
-	n, ok := new(big.Int).SetString(keyResp.N, 10)
-	if !ok {
-		return nil, fmt.Errorf("token key modulus not a number")
-	}
-	st.pubKey = &rsa.PublicKey{N: n, E: keyResp.E}
 
 	// Seed a handful of reviews so paginated GET /api/reviews reads
-	// non-empty pages from the first request.
+	// non-empty pages from the first request. Each seed routes to its
+	// entity's owner, like the workload it primes.
 	rng := mrand.New(mrand.NewSource(seed))
 	nSeed := 8
 	if nSeed > len(st.entityKeys) {
@@ -287,7 +376,7 @@ func discover(client *http.Client, base string, seed int64) (*setupState, error)
 	for i := 0; i < nSeed; i++ {
 		key := st.entityKeys[rng.Intn(len(st.entityKeys))]
 		body := rspserver.PostReviewRequest{Entity: key, Author: fmt.Sprintf("loadgen-seed-%d", i), Rating: float64(rng.Intn(11)) / 2, Text: "loadgen seed review"}
-		status, err := postJSONStatus(client, base+"/api/reviews", body)
+		status, err := postJSONStatus(client, tg.forKey(key)+"/api/reviews", body)
 		if err == nil && status < 300 {
 			st.reviewKeys = append(st.reviewKeys, key)
 		}
@@ -298,14 +387,14 @@ func discover(client *http.Client, base string, seed int64) (*setupState, error)
 	return st, nil
 }
 
-func runWorker(client *http.Client, base string, st *setupState, mix []string, rng *mrand.Rand, worker int, stopAt time.Time, agg *aggregate) {
+func runWorker(client *http.Client, tg *targets, st *setupState, mix []string, rng *mrand.Rand, worker int, stopAt time.Time, agg *aggregate) {
 	uploads := 0
 	for time.Now().Before(stopAt) {
 		route := mix[rng.Intn(len(mix))]
 		switch route {
 		case "entity":
 			key := st.entityKeys[rng.Intn(len(st.entityKeys))]
-			doGet(client, agg, route, base+"/api/entity?key="+key)
+			doGet(client, agg, route, tg.forKey(key)+"/api/entity?key="+key)
 		case "search":
 			svc := st.services[rng.Intn(len(st.services))]
 			q := "service=" + svc.Kind + "&limit=20"
@@ -315,20 +404,22 @@ func runWorker(client *http.Client, base string, st *setupState, mix []string, r
 			if len(svc.Zips) > 0 {
 				q += "&zip=" + svc.Zips[rng.Intn(len(svc.Zips))]
 			}
-			doGet(client, agg, route, base+"/api/search?"+q)
+			uri := "/api/search?" + q
+			doGet(client, agg, route, tg.coordinator(uri)+uri)
 		case "reviews":
 			key := st.reviewKeys[rng.Intn(len(st.reviewKeys))]
 			offset := rng.Intn(3) * 5
-			doGet(client, agg, route, fmt.Sprintf("%s/api/reviews?entity=%s&offset=%d&limit=20", base, key, offset))
+			doGet(client, agg, route, fmt.Sprintf("%s/api/reviews?entity=%s&offset=%d&limit=20", tg.forKey(key), key, offset))
 		case "directory":
 			q := ""
 			if rng.Intn(2) == 0 {
 				q = "?service=" + st.services[rng.Intn(len(st.services))].Kind
 			}
-			doGet(client, agg, route, base+"/api/directory"+q)
+			uri := "/api/directory" + q
+			doGet(client, agg, route, tg.coordinator(uri)+uri)
 		case "post-review":
 			key := st.entityKeys[rng.Intn(len(st.entityKeys))]
-			doPost(client, agg, route, base+"/api/reviews", rspserver.PostReviewRequest{
+			doPost(client, agg, route, tg.forKey(key)+"/api/reviews", rspserver.PostReviewRequest{
 				Entity: key,
 				Author: fmt.Sprintf("loadgen-w%d", worker),
 				Rating: float64(rng.Intn(11)) / 2,
@@ -336,7 +427,7 @@ func runWorker(client *http.Client, base string, st *setupState, mix []string, r
 			})
 		case "upload":
 			uploads++
-			doUpload(client, agg, base, st, rng, worker, uploads)
+			doUpload(client, agg, tg, st, rng, worker, uploads)
 		}
 	}
 }
@@ -374,14 +465,18 @@ func doPost(client *http.Client, agg *aggregate, route, url string, body any) (i
 // so per-device token rate limits don't throttle the generator),
 // unblind, then deliver a rating under the one-time token. Token
 // issuance and the upload itself are timed as separate routes — RSA
-// signing has a different cost profile than the commit path.
-func doUpload(client *http.Client, agg *aggregate, base string, st *setupState, rng *mrand.Rand, worker, n int) {
+// signing has a different cost profile than the commit path. The
+// entity is drawn first so token and upload both go to its owner
+// node: the token must be redeemed where it was issued.
+func doUpload(client *http.Client, agg *aggregate, tg *targets, st *setupState, rng *mrand.Rand, worker, n int) {
+	key := st.entityKeys[rng.Intn(len(st.entityKeys))]
+	base := tg.forKey(key)
 	serial := make([]byte, 32)
 	if _, err := rand.Read(serial); err != nil {
 		agg.record("upload", 0, 0, err)
 		return
 	}
-	blinded, unblind, err := blindsig.Blind(st.pubKey, serial, rand.Reader)
+	blinded, unblind, err := blindsig.Blind(st.pubKeys[base], serial, rand.Reader)
 	if err != nil {
 		agg.record("upload", 0, 0, err)
 		return
@@ -409,7 +504,6 @@ func doUpload(client *http.Client, agg *aggregate, base string, st *setupState, 
 	token := rspserver.FromToken(blindsig.Token{Msg: serial, Sig: unblind(blindSig)})
 
 	rating := float64(rng.Intn(11)) / 2
-	key := st.entityKeys[rng.Intn(len(st.entityKeys))]
 	doPost(client, agg, "upload", base+"/api/upload", rspserver.UploadRequest{
 		AnonID: fmt.Sprintf("anon-%d-%d", worker, n),
 		Entity: key,
@@ -425,7 +519,32 @@ type cacheCounters struct {
 	ok           bool
 }
 
-func scrapeCacheCounters(client *http.Client, base string) cacheCounters {
+// scrapeCacheCounters sums the read-cache counters over every node.
+// In-process cluster nodes share one registry, so the first scrape is
+// the total; distinct processes each contribute their own counters —
+// scraping the set and keeping the max per counter handles both
+// without double-counting the shared-registry case.
+func scrapeCacheCounters(client *http.Client, tg *targets) cacheCounters {
+	var out cacheCounters
+	seen := make(map[string]bool)
+	for _, node := range tg.all() {
+		c := scrapeOne(client, node)
+		if !c.ok {
+			continue
+		}
+		sig := fmt.Sprintf("%d/%d", c.hits, c.misses)
+		if seen[sig] {
+			continue // same shared registry answered twice
+		}
+		seen[sig] = true
+		out.hits += c.hits
+		out.misses += c.misses
+		out.ok = true
+	}
+	return out
+}
+
+func scrapeOne(client *http.Client, base string) cacheCounters {
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
 		return cacheCounters{}
@@ -602,4 +721,81 @@ func startSelfhost(scale float64, seed int64, keyBits int, readCache bool) (stri
 		})
 	}
 	return ts.URL, stop, nil
+}
+
+// startSelfhostCluster serves an n-partition cluster in-process: one
+// listener per partition, each fronting its slice of the shared
+// directory universe behind the ownership gate and the scatter-gather
+// coordinator — the same layering a real multi-node deployment runs,
+// minus the network between machines.
+func startSelfhostCluster(scale float64, seed int64, keyBits int, readCache bool, n int) (*cluster.Ring, func(), error) {
+	dir := world.BuildDirectory(world.DirectoryConfig{Seed: seed, NumZips: 10, Scale: scale, InteractionEntities: 200})
+	var catalog []*world.Entity
+	for _, kind := range world.ReviewServices {
+		catalog = append(catalog, dir.Entities[kind]...)
+	}
+	for _, kind := range world.InteractionServices {
+		catalog = append(catalog, dir.Entities[kind]...)
+	}
+	var zips []string
+	for _, z := range dir.Zips {
+		zips = append(zips, z.Code)
+	}
+
+	// Listeners first: the ring needs every node's URL before the
+	// handlers can be built, so each server delegates via a late-bound
+	// slot.
+	handlers := make([]atomic.Pointer[http.Handler], n)
+	servers := make([]*httptest.Server, n)
+	parts := make([]cluster.Partition, n)
+	for p := 0; p < n; p++ {
+		p := p
+		servers[p] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			(*handlers[p].Load()).ServeHTTP(w, r)
+		}))
+		parts[p] = cluster.Partition{Nodes: []string{servers[p].URL}}
+	}
+	stopAll := func() {
+		for _, ts := range servers {
+			ts.Close()
+		}
+	}
+	ring, err := cluster.New(cluster.Config{Partitions: parts})
+	if err != nil {
+		stopAll()
+		return nil, nil, err
+	}
+
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	for p := 0; p < n; p++ {
+		srv, err := rspserver.New(rspserver.Config{
+			Catalog:          rspserver.FilterCatalog(ring, p, catalog),
+			KeyBits:          keyBits,
+			Zips:             zips,
+			TokenRate:        1 << 30,
+			TokenPeriod:      time.Hour,
+			DisableReadCache: !readCache,
+		})
+		if err != nil {
+			stopAll()
+			return nil, nil, err
+		}
+		handler := rspserver.Chain(srv.Handler(),
+			rspserver.WithRecovery(logger),
+			rspserver.WithMetrics(),
+			rspserver.WithTimeout(30*time.Second),
+			rspserver.WithMaxInFlight(1024, time.Second),
+			rspserver.WithScatterGather(ring, p, rspserver.GatherOptions{}),
+			rspserver.WithOwnershipGate(ring, p),
+		)
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.Handle("/metrics", obs.Default.Handler())
+		h := http.Handler(mux)
+		handlers[p].Store(&h)
+	}
+
+	var once sync.Once
+	stop := func() { once.Do(stopAll) }
+	return ring, stop, nil
 }

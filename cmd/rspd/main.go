@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"opinions/internal/cluster"
 	"opinions/internal/core"
 	"opinions/internal/faultinject"
 	"opinions/internal/obs"
@@ -67,6 +68,8 @@ func main() {
 		replSync    = flag.Bool("replication-sync", true, "semi-synchronous commits: acknowledge a mutation only after an attached follower has it (with -replication-addr)")
 		failAfter   = flag.Duration("failover-after", 10*time.Second, "follower auto-promotes after this long without leader contact (with -replicate-from; 0 = explicit /promote only)")
 		leaderURL   = flag.String("leader-url", "", "leader's public HTTP URL, returned as X-Leader on follower-gate 503s")
+		clusterCfg  = flag.String("cluster-config", "", "cluster ring descriptor (JSON); the node serves one partition of a multi-node deployment")
+		partition   = flag.Int("partition", -1, "this node's partition id in the -cluster-config ring")
 	)
 	flag.Parse()
 
@@ -101,6 +104,31 @@ func main() {
 
 	if *dataPath != "" && *walDir != "" {
 		fmt.Fprintln(os.Stderr, "-data and -wal-dir are mutually exclusive: the WAL directory owns its own snapshot")
+		os.Exit(2)
+	}
+
+	// Cluster mode: load the ring, keep only this partition's slice of
+	// the (deterministically shared) catalog. Every node builds the same
+	// full catalog from the same seed, so the partitions' slices union
+	// to exactly the whole directory with no coordination.
+	var ringCfg *cluster.Ring
+	if *clusterCfg != "" {
+		var err error
+		ringCfg, err = cluster.Load(*clusterCfg)
+		if err != nil {
+			fatal("loading cluster config", "path", *clusterCfg, "err", err)
+		}
+		if *partition < 0 || *partition >= ringCfg.NumPartitions() {
+			fmt.Fprintf(os.Stderr, "-partition %d outside ring of %d partitions (need -partition with -cluster-config)\n",
+				*partition, ringCfg.NumPartitions())
+			os.Exit(2)
+		}
+		full := len(catalog)
+		catalog = rspserver.FilterCatalog(ringCfg, *partition, catalog)
+		logger.Info("cluster partition", "partition", *partition, "of", ringCfg.NumPartitions(),
+			"entities", len(catalog), "full_catalog", full)
+	} else if *partition >= 0 {
+		fmt.Fprintln(os.Stderr, "-partition requires -cluster-config")
 		os.Exit(2)
 	}
 
@@ -225,6 +253,16 @@ func main() {
 		fol := follower
 		mws = append(mws, rspserver.WithFollowerGate(func() bool { return !fol.Promoted() }, *leaderURL))
 	}
+	if ringCfg != nil {
+		// Innermost: the gather's local leg re-enters below the shedding
+		// and chaos layers (one client request stays one in-flight slot),
+		// and the ownership gate refuses foreign keys only after the
+		// request has paid the same tolls as an owned one.
+		mws = append(mws,
+			rspserver.WithScatterGather(ringCfg, *partition, rspserver.GatherOptions{}),
+			rspserver.WithOwnershipGate(ringCfg, *partition),
+		)
+	}
 	handler = rspserver.Chain(handler, mws...)
 
 	// Observability endpoints share the public listener but sit outside
@@ -243,6 +281,23 @@ func main() {
 	// burn the rate limit or be shed, and /promote must work while the
 	// follower gate is refusing everything else.
 	health := &rspserver.Health{Store: stateStore}
+	if ringCfg != nil {
+		health.Partition = *partition
+		health.Partitions = ringCfg.NumPartitions()
+	}
+	switch {
+	case follower != nil:
+		fol := follower
+		health.Role = func() string {
+			if fol.Promoted() {
+				return "promoted"
+			}
+			return "follower"
+		}
+		health.CaughtUp = fol.CaughtUp
+	case *replAddr != "":
+		health.Role = func() string { return "leader" }
+	}
 	if follower != nil {
 		fol := follower
 		health.AddReadyCheck("replication", func() (bool, string) {

@@ -1,0 +1,135 @@
+// Package cluster describes a static multi-node RSP deployment: N
+// partitions, each owning a disjoint slice of the entity-key space and
+// served by one or more nodes (a leader plus its replication
+// followers). The descriptor is the one routing truth every layer
+// shares — the server's ownership gate, the scatter-gather read path,
+// the cluster-aware client transport, the crawler, and the load
+// generator all map a key to its partition through the same function,
+// stripe.IndexN over the ring width, so a key has exactly one home.
+//
+// The ring is deliberately static: partitions are fixed at deployment
+// and changing the width is a resharding event (see internal/stripe for
+// the measured churn), not a runtime operation. What IS dynamic is node
+// health within a partition — the first node listed is the preferred
+// target (the replication leader at deployment time), the rest are
+// followers that serve reads immediately and writes after promotion.
+//
+// The JSON config format:
+//
+//	{
+//	  "partitions": [
+//	    {"nodes": ["http://10.0.0.1:8080", "http://10.0.0.2:8080"]},
+//	    {"nodes": ["http://10.0.1.1:8080"]},
+//	    {"nodes": ["http://10.0.2.1:8080"]}
+//	  ]
+//	}
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"strings"
+
+	"opinions/internal/stripe"
+)
+
+// Partition is one shard of the entity-key space.
+type Partition struct {
+	// Nodes lists the partition's server base URLs. The first entry is
+	// the preferred target (the leader); later entries are replication
+	// followers, tried in order when the preferred target is down.
+	Nodes []string `json:"nodes"`
+}
+
+// Config is the JSON cluster descriptor.
+type Config struct {
+	Partitions []Partition `json:"partitions"`
+}
+
+// Ring is a validated cluster descriptor ready for routing.
+type Ring struct {
+	parts []Partition
+}
+
+// Parse validates a JSON descriptor and builds the ring.
+func Parse(data []byte) (*Ring, error) {
+	var cfg Config
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("cluster: parsing config: %w", err)
+	}
+	return New(cfg)
+}
+
+// Load reads and parses a descriptor file.
+func Load(path string) (*Ring, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reading config: %w", err)
+	}
+	r, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// New validates a descriptor and builds the ring. Every partition needs
+// at least one node; node URLs must be absolute http(s) roots; and a
+// node may appear in only one partition — a store shared across
+// partitions would apply every key range and double-count.
+func New(cfg Config) (*Ring, error) {
+	if len(cfg.Partitions) == 0 {
+		return nil, fmt.Errorf("cluster: config has no partitions")
+	}
+	seen := make(map[string]int)
+	parts := make([]Partition, len(cfg.Partitions))
+	for p, part := range cfg.Partitions {
+		if len(part.Nodes) == 0 {
+			return nil, fmt.Errorf("cluster: partition %d has no nodes", p)
+		}
+		nodes := make([]string, len(part.Nodes))
+		for i, raw := range part.Nodes {
+			n := strings.TrimRight(raw, "/")
+			u, err := url.Parse(n)
+			if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+				return nil, fmt.Errorf("cluster: partition %d node %q is not an absolute http(s) URL", p, raw)
+			}
+			if prev, dup := seen[n]; dup {
+				return nil, fmt.Errorf("cluster: node %q appears in partitions %d and %d", n, prev, p)
+			}
+			seen[n] = p
+			nodes[i] = n
+		}
+		parts[p] = Partition{Nodes: nodes}
+	}
+	return &Ring{parts: parts}, nil
+}
+
+// NumPartitions returns the ring width.
+func (r *Ring) NumPartitions() int { return len(r.parts) }
+
+// Partition maps an entity key to the partition that owns it — the
+// same stripe hash the read stores and commit lanes route by, over the
+// ring width.
+func (r *Ring) Partition(key string) int {
+	return stripe.IndexN(key, len(r.parts))
+}
+
+// Owns reports whether partition p is key's home.
+func (r *Ring) Owns(p int, key string) bool { return r.Partition(key) == p }
+
+// Nodes returns partition p's server roots, preferred target first.
+// The returned slice is shared; callers must not mutate it.
+func (r *Ring) Nodes(p int) []string { return r.parts[p].Nodes }
+
+// Preferred returns partition p's preferred (leader) base URL.
+func (r *Ring) Preferred(p int) string { return r.parts[p].Nodes[0] }
+
+// NodeFor returns the preferred node of the partition owning key.
+func (r *Ring) NodeFor(key string) string {
+	return r.Preferred(r.Partition(key))
+}

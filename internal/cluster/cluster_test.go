@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"opinions/internal/stripe"
+)
+
+func threeWay() Config {
+	return Config{Partitions: []Partition{
+		{Nodes: []string{"http://10.0.0.1:8080", "http://10.0.0.2:8080"}},
+		{Nodes: []string{"http://10.0.1.1:8080"}},
+		{Nodes: []string{"http://10.0.2.1:8080"}},
+	}}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	r, err := Parse([]byte(`{"partitions":[
+		{"nodes":["http://a:1/","http://b:1"]},
+		{"nodes":["http://c:1"]}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumPartitions() != 2 {
+		t.Fatalf("NumPartitions = %d, want 2", r.NumPartitions())
+	}
+	// Trailing slashes are trimmed so base+path concatenation works.
+	if got := r.Preferred(0); got != "http://a:1" {
+		t.Fatalf("Preferred(0) = %q", got)
+	}
+	if got := r.Nodes(0); len(got) != 2 || got[1] != "http://b:1" {
+		t.Fatalf("Nodes(0) = %v", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"empty", `{"partitions":[]}`, "no partitions"},
+		{"no nodes", `{"partitions":[{"nodes":[]}]}`, "has no nodes"},
+		{"bad scheme", `{"partitions":[{"nodes":["ftp://a:1"]}]}`, "http(s)"},
+		{"relative", `{"partitions":[{"nodes":["localhost:8080"]}]}`, "http(s)"},
+		{"duplicate node", `{"partitions":[{"nodes":["http://a:1"]},{"nodes":["http://a:1/"]}]}`, "appears in partitions"},
+		{"unknown field", `{"partition":[{"nodes":["http://a:1"]}]}`, "parsing config"},
+		{"garbage", `{`, "parsing config"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse([]byte(tc.json)); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Parse(%s) err = %v, want substring %q", tc.json, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestPartitionMatchesStripeIndexN(t *testing.T) {
+	r, err := New(threeWay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("yelp/entity-%05d", i)
+		p := r.Partition(k)
+		if p != stripe.IndexN(k, 3) {
+			t.Fatalf("Partition(%q) = %d, stripe.IndexN = %d", k, p, stripe.IndexN(k, 3))
+		}
+		if !r.Owns(p, k) {
+			t.Fatalf("Owns(%d, %q) = false for the owning partition", p, k)
+		}
+		for q := 0; q < 3; q++ {
+			if q != p && r.Owns(q, k) {
+				t.Fatalf("key %q owned by two partitions (%d and %d)", k, p, q)
+			}
+		}
+		if r.NodeFor(k) != r.Preferred(p) {
+			t.Fatalf("NodeFor(%q) = %q, want %q", k, r.NodeFor(k), r.Preferred(p))
+		}
+	}
+}
+
+func TestEveryPartitionGetsKeys(t *testing.T) {
+	r, err := New(threeWay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, r.NumPartitions())
+	for i := 0; i < 3000; i++ {
+		counts[r.Partition(fmt.Sprintf("yelp/e%04d", i))]++
+	}
+	for p, c := range counts {
+		if c == 0 {
+			t.Fatalf("partition %d owns no keys out of 3000", p)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"net/url"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"opinions/internal/obs"
@@ -52,6 +53,13 @@ var (
 type Client struct {
 	// BaseURL is the server root.
 	BaseURL string
+	// Fallbacks lists alternate server roots — in a clustered
+	// deployment, other partitions' nodes. Every node coordinates
+	// cluster-wide reads (scatter-gather), so the crawler only needs
+	// ANY live node: when the current root fails a whole retry cycle
+	// or refuses connections, the next request rotates to the next
+	// root, sticky until that one fails too.
+	Fallbacks []string
 	// HTTP defaults to a client with a 30s overall timeout.
 	HTTP *http.Client
 	// Workers bounds query concurrency (default 8).
@@ -68,6 +76,29 @@ type Client struct {
 	Backoff time.Duration
 	// Sleep is swappable for tests; defaults to time.Sleep.
 	Sleep func(time.Duration)
+
+	// target indexes the sticky entry of [BaseURL, Fallbacks...].
+	target atomic.Int32
+}
+
+// currentBase returns the sticky server root and its index.
+func (c *Client) currentBase() (int, string) {
+	n := 1 + len(c.Fallbacks)
+	i := int(c.target.Load()) % n
+	if i == 0 {
+		return i, c.BaseURL
+	}
+	return i, c.Fallbacks[i-1]
+}
+
+// rotate advances the sticky root past idx; the CAS keeps concurrent
+// workers failing on the same dead node from leapfrogging live ones.
+func (c *Client) rotate(idx int) {
+	n := 1 + len(c.Fallbacks)
+	if n < 2 {
+		return
+	}
+	c.target.CompareAndSwap(int32(idx), int32((idx+1)%n))
 }
 
 // defaultClient bounds whole-call time; http.DefaultClient would hang
@@ -130,7 +161,8 @@ func (c *Client) getJSON(path string, out any) error {
 			metricPoliteWaits.Inc()
 			c.sleep(c.Delay)
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+		idx, base := c.currentBase()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
 		if err != nil {
 			return resilience.Permanent(fmt.Errorf("crawler: GET %s: %w", path, err))
 		}
@@ -141,6 +173,9 @@ func (c *Client) getJSON(path string, out any) error {
 		}
 		resp, err := c.httpClient().Do(req)
 		if err != nil {
+			// A dead node: aim the next attempt (and every later
+			// request) at the next root in the ring.
+			c.rotate(idx)
 			return err
 		}
 		defer func() {
@@ -153,6 +188,11 @@ func (c *Client) getJSON(path string, out any) error {
 			}
 			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 			err := fmt.Errorf("crawler: GET %s: status %d: %s", path, resp.StatusCode, body)
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				// Refusing service (latched store, unpromoted follower):
+				// another node can still coordinate the read.
+				c.rotate(idx)
+			}
 			if transientStatus(resp.StatusCode) {
 				return err
 			}

@@ -5,6 +5,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -139,6 +140,31 @@ func TestCrawlAgainstDeadServer(t *testing.T) {
 		Kind: "yelp", Zips: []string{"1"}, Categories: []string{"c"},
 	}); err == nil {
 		t.Fatal("no error from dead server crawl")
+	}
+}
+
+func TestCrawlRotatesToFallbackNode(t *testing.T) {
+	var hits atomic.Int32
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"services":[]}`))
+	}))
+	defer live.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // refuses connections
+
+	c := &Client{BaseURL: dead.URL, Fallbacks: []string{live.URL},
+		Retries: 3, Backoff: time.Millisecond, Sleep: func(time.Duration) {}}
+	if _, err := c.Meta(); err != nil {
+		t.Fatalf("crawl with a live fallback node failed: %v", err)
+	}
+	// Sticky: later requests go straight to the live node.
+	if _, err := c.Meta(); err != nil {
+		t.Fatal(err)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("live node served %d requests, want 2", got)
 	}
 }
 

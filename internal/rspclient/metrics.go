@@ -22,6 +22,10 @@ var (
 		"Calls refused immediately because the circuit was open.")
 	metricFailovers = obs.Default.Counter("rsp_client_failovers_total",
 		"Transport target rotations after a connection failure or 503.")
+	metricReprobes = obs.Default.Counter("rsp_client_reprobes_total",
+		"Cooldown-driven probes of the preferred target after a failover.")
+	metricMisrouteRetries = obs.Default.Counter("rsp_client_misroute_retries_total",
+		"Calls retried against the owner named by a 421 misroute refusal.")
 	metricSpoolDepth = obs.Default.Gauge("rsp_client_spool_depth",
 		"Uploads currently spooled awaiting redelivery, summed across spools.")
 	metricSpooled = obs.Default.Counter("rsp_client_spooled_total",

@@ -92,19 +92,68 @@ type HTTPTransport struct {
 	// later call starts on it, so after a failover the client stays on
 	// the promoted follower instead of hammering the dead leader.
 	Fallbacks []string
+	// ReprobeAfter bounds the stickiness: once this long has passed
+	// since the last rotation, the next call probes BaseURL again, so a
+	// recovered (or restarted) preferred target regains traffic instead
+	// of idling forever while the fallback carries the load. If the
+	// probe fails the normal failover path rotates away again and the
+	// cooldown restarts. Zero means DefaultReprobeAfter; negative
+	// disables re-probing.
+	ReprobeAfter time.Duration
 
 	// target indexes the sticky entry of [BaseURL, Fallbacks...].
 	target atomic.Int32
+	// rotatedAt is the wall-clock nanosecond of the last rotation (or
+	// abandoned re-probe); the re-probe cooldown counts from here.
+	rotatedAt atomic.Int64
+	// now is stubbed by tests; nil means time.Now.
+	now func() time.Time
 
 	// obsOnce instruments the breaker's state-change hook exactly once,
 	// lazily, so literal construction keeps working.
 	obsOnce sync.Once
 }
 
-// currentTarget returns the sticky base URL and its ring index.
+// DefaultReprobeAfter is how long a transport stays on a fallback
+// before probing the preferred target again.
+const DefaultReprobeAfter = 15 * time.Second
+
+func (t *HTTPTransport) timeNow() time.Time {
+	if t.now != nil {
+		return t.now()
+	}
+	return time.Now()
+}
+
+func (t *HTTPTransport) reprobeAfter() time.Duration {
+	if t.ReprobeAfter != 0 {
+		return t.ReprobeAfter
+	}
+	return DefaultReprobeAfter
+}
+
+// currentTarget returns the sticky base URL and its ring index. When
+// the transport has sat on a fallback for the re-probe cooldown it
+// snaps back to the preferred target first — one call pays the probe;
+// if the preferred target is still dead that call's failover rotates
+// away again.
 func (t *HTTPTransport) currentTarget() (int, string) {
 	n := 1 + len(t.Fallbacks)
 	i := int(t.target.Load()) % n
+	if cooldown := t.reprobeAfter(); i != 0 && cooldown > 0 {
+		if last := t.rotatedAt.Load(); t.timeNow().Sub(time.Unix(0, last)) >= cooldown {
+			// The CAS elects one winner among concurrent callers; the
+			// stamp below keeps losers (and the winner's own retries)
+			// from re-electing until the next cooldown expires.
+			t.rotatedAt.CompareAndSwap(last, t.timeNow().UnixNano())
+			if t.target.CompareAndSwap(int32(i), 0) {
+				metricReprobes.Inc()
+				i = 0
+			} else {
+				i = int(t.target.Load()) % n
+			}
+		}
+	}
 	if i == 0 {
 		return i, t.BaseURL
 	}
@@ -120,6 +169,7 @@ func (t *HTTPTransport) failover(idx int) {
 		return
 	}
 	if t.target.CompareAndSwap(int32(idx), int32((idx+1)%n)) {
+		t.rotatedAt.Store(t.timeNow().UnixNano())
 		metricFailovers.Inc()
 	}
 }
@@ -271,6 +321,9 @@ type StatusError struct {
 	Code int
 	// Message is the server's JSON error body, when it sent one.
 	Message string
+	// PartitionNode is the owning node a clustered server named in
+	// X-Partition-Node on a 421 misroute; the Router retries there.
+	PartitionNode string
 }
 
 func (e *StatusError) Error() string {
@@ -283,7 +336,10 @@ func (e *StatusError) Error() string {
 func httpError(resp *http.Response) error {
 	var e rspserver.ErrorResponse
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	se := &StatusError{Code: resp.StatusCode}
+	se := &StatusError{
+		Code:          resp.StatusCode,
+		PartitionNode: resp.Header.Get(rspserver.PartitionNodeHeader),
+	}
 	if json.Unmarshal(body, &e) == nil && e.Error != "" {
 		se.Message = e.Error
 	}

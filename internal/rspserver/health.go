@@ -14,11 +14,31 @@ import (
 // replication follower registers one that is false until it is either
 // caught up with its leader or promoted, so traffic never lands on a
 // node that would serve stale reads or refuse writes.
+//
+// Both endpoints answer with a JSON body describing the node — role,
+// partition, applied sequence, caught-up — so a router or operator can
+// make placement decisions from one probe instead of correlating
+// status codes across endpoints.
 type Health struct {
 	// Store, when non-nil, gates readiness on the durability latch: a
 	// store that has latched ErrUnavailable refuses mutations, so the
-	// node is up but not ready.
+	// node is up but not ready. It also supplies the applied sequence
+	// in the body.
 	Store *store.Store
+	// Role, when non-nil, names the node's replication role for the
+	// body: "leader", "follower", or "promoted". Nil reports
+	// "standalone".
+	Role func() string
+	// CaughtUp, when non-nil, reports whether the node is current with
+	// its write stream — a follower that has applied everything its
+	// leader acknowledged, or any node that takes writes directly. Nil
+	// reports true: a standalone node is trivially caught up.
+	CaughtUp func() bool
+	// Partition is this node's partition id in a clustered deployment;
+	// Partitions is the ring width. Both zero means unclustered and the
+	// fields are omitted from the body.
+	Partition  int
+	Partitions int
 
 	mu     sync.Mutex
 	checks []readyCheck
@@ -41,12 +61,45 @@ func (h *Health) AddReadyCheck(name string, check func() (ok bool, detail string
 type HealthzResponse struct {
 	Status string `json:"status"`
 	Reason string `json:"reason,omitempty"`
+	// Role is the node's replication role: standalone, leader,
+	// follower, or promoted.
+	Role string `json:"role"`
+	// Partition and Partitions locate the node in a cluster ring;
+	// omitted when the node is unclustered.
+	Partition  *int `json:"partition,omitempty"`
+	Partitions int  `json:"partitions,omitempty"`
+	// AppliedSeq is the store's last applied record sequence.
+	AppliedSeq uint64 `json:"applied_seq"`
+	// CaughtUp reports whether the node is current with its write
+	// stream (always true for a node taking writes directly).
+	CaughtUp bool `json:"caught_up"`
 }
 
-// Healthz reports liveness: answering at all is the signal.
+// body builds the common response fields.
+func (h *Health) body(status, reason string) HealthzResponse {
+	resp := HealthzResponse{Status: status, Reason: reason, Role: "standalone", CaughtUp: true}
+	if h.Role != nil {
+		resp.Role = h.Role()
+	}
+	if h.CaughtUp != nil {
+		resp.CaughtUp = h.CaughtUp()
+	}
+	if h.Store != nil {
+		resp.AppliedSeq = h.Store.Seq()
+	}
+	if h.Partitions > 0 {
+		p := h.Partition
+		resp.Partition = &p
+		resp.Partitions = h.Partitions
+	}
+	return resp
+}
+
+// Healthz reports liveness: answering at all is the signal; the body
+// carries the node's identity for operators probing by hand.
 func (h *Health) Healthz() http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, HealthzResponse{Status: "ok"})
+		writeJSON(w, http.StatusOK, h.body("ok", ""))
 	}
 }
 
@@ -56,7 +109,7 @@ func (h *Health) Readyz() http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if h.Store != nil && h.Store.Failed() {
 			writeJSON(w, http.StatusServiceUnavailable,
-				HealthzResponse{Status: "unavailable", Reason: "store durability latched unavailable"})
+				h.body("unavailable", "store durability latched unavailable"))
 			return
 		}
 		h.mu.Lock()
@@ -65,10 +118,10 @@ func (h *Health) Readyz() http.HandlerFunc {
 		for _, c := range checks {
 			if ok, detail := c.check(); !ok {
 				writeJSON(w, http.StatusServiceUnavailable,
-					HealthzResponse{Status: "unavailable", Reason: c.name + ": " + detail})
+					h.body("unavailable", c.name+": "+detail))
 				return
 			}
 		}
-		writeJSON(w, http.StatusOK, HealthzResponse{Status: "ok"})
+		writeJSON(w, http.StatusOK, h.body("ok", ""))
 	}
 }

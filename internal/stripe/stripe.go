@@ -47,6 +47,19 @@ func Index(key string) int {
 // stripe count. Power-of-two counts use the same mask selection as
 // Index (so IndexN(key, NumShards) == Index(key)); other counts fall
 // back to a modulo of the full hash.
+//
+// Remap churn: IndexN is modulo placement, not a consistent hash.
+// Changing the width from n to m keeps a key in place only when its
+// hash agrees mod both, which happens for min(n,m)/lcm(n,m) of keys —
+// doubling (64→128) moves half of them, and near-coprime widths
+// (64→65 keeps 64/4160 ≈ 1.5%) move nearly everything. That is why
+// the cluster ring treats its partition count as fixed at deployment:
+// growing a cluster is a resharding event where almost every entity
+// migrates, not an incremental rebalance. The striped read stores and
+// commit lanes inside one node never see this — their widths are
+// per-process constants and the structures rebuild from the log on
+// restart. TestIndexNRemapFraction pins the measured churn to this
+// model.
 func IndexN(key string, n int) int {
 	if n <= 1 {
 		return 0

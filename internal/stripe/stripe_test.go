@@ -84,3 +84,53 @@ func TestIndexNDistributionUniform(t *testing.T) {
 		}
 	}
 }
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// TestIndexNRemapFraction measures how many keys change shard when the
+// width changes and pins the result to the modulo-placement model the
+// IndexN docs describe: a key stays put for min(n,m)/lcm(n,m) of the
+// key space. This is the number a cluster operator reads before
+// resizing a ring — doubling migrates half the corpus, and a width
+// bump to a near-coprime count migrates nearly all of it.
+func TestIndexNRemapFraction(t *testing.T) {
+	const keys = 50000
+	cases := []struct{ from, to int }{
+		{64, 128}, // doubling: keep 1/2
+		{3, 4},    // small ring growth: keep 3/12 = 1/4
+		{64, 65},  // near-coprime: keep 64/4160 ≈ 1.5%
+		{2, 3},    // smallest rings: keep 2/6 = 1/3
+	}
+	for _, tc := range cases {
+		lcm := tc.from / gcd(tc.from, tc.to) * tc.to
+		min := tc.from
+		if tc.to < min {
+			min = tc.to
+		}
+		wantKept := float64(min) / float64(lcm)
+		kept := 0
+		for i := 0; i < keys; i++ {
+			k := fmt.Sprintf("yelp/entity-%06d", i)
+			if IndexN(k, tc.from) == IndexN(k, tc.to) {
+				kept++
+			}
+		}
+		got := float64(kept) / keys
+		// ±2 percentage points absorbs sampling noise at 50k keys while
+		// still distinguishing 50% from 25% from 1.5%.
+		if diff := got - wantKept; diff > 0.02 || diff < -0.02 {
+			t.Fatalf("%d→%d: kept %.3f of keys, model predicts %.3f", tc.from, tc.to, got, wantKept)
+		}
+		// The churn direction every resize shares: a grown ring never
+		// keeps more than the model's ceiling, so there is no "cheap"
+		// resize hiding in the hash.
+		if remapped := 1 - got; remapped < 0.4 && tc.from != tc.to {
+			t.Fatalf("%d→%d: only %.3f of keys moved — modulo placement cannot be this gentle", tc.from, tc.to, remapped)
+		}
+	}
+}

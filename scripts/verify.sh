@@ -24,6 +24,9 @@ echo "==> loadgen smoke (selfhost, 2s, nonzero throughput, zero 5xx)"
 go run ./cmd/loadgen -selfhost -duration 2s -workers 8 -scale 0.01 \
     -label smoke -assert-min-rps 50 -assert-no-5xx > /dev/null
 
+echo "==> cluster smoke (3 rspd nodes behind a ring, loadgen -cluster)"
+sh scripts/cluster_smoke.sh
+
 echo "==> gofmt -l"
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
