@@ -24,18 +24,21 @@ verify:
 
 # bench runs every benchmark — including the sharded commit pipeline's
 # CommitParallel scaling curve, the WAL append and striped-read
-# benchmarks in internal/store, and the replication throughput/lag
-# benchmarks in internal/replication — and writes a machine-readable
-# report to BENCH_PR7.json (human output still streams to the
-# terminal). The root package's experiment benchmarks each run one
-# full simulated experiment, so they get -benchtime 1x; the internal
+# benchmarks in internal/store, the replication throughput/lag
+# benchmarks in internal/replication, and the streaming-vs-materialize
+# world generation pair — and writes a machine-readable report to
+# BENCH_PR10.json (human output still streams to the terminal). The
+# root package's experiment benchmarks each run one full simulated
+# experiment, and the world-scale benchmarks generate up to a million
+# users per iteration, so both get -benchtime 1x; the internal
 # micro-benchmarks use the default sampling so ns/op figures are
 # meaningful.
 bench:
 	{ $(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . && \
-	  $(GO) test -run '^$$' -bench . -benchmem -skip BenchmarkCommitParallel ./internal/... && \
-	  $(GO) test -run '^$$' -bench '^BenchmarkCommitParallel$$' -benchmem -benchtime 4s ./internal/store ; } \
-	  | $(GO) run ./cmd/benchjson -out BENCH_PR7.json
+	  $(GO) test -run '^$$' -bench . -benchmem -skip 'BenchmarkCommitParallel|BenchmarkWorldStream|BenchmarkWorldMaterialize' ./internal/... && \
+	  $(GO) test -run '^$$' -bench '^BenchmarkCommitParallel$$' -benchmem -benchtime 4s ./internal/store && \
+	  $(GO) test -run '^$$' -bench '^(BenchmarkWorldStream|BenchmarkWorldMaterialize)$$' -benchmem -benchtime 1x ./internal/world ; } \
+	  | $(GO) run ./cmd/benchjson -out BENCH_PR10.json
 
 # loadtest drives the serving path end to end: a self-hosted rspd on
 # loopback, hit by a closed-loop mixed workload (cmd/loadgen) once with

@@ -1,14 +1,23 @@
-// Command agent simulates one user's device running the RSP client
-// against a live rspd server (started with -world city and the same
-// seed, so both sides share the entity directory).
+// Command agent simulates user devices running the RSP client against a
+// live rspd server (started with -world city and the same seed, so both
+// sides share the entity directory).
+//
+// Single-device mode — one user, transparency screen at the end:
 //
 //	rspd -world city -seed 1 &
 //	agent -server http://localhost:8080 -seed 1 -user 3 -days 30
 //
-// The agent prints what it detected, inferred, and uploaded, then shows
-// the transparency screen (§5). With -dump-metrics it also writes the
-// client-side observability counters (retries, breaker transitions,
-// spool depth) to stderr in Prometheus text format on exit.
+// Cohort mode — multiplex every user of one cluster shard through the
+// horizon, K devices at a time, in bounded memory. The shard layout
+// matches worldgen -shards / the cluster ring, so each agent process
+// animates exactly the users one partition owns:
+//
+//	agent -server http://localhost:8080 -seed 1 -users 100000 \
+//	      -shards 3 -shard 0 -cohort-size 64 -days 7 -max-heap-mb 512
+//
+// Both modes derive users and traces on demand from the seed; the
+// population is never materialized. With -dump-metrics the client-side
+// observability counters go to stderr in Prometheus text format on exit.
 package main
 
 import (
@@ -16,11 +25,13 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"runtime"
 	"time"
 
 	"opinions/internal/obs"
 	"opinions/internal/resilience"
 	"opinions/internal/rspclient"
+	"opinions/internal/stripe"
 	"opinions/internal/trace"
 	"opinions/internal/world"
 )
@@ -30,8 +41,13 @@ func main() {
 		server      = flag.String("server", "http://localhost:8080", "rspd base URL")
 		seed        = flag.Int64("seed", 1, "world seed (must match rspd's)")
 		users       = flag.Int("users", 400, "city users (must match rspd's)")
-		userIdx     = flag.Int("user", 0, "which simulated user this device belongs to")
+		userIdx     = flag.Int("user", -1, "single-device mode: which user this device belongs to")
 		days        = flag.Int("days", 30, "days of life to simulate")
+		shards      = flag.Int("shards", 0, "cohort mode: total cluster shards")
+		shardIdx    = flag.Int("shard", 0, "cohort mode: which shard this process animates")
+		cohortSize  = flag.Int("cohort-size", 64, "cohort mode: devices multiplexed at once")
+		maxUsers    = flag.Int("max-users", 0, "cohort mode: stop after this many users (0 = whole shard)")
+		maxHeapMB   = flag.Int("max-heap-mb", 0, "fail if live heap exceeds this budget (0 = no gate)")
 		dumpMetrics = flag.Bool("dump-metrics", false, "write client metrics to stderr on exit")
 	)
 	flag.Parse()
@@ -43,22 +59,68 @@ func main() {
 		os.Exit(1)
 	}
 
-	city := world.BuildCity(world.CityConfig{Seed: *seed, NumUsers: *users})
-	if *userIdx < 0 || *userIdx >= len(city.Users) {
-		fatal("user index out of range", "user", *userIdx, "users", len(city.Users))
-	}
-	u := city.Users[*userIdx]
+	// Streaming city: entities materialized, users derived on demand.
+	city := world.OpenCity(world.CityConfig{Seed: *seed, NumUsers: *users})
 	sim := trace.New(city, trace.Config{Seed: *seed + 1, Days: *days})
 
-	agent := rspclient.NewAgent(rspclient.Config{
+	switch {
+	case *shards > 0:
+		if *shardIdx < 0 || *shardIdx >= *shards {
+			fatal("shard index out of range", "shard", *shardIdx, "shards", *shards)
+		}
+		if err := runShard(logger, city, sim, *server, *seed, *shards, *shardIdx,
+			*cohortSize, *maxUsers, *maxHeapMB); err != nil {
+			fatal("shard run", "err", err)
+		}
+	case *userIdx >= 0:
+		if *userIdx >= city.NumUsers() {
+			fatal("user index out of range", "user", *userIdx, "users", city.NumUsers())
+		}
+		runSingle(logger, city, sim, *server, *seed, *userIdx, fatal)
+	default:
+		fatal("pass -user N for one device or -shards N -shard P for a cohort run")
+	}
+
+	if *dumpMetrics {
+		fmt.Fprintln(os.Stderr, "\n# client metrics")
+		_ = obs.Default.WritePrometheus(os.Stderr)
+	}
+}
+
+// newDevice builds the client agent for one simulated user.
+func newDevice(server string, seed int64, i int, u *world.User) *rspclient.Agent {
+	return rspclient.NewAgent(rspclient.Config{
 		DeviceID: fmt.Sprintf("device-%s", u.ID),
 		Author:   string(u.ID),
-		Seed:     *seed + int64(*userIdx),
+		Seed:     seed + int64(i),
 		MixMax:   6 * time.Hour,
 	}, &rspclient.HTTPTransport{
-		BaseURL: *server,
+		BaseURL: server,
 		Breaker: &resilience.Breaker{},
 	})
+}
+
+// checkHeap enforces the memory budget that makes the streaming claim
+// falsifiable: a regression that materializes the population trips it.
+func checkHeap(maxMB int) error {
+	if maxMB <= 0 {
+		return nil
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if heap := ms.HeapAlloc >> 20; heap > uint64(maxMB) {
+		return fmt.Errorf("live heap %d MB exceeds budget %d MB", heap, maxMB)
+	}
+	return nil
+}
+
+// runSingle is the original one-device mode, now O(1) in the city size:
+// the user's days regenerate in isolation instead of simulating the
+// whole city and filtering.
+func runSingle(logger *slog.Logger, city *world.City, sim *trace.Simulator,
+	server string, seed int64, idx int, fatal func(string, ...any)) {
+	u := city.UserAt(idx)
+	agent := newDevice(server, seed, idx, u)
 	if err := agent.Bootstrap(); err != nil {
 		fatal("bootstrap", "err", err)
 	}
@@ -68,18 +130,13 @@ func main() {
 
 	var detected, reviews, pairs int
 	for d := 0; d < sim.Days(); d++ {
-		for _, dl := range sim.SimulateDate(d) {
-			if dl.User != u.ID {
-				continue
-			}
-			res, err := agent.ProcessDay(dl)
-			if err != nil {
-				fatal("processing day", "day", d, "err", err)
-			}
-			detected += res.Detected
-			reviews += res.ReviewsPosted
-			pairs += res.TrainingPairs
+		res, err := agent.ProcessDay(sim.UserDay(idx, d))
+		if err != nil {
+			fatal("processing day", "day", d, "err", err)
 		}
+		detected += res.Detected
+		reviews += res.ReviewsPosted
+		pairs += res.TrainingPairs
 		// Nightly inference + flush.
 		night := sim.Start().AddDate(0, 0, d+1).Add(2 * time.Hour)
 		agent.InferOpinions(night)
@@ -87,7 +144,7 @@ func main() {
 			logger.Warn("flush failed, will retry tomorrow", "err", err, "spooled", agent.SpooledUploads())
 		}
 	}
-	sent, err := agent.FlushUploads(sim.Start().AddDate(0, 0, *days+1))
+	sent, err := agent.FlushUploads(sim.Start().AddDate(0, 0, sim.Days()+1))
 	if err != nil {
 		logger.Warn("final flush", "err", err)
 	}
@@ -104,9 +161,115 @@ func main() {
 			fmt.Printf("  %-40s %2d records  (no inference)\n", v.Entity, v.Records)
 		}
 	}
+}
 
-	if *dumpMetrics {
-		fmt.Fprintln(os.Stderr, "\n# client metrics")
-		_ = obs.Default.WritePrometheus(os.Stderr)
+// runShard animates every user of one cluster shard, cohortSize devices
+// at a time. Each cohort derives its members' state, steps them through
+// the horizon day by day (uploading nightly), then drops them before
+// the next cohort starts — live memory is O(cohortSize), whatever the
+// shard's population.
+func runShard(logger *slog.Logger, city *world.City, sim *trace.Simulator,
+	server string, seed int64, shards, shardIdx, cohortSize, maxUsers, maxHeapMB int) error {
+	if cohortSize <= 0 {
+		cohortSize = 64
 	}
+	var (
+		batch      []int
+		done       int
+		detected   int
+		reviews    int
+		uploads    int
+		cohortRuns int
+	)
+	flushBatch := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		d, r, u, err := runCohort(sim, server, seed, batch)
+		if err != nil {
+			return err
+		}
+		cohortRuns++
+		detected += d
+		reviews += r
+		uploads += u
+		done += len(batch)
+		batch = batch[:0]
+		if err := checkHeap(maxHeapMB); err != nil {
+			return err
+		}
+		logger.Info("cohort done", "cohorts", cohortRuns, "users_done", done,
+			"detected", detected, "reviews_posted", reviews, "uploads", uploads)
+		return nil
+	}
+
+	var loopErr error
+	city.EachUser(func(i int, u *world.User) bool {
+		if stripe.IndexN(string(u.ID), shards) != shardIdx {
+			return true
+		}
+		if maxUsers > 0 && done+len(batch) >= maxUsers {
+			return false
+		}
+		batch = append(batch, i)
+		if len(batch) >= cohortSize {
+			if loopErr = flushBatch(); loopErr != nil {
+				return false
+			}
+		}
+		return true
+	})
+	if loopErr != nil {
+		return loopErr
+	}
+	if err := flushBatch(); err != nil {
+		return err
+	}
+	logger.Info("shard done", "shard", shardIdx, "shards", shards,
+		"users", done, "cohorts", cohortRuns,
+		"detected", detected, "reviews_posted", reviews, "uploads", uploads)
+	return nil
+}
+
+// runCohort multiplexes one cohort of devices through the horizon.
+func runCohort(sim *trace.Simulator, server string, seed int64, indexes []int) (detected, reviews, uploads int, err error) {
+	co := sim.Cohort(indexes)
+	members := co.Users()
+	agents := make(map[world.UserID]*rspclient.Agent, len(members))
+	for k, u := range members {
+		a := newDevice(server, seed, indexes[k], u)
+		if err := a.Bootstrap(); err != nil {
+			return 0, 0, 0, fmt.Errorf("bootstrap %s: %w", u.ID, err)
+		}
+		agents[u.ID] = a
+	}
+	var dayErr error
+	co.Run(func(d int, _ time.Time, logs []trace.DayLog) bool {
+		night := sim.Start().AddDate(0, 0, d+1).Add(2 * time.Hour)
+		for _, lg := range logs {
+			a := agents[lg.User]
+			res, err := a.ProcessDay(lg)
+			if err != nil {
+				dayErr = fmt.Errorf("user %s day %d: %w", lg.User, d, err)
+				return false
+			}
+			detected += res.Detected
+			reviews += res.ReviewsPosted
+			a.InferOpinions(night)
+			if n, err := a.FlushUploads(night); err == nil {
+				uploads += n
+			}
+		}
+		return true
+	})
+	if dayErr != nil {
+		return 0, 0, 0, dayErr
+	}
+	final := sim.Start().AddDate(0, 0, sim.Days()+1)
+	for _, a := range agents {
+		if n, err := a.FlushUploads(final); err == nil {
+			uploads += n
+		}
+	}
+	return detected, reviews, uploads, nil
 }

@@ -10,6 +10,15 @@
 //	loadgen -selfhost -scale 0.05 -duration 5s     # spin up an in-process server
 //	loadgen -cluster ring.json                     # drive a running cluster
 //	loadgen -selfhost -cluster-nodes 3             # in-process 3-partition cluster
+//	loadgen -cluster ring.json -stream-users 1000000  # persona-driven workload
+//
+// With -stream-users N the write side of the workload is drawn from a
+// streaming world population instead of synthetic strings: each
+// post-review / upload derives one of N deterministic users on demand
+// (never materializing the population), rates one of the handful of
+// entities that user frequents (a seed-stable affinity set over the
+// discovered directory), and posts persona-shaped review text. Reads
+// follow the same affinities, so cache behaviour sees realistic skew.
 //
 // Self-host builds the directory universe and serves it from the same
 // process over a loopback listener — no external setup, rate limiting
@@ -127,6 +136,8 @@ func main() {
 		duration = flag.Duration("duration", 10*time.Second, "measurement window")
 		mix      = flag.String("mix", "entity=35,search=20,reviews=20,directory=15,post-review=7,upload=3", "route weights")
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
+		streamN  = flag.Int("stream-users", 0, "draw writes from N streamed world users (0 = synthetic workload)")
+		streamS  = flag.Int64("stream-seed", 1, "world seed for -stream-users")
 		label    = flag.String("label", "run", "benchmark sub-name (e.g. cache=on)")
 		minRPS   = flag.Float64("assert-min-rps", 0, "exit 1 if overall throughput falls below this")
 		no5xx    = flag.Bool("assert-no-5xx", false, "exit 1 if any request returns a 5xx")
@@ -185,6 +196,11 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "loadgen: targets %v — %d entities, %d services, %d review targets seeded\n",
 		tg.all(), len(setup.entityKeys), len(setup.services), len(setup.reviewKeys))
+
+	if *streamN > 0 {
+		setup.users = newStreamUsers(*streamS, *streamN)
+		fmt.Fprintf(os.Stderr, "loadgen: persona workload from %d streamed users (seed %d)\n", *streamN, *streamS)
+	}
 
 	before := scrapeCacheCounters(client, tg)
 
@@ -329,7 +345,41 @@ type setupState struct {
 	entityKeys []string
 	reviewKeys []string // subset with freshly posted reviews, so GETs page real data
 	pubKeys    map[string]*rsa.PublicKey
+	users      *streamUsers // nil = synthetic workload
 }
+
+// streamUsers draws workload actors from a streaming world population.
+// Each draw derives one user on demand from the seed (O(1) memory in
+// n), so -stream-users 1000000 costs no more resident memory than 100.
+type streamUsers struct {
+	city *world.City
+}
+
+func newStreamUsers(seed int64, n int) *streamUsers {
+	return &streamUsers{city: world.OpenCity(world.CityConfig{Seed: seed, NumUsers: n})}
+}
+
+// affinityKeys is how many directory entities one user frequents —
+// the locality knob that makes the persona workload skew reads and
+// writes the way a real population does.
+const affinityKeys = 8
+
+// draw derives a random user for this request.
+func (su *streamUsers) draw(rng *mrand.Rand) *world.User {
+	return su.city.UserAt(rng.Intn(su.city.NumUsers()))
+}
+
+// affinity picks one of u's frequented entities. The mapping hashes
+// (user, slot) into the discovered key space, so it is seed-stable per
+// user across workers and runs but different across users.
+func affinity(u *world.User, slot int, keys []string) string {
+	return keys[stripe.IndexN(fmt.Sprintf("%s/aff/%d", u.ID, slot), len(keys))]
+}
+
+// streamQuality is the assumed quality prior for entities the user only
+// knows by key; ratings then come from the user's private taste offset
+// around it, the same ExplicitRatingFor path the trace simulator uses.
+const streamQuality = 3.4
 
 func discover(client *http.Client, tg *targets, seed int64) (*setupState, error) {
 	st := &setupState{pubKeys: make(map[string]*rsa.PublicKey)}
@@ -394,6 +444,10 @@ func runWorker(client *http.Client, tg *targets, st *setupState, mix []string, r
 		switch route {
 		case "entity":
 			key := st.entityKeys[rng.Intn(len(st.entityKeys))]
+			if st.users != nil {
+				// Persona mode: users look up the places they frequent.
+				key = affinity(st.users.draw(rng), rng.Intn(affinityKeys), st.entityKeys)
+			}
 			doGet(client, agg, route, tg.forKey(key)+"/api/entity?key="+key)
 		case "search":
 			svc := st.services[rng.Intn(len(st.services))]
@@ -418,13 +472,24 @@ func runWorker(client *http.Client, tg *targets, st *setupState, mix []string, r
 			uri := "/api/directory" + q
 			doGet(client, agg, route, tg.coordinator(uri)+uri)
 		case "post-review":
-			key := st.entityKeys[rng.Intn(len(st.entityKeys))]
-			doPost(client, agg, route, tg.forKey(key)+"/api/reviews", rspserver.PostReviewRequest{
-				Entity: key,
+			req := rspserver.PostReviewRequest{
+				Entity: st.entityKeys[rng.Intn(len(st.entityKeys))],
 				Author: fmt.Sprintf("loadgen-w%d", worker),
 				Rating: float64(rng.Intn(11)) / 2,
 				Text:   "loadgen review",
-			})
+			}
+			if st.users != nil {
+				// Persona mode: a derived user reviews one of their own
+				// haunts with their taste-offset rating and class-shaped
+				// text — realistic author cardinality, payload sizes, and
+				// per-entity write skew.
+				u := st.users.draw(rng)
+				req.Entity = affinity(u, rng.Intn(affinityKeys), st.entityKeys)
+				req.Author = string(u.ID)
+				req.Rating = u.ExplicitRatingFor(req.Entity, streamQuality)
+				req.Text = world.ReviewText(u, req.Entity, req.Rating)
+			}
+			doPost(client, agg, route, tg.forKey(req.Entity)+"/api/reviews", req)
 		case "upload":
 			uploads++
 			doUpload(client, agg, tg, st, rng, worker, uploads)
@@ -470,6 +535,16 @@ func doPost(client *http.Client, agg *aggregate, route, url string, body any) (i
 // node: the token must be redeemed where it was issued.
 func doUpload(client *http.Client, agg *aggregate, tg *targets, st *setupState, rng *mrand.Rand, worker, n int) {
 	key := st.entityKeys[rng.Intn(len(st.entityKeys))]
+	rating := float64(rng.Intn(11)) / 2
+	if st.users != nil {
+		// Persona mode: the anonymous rating is still a real user's
+		// taste for a place they frequent — the upload stays unlinkable
+		// (token + anon id), but the value distribution is the
+		// population's.
+		u := st.users.draw(rng)
+		key = affinity(u, rng.Intn(affinityKeys), st.entityKeys)
+		rating = u.ExplicitRatingFor(key, streamQuality)
+	}
 	base := tg.forKey(key)
 	serial := make([]byte, 32)
 	if _, err := rand.Read(serial); err != nil {
@@ -503,7 +578,6 @@ func doUpload(client *http.Client, agg *aggregate, tg *targets, st *setupState, 
 	}
 	token := rspserver.FromToken(blindsig.Token{Msg: serial, Sig: unblind(blindSig)})
 
-	rating := float64(rng.Intn(11)) / 2
 	doPost(client, agg, "upload", base+"/api/upload", rspserver.UploadRequest{
 		AnonID: fmt.Sprintf("anon-%d-%d", worker, n),
 		Entity: key,

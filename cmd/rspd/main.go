@@ -84,7 +84,9 @@ func main() {
 	var zips []string
 	switch *universe {
 	case "city":
-		city := world.BuildCity(world.CityConfig{Seed: *seed, NumUsers: *users})
+		// The server only serves the entity catalog; opening the city
+		// streaming means -users 1000000 costs the same memory as 400.
+		city := world.OpenCity(world.CityConfig{Seed: *seed, NumUsers: *users})
 		catalog = city.Entities
 	case "directory":
 		dir := world.BuildDirectory(world.DirectoryConfig{Seed: *seed, NumZips: 50, Scale: *scale, InteractionEntities: 1000})

@@ -23,6 +23,11 @@ func NewRNG(seed int64) *RNG {
 // Split derives an independent RNG from this one, keyed by label, so
 // sub-simulations stay deterministic regardless of how much randomness
 // their siblings consume.
+//
+// Split consumes state from the parent, so the derived stream depends
+// on the order of Split calls. When a stream must be reconstructible
+// from the seed and labels alone — the streaming world's per-user
+// regenerability contract — use Derive instead.
 func (g *RNG) Split(label string) *RNG {
 	var h int64 = 1469598103934665603
 	for i := 0; i < len(label); i++ {
@@ -30,6 +35,42 @@ func (g *RNG) Split(label string) *RNG {
 		h *= 1099511628211
 	}
 	return NewRNG(h ^ g.r.Int63())
+}
+
+// DeriveSeed hashes a base seed and a label path into an independent
+// seed. Unlike Split it is a pure function — no parent state is
+// consumed — so DeriveSeed(s, "user", "17") is the same value no matter
+// how many sibling streams were derived before it, in what order, or in
+// which process. This is the primitive behind O(1)-memory streaming
+// generation: any user, day, or shard is regenerable in isolation.
+func DeriveSeed(seed int64, labels ...string) int64 {
+	// FNV-1a over the seed's 8 bytes, then each label with a 0xFF
+	// separator (0xFF never appears in UTF-8 text, so label boundaries
+	// cannot collide: ("ab","c") hashes differently from ("a","bc")).
+	const (
+		offset64 = 1469598103934665603
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(seed >> (8 * i)))
+		h *= prime64
+	}
+	for _, label := range labels {
+		h ^= 0xFF
+		h *= prime64
+		for i := 0; i < len(label); i++ {
+			h ^= uint64(label[i])
+			h *= prime64
+		}
+	}
+	return int64(h)
+}
+
+// Derive returns an RNG seeded with DeriveSeed(seed, labels...): a
+// stream that is a pure function of its seed and label path.
+func Derive(seed int64, labels ...string) *RNG {
+	return NewRNG(DeriveSeed(seed, labels...))
 }
 
 // Float64 returns a uniform sample in [0, 1).

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"time"
+
+	"opinions/internal/world"
+)
+
+// Cohort steps K users of the population through simulated days while
+// holding only those K users' derived state — the unit of multiplexing
+// that lets one host animate a million-user city in bounded memory.
+// Construct with Simulator.Cohort or Simulator.CohortRange.
+//
+// Memory is O(K × horizon-events); it never depends on the city's total
+// population. The logs a cohort produces for its members are
+// byte-identical to the logs SimulateDate would produce for the same
+// users, in any cohort composition or order — the determinism contract
+// the property tests pin.
+type Cohort struct {
+	sim    *Simulator
+	states []*userState
+}
+
+// Cohort builds a cohort over the given user indexes. Out-of-range
+// indexes are skipped. State for each member (persona, relocation,
+// calendar) is derived once up front and reused across days.
+func (s *Simulator) Cohort(indexes []int) *Cohort {
+	c := &Cohort{sim: s, states: make([]*userState, 0, len(indexes))}
+	for _, i := range indexes {
+		if st := s.stateOf(i); st != nil {
+			c.states = append(c.states, st)
+		}
+	}
+	return c
+}
+
+// CohortRange builds a cohort over indexes [start, start+k), clamped to
+// the population.
+func (s *Simulator) CohortRange(start, k int) *Cohort {
+	idx := make([]int, 0, k)
+	for i := start; i < start+k; i++ {
+		idx = append(idx, i)
+	}
+	return s.Cohort(idx)
+}
+
+// Size returns the number of members.
+func (c *Cohort) Size() int { return len(c.states) }
+
+// Users returns the members in cohort order.
+func (c *Cohort) Users() []*world.User {
+	out := make([]*world.User, len(c.states))
+	for i, st := range c.states {
+		out[i] = st.user
+	}
+	return out
+}
+
+// Day simulates day index d for every member and returns the logs in
+// cohort order. Group plans are derived per social block as members hit
+// them, so a cohort that happens to contain a whole block derives its
+// plan once.
+func (c *Cohort) Day(d int) []DayLog {
+	date := c.sim.cfg.Start.AddDate(0, 0, d)
+	logs := make([]DayLog, 0, len(c.states))
+	// Cache the block plans touched this day: cohorts are usually
+	// contiguous index ranges, so members share blocks.
+	plans := make(map[int]*groupPlan, (len(c.states)+circleUsers-1)/circleUsers)
+	for _, st := range c.states {
+		blockStart, blockEnd := world.CircleBlock(st.idx, c.sim.City.NumUsers())
+		gp, ok := plans[blockStart]
+		if !ok {
+			gp = c.sim.planBlock(d, date, blockStart, blockEnd)
+			plans[blockStart] = gp
+		}
+		plan := gp
+		if plan != nil && !plan.members[st.user.ID] {
+			plan = nil
+		}
+		logs = append(logs, c.sim.simulateUserDay(st, d, date, plan))
+	}
+	return logs
+}
+
+// Run simulates the whole horizon for the cohort, invoking fn after
+// each day with that day's logs. It returns early if fn returns false.
+func (c *Cohort) Run(fn func(day int, date time.Time, logs []DayLog) bool) {
+	for d := 0; d < c.sim.cfg.Days; d++ {
+		if !fn(d, c.sim.cfg.Start.AddDate(0, 0, d), c.Day(d)) {
+			return
+		}
+	}
+}
+
+// circleUsers mirrors world's social block width for sizing the per-day
+// plan cache.
+const circleUsers = 4

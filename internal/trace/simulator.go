@@ -3,6 +3,8 @@ package trace
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"sync"
 	"time"
 
 	"opinions/internal/geo"
@@ -38,16 +40,28 @@ func DefaultConfig() Config {
 	return Config{Seed: 1, Start: time.Date(2016, 1, 4, 0, 0, 0, 0, time.UTC), Days: 120}
 }
 
-// Simulator generates deterministic daily activity for every user of a
+// Simulator generates deterministic daily activity for the users of a
 // city. Construct with New; the zero value is not usable.
+//
+// The simulator is streaming: it holds no per-user state. Every stream
+// of randomness is derived purely from (Config.Seed, label path) via
+// stats.Derive, so any user's full multi-day trace is regenerable from
+// the seed alone — byte-identical whether the user is simulated alone
+// (UserDay), inside a cohort of any size (Cohort), or as part of a
+// whole-city day (SimulateDate). Group events are derived from
+// seed-stable social blocks (world.City.Circle) rather than shared
+// mutable maps, which is what makes per-user regeneration possible:
+// everything a user's day depends on lives within their own block.
 type Simulator struct {
 	City *world.City
 	cfg  Config
 
-	root    *stats.RNG
-	circles map[world.UserID][]world.UserID
-	cal     map[world.UserID]*calendar
-	moves   map[world.UserID]*relocation
+	// eagerOnce/eagerStates memoize per-user derived state for the
+	// whole-city SimulateDate path over an eager (materialized) city,
+	// where O(N) state is already the baseline. Streaming cities never
+	// populate this — cohorts hold their own bounded state instead.
+	eagerOnce   sync.Once
+	eagerStates []*userState
 }
 
 // relocation is one user's mid-horizon move.
@@ -63,8 +77,9 @@ type providerEvent struct {
 	duration time.Duration
 }
 
-// calendar holds the rare pre-scheduled events of one user, precomputed
-// so day generation is independent per day.
+// calendar holds the rare pre-scheduled events of one user, derived
+// on demand from the user's seed so day generation is independent per
+// user as well as per day.
 type calendar struct {
 	dentist       map[int]*world.Entity // day index -> appointment
 	dentistCall   map[int]*world.Entity // booking calls
@@ -73,9 +88,21 @@ type calendar struct {
 	hairdresser   map[int]*world.Entity
 }
 
+// userState bundles everything derivable about one user that day
+// generation consumes: the user, their relocation (if any), and their
+// pre-scheduled calendar. Deriving it costs O(horizon) time and O(own
+// events) memory — never anything proportional to the population.
+type userState struct {
+	idx  int
+	user *world.User
+	move *relocation
+	cal  *calendar
+}
+
 // New builds a simulator over city. All randomness derives from
 // cfg.Seed, so two simulators with the same city and config produce
-// identical logs.
+// identical logs. New does no per-user precomputation; a simulator over
+// a million-user streaming city costs nothing to construct.
 func New(city *world.City, cfg Config) *Simulator {
 	if cfg.Days <= 0 {
 		cfg.Days = 120
@@ -83,42 +110,39 @@ func New(city *world.City, cfg Config) *Simulator {
 	if cfg.Start.IsZero() {
 		cfg.Start = DefaultConfig().Start
 	}
-	s := &Simulator{
-		City:    city,
-		cfg:     cfg,
-		root:    stats.NewRNG(cfg.Seed),
-		circles: make(map[world.UserID][]world.UserID),
-		cal:     make(map[world.UserID]*calendar),
-		moves:   make(map[world.UserID]*relocation),
-	}
-	s.buildCircles()
-	s.buildMoves()
-	s.buildCalendars()
-	return s
+	return &Simulator{City: city, cfg: cfg}
 }
 
-// buildMoves decides which users relocate, when, and where.
-func (s *Simulator) buildMoves() {
+// moveFraction resolves the config's tri-state move knob.
+func (s *Simulator) moveFraction() float64 {
 	frac := s.cfg.MoveFraction
 	if frac < 0 {
-		return
+		return 0
 	}
 	if frac == 0 {
-		frac = 0.06
+		return 0.06
 	}
-	rng := s.root.Split("moves")
-	for _, u := range s.City.Users {
-		if !rng.Bool(frac) {
-			continue
-		}
-		// New home across town: far enough that old favourites stop
-		// being convenient.
-		s.moves[u.ID] = &relocation{
-			day: 1 + rng.Intn(s.cfg.Days),
-			home: geo.Offset(u.Home,
-				rng.Normal(0, 4000)+6000*sign(rng),
-				rng.Normal(0, 4000)+6000*sign(rng)),
-		}
+	return frac
+}
+
+// moveOf derives whether, when, and where user u relocates. Pure in
+// (seed, u.ID): no other user's draw affects it.
+func (s *Simulator) moveOf(u *world.User) *relocation {
+	frac := s.moveFraction()
+	if frac == 0 {
+		return nil
+	}
+	rng := stats.Derive(s.cfg.Seed, "move", string(u.ID))
+	if !rng.Bool(frac) {
+		return nil
+	}
+	// New home across town: far enough that old favourites stop being
+	// convenient.
+	return &relocation{
+		day: 1 + rng.Intn(s.cfg.Days),
+		home: geo.Offset(u.Home,
+			rng.Normal(0, 4000)+6000*sign(rng),
+			rng.Normal(0, 4000)+6000*sign(rng)),
 	}
 }
 
@@ -129,9 +153,9 @@ func sign(rng *stats.RNG) float64 {
 	return -1
 }
 
-// homeOn returns the user's home on day index d.
-func (s *Simulator) homeOn(u *world.User, d int) geo.Point {
-	if m := s.moves[u.ID]; m != nil && d >= m.day {
+// homeOn returns the user's home on day index d given their relocation.
+func homeOn(u *world.User, m *relocation, d int) geo.Point {
+	if m != nil && d >= m.day {
 		return m.home
 	}
 	return u.Home
@@ -139,12 +163,16 @@ func (s *Simulator) homeOn(u *world.User, d int) geo.Point {
 
 // Moves exposes the relocation schedule to experiments (ground truth
 // for the §4.1 confound analysis): user → move day index, for users who
-// move.
+// move. It streams the population, so it is O(N) time but O(movers)
+// memory.
 func (s *Simulator) Moves() map[world.UserID]int {
-	out := make(map[world.UserID]int, len(s.moves))
-	for id, m := range s.moves {
-		out[id] = m.day
-	}
+	out := make(map[world.UserID]int)
+	s.City.EachUser(func(i int, u *world.User) bool {
+		if m := s.moveOf(u); m != nil {
+			out[u.ID] = m.day
+		}
+		return true
+	})
 	return out
 }
 
@@ -154,178 +182,246 @@ func (s *Simulator) Days() int { return s.cfg.Days }
 // Start returns the first simulated midnight.
 func (s *Simulator) Start() time.Time { return s.cfg.Start }
 
-// buildCircles assigns each user a stable friend circle of up to 3
-// other users, used for group outings.
-func (s *Simulator) buildCircles() {
-	users := s.City.Users
-	n := len(users)
-	if n < 2 {
-		return
+// calendarOf derives user u's pre-scheduled dentist appointments,
+// home-service engagements, and haircuts across the horizon. Pure in
+// (seed, u.ID, u's move).
+func (s *Simulator) calendarOf(u *world.User, move *relocation) *calendar {
+	rng := stats.Derive(s.cfg.Seed, "cal", string(u.ID))
+	c := &calendar{
+		dentist:       make(map[int]*world.Entity),
+		dentistCall:   make(map[int]*world.Entity),
+		providerCall:  make(map[int][]providerEvent),
+		providerVisit: make(map[int][]providerEvent),
+		hairdresser:   make(map[int]*world.Entity),
 	}
-	rng := s.root.Split("circles")
-	for i, u := range users {
-		size := 1 + rng.Intn(3)
-		circle := make([]world.UserID, 0, size)
-		for k := 0; k < size; k++ {
-			j := (i + 1 + rng.Intn(n-1)) % n
-			if users[j].ID != u.ID {
-				circle = append(circle, users[j].ID)
-			}
+
+	// Dentist: loyal to one practice, occasionally switching when
+	// exploring (the §4.1 "tried out many options" signal). A
+	// relocation forces a re-choice from the new home — the §4.1
+	// confound.
+	dentist := s.City.Choose(rng, u, "dentist", u.Home)
+	pDental := u.DentalPerYear / 365
+	moved := false
+	for d := 0; d < s.cfg.Days; d++ {
+		if move != nil && d >= move.day && !moved {
+			moved = true
+			dentist = s.City.Choose(rng, u, "dentist", move.home)
 		}
-		s.circles[u.ID] = circle
+		if !rng.Bool(pDental) {
+			continue
+		}
+		if dentist == nil {
+			break
+		}
+		if rng.Bool(u.Explorer * 0.5) {
+			dentist = s.City.Choose(rng, u, "dentist", homeOn(u, move, d))
+		}
+		c.dentist[d] = dentist
+		callDay := d - 3
+		if callDay >= 0 {
+			c.dentistCall[callDay] = dentist
+		}
 	}
+
+	// Home services: booking call, then the provider visits the home
+	// two days later; a bad experience triggers a complaint call —
+	// the confound §4.1 warns about ("repeated phone calls to a
+	// plumber may be because the plumber did a poor job").
+	pService := u.HomeServicePerYear / 365
+	for d := 0; d < s.cfg.Days; d++ {
+		if !rng.Bool(pService) {
+			continue
+		}
+		cat := "plumber"
+		if rng.Bool(0.45) {
+			cat = "electrician"
+		}
+		prov := s.City.Choose(rng, u, cat, homeOn(u, move, d))
+		if prov == nil {
+			continue
+		}
+		c.providerCall[d] = append(c.providerCall[d], providerEvent{
+			entity: prov, kind: CallBooking,
+			duration: time.Duration(60+rng.Intn(180)) * time.Second,
+		})
+		if d+2 < s.cfg.Days {
+			c.providerVisit[d+2] = append(c.providerVisit[d+2], providerEvent{entity: prov})
+		}
+		if u.TrueOpinion(prov) < 2.5 && rng.Bool(0.6) && d+4 < s.cfg.Days {
+			c.providerCall[d+4] = append(c.providerCall[d+4], providerEvent{
+				entity: prov, kind: CallComplaint,
+				duration: time.Duration(120+rng.Intn(300)) * time.Second,
+			})
+		}
+	}
+
+	// Haircuts roughly every five weeks; relocation re-chooses.
+	hairdresser := s.City.Choose(rng, u, "hairdresser", u.Home)
+	hairMoved := false
+	for d := 0; d < s.cfg.Days; d++ {
+		if move != nil && d >= move.day && !hairMoved {
+			hairMoved = true
+			hairdresser = s.City.Choose(rng, u, "hairdresser", move.home)
+		}
+		if hairdresser != nil && rng.Bool(1.0/35) {
+			c.hairdresser[d] = hairdresser
+		}
+	}
+	return c
 }
 
-// buildCalendars pre-schedules dentist appointments, home-service
-// engagements, and haircuts for every user across the horizon.
-func (s *Simulator) buildCalendars() {
-	for _, u := range s.City.Users {
-		rng := s.root.Split("cal/" + string(u.ID))
-		c := &calendar{
-			dentist:       make(map[int]*world.Entity),
-			dentistCall:   make(map[int]*world.Entity),
-			providerCall:  make(map[int][]providerEvent),
-			providerVisit: make(map[int][]providerEvent),
-			hairdresser:   make(map[int]*world.Entity),
+// statesForDate returns the memoized per-user states for the eager
+// whole-city path, or an all-nil slice for streaming cities (callers
+// fall back to stateOf). Derivation is pure, so memoizing only changes
+// cost, never output.
+func (s *Simulator) statesForDate() []*userState {
+	s.eagerOnce.Do(func() {
+		s.eagerStates = make([]*userState, s.City.NumUsers())
+		if s.City.Users == nil {
+			return // streaming city: stay O(1); cohorts bound their own state
 		}
-		s.cal[u.ID] = c
+		for i := range s.eagerStates {
+			s.eagerStates[i] = s.stateOf(i)
+		}
+	})
+	return s.eagerStates
+}
 
-		// Dentist: loyal to one practice, occasionally switching when
-		// exploring (the §4.1 "tried out many options" signal). A
-		// relocation forces a re-choice from the new home — the §4.1
-		// confound.
-		dentist := s.City.Choose(rng, u, "dentist", u.Home)
-		pDental := u.DentalPerYear / 365
-		moved := false
-		for d := 0; d < s.cfg.Days; d++ {
-			if m := s.moves[u.ID]; m != nil && d >= m.day && !moved {
-				moved = true
-				dentist = s.City.Choose(rng, u, "dentist", m.home)
-			}
-			if !rng.Bool(pDental) {
-				continue
-			}
-			if dentist == nil {
-				break
-			}
-			if rng.Bool(u.Explorer * 0.5) {
-				dentist = s.City.Choose(rng, u, "dentist", s.homeOn(u, d))
-			}
-			c.dentist[d] = dentist
-			callDay := d - 3
-			if callDay >= 0 {
-				c.dentistCall[callDay] = dentist
-			}
-		}
-
-		// Home services: booking call, then the provider visits the home
-		// two days later; a bad experience triggers a complaint call —
-		// the confound §4.1 warns about ("repeated phone calls to a
-		// plumber may be because the plumber did a poor job").
-		pService := u.HomeServicePerYear / 365
-		for d := 0; d < s.cfg.Days; d++ {
-			if !rng.Bool(pService) {
-				continue
-			}
-			cat := "plumber"
-			if rng.Bool(0.45) {
-				cat = "electrician"
-			}
-			prov := s.City.Choose(rng, u, cat, s.homeOn(u, d))
-			if prov == nil {
-				continue
-			}
-			c.providerCall[d] = append(c.providerCall[d], providerEvent{
-				entity: prov, kind: CallBooking,
-				duration: time.Duration(60+rng.Intn(180)) * time.Second,
-			})
-			if d+2 < s.cfg.Days {
-				c.providerVisit[d+2] = append(c.providerVisit[d+2], providerEvent{entity: prov})
-			}
-			if u.TrueOpinion(prov) < 2.5 && rng.Bool(0.6) && d+4 < s.cfg.Days {
-				c.providerCall[d+4] = append(c.providerCall[d+4], providerEvent{
-					entity: prov, kind: CallComplaint,
-					duration: time.Duration(120+rng.Intn(300)) * time.Second,
-				})
-			}
-		}
-
-		// Haircuts roughly every five weeks; relocation re-chooses.
-		hairdresser := s.City.Choose(rng, u, "hairdresser", u.Home)
-		hairMoved := false
-		for d := 0; d < s.cfg.Days; d++ {
-			if m := s.moves[u.ID]; m != nil && d >= m.day && !hairMoved {
-				hairMoved = true
-				hairdresser = s.City.Choose(rng, u, "hairdresser", m.home)
-			}
-			if hairdresser != nil && rng.Bool(1.0/35) {
-				c.hairdresser[d] = hairdresser
-			}
-		}
+// stateOf derives the full simulation state of user index i.
+func (s *Simulator) stateOf(i int) *userState {
+	u := s.City.UserAt(i)
+	if u == nil {
+		return nil
 	}
+	move := s.moveOf(u)
+	return &userState{idx: i, user: u, move: move, cal: s.calendarOf(u, move)}
 }
 
 // Run simulates every user across the whole horizon and returns the day
-// logs in (date, user) order.
+// logs in (date, user) order. This is the eager path; it materializes
+// every log, so it is for calibration-scale cities only.
 func (s *Simulator) Run() []DayLog {
-	out := make([]DayLog, 0, len(s.City.Users)*s.cfg.Days)
+	out := make([]DayLog, 0, s.City.NumUsers()*s.cfg.Days)
 	for d := 0; d < s.cfg.Days; d++ {
 		out = append(out, s.SimulateDate(d)...)
 	}
 	return out
 }
 
-// groupPlan is a planned group dinner for one date.
+// groupPlan is a planned group dinner for one date, shared by the
+// members of one social block.
 type groupPlan struct {
 	restaurant *world.Entity
 	groupID    string
 	size       int
+	members    map[world.UserID]bool
 }
 
-// SimulateDate generates logs for all users on day index d (0-based from
-// Config.Start). Group dinners are planned in a first pass so that every
-// member's log contains the shared visit.
+// planBlock derives the group dinner (if any) of the social block
+// starting at index blockStart on day d. The derivation replays the
+// same seed-stable stream for every member who asks, so each of the ≤
+// circleSize members computes an identical plan without any shared
+// state: the first member whose initiation draw succeeds hosts, the
+// others join with the legacy 0.7 acceptance probability.
+func (s *Simulator) planBlock(d int, date time.Time, blockStart, blockEnd int) *groupPlan {
+	if blockEnd-blockStart < 1 {
+		return nil
+	}
+	rng := stats.Derive(s.cfg.Seed, "plan", strconv.Itoa(d), strconv.Itoa(blockStart))
+	weekend := isWeekend(date)
+	var initiator *world.User
+	initIdx := -1
+	for j := blockStart; j < blockEnd; j++ {
+		u := s.City.UserAt(j)
+		if rng.Bool(dinnerProb(u, weekend) * u.Sociability) {
+			initiator, initIdx = u, j
+			break
+		}
+	}
+	if initiator == nil {
+		return nil
+	}
+	rest := s.City.Choose(rng, initiator, "restaurant", homeOn(initiator, s.moveOf(initiator), d))
+	if rest == nil {
+		return nil
+	}
+	members := map[world.UserID]bool{initiator.ID: true}
+	for j := blockStart; j < blockEnd; j++ {
+		if j == initIdx {
+			continue
+		}
+		if rng.Bool(0.7) {
+			members[s.City.UserAt(j).ID] = true
+		}
+	}
+	return &groupPlan{
+		restaurant: rest,
+		groupID:    fmt.Sprintf("g-%d-%s", d, initiator.ID),
+		size:       len(members),
+		members:    members,
+	}
+}
+
+// planFor returns user index i's group plan on day d, or nil when the
+// user is not dining in a group that day.
+func (s *Simulator) planFor(st *userState, d int, date time.Time) *groupPlan {
+	blockStart, blockEnd := world.CircleBlock(st.idx, s.City.NumUsers())
+	gp := s.planBlock(d, date, blockStart, blockEnd)
+	if gp == nil || !gp.members[st.user.ID] {
+		return nil
+	}
+	return gp
+}
+
+// SimulateDate generates logs for all users on day index d (0-based
+// from Config.Start), in user-index order. Each social block's group
+// plan is derived once and shared across its members' logs.
 func (s *Simulator) SimulateDate(d int) []DayLog {
 	date := s.cfg.Start.AddDate(0, 0, d)
-	plans := s.planGroups(d, date)
-	logs := make([]DayLog, 0, len(s.City.Users))
-	for _, u := range s.City.Users {
-		logs = append(logs, s.simulateUserDay(u, d, date, plans[u.ID]))
+	n := s.City.NumUsers()
+	logs := make([]DayLog, 0, n)
+	var blockPlan *groupPlan
+	blockEnd := 0
+	states := s.statesForDate()
+	for i := 0; i < n; i++ {
+		if i >= blockEnd {
+			var blockStart int
+			blockStart, blockEnd = world.CircleBlock(i, n)
+			blockPlan = s.planBlock(d, date, blockStart, blockEnd)
+		}
+		st := states[i]
+		if st == nil {
+			st = s.stateOf(i)
+		}
+		plan := blockPlan
+		if plan != nil && !plan.members[st.user.ID] {
+			plan = nil
+		}
+		logs = append(logs, s.simulateUserDay(st, d, date, plan))
 	}
 	return logs
 }
 
-// planGroups decides which users initiate group dinners on this date and
-// which friends join them.
-func (s *Simulator) planGroups(d int, date time.Time) map[world.UserID]*groupPlan {
-	rng := s.root.Split(fmt.Sprintf("plan/%d", d))
-	plans := make(map[world.UserID]*groupPlan)
-	weekend := isWeekend(date)
-	for _, u := range s.City.Users {
-		if plans[u.ID] != nil {
-			continue // already invited by an earlier initiator
-		}
-		p := dinnerProb(u, weekend) * u.Sociability
-		if !rng.Bool(p) {
-			continue
-		}
-		rest := s.City.Choose(rng, u, "restaurant", s.homeOn(u, d))
-		if rest == nil {
-			continue
-		}
-		gid := fmt.Sprintf("g-%d-%s", d, u.ID)
-		members := []world.UserID{u.ID}
-		for _, fid := range s.circles[u.ID] {
-			if plans[fid] == nil && rng.Bool(0.7) {
-				members = append(members, fid)
-			}
-		}
-		gp := &groupPlan{restaurant: rest, groupID: gid, size: len(members)}
-		for _, id := range members {
-			plans[id] = gp
-		}
+// UserDay regenerates user index i's day d in isolation: O(1) memory in
+// the population size, byte-identical to the same user's log inside
+// SimulateDate or any cohort.
+func (s *Simulator) UserDay(i, d int) DayLog {
+	st := s.stateOf(i)
+	if st == nil {
+		return DayLog{}
 	}
-	return plans
+	date := s.cfg.Start.AddDate(0, 0, d)
+	return s.simulateUserDay(st, d, date, s.planFor(st, d, date))
+}
+
+// UserTrace regenerates user index i's entire horizon, one DayLog per
+// day. Memory is O(days of one user's activity).
+func (s *Simulator) UserTrace(i int) []DayLog {
+	out := make([]DayLog, 0, s.cfg.Days)
+	for d := 0; d < s.cfg.Days; d++ {
+		out = append(out, s.UserDay(i, d))
+	}
+	return out
 }
 
 func dinnerProb(u *world.User, weekend bool) float64 {
@@ -343,11 +439,12 @@ func isWeekend(date time.Time) bool {
 	return wd == time.Saturday || wd == time.Sunday
 }
 
-// simulateUserDay builds one user's full day.
-func (s *Simulator) simulateUserDay(u *world.User, d int, date time.Time, plan *groupPlan) DayLog {
-	rng := s.root.Split(fmt.Sprintf("day/%d/%s", d, u.ID))
-	cal := s.cal[u.ID]
-	home := s.homeOn(u, d)
+// simulateUserDay builds one user's full day from derived state.
+func (s *Simulator) simulateUserDay(st *userState, d int, date time.Time, plan *groupPlan) DayLog {
+	u := st.user
+	rng := stats.Derive(s.cfg.Seed, "day", strconv.Itoa(d), string(u.ID))
+	cal := st.cal
+	home := homeOn(u, st.move, d)
 	b := newDayBuilderAt(u, date, home)
 	weekend := isWeekend(date)
 	workday := !weekend

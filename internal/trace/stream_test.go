@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"opinions/internal/world"
+)
+
+func logsJSON(t *testing.T, logs []DayLog) string {
+	t.Helper()
+	b, err := json.Marshal(logs)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b)
+}
+
+// TestTraceDeterminismAcrossPaths is the satellite-2 property test: a
+// user's full trace is byte-identical whether regenerated in isolation
+// (UserTrace), inside a cohort of one, inside a large cohort visited in
+// any order, or as part of the eager whole-city simulation.
+func TestTraceDeterminismAcrossPaths(t *testing.T) {
+	cityCfg := world.CityConfig{Seed: 11, NumUsers: 120}
+	cfg := Config{Seed: 11, Days: 21}
+
+	// Eager whole-city reference.
+	eager := New(world.BuildCity(cityCfg), cfg)
+	whole := make(map[world.UserID][]DayLog, 120)
+	for d := 0; d < cfg.Days; d++ {
+		for _, lg := range eager.SimulateDate(d) {
+			whole[lg.User] = append(whole[lg.User], lg)
+		}
+	}
+
+	// Streaming simulator over the same seeds.
+	stream := New(world.OpenCity(cityCfg), cfg)
+
+	probe := []int{0, 1, 2, 3, 7, 40, 41, 118, 119} // full block, partial overlaps, tail
+	for _, i := range probe {
+		id := world.UserIDOf(i)
+		want := logsJSON(t, whole[id])
+
+		if got := logsJSON(t, stream.UserTrace(i)); got != want {
+			t.Fatalf("user %d: UserTrace differs from whole-city log", i)
+		}
+
+		solo := stream.Cohort([]int{i})
+		var soloLogs []DayLog
+		solo.Run(func(d int, _ time.Time, logs []DayLog) bool {
+			_ = d
+			soloLogs = append(soloLogs, logs...)
+			return true
+		})
+		if got := logsJSON(t, soloLogs); got != want {
+			t.Fatalf("user %d: cohort-of-1 differs from whole-city log", i)
+		}
+	}
+
+	// A shuffled, non-contiguous cohort — including users whose block-mates
+	// are absent — still reproduces every member's exact logs.
+	mixed := stream.Cohort([]int{41, 3, 119, 0, 40, 7, 2, 1, 118})
+	got := make(map[world.UserID][]DayLog)
+	for d := 0; d < cfg.Days; d++ {
+		for _, lg := range mixed.Day(d) {
+			got[lg.User] = append(got[lg.User], lg)
+		}
+	}
+	for _, i := range probe {
+		id := world.UserIDOf(i)
+		if logsJSON(t, got[id]) != logsJSON(t, whole[id]) {
+			t.Fatalf("user %d: shuffled-cohort trace differs from whole-city log", i)
+		}
+	}
+}
+
+// TestUserDayMatchesSimulateDate checks the single-day regeneration
+// path against the whole-city day on both eager and streaming cities.
+func TestUserDayMatchesSimulateDate(t *testing.T) {
+	cityCfg := world.CityConfig{Seed: 5, NumUsers: 60}
+	cfg := Config{Seed: 5, Days: 10}
+	eager := New(world.BuildCity(cityCfg), cfg)
+	stream := New(world.OpenCity(cityCfg), cfg)
+	for _, d := range []int{0, 3, 9} {
+		day := eager.SimulateDate(d)
+		for _, i := range []int{0, 1, 17, 58, 59} {
+			want := logsJSON(t, []DayLog{day[i]})
+			if got := logsJSON(t, []DayLog{eager.UserDay(i, d)}); got != want {
+				t.Fatalf("eager UserDay(%d,%d) differs from SimulateDate", i, d)
+			}
+			if got := logsJSON(t, []DayLog{stream.UserDay(i, d)}); got != want {
+				t.Fatalf("streaming UserDay(%d,%d) differs from eager SimulateDate", i, d)
+			}
+		}
+	}
+}
+
+// TestCohortMemoryBounded pins the O(K) cohort contract: stepping a
+// small cohort through days over a large streaming city must not
+// materialize population-sized state on the simulator.
+func TestCohortMemoryBounded(t *testing.T) {
+	city := world.OpenCity(world.CityConfig{Seed: 9, NumUsers: 500000})
+	sim := New(city, Config{Seed: 9, Days: 3})
+	co := sim.CohortRange(123400, 64)
+	if co.Size() != 64 {
+		t.Fatalf("cohort size = %d", co.Size())
+	}
+	total := 0
+	co.Run(func(d int, _ time.Time, logs []DayLog) bool {
+		total += len(logs)
+		return true
+	})
+	if total != 64*3 {
+		t.Fatalf("cohort produced %d logs, want %d", total, 64*3)
+	}
+	if city.Users != nil {
+		t.Fatal("streaming city materialized users")
+	}
+	if sim.eagerStates != nil && len(sim.eagerStates) > 0 {
+		// statesForDate must not have populated O(N) state for a cohort run.
+		for _, st := range sim.eagerStates {
+			if st != nil {
+				t.Fatal("cohort run materialized eager per-user state")
+			}
+		}
+	}
+}
+
+// TestStreamingVocalMinority is the satellite-6 calibration guard on the
+// trace layer: run a streaming cohort sweep over the whole population
+// and check the §2 participation-gap shape — the ~10% contributor
+// minority authors the overwhelming share of reviews while everyone
+// generates behavioural signal.
+func TestStreamingVocalMinority(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cityCfg := world.CityConfig{Seed: 2, NumUsers: 2000}
+	city := world.OpenCity(cityCfg)
+	sim := New(city, Config{Seed: 2, Days: 60})
+
+	reviewsByClass := map[world.ParticipationClass]int{}
+	usersWithVisits, usersWithReviews := 0, 0
+	const k = 200
+	for start := 0; start < city.NumUsers(); start += k {
+		co := sim.CohortRange(start, k)
+		visits := make(map[world.UserID]int)
+		reviews := make(map[world.UserID]int)
+		co.Run(func(d int, _ time.Time, logs []DayLog) bool {
+			for _, lg := range logs {
+				visits[lg.User] += len(lg.Visits)
+				reviews[lg.User] += len(lg.Reviews)
+				if len(lg.Reviews) > 0 {
+					u := city.UserByID(lg.User)
+					reviewsByClass[u.Class] += len(lg.Reviews)
+				}
+			}
+			return true
+		})
+		for _, u := range co.Users() {
+			if visits[u.ID] > 0 {
+				usersWithVisits++
+			}
+			if reviews[u.ID] > 0 {
+				usersWithReviews++
+			}
+		}
+	}
+	if city.Users != nil {
+		t.Fatal("sweep materialized the population")
+	}
+	if frac := float64(usersWithVisits) / 2000; frac < 0.95 {
+		t.Fatalf("only %.2f of users produced visits", frac)
+	}
+	// Reviews must come from a small minority of the population...
+	if frac := float64(usersWithReviews) / 2000; frac > 0.30 {
+		t.Fatalf("%.2f of users posted reviews; expected a vocal minority", frac)
+	}
+	// ...and contributors (1%+9% of users) must author the vast majority.
+	totalReviews := 0
+	for _, n := range reviewsByClass {
+		totalReviews += n
+	}
+	if totalReviews == 0 {
+		t.Fatal("no reviews at all")
+	}
+	contrib := reviewsByClass[world.HeavyContributor] + reviewsByClass[world.OccasionalContributor]
+	if frac := float64(contrib) / float64(totalReviews); frac < 0.85 {
+		t.Fatalf("contributor classes authored only %.2f of reviews", frac)
+	}
+}

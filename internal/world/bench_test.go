@@ -1,0 +1,88 @@
+package world
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// The streaming-vs-materialize pair quantifies the tentpole claim: a
+// full pass over the population costs the same generation work either
+// way (allocs/op measures churn, which is similar), but the streaming
+// path holds one user at a time while the eager path keeps all N
+// resident. The live-heap-MB metric — heap still reachable at the end
+// of a pass, after GC — is the one that separates them: flat for
+// streaming, linear in N for materialize.
+
+// liveHeapMB forces a GC and returns the reachable heap in megabytes.
+func liveHeapMB() float64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapAlloc) / (1 << 20)
+}
+
+func benchScales(b *testing.B) []int {
+	if testing.Short() {
+		return []int{10_000}
+	}
+	return []int{10_000, 100_000, 1_000_000}
+}
+
+func BenchmarkWorldStream(b *testing.B) {
+	for _, n := range benchScales(b) {
+		b.Run(fmt.Sprintf("users=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var c *City
+			for i := 0; i < b.N; i++ {
+				c = OpenCity(CityConfig{Seed: 1, NumUsers: n})
+				var classes [3]int
+				c.EachUser(func(_ int, u *User) bool {
+					classes[u.Class]++
+					return true
+				})
+				if classes[Lurker] == 0 {
+					b.Fatal("no lurkers")
+				}
+			}
+			b.ReportMetric(liveHeapMB(), "live-heap-MB")
+			runtime.KeepAlive(c)
+		})
+	}
+}
+
+func BenchmarkWorldMaterialize(b *testing.B) {
+	for _, n := range benchScales(b) {
+		b.Run(fmt.Sprintf("users=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var c *City
+			for i := 0; i < b.N; i++ {
+				c = BuildCity(CityConfig{Seed: 1, NumUsers: n})
+				var classes [3]int
+				for _, u := range c.Users {
+					classes[u.Class]++
+				}
+				if classes[Lurker] == 0 {
+					b.Fatal("no lurkers")
+				}
+			}
+			// c stays reachable here, so the metric reflects the resident
+			// population the eager path forces callers to hold.
+			b.ReportMetric(liveHeapMB(), "live-heap-MB")
+			runtime.KeepAlive(c)
+		})
+	}
+}
+
+// BenchmarkUserAt measures the cost of regenerating one user on demand —
+// the unit the serving and agent paths pay per lookup.
+func BenchmarkUserAt(b *testing.B) {
+	c := OpenCity(CityConfig{Seed: 1, NumUsers: 1_000_000})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.UserAt(i%1_000_000) == nil {
+			b.Fatal("nil user")
+		}
+	}
+}

@@ -3,6 +3,7 @@ package world
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"opinions/internal/geo"
 	"opinions/internal/stats"
@@ -48,11 +49,25 @@ func DefaultCityConfig() CityConfig {
 }
 
 // City is the behavioural universe: physical entities with locations and
-// phone numbers, and users with homes, workplaces and personas.
+// phone numbers, and a user population with homes, workplaces and
+// personas.
+//
+// The entity catalog is always materialized — it is small (hundreds of
+// entries) and shared by every consumer. The user population has two
+// representations:
+//
+//   - Eager (BuildCity): Users holds every *User; UserAt indexes the
+//     slice. This is what the calibration experiments and the existing
+//     callers use.
+//   - Streaming (OpenCity): Users stays nil and UserAt derives the
+//     requested user on demand from a per-user seed,
+//     DeriveSeed(worldSeed, "user", i). Any single user of a
+//     million-user city is regenerable in O(1) memory, identical no
+//     matter which process, shard, or cohort asks.
 type City struct {
 	Center   geo.Point
 	Span     float64
-	Users    []*User
+	Users    []*User // nil when the city was opened streaming
 	Entities []*Entity
 
 	// Spatial is an index over entity locations for proximity queries.
@@ -63,10 +78,39 @@ type City struct {
 	byKey      map[string]*Entity
 	byCategory map[string][]*Entity
 	usersByID  map[UserID]*User
+
+	seed     int64
+	numUsers int
 }
 
-// BuildCity generates a deterministic city from cfg.
+// circleSize is the social block width: users are partitioned into
+// consecutive-index blocks of this size, and a user's friend circle is
+// the other members of their block (up to circleSize-1 friends). Blocks
+// are seed-stable and disjoint, so group events derived inside one block
+// never need information about any user outside it — the property that
+// lets a cohort simulate K users without touching the other N-K.
+const circleSize = 4
+
+// BuildCity generates a deterministic city from cfg with every user
+// materialized. It is a thin eager wrapper over the streaming core: the
+// users it returns are exactly the users OpenCity(cfg).UserAt(i) would
+// derive on demand.
 func BuildCity(cfg CityConfig) *City {
+	c := OpenCity(cfg)
+	c.Users = make([]*User, c.numUsers)
+	c.usersByID = make(map[UserID]*User, c.numUsers)
+	for i := 0; i < c.numUsers; i++ {
+		u := c.deriveUser(i)
+		c.Users[i] = u
+		c.usersByID[u.ID] = u
+	}
+	return c
+}
+
+// OpenCity builds the entity catalog of a deterministic city without
+// materializing any users. UserAt derives users on demand; a
+// million-user city opens in the memory of its few hundred entities.
+func OpenCity(cfg CityConfig) *City {
 	if cfg.NumUsers <= 0 {
 		cfg.NumUsers = 400
 	}
@@ -84,7 +128,8 @@ func BuildCity(cfg CityConfig) *City {
 		PhoneBook:  make(map[string]*Entity),
 		byKey:      make(map[string]*Entity),
 		byCategory: make(map[string][]*Entity),
-		usersByID:  make(map[UserID]*User),
+		seed:       cfg.Seed,
+		numUsers:   cfg.NumUsers,
 	}
 	root := stats.NewRNG(cfg.Seed)
 
@@ -113,36 +158,118 @@ func BuildCity(cfg CityConfig) *City {
 			c.byCategory[cat] = append(c.byCategory[cat], e)
 		}
 	}
-
-	urng := root.Split("city/users")
-	for i := 0; i < cfg.NumUsers; i++ {
-		u := &User{
-			ID:        UserID(fmt.Sprintf("u%05d", i)),
-			Home:      c.randomPoint(urng),
-			Work:      c.randomPoint(urng),
-			tasteSeed: uint64(urng.Int63()),
-		}
-		// 1/9/90 participation split [11].
-		switch r := urng.Float64(); {
-		case r < 0.01:
-			u.Class = HeavyContributor
-		case r < 0.10:
-			u.Class = OccasionalContributor
-		default:
-			u.Class = Lurker
-		}
-		u.Persona = Persona{
-			EatOutPerWeek:      math.Max(0.2, urng.Normal(2.5, 1.2)),
-			DentalPerYear:      math.Max(0.3, urng.Normal(2.0, 0.8)),
-			HomeServicePerYear: math.Max(0.1, urng.Normal(1.5, 1.0)),
-			Sociability:        clamp(urng.Normal(0.35, 0.2), 0, 0.9),
-			Explorer:           clamp(urng.Normal(0.3, 0.2), 0.02, 0.95),
-			Pickiness:          clamp(urng.Normal(0.5, 0.25), 0, 1),
-		}
-		c.Users = append(c.Users, u)
-		c.usersByID[u.ID] = u
-	}
 	return c
+}
+
+// Seed returns the world seed the city was generated from.
+func (c *City) Seed() int64 { return c.seed }
+
+// NumUsers returns the configured population size.
+func (c *City) NumUsers() int { return c.numUsers }
+
+// UserIDOf formats the canonical id of user index i.
+func UserIDOf(i int) UserID { return UserID(fmt.Sprintf("u%05d", i)) }
+
+// UserIndex parses a canonical user id back to its index. It reports
+// false for ids that are not the canonical form of an index within the
+// city's population.
+func (c *City) UserIndex(id UserID) (int, bool) {
+	s := string(id)
+	if len(s) < 2 || s[0] != 'u' {
+		return 0, false
+	}
+	i, err := strconv.Atoi(s[1:])
+	if err != nil || i < 0 || i >= c.numUsers || UserIDOf(i) != id {
+		return 0, false
+	}
+	return i, true
+}
+
+// UserAt returns user index i, derived on demand in a streaming city or
+// indexed from the materialized slice in an eager one. The two paths
+// produce identical users. Returns nil when i is out of range.
+func (c *City) UserAt(i int) *User {
+	if i < 0 || i >= c.numUsers {
+		return nil
+	}
+	if c.Users != nil {
+		return c.Users[i]
+	}
+	return c.deriveUser(i)
+}
+
+// EachUser streams users in index order through f until f returns false.
+// In a streaming city each user is derived, visited, and dropped — the
+// whole population is never resident at once.
+func (c *City) EachUser(f func(i int, u *User) bool) {
+	for i := 0; i < c.numUsers; i++ {
+		if !f(i, c.UserAt(i)) {
+			return
+		}
+	}
+}
+
+// Circle returns the friend-circle indexes of user i: the other members
+// of i's social block. The blocks partition the population, so circles
+// are symmetric (j in Circle(i) iff i in Circle(j)) and derivable from
+// the index alone.
+func (c *City) Circle(i int) []int {
+	start, end := c.circleBlock(i)
+	out := make([]int, 0, end-start-1)
+	for j := start; j < end; j++ {
+		if j != i {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// circleBlock returns the half-open index range of i's social block.
+func (c *City) circleBlock(i int) (start, end int) {
+	return CircleBlock(i, c.numUsers)
+}
+
+// CircleBlock returns the half-open index range of user i's social
+// block in a population of n: the seed-stable pairing the trace
+// simulator derives group events from.
+func CircleBlock(i, n int) (start, end int) {
+	start = (i / circleSize) * circleSize
+	end = start + circleSize
+	if end > n {
+		end = n
+	}
+	return start, end
+}
+
+// deriveUser generates user i from its per-user seed. This is the
+// regenerability contract: the stream depends only on (worldSeed, i) and
+// the city geometry, never on which users were generated before.
+func (c *City) deriveUser(i int) *User {
+	rng := stats.Derive(c.seed, "city/user", strconv.Itoa(i))
+	u := &User{
+		ID:        UserIDOf(i),
+		Home:      c.randomPoint(rng),
+		Work:      c.randomPoint(rng),
+		tasteSeed: uint64(rng.Int63()),
+	}
+	// 1/9/90 participation split [11].
+	switch r := rng.Float64(); {
+	case r < 0.01:
+		u.Class = HeavyContributor
+	case r < 0.10:
+		u.Class = OccasionalContributor
+	default:
+		u.Class = Lurker
+	}
+	u.Persona = Persona{
+		EatOutPerWeek:      math.Max(0.2, rng.Normal(2.5, 1.2)),
+		DentalPerYear:      math.Max(0.3, rng.Normal(2.0, 0.8)),
+		HomeServicePerYear: math.Max(0.1, rng.Normal(1.5, 1.0)),
+		Sociability:        clamp(rng.Normal(0.35, 0.2), 0, 0.9),
+		Explorer:           clamp(rng.Normal(0.3, 0.2), 0.02, 0.95),
+		Pickiness:          clamp(rng.Normal(0.5, 0.25), 0, 1),
+	}
+	return u
 }
 
 func (c *City) randomPoint(rng *stats.RNG) geo.Point {
@@ -159,8 +286,19 @@ func (c *City) EntityByKey(key string) *Entity { return c.byKey[key] }
 // not mutate).
 func (c *City) EntitiesByCategory(cat string) []*Entity { return c.byCategory[cat] }
 
-// UserByID returns the user with the given id, or nil.
-func (c *City) UserByID(id UserID) *User { return c.usersByID[id] }
+// UserByID returns the user with the given id, or nil. Eager cities
+// answer from the materialized index; streaming cities parse the
+// canonical id and derive the user on demand.
+func (c *City) UserByID(id UserID) *User {
+	if c.usersByID != nil {
+		return c.usersByID[id]
+	}
+	i, ok := c.UserIndex(id)
+	if !ok {
+		return nil
+	}
+	return c.UserAt(i)
+}
 
 // Choose picks the entity of the given category a user would select when
 // starting from `from`, combining quality preference and distance as

@@ -1,0 +1,72 @@
+#!/bin/sh
+# streaming_smoke.sh — end-to-end streaming-world smoke at 100k users:
+# emit cluster-aligned world shards with worldgen, boot an rspd serving
+# the same 100k-user city, then run a cohort of device agents from one
+# shard against it, uploading as they go. The whole pipeline runs under
+# a hard heap budget (GOMEMLIMIT plus the agent's own MemStats gate), so
+# any regression that materializes the population — in worldgen, the
+# server, the simulator, or the agent — fails the smoke instead of
+# silently costing O(N) memory. Run via verify.sh or directly.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+USERS=100000
+SEED=1
+PORT=18441
+TMP=$(mktemp -d)
+
+PIDS=""
+cleanup() {
+    for pid in $PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$TMP/worldgen" ./cmd/worldgen
+go build -o "$TMP/rspd" ./cmd/rspd
+go build -o "$TMP/agent" ./cmd/agent
+
+echo "==> worldgen: $USERS users into 3 cluster-aligned shards (streamed)"
+GOMEMLIMIT=128MiB "$TMP/worldgen" -world city -users "$USERS" -seed "$SEED" \
+    -shards 3 -out "$TMP/shards" 2>"$TMP/worldgen.log"
+for p in 0 1 2; do
+    f="$TMP/shards/shard-00$p.users.jsonl"
+    [ -s "$f" ] || { echo "streaming_smoke: empty or missing $f" >&2; exit 1; }
+done
+total=$(cat "$TMP"/shards/shard-*.users.jsonl | wc -l)
+if [ "$total" -ne "$USERS" ]; then
+    echo "streaming_smoke: shards hold $total users, want $USERS" >&2
+    exit 1
+fi
+
+echo "==> rspd serving the $USERS-user city (streaming open, 128MiB limit)"
+GOMEMLIMIT=128MiB "$TMP/rspd" -addr "127.0.0.1:$PORT" -world city \
+    -users "$USERS" -seed "$SEED" -keybits 1024 -quiet -rate-limit 0 \
+    >"$TMP/rspd.log" 2>&1 &
+PIDS="$PIDS $!"
+i=0
+until curl -sf "http://127.0.0.1:$PORT/readyz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "streaming_smoke: rspd never became ready" >&2
+        cat "$TMP/rspd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "==> agent cohort from shard 0 (48 users, 2 days, 96MB heap gate)"
+GOMEMLIMIT=128MiB "$TMP/agent" -server "http://127.0.0.1:$PORT" \
+    -seed "$SEED" -users "$USERS" -shards 3 -shard 0 \
+    -cohort-size 24 -max-users 48 -days 2 -max-heap-mb 96 \
+    2>"$TMP/agent.log"
+grep -q "shard done" "$TMP/agent.log" || {
+    echo "streaming_smoke: agent did not finish its shard" >&2
+    cat "$TMP/agent.log" >&2
+    exit 1
+}
+
+echo "streaming_smoke: OK"

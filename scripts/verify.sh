@@ -27,6 +27,9 @@ go run ./cmd/loadgen -selfhost -duration 2s -workers 8 -scale 0.01 \
 echo "==> cluster smoke (3 rspd nodes behind a ring, loadgen -cluster)"
 sh scripts/cluster_smoke.sh
 
+echo "==> streaming smoke (100k-user world: shards -> rspd -> agent cohort, heap-gated)"
+sh scripts/streaming_smoke.sh
+
 echo "==> gofmt -l"
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
